@@ -1,0 +1,40 @@
+//! Micro-benchmark: coverage-index construction and marginal-gain queries on
+//! the RR-set revenue estimator (the inner loop of every greedy pass).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+use rmsa_core::{RevenueOracle, RrRevenueEstimator};
+use rmsa_diffusion::{RrCollection, RrStrategy, UniformIc, UniformRrSampler};
+use rmsa_graph::generators::barabasi_albert;
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut rng = Pcg64Mcg::seed_from_u64(3);
+    let graph = barabasi_albert(10_000, 6, &mut rng);
+    let model = UniformIc::new(4, 0.05);
+    let sampler = UniformRrSampler::new(&[1.0, 1.5, 2.0, 1.0]);
+    let mut coll = RrCollection::new(graph.num_nodes(), RrStrategy::Standard);
+    coll.generate(&graph, &model, &sampler, 50_000, &mut rng);
+
+    let mut group = c.benchmark_group("coverage");
+    group.sample_size(20);
+    group.bench_function("build_estimator_50k_sets", |b| {
+        b.iter(|| RrRevenueEstimator::new(&coll, 4, 5.5).num_rr());
+    });
+
+    let est = RrRevenueEstimator::new(&coll, 4, 5.5);
+    group.bench_function("greedy_marginal_gains_1000_nodes", |b| {
+        b.iter(|| {
+            let state = est.new_state(0);
+            let mut best = 0.0f64;
+            for u in 0..1_000u32 {
+                best = best.max(est.marginal_gain(&state, u));
+            }
+            best
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

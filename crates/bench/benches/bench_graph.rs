@@ -1,0 +1,29 @@
+//! Micro-benchmark: synthetic graph generation and CSR construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+use rmsa_graph::generators::{barabasi_albert, erdos_renyi};
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Pcg64Mcg::seed_from_u64(7);
+                barabasi_albert(n, 8, &mut rng).num_edges()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Pcg64Mcg::seed_from_u64(7);
+                erdos_renyi(n, 8.0 / n as f64, &mut rng).num_edges()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmark: the Section-3 oracle algorithms running on an RR-set
+//! estimator (Greedy, ThresholdGreedy, and the full Search driver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+use rmsa_core::{
+    greedy_single, rm_with_oracle, threshold_greedy, Advertiser, RmInstance, RrRevenueEstimator,
+    SeedCosts,
+};
+use rmsa_diffusion::{RrCollection, RrStrategy, UniformIc, UniformRrSampler};
+use rmsa_graph::generators::barabasi_albert;
+use rmsa_graph::NodeId;
+
+fn setup() -> (RmInstance, RrRevenueEstimator) {
+    let mut rng = Pcg64Mcg::seed_from_u64(5);
+    let graph = barabasi_albert(5_000, 6, &mut rng);
+    let h = 5;
+    let model = UniformIc::new(h, 0.05);
+    let cpes = vec![1.0; h];
+    let sampler = UniformRrSampler::new(&cpes);
+    let mut coll = RrCollection::new(graph.num_nodes(), RrStrategy::Standard);
+    coll.generate(&graph, &model, &sampler, 30_000, &mut rng);
+    let estimator = RrRevenueEstimator::new(&coll, h, h as f64);
+    let instance = RmInstance::new(
+        graph.num_nodes(),
+        (0..h).map(|_| Advertiser::new(60.0, 1.0)).collect(),
+        SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
+    );
+    (instance, estimator)
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let (instance, estimator) = setup();
+    let mut group = c.benchmark_group("oracle_algorithms");
+    group.sample_size(10);
+    let candidates: Vec<NodeId> = (0..instance.num_nodes as NodeId).collect();
+    group.bench_function("greedy_single_advertiser", |b| {
+        b.iter(|| greedy_single(&instance, &estimator, 0, &candidates).best_revenue());
+    });
+    group.bench_function("threshold_greedy_gamma_zero", |b| {
+        b.iter(|| threshold_greedy(&instance, &estimator, 0.0).b);
+    });
+    group.bench_function("rm_with_oracle_h5", |b| {
+        b.iter(|| rm_with_oracle(&instance, &estimator, 0.1).revenue);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end benchmark: RMA versus the TI baselines on a miniature
+//! lastfm-syn instance (the per-algorithm cost behind Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmsa_core::baselines::{ti_csrm, TiConfig};
+use rmsa_core::{rm_without_oracle, Advertiser, RmaConfig};
+use rmsa_datasets::{Dataset, DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+
+fn bench_rma(c: &mut Criterion) {
+    let h = 3;
+    let dataset = Dataset::build(DatasetKind::LastfmSyn, h, 0.25, 11);
+    let advertisers: Vec<Advertiser> = (0..h).map(|_| Advertiser::new(80.0, 1.0)).collect();
+    let instance = dataset.build_instance(advertisers, IncentiveModel::Linear, 0.1, 5_000, 3);
+
+    let rma_cfg = RmaConfig {
+        epsilon: 0.15,
+        rho: 0.1,
+        num_threads: 1,
+        max_rr_per_collection: 40_000,
+        ..RmaConfig::default()
+    };
+    let ti_cfg = TiConfig {
+        epsilon: 0.3,
+        pilot_sets: 1_024,
+        max_rr_per_ad: 15_000,
+        strategy: RrStrategy::Standard,
+        ..TiConfig::default()
+    };
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("rma_lastfm_mini", |b| {
+        b.iter(|| {
+            rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_cfg)
+                .allocation
+                .total_seeds()
+        });
+    });
+    group.bench_function("ti_csrm_lastfm_mini", |b| {
+        b.iter(|| {
+            ti_csrm(&dataset.graph, &dataset.model, &instance, &ti_cfg)
+                .allocation
+                .total_seeds()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rma);
+criterion_main!(benches);

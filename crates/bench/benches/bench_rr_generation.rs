@@ -1,0 +1,37 @@
+//! Micro-benchmark: RR-set generation cost, standard reverse BFS vs the
+//! SUBSIM geometric-skip fast path (Table 6's underlying speed-up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+use rmsa_diffusion::{RrGenerator, RrStrategy, WeightedCascade};
+use rmsa_graph::generators::barabasi_albert;
+
+fn bench_rr_generation(c: &mut Criterion) {
+    let mut rng = Pcg64Mcg::seed_from_u64(1);
+    let graph = barabasi_albert(20_000, 8, &mut rng);
+    let model = WeightedCascade::new(&graph, 1);
+    let mut group = c.benchmark_group("rr_generation");
+    group.sample_size(20);
+    for strategy in [RrStrategy::Standard, RrStrategy::Subsim] {
+        group.bench_with_input(
+            BenchmarkId::new("weighted_cascade", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                let mut gen = RrGenerator::new(graph.num_nodes(), strategy);
+                let mut rng = Pcg64Mcg::seed_from_u64(2);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for _ in 0..200 {
+                        total += gen.generate(&graph, &model, 0, &mut rng).len();
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rr_generation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared experiment harness for reproducing the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure: it builds the
+//! relevant synthetic dataset(s), assembles RM instances, runs RMA and the
+//! TI-CARM / TI-CSRM baselines, evaluates every allocation on an independent
+//! RR-set collection, prints the rows the paper reports, and writes a CSV
+//! under `results/`.
+//!
+//! All experiments accept a global scale factor through the `RMSA_SCALE`
+//! environment variable (default 1.0): the dataset sizes *and* advertiser
+//! budgets are multiplied by it, so `RMSA_SCALE=0.1` runs the whole suite on
+//! a laptop in minutes while preserving the comparative shapes.
+
+pub mod harness;
+pub mod sweeps;
+
+pub use harness::{
+    default_rma_config, default_ti_config, evaluator_for, run_rma, run_ti_carm, run_ti_csrm,
+    write_csv, AlgoOutcome, ExperimentContext,
+};

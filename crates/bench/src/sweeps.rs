@@ -1,0 +1,318 @@
+//! Parameter sweeps shared by the figure/table binaries.
+
+use crate::harness::{
+    compare_algorithms, default_rma_config, default_ti_config, instance_for_alpha, run_rma,
+    AlgoOutcome, ExperimentContext,
+};
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+use rmsa_core::Advertiser;
+use rmsa_datasets::config::{table2_advertisers, FLIXSTER_PROFILE, LASTFM_PROFILE};
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+
+/// The α values of Figs. 1–3 and Table 3.
+pub const ALPHAS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Table 2 advertisers for a TIC dataset, with budgets scaled by the
+/// experiment context's global scale.
+pub fn advertisers_for(ctx: &ExperimentContext, kind: DatasetKind, seed: u64) -> Vec<Advertiser> {
+    let profile = match kind {
+        DatasetKind::LastfmSyn => &LASTFM_PROFILE,
+        _ => &FLIXSTER_PROFILE,
+    };
+    let mut rng = Pcg64Mcg::seed_from_u64(seed);
+    let mut ads = table2_advertisers(profile, ctx.num_ads, &mut rng);
+    for a in &mut ads {
+        a.budget = (a.budget * ctx.scale).max(10.0);
+    }
+    ads
+}
+
+/// One row of the α sweep: the α value and the three algorithms' outcomes.
+pub type SweepRow = (f64, Vec<AlgoOutcome>);
+
+/// The α sweep behind Figs. 1–3 and Table 3: a TIC dataset, one incentive
+/// model, α ∈ [`ALPHAS`], comparing RMA / TI-CARM / TI-CSRM.
+pub fn alpha_sweep(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    incentive: IncentiveModel,
+    strategy: RrStrategy,
+) -> Vec<SweepRow> {
+    let dataset = ctx.dataset(kind);
+    let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
+    let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
+    let mut rma_cfg = default_rma_config(ctx);
+    rma_cfg.strategy = strategy;
+    let mut ti_cfg = default_ti_config(ctx);
+    ti_cfg.strategy = strategy;
+    ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let instance = instance_for_alpha(&dataset, &advertisers, &spreads, incentive, alpha);
+            let outcomes = compare_algorithms(ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
+            (alpha, outcomes)
+        })
+        .collect()
+}
+
+/// Fig. 4: the ε sweep. RMA's ε and the baselines' ε are swept over the same
+/// grid; revenue and the memory proxy (RR-set footprint) are reported.
+pub fn epsilon_sweep(ctx: &ExperimentContext, kind: DatasetKind) -> Vec<SweepRow> {
+    let dataset = ctx.dataset(kind);
+    let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
+    let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
+    let instance =
+        instance_for_alpha(&dataset, &advertisers, &spreads, IncentiveModel::Linear, 0.1);
+    [0.02, 0.04, 0.08, 0.12, 0.16, 0.2]
+        .iter()
+        .map(|&eps| {
+            let mut rma_cfg = default_rma_config(ctx);
+            rma_cfg.epsilon = eps;
+            let mut ti_cfg = default_ti_config(ctx);
+            ti_cfg.epsilon = eps.max(0.05);
+            let outcomes = compare_algorithms(ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
+            (eps, outcomes)
+        })
+        .collect()
+}
+
+/// Fig. 5 sweeps: either the number of advertisers `h` (with a fixed budget
+/// per advertiser) or the per-advertiser budget (with fixed `h = 5`) on a
+/// Weighted-Cascade scalability dataset.
+pub enum ScalabilitySweep {
+    /// Vary the number of advertisers.
+    Advertisers { budget: f64, values: Vec<usize> },
+    /// Vary the per-advertiser budget.
+    Budgets { num_ads: usize, values: Vec<f64> },
+}
+
+/// Run a Fig. 5 scalability sweep; the `f64` key of each row is `h` or the
+/// budget, depending on the sweep.
+pub fn scalability_sweep(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    sweep: ScalabilitySweep,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    let configs: Vec<(usize, f64)> = match &sweep {
+        ScalabilitySweep::Advertisers { budget, values } => {
+            values.iter().map(|&h| (h, *budget)).collect()
+        }
+        ScalabilitySweep::Budgets { num_ads, values } => {
+            values.iter().map(|&b| (*num_ads, b)).collect()
+        }
+    };
+    for (h, budget) in configs {
+        let mut sub_ctx = ctx.clone();
+        sub_ctx.num_ads = h;
+        let dataset = sub_ctx.dataset(kind);
+        let budget = (budget * ctx.scale).max(10.0);
+        let advertisers = rmsa_datasets::scalability_advertisers(h, budget);
+        // The scalability experiments use the linear incentive model with
+        // α = 0.2 (Sec. 5.2.3); WC spreads are shared across advertisers.
+        let instance = dataset.build_instance(
+            advertisers,
+            IncentiveModel::Linear,
+            0.2,
+            sub_ctx.spread_rr,
+            sub_ctx.seed ^ 0x5EED,
+        );
+        let mut rma_cfg = default_rma_config(&sub_ctx);
+        rma_cfg.strategy = RrStrategy::Subsim;
+        let mut ti_cfg = default_ti_config(&sub_ctx);
+        ti_cfg.epsilon = 0.3;
+        ti_cfg.strategy = RrStrategy::Subsim;
+        let outcomes = compare_algorithms(&sub_ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
+        let key = match &sweep {
+            ScalabilitySweep::Advertisers { .. } => h as f64,
+            ScalabilitySweep::Budgets { .. } => budget,
+        };
+        rows.push((key, outcomes));
+    }
+    rows
+}
+
+/// Fig. 7: the holistic-demand sweep. Total demand `M = Σ_i B_i / (n·cpe_i)`
+/// is split randomly across advertisers with `cpe = 1`.
+pub fn demand_sweep(ctx: &ExperimentContext, kind: DatasetKind, demands: &[f64]) -> Vec<SweepRow> {
+    let dataset = ctx.dataset(kind);
+    let n = dataset.graph.num_nodes() as f64;
+    let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
+    let mut rng = Pcg64Mcg::seed_from_u64(ctx.seed ^ 0xDE3A);
+    demands
+        .iter()
+        .map(|&m_total| {
+            // Random positive shares summing to the total demand.
+            let shares: Vec<f64> = {
+                use rand::Rng;
+                let raw: Vec<f64> = (0..ctx.num_ads).map(|_| rng.gen_range(0.5..1.5)).collect();
+                let sum: f64 = raw.iter().sum();
+                raw.iter().map(|r| r / sum * m_total).collect()
+            };
+            let advertisers: Vec<Advertiser> = shares
+                .iter()
+                .map(|&share| Advertiser::new((share * n).max(10.0), 1.0))
+                .collect();
+            let instance = dataset.build_instance_from_spreads(
+                advertisers,
+                &spreads,
+                IncentiveModel::Linear,
+                0.1,
+            );
+            let outcomes = compare_algorithms(
+                ctx,
+                &dataset,
+                &instance,
+                &default_rma_config(ctx),
+                &default_ti_config(ctx),
+            );
+            (m_total, outcomes)
+        })
+        .collect()
+}
+
+/// Fig. 8 / Table 5 (τ sweep) and Fig. 9 (ϱ sweep): RMA-only parameter
+/// sensitivity on a fixed linear-cost instance.
+pub fn rma_parameter_sweep(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    parameter: RmaParameter,
+    values: &[f64],
+) -> Vec<(f64, AlgoOutcome)> {
+    let dataset = ctx.dataset(kind);
+    let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
+    let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
+    let instance =
+        instance_for_alpha(&dataset, &advertisers, &spreads, IncentiveModel::Linear, 0.1);
+    let evaluator = ctx.evaluator(&dataset, &instance);
+    values
+        .iter()
+        .map(|&v| {
+            let mut cfg = default_rma_config(ctx);
+            match parameter {
+                RmaParameter::Tau => cfg.tau = v,
+                RmaParameter::Rho => cfg.rho = v.min(0.999),
+            }
+            let (outcome, _) = run_rma(&dataset, &instance, &evaluator, &cfg);
+            (v, outcome)
+        })
+        .collect()
+}
+
+/// Which RMA parameter [`rma_parameter_sweep`] varies.
+#[derive(Clone, Copy, Debug)]
+pub enum RmaParameter {
+    /// The binary-search accuracy τ (Fig. 8 / Table 5).
+    Tau,
+    /// The budget-overshoot ϱ (Fig. 9).
+    Rho,
+}
+
+/// Turn sweep rows into CSV lines, each prefixed with `row_prefix` (which
+/// may carry extra configuration columns such as the dataset and incentive
+/// model; it must end with a comma when non-empty).
+pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (key, outcomes) in rows {
+        for o in outcomes {
+            lines.push(format!(
+                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{:.3},{:.2},{:.2}",
+                o.algorithm,
+                o.revenue,
+                o.seeding_cost,
+                o.seeds,
+                o.time_secs,
+                o.rr_sets,
+                o.memory_mib,
+                o.budget_usage_pct,
+                o.rate_of_return_pct
+            ));
+        }
+    }
+    lines
+}
+
+/// The CSV column list appended after any configuration columns and the
+/// sweep key.
+pub const SWEEP_CSV_COLUMNS: &str =
+    "algorithm,revenue,seeding_cost,seeds,time_secs,rr_sets,memory_mib,budget_usage_pct,rate_of_return_pct";
+
+/// Print one metric of a sweep as the table the paper's figure plots.
+pub fn print_sweep_metric<F: Fn(&AlgoOutcome) -> String>(
+    title: &str,
+    key_label: &str,
+    rows: &[SweepRow],
+    metric: F,
+) {
+    println!("\n{title}");
+    println!("{:<12} {:>14} {:>14} {:>14}", key_label, "RMA", "TI-CARM", "TI-CSRM");
+    for (key, outcomes) in rows {
+        let get = |name: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.algorithm == name)
+                .map(&metric)
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "{:<12.4} {:>14} {:>14} {:>14}",
+            key,
+            get("RMA"),
+            get("TI-CARM"),
+            get("TI-CSRM")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_sweep_produces_one_row_per_alpha() {
+        let mut ctx = ExperimentContext::smoke();
+        ctx.eval_rr = 5_000;
+        ctx.spread_rr = 1_000;
+        let rows = alpha_sweep(
+            &ctx,
+            DatasetKind::LastfmSyn,
+            IncentiveModel::Linear,
+            RrStrategy::Standard,
+        );
+        assert_eq!(rows.len(), ALPHAS.len());
+        for (alpha, outcomes) in &rows {
+            assert!(ALPHAS.contains(alpha));
+            assert_eq!(outcomes.len(), 3);
+        }
+    }
+
+    #[test]
+    fn scalability_sweep_varies_the_requested_dimension() {
+        let mut ctx = ExperimentContext::smoke();
+        ctx.eval_rr = 5_000;
+        ctx.spread_rr = 500;
+        let rows = scalability_sweep(
+            &ctx,
+            DatasetKind::DblpSyn,
+            ScalabilitySweep::Advertisers {
+                budget: 100.0,
+                values: vec![1, 3],
+            },
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 1.0);
+        assert_eq!(rows[1].0, 3.0);
+    }
+
+    #[test]
+    fn rma_parameter_sweep_reports_one_outcome_per_value() {
+        let mut ctx = ExperimentContext::smoke();
+        ctx.eval_rr = 5_000;
+        ctx.spread_rr = 500;
+        let rows = rma_parameter_sweep(&ctx, DatasetKind::LastfmSyn, RmaParameter::Tau, &[0.1, 0.3]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1.algorithm, "RMA");
+    }
+}

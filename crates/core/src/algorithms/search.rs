@@ -1,0 +1,206 @@
+//! Algorithm 4: `Search(τ, b_min)` — binary search for a good threshold γ.
+//!
+//! `ThresholdGreedy`'s quality depends on γ (Theorem 3.2): small γ favours
+//! high-gain elements, large γ favours high-rate elements. `Search` probes
+//! thresholds over `[0, (1+τ)·γ_max]`, keeping the best allocation it sees,
+//! while steering the binary search with `b_min`: an iteration whose number
+//! of depleted advertisers `b` is at least `b_min` becomes the new left
+//! endpoint, otherwise the new right endpoint. The loop stops when the
+//! interval is relatively short (`(1+τ)γ_1 ≥ γ_2`) or γ_2 has become
+//! negligible (`γ_2 ≤ min_i cpe(i) / (h+6)`).
+
+use crate::algorithms::threshold_greedy::threshold_greedy;
+use crate::oracle::{marginal_rate, RevenueOracle};
+use crate::problem::{Allocation, RmInstance};
+use rmsa_graph::NodeId;
+
+/// Hard cap on binary-search iterations; the theoretical bound is
+/// `O(log(h·γ_max / min_i cpe(i)))`, which is far below this.
+const MAX_SEARCH_ITERATIONS: usize = 128;
+
+/// Everything `Search` produces: the best allocation found plus the two
+/// endpoint solutions `(T⃗*_1, b_1, γ_1)` and `(T⃗*_2, b_2, γ_2)` that
+/// `SeekUB` (Algorithm 7) needs to derive an upper bound on OPT.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The best allocation over every probed threshold.
+    pub best: Allocation,
+    /// Revenue of `best` under the oracle used for the search.
+    pub best_revenue: f64,
+    /// Left-endpoint solution `T⃗*_1` (threshold γ_1, depleted ≥ b_min).
+    pub t1: Option<Allocation>,
+    /// Number of depleted advertisers of `t1`.
+    pub b1: usize,
+    /// Left endpoint γ_1.
+    pub gamma1: f64,
+    /// Right-endpoint solution `T⃗*_2` (threshold γ_2, depleted < b_min).
+    pub t2: Option<Allocation>,
+    /// Number of depleted advertisers of `t2`.
+    pub b2: usize,
+    /// Right endpoint γ_2.
+    pub gamma2: f64,
+    /// The `b_min` used.
+    pub b_min: usize,
+    /// Number of `ThresholdGreedy` invocations.
+    pub iterations: usize,
+}
+
+/// `γ_max = max { B_j · ζ_j(v | ∅) : v ∈ V, j ∈ [h] }` (Eq. 6).
+pub fn gamma_max<O: RevenueOracle>(instance: &RmInstance, oracle: &O) -> f64 {
+    let mut best = 0.0f64;
+    for ad in 0..instance.num_ads() {
+        let budget = instance.budget(ad);
+        for v in 0..instance.num_nodes as NodeId {
+            let rev = oracle.singleton_revenue(ad, v);
+            let rate = marginal_rate(rev, instance.cost(ad, v));
+            best = best.max(budget * rate);
+        }
+    }
+    best
+}
+
+/// Run `Search(τ, b_min)` (Algorithm 4).
+pub fn search<O: RevenueOracle>(
+    instance: &RmInstance,
+    oracle: &O,
+    tau: f64,
+    b_min: usize,
+) -> SearchOutcome {
+    assert!(tau > 0.0 && tau < 1.0, "tau must lie in (0,1)");
+    assert!(b_min == 1 || b_min == 2, "b_min must be 1 or 2");
+    let h = instance.num_ads();
+    let min_cpe = (0..h).map(|i| instance.cpe(i)).fold(f64::INFINITY, f64::min);
+    let gmax = gamma_max(instance, oracle);
+
+    let mut gamma1 = 0.0f64;
+    let mut gamma2 = (1.0 + tau) * gmax;
+    let mut gamma = gamma1;
+    let mut t1: Option<Allocation> = None;
+    let mut t2: Option<Allocation> = None;
+    let mut b1 = 0usize;
+    let mut b2 = 0usize;
+    let mut best: Option<Allocation> = None;
+    let mut best_revenue = f64::NEG_INFINITY;
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        let outcome = threshold_greedy(instance, oracle, gamma);
+        let revenue = oracle.allocation_revenue(&outcome.allocation.seed_sets);
+        if revenue > best_revenue {
+            best_revenue = revenue;
+            best = Some(outcome.allocation.clone());
+        }
+        if outcome.b >= b_min {
+            t1 = Some(outcome.allocation);
+            b1 = outcome.b;
+            gamma1 = gamma;
+        } else {
+            t2 = Some(outcome.allocation);
+            b2 = outcome.b;
+            gamma2 = gamma;
+        }
+        gamma = (gamma1 + gamma2) / 2.0;
+        let interval_small = (1.0 + tau) * gamma1 >= gamma2;
+        let gamma2_negligible = gamma2 <= min_cpe / (h as f64 + 6.0);
+        if interval_small || gamma2_negligible || iterations >= MAX_SEARCH_ITERATIONS {
+            break;
+        }
+    }
+
+    SearchOutcome {
+        best: best.unwrap_or_else(|| Allocation::empty(h)),
+        best_revenue: best_revenue.max(0.0),
+        t1,
+        b1,
+        gamma1,
+        t2,
+        b2,
+        gamma2,
+        b_min,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactRevenueOracle;
+    use crate::problem::{Advertiser, SeedCosts};
+    use rmsa_diffusion::UniformIc;
+    use rmsa_graph::graph_from_edges;
+
+    fn setup(budgets: &[f64]) -> (rmsa_graph::DirectedGraph, UniformIc, RmInstance) {
+        let g = graph_from_edges(
+            12,
+            &[(0, 2), (0, 3), (0, 4), (0, 5), (1, 6), (1, 7), (1, 8)],
+        );
+        let m = UniformIc::new(budgets.len(), 1.0);
+        let inst = RmInstance::new(
+            12,
+            budgets.iter().map(|&b| Advertiser::new(b, 1.0)).collect(),
+            SeedCosts::Shared(vec![1.0; 12]),
+        );
+        (g, m, inst)
+    }
+
+    #[test]
+    fn gamma_max_matches_hand_computation() {
+        let (g, m, inst) = setup(&[10.0, 5.0]);
+        let o = ExactRevenueOracle::new(&g, &m, &inst);
+        // Best singleton rate: hub 0 with revenue 5, cost 1 → 5/6; budget 10
+        // gives 50/6 ≈ 8.33. Advertiser 1: same node, budget 5 → 25/6.
+        let gm = gamma_max(&inst, &o);
+        assert!((gm - 50.0 / 6.0).abs() < 1e-9, "gamma_max = {gm}");
+    }
+
+    #[test]
+    fn search_returns_a_feasible_disjoint_allocation() {
+        let (g, m, inst) = setup(&[9.0, 7.0]);
+        let o = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = search(&inst, &o, 0.1, 1);
+        assert!(out.best.is_disjoint());
+        for ad in 0..2 {
+            let seeds = out.best.seeds(ad);
+            let spent = o.revenue(ad, seeds) + inst.set_cost(ad, seeds);
+            assert!(spent <= inst.budget(ad) + 1e-9);
+        }
+        assert!(out.iterations >= 1);
+        assert!(out.best_revenue > 0.0);
+    }
+
+    #[test]
+    fn search_tracks_endpoint_solutions_consistently() {
+        let (g, m, inst) = setup(&[6.0, 6.0]);
+        let o = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = search(&inst, &o, 0.1, 1);
+        if let Some(_) = &out.t1 {
+            assert!(out.b1 >= 1, "t1 must have depleted at least b_min budgets");
+            assert!(out.gamma1 <= out.gamma2 + 1e-12);
+        }
+        if let Some(_) = &out.t2 {
+            assert!(out.b2 < 1 || out.t1.is_none());
+        }
+    }
+
+    #[test]
+    fn best_revenue_is_at_least_every_endpoint_revenue() {
+        let (g, m, inst) = setup(&[8.0, 8.0]);
+        let o = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = search(&inst, &o, 0.2, 1);
+        if let Some(t1) = &out.t1 {
+            assert!(out.best_revenue + 1e-9 >= o.allocation_revenue(&t1.seed_sets));
+        }
+        if let Some(t2) = &out.t2 {
+            assert!(out.best_revenue + 1e-9 >= o.allocation_revenue(&t2.seed_sets));
+        }
+    }
+
+    #[test]
+    fn search_terminates_within_the_iteration_cap() {
+        let (g, m, inst) = setup(&[100.0, 100.0]);
+        let o = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = search(&inst, &o, 0.05, 2);
+        assert!(out.iterations <= MAX_SEARCH_ITERATIONS);
+    }
+}

@@ -1,0 +1,91 @@
+//! Approximation ratios of the paper's algorithms (Eq. 1 / Theorem 3.5).
+
+/// The instance-independent approximation ratio `λ` of `RM_with_Oracle`:
+///
+/// * `h = 1`      → `1/3`
+/// * `h ∈ {2,3}`  → `1 / (2(h+1)(1+τ))`
+/// * `h ≥ 4`      → `1 / ((h+6)(1+τ))`
+///
+/// `τ ∈ (0, 1)` is the binary-search accuracy knob of `Search`.
+pub fn lambda(num_ads: usize, tau: f64) -> f64 {
+    assert!(num_ads >= 1, "at least one advertiser required");
+    assert!(
+        tau > 0.0 && tau < 1.0,
+        "tau must lie in (0, 1), got {tau}"
+    );
+    let h = num_ads as f64;
+    match num_ads {
+        1 => 1.0 / 3.0,
+        2 | 3 => 1.0 / (2.0 * (h + 1.0) * (1.0 + tau)),
+        _ => 1.0 / ((h + 6.0) * (1.0 + tau)),
+    }
+}
+
+/// The `b_min` parameter `RM_with_Oracle` passes to `Search` (Algorithm 5):
+/// `1` for `h ∈ {2,3}` and `2` for `h ≥ 4` (unused for `h = 1`).
+pub fn b_min_for(num_ads: usize) -> usize {
+    if num_ads >= 4 {
+        2
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_advertiser_ratio_is_one_third() {
+        assert!((lambda(1, 0.1) - 1.0 / 3.0).abs() < 1e-12);
+        // τ does not matter for h = 1.
+        assert_eq!(lambda(1, 0.1), lambda(1, 0.9));
+    }
+
+    #[test]
+    fn small_h_uses_the_two_h_plus_one_formula() {
+        let tau = 0.1;
+        assert!((lambda(2, tau) - 1.0 / (2.0 * 3.0 * 1.1)).abs() < 1e-12);
+        assert!((lambda(3, tau) - 1.0 / (2.0 * 4.0 * 1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_h_uses_the_h_plus_six_formula() {
+        let tau = 0.1;
+        assert!((lambda(4, tau) - 1.0 / (10.0 * 1.1)).abs() < 1e-12);
+        assert!((lambda(10, tau) - 1.0 / (16.0 * 1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_decreases_with_more_advertisers_and_larger_tau() {
+        assert!(lambda(2, 0.1) > lambda(4, 0.1));
+        assert!(lambda(4, 0.1) > lambda(10, 0.1));
+        assert!(lambda(10, 0.05) > lambda(10, 0.5));
+    }
+
+    #[test]
+    fn paper_choice_of_formula_is_the_better_one() {
+        // h + 6 <= 2(h + 1) exactly when h >= 4, so the dispatch in
+        // RM_with_Oracle always picks the larger ratio.
+        for h in 2..20usize {
+            let two_h1 = 1.0 / (2.0 * (h as f64 + 1.0) * 1.1);
+            let h6 = 1.0 / ((h as f64 + 6.0) * 1.1);
+            let chosen = lambda(h, 0.1);
+            assert!(chosen >= two_h1.max(h6) - 1e-12, "h = {h}");
+        }
+    }
+
+    #[test]
+    fn b_min_dispatch_matches_algorithm_5() {
+        assert_eq!(b_min_for(2), 1);
+        assert_eq!(b_min_for(3), 1);
+        assert_eq!(b_min_for(4), 2);
+        assert_eq!(b_min_for(17), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must lie in (0, 1)")]
+    fn invalid_tau_is_rejected() {
+        lambda(5, 1.5);
+    }
+}

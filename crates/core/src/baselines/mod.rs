@@ -1,0 +1,9 @@
+//! Baseline algorithms of Aslay et al. [5], reimplemented for comparison:
+//! CA-/CS-Greedy in the oracle setting and TI-CARM/TI-CSRM in the sampling
+//! setting.
+
+pub mod greedy_baselines;
+pub mod ti;
+
+pub use greedy_baselines::{baseline_greedy, ca_greedy, cs_greedy, BaselineRule};
+pub use ti::{ti_baseline, ti_carm, ti_csrm, TiConfig, TiResult, TiRule};

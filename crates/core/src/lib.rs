@@ -1,0 +1,56 @@
+//! # rmsa-core
+//!
+//! Reference implementation of the revenue-maximization algorithms of
+//! *"Efficient and Effective Algorithms for Revenue Maximization in Social
+//! Advertising"* (SIGMOD 2021).
+//!
+//! The crate is organised around the paper's two settings:
+//!
+//! * **Oracle setting** ([`algorithms`]): `Greedy`, `ThresholdGreedy` +
+//!   `Fill`, the binary-search driver `Search`, and the dispatcher
+//!   `RM_with_Oracle`, all generic over the [`oracle::RevenueOracle`] trait.
+//! * **Sampling setting** ([`sampling`]): the uniform RR-set revenue
+//!   estimator, the Theorem-4.2 sample-size bounds, the one-batch algorithm
+//!   and the progressive-sampling algorithm **RMA** (`RM_without_Oracle`)
+//!   with `SeekUB`.
+//!
+//! [`baselines`] re-implements the competitors of Aslay et al. (CA-/CS-Greedy,
+//! TI-CARM, TI-CSRM); [`evaluation`] measures final allocations on RR-sets
+//! independent of any algorithm; [`problem`] holds the instance/allocation
+//! types; [`approx`] exposes the paper's approximation ratios.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rmsa_core::problem::{Advertiser, RmInstance, SeedCosts};
+//! use rmsa_core::sampling::{rm_without_oracle, RmaConfig};
+//! use rmsa_diffusion::UniformIc;
+//! use rmsa_graph::generators::celebrity_graph;
+//!
+//! let graph = celebrity_graph(4, 10);
+//! let model = UniformIc::new(2, 0.3);
+//! let instance = RmInstance::new(
+//!     graph.num_nodes(),
+//!     vec![Advertiser::new(15.0, 1.0), Advertiser::new(15.0, 1.5)],
+//!     SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
+//! );
+//! let config = RmaConfig { max_rr_per_collection: 20_000, ..RmaConfig::default() };
+//! let result = rm_without_oracle(&graph, &model, &instance, &config);
+//! assert!(result.allocation.is_disjoint());
+//! ```
+
+pub mod algorithms;
+pub mod approx;
+pub mod baselines;
+pub mod evaluation;
+pub mod oracle;
+pub mod problem;
+pub mod sampling;
+mod util;
+
+pub use algorithms::{fill, greedy_single, rm_with_oracle, search, threshold_greedy};
+pub use approx::{b_min_for, lambda};
+pub use evaluation::{EvaluationReport, IndependentEvaluator};
+pub use oracle::{marginal_rate, ExactRevenueOracle, McRevenueOracle, RevenueOracle, SeedState};
+pub use problem::{Advertiser, Allocation, RmInstance, SeedCosts};
+pub use sampling::{one_batch, rm_without_oracle, RmaConfig, RmaResult, RrRevenueEstimator};

@@ -1,0 +1,320 @@
+//! The Revenue Maximization (RM) problem instance and allocations.
+//!
+//! An instance bundles everything the algorithms need besides the influence
+//! oracle itself: the advertisers (budget `B_i`, cost-per-engagement
+//! `cpe(i)`), and the seed-incentive costs `c_i(u)` for every `(node, ad)`
+//! pair. Definition 2.1 of the paper: maximise `Σ_i π_i(S_i)` subject to
+//! `π_i(S_i) + c_i(S_i) ≤ B_i` for every advertiser and `S_i ∩ S_j = ∅`.
+
+use rmsa_diffusion::AdId;
+use rmsa_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One advertiser's contract with the host.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Advertiser {
+    /// Total budget `B_i` covering both engagements and seed incentives.
+    pub budget: f64,
+    /// Cost-per-engagement `cpe(i)` the advertiser pays the host.
+    pub cpe: f64,
+}
+
+impl Advertiser {
+    /// Construct an advertiser; panics on non-positive budget or CPE.
+    pub fn new(budget: f64, cpe: f64) -> Self {
+        assert!(budget > 0.0, "budget must be positive");
+        assert!(cpe > 0.0, "cpe must be positive");
+        Advertiser { budget, cpe }
+    }
+}
+
+/// Seed-incentive costs `c_i(u)`.
+///
+/// The scalability experiments use the same cost vector for every advertiser
+/// (Weighted-Cascade probabilities are ad-independent, hence so are singleton
+/// spreads); the TIC experiments use genuinely per-ad costs. The `Shared`
+/// variant avoids an `h × n` blow-up in the former case.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SeedCosts {
+    /// One cost vector shared by every advertiser.
+    Shared(Vec<f64>),
+    /// One cost vector per advertiser (`h` rows of length `n`).
+    PerAd(Vec<Vec<f64>>),
+}
+
+impl SeedCosts {
+    /// Cost of seeding `node` for advertiser `ad`.
+    #[inline]
+    pub fn cost(&self, ad: AdId, node: NodeId) -> f64 {
+        match self {
+            SeedCosts::Shared(v) => v[node as usize],
+            SeedCosts::PerAd(rows) => rows[ad][node as usize],
+        }
+    }
+
+    /// Number of nodes covered by the cost table.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            SeedCosts::Shared(v) => v.len(),
+            SeedCosts::PerAd(rows) => rows.first().map_or(0, |r| r.len()),
+        }
+    }
+}
+
+/// A complete RM problem instance (graph and influence model live in the
+/// oracle, which is passed to the algorithms separately).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RmInstance {
+    /// Number of nodes `n` in the underlying graph.
+    pub num_nodes: usize,
+    /// The advertisers `1..h`.
+    pub advertisers: Vec<Advertiser>,
+    /// Seed-incentive costs.
+    pub costs: SeedCosts,
+}
+
+impl RmInstance {
+    /// Create an instance, validating dimensions.
+    pub fn new(num_nodes: usize, advertisers: Vec<Advertiser>, costs: SeedCosts) -> Self {
+        assert!(!advertisers.is_empty(), "at least one advertiser required");
+        assert_eq!(
+            costs.num_nodes(),
+            num_nodes,
+            "cost table does not cover every node"
+        );
+        if let SeedCosts::PerAd(rows) = &costs {
+            assert_eq!(rows.len(), advertisers.len(), "one cost row per advertiser");
+        }
+        RmInstance {
+            num_nodes,
+            advertisers,
+            costs,
+        }
+    }
+
+    /// Number of advertisers `h`.
+    #[inline]
+    pub fn num_ads(&self) -> usize {
+        self.advertisers.len()
+    }
+
+    /// Budget `B_i`.
+    #[inline]
+    pub fn budget(&self, ad: AdId) -> f64 {
+        self.advertisers[ad].budget
+    }
+
+    /// Cost-per-engagement `cpe(i)`.
+    #[inline]
+    pub fn cpe(&self, ad: AdId) -> f64 {
+        self.advertisers[ad].cpe
+    }
+
+    /// Seed cost `c_i(u)`.
+    #[inline]
+    pub fn cost(&self, ad: AdId, node: NodeId) -> f64 {
+        self.costs.cost(ad, node)
+    }
+
+    /// Total seed cost `c_i(S)` of a set.
+    pub fn set_cost(&self, ad: AdId, seeds: &[NodeId]) -> f64 {
+        seeds.iter().map(|&u| self.cost(ad, u)).sum()
+    }
+
+    /// `Γ = Σ_i cpe(i)`.
+    pub fn gamma(&self) -> f64 {
+        self.advertisers.iter().map(|a| a.cpe).sum()
+    }
+
+    /// Smallest advertiser budget `B_min`.
+    pub fn min_budget(&self) -> f64 {
+        self.advertisers
+            .iter()
+            .map(|a| a.budget)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// All CPE values in advertiser order.
+    pub fn cpe_values(&self) -> Vec<f64> {
+        self.advertisers.iter().map(|a| a.cpe).collect()
+    }
+
+    /// Return a copy of the instance with every budget multiplied by
+    /// `factor` (used by the sampling algorithms, which internally run the
+    /// oracle algorithms with budgets `(1 + ϱ/2) B_i`).
+    pub fn with_scaled_budgets(&self, factor: f64) -> Self {
+        let mut clone = self.clone();
+        for a in &mut clone.advertisers {
+            a.budget *= factor;
+        }
+        clone
+    }
+
+    /// `μ_i`: the largest number of nodes advertiser `ad` could possibly
+    /// seed without the *seed costs alone* exceeding `budget_cap`. Used by
+    /// the sample-size bounds of Theorem 4.2.
+    pub fn max_seeds_within(&self, ad: AdId, budget_cap: f64) -> usize {
+        let mut costs: Vec<f64> = (0..self.num_nodes as NodeId)
+            .map(|u| self.cost(ad, u))
+            .collect();
+        costs.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for c in costs {
+            total += c;
+            if total > budget_cap {
+                break;
+            }
+            count += 1;
+        }
+        count.max(1)
+    }
+}
+
+/// An allocation `S⃗ = (S_1, …, S_h)`: one seed set per advertiser.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Seed set per advertiser, in advertiser order.
+    pub seed_sets: Vec<Vec<NodeId>>,
+}
+
+impl Allocation {
+    /// An empty allocation for `h` advertisers.
+    pub fn empty(num_ads: usize) -> Self {
+        Allocation {
+            seed_sets: vec![Vec::new(); num_ads],
+        }
+    }
+
+    /// Number of advertisers.
+    pub fn num_ads(&self) -> usize {
+        self.seed_sets.len()
+    }
+
+    /// Seed set of advertiser `ad`.
+    pub fn seeds(&self, ad: AdId) -> &[NodeId] {
+        &self.seed_sets[ad]
+    }
+
+    /// Total number of seeds across all advertisers.
+    pub fn total_seeds(&self) -> usize {
+        self.seed_sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no advertiser has any seed.
+    pub fn is_empty(&self) -> bool {
+        self.seed_sets.iter().all(|s| s.is_empty())
+    }
+
+    /// Total seed-incentive cost `Σ_i c_i(S_i)` under `instance`.
+    pub fn total_cost(&self, instance: &RmInstance) -> f64 {
+        self.seed_sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| instance.set_cost(i, s))
+            .sum()
+    }
+
+    /// Check the partition-matroid constraint: no node is seeded for two
+    /// different advertisers and no seed set contains duplicates.
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for set in &self.seed_sets {
+            for &u in set {
+                if !seen.insert(u) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> RmInstance {
+        RmInstance::new(
+            4,
+            vec![Advertiser::new(10.0, 1.0), Advertiser::new(20.0, 2.0)],
+            SeedCosts::PerAd(vec![
+                vec![1.0, 2.0, 3.0, 4.0],
+                vec![0.5, 0.5, 0.5, 0.5],
+            ]),
+        )
+    }
+
+    #[test]
+    fn accessors_return_expected_values() {
+        let inst = small_instance();
+        assert_eq!(inst.num_ads(), 2);
+        assert_eq!(inst.budget(1), 20.0);
+        assert_eq!(inst.cpe(0), 1.0);
+        assert_eq!(inst.cost(0, 2), 3.0);
+        assert_eq!(inst.cost(1, 2), 0.5);
+        assert_eq!(inst.gamma(), 3.0);
+        assert_eq!(inst.min_budget(), 10.0);
+        assert_eq!(inst.set_cost(0, &[0, 3]), 5.0);
+    }
+
+    #[test]
+    fn shared_costs_apply_to_every_ad() {
+        let inst = RmInstance::new(
+            3,
+            vec![Advertiser::new(5.0, 1.0), Advertiser::new(5.0, 1.0)],
+            SeedCosts::Shared(vec![1.0, 2.0, 3.0]),
+        );
+        assert_eq!(inst.cost(0, 1), inst.cost(1, 1));
+    }
+
+    #[test]
+    fn scaled_budgets_only_change_budgets() {
+        let inst = small_instance();
+        let scaled = inst.with_scaled_budgets(1.5);
+        assert_eq!(scaled.budget(0), 15.0);
+        assert_eq!(scaled.budget(1), 30.0);
+        assert_eq!(scaled.cpe(0), inst.cpe(0));
+        assert_eq!(scaled.cost(0, 1), inst.cost(0, 1));
+    }
+
+    #[test]
+    fn max_seeds_within_counts_cheapest_prefix() {
+        let inst = small_instance();
+        // Ad 0 costs sorted: 1,2,3,4 — budget cap 6 allows {1,2,3}.
+        assert_eq!(inst.max_seeds_within(0, 6.0), 3);
+        // Ad 1: four nodes at 0.5 each fit in 20.
+        assert_eq!(inst.max_seeds_within(1, 20.0), 4);
+        // Even a zero cap reports at least one node.
+        assert_eq!(inst.max_seeds_within(0, 0.0), 1);
+    }
+
+    #[test]
+    fn allocation_cost_and_disjointness() {
+        let inst = small_instance();
+        let mut alloc = Allocation::empty(2);
+        alloc.seed_sets[0] = vec![0, 1];
+        alloc.seed_sets[1] = vec![2];
+        assert_eq!(alloc.total_seeds(), 3);
+        assert!((alloc.total_cost(&inst) - 3.5).abs() < 1e-12);
+        assert!(alloc.is_disjoint());
+        alloc.seed_sets[1].push(0);
+        assert!(!alloc.is_disjoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "cost table")]
+    fn mismatched_cost_table_is_rejected() {
+        RmInstance::new(
+            5,
+            vec![Advertiser::new(1.0, 1.0)],
+            SeedCosts::Shared(vec![1.0, 1.0]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn nonpositive_budget_rejected() {
+        Advertiser::new(0.0, 1.0);
+    }
+}

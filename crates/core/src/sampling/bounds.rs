@@ -1,0 +1,224 @@
+//! Sample-size and concentration bounds for the sampling algorithms
+//! (Theorem 4.2 and the UB/LB formulas of Algorithm 6).
+
+use crate::problem::RmInstance;
+
+/// Inputs shared by every bound: problem-size quantities derived from the
+/// instance plus the user parameters.
+#[derive(Clone, Debug)]
+pub struct BoundParams {
+    /// Number of nodes `n`.
+    pub n: f64,
+    /// Number of advertisers `h`.
+    pub h: f64,
+    /// `Γ = Σ_i cpe(i)`.
+    pub gamma: f64,
+    /// Smallest budget `B_min`.
+    pub b_min: f64,
+    /// `μ_i`: max nodes advertiser `i` can seed within `(1+ϱ)B_i`.
+    pub mu: Vec<f64>,
+    /// `μ = max_i μ_i`.
+    pub mu_max: f64,
+}
+
+impl BoundParams {
+    /// Derive the bound parameters from an instance and the budget-overshoot
+    /// parameter ϱ.
+    pub fn from_instance(instance: &RmInstance, rho: f64) -> Self {
+        let h = instance.num_ads();
+        let mu: Vec<f64> = (0..h)
+            .map(|i| instance.max_seeds_within(i, (1.0 + rho) * instance.budget(i)) as f64)
+            .collect();
+        let mu_max = mu.iter().copied().fold(1.0f64, f64::max);
+        BoundParams {
+            n: instance.num_nodes as f64,
+            h: h as f64,
+            gamma: instance.gamma(),
+            b_min: instance.min_budget(),
+            mu,
+            mu_max,
+        }
+    }
+}
+
+/// `ε_1` of Eq. (15): the split of ε used by `θ̂_max`.
+fn epsilon_one(params: &BoundParams, epsilon: f64, delta: f64, lambda: f64) -> f64 {
+    let ln4d = (4.0 / delta).ln();
+    let sum_mu: f64 = params
+        .mu
+        .iter()
+        .map(|&mu_i| mu_i * (std::f64::consts::E * params.n / mu_i).ln())
+        .sum();
+    epsilon * ln4d.sqrt() / (lambda * ln4d.sqrt() + (lambda * (ln4d + sum_mu)).sqrt())
+}
+
+/// `θ̂_max` of Theorem 4.2.
+pub fn theta_hat_max(params: &BoundParams, epsilon: f64, delta: f64, lambda: f64) -> f64 {
+    let ln4d = (4.0 / delta).ln();
+    let sum_mu: f64 = params
+        .mu
+        .iter()
+        .map(|&mu_i| mu_i * (std::f64::consts::E * params.n / mu_i).ln())
+        .sum();
+    let inner = lambda * ln4d.sqrt() + (lambda * (ln4d + sum_mu)).sqrt();
+    2.0 * params.n / (epsilon * epsilon) * inner * inner
+}
+
+/// `θ̄_max` of Theorem 4.2.
+pub fn theta_bar_max(params: &BoundParams, rho: f64, delta: f64) -> f64 {
+    let mu = params.mu_max;
+    8.0 * params.n * params.gamma * (1.0 + rho) / (rho * rho * params.b_min)
+        * ((4.0 * params.h / delta).ln() + mu * (std::f64::consts::E * params.n / mu).ln())
+}
+
+/// `θ_max = max(θ̂_max, θ̄_max)`.
+pub fn theta_max(params: &BoundParams, epsilon: f64, delta: f64, lambda: f64, rho: f64) -> f64 {
+    theta_hat_max(params, epsilon, delta, lambda).max(theta_bar_max(params, rho, delta))
+}
+
+/// `θ_0` of Algorithm 6 line 3: the initial batch size.
+pub fn theta_zero(params: &BoundParams, rho: f64, delta_prime: f64) -> f64 {
+    4.0 * params.n * params.gamma * (2.0 + rho / 3.0) / (rho * rho * params.b_min)
+        * (params.h / delta_prime).ln()
+}
+
+/// The per-check failure exponent `q = ln((h+2)·t_max / δ')` of Algorithm 6
+/// line 3.
+pub fn failure_exponent(h: usize, t_max: usize, delta_prime: f64) -> f64 {
+    (((h as f64) + 2.0) * t_max as f64 / delta_prime).ln()
+}
+
+/// Martingale-style upper bound on a true revenue given its estimated
+/// coverage count (Algorithm 6 lines 10 and 13):
+/// `UB = ( sqrt(cov + q/2) + sqrt(q/2) )² · nΓ / |R|`.
+pub fn revenue_upper_bound(coverage_count: f64, q: f64, n_gamma: f64, num_rr: usize) -> f64 {
+    if num_rr == 0 {
+        return f64::INFINITY;
+    }
+    let s = ((coverage_count + q / 2.0).sqrt() + (q / 2.0).sqrt()).powi(2);
+    s * n_gamma / num_rr as f64
+}
+
+/// Martingale-style lower bound on a true revenue given its estimated
+/// coverage count (Algorithm 6 line 12):
+/// `LB = ( (sqrt(cov + 2q/9) − sqrt(q/2))² − q/18 ) · nΓ / |R|`, clamped at 0.
+pub fn revenue_lower_bound(coverage_count: f64, q: f64, n_gamma: f64, num_rr: usize) -> f64 {
+    if num_rr == 0 {
+        return 0.0;
+    }
+    let root = (coverage_count + 2.0 * q / 9.0).sqrt() - (q / 2.0).sqrt();
+    let s = root.max(0.0).powi(2) - q / 18.0;
+    (s * n_gamma / num_rr as f64).max(0.0)
+}
+
+/// `ε_2 = ε − λ·ε_1` of Eq. (16); exposed for the one-batch analysis tests.
+pub fn epsilon_two(params: &BoundParams, epsilon: f64, delta: f64, lambda: f64) -> f64 {
+    epsilon - lambda * epsilon_one(params, epsilon, delta, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Advertiser, SeedCosts};
+
+    fn params() -> BoundParams {
+        let inst = RmInstance::new(
+            100,
+            vec![Advertiser::new(50.0, 1.0), Advertiser::new(80.0, 2.0)],
+            SeedCosts::Shared(vec![1.0; 100]),
+        );
+        BoundParams::from_instance(&inst, 0.1)
+    }
+
+    #[test]
+    fn bound_params_reflect_the_instance() {
+        let p = params();
+        assert_eq!(p.n, 100.0);
+        assert_eq!(p.h, 2.0);
+        assert_eq!(p.gamma, 3.0);
+        assert_eq!(p.b_min, 50.0);
+        // With unit costs, μ_0 = floor(1.1·50) = 55, μ_1 = floor(1.1·80) = 88.
+        assert_eq!(p.mu, vec![55.0, 88.0]);
+        assert_eq!(p.mu_max, 88.0);
+    }
+
+    #[test]
+    fn theta_max_dominates_both_components() {
+        let p = params();
+        let (eps, delta, lam, rho) = (0.1, 0.01, 0.2, 0.1);
+        let t = theta_max(&p, eps, delta, lam, rho);
+        assert!(t >= theta_hat_max(&p, eps, delta, lam));
+        assert!(t >= theta_bar_max(&p, rho, delta));
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn theta_values_grow_as_epsilon_and_rho_shrink() {
+        let p = params();
+        assert!(
+            theta_hat_max(&p, 0.05, 0.01, 0.2) > theta_hat_max(&p, 0.1, 0.01, 0.2),
+            "θ̂ must grow when ε shrinks"
+        );
+        assert!(
+            theta_bar_max(&p, 0.05, 0.01) > theta_bar_max(&p, 0.1, 0.01),
+            "θ̄ must grow when ϱ shrinks"
+        );
+        assert!(
+            theta_zero(&p, 0.05, 0.0025) > theta_zero(&p, 0.1, 0.0025),
+            "θ₀ must grow when ϱ shrinks"
+        );
+    }
+
+    #[test]
+    fn theta_zero_is_far_below_theta_max() {
+        let p = params();
+        let t0 = theta_zero(&p, 0.1, 0.0025);
+        let tm = theta_max(&p, 0.1, 0.01, 0.2, 0.1);
+        assert!(t0 < tm, "θ₀ = {t0} should be below θ_max = {tm}");
+    }
+
+    #[test]
+    fn upper_bound_exceeds_point_estimate_and_lower_bound() {
+        let (q, n_gamma, num_rr) = (5.0, 300.0, 10_000usize);
+        for &cov in &[0.0, 3.0, 40.0, 900.0] {
+            let point = cov * n_gamma / num_rr as f64;
+            let ub = revenue_upper_bound(cov, q, n_gamma, num_rr);
+            let lb = revenue_lower_bound(cov, q, n_gamma, num_rr);
+            assert!(ub >= point - 1e-12, "cov = {cov}");
+            assert!(lb <= point + 1e-12, "cov = {cov}");
+            assert!(lb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_as_the_sample_grows() {
+        let q = 4.0;
+        let n_gamma = 100.0;
+        // Same underlying revenue (cov proportional to |R|).
+        let ub_small = revenue_upper_bound(50.0, q, n_gamma, 1_000);
+        let ub_large = revenue_upper_bound(5_000.0, q, n_gamma, 100_000);
+        let lb_small = revenue_lower_bound(50.0, q, n_gamma, 1_000);
+        let lb_large = revenue_lower_bound(5_000.0, q, n_gamma, 100_000);
+        assert!(ub_large - lb_large < ub_small - lb_small);
+    }
+
+    #[test]
+    fn degenerate_sample_sizes_are_handled() {
+        assert!(revenue_upper_bound(0.0, 1.0, 10.0, 0).is_infinite());
+        assert_eq!(revenue_lower_bound(0.0, 1.0, 10.0, 0), 0.0);
+    }
+
+    #[test]
+    fn epsilon_split_is_consistent() {
+        let p = params();
+        let (eps, delta, lam) = (0.1, 0.01, 0.25);
+        let e2 = epsilon_two(&p, eps, delta, lam);
+        assert!(e2 > 0.0 && e2 < eps);
+    }
+
+    #[test]
+    fn failure_exponent_grows_with_iterations_and_ads() {
+        assert!(failure_exponent(10, 20, 0.01) > failure_exponent(10, 10, 0.01));
+        assert!(failure_exponent(20, 10, 0.01) > failure_exponent(5, 10, 0.01));
+    }
+}

@@ -1,0 +1,131 @@
+//! Small internal utilities shared by the greedy algorithms.
+
+use rmsa_diffusion::AdId;
+use rmsa_graph::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(key, node, ad)` max-heap entry with a per-advertiser version stamp
+/// used for CELF-style lazy greedy evaluation: an entry whose stamp is older
+/// than its advertiser's current version carries a stale (upper-bound) key
+/// and must be re-evaluated before it can be selected.
+#[derive(Clone, Copy, Debug)]
+pub struct LazyEntry {
+    /// Cached key (marginal gain or marginal rate). By submodularity it is
+    /// an upper bound on the current value whenever it is stale.
+    pub key: f64,
+    /// Candidate node.
+    pub node: NodeId,
+    /// Candidate advertiser.
+    pub ad: AdId,
+    /// Version of `ad`'s seed set when `key` was computed.
+    pub version: u32,
+}
+
+impl PartialEq for LazyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.node == other.node && self.ad == other.ad
+    }
+}
+
+impl Eq for LazyEntry {}
+
+impl PartialOrd for LazyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LazyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by key; NaN keys are rejected at construction time.
+        self.key
+            .partial_cmp(&other.key)
+            .expect("heap keys must not be NaN")
+            .then_with(|| self.node.cmp(&other.node))
+            .then_with(|| self.ad.cmp(&other.ad))
+    }
+}
+
+/// A CELF lazy-greedy priority queue over `(node, advertiser)` candidates.
+#[derive(Clone, Debug, Default)]
+pub struct LazyQueue {
+    heap: BinaryHeap<LazyEntry>,
+}
+
+#[cfg_attr(not(test), allow(dead_code))]
+impl LazyQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        LazyQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Empty queue with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        LazyQueue {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    /// Number of entries currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidates remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Insert a candidate with the given cached key.
+    pub fn push(&mut self, key: f64, node: NodeId, ad: AdId, version: u32) {
+        debug_assert!(!key.is_nan(), "heap keys must not be NaN");
+        self.heap.push(LazyEntry {
+            key,
+            node,
+            ad,
+            version,
+        });
+    }
+
+    /// Pop the entry with the largest cached key.
+    pub fn pop(&mut self) -> Option<LazyEntry> {
+        self.heap.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_descending_key_order() {
+        let mut q = LazyQueue::new();
+        q.push(1.0, 0, 0, 0);
+        q.push(5.0, 1, 0, 0);
+        q.push(3.0, 2, 1, 0);
+        let keys: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.key)).collect();
+        assert_eq!(keys, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let mut q = LazyQueue::new();
+        q.push(2.0, 3, 0, 0);
+        q.push(2.0, 7, 0, 0);
+        assert_eq!(q.pop().unwrap().node, 7);
+        assert_eq!(q.pop().unwrap().node, 3);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = LazyQueue::with_capacity(4);
+        assert!(q.is_empty());
+        q.push(1.0, 0, 0, 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

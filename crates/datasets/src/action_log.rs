@@ -1,0 +1,213 @@
+//! Simulated action logs and TIC-parameter learning.
+//!
+//! The paper learns the per-topic edge probabilities of Flixster and LastFM
+//! from real action logs ("a log of past propagation", [9]). We do not have
+//! those logs, so this module closes the same loop synthetically: starting
+//! from a ground-truth TIC model it simulates propagation episodes tagged
+//! with a topic, records who activated whom, and re-estimates each edge's
+//! per-topic probability by maximum likelihood (successful activations over
+//! attempts). The learned model — not the ground truth — is what the dataset
+//! builders feed to the algorithms, so the end-to-end code path matches the
+//! paper's pipeline.
+
+use rand::Rng;
+use rmsa_diffusion::TicModel;
+use rmsa_graph::{DirectedGraph, NodeId};
+
+/// One recorded propagation episode: the topic it was about and, for every
+/// edge along which an activation was *attempted*, whether it succeeded.
+#[derive(Clone, Debug)]
+pub struct Episode {
+    /// Topic of the propagated item.
+    pub topic: usize,
+    /// `(edge id, succeeded)` attempts observed during the cascade.
+    pub attempts: Vec<(u32, bool)>,
+}
+
+/// Simulate `episodes_per_topic` cascades per topic from `ground_truth`,
+/// each started at a uniformly random seed node.
+pub fn simulate_action_log<R: Rng>(
+    graph: &DirectedGraph,
+    ground_truth: &TicModel,
+    episodes_per_topic: usize,
+    rng: &mut R,
+) -> Vec<Episode> {
+    let n = graph.num_nodes();
+    let mut log = Vec::with_capacity(ground_truth.num_topics() * episodes_per_topic);
+    for topic in 0..ground_truth.num_topics() {
+        for _ in 0..episodes_per_topic {
+            let seed = rng.gen_range(0..n as NodeId);
+            let mut active = vec![false; n];
+            active[seed as usize] = true;
+            let mut frontier = vec![seed];
+            let mut attempts = Vec::new();
+            while let Some(u) = frontier.pop() {
+                for (v, e) in graph.out_edges(u) {
+                    if active[v as usize] {
+                        continue;
+                    }
+                    let p = ground_truth.topic_edge_prob(topic, e);
+                    let success = p > 0.0 && rng.gen_bool(p.min(1.0));
+                    attempts.push((e, success));
+                    if success {
+                        active[v as usize] = true;
+                        frontier.push(v);
+                    }
+                }
+            }
+            log.push(Episode { topic, attempts });
+        }
+    }
+    log
+}
+
+/// Learn per-topic edge probabilities from an action log by frequency
+/// estimation: `p̂^z_e = successes / attempts`, with Laplace smoothing
+/// (`+0/+1`) replaced by simply reporting 0 for never-attempted edges (the
+/// paper's learner likewise assigns positive probabilities only to observed
+/// influence relationships).
+pub fn learn_topic_probs(
+    num_edges: usize,
+    num_topics: usize,
+    log: &[Episode],
+) -> Vec<Vec<f32>> {
+    let mut successes = vec![vec![0u32; num_edges]; num_topics];
+    let mut attempts = vec![vec![0u32; num_edges]; num_topics];
+    for episode in log {
+        for &(e, ok) in &episode.attempts {
+            attempts[episode.topic][e as usize] += 1;
+            if ok {
+                successes[episode.topic][e as usize] += 1;
+            }
+        }
+    }
+    (0..num_topics)
+        .map(|z| {
+            (0..num_edges)
+                .map(|e| {
+                    if attempts[z][e] == 0 {
+                        0.0
+                    } else {
+                        successes[z][e] as f32 / attempts[z][e] as f32
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Convenience: simulate a log from `ground_truth` and return a new TIC model
+/// with the learned probabilities and the same ad mixtures.
+pub fn relearn_tic_model<R: Rng>(
+    graph: &DirectedGraph,
+    ground_truth: &TicModel,
+    ad_mixtures: Vec<Vec<f32>>,
+    episodes_per_topic: usize,
+    rng: &mut R,
+) -> TicModel {
+    let log = simulate_action_log(graph, ground_truth, episodes_per_topic, rng);
+    let learned = learn_topic_probs(graph.num_edges(), ground_truth.num_topics(), &log);
+    TicModel::new(graph.num_edges(), learned, ad_mixtures)
+}
+
+/// Mean absolute error between two per-topic probability tables, over the
+/// entries where at least one of them is positive. Used to validate that the
+/// learner recovers the ground truth as the log grows.
+pub fn probability_mae(a: &[Vec<f32>], b: &[Vec<f32>]) -> f64 {
+    let mut err = 0.0f64;
+    let mut count = 0usize;
+    for (ra, rb) in a.iter().zip(b) {
+        for (&pa, &pb) in ra.iter().zip(rb) {
+            if pa > 0.0 || pb > 0.0 {
+                err += (pa as f64 - pb as f64).abs();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        err / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topics::{random_ad_mixtures, trivalency_topic_probs};
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+    use rmsa_diffusion::PropagationModel;
+    use rmsa_graph::generators::{celebrity_graph, erdos_renyi};
+
+    fn rng() -> Pcg64Mcg {
+        Pcg64Mcg::seed_from_u64(404)
+    }
+
+    #[test]
+    fn episodes_record_only_real_edges() {
+        let g = celebrity_graph(3, 4);
+        let probs = vec![vec![0.5f32; g.num_edges()]];
+        let model = TicModel::new(g.num_edges(), probs, vec![vec![1.0]]);
+        let log = simulate_action_log(&g, &model, 50, &mut rng());
+        assert_eq!(log.len(), 50);
+        for ep in &log {
+            assert_eq!(ep.topic, 0);
+            for &(e, _) in &ep.attempts {
+                assert!((e as usize) < g.num_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn learner_recovers_deterministic_probabilities_exactly() {
+        let g = celebrity_graph(2, 5);
+        let m = g.num_edges();
+        // Topic 0: always propagate; topic 1: never.
+        let truth = TicModel::new(m, vec![vec![1.0; m], vec![0.0; m]], vec![vec![0.5, 0.5]]);
+        let log = simulate_action_log(&g, &truth, 200, &mut rng());
+        let learned = learn_topic_probs(m, 2, &log);
+        for e in 0..m {
+            if learned[0][e] > 0.0 {
+                assert_eq!(learned[0][e], 1.0);
+            }
+            assert_eq!(learned[1][e], 0.0);
+        }
+    }
+
+    #[test]
+    fn learning_error_shrinks_with_more_episodes() {
+        let g = erdos_renyi(80, 0.05, &mut rng());
+        let m = g.num_edges();
+        let truth_probs = trivalency_topic_probs(m, 2, 0.8, &mut rng());
+        let truth = TicModel::new(m, truth_probs.clone(), random_ad_mixtures(2, 2, 1, &mut rng()));
+        let small = simulate_action_log(&g, &truth, 30, &mut rng());
+        let large = simulate_action_log(&g, &truth, 800, &mut rng());
+        let err_small = probability_mae(&truth_probs, &learn_topic_probs(m, 2, &small));
+        let err_large = probability_mae(&truth_probs, &learn_topic_probs(m, 2, &large));
+        assert!(
+            err_large <= err_small + 1e-3,
+            "more data should not hurt: {err_small} -> {err_large}"
+        );
+    }
+
+    #[test]
+    fn relearned_model_is_usable_for_propagation() {
+        let g = celebrity_graph(3, 3);
+        let m = g.num_edges();
+        let truth = TicModel::new(m, vec![vec![0.6; m]], vec![vec![1.0], vec![1.0]]);
+        let relearned = relearn_tic_model(&g, &truth, vec![vec![1.0], vec![1.0]], 300, &mut rng());
+        assert_eq!(relearned.num_ads(), 2);
+        // Edge probabilities must remain valid probabilities.
+        for e in 0..m as u32 {
+            let p = relearned.edge_prob(0, e);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn mae_of_identical_tables_is_zero() {
+        let a = vec![vec![0.1f32, 0.0, 0.5]];
+        assert_eq!(probability_mae(&a, &a), 0.0);
+    }
+}

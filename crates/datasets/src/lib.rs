@@ -1,0 +1,28 @@
+//! # rmsa-datasets
+//!
+//! Synthetic stand-ins for the paper's four datasets plus everything the
+//! experiments need to turn a graph into a full RM instance:
+//!
+//! * [`datasets`] — builders for `lastfm-syn`, `flixster-syn`, `dblp-syn`
+//!   and `livejournal-syn`, with node/edge counts matched to Table 1 (the
+//!   LiveJournal stand-in defaults to a scaled-down version; see DESIGN.md
+//!   for the substitution rationale).
+//! * [`topics`] — random topic mixtures and per-topic edge probabilities of
+//!   the TIC model.
+//! * [`action_log`] — simulation of propagation logs and re-learning of the
+//!   per-topic probabilities from them, mirroring how the paper obtains TIC
+//!   parameters from the Flixster/LastFM action logs.
+//! * [`incentives`] — the Linear / QuasiLinear / SuperLinear seed-incentive
+//!   cost models of Section 5.1.
+//! * [`config`] — advertiser budget/CPE settings matching Table 2 and the
+//!   scalability experiments.
+
+pub mod action_log;
+pub mod config;
+pub mod datasets;
+pub mod incentives;
+pub mod topics;
+
+pub use config::{scalability_advertisers, table2_advertisers};
+pub use datasets::{Dataset, DatasetKind, DatasetModel};
+pub use incentives::IncentiveModel;

@@ -1,0 +1,196 @@
+//! Exact expected-spread computation by possible-world enumeration.
+//!
+//! Computing `σ_i(S)` exactly is #P-hard in general, but for graphs with at
+//! most a couple of dozen edges it can be done by enumerating every subset
+//! of live edges ("possible world"), weighting each world by its
+//! probability, and counting the nodes reachable from the seed set. This
+//! oracle is what the paper's Section-3 algorithms assume; in this
+//! repository it is used to (a) drive the oracle-mode algorithms in tests
+//! and examples on tiny instances, and (b) validate the Monte-Carlo and
+//! RR-set estimators against ground truth.
+
+use crate::models::{AdId, PropagationModel};
+use rmsa_graph::{DirectedGraph, NodeId};
+
+/// Maximum number of edges for which enumeration is permitted (2^24 worlds
+/// would already take minutes; we cap well below that).
+pub const MAX_EXACT_EDGES: usize = 22;
+
+/// Exact influence-spread oracle for tiny graphs.
+///
+/// Construction precomputes nothing heavy; every [`ExactOracle::spread`]
+/// call enumerates the `2^m` possible worlds for the queried ad. A per-ad
+/// cache of worlds (edge-probability vectors) avoids recomputing the model's
+/// probabilities.
+pub struct ExactOracle<'g, M: PropagationModel> {
+    graph: &'g DirectedGraph,
+    model: &'g M,
+    /// Per-ad edge-probability vectors, filled lazily.
+    edge_probs: Vec<Option<Vec<f64>>>,
+}
+
+impl<'g, M: PropagationModel> ExactOracle<'g, M> {
+    /// Create an exact oracle. Panics if the graph has more than
+    /// [`MAX_EXACT_EDGES`] edges.
+    pub fn new(graph: &'g DirectedGraph, model: &'g M) -> Self {
+        assert!(
+            graph.num_edges() <= MAX_EXACT_EDGES,
+            "exact enumeration limited to {MAX_EXACT_EDGES} edges, graph has {}",
+            graph.num_edges()
+        );
+        ExactOracle {
+            graph,
+            model,
+            edge_probs: vec![None; model.num_ads()],
+        }
+    }
+
+    fn probs_for(&mut self, ad: AdId) -> Vec<f64> {
+        if self.edge_probs[ad].is_none() {
+            let probs: Vec<f64> = self
+                .graph
+                .edges()
+                .map(|(_, _, e)| self.model.edge_prob(ad, e))
+                .collect();
+            self.edge_probs[ad] = Some(probs);
+        }
+        self.edge_probs[ad].clone().unwrap()
+    }
+
+    /// Exact expected spread `σ_ad(seeds)`.
+    pub fn spread(&mut self, ad: AdId, seeds: &[NodeId]) -> f64 {
+        if seeds.is_empty() {
+            return 0.0;
+        }
+        let m = self.graph.num_edges();
+        let probs = self.probs_for(ad);
+        let edges: Vec<(NodeId, NodeId)> = self
+            .graph
+            .edges()
+            .map(|(u, v, _)| (u, v))
+            .collect();
+        let n = self.graph.num_nodes();
+        let mut expected = 0.0f64;
+        // Enumerate every subset of live edges.
+        for world in 0u64..(1u64 << m) {
+            let mut weight = 1.0f64;
+            for (e, &p) in probs.iter().enumerate() {
+                let live = (world >> e) & 1 == 1;
+                weight *= if live { p } else { 1.0 - p };
+                if weight == 0.0 {
+                    break;
+                }
+            }
+            if weight == 0.0 {
+                continue;
+            }
+            // BFS over live edges only.
+            let mut active = vec![false; n];
+            let mut stack: Vec<NodeId> = Vec::new();
+            let mut count = 0usize;
+            for &s in seeds {
+                if !active[s as usize] {
+                    active[s as usize] = true;
+                    count += 1;
+                    stack.push(s);
+                }
+            }
+            while let Some(u) = stack.pop() {
+                for (e, &(a, b)) in edges.iter().enumerate() {
+                    if a == u && (world >> e) & 1 == 1 && !active[b as usize] {
+                        active[b as usize] = true;
+                        count += 1;
+                        stack.push(b);
+                    }
+                }
+            }
+            expected += weight * count as f64;
+        }
+        expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{TicModel, UniformIc};
+    use crate::simulate::estimate_spread;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+    use rmsa_graph::graph_from_edges;
+
+    #[test]
+    fn chain_spread_closed_form() {
+        // 0 -> 1 -> 2 with probability p on both edges:
+        // σ({0}) = 1 + p + p^2.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let p = 0.4;
+        let m = UniformIc::new(1, p);
+        let mut oracle = ExactOracle::new(&g, &m);
+        let s = oracle.spread(0, &[0]);
+        assert!((s - (1.0 + p + p * p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_spread_closed_form() {
+        // 0 -> {1,2} -> 3 with probability p everywhere.
+        // σ({0}) = 1 + 2p + P(3 reached), P = 1 - (1 - p^2)^2.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = 0.5;
+        let m = UniformIc::new(1, p);
+        let mut oracle = ExactOracle::new(&g, &m);
+        let s = oracle.spread(0, &[0]);
+        let expect = 1.0 + 2.0 * p + (1.0 - (1.0 - p * p) * (1.0 - p * p));
+        assert!((s - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4), (1, 4)]);
+        let m = UniformIc::new(1, 0.35);
+        let mut oracle = ExactOracle::new(&g, &m);
+        let exact = oracle.spread(0, &[0]);
+        let mut rng = Pcg64Mcg::seed_from_u64(5);
+        let mc = estimate_spread(&g, &m, 0, &[0], 40_000, &mut rng);
+        assert!(
+            (exact - mc).abs() < 0.05,
+            "exact {exact} vs monte-carlo {mc}"
+        );
+    }
+
+    #[test]
+    fn spread_is_monotone_and_submodular_on_a_small_instance() {
+        let g = graph_from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
+        let m = UniformIc::new(1, 0.6);
+        let mut o = ExactOracle::new(&g, &m);
+        let f_empty_0 = o.spread(0, &[0]);
+        let f_1 = o.spread(0, &[1]);
+        let f_01 = o.spread(0, &[0, 1]);
+        // Monotonicity.
+        assert!(f_01 >= f_1 - 1e-12 && f_01 >= f_empty_0 - 1e-12);
+        // Submodularity: marginal of adding 0 to {} >= marginal of adding 0 to {1}.
+        assert!(f_empty_0 - 0.0 >= f_01 - f_1 - 1e-9);
+    }
+
+    #[test]
+    fn per_ad_probabilities_are_respected() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let tic = TicModel::new(
+            1,
+            vec![vec![0.2], vec![0.8]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        );
+        let mut o = ExactOracle::new(&g, &tic);
+        assert!((o.spread(0, &[0]) - 1.2).abs() < 1e-6);
+        assert!((o.spread(1, &[0]) - 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn rejects_large_graphs() {
+        let edges: Vec<(u32, u32)> = (0..40u32).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(41, &edges);
+        let m = UniformIc::new(1, 0.5);
+        let _ = ExactOracle::new(&g, &m);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rmsa-diffusion
+//!
+//! Influence-propagation substrate for the revenue-maximization
+//! reproduction:
+//!
+//! * [`models`] — edge-probability models: the Topic-aware Independent
+//!   Cascade (TIC) model of Barbieri et al. used by the paper, the
+//!   Weighted-Cascade model used for the scalability datasets, and a uniform
+//!   IC model for tests.
+//! * [`simulate`] — forward Monte-Carlo simulation of the cascade process
+//!   and spread estimation (the "influence oracle" of Section 3).
+//! * [`exact`] — exact expected-spread computation by possible-world
+//!   enumeration, feasible only for tiny graphs and used to validate both
+//!   the simulator and the RR-set estimators in tests.
+//! * [`rr`] — reverse-reachable (RR) set generation: the standard reverse
+//!   BFS of Borgs et al. and a SUBSIM-style generator that uses geometric
+//!   skipping when a node's incoming probabilities are uniform.
+//! * [`sampler`] — the paper's uniform sampling method (Section 4.2): each
+//!   RR-set first samples an advertiser proportional to its CPE and then a
+//!   uniform root, plus the coverage index used for fast marginal-gain
+//!   queries.
+
+pub mod exact;
+pub mod models;
+pub mod rr;
+pub mod sampler;
+pub mod simulate;
+
+pub use models::{AdId, MaterializedModel, PropagationModel, TicModel, UniformIc, WeightedCascade};
+pub use rr::{RrGenerator, RrSet, RrStrategy};
+pub use sampler::{RrCollection, RrCoverage, UniformRrSampler};
+pub use simulate::{estimate_spread, simulate_once};

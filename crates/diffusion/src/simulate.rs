@@ -1,0 +1,155 @@
+//! Forward Monte-Carlo simulation of the independent-cascade process.
+//!
+//! This is the "influence spread oracle" used by the Section-3 algorithms
+//! (approximated by averaging many simulations) and by the experiment
+//! harness to measure the revenue of final allocations independently of the
+//! RR-sets used during optimisation.
+
+use crate::models::{AdId, PropagationModel};
+use rand::Rng;
+use rmsa_graph::{DirectedGraph, NodeId};
+
+/// Run a single cascade of ad `ad` from `seeds` and return the activated
+/// nodes (including the seeds). Each newly activated node gets one chance to
+/// activate each currently inactive out-neighbour with the model's edge
+/// probability — the Independent Cascade semantics of Sec. 2.1.
+pub fn simulate_once<M: PropagationModel, R: Rng>(
+    graph: &DirectedGraph,
+    model: &M,
+    ad: AdId,
+    seeds: &[NodeId],
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut active = vec![false; graph.num_nodes()];
+    let mut activated = Vec::with_capacity(seeds.len());
+    let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            activated.push(s);
+            frontier.push(s);
+        }
+    }
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            for (v, e) in graph.out_edges(u) {
+                if active[v as usize] {
+                    continue;
+                }
+                let p = model.edge_prob(ad, e);
+                if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                    active[v as usize] = true;
+                    activated.push(v);
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    activated
+}
+
+/// Monte-Carlo estimate of the expected spread `σ_i(seeds)` from
+/// `num_simulations` independent cascades.
+pub fn estimate_spread<M: PropagationModel, R: Rng>(
+    graph: &DirectedGraph,
+    model: &M,
+    ad: AdId,
+    seeds: &[NodeId],
+    num_simulations: usize,
+    rng: &mut R,
+) -> f64 {
+    if seeds.is_empty() || num_simulations == 0 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    for _ in 0..num_simulations {
+        total += simulate_once(graph, model, ad, seeds, rng).len();
+    }
+    total as f64 / num_simulations as f64
+}
+
+/// Monte-Carlo estimate of the singleton spreads `σ_i({u})` for every node,
+/// used when assigning seed costs under the incentive models of Sec. 5.1.
+pub fn estimate_singleton_spreads<M: PropagationModel, R: Rng>(
+    graph: &DirectedGraph,
+    model: &M,
+    ad: AdId,
+    num_simulations: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    graph
+        .nodes()
+        .map(|u| estimate_spread(graph, model, ad, &[u], num_simulations, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::UniformIc;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+    use rmsa_graph::graph_from_edges;
+
+    fn rng() -> Pcg64Mcg {
+        Pcg64Mcg::seed_from_u64(99)
+    }
+
+    #[test]
+    fn deterministic_chain_activates_everything() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = UniformIc::new(1, 1.0);
+        let act = simulate_once(&g, &m, 0, &[0], &mut rng());
+        assert_eq!(act.len(), 4);
+    }
+
+    #[test]
+    fn zero_probability_activates_only_seeds() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = UniformIc::new(1, 0.0);
+        let act = simulate_once(&g, &m, 0, &[0, 2], &mut rng());
+        assert_eq!(act.len(), 2);
+        let s = estimate_spread(&g, &m, 0, &[0], 50, &mut rng());
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_seed_set_has_zero_spread() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let m = UniformIc::new(1, 0.5);
+        assert_eq!(estimate_spread(&g, &m, 0, &[], 100, &mut rng()), 0.0);
+    }
+
+    #[test]
+    fn duplicate_seeds_do_not_double_count() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let m = UniformIc::new(1, 0.0);
+        let act = simulate_once(&g, &m, 0, &[0, 0, 0], &mut rng());
+        assert_eq!(act.len(), 1);
+    }
+
+    #[test]
+    fn mc_estimate_matches_closed_form_on_single_edge() {
+        // Spread of {0} on 0 -> 1 with prob p is 1 + p.
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let p = 0.3;
+        let m = UniformIc::new(1, p);
+        let est = estimate_spread(&g, &m, 0, &[0], 20_000, &mut rng());
+        assert!(
+            (est - (1.0 + p)).abs() < 0.02,
+            "estimate {est} too far from {}",
+            1.0 + p
+        );
+    }
+
+    #[test]
+    fn singleton_spreads_cover_all_nodes() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let m = UniformIc::new(1, 1.0);
+        let s = estimate_singleton_spreads(&g, &m, 0, 10, &mut rng());
+        assert_eq!(s, vec![3.0, 2.0, 1.0]);
+    }
+}

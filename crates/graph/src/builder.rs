@@ -1,0 +1,132 @@
+//! Mutable edge-list accumulator that freezes into a [`DirectedGraph`].
+
+use crate::csr::{DirectedGraph, NodeId};
+
+/// Accumulates edges and freezes them into an immutable CSR graph.
+///
+/// Self-loops are dropped on insertion (they never contribute to influence
+/// spread). Duplicate / parallel edges are kept; callers that want a simple
+/// graph can call [`GraphBuilder::dedup`] before [`GraphBuilder::build`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Create a builder with capacity reserved for `num_edges` edges.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(num_edges),
+        }
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add the directed edge `u -> v`. Panics if an endpoint is out of range.
+    /// Self-loops are silently ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        if u != v {
+            self.edges.push((u, v));
+        }
+    }
+
+    /// Add both `u -> v` and `v -> u` (used for undirected datasets such as
+    /// DBLP, which the paper treats as bidirectional).
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Grow the node set (new nodes are isolated).
+    pub fn ensure_nodes(&mut self, num_nodes: usize) {
+        self.num_nodes = self.num_nodes.max(num_nodes);
+    }
+
+    /// Whether edge `u -> v` has already been added (linear scan; intended
+    /// for tests and small generators only).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.iter().any(|&(a, b)| a == u && b == v)
+    }
+
+    /// Remove duplicate parallel edges, keeping one copy of each.
+    pub fn dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Freeze into an immutable CSR graph.
+    pub fn build(self) -> DirectedGraph {
+        DirectedGraph::from_edge_list(self.num_nodes, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_edge_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[2]);
+        assert_eq!(g.out_neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.dedup();
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn ensure_nodes_grows_but_never_shrinks() {
+        let mut b = GraphBuilder::new(3);
+        b.ensure_nodes(10);
+        assert_eq!(b.num_nodes(), 10);
+        b.ensure_nodes(2);
+        assert_eq!(b.num_nodes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn contains_edge_reports_membership() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 2);
+        assert!(b.contains_edge(1, 2));
+        assert!(!b.contains_edge(2, 1));
+    }
+}

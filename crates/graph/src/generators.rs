@@ -1,0 +1,304 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on four public social networks (LastFM, Flixster,
+//! DBLP, LiveJournal). In this reproduction those datasets are replaced by
+//! synthetic graphs with matched sizes and heavy-tailed degree
+//! distributions; the generators here provide the topology families used by
+//! `rmsa-datasets` to build the stand-ins.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{DirectedGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)` digraph: every ordered pair `(u, v)`, `u != v`, is
+/// an edge independently with probability `p`.
+///
+/// For sparse graphs (`p * n * (n-1)` edges expected) the generator uses
+/// geometric skipping so the cost is proportional to the number of edges,
+/// not to `n^2`.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> DirectedGraph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if n == 0 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        return b.build();
+    }
+    // Geometric skipping over the n*(n-1) candidate slots.
+    let total = (n as u64) * (n as u64 - 1);
+    let log_q = (1.0 - p).ln();
+    let mut slot: i128 = -1;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as i128 + 1;
+        slot += skip;
+        if slot >= total as i128 {
+            break;
+        }
+        let s = slot as u64;
+        let u = (s / (n as u64 - 1)) as NodeId;
+        let mut v = (s % (n as u64 - 1)) as NodeId;
+        if v >= u {
+            v += 1; // skip the diagonal
+        }
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment, directed variant.
+///
+/// Nodes arrive one at a time and attach `m_out` out-edges to existing nodes
+/// chosen proportionally to their current total degree, which yields a
+/// power-law in-degree distribution — the characteristic shape of the social
+/// networks in the paper. The first `m_out + 1` nodes form a directed cycle
+/// so early targets exist.
+pub fn barabasi_albert<R: Rng>(n: usize, m_out: usize, rng: &mut R) -> DirectedGraph {
+    assert!(m_out >= 1, "each new node must attach at least one edge");
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(m_out));
+    if n == 0 {
+        return b.build();
+    }
+    let seed = (m_out + 1).min(n);
+    // Repeated-node list: picking uniformly from it is degree-proportional.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m_out);
+    for u in 0..seed as NodeId {
+        let v = ((u as usize + 1) % seed) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    if targets.is_empty() {
+        // Single-node seed: make node 0 the initial attachment target.
+        targets.push(0);
+    }
+    for u in seed as NodeId..n as NodeId {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_out);
+        let mut guard = 0usize;
+        while chosen.len() < m_out && guard < 50 * m_out {
+            let t = targets[rng.gen_range(0..targets.len())];
+            guard += 1;
+            if t != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(u, t);
+            targets.push(u);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Directed configuration-model graph with power-law out-degrees.
+///
+/// Out-degrees are drawn from a discrete power law with exponent `gamma`
+/// (typically 2–3 for social networks) capped at `max_degree`; targets are
+/// matched by shuffling a stub list, which makes in-degrees approximately
+/// power-law as well.
+pub fn power_law_configuration<R: Rng>(
+    n: usize,
+    gamma: f64,
+    mean_degree: f64,
+    max_degree: usize,
+    rng: &mut R,
+) -> DirectedGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(mean_degree > 0.0);
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    let max_degree = max_degree.max(1).min(n.saturating_sub(1).max(1));
+    // Sample raw power-law degrees then rescale to the requested mean.
+    let raw: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            // Inverse-CDF sampling of Pareto with x_min = 1.
+            u.powf(-1.0 / (gamma - 1.0))
+        })
+        .collect();
+    let raw_mean = raw.iter().sum::<f64>() / n as f64;
+    let scale = mean_degree / raw_mean;
+    let degrees: Vec<usize> = raw
+        .iter()
+        .map(|&d| ((d * scale).round() as usize).min(max_degree))
+        .collect();
+
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(degrees.iter().sum());
+    for (u, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            stubs.push(u as NodeId);
+        }
+    }
+    let mut target_pool: Vec<NodeId> = (0..n as NodeId).collect();
+    for &u in &stubs {
+        // Uniform random target; re-draw a handful of times to avoid self-loops.
+        for _ in 0..4 {
+            let v = target_pool[rng.gen_range(0..target_pool.len())];
+            if v != u {
+                b.add_edge(u, v);
+                break;
+            }
+        }
+    }
+    // Light shuffle of edge insertion order is unnecessary for CSR, but we
+    // deduplicate to keep the graph simple.
+    target_pool.shuffle(rng);
+    b.dedup();
+    b.build()
+}
+
+/// Watts–Strogatz small-world digraph: a ring lattice where each node points
+/// to its `k` clockwise successors, with each edge rewired to a uniform
+/// random target with probability `beta`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> DirectedGraph {
+    assert!((0.0..=1.0).contains(&beta));
+    let mut b = GraphBuilder::new(n);
+    if n <= 1 {
+        return b.build();
+    }
+    let k = k.min(n - 1);
+    for u in 0..n as NodeId {
+        for j in 1..=k {
+            let mut v = ((u as usize + j) % n) as NodeId;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-self target.
+                loop {
+                    v = rng.gen_range(0..n as NodeId);
+                    if v != u {
+                        break;
+                    }
+                }
+            }
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A deterministic two-level "celebrity" graph used in tests and examples: a
+/// handful of hub nodes each followed by a disjoint block of leaf nodes, plus
+/// a chain between hubs. Hub `i` reaches its whole block, which makes
+/// expected spreads easy to reason about analytically.
+pub fn celebrity_graph(num_hubs: usize, leaves_per_hub: usize) -> DirectedGraph {
+    let n = num_hubs * (1 + leaves_per_hub);
+    let mut b = GraphBuilder::new(n);
+    for h in 0..num_hubs {
+        let hub = (h * (1 + leaves_per_hub)) as NodeId;
+        for l in 0..leaves_per_hub {
+            b.add_edge(hub, hub + 1 + l as NodeId);
+        }
+        if h + 1 < num_hubs {
+            let next_hub = ((h + 1) * (1 + leaves_per_hub)) as NodeId;
+            b.add_edge(hub, next_hub);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
+
+    fn rng() -> Pcg64Mcg {
+        Pcg64Mcg::seed_from_u64(42)
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let n = 300;
+        let p = 0.02;
+        let g = erdos_renyi(n, p, &mut rng());
+        let expected = p * (n * (n - 1)) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "expected ~{expected} edges, got {got}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let g0 = erdos_renyi(50, 0.0, &mut rng());
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(10, 1.0, &mut rng());
+        assert_eq!(g1.num_edges(), 90);
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count_and_hub_skew() {
+        let n = 2000;
+        let g = barabasi_albert(n, 3, &mut rng());
+        assert!(g.num_edges() >= 3 * (n - 10));
+        // Power-law in-degree: the max in-degree should far exceed the mean.
+        let mean = g.num_edges() as f64 / n as f64;
+        let max_in = g.nodes().map(|u| g.in_degree(u)).max().unwrap();
+        assert!(
+            max_in as f64 > 5.0 * mean,
+            "expected hub skew: max in-degree {max_in}, mean {mean}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn power_law_configuration_respects_mean_degree() {
+        let n = 2000;
+        let g = power_law_configuration(n, 2.3, 6.0, 200, &mut rng());
+        let mean = g.num_edges() as f64 / n as f64;
+        assert!(mean > 2.0 && mean < 10.0, "mean degree {mean} out of range");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn watts_strogatz_degree_regular_without_rewiring() {
+        let g = watts_strogatz(100, 4, 0.0, &mut rng());
+        for u in g.nodes() {
+            assert_eq!(g.out_degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_out_degree() {
+        let g = watts_strogatz(100, 4, 0.5, &mut rng());
+        for u in g.nodes() {
+            assert_eq!(g.out_degree(u), 4);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn celebrity_graph_structure() {
+        let g = celebrity_graph(3, 4);
+        assert_eq!(g.num_nodes(), 15);
+        // Each hub: 4 leaf edges (+1 chain edge except the last hub).
+        assert_eq!(g.num_edges(), 3 * 4 + 2);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.out_degree(10), 4);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_fixed_seed() {
+        let a = barabasi_albert(500, 2, &mut Pcg64Mcg::seed_from_u64(7));
+        let b = barabasi_albert(500, 2, &mut Pcg64Mcg::seed_from_u64(7));
+        assert_eq!(a.num_edges(), b.num_edges());
+        for u in a.nodes() {
+            assert_eq!(a.out_neighbors(u), b.out_neighbors(u));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text edge-list input/output.
+//!
+//! The format is the one used by SNAP datasets: one `source target` pair per
+//! line, whitespace separated, `#`-prefixed comment lines ignored. Node ids
+//! are remapped to a dense `0..n` range on load.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DirectedGraph;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line did not contain two integer ids.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "io error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parse an edge list from any reader. Returns the graph plus the mapping
+/// from original node labels to dense ids.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    undirected: bool,
+) -> Result<(DirectedGraph, HashMap<u64, u32>), EdgeListError> {
+    let mut remap: HashMap<u64, u32> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let intern = |label: u64, remap: &mut HashMap<u64, u32>| -> u32 {
+        let next = remap.len() as u32;
+        *remap.entry(label).or_insert(next)
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<u64> { tok.and_then(|t| t.parse().ok()) };
+        let (u, v) = match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line: lineno + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        let ui = intern(u, &mut remap);
+        let vi = intern(v, &mut remap);
+        edges.push((ui, vi));
+        if undirected {
+            edges.push((vi, ui));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(remap.len(), edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok((b.build(), remap))
+}
+
+/// Load an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(
+    path: P,
+    undirected: bool,
+) -> Result<(DirectedGraph, HashMap<u64, u32>), EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file), undirected)
+}
+
+/// Write a graph as a SNAP-style edge list.
+pub fn write_edge_list<P: AsRef<Path>>(graph: &DirectedGraph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v, _) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_directed_edge_list_with_comments() {
+        let text = "# a comment\n10 20\n20 30\n\n10 30\n";
+        let (g, remap) = read_edge_list(Cursor::new(text), false).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(remap.len(), 3);
+        let a = remap[&10];
+        let c = remap[&30];
+        assert!(g.out_neighbors(a).contains(&c));
+    }
+
+    #[test]
+    fn undirected_load_doubles_edges() {
+        let text = "0 1\n1 2\n";
+        let (g, _) = read_edge_list(Cursor::new(text), true).unwrap();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_line_number() {
+        let text = "0 1\nnot-an-edge\n";
+        let err = read_edge_list(Cursor::new(text), false).unwrap_err();
+        match err {
+            EdgeListError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("rmsa_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = crate::generators::celebrity_graph(2, 3);
+        write_edge_list(&g, &path).unwrap();
+        let (g2, _) = load_edge_list(&path, false).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn self_loops_in_input_are_dropped() {
+        let text = "0 0\n0 1\n";
+        let (g, _) = read_edge_list(Cursor::new(text), false).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rmsa-graph
+//!
+//! Directed-graph substrate for the revenue-maximization reproduction.
+//!
+//! The crate provides a compact CSR ([`DirectedGraph`]) representation with
+//! both forward and reverse adjacency (reverse adjacency is what RR-set
+//! generation walks), a mutable [`GraphBuilder`], plain-text edge-list IO,
+//! synthetic graph [`generators`] that stand in for the paper's public
+//! datasets, and traversal helpers.
+//!
+//! Nodes are dense `u32` identifiers in `0..n`. Every edge has a stable
+//! [`EdgeId`] equal to its position in the forward CSR; the reverse CSR keeps
+//! a permutation back to forward edge ids so that per-edge attributes (e.g.
+//! per-topic propagation probabilities) can be stored exactly once.
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod stats;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{DirectedGraph, EdgeId, NodeId};
+pub use stats::DegreeStats;
+
+/// Convenience constructor: build a graph from `(source, target)` pairs.
+///
+/// Duplicate edges are kept (the diffusion layer treats parallel edges as
+/// independent activation chances, matching how multigraph edge lists are
+/// usually handled); self-loops are dropped because they never affect spread.
+pub fn graph_from_edges(n: usize, edges: &[(u32, u32)]) -> DirectedGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_from_edges_drops_self_loops() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 1), (1, 2)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(1), &[2]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Breadth-first traversal helpers used by the diffusion layer and by tests.
+
+use crate::csr::{DirectedGraph, NodeId};
+
+/// Nodes forward-reachable from `sources` (including the sources themselves).
+pub fn forward_reachable(graph: &DirectedGraph, sources: &[NodeId]) -> Vec<NodeId> {
+    bfs(graph, sources, Direction::Forward)
+}
+
+/// Nodes from which `target` is reachable, i.e. the reverse-reachable set of
+/// `target` in the deterministic graph (every edge live).
+pub fn reverse_reachable(graph: &DirectedGraph, target: NodeId) -> Vec<NodeId> {
+    bfs(graph, &[target], Direction::Reverse)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+fn bfs(graph: &DirectedGraph, sources: &[NodeId], dir: Direction) -> Vec<NodeId> {
+    let mut visited = vec![false; graph.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &s in sources {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            order.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let neighbors: &[NodeId] = match dir {
+            Direction::Forward => graph.out_neighbors(u),
+            Direction::Reverse => graph.in_neighbors(u),
+        };
+        for &v in neighbors {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Single-source BFS distances (number of hops); `usize::MAX` for
+/// unreachable nodes.
+pub fn bfs_distances(graph: &DirectedGraph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.out_neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of weakly connected components (directions ignored).
+pub fn weakly_connected_components(graph: &DirectedGraph) -> usize {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        components += 1;
+        visited[start] = true;
+        stack.push(start as NodeId);
+        while let Some(u) = stack.pop() {
+            for &v in graph.out_neighbors(u).iter().chain(graph.in_neighbors(u)) {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::celebrity_graph;
+    use crate::graph_from_edges;
+
+    #[test]
+    fn forward_reachability_on_chain() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = forward_reachable(&g, &[0]);
+        assert_eq!(r.len(), 4);
+        let r1 = forward_reachable(&g, &[2]);
+        assert_eq!(r1, vec![2, 3]);
+    }
+
+    #[test]
+    fn reverse_reachability_is_the_mirror_of_forward() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = reverse_reachable(&g, 3);
+        assert_eq!(r.len(), 4);
+        let r0 = reverse_reachable(&g, 0);
+        assert_eq!(r0, vec![0]);
+    }
+
+    #[test]
+    fn bfs_distances_count_hops() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (0, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[4], usize::MAX);
+    }
+
+    #[test]
+    fn component_count() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3)]);
+        assert_eq!(weakly_connected_components(&g), 3);
+        let c = celebrity_graph(3, 2);
+        assert_eq!(weakly_connected_components(&c), 1);
+    }
+
+    #[test]
+    fn multi_source_forward_reachability_dedups() {
+        let g = graph_from_edges(3, &[(0, 2), (1, 2)]);
+        let r = forward_reachable(&g, &[0, 1, 0]);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! # rmsa — Revenue Maximization in Social Advertising
+//!
+//! Facade crate for the reproduction of *"Efficient and Effective Algorithms
+//! for Revenue Maximization in Social Advertising"* (SIGMOD 2021). It
+//! re-exports the workspace crates under stable module names so downstream
+//! users can depend on a single crate:
+//!
+//! * [`graph`] — CSR directed graphs, generators, IO ([`rmsa_graph`]).
+//! * [`diffusion`] — TIC / Weighted-Cascade models, Monte-Carlo simulation,
+//!   RR-set sampling ([`rmsa_diffusion`]).
+//! * [`core`] — the RM problem, the paper's algorithms (oracle + sampling)
+//!   and the baselines ([`rmsa_core`]).
+//! * [`datasets`] — synthetic dataset stand-ins and experiment configuration
+//!   ([`rmsa_datasets`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+pub use rmsa_core as core;
+pub use rmsa_datasets as datasets;
+pub use rmsa_diffusion as diffusion;
+pub use rmsa_graph as graph;
+
+/// Commonly used items, re-exported flat for convenience.
+pub mod prelude {
+    pub use rmsa_core::{
+        rm_with_oracle, rm_without_oracle, Advertiser, Allocation, ExactRevenueOracle,
+        IndependentEvaluator, McRevenueOracle, RevenueOracle, RmInstance, RmaConfig, RmaResult,
+        SeedCosts,
+    };
+    pub use rmsa_datasets::{Dataset, DatasetKind, IncentiveModel};
+    pub use rmsa_diffusion::{
+        PropagationModel, RrStrategy, TicModel, UniformIc, WeightedCascade,
+    };
+    pub use rmsa_graph::{DirectedGraph, GraphBuilder, NodeId};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let graph = rmsa_graph::generators::celebrity_graph(3, 5);
+        let model = UniformIc::new(1, 0.5);
+        let instance = RmInstance::new(
+            graph.num_nodes(),
+            vec![Advertiser::new(10.0, 1.0)],
+            SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
+        );
+        let config = RmaConfig {
+            max_rr_per_collection: 5_000,
+            num_threads: 1,
+            ..RmaConfig::default()
+        };
+        let result = rm_without_oracle(&graph, &model, &instance, &config);
+        assert!(result.allocation.is_disjoint());
+    }
+}

@@ -1,0 +1,127 @@
+//! Approximation-ratio checks of the oracle-setting algorithms against
+//! brute-force optima on tiny instances (Theorems 3.1–3.5).
+
+use rmsa::prelude::*;
+use rmsa_core::baselines::{ca_greedy, cs_greedy};
+use rmsa_core::{greedy_single, rm_with_oracle, RevenueOracle};
+
+/// Brute-force the optimal revenue of an instance with `h ≤ 2` advertisers
+/// by assigning each node to advertiser 0, advertiser 1 (if present), or
+/// nobody, and keeping the best feasible allocation.
+fn brute_force_opt<O: RevenueOracle>(instance: &RmInstance, oracle: &O) -> f64 {
+    let n = instance.num_nodes;
+    let h = instance.num_ads();
+    assert!(h <= 2 && n <= 10, "brute force limited to tiny instances");
+    let base = (h + 1) as u32;
+    let mut opt = 0.0f64;
+    for mask in 0..base.pow(n as u32) {
+        let mut sets = vec![Vec::new(); h];
+        let mut code = mask;
+        for node in 0..n as u32 {
+            let slot = (code % base) as usize;
+            if slot >= 1 {
+                sets[slot - 1].push(node);
+            }
+            code /= base;
+        }
+        let feasible = (0..h).all(|ad| {
+            oracle.revenue(ad, &sets[ad]) + instance.set_cost(ad, &sets[ad])
+                <= instance.budget(ad) + 1e-12
+        });
+        if feasible {
+            opt = opt.max(oracle.allocation_revenue(&sets));
+        }
+    }
+    opt
+}
+
+fn tiny_world(seed_edges: &[(u32, u32)], n: usize, h: usize, budget: f64, prob: f64) -> (DirectedGraph, UniformIc, RmInstance) {
+    let g = rmsa_graph::graph_from_edges(n, seed_edges);
+    let m = UniformIc::new(h, prob);
+    let inst = RmInstance::new(
+        n,
+        (0..h)
+            .map(|i| Advertiser::new(budget + i as f64, 1.0))
+            .collect(),
+        SeedCosts::Shared(vec![1.0; n]),
+    );
+    (g, m, inst)
+}
+
+#[test]
+fn greedy_meets_the_one_third_ratio_on_many_tiny_instances() {
+    let cases: Vec<(Vec<(u32, u32)>, f64, f64)> = vec![
+        (vec![(0, 1), (1, 2), (2, 3), (3, 4)], 4.0, 0.8),
+        (vec![(0, 1), (0, 2), (0, 3), (4, 5)], 3.5, 0.6),
+        (vec![(0, 1), (2, 3), (4, 5), (5, 6)], 5.0, 0.4),
+        (vec![(0, 1), (1, 0), (2, 3), (3, 2)], 6.0, 0.7),
+        (vec![], 2.5, 0.5),
+    ];
+    for (edges, budget, prob) in cases {
+        let n = 7;
+        let (g, m, inst) = tiny_world(&edges, n, 1, budget, prob);
+        let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = greedy_single(&inst, &oracle, 0, &(0..n as u32).collect::<Vec<_>>());
+        let opt = brute_force_opt(&inst, &oracle);
+        assert!(
+            out.best_revenue() >= opt / 3.0 - 1e-9,
+            "greedy {} < OPT/3 = {} on edges {edges:?}",
+            out.best_revenue(),
+            opt / 3.0
+        );
+    }
+}
+
+#[test]
+fn rm_with_oracle_meets_lambda_for_two_advertisers() {
+    let cases: Vec<(Vec<(u32, u32)>, f64, f64)> = vec![
+        (vec![(0, 1), (1, 2), (3, 4)], 4.0, 0.9),
+        (vec![(0, 1), (0, 2), (3, 4), (4, 5)], 5.0, 0.5),
+        (vec![(0, 1), (1, 2), (2, 0), (3, 4)], 3.0, 0.6),
+    ];
+    for (edges, budget, prob) in cases {
+        let n = 6;
+        let (g, m, inst) = tiny_world(&edges, n, 2, budget, prob);
+        let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+        let sol = rm_with_oracle(&inst, &oracle, 0.1);
+        let opt = brute_force_opt(&inst, &oracle);
+        assert!(
+            sol.revenue >= sol.lambda * opt - 1e-9,
+            "revenue {} < λ·OPT = {} on edges {edges:?}",
+            sol.revenue,
+            sol.lambda * opt
+        );
+        // In practice the algorithm does far better than the worst case; it
+        // should capture at least half the optimum on these toys.
+        assert!(sol.revenue >= 0.5 * opt - 1e-9);
+    }
+}
+
+#[test]
+fn our_algorithm_is_at_least_as_good_as_both_baselines_on_tiny_instances() {
+    let (g, m, inst) = tiny_world(&[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6)], 8, 2, 5.0, 1.0);
+    let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+    let ours = rm_with_oracle(&inst, &oracle, 0.1);
+    let ca = oracle.allocation_revenue(&ca_greedy(&inst, &oracle).seed_sets);
+    let cs = oracle.allocation_revenue(&cs_greedy(&inst, &oracle).seed_sets);
+    assert!(
+        ours.revenue >= ca - 1e-9 && ours.revenue >= cs - 1e-9,
+        "ours {} vs CA {} / CS {}",
+        ours.revenue,
+        ca,
+        cs
+    );
+}
+
+#[test]
+fn solutions_are_always_feasible_even_when_budget_is_fractional() {
+    let (g, m, inst) = tiny_world(&[(0, 1), (1, 2), (2, 3)], 5, 2, 2.7, 0.45);
+    let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+    let sol = rm_with_oracle(&inst, &oracle, 0.2);
+    for ad in 0..2 {
+        let seeds = sol.allocation.seeds(ad);
+        let spend = oracle.revenue(ad, seeds) + inst.set_cost(ad, seeds);
+        assert!(spend <= inst.budget(ad) + 1e-9);
+    }
+    assert!(sol.allocation.is_disjoint());
+}

@@ -1,0 +1,131 @@
+//! Behavioural contrasts between RMA and the baselines that the paper's
+//! figures hinge on: the cost-agnostic baseline's collapse under super-linear
+//! incentives, the cost-sensitive baseline's budget under-utilisation, and
+//! RMA's higher rate of return.
+
+use rmsa::prelude::*;
+use rmsa_core::baselines::{ca_greedy, cs_greedy, ti_carm, ti_csrm, TiConfig};
+use rmsa_core::RevenueOracle;
+
+fn dataset_and_spreads() -> (Dataset, Vec<Vec<f64>>) {
+    let dataset = Dataset::build(DatasetKind::LastfmSyn, 3, 0.3, 2024);
+    let spreads = dataset.singleton_spreads(8_000, 55);
+    (dataset, spreads)
+}
+
+fn ti_config() -> TiConfig {
+    TiConfig {
+        epsilon: 0.3,
+        pilot_sets: 1_024,
+        max_rr_per_ad: 10_000,
+        ..TiConfig::default()
+    }
+}
+
+fn rma_config() -> RmaConfig {
+    RmaConfig {
+        epsilon: 0.15,
+        rho: 0.1,
+        num_threads: 1,
+        max_rr_per_collection: 50_000,
+        ..RmaConfig::default()
+    }
+}
+
+#[test]
+fn cost_agnostic_baseline_collapses_under_superlinear_costs() {
+    let (dataset, spreads) = dataset_and_spreads();
+    let ads: Vec<Advertiser> = (0..3).map(|_| Advertiser::new(150.0, 1.0)).collect();
+    let instance = dataset.build_instance_from_spreads(
+        ads,
+        &spreads,
+        IncentiveModel::SuperLinear,
+        0.3,
+    );
+    let carm = ti_carm(&dataset.graph, &dataset.model, &instance, &ti_config());
+    let csrm = ti_csrm(&dataset.graph, &dataset.model, &instance, &ti_config());
+    // Fig. 1 bottom row / Fig. 3: the cost-agnostic rule saturates after the
+    // first violating hub, so it ends up with far fewer seeds than the
+    // cost-sensitive rule.
+    assert!(
+        carm.allocation.total_seeds() <= csrm.allocation.total_seeds(),
+        "CARM seeds {} vs CSRM seeds {}",
+        carm.allocation.total_seeds(),
+        csrm.allocation.total_seeds()
+    );
+}
+
+#[test]
+fn ti_baselines_underutilize_budget_relative_to_rma() {
+    let (dataset, spreads) = dataset_and_spreads();
+    let ads: Vec<Advertiser> = (0..3).map(|_| Advertiser::new(120.0, 1.0)).collect();
+    let instance =
+        dataset.build_instance_from_spreads(ads, &spreads, IncentiveModel::Linear, 0.1);
+    let evaluator =
+        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 120_000, 2, 9);
+
+    let rma = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+    let csrm = ti_csrm(
+        &dataset.graph,
+        &dataset.model,
+        &instance.with_scaled_budgets(1.1),
+        &ti_config(),
+    );
+    let rma_rep = evaluator.report(&instance, &rma.allocation);
+    let csrm_rep = evaluator.report(&instance, &csrm.allocation);
+    // The conservative upper-bound feasibility check of TI-CSRM leaves
+    // budget on the table; RMA's bicriteria design spends closer to (or
+    // slightly past) the nominal budget and earns at least as much revenue.
+    assert!(
+        rma_rep.revenue >= 0.9 * csrm_rep.revenue,
+        "RMA revenue {} vs TI-CSRM {}",
+        rma_rep.revenue,
+        csrm_rep.revenue
+    );
+}
+
+#[test]
+fn oracle_baselines_and_our_oracle_algorithm_agree_for_a_single_advertiser() {
+    // For h = 1 with ample budget, Greedy, CA-Greedy and CS-Greedy must all
+    // find allocations of similar quality (the instance is easy).
+    let g = rmsa_graph::generators::celebrity_graph(4, 5);
+    let m = UniformIc::new(1, 1.0);
+    let n = g.num_nodes();
+    let inst = RmInstance::new(
+        n,
+        vec![Advertiser::new(60.0, 1.0)],
+        SeedCosts::Shared(vec![1.0; n]),
+    );
+    let oracle = rmsa_core::McRevenueOracle::new(&g, &m, &inst, 1, 0);
+    let ours = rmsa_core::rm_with_oracle(&inst, &oracle, 0.1);
+    let ca = oracle.allocation_revenue(&ca_greedy(&inst, &oracle).seed_sets);
+    let cs = oracle.allocation_revenue(&cs_greedy(&inst, &oracle).seed_sets);
+    assert!(ours.revenue >= 0.99 * ca.max(cs));
+}
+
+#[test]
+fn rma_rate_of_return_is_at_least_the_baselines() {
+    let (dataset, spreads) = dataset_and_spreads();
+    let ads: Vec<Advertiser> = (0..3).map(|_| Advertiser::new(100.0, 1.0)).collect();
+    let instance =
+        dataset.build_instance_from_spreads(ads, &spreads, IncentiveModel::Linear, 0.2);
+    let evaluator =
+        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 120_000, 2, 31);
+    let rma = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+    let csrm = ti_csrm(
+        &dataset.graph,
+        &dataset.model,
+        &instance.with_scaled_budgets(1.1),
+        &ti_config(),
+    );
+    let rma_rep = evaluator.report(&instance, &rma.allocation);
+    let csrm_rep = evaluator.report(&instance, &csrm.allocation);
+    if csrm_rep.total_seeds > 0 && rma_rep.total_seeds > 0 {
+        assert!(
+            rma_rep.rate_of_return_pct >= 0.85 * csrm_rep.rate_of_return_pct,
+            "RMA RoR {} vs TI-CSRM RoR {}",
+            rma_rep.rate_of_return_pct,
+            csrm_rep.rate_of_return_pct
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end integration tests: dataset construction → instance assembly →
+//! RMA / baselines → independent evaluation.
+
+use rmsa::prelude::*;
+use rmsa_core::baselines::{ti_carm, ti_csrm, TiConfig};
+use rmsa_core::RevenueOracle;
+
+fn small_dataset(h: usize) -> (Dataset, RmInstance) {
+    let dataset = Dataset::build(DatasetKind::LastfmSyn, h, 0.25, 99);
+    let advertisers: Vec<Advertiser> = (0..h)
+        .map(|i| Advertiser::new(80.0 + 20.0 * i as f64, 1.0 + 0.1 * i as f64))
+        .collect();
+    let instance = dataset.build_instance(advertisers, IncentiveModel::Linear, 0.1, 5_000, 1);
+    (dataset, instance)
+}
+
+fn rma_config() -> RmaConfig {
+    RmaConfig {
+        epsilon: 0.15,
+        delta: 0.05,
+        rho: 0.1,
+        tau: 0.1,
+        num_threads: 2,
+        max_rr_per_collection: 60_000,
+        ..RmaConfig::default()
+    }
+}
+
+#[test]
+fn rma_produces_feasible_disjoint_allocations_end_to_end() {
+    let (dataset, instance) = small_dataset(4);
+    let result = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+
+    assert!(result.allocation.is_disjoint(), "partition constraint violated");
+    assert!(result.allocation.total_seeds() > 0, "no seeds selected");
+
+    // Bicriteria budget guarantee: spend (revenue estimate + seed cost) per
+    // advertiser stays within (1 + ϱ)·B_i up to estimation noise.
+    let evaluator =
+        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 100_000, 2, 555);
+    let report = evaluator.report(&instance, &result.allocation);
+    for ad in 0..instance.num_ads() {
+        let spend = report.per_ad_revenue[ad] + report.per_ad_cost[ad];
+        let cap = (1.0 + 0.1) * instance.budget(ad);
+        assert!(
+            spend <= cap * 1.15,
+            "advertiser {ad} spends {spend} against relaxed budget {cap}"
+        );
+    }
+    assert!(report.revenue > 0.0);
+}
+
+#[test]
+fn rma_beats_or_matches_the_ti_baselines_on_revenue() {
+    let (dataset, instance) = small_dataset(5);
+    let evaluator =
+        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 150_000, 2, 321);
+
+    let rma = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+    let baseline_instance = instance.with_scaled_budgets(1.1);
+    let ti_cfg = TiConfig {
+        epsilon: 0.2,
+        max_rr_per_ad: 20_000,
+        ..TiConfig::default()
+    };
+    let carm = ti_carm(&dataset.graph, &dataset.model, &baseline_instance, &ti_cfg);
+    let csrm = ti_csrm(&dataset.graph, &dataset.model, &baseline_instance, &ti_cfg);
+
+    let r_rma = evaluator.revenue(&rma.allocation);
+    let r_carm = evaluator.revenue(&carm.allocation);
+    let r_csrm = evaluator.revenue(&csrm.allocation);
+
+    // The paper's headline: RMA achieves at least comparable revenue. Allow
+    // a 15% slack because these are small stochastic instances.
+    assert!(
+        r_rma >= 0.85 * r_carm.max(r_csrm),
+        "RMA revenue {r_rma} vs CARM {r_carm}, CSRM {r_csrm}"
+    );
+}
+
+#[test]
+fn single_advertiser_pipeline_works() {
+    let (dataset, instance) = small_dataset(1);
+    let result = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+    assert!((result.lambda - 1.0 / 3.0).abs() < 1e-12);
+    assert!(!result.allocation.seed_sets[0].is_empty());
+}
+
+#[test]
+fn subsim_strategy_produces_comparable_revenue_on_weighted_cascade() {
+    // The SUBSIM fast path applies to the Weighted-Cascade datasets.
+    let dataset = Dataset::build(DatasetKind::DblpSyn, 3, 0.004, 7);
+    let advertisers: Vec<Advertiser> = (0..3).map(|_| Advertiser::new(200.0, 1.0)).collect();
+    let instance = dataset.build_instance(advertisers, IncentiveModel::Linear, 0.2, 4_000, 2);
+    let evaluator =
+        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 80_000, 2, 99);
+
+    let mut cfg = rma_config();
+    cfg.strategy = RrStrategy::Standard;
+    let standard = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &cfg);
+    cfg.strategy = RrStrategy::Subsim;
+    let subsim = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &cfg);
+
+    let r_std = evaluator.revenue(&standard.allocation);
+    let r_sub = evaluator.revenue(&subsim.allocation);
+    assert!(r_std > 0.0 && r_sub > 0.0);
+    let rel = (r_std - r_sub).abs() / r_std.max(r_sub);
+    assert!(rel < 0.25, "standard {r_std} vs subsim {r_sub}");
+}
+
+#[test]
+fn evaluation_report_is_consistent_with_the_oracle_estimates() {
+    let (dataset, instance) = small_dataset(2);
+    let result = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+    let evaluator =
+        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 200_000, 2, 12);
+    let report = evaluator.report(&instance, &result.allocation);
+    // The RMA-internal estimate (validation collection R2) and the
+    // independent evaluation should be within sampling error of each other.
+    let rel = (report.revenue - result.revenue_estimate).abs() / report.revenue.max(1.0);
+    assert!(
+        rel < 0.25,
+        "independent {} vs internal {}",
+        report.revenue,
+        result.revenue_estimate
+    );
+}
+
+#[test]
+fn larger_budgets_never_hurt_revenue() {
+    let dataset = Dataset::build(DatasetKind::LastfmSyn, 3, 0.25, 5);
+    let spreads = dataset.singleton_spreads(5_000, 8);
+    let evaluator_seed = 1000;
+    let mut revenues = Vec::new();
+    for budget in [40.0, 120.0, 360.0] {
+        let ads: Vec<Advertiser> = (0..3).map(|_| Advertiser::new(budget, 1.0)).collect();
+        let instance =
+            dataset.build_instance_from_spreads(ads, &spreads, IncentiveModel::Linear, 0.1);
+        let result = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_config());
+        let evaluator = IndependentEvaluator::build(
+            &dataset.graph,
+            &dataset.model,
+            &instance,
+            100_000,
+            2,
+            evaluator_seed,
+        );
+        revenues.push(evaluator.revenue(&result.allocation));
+    }
+    assert!(
+        revenues[2] >= revenues[0] * 0.9,
+        "revenue with 9x budget ({}) should not fall below the small-budget revenue ({})",
+        revenues[2],
+        revenues[0]
+    );
+}
+
+#[test]
+fn oracle_trait_is_usable_directly_by_downstream_code() {
+    // Downstream users can build their own estimator and call the Section-3
+    // algorithms directly; verify the public API composes.
+    let (dataset, instance) = small_dataset(2);
+    let (allocation, estimator) = rmsa_core::one_batch(
+        &dataset.graph,
+        &dataset.model,
+        &instance,
+        30_000,
+        &rma_config(),
+    );
+    assert!(allocation.is_disjoint());
+    let est_rev: f64 = (0..2)
+        .map(|ad| estimator.revenue(ad, allocation.seeds(ad)))
+        .sum();
+    assert!(est_rev > 0.0);
+}

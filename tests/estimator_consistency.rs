@@ -1,0 +1,147 @@
+//! Cross-validation of the three revenue oracles: exact possible-world
+//! enumeration, Monte-Carlo simulation, and the uniform RR-set estimator
+//! (Lemma 4.1) must agree on small instances.
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+use rmsa::prelude::*;
+use rmsa_core::{ExactRevenueOracle, McRevenueOracle, RevenueOracle, RrRevenueEstimator};
+use rmsa_diffusion::{RrCollection, UniformRrSampler};
+
+fn tiny_instance() -> (DirectedGraph, UniformIc, RmInstance) {
+    let g = rmsa_graph::graph_from_edges(
+        6,
+        &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (2, 5)],
+    );
+    let m = UniformIc::new(2, 0.45);
+    let inst = RmInstance::new(
+        6,
+        vec![Advertiser::new(20.0, 1.0), Advertiser::new(20.0, 2.5)],
+        SeedCosts::Shared(vec![1.0; 6]),
+    );
+    (g, m, inst)
+}
+
+fn rr_estimator(
+    g: &DirectedGraph,
+    m: &UniformIc,
+    inst: &RmInstance,
+    num_sets: usize,
+    seed: u64,
+) -> RrRevenueEstimator {
+    let sampler = UniformRrSampler::new(&inst.cpe_values());
+    let mut coll = RrCollection::new(g.num_nodes(), RrStrategy::Standard);
+    let mut rng = Pcg64Mcg::seed_from_u64(seed);
+    coll.generate(g, m, &sampler, num_sets, &mut rng);
+    RrRevenueEstimator::new(&coll, inst.num_ads(), inst.gamma())
+}
+
+#[test]
+fn rr_estimator_matches_the_exact_oracle_on_every_singleton() {
+    let (g, m, inst) = tiny_instance();
+    let exact = ExactRevenueOracle::new(&g, &m, &inst);
+    let est = rr_estimator(&g, &m, &inst, 200_000, 11);
+    for ad in 0..2 {
+        for u in 0..6u32 {
+            let a = exact.revenue(ad, &[u]);
+            let b = est.revenue(ad, &[u]);
+            assert!(
+                (a - b).abs() < 0.12 * a.max(1.0),
+                "ad {ad} node {u}: exact {a} vs RR {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_three_oracles_agree_on_a_multi_node_set() {
+    let (g, m, inst) = tiny_instance();
+    let exact = ExactRevenueOracle::new(&g, &m, &inst);
+    let mc = McRevenueOracle::new(&g, &m, &inst, 30_000, 5);
+    let est = rr_estimator(&g, &m, &inst, 200_000, 13);
+    let set = [0u32, 4u32];
+    for ad in 0..2 {
+        let a = exact.revenue(ad, &set);
+        let b = mc.revenue(ad, &set);
+        let c = est.revenue(ad, &set);
+        assert!((a - b).abs() < 0.1 * a, "exact {a} vs MC {b}");
+        assert!((a - c).abs() < 0.1 * a, "exact {a} vs RR {c}");
+    }
+}
+
+#[test]
+fn estimator_error_shrinks_as_the_collection_grows() {
+    let (g, m, inst) = tiny_instance();
+    let exact = ExactRevenueOracle::new(&g, &m, &inst);
+    let truth = exact.revenue(1, &[0, 1]);
+    // Average absolute error over several independent small/large samples.
+    let mut err_small = 0.0;
+    let mut err_large = 0.0;
+    for seed in 0..5u64 {
+        let small = rr_estimator(&g, &m, &inst, 2_000, 100 + seed);
+        let large = rr_estimator(&g, &m, &inst, 100_000, 200 + seed);
+        err_small += (small.revenue(1, &[0, 1]) - truth).abs();
+        err_large += (large.revenue(1, &[0, 1]) - truth).abs();
+    }
+    assert!(
+        err_large < err_small,
+        "error should shrink with sample size: small {err_small}, large {err_large}"
+    );
+}
+
+#[test]
+fn estimate_is_unbiased_across_independent_collections() {
+    let (g, m, inst) = tiny_instance();
+    let exact = ExactRevenueOracle::new(&g, &m, &inst);
+    let truth = exact.revenue(0, &[0]);
+    let mean: f64 = (0..20u64)
+        .map(|s| rr_estimator(&g, &m, &inst, 5_000, 1_000 + s).revenue(0, &[0]))
+        .sum::<f64>()
+        / 20.0;
+    assert!(
+        (mean - truth).abs() < 0.05 * truth,
+        "mean estimate {mean} vs truth {truth}"
+    );
+}
+
+#[test]
+fn allocation_revenue_decomposes_per_advertiser_in_all_oracles() {
+    let (g, m, inst) = tiny_instance();
+    let alloc = vec![vec![0u32, 2], vec![3u32]];
+    let exact = ExactRevenueOracle::new(&g, &m, &inst);
+    let est = rr_estimator(&g, &m, &inst, 50_000, 3);
+    for oracle_total in [
+        exact.allocation_revenue(&alloc),
+        est.allocation_estimate(&alloc),
+    ] {
+        assert!(oracle_total > 0.0);
+    }
+    let exact_sum = exact.revenue(0, &alloc[0]) + exact.revenue(1, &alloc[1]);
+    assert!((exact.allocation_revenue(&alloc) - exact_sum).abs() < 1e-9);
+}
+
+#[test]
+fn monte_carlo_simulation_agrees_with_exact_spread_on_the_tic_model() {
+    // Per-ad probabilities differ under TIC; make sure simulation and
+    // enumeration agree for both ads.
+    let g = rmsa_graph::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let tic = TicModel::new(
+        3,
+        vec![vec![0.9, 0.9, 0.9], vec![0.2, 0.2, 0.2]],
+        vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+    );
+    let inst = RmInstance::new(
+        4,
+        vec![Advertiser::new(50.0, 1.0), Advertiser::new(50.0, 1.0)],
+        SeedCosts::Shared(vec![1.0; 4]),
+    );
+    let exact = ExactRevenueOracle::new(&g, &tic, &inst);
+    let mc = McRevenueOracle::new(&g, &tic, &inst, 40_000, 9);
+    for ad in 0..2 {
+        let a = exact.revenue(ad, &[0]);
+        let b = mc.revenue(ad, &[0]);
+        assert!((a - b).abs() < 0.05 * a.max(1.0), "ad {ad}: {a} vs {b}");
+    }
+    // Ad 0 propagates much more aggressively than ad 1.
+    assert!(exact.revenue(0, &[0]) > exact.revenue(1, &[0]) + 0.5);
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithm invariants.
+
+use proptest::prelude::*;
+use rmsa::prelude::*;
+use rmsa_core::{greedy_single, rm_with_oracle, threshold_greedy, ExactRevenueOracle, RevenueOracle};
+use rmsa_diffusion::{RrGenerator, RrStrategy, UniformRrSampler};
+use rmsa_diffusion::{RrCollection};
+use rmsa_graph::{graph_from_edges, traversal};
+
+/// Strategy: a small random edge list over `n ≤ 8` nodes with at most 10
+/// edges (so the exact oracle stays cheap).
+fn small_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..=8).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..=10);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_graph_construction_preserves_edge_multiset((n, edges) in small_graph_strategy()) {
+        let g = graph_from_edges(n, &edges);
+        prop_assert!(g.validate().is_ok());
+        let expected: usize = edges.iter().filter(|(u, v)| u != v).count();
+        prop_assert_eq!(g.num_edges(), expected);
+        // Degree sums match the edge count in both directions.
+        let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, expected);
+        prop_assert_eq!(in_sum, expected);
+    }
+
+    #[test]
+    fn rr_sets_only_contain_reverse_reachable_nodes((n, edges) in small_graph_strategy(), seed in 0u64..1000) {
+        let g = graph_from_edges(n, &edges);
+        let m = UniformIc::new(1, 0.7);
+        let mut gen = RrGenerator::new(n, RrStrategy::Standard);
+        let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(seed);
+        let rr = gen.generate(&g, &m, 0, &mut rng);
+        // Every member must reverse-reach the root in the *deterministic*
+        // graph (superset of any sampled world).
+        let reachable = traversal::reverse_reachable(&g, rr.root);
+        for u in &rr.nodes {
+            prop_assert!(reachable.contains(u), "node {} not reverse-reachable from {}", u, rr.root);
+        }
+        prop_assert!(rr.nodes.contains(&rr.root));
+        // No duplicates.
+        let mut sorted = rr.nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), rr.nodes.len());
+    }
+
+    #[test]
+    fn exact_spread_is_monotone_and_submodular((n, edges) in small_graph_strategy(), p in 0.1f64..0.9) {
+        let g = graph_from_edges(n, &edges);
+        let m = UniformIc::new(1, p);
+        let inst = RmInstance::new(
+            n,
+            vec![Advertiser::new(1000.0, 1.0)],
+            SeedCosts::Shared(vec![1.0; n]),
+        );
+        let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+        // Monotone: π({0}) ≤ π({0,1}) ≤ π({0,1,2}).
+        let f0 = oracle.revenue(0, &[0]);
+        let f01 = oracle.revenue(0, &[0, 1]);
+        let f012 = oracle.revenue(0, &[0, 1, 2]);
+        prop_assert!(f0 <= f01 + 1e-9);
+        prop_assert!(f01 <= f012 + 1e-9);
+        // Submodular: gain of node 2 w.r.t. {0} ≥ gain w.r.t. {0,1}.
+        let g_small = oracle.revenue(0, &[0, 2]) - f0;
+        let g_large = f012 - f01;
+        prop_assert!(g_large <= g_small + 1e-9);
+    }
+
+    #[test]
+    fn greedy_solutions_are_always_budget_feasible(
+        (n, edges) in small_graph_strategy(),
+        budget in 1.5f64..8.0,
+        p in 0.1f64..0.9,
+        cost in 0.5f64..2.0,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let m = UniformIc::new(1, p);
+        let inst = RmInstance::new(
+            n,
+            vec![Advertiser::new(budget, 1.0)],
+            SeedCosts::Shared(vec![cost; n]),
+        );
+        let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = greedy_single(&inst, &oracle, 0, &(0..n as u32).collect::<Vec<_>>());
+        // The grown set S_i (not the stopple) must satisfy the constraint.
+        let spend = oracle.revenue(0, &out.selected) + inst.set_cost(0, &out.selected);
+        prop_assert!(spend <= budget + 1e-9);
+        // The returned best solution never contains duplicates.
+        let best = out.best();
+        let mut sorted = best.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), best.len());
+    }
+
+    #[test]
+    fn threshold_greedy_respects_partition_and_budgets(
+        (n, edges) in small_graph_strategy(),
+        budget in 2.0f64..8.0,
+        gamma in 0.0f64..4.0,
+        p in 0.2f64..0.9,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let m = UniformIc::new(2, p);
+        let inst = RmInstance::new(
+            n,
+            vec![Advertiser::new(budget, 1.0), Advertiser::new(budget * 1.5, 1.2)],
+            SeedCosts::Shared(vec![1.0; n]),
+        );
+        let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+        let out = threshold_greedy(&inst, &oracle, gamma);
+        prop_assert!(out.allocation.is_disjoint());
+        for ad in 0..2 {
+            let seeds = out.allocation.seeds(ad);
+            let spend = oracle.revenue(ad, seeds) + inst.set_cost(ad, seeds);
+            prop_assert!(spend <= inst.budget(ad) + 1e-9,
+                "ad {} spends {} of {}", ad, spend, inst.budget(ad));
+        }
+        prop_assert!(out.b <= 2);
+    }
+
+    #[test]
+    fn rm_with_oracle_never_violates_constraints(
+        (n, edges) in small_graph_strategy(),
+        budget in 2.0f64..6.0,
+        p in 0.2f64..0.8,
+        h in 1usize..=3,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let m = UniformIc::new(h, p);
+        let inst = RmInstance::new(
+            n,
+            (0..h).map(|i| Advertiser::new(budget + i as f64, 1.0)).collect(),
+            SeedCosts::Shared(vec![1.0; n]),
+        );
+        let oracle = ExactRevenueOracle::new(&g, &m, &inst);
+        let sol = rm_with_oracle(&inst, &oracle, 0.1);
+        prop_assert!(sol.allocation.is_disjoint());
+        for ad in 0..h {
+            let seeds = sol.allocation.seeds(ad);
+            let spend = oracle.revenue(ad, seeds) + inst.set_cost(ad, seeds);
+            prop_assert!(spend <= inst.budget(ad) + 1e-9);
+        }
+        prop_assert!(sol.revenue >= -1e-9);
+    }
+
+    #[test]
+    fn uniform_sampler_unbiasedness_lemma_4_1(
+        p in 0.1f64..0.9,
+        cpe0 in 0.5f64..3.0,
+        cpe1 in 0.5f64..3.0,
+        seed in 0u64..100,
+    ) {
+        // Fixed 4-node chain; verify nΓ·E[Λ] ≈ π for a fixed allocation.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = UniformIc::new(2, p);
+        let inst = RmInstance::new(
+            4,
+            vec![Advertiser::new(100.0, cpe0), Advertiser::new(100.0, cpe1)],
+            SeedCosts::Shared(vec![1.0; 4]),
+        );
+        let exact = ExactRevenueOracle::new(&g, &m, &inst);
+        let alloc = vec![vec![0u32], vec![1u32]];
+        let truth = exact.allocation_revenue(&alloc);
+
+        let sampler = UniformRrSampler::new(&inst.cpe_values());
+        let mut coll = RrCollection::new(4, RrStrategy::Standard);
+        let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(seed);
+        coll.generate(&g, &m, &sampler, 60_000, &mut rng);
+        let est = rmsa_core::RrRevenueEstimator::new(&coll, 2, inst.gamma());
+        let estimate = est.allocation_estimate(&alloc);
+        prop_assert!((estimate - truth).abs() < 0.15 * truth.max(1.0),
+            "estimate {} vs truth {}", estimate, truth);
+    }
+
+    #[test]
+    fn incentive_costs_are_monotone_in_spread(
+        alpha in 0.05f64..1.0,
+        s1 in 1.0f64..50.0,
+        delta in 0.0f64..10.0,
+    ) {
+        for model in IncentiveModel::all() {
+            let lo = model.cost(alpha, s1);
+            let hi = model.cost(alpha, s1 + delta);
+            prop_assert!(hi >= lo - 1e-12);
+        }
+    }
+}
+
+use rmsa_datasets::IncentiveModel;
