@@ -22,11 +22,14 @@ fn setup() -> (RmInstance, RrRevenueEstimator) {
     let mut coll = RrCollection::new(graph.num_nodes(), RrStrategy::Standard);
     coll.generate(&graph, &model, &sampler, 30_000, &mut rng);
     let estimator = RrRevenueEstimator::new(&coll, h, h as f64);
-    let instance = RmInstance::new(
+    let instance = RmInstance::try_new(
         graph.num_nodes(),
-        (0..h).map(|_| Advertiser::new(60.0, 1.0)).collect(),
+        (0..h)
+            .map(|_| Advertiser::try_new(60.0, 1.0).unwrap())
+            .collect(),
         SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
-    );
+    )
+    .unwrap();
     (instance, estimator)
 }
 

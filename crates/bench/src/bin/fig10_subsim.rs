@@ -21,13 +21,19 @@ fn main() {
             |o| format!("{:.1}", o.revenue),
         );
         print_sweep_metric(
-            &format!("Fig.10 — total seeding cost (SUBSIM), {} / linear", kind.name()),
+            &format!(
+                "Fig.10 — total seeding cost (SUBSIM), {} / linear",
+                kind.name()
+            ),
             "alpha",
             &rows,
             |o| format!("{:.1}", o.seeding_cost),
         );
         print_sweep_metric(
-            &format!("Table 6 — running time (s) with SUBSIM, {} / linear", kind.name()),
+            &format!(
+                "Table 6 — running time (s) with SUBSIM, {} / linear",
+                kind.name()
+            ),
             "alpha",
             &rows,
             |o| format!("{:.2}", o.time_secs),

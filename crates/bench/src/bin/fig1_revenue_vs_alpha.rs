@@ -17,7 +17,11 @@ fn main() {
         for incentive in IncentiveModel::all() {
             let rows = alpha_sweep(&ctx, kind, incentive, RrStrategy::Standard);
             print_sweep_metric(
-                &format!("Fig.1 — total revenue, {} / {}", kind.name(), incentive.label()),
+                &format!(
+                    "Fig.1 — total revenue, {} / {}",
+                    kind.name(),
+                    incentive.label()
+                ),
                 "alpha",
                 &rows,
                 |o| format!("{:.1}", o.revenue),

@@ -16,7 +16,11 @@ fn main() {
     let mut lines = Vec::new();
     for kind in [DatasetKind::DblpSyn, DatasetKind::LiveJournalSyn] {
         // Fig. 5(a–d): h ∈ {1, 5, 10, 15, 20}, budget 10K (DBLP) / 100K (LJ).
-        let budget = if kind == DatasetKind::DblpSyn { 10_000.0 } else { 100_000.0 };
+        let budget = if kind == DatasetKind::DblpSyn {
+            10_000.0
+        } else {
+            100_000.0
+        };
         let rows_h = scalability_sweep(
             &ctx,
             kind,
@@ -37,13 +41,18 @@ fn main() {
             &rows_h,
             |o| format!("{:.1}", o.revenue),
         );
-        lines.extend(sweep_csv_lines(&format!("{},advertisers,", kind.name()), &rows_h));
+        lines.extend(sweep_csv_lines(
+            &format!("{},advertisers,", kind.name()),
+            &rows_h,
+        ));
 
         // Fig. 5(e–h): budgets swept with h = 5.
         let budgets: Vec<f64> = if kind == DatasetKind::DblpSyn {
             vec![5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0, 30_000.0]
         } else {
-            vec![50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0, 300_000.0]
+            vec![
+                50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0, 300_000.0,
+            ]
         };
         let rows_b = scalability_sweep(
             &ctx,
@@ -65,7 +74,10 @@ fn main() {
             &rows_b,
             |o| format!("{:.1}", o.revenue),
         );
-        lines.extend(sweep_csv_lines(&format!("{},budgets,", kind.name()), &rows_b));
+        lines.extend(sweep_csv_lines(
+            &format!("{},budgets,", kind.name()),
+            &rows_b,
+        ));
     }
     let path = write_csv(
         "fig5_scalability",

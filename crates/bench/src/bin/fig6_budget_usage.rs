@@ -17,7 +17,9 @@ fn main() {
         DatasetKind::LiveJournalSyn,
         ScalabilitySweep::Budgets {
             num_ads: 5,
-            values: vec![50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0, 300_000.0],
+            values: vec![
+                50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0, 300_000.0,
+            ],
         },
     );
     print_sweep_metric(

@@ -15,7 +15,10 @@ fn main() {
     for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
         let rows = rma_parameter_sweep(&ctx, kind, RmaParameter::Tau, &taus);
         println!("\nFig.8 / Table 5 — impact of τ on RMA, {}", kind.name());
-        println!("{:<8} {:>14} {:>14} {:>10}", "tau", "revenue", "time (s)", "RR-sets");
+        println!(
+            "{:<8} {:>14} {:>14} {:>10}",
+            "tau", "revenue", "time (s)", "RR-sets"
+        );
         for (tau, o) in &rows {
             println!(
                 "{:<8.2} {:>14.1} {:>14.2} {:>10}",

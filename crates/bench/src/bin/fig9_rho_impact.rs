@@ -15,7 +15,10 @@ fn main() {
     for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
         let rows = rma_parameter_sweep(&ctx, kind, RmaParameter::Rho, &rhos);
         println!("\nFig.9 — impact of ϱ on RMA, {}", kind.name());
-        println!("{:<8} {:>14} {:>14} {:>10}", "rho", "revenue", "seed cost", "seeds");
+        println!(
+            "{:<8} {:>14} {:>14} {:>10}",
+            "rho", "revenue", "seed cost", "seeds"
+        );
         for (rho, o) in &rows {
             println!(
                 "{:<8.2} {:>14.1} {:>14.1} {:>10}",

@@ -8,7 +8,10 @@ use rmsa_datasets::DatasetKind;
 
 fn main() {
     let ctx = ExperimentContext::from_env();
-    println!("Table 1 — datasets (scale {} on top of per-dataset defaults)\n", ctx.scale);
+    println!(
+        "Table 1 — datasets (scale {} on top of per-dataset defaults)\n",
+        ctx.scale
+    );
     println!(
         "{:<18} {:>10} {:>12} {:>10} {:>12} {:>8}",
         "dataset", "|V|", "|E|", "max indeg", "mean deg", "model"
@@ -37,7 +40,11 @@ fn main() {
             model
         ));
     }
-    let path = write_csv("table1_datasets", "dataset,nodes,edges,max_in_degree,mean_degree,model", &rows)
-        .expect("write results CSV");
+    let path = write_csv(
+        "table1_datasets",
+        "dataset,nodes,edges,max_in_degree,mean_degree,model",
+        &rows,
+    )
+    .expect("write results CSV");
     println!("\nwrote {}", path.display());
 }

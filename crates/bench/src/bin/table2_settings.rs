@@ -2,13 +2,16 @@
 //!
 //! Run with `cargo run --release -p rmsa-bench --bin table2_settings`.
 
-use rmsa_bench::{write_csv, ExperimentContext};
 use rmsa_bench::sweeps::advertisers_for;
+use rmsa_bench::{write_csv, ExperimentContext};
 use rmsa_datasets::DatasetKind;
 
 fn main() {
     let ctx = ExperimentContext::from_env();
-    println!("Table 2 — advertiser budgets and CPEs (h = {}, scale {})\n", ctx.num_ads, ctx.scale);
+    println!(
+        "Table 2 — advertiser budgets and CPEs (h = {}, scale {})\n",
+        ctx.num_ads, ctx.scale
+    );
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "dataset", "budget mean", "budget max", "budget min", "cpe mean", "cpe max", "cpe min"

@@ -1,14 +1,15 @@
-//! Experiment plumbing: contexts, algorithm runners, CSV output.
+//! Experiment plumbing: contexts, workbench construction, algorithm
+//! outcomes, CSV output.
+//!
+//! All experiments run through the [`Workbench`]: one workbench per
+//! dataset/strategy owns the graph, the propagation model, and the shared
+//! RR-set cache, so a sweep over α, ε, τ, ϱ, budgets, or demand extends one
+//! set of RR-collections instead of regenerating them at every point.
 
-use rmsa_core::baselines::{ti_carm, ti_csrm, TiConfig, TiResult};
-use rmsa_core::{
-    rm_without_oracle, Allocation, IndependentEvaluator, RmInstance, RmaConfig, RmaResult,
-};
-use rmsa_datasets::{Dataset, DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+use rmsa::prelude::*;
+use rmsa_datasets::{Dataset, DatasetKind};
 use std::io::Write;
 use std::path::Path;
-use std::time::Duration;
 
 /// Experiment-wide knobs shared by every figure/table binary.
 #[derive(Clone, Debug)]
@@ -32,7 +33,7 @@ pub struct ExperimentContext {
     pub rma_max_rr: usize,
     /// Practical cap on the TI baselines' RR-sets per advertiser.
     pub ti_max_rr: usize,
-    /// RMA accuracy ε (paper default 0.02).
+    /// RMA accuracy ε (paper default 0.02; must satisfy ε < λ(h, τ)).
     pub rma_epsilon: f64,
     /// Baseline accuracy ε (paper default 0.1 on TIC datasets).
     pub ti_epsilon: f64,
@@ -83,7 +84,7 @@ impl ExperimentContext {
             seed: 7,
             rma_max_rr: 10_000,
             ti_max_rr: 3_000,
-            rma_epsilon: 0.2,
+            rma_epsilon: 0.1,
             ti_epsilon: 0.3,
         }
     }
@@ -98,9 +99,17 @@ impl ExperimentContext {
         )
     }
 
-    /// Build an independent evaluator for a dataset/instance pair.
-    pub fn evaluator(&self, dataset: &Dataset, instance: &RmInstance) -> IndependentEvaluator {
-        evaluator_for(dataset, instance, self.eval_rr, self.threads, self.seed ^ 0xE7A1)
+    /// Build a [`Workbench`] over a dataset (cloning its graph and model
+    /// into the session) with the given RR-set generation strategy.
+    pub fn workbench(&self, dataset: &Dataset, strategy: RrStrategy) -> Workbench {
+        Workbench::builder()
+            .graph(dataset.graph.clone())
+            .model(dataset.model.clone())
+            .strategy(strategy)
+            .threads(self.threads)
+            .seed(self.seed)
+            .build()
+            .expect("dataset provides graph and model")
     }
 }
 
@@ -108,7 +117,7 @@ impl ExperimentContext {
 /// every figure and table.
 #[derive(Clone, Debug)]
 pub struct AlgoOutcome {
-    /// Algorithm name (`RMA`, `TI-CARM`, `TI-CSRM`).
+    /// Algorithm name (`RMA`, `TI-CARM`, `TI-CSRM`, …).
     pub algorithm: String,
     /// Total revenue measured on the independent evaluator.
     pub revenue: f64,
@@ -118,9 +127,13 @@ pub struct AlgoOutcome {
     pub seeds: usize,
     /// Wall-clock running time in seconds.
     pub time_secs: f64,
-    /// Total RR-sets generated by the algorithm.
+    /// RR-sets backing the algorithm's final answer.
     pub rr_sets: usize,
-    /// Approximate memory footprint of the algorithm's RR-sets, in MiB.
+    /// RR-sets freshly generated for this run (below `rr_sets` when the
+    /// shared cache served part of the request).
+    pub rr_generated: usize,
+    /// Approximate memory footprint of the algorithm's sample structures,
+    /// in MiB.
     pub memory_mib: f64,
     /// Budget usage percentage (Fig. 6).
     pub budget_usage_pct: f64,
@@ -129,33 +142,31 @@ pub struct AlgoOutcome {
 }
 
 impl AlgoOutcome {
-    fn from_allocation(
-        name: &str,
-        allocation: &Allocation,
+    /// Convert a [`SolveReport`] into the experiment row format, measuring
+    /// revenue on the independent evaluator.
+    pub fn from_report(
+        report: &SolveReport,
         instance: &RmInstance,
         evaluator: &IndependentEvaluator,
-        elapsed: Duration,
-        rr_sets: usize,
-        memory_bytes: usize,
     ) -> Self {
-        let report = evaluator.report(instance, allocation);
+        let eval = evaluator.report(instance, &report.allocation);
         AlgoOutcome {
-            algorithm: name.to_string(),
-            revenue: report.revenue,
-            seeding_cost: report.seeding_cost,
-            seeds: report.total_seeds,
-            time_secs: elapsed.as_secs_f64(),
-            rr_sets,
-            memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
-            budget_usage_pct: report.budget_usage_pct,
-            rate_of_return_pct: report.rate_of_return_pct,
+            algorithm: report.solver.clone(),
+            revenue: eval.revenue,
+            seeding_cost: eval.seeding_cost,
+            seeds: eval.total_seeds,
+            time_secs: report.elapsed.as_secs_f64(),
+            rr_sets: report.rr.used,
+            rr_generated: report.rr.generated,
+            memory_mib: report.memory_bytes as f64 / (1024.0 * 1024.0),
+            budget_usage_pct: eval.budget_usage_pct,
+            rate_of_return_pct: eval.rate_of_return_pct,
         }
     }
 }
 
 /// Default RMA configuration used by the experiments (Sec. 5.1 parameters:
-/// ε = 0.02, ϱ = 0.1, τ = 0.1; δ is set per instance as 1/n by the caller if
-/// desired — the default here is a fixed small value).
+/// ε = 0.02, ϱ = 0.1, τ = 0.1; δ is a fixed small value).
 pub fn default_rma_config(ctx: &ExperimentContext) -> RmaConfig {
     RmaConfig {
         epsilon: ctx.rma_epsilon,
@@ -183,78 +194,45 @@ pub fn default_ti_config(ctx: &ExperimentContext) -> TiConfig {
     }
 }
 
-/// Build an independent evaluator.
-pub fn evaluator_for(
-    dataset: &Dataset,
-    instance: &RmInstance,
-    eval_rr: usize,
-    threads: usize,
-    seed: u64,
-) -> IndependentEvaluator {
-    IndependentEvaluator::build(&dataset.graph, &dataset.model, instance, eval_rr, threads, seed)
-}
-
-/// Run RMA and convert to an [`AlgoOutcome`].
+/// Run RMA on a workbench and convert to an [`AlgoOutcome`].
 pub fn run_rma(
-    dataset: &Dataset,
+    wb: &Workbench,
     instance: &RmInstance,
     evaluator: &IndependentEvaluator,
     config: &RmaConfig,
-) -> (AlgoOutcome, RmaResult) {
-    let result = rm_without_oracle(&dataset.graph, &dataset.model, instance, config);
-    let outcome = AlgoOutcome::from_allocation(
-        "RMA",
-        &result.allocation,
-        instance,
-        evaluator,
-        result.elapsed,
-        result.total_rr_sets,
-        result.memory_bytes,
-    );
-    (outcome, result)
+) -> (AlgoOutcome, SolveReport) {
+    let report = wb
+        .run_solver(&Rma::new(config.clone()), instance)
+        .expect("RMA configuration is valid");
+    (
+        AlgoOutcome::from_report(&report, instance, evaluator),
+        report,
+    )
 }
 
-/// Run TI-CARM. Per the paper's protocol, the baselines receive budgets
-/// `(1 + ϱ)` times RMA's (the caller passes the already-scaled instance).
-pub fn run_ti_carm(
-    dataset: &Dataset,
+/// Run one of the TI baselines. Per the paper's protocol the baselines
+/// receive budgets `(1 + ϱ)` times RMA's; pass that factor as
+/// `budget_scale`.
+pub fn run_ti(
+    wb: &Workbench,
     instance: &RmInstance,
-    baseline_instance: &RmInstance,
     evaluator: &IndependentEvaluator,
     config: &TiConfig,
-) -> (AlgoOutcome, TiResult) {
-    let result = ti_carm(&dataset.graph, &dataset.model, baseline_instance, config);
-    let outcome = AlgoOutcome::from_allocation(
-        "TI-CARM",
-        &result.allocation,
-        instance,
-        evaluator,
-        result.elapsed,
-        result.total_rr_sets,
-        result.memory_bytes,
-    );
-    (outcome, result)
-}
-
-/// Run TI-CSRM (see [`run_ti_carm`] for the budget convention).
-pub fn run_ti_csrm(
-    dataset: &Dataset,
-    instance: &RmInstance,
-    baseline_instance: &RmInstance,
-    evaluator: &IndependentEvaluator,
-    config: &TiConfig,
-) -> (AlgoOutcome, TiResult) {
-    let result = ti_csrm(&dataset.graph, &dataset.model, baseline_instance, config);
-    let outcome = AlgoOutcome::from_allocation(
-        "TI-CSRM",
-        &result.allocation,
-        instance,
-        evaluator,
-        result.elapsed,
-        result.total_rr_sets,
-        result.memory_bytes,
-    );
-    (outcome, result)
+    cost_sensitive: bool,
+    budget_scale: f64,
+) -> (AlgoOutcome, SolveReport) {
+    let solver: Box<dyn Solver> = if cost_sensitive {
+        Box::new(TiCsrm::with_budget_scale(config.clone(), budget_scale))
+    } else {
+        Box::new(TiCarm::with_budget_scale(config.clone(), budget_scale))
+    };
+    let report = wb
+        .run_solver(solver.as_ref(), instance)
+        .expect("TI configuration is valid");
+    (
+        AlgoOutcome::from_report(&report, instance, evaluator),
+        report,
+    )
 }
 
 /// Write CSV rows under `results/<name>.csv` (the directory is created if
@@ -271,20 +249,20 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<s
     Ok(path)
 }
 
-/// Helper: the standard "who wins" comparison on one instance — RMA against
-/// both baselines with the paper's budget convention.
+/// The standard "who wins" comparison on one instance — RMA against both TI
+/// baselines with the paper's budget convention, all through one workbench.
 pub fn compare_algorithms(
     ctx: &ExperimentContext,
-    dataset: &Dataset,
+    wb: &Workbench,
     instance: &RmInstance,
     rma_config: &RmaConfig,
     ti_config: &TiConfig,
 ) -> Vec<AlgoOutcome> {
-    let evaluator = ctx.evaluator(dataset, instance);
-    let baseline_instance = instance.with_scaled_budgets(1.0 + rma_config.rho);
-    let (rma, _) = run_rma(dataset, instance, &evaluator, rma_config);
-    let (carm, _) = run_ti_carm(dataset, instance, &baseline_instance, &evaluator, ti_config);
-    let (csrm, _) = run_ti_csrm(dataset, instance, &baseline_instance, &evaluator, ti_config);
+    let evaluator = wb.evaluator(instance, ctx.eval_rr);
+    let budget_scale = 1.0 + rma_config.rho;
+    let (rma, _) = run_rma(wb, instance, &evaluator, rma_config);
+    let (carm, _) = run_ti(wb, instance, &evaluator, ti_config, false, budget_scale);
+    let (csrm, _) = run_ti(wb, instance, &evaluator, ti_config, true, budget_scale);
     vec![rma, carm, csrm]
 }
 
@@ -292,7 +270,7 @@ pub fn compare_algorithms(
 /// sweeps, reusing precomputed singleton spreads.
 pub fn instance_for_alpha(
     dataset: &Dataset,
-    advertisers: &[rmsa_core::Advertiser],
+    advertisers: &[Advertiser],
     spreads: &[Vec<f64>],
     incentive: IncentiveModel,
     alpha: f64,
@@ -303,14 +281,13 @@ pub fn instance_for_alpha(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmsa_core::Advertiser;
 
     #[test]
     fn smoke_context_runs_a_full_comparison() {
         let ctx = ExperimentContext::smoke();
         let dataset = ctx.dataset(DatasetKind::LastfmSyn);
         let advertisers: Vec<Advertiser> = (0..ctx.num_ads)
-            .map(|_| Advertiser::new(30.0, 1.0))
+            .map(|_| Advertiser::try_new(30.0, 1.0).unwrap())
             .collect();
         let instance = dataset.build_instance(
             advertisers,
@@ -319,15 +296,18 @@ mod tests {
             ctx.spread_rr,
             ctx.seed,
         );
+        let wb = ctx.workbench(&dataset, RrStrategy::Standard);
         let mut rma_cfg = default_rma_config(&ctx);
-        rma_cfg.epsilon = 0.2;
+        rma_cfg.epsilon = 0.1; // < λ(3, 0.1) ≈ 0.1136
         rma_cfg.max_rr_per_collection = 20_000;
         let mut ti_cfg = default_ti_config(&ctx);
         ti_cfg.epsilon = 0.3;
         ti_cfg.max_rr_per_ad = 5_000;
-        let outcomes = compare_algorithms(&ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
+        let outcomes = compare_algorithms(&ctx, &wb, &instance, &rma_cfg, &ti_cfg);
         assert_eq!(outcomes.len(), 3);
         assert_eq!(outcomes[0].algorithm, "RMA");
+        assert_eq!(outcomes[1].algorithm, "TI-CARM");
+        assert_eq!(outcomes[2].algorithm, "TI-CSRM");
         for o in &outcomes {
             assert!(o.time_secs >= 0.0);
             assert!(o.rr_sets > 0);
@@ -339,7 +319,7 @@ mod tests {
         let path = write_csv(
             "unit_test_output",
             "a,b",
-            &vec!["1,2".to_string(), "3,4".to_string()],
+            &["1,2".to_string(), "3,4".to_string()],
         )
         .unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
@@ -353,5 +333,7 @@ mod tests {
         assert!(ctx.scale > 0.0);
         assert!(ctx.num_ads >= 1);
         assert!(ctx.eval_rr > 0);
+        // The default ε must be admissible for the default h under τ = 0.1.
+        assert!(default_rma_config(&ctx).validate(ctx.num_ads).is_ok());
     }
 }

@@ -15,6 +15,6 @@ pub mod harness;
 pub mod sweeps;
 
 pub use harness::{
-    default_rma_config, default_ti_config, evaluator_for, run_rma, run_ti_carm, run_ti_csrm,
-    write_csv, AlgoOutcome, ExperimentContext,
+    compare_algorithms, default_rma_config, default_ti_config, run_rma, run_ti, write_csv,
+    AlgoOutcome, ExperimentContext,
 };

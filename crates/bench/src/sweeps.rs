@@ -1,15 +1,20 @@
 //! Parameter sweeps shared by the figure/table binaries.
+//!
+//! Every sweep builds one [`Workbench`] per dataset/strategy and runs all
+//! of its points through it, so the RR-set collections (optimisation,
+//! validation, and evaluation) are extended across points instead of
+//! regenerated — sweeping α, ε, τ, ϱ, budgets, or demand leaves the
+//! advertiser CPE line-up unchanged, which is all the shared cache needs.
 
 use crate::harness::{
     compare_algorithms, default_rma_config, default_ti_config, instance_for_alpha, run_rma,
     AlgoOutcome, ExperimentContext,
 };
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
-use rmsa_core::Advertiser;
+use rmsa::prelude::*;
 use rmsa_datasets::config::{table2_advertisers, FLIXSTER_PROFILE, LASTFM_PROFILE};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+use rmsa_datasets::DatasetKind;
 
 /// The α values of Figs. 1–3 and Table 3.
 pub const ALPHAS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
@@ -29,11 +34,12 @@ pub fn advertisers_for(ctx: &ExperimentContext, kind: DatasetKind, seed: u64) ->
     ads
 }
 
-/// One row of the α sweep: the α value and the three algorithms' outcomes.
+/// One row of a sweep: the swept value and the algorithms' outcomes.
 pub type SweepRow = (f64, Vec<AlgoOutcome>);
 
 /// The α sweep behind Figs. 1–3 and Table 3: a TIC dataset, one incentive
-/// model, α ∈ [`ALPHAS`], comparing RMA / TI-CARM / TI-CSRM.
+/// model, α ∈ [`ALPHAS`], comparing RMA / TI-CARM / TI-CSRM. One workbench
+/// serves all five α points.
 pub fn alpha_sweep(
     ctx: &ExperimentContext,
     kind: DatasetKind,
@@ -41,39 +47,54 @@ pub fn alpha_sweep(
     strategy: RrStrategy,
 ) -> Vec<SweepRow> {
     let dataset = ctx.dataset(kind);
+    let wb = ctx.workbench(&dataset, strategy);
     let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
     let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
-    let mut rma_cfg = default_rma_config(ctx);
-    rma_cfg.strategy = strategy;
+    let rma_cfg = default_rma_config(ctx);
     let mut ti_cfg = default_ti_config(ctx);
     ti_cfg.strategy = strategy;
     ALPHAS
         .iter()
         .map(|&alpha| {
             let instance = instance_for_alpha(&dataset, &advertisers, &spreads, incentive, alpha);
-            let outcomes = compare_algorithms(ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
+            let outcomes = compare_algorithms(ctx, &wb, &instance, &rma_cfg, &ti_cfg);
             (alpha, outcomes)
         })
         .collect()
 }
 
-/// Fig. 4: the ε sweep. RMA's ε and the baselines' ε are swept over the same
-/// grid; revenue and the memory proxy (RR-set footprint) are reported.
+/// Fig. 4: the accuracy sweep. RMA's ε is swept over fractions of its
+/// admissible range (0, λ(h, τ)); the baselines' ε is swept over the
+/// paper's 0.05–0.3 band at matching fractions. Revenue and the memory
+/// proxy (RR-set footprint) are reported.
+///
+/// Points run from the loosest ε (smallest sample requirement) to the
+/// tightest, so the shared collections *extend* point over point and each
+/// point's memory/`rr_sets` figure still reflects its own ε — preserving
+/// the paper's memory-vs-ε trend under the cache. Per-point generation
+/// cost is in `rr_generated`.
 pub fn epsilon_sweep(ctx: &ExperimentContext, kind: DatasetKind) -> Vec<SweepRow> {
     let dataset = ctx.dataset(kind);
+    let wb = ctx.workbench(&dataset, RrStrategy::Standard);
     let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
     let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
-    let instance =
-        instance_for_alpha(&dataset, &advertisers, &spreads, IncentiveModel::Linear, 0.1);
-    [0.02, 0.04, 0.08, 0.12, 0.16, 0.2]
+    let instance = instance_for_alpha(
+        &dataset,
+        &advertisers,
+        &spreads,
+        IncentiveModel::Linear,
+        0.1,
+    );
+    let lam = rmsa_core::lambda(ctx.num_ads, 0.1);
+    [0.95, 0.8, 0.65, 0.5, 0.35, 0.2]
         .iter()
-        .map(|&eps| {
+        .map(|&frac| {
             let mut rma_cfg = default_rma_config(ctx);
-            rma_cfg.epsilon = eps;
+            rma_cfg.epsilon = frac * lam;
             let mut ti_cfg = default_ti_config(ctx);
-            ti_cfg.epsilon = eps.max(0.05);
-            let outcomes = compare_algorithms(ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
-            (eps, outcomes)
+            ti_cfg.epsilon = 0.05 + frac * 0.25;
+            let outcomes = compare_algorithms(ctx, &wb, &instance, &rma_cfg, &ti_cfg);
+            (rma_cfg.epsilon, outcomes)
         })
         .collect()
 }
@@ -83,13 +104,24 @@ pub fn epsilon_sweep(ctx: &ExperimentContext, kind: DatasetKind) -> Vec<SweepRow
 /// Weighted-Cascade scalability dataset.
 pub enum ScalabilitySweep {
     /// Vary the number of advertisers.
-    Advertisers { budget: f64, values: Vec<usize> },
+    Advertisers {
+        /// Budget shared by every advertiser.
+        budget: f64,
+        /// The `h` values to sweep.
+        values: Vec<usize>,
+    },
     /// Vary the per-advertiser budget.
-    Budgets { num_ads: usize, values: Vec<f64> },
+    Budgets {
+        /// Fixed number of advertisers.
+        num_ads: usize,
+        /// The budget values to sweep.
+        values: Vec<f64>,
+    },
 }
 
 /// Run a Fig. 5 scalability sweep; the `f64` key of each row is `h` or the
-/// budget, depending on the sweep.
+/// budget, depending on the sweep. Budget sweeps share one workbench;
+/// advertiser sweeps rebuild the model (and thus the workbench) per `h`.
 pub fn scalability_sweep(
     ctx: &ExperimentContext,
     kind: DatasetKind,
@@ -104,10 +136,18 @@ pub fn scalability_sweep(
             values.iter().map(|&b| (*num_ads, b)).collect()
         }
     };
+    // Budget sweeps keep `h` fixed, so one dataset + workbench serves every
+    // point; advertiser sweeps change the model arity per point.
+    let mut current: Option<(usize, rmsa_datasets::Dataset, Workbench)> = None;
     for (h, budget) in configs {
         let mut sub_ctx = ctx.clone();
         sub_ctx.num_ads = h;
-        let dataset = sub_ctx.dataset(kind);
+        if current.as_ref().map(|(ch, _, _)| *ch) != Some(h) {
+            let dataset = sub_ctx.dataset(kind);
+            let wb = sub_ctx.workbench(&dataset, RrStrategy::Subsim);
+            current = Some((h, dataset, wb));
+        }
+        let (_, dataset, wb) = current.as_ref().expect("workbench just built");
         let budget = (budget * ctx.scale).max(10.0);
         let advertisers = rmsa_datasets::scalability_advertisers(h, budget);
         // The scalability experiments use the linear incentive model with
@@ -120,11 +160,12 @@ pub fn scalability_sweep(
             sub_ctx.seed ^ 0x5EED,
         );
         let mut rma_cfg = default_rma_config(&sub_ctx);
-        rma_cfg.strategy = RrStrategy::Subsim;
+        // ε must stay inside (0, λ(h, τ)), which shrinks as h grows.
+        rma_cfg.epsilon = rma_cfg.epsilon.min(0.9 * rmsa_core::lambda(h, rma_cfg.tau));
         let mut ti_cfg = default_ti_config(&sub_ctx);
         ti_cfg.epsilon = 0.3;
         ti_cfg.strategy = RrStrategy::Subsim;
-        let outcomes = compare_algorithms(&sub_ctx, &dataset, &instance, &rma_cfg, &ti_cfg);
+        let outcomes = compare_algorithms(&sub_ctx, wb, &instance, &rma_cfg, &ti_cfg);
         let key = match &sweep {
             ScalabilitySweep::Advertisers { .. } => h as f64,
             ScalabilitySweep::Budgets { .. } => budget,
@@ -135,9 +176,11 @@ pub fn scalability_sweep(
 }
 
 /// Fig. 7: the holistic-demand sweep. Total demand `M = Σ_i B_i / (n·cpe_i)`
-/// is split randomly across advertisers with `cpe = 1`.
+/// is split randomly across advertisers with `cpe = 1`. One workbench
+/// serves every demand point (budgets change, CPEs do not).
 pub fn demand_sweep(ctx: &ExperimentContext, kind: DatasetKind, demands: &[f64]) -> Vec<SweepRow> {
     let dataset = ctx.dataset(kind);
+    let wb = ctx.workbench(&dataset, RrStrategy::Standard);
     let n = dataset.graph.num_nodes() as f64;
     let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
     let mut rng = Pcg64Mcg::seed_from_u64(ctx.seed ^ 0xDE3A);
@@ -145,15 +188,14 @@ pub fn demand_sweep(ctx: &ExperimentContext, kind: DatasetKind, demands: &[f64])
         .iter()
         .map(|&m_total| {
             // Random positive shares summing to the total demand.
-            let shares: Vec<f64> = {
-                use rand::Rng;
-                let raw: Vec<f64> = (0..ctx.num_ads).map(|_| rng.gen_range(0.5..1.5)).collect();
-                let sum: f64 = raw.iter().sum();
-                raw.iter().map(|r| r / sum * m_total).collect()
-            };
-            let advertisers: Vec<Advertiser> = shares
+            let raw: Vec<f64> = (0..ctx.num_ads).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let sum: f64 = raw.iter().sum();
+            let advertisers: Vec<Advertiser> = raw
                 .iter()
-                .map(|&share| Advertiser::new((share * n).max(10.0), 1.0))
+                .map(|r| {
+                    let share = r / sum * m_total;
+                    Advertiser::try_new((share * n).max(10.0), 1.0).unwrap()
+                })
                 .collect();
             let instance = dataset.build_instance_from_spreads(
                 advertisers,
@@ -163,40 +205,12 @@ pub fn demand_sweep(ctx: &ExperimentContext, kind: DatasetKind, demands: &[f64])
             );
             let outcomes = compare_algorithms(
                 ctx,
-                &dataset,
+                &wb,
                 &instance,
                 &default_rma_config(ctx),
                 &default_ti_config(ctx),
             );
             (m_total, outcomes)
-        })
-        .collect()
-}
-
-/// Fig. 8 / Table 5 (τ sweep) and Fig. 9 (ϱ sweep): RMA-only parameter
-/// sensitivity on a fixed linear-cost instance.
-pub fn rma_parameter_sweep(
-    ctx: &ExperimentContext,
-    kind: DatasetKind,
-    parameter: RmaParameter,
-    values: &[f64],
-) -> Vec<(f64, AlgoOutcome)> {
-    let dataset = ctx.dataset(kind);
-    let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
-    let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
-    let instance =
-        instance_for_alpha(&dataset, &advertisers, &spreads, IncentiveModel::Linear, 0.1);
-    let evaluator = ctx.evaluator(&dataset, &instance);
-    values
-        .iter()
-        .map(|&v| {
-            let mut cfg = default_rma_config(ctx);
-            match parameter {
-                RmaParameter::Tau => cfg.tau = v,
-                RmaParameter::Rho => cfg.rho = v.min(0.999),
-            }
-            let (outcome, _) = run_rma(&dataset, &instance, &evaluator, &cfg);
-            (v, outcome)
         })
         .collect()
 }
@@ -210,6 +224,46 @@ pub enum RmaParameter {
     Rho,
 }
 
+/// Fig. 8 / Table 5 (τ sweep) and Fig. 9 (ϱ sweep): RMA-only parameter
+/// sensitivity on a fixed linear-cost instance, all through one workbench.
+pub fn rma_parameter_sweep(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    parameter: RmaParameter,
+    values: &[f64],
+) -> Vec<(f64, AlgoOutcome)> {
+    let dataset = ctx.dataset(kind);
+    let wb = ctx.workbench(&dataset, RrStrategy::Standard);
+    let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
+    let spreads = dataset.singleton_spreads(ctx.spread_rr, ctx.seed ^ 0x5EED);
+    let instance = instance_for_alpha(
+        &dataset,
+        &advertisers,
+        &spreads,
+        IncentiveModel::Linear,
+        0.1,
+    );
+    let evaluator = wb.evaluator(&instance, ctx.eval_rr);
+    values
+        .iter()
+        .map(|&v| {
+            let mut cfg = default_rma_config(ctx);
+            match parameter {
+                RmaParameter::Tau => {
+                    cfg.tau = v.clamp(0.001, 0.999);
+                    // ε must stay inside (0, λ(h, τ)) as τ grows.
+                    cfg.epsilon = cfg
+                        .epsilon
+                        .min(0.9 * rmsa_core::lambda(ctx.num_ads, cfg.tau));
+                }
+                RmaParameter::Rho => cfg.rho = v.min(0.999),
+            }
+            let (outcome, _) = run_rma(&wb, &instance, &evaluator, &cfg);
+            (v, outcome)
+        })
+        .collect()
+}
+
 /// Turn sweep rows into CSV lines, each prefixed with `row_prefix` (which
 /// may carry extra configuration columns such as the dataset and incentive
 /// model; it must end with a comma when non-empty).
@@ -218,13 +272,14 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
     for (key, outcomes) in rows {
         for o in outcomes {
             lines.push(format!(
-                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{:.3},{:.2},{:.2}",
+                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{},{:.3},{:.2},{:.2}",
                 o.algorithm,
                 o.revenue,
                 o.seeding_cost,
                 o.seeds,
                 o.time_secs,
                 o.rr_sets,
+                o.rr_generated,
                 o.memory_mib,
                 o.budget_usage_pct,
                 o.rate_of_return_pct
@@ -236,8 +291,8 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
 
 /// The CSV column list appended after any configuration columns and the
 /// sweep key.
-pub const SWEEP_CSV_COLUMNS: &str =
-    "algorithm,revenue,seeding_cost,seeds,time_secs,rr_sets,memory_mib,budget_usage_pct,rate_of_return_pct";
+pub const SWEEP_CSV_COLUMNS: &str = "algorithm,revenue,seeding_cost,seeds,time_secs,rr_sets,\
+rr_generated,memory_mib,budget_usage_pct,rate_of_return_pct";
 
 /// Print one metric of a sweep as the table the paper's figure plots.
 pub fn print_sweep_metric<F: Fn(&AlgoOutcome) -> String>(
@@ -247,7 +302,10 @@ pub fn print_sweep_metric<F: Fn(&AlgoOutcome) -> String>(
     metric: F,
 ) {
     println!("\n{title}");
-    println!("{:<12} {:>14} {:>14} {:>14}", key_label, "RMA", "TI-CARM", "TI-CSRM");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        key_label, "RMA", "TI-CARM", "TI-CSRM"
+    );
     for (key, outcomes) in rows {
         let get = |name: &str| {
             outcomes
@@ -286,6 +344,22 @@ mod tests {
             assert!(ALPHAS.contains(alpha));
             assert_eq!(outcomes.len(), 3);
         }
+        // Later α points reuse earlier points' RR-sets: the total fresh
+        // generation must undercut what five independent runs would pay.
+        let total_used: usize = rows
+            .iter()
+            .flat_map(|(_, outcomes)| outcomes.iter())
+            .map(|o| o.rr_sets)
+            .sum();
+        let total_generated: usize = rows
+            .iter()
+            .flat_map(|(_, outcomes)| outcomes.iter())
+            .map(|o| o.rr_generated)
+            .sum();
+        assert!(
+            total_generated < total_used,
+            "sweep reuse expected: generated {total_generated} of {total_used} used"
+        );
     }
 
     #[test]
@@ -311,7 +385,8 @@ mod tests {
         let mut ctx = ExperimentContext::smoke();
         ctx.eval_rr = 5_000;
         ctx.spread_rr = 500;
-        let rows = rma_parameter_sweep(&ctx, DatasetKind::LastfmSyn, RmaParameter::Tau, &[0.1, 0.3]);
+        let rows =
+            rma_parameter_sweep(&ctx, DatasetKind::LastfmSyn, RmaParameter::Tau, &[0.1, 0.3]);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1.algorithm, "RMA");
     }

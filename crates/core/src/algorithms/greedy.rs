@@ -32,7 +32,9 @@ impl GreedyOutcome {
     /// The final answer `S*_i = argmax_{X ∈ {S_i, D_i}} π_i(X)`.
     pub fn best(&self) -> Vec<NodeId> {
         if self.stopple_revenue > self.selected_revenue {
-            vec![self.stopple.expect("stopple revenue implies a stopple node")]
+            vec![self
+                .stopple
+                .expect("stopple revenue implies a stopple node")]
         } else {
             self.selected.clone()
         }
@@ -130,11 +132,12 @@ mod tests {
             ],
         );
         let m = UniformIc::new(1, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             12,
-            vec![Advertiser::new(budget, 1.0)],
+            vec![Advertiser::try_new(budget, 1.0).unwrap()],
             SeedCosts::Shared(vec![1.0; 12]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 
@@ -163,11 +166,12 @@ mod tests {
         let mut costs = vec![100.0; 12];
         costs[0] = 0.1;
         costs[1] = 2.0;
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             12,
-            vec![Advertiser::new(13.5, 1.0)],
+            vec![Advertiser::try_new(13.5, 1.0).unwrap()],
             SeedCosts::Shared(costs),
-        );
+        )
+        .unwrap();
         let o = ExactRevenueOracle::new(&g, &m, &inst);
         let out = greedy_single(&inst, &o, 0, &[0, 1]);
         assert_eq!(out.selected, vec![0]);
@@ -205,11 +209,12 @@ mod tests {
     fn solution_is_budget_feasible_by_construction() {
         let g = celebrity_graph(4, 6);
         let m = UniformIc::new(1, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             g.num_nodes(),
-            vec![Advertiser::new(15.0, 1.0)],
+            vec![Advertiser::try_new(15.0, 1.0).unwrap()],
             SeedCosts::Shared(vec![2.0; g.num_nodes()]),
-        );
+        )
+        .unwrap();
         // The propagation is deterministic (p = 1), so a single Monte-Carlo
         // cascade per query is already exact.
         let o = crate::oracle::McRevenueOracle::new(&g, &m, &inst, 1, 0);

@@ -71,16 +71,16 @@ mod tests {
     use rmsa_graph::graph_from_edges;
 
     fn star_instance(h: usize, budget: f64) -> (rmsa_graph::DirectedGraph, UniformIc, RmInstance) {
-        let g = graph_from_edges(
-            10,
-            &[(0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (7, 8)],
-        );
+        let g = graph_from_edges(10, &[(0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (7, 8)]);
         let m = UniformIc::new(h, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             10,
-            (0..h).map(|_| Advertiser::new(budget, 1.0)).collect(),
+            (0..h)
+                .map(|_| Advertiser::try_new(budget, 1.0).unwrap())
+                .collect(),
             SeedCosts::Shared(vec![1.0; 10]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 
@@ -135,11 +135,15 @@ mod tests {
         // all (node → advertiser | unassigned) assignments.
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
         let m = UniformIc::new(2, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             4,
-            vec![Advertiser::new(5.0, 1.0), Advertiser::new(5.0, 1.0)],
+            vec![
+                Advertiser::try_new(5.0, 1.0).unwrap(),
+                Advertiser::try_new(5.0, 1.0).unwrap(),
+            ],
             SeedCosts::Shared(vec![1.0; 4]),
-        );
+        )
+        .unwrap();
         let o = ExactRevenueOracle::new(&g, &m, &inst);
         let sol = rm_with_oracle(&inst, &o, 0.1);
 

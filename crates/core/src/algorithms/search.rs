@@ -69,7 +69,9 @@ pub fn search<O: RevenueOracle>(
     assert!(tau > 0.0 && tau < 1.0, "tau must lie in (0,1)");
     assert!(b_min == 1 || b_min == 2, "b_min must be 1 or 2");
     let h = instance.num_ads();
-    let min_cpe = (0..h).map(|i| instance.cpe(i)).fold(f64::INFINITY, f64::min);
+    let min_cpe = (0..h)
+        .map(|i| instance.cpe(i))
+        .fold(f64::INFINITY, f64::min);
     let gmax = gamma_max(instance, oracle);
 
     let mut gamma1 = 0.0f64;
@@ -136,11 +138,15 @@ mod tests {
             &[(0, 2), (0, 3), (0, 4), (0, 5), (1, 6), (1, 7), (1, 8)],
         );
         let m = UniformIc::new(budgets.len(), 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             12,
-            budgets.iter().map(|&b| Advertiser::new(b, 1.0)).collect(),
+            budgets
+                .iter()
+                .map(|&b| Advertiser::try_new(b, 1.0).unwrap())
+                .collect(),
             SeedCosts::Shared(vec![1.0; 12]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 
@@ -174,11 +180,11 @@ mod tests {
         let (g, m, inst) = setup(&[6.0, 6.0]);
         let o = ExactRevenueOracle::new(&g, &m, &inst);
         let out = search(&inst, &o, 0.1, 1);
-        if let Some(_) = &out.t1 {
+        if out.t1.is_some() {
             assert!(out.b1 >= 1, "t1 must have depleted at least b_min budgets");
             assert!(out.gamma1 <= out.gamma2 + 1e-12);
         }
-        if let Some(_) = &out.t2 {
+        if out.t2.is_some() {
             assert!(out.b2 < 1 || out.t1.is_none());
         }
     }

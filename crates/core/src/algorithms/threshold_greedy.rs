@@ -267,11 +267,15 @@ mod tests {
     }
 
     fn instance(budgets: &[f64]) -> RmInstance {
-        RmInstance::new(
+        RmInstance::try_new(
             12,
-            budgets.iter().map(|&b| Advertiser::new(b, 1.0)).collect(),
+            budgets
+                .iter()
+                .map(|&b| Advertiser::try_new(b, 1.0).unwrap())
+                .collect(),
             SeedCosts::Shared(vec![1.0; 12]),
         )
+        .unwrap()
     }
 
     #[test]
@@ -311,13 +315,7 @@ mod tests {
         let out = threshold_greedy(&inst, &o, 0.0);
         // The two hubs must be allocated (to different advertisers), since
         // they have the highest marginal gains and budgets are ample.
-        let all: Vec<NodeId> = out
-            .allocation
-            .seed_sets
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
+        let all: Vec<NodeId> = out.allocation.seed_sets.iter().flatten().copied().collect();
         assert!(all.contains(&0), "hub 0 must be seeded: {all:?}");
         assert!(all.contains(&1), "hub 1 must be seeded: {all:?}");
     }

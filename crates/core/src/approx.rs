@@ -9,10 +9,7 @@
 /// `τ ∈ (0, 1)` is the binary-search accuracy knob of `Search`.
 pub fn lambda(num_ads: usize, tau: f64) -> f64 {
     assert!(num_ads >= 1, "at least one advertiser required");
-    assert!(
-        tau > 0.0 && tau < 1.0,
-        "tau must lie in (0, 1), got {tau}"
-    );
+    assert!(tau > 0.0 && tau < 1.0, "tau must lie in (0, 1), got {tau}");
     let h = num_ads as f64;
     match num_ads {
         1 => 1.0 / 3.0,

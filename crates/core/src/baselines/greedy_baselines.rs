@@ -85,11 +85,21 @@ pub fn baseline_greedy<O: RevenueOracle>(
 }
 
 /// CA-Greedy of [5].
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified solver API: `rmsa_core::solver::CaGreedy` with a `SolveContext`, \
+            or call `baseline_greedy` directly with a custom oracle"
+)]
 pub fn ca_greedy<O: RevenueOracle>(instance: &RmInstance, oracle: &O) -> Allocation {
     baseline_greedy(instance, oracle, BaselineRule::CostAgnostic)
 }
 
 /// CS-Greedy of [5].
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified solver API: `rmsa_core::solver::CsGreedy` with a `SolveContext`, \
+            or call `baseline_greedy` directly with a custom oracle"
+)]
 pub fn cs_greedy<O: RevenueOracle>(instance: &RmInstance, oracle: &O) -> Allocation {
     baseline_greedy(instance, oracle, BaselineRule::CostSensitive)
 }
@@ -123,11 +133,12 @@ mod tests {
         costs[0] = 9.0;
         costs[1] = 3.0;
         costs[2] = 2.0;
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             n,
-            vec![Advertiser::new(100.0, 1.0)],
+            vec![Advertiser::try_new(100.0, 1.0).unwrap()],
             SeedCosts::Shared(costs),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 
@@ -136,8 +147,8 @@ mod tests {
         let (g, m, inst) = footnote8_instance();
         // Deterministic propagation (p = 1): one cascade per query is exact.
         let o = crate::oracle::McRevenueOracle::new(&g, &m, &inst, 1, 0);
-        let ca = ca_greedy(&inst, &o);
-        let cs = cs_greedy(&inst, &o);
+        let ca = baseline_greedy(&inst, &o, BaselineRule::CostAgnostic);
+        let cs = baseline_greedy(&inst, &o, BaselineRule::CostSensitive);
         let ca_rev = o.allocation_revenue(&ca.seed_sets);
         let cs_rev = o.allocation_revenue(&cs.seed_sets);
         assert!((ca_rev - 91.0).abs() < 1e-9, "CA revenue {ca_rev}");
@@ -155,13 +166,20 @@ mod tests {
             &[(0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (7, 8), (8, 9)],
         );
         let m = UniformIc::new(2, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             10,
-            vec![Advertiser::new(7.0, 1.0), Advertiser::new(5.0, 1.0)],
+            vec![
+                Advertiser::try_new(7.0, 1.0).unwrap(),
+                Advertiser::try_new(5.0, 1.0).unwrap(),
+            ],
             SeedCosts::Shared(vec![1.0; 10]),
-        );
+        )
+        .unwrap();
         let o = ExactRevenueOracle::new(&g, &m, &inst);
-        for alloc in [ca_greedy(&inst, &o), cs_greedy(&inst, &o)] {
+        for alloc in [
+            baseline_greedy(&inst, &o, BaselineRule::CostAgnostic),
+            baseline_greedy(&inst, &o, BaselineRule::CostSensitive),
+        ] {
             assert!(alloc.is_disjoint());
             for ad in 0..2 {
                 let seeds = alloc.seeds(ad);
@@ -177,14 +195,15 @@ mod tests {
         // that advertiser even though cheap leaves would fit.
         let g = graph_from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
         let m = UniformIc::new(1, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             7,
-            vec![Advertiser::new(5.0, 1.0)],
+            vec![Advertiser::try_new(5.0, 1.0).unwrap()],
             SeedCosts::Shared(vec![1.0; 7]),
-        );
+        )
+        .unwrap();
         let o = ExactRevenueOracle::new(&g, &m, &inst);
-        let ca = ca_greedy(&inst, &o);
-        let cs = cs_greedy(&inst, &o);
+        let ca = baseline_greedy(&inst, &o, BaselineRule::CostAgnostic);
+        let cs = baseline_greedy(&inst, &o, BaselineRule::CostSensitive);
         // The hub (revenue 6, cost 1) is singleton-infeasible and filtered;
         // first pop for CA is any leaf (revenue 1): feasible, selected. The
         // hub never being considered, CA and CS both end up with leaves, but
@@ -196,14 +215,15 @@ mod tests {
     fn empty_instance_edge_case() {
         let g = graph_from_edges(3, &[]);
         let m = UniformIc::new(1, 0.5);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             3,
-            vec![Advertiser::new(0.5, 1.0)],
+            vec![Advertiser::try_new(0.5, 1.0).unwrap()],
             SeedCosts::Shared(vec![1.0; 3]),
-        );
+        )
+        .unwrap();
         let o = ExactRevenueOracle::new(&g, &m, &inst);
         // Every singleton costs 1 + 1 = 2 > 0.5, so nothing is selectable.
-        let ca = ca_greedy(&inst, &o);
+        let ca = baseline_greedy(&inst, &o, BaselineRule::CostAgnostic);
         assert_eq!(ca.total_seeds(), 0);
     }
 }

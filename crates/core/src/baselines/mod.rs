@@ -5,5 +5,11 @@
 pub mod greedy_baselines;
 pub mod ti;
 
-pub use greedy_baselines::{baseline_greedy, ca_greedy, cs_greedy, BaselineRule};
-pub use ti::{ti_baseline, ti_carm, ti_csrm, TiConfig, TiResult, TiRule};
+pub use greedy_baselines::{baseline_greedy, BaselineRule};
+
+#[allow(deprecated)]
+pub use greedy_baselines::{ca_greedy, cs_greedy};
+pub use ti::{ti_baseline, TiConfig, TiResult, TiRule};
+
+#[allow(deprecated)]
+pub use ti::{ti_carm, ti_csrm};

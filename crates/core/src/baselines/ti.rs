@@ -14,6 +14,7 @@
 //! of the sample size and the conservative budget behaviour without
 //! re-implementing TIM's multi-phase estimator verbatim.
 
+use crate::error::RmError;
 use crate::oracle::marginal_rate;
 use crate::problem::{Allocation, RmInstance};
 use crate::util::LazyQueue;
@@ -62,13 +63,42 @@ impl Default for TiConfig {
     }
 }
 
+impl TiConfig {
+    /// Validate parameter ranges: ε > 0, δ ∈ (0, 1), positive sample sizes.
+    pub fn validate(&self) -> Result<(), RmError> {
+        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err(RmError::invalid_parameter(
+                "epsilon",
+                self.epsilon,
+                "(0, ∞)",
+            ));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(RmError::invalid_parameter("delta", self.delta, "(0, 1)"));
+        }
+        if self.pilot_sets == 0 {
+            return Err(RmError::invalid_parameter("pilot_sets", 0.0, "[1, ∞)"));
+        }
+        if self.max_rr_per_ad == 0 {
+            return Err(RmError::invalid_parameter("max_rr_per_ad", 0.0, "[1, ∞)"));
+        }
+        Ok(())
+    }
+}
+
 /// Result of a TI baseline run, with the accounting the experiments report.
 #[derive(Clone, Debug)]
 pub struct TiResult {
     /// Selected allocation.
     pub allocation: Allocation,
+    /// The baseline's own estimate of the allocation's revenue on its
+    /// per-ad collections.
+    pub revenue_estimate: f64,
     /// Total RR-sets generated across all advertisers (pilot included).
     pub total_rr_sets: usize,
+    /// Whether any advertiser's TIM-style sample size was clipped by
+    /// `max_rr_per_ad`.
+    pub capped: bool,
     /// Approximate memory footprint of the per-ad collections in bytes.
     pub memory_bytes: usize,
     /// Wall-clock time of the run.
@@ -125,7 +155,6 @@ fn pilot_greedy_coverage(num_nodes: usize, sets: &[RrSet], k: usize) -> usize {
         let best = (0..num_nodes as NodeId)
             .map(|u| (sample.marginal_count(u), u))
             .max()
-            .map(|(c, u)| (c, u))
             .unwrap_or((0, 0));
         if best.0 == 0 {
             break;
@@ -136,17 +165,29 @@ fn pilot_greedy_coverage(num_nodes: usize, sets: &[RrSet], k: usize) -> usize {
 }
 
 /// Run TI-CARM (`rule = CostAgnostic`) or TI-CSRM (`rule = CostSensitive`).
-pub fn ti_baseline<M: PropagationModel>(
+///
+/// The TI baselines keep one RR-set collection *per advertiser* with TIM's
+/// per-ad scaling, so they do not share the uniform-sampler [`rmsa_diffusion::RrCache`]
+/// used by RMA; their sampling cost is part of what the paper measures
+/// against.
+pub fn ti_baseline<M: PropagationModel + ?Sized>(
     graph: &DirectedGraph,
     model: &M,
     instance: &RmInstance,
     config: &TiConfig,
     rule: TiRule,
-) -> TiResult {
+) -> Result<TiResult, RmError> {
     let start = Instant::now();
     let h = instance.num_ads();
     let n = instance.num_nodes;
-    assert_eq!(model.num_ads(), h);
+    if model.num_ads() != h {
+        return Err(RmError::DimensionMismatch {
+            what: "propagation model advertisers",
+            expected: h,
+            actual: model.num_ads(),
+        });
+    }
+    config.validate()?;
     let mut rng = Pcg64Mcg::seed_from_u64(config.seed);
     let mut gen = RrGenerator::new(n, config.strategy);
 
@@ -154,6 +195,7 @@ pub fn ti_baseline<M: PropagationModel>(
     let mut per_ad_sets: Vec<Vec<RrSet>> = Vec::with_capacity(h);
     let mut total_rr = 0usize;
     let mut memory = 0usize;
+    let mut capped = false;
     // The upper-bound slack used in the conservative feasibility check.
     let q = (n as f64 * h as f64 / config.delta).ln();
     for ad in 0..h {
@@ -161,20 +203,21 @@ pub fn ti_baseline<M: PropagationModel>(
         let k_i = instance.max_seeds_within(ad, instance.budget(ad));
         // Pilot sample to lower-bound OPT_i.
         let pilot: Vec<RrSet> = (0..config.pilot_sets.min(config.max_rr_per_ad))
-            .map(|_| gen.generate(graph, model, ad, &mut rng))
+            .map(|_| gen.generate(graph, &model, ad, &mut rng))
             .collect();
         let pilot_cov = pilot_greedy_coverage(n, &pilot, k_i).max(1);
         let opt_lb = (n as f64 * pilot_cov as f64 / pilot.len().max(1) as f64).max(1.0);
         // TIM-style sample size with ln C(n, k) ≤ k ln n.
-        let theta = (8.0 + 2.0 * config.epsilon) * n as f64
+        let theta = (8.0 + 2.0 * config.epsilon)
+            * n as f64
             * ((2.0 * h as f64 / config.delta).ln() + k_i as f64 * (n as f64).ln())
             / (config.epsilon * config.epsilon * opt_lb);
-        let theta = (theta.ceil() as usize)
-            .max(pilot.len())
-            .min(config.max_rr_per_ad);
+        let theta_raw = (theta.ceil() as usize).max(pilot.len());
+        let theta = theta_raw.min(config.max_rr_per_ad);
+        capped |= theta < theta_raw;
         let mut sets = pilot;
         while sets.len() < theta {
-            sets.push(gen.generate(graph, model, ad, &mut rng));
+            sets.push(gen.generate(graph, &model, ad, &mut rng));
         }
         total_rr += sets.len();
         memory += sets.iter().map(|s| s.memory_bytes()).sum::<usize>();
@@ -241,8 +284,8 @@ pub fn ti_baseline<M: PropagationModel>(
         // of S_i ∪ {u} (estimate plus a martingale confidence term) against
         // the budget, as TI-CARM/TI-CSRM do.
         let new_cov = covered_counts[ad] as f64 + marg_count;
-        let ub_revenue = (new_cov + (2.0 * q * new_cov).sqrt() + q)
-            * scale[ad].max(f64::MIN_POSITIVE);
+        let ub_revenue =
+            (new_cov + (2.0 * q * new_cov).sqrt() + q) * scale[ad].max(f64::MIN_POSITIVE);
         if cost_sums[ad] + cost + ub_revenue <= instance.budget(ad) {
             covered_counts[ad] += samples[ad].commit(entry.node);
             cost_sums[ad] += cost;
@@ -254,15 +297,22 @@ pub fn ti_baseline<M: PropagationModel>(
         }
     }
 
-    TiResult {
+    let revenue_estimate = (0..h).map(|ad| covered_counts[ad] as f64 * scale[ad]).sum();
+    Ok(TiResult {
         allocation: Allocation { seed_sets },
+        revenue_estimate,
         total_rr_sets: total_rr,
+        capped,
         memory_bytes: memory,
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 /// TI-CARM of [5].
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified solver API: `rmsa_core::solver::TiCarm` with a `SolveContext`"
+)]
 pub fn ti_carm<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -270,9 +320,14 @@ pub fn ti_carm<M: PropagationModel>(
     config: &TiConfig,
 ) -> TiResult {
     ti_baseline(graph, model, instance, config, TiRule::CostAgnostic)
+        .expect("invalid TI configuration")
 }
 
 /// TI-CSRM of [5].
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified solver API: `rmsa_core::solver::TiCsrm` with a `SolveContext`"
+)]
 pub fn ti_csrm<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -280,6 +335,7 @@ pub fn ti_csrm<M: PropagationModel>(
     config: &TiConfig,
 ) -> TiResult {
     ti_baseline(graph, model, instance, config, TiRule::CostSensitive)
+        .expect("invalid TI configuration")
 }
 
 #[cfg(test)]
@@ -304,11 +360,14 @@ mod tests {
         let g = celebrity_graph(5, 6);
         let m = UniformIc::new(h, 0.5);
         let n = g.num_nodes();
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             n,
-            (0..h).map(|_| Advertiser::new(10.0, 1.0)).collect(),
+            (0..h)
+                .map(|_| Advertiser::try_new(10.0, 1.0).unwrap())
+                .collect(),
             SeedCosts::Shared(vec![1.0; n]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 
@@ -316,8 +375,8 @@ mod tests {
     fn ti_baselines_return_disjoint_allocations() {
         let (g, m, inst) = setup(3);
         let cfg = quick_config();
-        let carm = ti_carm(&g, &m, &inst, &cfg);
-        let csrm = ti_csrm(&g, &m, &inst, &cfg);
+        let carm = ti_baseline(&g, &m, &inst, &cfg, TiRule::CostAgnostic).unwrap();
+        let csrm = ti_baseline(&g, &m, &inst, &cfg, TiRule::CostSensitive).unwrap();
         assert!(carm.allocation.is_disjoint());
         assert!(csrm.allocation.is_disjoint());
         assert!(carm.total_rr_sets > 0);
@@ -327,7 +386,7 @@ mod tests {
     #[test]
     fn seed_costs_alone_respect_the_budget() {
         let (g, m, inst) = setup(2);
-        let res = ti_csrm(&g, &m, &inst, &quick_config());
+        let res = ti_baseline(&g, &m, &inst, &quick_config(), TiRule::CostSensitive).unwrap();
         for ad in 0..2 {
             let cost = inst.set_cost(ad, res.allocation.seeds(ad));
             assert!(cost <= inst.budget(ad) + 1e-9);
@@ -340,9 +399,9 @@ mod tests {
         let mut cfg = quick_config();
         cfg.max_rr_per_ad = 1_000_000;
         cfg.epsilon = 0.3;
-        let coarse = ti_csrm(&g, &m, &inst, &cfg);
+        let coarse = ti_baseline(&g, &m, &inst, &cfg, TiRule::CostSensitive).unwrap();
         cfg.epsilon = 0.1;
-        let fine = ti_csrm(&g, &m, &inst, &cfg);
+        let fine = ti_baseline(&g, &m, &inst, &cfg, TiRule::CostSensitive).unwrap();
         assert!(
             fine.total_rr_sets > coarse.total_rr_sets,
             "ε = 0.1 should need more RR-sets ({}) than ε = 0.3 ({})",
@@ -356,7 +415,7 @@ mod tests {
         // The upper-bound check must keep the point-estimate spend strictly
         // below the budget (that is precisely the paper's criticism).
         let (g, m, inst) = setup(2);
-        let res = ti_csrm(&g, &m, &inst, &quick_config());
+        let res = ti_baseline(&g, &m, &inst, &quick_config(), TiRule::CostSensitive).unwrap();
         for ad in 0..2 {
             let seeds = res.allocation.seeds(ad);
             if seeds.is_empty() {

@@ -1,0 +1,105 @@
+//! Unified error type of the public API.
+//!
+//! Every fallible entry point — instance construction, configuration
+//! validation, and [`crate::solver::Solver::solve`] — reports failures
+//! through [`RmError`] instead of panicking, so a service embedding the
+//! solvers can reject a bad request without crashing a worker.
+
+use std::fmt;
+
+/// Errors reported by instance constructors, configuration validation and
+/// the [`crate::solver`] API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RmError {
+    /// A scalar parameter lies outside its admissible range (e.g. `ε ∉
+    /// (0, λ)`, `δ ∉ (0, 1)`, `ϱ ∉ (0, 1)`, a non-positive budget).
+    InvalidParameter {
+        /// Parameter name as it appears in the paper / config struct.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable admissible range, e.g. `"(0, 1)"`.
+        constraint: String,
+    },
+    /// Two components disagree on a dimension (cost-table width, advertiser
+    /// count, graph size).
+    DimensionMismatch {
+        /// What is being measured, e.g. `"cost table nodes"`.
+        what: &'static str,
+        /// The expected dimension.
+        expected: usize,
+        /// The dimension actually supplied.
+        actual: usize,
+    },
+    /// An instance without a single advertiser.
+    NoAdvertisers,
+    /// The [`crate::solver::SolveContext`] was assembled inconsistently
+    /// (e.g. a model parameterised for a different number of ads than the
+    /// instance).
+    InvalidContext(String),
+}
+
+impl RmError {
+    /// Convenience constructor for [`RmError::InvalidParameter`].
+    pub fn invalid_parameter(
+        name: &'static str,
+        value: f64,
+        constraint: impl Into<String>,
+    ) -> Self {
+        RmError::InvalidParameter {
+            name,
+            value,
+            constraint: constraint.into(),
+        }
+    }
+}
+
+impl fmt::Display for RmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(f, "parameter {name} = {value} outside {constraint}")
+            }
+            RmError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected {expected}, got {actual}"),
+            RmError::NoAdvertisers => write!(f, "at least one advertiser required"),
+            RmError::InvalidContext(msg) => write!(f, "invalid solve context: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RmError::invalid_parameter("epsilon", 1.5, "(0, λ = 0.30)");
+        assert_eq!(
+            e.to_string(),
+            "parameter epsilon = 1.5 outside (0, λ = 0.30)"
+        );
+        let d = RmError::DimensionMismatch {
+            what: "cost table nodes",
+            expected: 5,
+            actual: 2,
+        };
+        assert!(d.to_string().contains("expected 5, got 2"));
+        assert!(RmError::NoAdvertisers.to_string().contains("advertiser"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(RmError::NoAdvertisers);
+        assert!(e.source().is_none());
+    }
+}

@@ -55,6 +55,12 @@ impl IndependentEvaluator {
         }
     }
 
+    /// Wrap an existing estimator (e.g. built over a shared cache's
+    /// evaluation stream, which no solver ever reads for optimisation).
+    pub fn from_estimator(estimator: RrRevenueEstimator) -> Self {
+        IndependentEvaluator { estimator }
+    }
+
     /// Estimated total revenue of an allocation.
     pub fn revenue(&self, allocation: &Allocation) -> f64 {
         self.estimator.allocation_estimate(&allocation.seed_sets)
@@ -90,7 +96,11 @@ impl IndependentEvaluator {
             } else {
                 0.0
             },
-            rate_of_return_pct: if spend > 0.0 { 100.0 * revenue / spend } else { 0.0 },
+            rate_of_return_pct: if spend > 0.0 {
+                100.0 * revenue / spend
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -105,11 +115,15 @@ mod tests {
     fn setup() -> (DirectedGraph, UniformIc, RmInstance) {
         let g = graph_from_edges(6, &[(0, 1), (0, 2), (3, 4), (3, 5)]);
         let m = UniformIc::new(2, 1.0);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             6,
-            vec![Advertiser::new(10.0, 1.0), Advertiser::new(10.0, 2.0)],
+            vec![
+                Advertiser::try_new(10.0, 1.0).unwrap(),
+                Advertiser::try_new(10.0, 2.0).unwrap(),
+            ],
             SeedCosts::Shared(vec![1.0; 6]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 

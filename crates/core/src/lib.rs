@@ -17,40 +17,60 @@
 //! [`baselines`] re-implements the competitors of Aslay et al. (CA-/CS-Greedy,
 //! TI-CARM, TI-CSRM); [`evaluation`] measures final allocations on RR-sets
 //! independent of any algorithm; [`problem`] holds the instance/allocation
-//! types; [`approx`] exposes the paper's approximation ratios.
+//! types; [`approx`] exposes the paper's approximation ratios; [`error`]
+//! the unified [`RmError`].
+//!
+//! Every algorithm is exposed through the unified [`solver::Solver`] trait:
+//! a [`solver::SolveContext`] bundles graph, model, instance, and a shared
+//! [`rmsa_diffusion::RrCache`], and each solve returns a
+//! [`solver::SolveReport`]. See `DESIGN.md` for the paper → module map and
+//! the migration table from the deprecated free functions.
 //!
 //! ## Quick example
 //!
 //! ```
 //! use rmsa_core::problem::{Advertiser, RmInstance, SeedCosts};
-//! use rmsa_core::sampling::{rm_without_oracle, RmaConfig};
-//! use rmsa_diffusion::UniformIc;
+//! use rmsa_core::solver::{Rma, SolveContext, Solver};
+//! use rmsa_core::RmaConfig;
+//! use rmsa_diffusion::{RrCache, RrStrategy, UniformIc};
 //! use rmsa_graph::generators::celebrity_graph;
 //!
 //! let graph = celebrity_graph(4, 10);
 //! let model = UniformIc::new(2, 0.3);
-//! let instance = RmInstance::new(
+//! let instance = RmInstance::try_new(
 //!     graph.num_nodes(),
-//!     vec![Advertiser::new(15.0, 1.0), Advertiser::new(15.0, 1.5)],
+//!     vec![Advertiser::try_new(15.0, 1.0).unwrap(), Advertiser::try_new(15.0, 1.5).unwrap()],
 //!     SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
-//! );
-//! let config = RmaConfig { max_rr_per_collection: 20_000, ..RmaConfig::default() };
-//! let result = rm_without_oracle(&graph, &model, &instance, &config);
-//! assert!(result.allocation.is_disjoint());
+//! ).unwrap();
+//! let cache = RrCache::new(graph.num_nodes(), RrStrategy::Standard, 1, 7);
+//! let ctx = SolveContext::new(&graph, &model, &instance, &cache).unwrap();
+//! let config = RmaConfig { epsilon: 0.1, max_rr_per_collection: 20_000, ..RmaConfig::default() };
+//! let report = Rma::new(config).solve(&ctx).unwrap();
+//! assert!(report.allocation.is_disjoint());
 //! ```
 
 pub mod algorithms;
 pub mod approx;
 pub mod baselines;
+pub mod error;
 pub mod evaluation;
 pub mod oracle;
 pub mod problem;
 pub mod sampling;
+pub mod solver;
 mod util;
 
 pub use algorithms::{fill, greedy_single, rm_with_oracle, search, threshold_greedy};
 pub use approx::{b_min_for, lambda};
+pub use error::RmError;
 pub use evaluation::{EvaluationReport, IndependentEvaluator};
 pub use oracle::{marginal_rate, ExactRevenueOracle, McRevenueOracle, RevenueOracle, SeedState};
 pub use problem::{Advertiser, Allocation, RmInstance, SeedCosts};
-pub use sampling::{one_batch, rm_without_oracle, RmaConfig, RmaResult, RrRevenueEstimator};
+pub use sampling::{RmaConfig, RmaResult, RrRevenueEstimator};
+pub use solver::{
+    CaGreedy, CsGreedy, OneBatch, OracleGreedy, OracleMode, Rma, RrAccounting, SolveContext,
+    SolveReport, Solver, TiCarm, TiCsrm,
+};
+
+#[allow(deprecated)]
+pub use sampling::{one_batch, rm_without_oracle};

@@ -259,11 +259,15 @@ mod tests {
     fn chain_instance() -> (DirectedGraph, UniformIc, RmInstance) {
         let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
         let m = UniformIc::new(2, 0.5);
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             3,
-            vec![Advertiser::new(10.0, 1.0), Advertiser::new(10.0, 2.0)],
+            vec![
+                Advertiser::try_new(10.0, 1.0).unwrap(),
+                Advertiser::try_new(10.0, 2.0).unwrap(),
+            ],
             SeedCosts::Shared(vec![1.0; 3]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 

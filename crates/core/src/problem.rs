@@ -6,6 +6,7 @@
 //! pair. Definition 2.1 of the paper: maximise `Σ_i π_i(S_i)` subject to
 //! `π_i(S_i) + c_i(S_i) ≤ B_i` for every advertiser and `S_i ∩ S_j = ∅`.
 
+use crate::error::RmError;
 use rmsa_diffusion::AdId;
 use rmsa_graph::NodeId;
 use serde::{Deserialize, Serialize};
@@ -20,11 +21,31 @@ pub struct Advertiser {
 }
 
 impl Advertiser {
+    /// Construct an advertiser, validating that budget and CPE are positive
+    /// and finite.
+    pub fn try_new(budget: f64, cpe: f64) -> Result<Self, RmError> {
+        if !(budget > 0.0 && budget.is_finite()) {
+            return Err(RmError::invalid_parameter("budget", budget, "(0, ∞)"));
+        }
+        if !(cpe > 0.0 && cpe.is_finite()) {
+            return Err(RmError::invalid_parameter("cpe", cpe, "(0, ∞)"));
+        }
+        Ok(Advertiser { budget, cpe })
+    }
+
     /// Construct an advertiser; panics on non-positive budget or CPE.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Advertiser::try_new` and handle `RmError`"
+    )]
     pub fn new(budget: f64, cpe: f64) -> Self {
-        assert!(budget > 0.0, "budget must be positive");
-        assert!(cpe > 0.0, "cpe must be positive");
-        Advertiser { budget, cpe }
+        match Self::try_new(budget, cpe) {
+            Ok(a) => a,
+            Err(RmError::InvalidParameter { name: "budget", .. }) => {
+                panic!("budget must be positive")
+            }
+            Err(_) => panic!("cpe must be positive"),
+        }
     }
 }
 
@@ -74,21 +95,61 @@ pub struct RmInstance {
 }
 
 impl RmInstance {
-    /// Create an instance, validating dimensions.
-    pub fn new(num_nodes: usize, advertisers: Vec<Advertiser>, costs: SeedCosts) -> Self {
-        assert!(!advertisers.is_empty(), "at least one advertiser required");
-        assert_eq!(
-            costs.num_nodes(),
-            num_nodes,
-            "cost table does not cover every node"
-        );
-        if let SeedCosts::PerAd(rows) = &costs {
-            assert_eq!(rows.len(), advertisers.len(), "one cost row per advertiser");
+    /// Create an instance, validating dimensions: the cost table must cover
+    /// every node and, for [`SeedCosts::PerAd`], carry exactly one row per
+    /// advertiser.
+    pub fn try_new(
+        num_nodes: usize,
+        advertisers: Vec<Advertiser>,
+        costs: SeedCosts,
+    ) -> Result<Self, RmError> {
+        if advertisers.is_empty() {
+            return Err(RmError::NoAdvertisers);
         }
-        RmInstance {
+        if costs.num_nodes() != num_nodes {
+            return Err(RmError::DimensionMismatch {
+                what: "cost table nodes",
+                expected: num_nodes,
+                actual: costs.num_nodes(),
+            });
+        }
+        if let SeedCosts::PerAd(rows) = &costs {
+            if rows.len() != advertisers.len() {
+                return Err(RmError::DimensionMismatch {
+                    what: "per-ad cost rows",
+                    expected: advertisers.len(),
+                    actual: rows.len(),
+                });
+            }
+            if let Some(row) = rows.iter().find(|row| row.len() != num_nodes) {
+                return Err(RmError::DimensionMismatch {
+                    what: "per-ad cost row nodes",
+                    expected: num_nodes,
+                    actual: row.len(),
+                });
+            }
+        }
+        Ok(RmInstance {
             num_nodes,
             advertisers,
             costs,
+        })
+    }
+
+    /// Create an instance; panics on dimension mismatches.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RmInstance::try_new` and handle `RmError`"
+    )]
+    pub fn new(num_nodes: usize, advertisers: Vec<Advertiser>, costs: SeedCosts) -> Self {
+        match Self::try_new(num_nodes, advertisers, costs) {
+            Ok(inst) => inst,
+            Err(RmError::NoAdvertisers) => panic!("at least one advertiser required"),
+            Err(RmError::DimensionMismatch {
+                what: "per-ad cost rows",
+                ..
+            }) => panic!("one cost row per advertiser"),
+            Err(_) => panic!("cost table does not cover every node"),
         }
     }
 
@@ -235,14 +296,15 @@ mod tests {
     use super::*;
 
     fn small_instance() -> RmInstance {
-        RmInstance::new(
+        RmInstance::try_new(
             4,
-            vec![Advertiser::new(10.0, 1.0), Advertiser::new(20.0, 2.0)],
-            SeedCosts::PerAd(vec![
-                vec![1.0, 2.0, 3.0, 4.0],
-                vec![0.5, 0.5, 0.5, 0.5],
-            ]),
+            vec![
+                Advertiser::try_new(10.0, 1.0).unwrap(),
+                Advertiser::try_new(20.0, 2.0).unwrap(),
+            ],
+            SeedCosts::PerAd(vec![vec![1.0, 2.0, 3.0, 4.0], vec![0.5, 0.5, 0.5, 0.5]]),
         )
+        .unwrap()
     }
 
     #[test]
@@ -260,11 +322,15 @@ mod tests {
 
     #[test]
     fn shared_costs_apply_to_every_ad() {
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             3,
-            vec![Advertiser::new(5.0, 1.0), Advertiser::new(5.0, 1.0)],
+            vec![
+                Advertiser::try_new(5.0, 1.0).unwrap(),
+                Advertiser::try_new(5.0, 1.0).unwrap(),
+            ],
             SeedCosts::Shared(vec![1.0, 2.0, 3.0]),
-        );
+        )
+        .unwrap();
         assert_eq!(inst.cost(0, 1), inst.cost(1, 1));
     }
 
@@ -303,18 +369,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cost table")]
     fn mismatched_cost_table_is_rejected() {
-        RmInstance::new(
+        let err = RmInstance::try_new(
             5,
-            vec![Advertiser::new(1.0, 1.0)],
+            vec![Advertiser::try_new(1.0, 1.0).unwrap()],
             SeedCosts::Shared(vec![1.0, 1.0]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RmError::DimensionMismatch {
+                what: "cost table nodes",
+                expected: 5,
+                actual: 2,
+            }
         );
     }
 
     #[test]
-    #[should_panic(expected = "budget must be positive")]
     fn nonpositive_budget_rejected() {
+        assert!(matches!(
+            Advertiser::try_new(0.0, 1.0),
+            Err(RmError::InvalidParameter { name: "budget", .. })
+        ));
+        assert!(matches!(
+            Advertiser::try_new(1.0, f64::NAN),
+            Err(RmError::InvalidParameter { name: "cpe", .. })
+        ));
+    }
+
+    #[test]
+    fn per_ad_row_count_and_row_length_are_validated() {
+        let ads = vec![
+            Advertiser::try_new(1.0, 1.0).unwrap(),
+            Advertiser::try_new(1.0, 1.0).unwrap(),
+        ];
+        let err = RmInstance::try_new(2, ads.clone(), SeedCosts::PerAd(vec![vec![1.0, 1.0]]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RmError::DimensionMismatch {
+                what: "per-ad cost rows",
+                ..
+            }
+        ));
+        let err = RmInstance::try_new(2, ads, SeedCosts::PerAd(vec![vec![1.0, 1.0], vec![1.0]]))
+            .unwrap_err();
+        assert!(matches!(err, RmError::DimensionMismatch { .. }));
+        assert!(matches!(
+            RmInstance::try_new(0, Vec::new(), SeedCosts::Shared(Vec::new())),
+            Err(RmError::NoAdvertisers)
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "budget must be positive")]
+    fn deprecated_constructor_still_panics() {
         Advertiser::new(0.0, 1.0);
     }
 }

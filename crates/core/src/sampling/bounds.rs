@@ -122,11 +122,15 @@ mod tests {
     use crate::problem::{Advertiser, SeedCosts};
 
     fn params() -> BoundParams {
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             100,
-            vec![Advertiser::new(50.0, 1.0), Advertiser::new(80.0, 2.0)],
+            vec![
+                Advertiser::try_new(50.0, 1.0).unwrap(),
+                Advertiser::try_new(80.0, 2.0).unwrap(),
+            ],
             SeedCosts::Shared(vec![1.0; 100]),
-        );
+        )
+        .unwrap();
         BoundParams::from_instance(&inst, 0.1)
     }
 

@@ -8,4 +8,7 @@ pub mod rma;
 
 pub use bounds::BoundParams;
 pub use estimator::{RrRevenueEstimator, RrSeedState};
-pub use rma::{one_batch, rm_without_oracle, seek_ub, RmaConfig, RmaResult};
+pub use rma::{seek_ub, RmaConfig, RmaResult};
+
+#[allow(deprecated)]
+pub use rma::{one_batch, rm_without_oracle};

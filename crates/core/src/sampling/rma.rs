@@ -7,16 +7,24 @@
 //! an upper bound on OPT from the `Search` diagnostics (`SeekUB`), checks
 //! budget feasibility and the `(λ − ε)` approximation certificate against
 //! `R2`, and doubles both collections if the certificate is not yet met.
+//!
+//! Both collections live in a shared [`RrCache`] ([`RrStream::Optimize`] and
+//! [`RrStream::Validate`]): a parameter sweep re-running RMA against the
+//! same graph/model *extends* the collections of the previous run instead of
+//! regenerating them, which is the core amortisation behind the
+//! [`crate::solver`] API. The deprecated [`rm_without_oracle`] free function
+//! reproduces the old behaviour by running against a private cache.
 
 use crate::algorithms::rm_oracle::{rm_with_oracle, OracleSolution};
 use crate::approx::lambda;
+use crate::error::RmError;
 use crate::oracle::RevenueOracle;
 use crate::problem::{Allocation, RmInstance};
 use crate::sampling::bounds::{
     failure_exponent, revenue_lower_bound, revenue_upper_bound, theta_max, theta_zero, BoundParams,
 };
 use crate::sampling::estimator::RrRevenueEstimator;
-use rmsa_diffusion::{PropagationModel, RrCollection, RrStrategy, UniformRrSampler};
+use rmsa_diffusion::{PropagationModel, RrCache, RrRequestStats, RrStrategy, RrStream};
 use rmsa_graph::DirectedGraph;
 use std::time::{Duration, Instant};
 
@@ -31,16 +39,19 @@ pub struct RmaConfig {
     pub tau: f64,
     /// Budget-overshoot parameter ϱ ∈ (0, 1) of the bicriteria guarantee.
     pub rho: f64,
-    /// RR-set generation strategy (standard reverse BFS or SUBSIM).
+    /// RR-set generation strategy (standard reverse BFS or SUBSIM). Only
+    /// consulted by the deprecated free functions, which own their RR-set
+    /// generation; under the [`crate::solver`] API the shared [`RrCache`]
+    /// fixes the strategy.
     pub strategy: RrStrategy,
-    /// Worker threads for RR-set generation.
+    /// Worker threads for RR-set generation (same caveat as `strategy`).
     pub num_threads: usize,
     /// Practical cap on the size of each collection; the theoretical cap
     /// `θ_max` can exceed available memory on large instances, in which case
     /// the algorithm stops doubling at this many RR-sets per collection and
     /// reports `capped = true`.
     pub max_rr_per_collection: usize,
-    /// Base RNG seed (R1 and R2 derive distinct streams from it).
+    /// Base RNG seed (same caveat as `strategy`).
     pub seed: u64,
 }
 
@@ -59,6 +70,37 @@ impl Default for RmaConfig {
     }
 }
 
+impl RmaConfig {
+    /// Validate the parameter ranges of Theorems 4.2/4.3 for an instance
+    /// with `num_ads` advertisers: τ, δ, ϱ ∈ (0, 1) and ε ∈ (0, λ(h, τ)).
+    pub fn validate(&self, num_ads: usize) -> Result<(), RmError> {
+        if num_ads == 0 {
+            return Err(RmError::NoAdvertisers);
+        }
+        for (name, value) in [("tau", self.tau), ("delta", self.delta), ("rho", self.rho)] {
+            if !(value > 0.0 && value < 1.0) {
+                return Err(RmError::invalid_parameter(name, value, "(0, 1)"));
+            }
+        }
+        let lam = lambda(num_ads, self.tau);
+        if !(self.epsilon > 0.0 && self.epsilon < lam) {
+            return Err(RmError::invalid_parameter(
+                "epsilon",
+                self.epsilon,
+                format!("(0, λ = {lam:.4}) for h = {num_ads}, τ = {}", self.tau),
+            ));
+        }
+        if self.max_rr_per_collection == 0 {
+            return Err(RmError::invalid_parameter(
+                "max_rr_per_collection",
+                0.0,
+                "[1, ∞)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Result of an RMA run, including the accounting the experiment harness
 /// reports (sample sizes, memory proxy, wall-clock time).
 #[derive(Clone, Debug)]
@@ -67,20 +109,27 @@ pub struct RmaResult {
     pub allocation: Allocation,
     /// λ of Theorem 3.5 for this instance's `h` and the configured τ.
     pub lambda: f64,
-    /// Final number of RR-sets in `R1` (same for `R2`).
+    /// Final number of RR-sets in `R1`.
     pub rr_sets_per_collection: usize,
-    /// Total RR-sets generated across both collections.
+    /// Total RR-sets used across both collections.
     pub total_rr_sets: usize,
     /// Number of progressive-sampling rounds executed.
     pub iterations: usize,
     /// The achieved certificate `β = LB(S⃗*) / UB(O⃗)` at termination.
     pub beta: f64,
+    /// The certified revenue lower bound `LB(S⃗*)` at termination.
+    pub revenue_lower_bound: f64,
     /// Whether the budget-feasibility check passed at termination.
     pub feasible: bool,
     /// Whether the practical RR-set cap was hit before the certificate held.
     pub capped: bool,
     /// Revenue estimate `π̃(S⃗*, R2)` (validation collection).
     pub revenue_estimate: f64,
+    /// RR-sets freshly generated during this run (below `total_rr_sets`
+    /// when a shared cache served part of the requests).
+    pub rr_generated: usize,
+    /// RR-sets served from the shared cache during this run.
+    pub rr_reused: usize,
     /// Approximate memory footprint of both collections in bytes.
     pub memory_bytes: usize,
     /// Wall-clock time of the whole run.
@@ -89,11 +138,7 @@ pub struct RmaResult {
 
 /// Algorithm 7: `SeekUB` — an upper bound on `π̃(O⃗, R1)` derived from the
 /// `Search` endpoint solutions via Theorem 3.2.
-pub fn seek_ub(
-    solution: &OracleSolution,
-    estimator: &RrRevenueEstimator,
-    num_ads: usize,
-) -> f64 {
+pub fn seek_ub(solution: &OracleSolution, estimator: &RrRevenueEstimator, num_ads: usize) -> f64 {
     let est = |alloc: &Allocation| estimator.allocation_estimate(&alloc.seed_sets);
     let trivial = est(&solution.allocation) / solution.lambda;
     if num_ads == 1 {
@@ -121,18 +166,27 @@ pub fn seek_ub(
     z.min(trivial)
 }
 
-/// Algorithm 6: `RM_without_Oracle(ε, δ, τ, ϱ)` — the RMA algorithm.
-pub fn rm_without_oracle<M: PropagationModel>(
+/// Algorithm 6 running against a shared [`RrCache`]: the collections
+/// `R1`/`R2` are the cache's [`RrStream::Optimize`] / [`RrStream::Validate`]
+/// streams and are *extended* across invocations, so repeated solves over
+/// the same graph/model amortise their sampling cost.
+pub(crate) fn rma_with_cache<M: PropagationModel + ?Sized>(
     graph: &DirectedGraph,
     model: &M,
     instance: &RmInstance,
     config: &RmaConfig,
-) -> RmaResult {
+    cache: &RrCache,
+) -> Result<RmaResult, RmError> {
     let start = Instant::now();
     let h = instance.num_ads();
-    assert_eq!(model.num_ads(), h, "model/advertiser count mismatch");
-    assert!(config.epsilon > 0.0 && config.delta > 0.0 && config.delta < 1.0);
-    assert!(config.rho > 0.0 && config.rho < 1.0);
+    if model.num_ads() != h {
+        return Err(RmError::DimensionMismatch {
+            what: "propagation model advertisers",
+            expected: h,
+            actual: model.num_ads(),
+        });
+    }
+    config.validate(h)?;
 
     let lam = lambda(h, config.tau);
     let params = BoundParams::from_instance(instance, config.rho);
@@ -147,27 +201,40 @@ pub fn rm_without_oracle<M: PropagationModel>(
     let t_max = ((theta_cap / theta0 as f64).log2().ceil() as usize).max(1);
     let q = failure_exponent(h, t_max, delta_prime);
 
-    let sampler = UniformRrSampler::new(&instance.cpe_values());
+    let sampler = rmsa_diffusion::UniformRrSampler::new(&instance.cpe_values());
     let n_gamma = instance.num_nodes as f64 * instance.gamma();
     let relaxed = instance.with_scaled_budgets(1.0 + config.rho / 2.0);
 
-    let mut r1 = RrCollection::new(instance.num_nodes, config.strategy);
-    let mut r2 = RrCollection::new(instance.num_nodes, config.strategy);
-    r1.generate_parallel(graph, model, &sampler, theta0, config.num_threads, config.seed);
-    r2.generate_parallel(
-        graph,
-        model,
-        &sampler,
-        theta0,
-        config.num_threads,
-        config.seed ^ 0x5DEECE66D,
-    );
-
+    let mut target = theta0;
     let mut iterations = 0usize;
+    let mut rr_generated = 0usize;
+    let mut rr_reused = 0usize;
     loop {
         iterations += 1;
-        let est1 = RrRevenueEstimator::new(&r1, h, instance.gamma());
-        let est2 = RrRevenueEstimator::new(&r2, h, instance.gamma());
+        // Lines 4–5: make sure both collections hold ≥ `target` RR-sets
+        // (possibly more, when a previous solve already extended them).
+        let build = |c: &rmsa_diffusion::RrCollection| {
+            (
+                RrRevenueEstimator::new(c, h, instance.gamma()),
+                c.memory_bytes(),
+            )
+        };
+        let ((est1, mem1), req1) =
+            cache.with_at_least(graph, model, &sampler, RrStream::Optimize, target, build);
+        // R2 tracks R1's *actual* size: a warm Optimize stream (e.g. after a
+        // one-batch run) must not leave the validation bounds on a tiny
+        // collection while the certificate is judged against a huge R1.
+        let validate_target = target.max(est1.num_rr().min(theta_cap_eff));
+        let ((est2, mem2), req2) = cache.with_at_least(
+            graph,
+            model,
+            &sampler,
+            RrStream::Validate,
+            validate_target,
+            build,
+        );
+        rr_generated += req1.generated + req2.generated;
+        rr_reused += req1.served_from_cache + req2.served_from_cache;
 
         // Line 6: run the oracle algorithms on the R1 estimator with relaxed
         // budgets (1 + ϱ/2)·B_i.
@@ -181,7 +248,7 @@ pub fn rm_without_oracle<M: PropagationModel>(
         for ad in 0..h {
             let seeds = solution.allocation.seeds(ad);
             let cov = est2.revenue(ad, seeds) / est2.scale().max(f64::MIN_POSITIVE);
-            let ub = revenue_upper_bound(cov, q, n_gamma, r2.len());
+            let ub = revenue_upper_bound(cov, q, n_gamma, est2.num_rr());
             let seed_cost = instance.set_cost(ad, seeds);
             if ub > (1.0 + config.rho) * instance.budget(ad) - seed_cost {
                 feasible = false;
@@ -190,56 +257,117 @@ pub fn rm_without_oracle<M: PropagationModel>(
         }
 
         // Lines 12–14: the approximation certificate β = LB(S⃗*)/UB(O⃗).
-        let cov_total =
-            est2.allocation_estimate(&solution.allocation.seed_sets) / est2.scale().max(f64::MIN_POSITIVE);
-        let lb = revenue_lower_bound(cov_total, q, n_gamma, r2.len());
+        let cov_total = est2.allocation_estimate(&solution.allocation.seed_sets)
+            / est2.scale().max(f64::MIN_POSITIVE);
+        let lb = revenue_lower_bound(cov_total, q, n_gamma, est2.num_rr());
         let cov_opt = z / est1.scale().max(f64::MIN_POSITIVE);
-        let ub_opt = revenue_upper_bound(cov_opt, q, n_gamma, r1.len());
+        let ub_opt = revenue_upper_bound(cov_opt, q, n_gamma, est1.num_rr());
         let beta = if ub_opt > 0.0 { lb / ub_opt } else { 1.0 };
 
-        let reached_cap = r1.len() >= theta_cap_eff;
+        let reached_cap = est1.num_rr() >= theta_cap_eff && est2.num_rr() >= theta_cap_eff;
         if (beta >= lam - config.epsilon && feasible) || reached_cap {
             let revenue_estimate = est2.allocation_estimate(&solution.allocation.seed_sets);
-            let memory_bytes = r1.memory_bytes() + r2.memory_bytes();
-            return RmaResult {
+            return Ok(RmaResult {
                 allocation: solution.allocation,
                 lambda: lam,
-                rr_sets_per_collection: r1.len(),
-                total_rr_sets: r1.len() + r2.len(),
+                rr_sets_per_collection: est1.num_rr(),
+                total_rr_sets: est1.num_rr() + est2.num_rr(),
                 iterations,
                 beta,
+                revenue_lower_bound: lb,
                 feasible,
                 capped: reached_cap && !(beta >= lam - config.epsilon && feasible),
                 revenue_estimate,
-                memory_bytes,
+                rr_generated,
+                rr_reused,
+                memory_bytes: mem1 + mem2,
                 elapsed: start.elapsed(),
-            };
+            });
         }
 
         // Line 16: double both collections.
-        let extra = r1.len().min(theta_cap_eff - r1.len()).max(1);
-        r1.generate_parallel(
-            graph,
-            model,
-            &sampler,
-            extra,
-            config.num_threads,
-            config.seed.wrapping_add(iterations as u64 * 2 + 1),
-        );
-        r2.generate_parallel(
-            graph,
-            model,
-            &sampler,
-            extra,
-            config.num_threads,
-            config.seed.wrapping_add(iterations as u64 * 2 + 2),
-        );
+        target = (est1.num_rr().max(target) * 2).min(theta_cap_eff);
     }
 }
 
-/// The one-batch algorithm of Section 4.3: generate a single collection of
-/// `num_rr_sets` RR-sets (the caller typically passes `θ_max`, possibly
-/// capped) and run `RM_with_Oracle` on the estimator with relaxed budgets.
+/// Clamp ε into the admissible `(0, λ(h, τ))` range, preserving the
+/// pre-0.2 behaviour of the deprecated entry points, which accepted any
+/// ε > 0 (an over-large ε simply made the certificate trivially
+/// satisfiable).
+fn legacy_config(config: &RmaConfig, num_ads: usize) -> RmaConfig {
+    let mut cfg = config.clone();
+    if cfg.tau > 0.0 && cfg.tau < 1.0 && num_ads >= 1 {
+        cfg.epsilon = cfg.epsilon.min(0.999 * lambda(num_ads, cfg.tau));
+    }
+    cfg
+}
+
+/// Algorithm 6: `RM_without_Oracle(ε, δ, τ, ϱ)` — the RMA algorithm, run
+/// against a private single-use RR-set cache. ε values at or above
+/// λ(h, τ) are clamped into the admissible range, matching the pre-0.2
+/// acceptance of this entry point.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified solver API: `rmsa_core::solver::Rma` with a `SolveContext` \
+            (or a `Workbench`), which shares RR-set collections across runs"
+)]
+pub fn rm_without_oracle<M: PropagationModel>(
+    graph: &DirectedGraph,
+    model: &M,
+    instance: &RmInstance,
+    config: &RmaConfig,
+) -> RmaResult {
+    let cache = RrCache::new(
+        instance.num_nodes,
+        config.strategy,
+        config.num_threads,
+        config.seed,
+    );
+    let cfg = legacy_config(config, instance.num_ads());
+    rma_with_cache(graph, model, instance, &cfg, &cache).expect("invalid RMA configuration")
+}
+
+/// The one-batch algorithm of Section 4.3 against a shared cache: a single
+/// collection of `num_rr_sets` RR-sets (the [`RrStream::Optimize`] stream,
+/// shared with RMA) feeds `RM_with_Oracle` once under relaxed budgets.
+pub(crate) fn one_batch_with_cache<M: PropagationModel + ?Sized>(
+    graph: &DirectedGraph,
+    model: &M,
+    instance: &RmInstance,
+    num_rr_sets: usize,
+    config: &RmaConfig,
+    cache: &RrCache,
+) -> Result<(Allocation, RrRevenueEstimator, RrRequestStats), RmError> {
+    let h = instance.num_ads();
+    if model.num_ads() != h {
+        return Err(RmError::DimensionMismatch {
+            what: "propagation model advertisers",
+            expected: h,
+            actual: model.num_ads(),
+        });
+    }
+    config.validate(h)?;
+    let sampler = rmsa_diffusion::UniformRrSampler::new(&instance.cpe_values());
+    let (est, request) = cache.with_at_least(
+        graph,
+        model,
+        &sampler,
+        RrStream::Optimize,
+        num_rr_sets,
+        |c| RrRevenueEstimator::new(c, h, instance.gamma()),
+    );
+    let relaxed = instance.with_scaled_budgets(1.0 + config.rho / 2.0);
+    let solution = rm_with_oracle(&relaxed, &est, config.tau);
+    Ok((solution.allocation, est, request))
+}
+
+/// The one-batch algorithm of Section 4.3 with a private single-use cache.
+/// ε values at or above λ(h, τ) are clamped into the admissible range,
+/// matching the pre-0.2 acceptance of this entry point.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified solver API: `rmsa_core::solver::OneBatch` with a `SolveContext`"
+)]
 pub fn one_batch<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -247,38 +375,38 @@ pub fn one_batch<M: PropagationModel>(
     num_rr_sets: usize,
     config: &RmaConfig,
 ) -> (Allocation, RrRevenueEstimator) {
-    let sampler = UniformRrSampler::new(&instance.cpe_values());
-    let mut coll = RrCollection::new(instance.num_nodes, config.strategy);
-    coll.generate_parallel(
-        graph,
-        model,
-        &sampler,
-        num_rr_sets,
+    let cache = RrCache::new(
+        instance.num_nodes,
+        config.strategy,
         config.num_threads,
         config.seed,
     );
-    let est = RrRevenueEstimator::new(&coll, instance.num_ads(), instance.gamma());
-    let relaxed = instance.with_scaled_budgets(1.0 + config.rho / 2.0);
-    let solution = rm_with_oracle(&relaxed, &est, config.tau);
-    (solution.allocation, est)
+    let cfg = legacy_config(config, instance.num_ads());
+    let (allocation, estimator, _) =
+        one_batch_with_cache(graph, model, instance, num_rr_sets, &cfg, &cache)
+            .expect("invalid one-batch configuration");
+    (allocation, estimator)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problem::{Advertiser, SeedCosts};
-    use rmsa_diffusion::UniformIc;
+    use rmsa_diffusion::{RrCollection, UniformIc, UniformRrSampler};
     use rmsa_graph::generators::celebrity_graph;
 
     fn setup(h: usize) -> (DirectedGraph, UniformIc, RmInstance) {
         let g = celebrity_graph(6, 8); // 54 nodes
         let m = UniformIc::new(h, 0.4);
         let n = g.num_nodes();
-        let inst = RmInstance::new(
+        let inst = RmInstance::try_new(
             n,
-            (0..h).map(|_| Advertiser::new(12.0, 1.0)).collect(),
+            (0..h)
+                .map(|_| Advertiser::try_new(12.0, 1.0).unwrap())
+                .collect(),
             SeedCosts::Shared(vec![1.0; n]),
-        );
+        )
+        .unwrap();
         (g, m, inst)
     }
 
@@ -295,15 +423,25 @@ mod tests {
         }
     }
 
+    fn fresh_cache(n: usize, cfg: &RmaConfig) -> RrCache {
+        RrCache::new(n, cfg.strategy, cfg.num_threads, cfg.seed)
+    }
+
+    fn run(g: &DirectedGraph, m: &UniformIc, inst: &RmInstance, cfg: &RmaConfig) -> RmaResult {
+        let cache = fresh_cache(inst.num_nodes, cfg);
+        rma_with_cache(g, m, inst, cfg, &cache).expect("valid config")
+    }
+
     #[test]
     fn rma_returns_a_disjoint_budget_respecting_allocation() {
         let (g, m, inst) = setup(3);
-        let res = rm_without_oracle(&g, &m, &inst, &quick_config());
+        let res = run(&g, &m, &inst, &quick_config());
         assert!(res.allocation.is_disjoint());
         assert!(res.iterations >= 1);
         assert!(res.rr_sets_per_collection > 0);
         assert!(res.total_rr_sets == 2 * res.rr_sets_per_collection);
         assert!(res.memory_bytes > 0);
+        assert!(res.revenue_lower_bound <= res.revenue_estimate + 1e-9);
         // Bicriteria budget check against the *estimate* (the guarantee is
         // probabilistic; with the generous ε here we only sanity-check that
         // the spend is in the right ballpark of (1+ϱ)B).
@@ -320,7 +458,7 @@ mod tests {
     #[test]
     fn rma_single_advertiser_runs_greedy_path() {
         let (g, m, inst) = setup(1);
-        let res = rm_without_oracle(&g, &m, &inst, &quick_config());
+        let res = run(&g, &m, &inst, &quick_config());
         assert!((res.lambda - 1.0 / 3.0).abs() < 1e-12);
         assert!(!res.allocation.seed_sets[0].is_empty());
     }
@@ -331,8 +469,70 @@ mod tests {
         let mut cfg = quick_config();
         cfg.max_rr_per_collection = 256;
         cfg.epsilon = 0.0001; // essentially unreachable certificate
-        let res = rm_without_oracle(&g, &m, &inst, &cfg);
+        let res = run(&g, &m, &inst, &cfg);
         assert!(res.rr_sets_per_collection <= 256);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (g, m, inst) = setup(3);
+        let cache = fresh_cache(inst.num_nodes, &quick_config());
+        let mut cfg = quick_config();
+        cfg.epsilon = 0.5; // above λ(3, 0.1) ≈ 0.114
+        assert!(matches!(
+            rma_with_cache(&g, &m, &inst, &cfg, &cache),
+            Err(RmError::InvalidParameter {
+                name: "epsilon",
+                ..
+            })
+        ));
+        let mut cfg = quick_config();
+        cfg.rho = 1.5;
+        assert!(matches!(
+            rma_with_cache(&g, &m, &inst, &cfg, &cache),
+            Err(RmError::InvalidParameter { name: "rho", .. })
+        ));
+        let cfg = quick_config();
+        let wrong_model = UniformIc::new(5, 0.4);
+        assert!(matches!(
+            rma_with_cache(&g, &wrong_model, &inst, &cfg, &cache),
+            Err(RmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_cache_reduces_generation_on_a_second_solve() {
+        let (g, m, inst) = setup(3);
+        let cfg = quick_config();
+        let cache = fresh_cache(inst.num_nodes, &cfg);
+        let first = rma_with_cache(&g, &m, &inst, &cfg, &cache).unwrap();
+        let generated_first = cache.stats().generated;
+        // Same instance solved again: everything is served from cache.
+        let second = rma_with_cache(&g, &m, &inst, &cfg, &cache).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.generated, generated_first, "no new RR-sets expected");
+        assert!(stats.served_from_cache > 0);
+        assert_eq!(first.allocation, second.allocation);
+    }
+
+    #[test]
+    fn warm_optimize_stream_still_gets_a_matching_validation_collection() {
+        // A one-batch run extends only the Optimize stream; a subsequent
+        // RMA run must bring the Validate stream up to R1's actual size
+        // instead of judging the certificate against a tiny R2.
+        let (g, m, inst) = setup(2);
+        let cfg = quick_config();
+        let cache = fresh_cache(inst.num_nodes, &cfg);
+        one_batch_with_cache(&g, &m, &inst, 20_000, &cfg, &cache).unwrap();
+        assert_eq!(cache.len(RrStream::Optimize), 20_000);
+        assert_eq!(cache.len(RrStream::Validate), 0);
+        let res = rma_with_cache(&g, &m, &inst, &cfg, &cache).unwrap();
+        assert_eq!(
+            res.total_rr_sets - res.rr_sets_per_collection,
+            res.rr_sets_per_collection,
+            "R2 must match R1's size after a warm start"
+        );
+        assert!(res.rr_sets_per_collection >= 20_000);
     }
 
     #[test]
@@ -355,7 +555,11 @@ mod tests {
     #[test]
     fn one_batch_produces_a_nonempty_allocation() {
         let (g, m, inst) = setup(2);
-        let (alloc, est) = one_batch(&g, &m, &inst, 10_000, &quick_config());
+        let cfg = quick_config();
+        let cache = fresh_cache(inst.num_nodes, &cfg);
+        let (alloc, est, request) =
+            one_batch_with_cache(&g, &m, &inst, 10_000, &cfg, &cache).expect("valid config");
+        assert_eq!(request.requested, 10_000);
         assert!(alloc.total_seeds() > 0);
         assert!(est.allocation_estimate(&alloc.seed_sets) > 0.0);
         assert!(alloc.is_disjoint());
@@ -368,11 +572,24 @@ mod tests {
         // check both runs return sensible, comparable revenue.
         let (g, m, inst) = setup(2);
         let cfg = quick_config();
-        let (a_small, est_small) = one_batch(&g, &m, &inst, 2_000, &cfg);
-        let (a_large, est_large) = one_batch(&g, &m, &inst, 30_000, &cfg);
+        let cache = fresh_cache(inst.num_nodes, &cfg);
+        let (a_small, est_small, _) =
+            one_batch_with_cache(&g, &m, &inst, 2_000, &cfg, &cache).unwrap();
+        let (a_large, est_large, _) =
+            one_batch_with_cache(&g, &m, &inst, 30_000, &cfg, &cache).unwrap();
         let r_small = est_small.allocation_estimate(&a_small.seed_sets);
         let r_large = est_large.allocation_estimate(&a_large.seed_sets);
         assert!(r_small > 0.0 && r_large > 0.0);
         assert!((r_small - r_large).abs() / r_large < 0.5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_still_work() {
+        let (g, m, inst) = setup(2);
+        let res = rm_without_oracle(&g, &m, &inst, &quick_config());
+        assert!(res.allocation.is_disjoint());
+        let (alloc, _) = one_batch(&g, &m, &inst, 5_000, &quick_config());
+        assert!(alloc.is_disjoint());
     }
 }

@@ -1,0 +1,182 @@
+//! The unified `Solver` API.
+//!
+//! Every algorithm in this crate — the paper's RMA and its one-batch
+//! variant, `RM_with_Oracle` under exact/Monte-Carlo oracles, and the four
+//! baselines of Aslay et al. — is exposed as an implementation of one trait:
+//!
+//! ```text
+//! fn solve(&self, ctx: &SolveContext) -> Result<SolveReport, RmError>
+//! ```
+//!
+//! A [`SolveContext`] bundles everything a solve needs: the graph, the
+//! propagation model, the [`RmInstance`], and a handle to a shared
+//! [`RrCache`]. Because the cache *extends* its RR-set collections instead
+//! of regenerating them, running `h` solvers over `k` parameter points —
+//! the shape of every experiment in the paper — pays the sampling cost once
+//! per graph/model, not once per run.
+//!
+//! The facade crate (`rmsa`) builds on this trait with a `Workbench` that
+//! owns graph + model + cache and drives registered solvers across sweeps.
+//!
+//! ```
+//! use rmsa_core::problem::{Advertiser, RmInstance, SeedCosts};
+//! use rmsa_core::solver::{Rma, SolveContext, Solver};
+//! use rmsa_core::RmaConfig;
+//! use rmsa_diffusion::{RrCache, RrStrategy, UniformIc};
+//! use rmsa_graph::generators::celebrity_graph;
+//!
+//! let graph = celebrity_graph(4, 10);
+//! let model = UniformIc::new(2, 0.3);
+//! let instance = RmInstance::try_new(
+//!     graph.num_nodes(),
+//!     vec![
+//!         Advertiser::try_new(15.0, 1.0).unwrap(),
+//!         Advertiser::try_new(15.0, 1.5).unwrap(),
+//!     ],
+//!     SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
+//! )
+//! .unwrap();
+//! let cache = RrCache::new(graph.num_nodes(), RrStrategy::Standard, 1, 42);
+//! let ctx = SolveContext::new(&graph, &model, &instance, &cache).unwrap();
+//! let config = RmaConfig { epsilon: 0.1, max_rr_per_collection: 20_000, ..RmaConfig::default() };
+//! let report = Rma::new(config).solve(&ctx).unwrap();
+//! assert!(report.allocation.is_disjoint());
+//! ```
+
+mod report;
+mod solvers;
+
+pub use report::{RrAccounting, SolveReport};
+pub use solvers::{CaGreedy, CsGreedy, OneBatch, OracleGreedy, OracleMode, Rma, TiCarm, TiCsrm};
+
+use crate::error::RmError;
+use crate::problem::RmInstance;
+use rmsa_diffusion::{PropagationModel, RrCache, UniformRrSampler};
+use rmsa_graph::DirectedGraph;
+
+/// Everything a [`Solver`] needs for one run: problem data plus the shared
+/// RR-set cache. Cheap to construct per instance; the expensive state (the
+/// cache) lives outside and is reused across contexts.
+pub struct SolveContext<'a> {
+    /// The social graph.
+    pub graph: &'a DirectedGraph,
+    /// The propagation model (type-erased; all solvers are model-agnostic).
+    pub model: &'a dyn PropagationModel,
+    /// The RM problem instance (advertisers, budgets, seed costs).
+    pub instance: &'a RmInstance,
+    /// Shared, lazily-extendable RR-set cache.
+    pub cache: &'a RrCache,
+}
+
+impl<'a> SolveContext<'a> {
+    /// Assemble a context, validating that graph, model, instance, and
+    /// cache agree on their dimensions.
+    pub fn new(
+        graph: &'a DirectedGraph,
+        model: &'a dyn PropagationModel,
+        instance: &'a RmInstance,
+        cache: &'a RrCache,
+    ) -> Result<Self, RmError> {
+        if instance.num_nodes != graph.num_nodes() {
+            return Err(RmError::DimensionMismatch {
+                what: "instance nodes",
+                expected: graph.num_nodes(),
+                actual: instance.num_nodes,
+            });
+        }
+        if model.num_ads() != instance.num_ads() {
+            return Err(RmError::DimensionMismatch {
+                what: "propagation model advertisers",
+                expected: instance.num_ads(),
+                actual: model.num_ads(),
+            });
+        }
+        if cache.num_nodes() != graph.num_nodes() {
+            return Err(RmError::DimensionMismatch {
+                what: "cache nodes",
+                expected: graph.num_nodes(),
+                actual: cache.num_nodes(),
+            });
+        }
+        Ok(SolveContext {
+            graph,
+            model,
+            instance,
+            cache,
+        })
+    }
+
+    /// The uniform advertiser-proportional sampler of Section 4.2 for this
+    /// instance's CPE values.
+    pub fn sampler(&self) -> UniformRrSampler {
+        UniformRrSampler::new(&self.instance.cpe_values())
+    }
+
+    /// Number of advertisers `h`.
+    pub fn num_ads(&self) -> usize {
+        self.instance.num_ads()
+    }
+}
+
+/// A revenue-maximization algorithm under the unified API.
+///
+/// Implementations must be deterministic given their configuration and the
+/// context (all randomness is seeded), and must return allocations that
+/// satisfy the partition-matroid constraint.
+pub trait Solver: Send + Sync {
+    /// Display name used in reports and experiment output (e.g. `"RMA"`).
+    fn name(&self) -> String;
+
+    /// Run the algorithm on `ctx` and report the outcome.
+    fn solve(&self, ctx: &SolveContext<'_>) -> Result<SolveReport, RmError>;
+}
+
+impl<S: Solver + ?Sized> Solver for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>) -> Result<SolveReport, RmError> {
+        (**self).solve(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Advertiser, SeedCosts};
+    use rmsa_diffusion::{RrStrategy, UniformIc};
+    use rmsa_graph::graph_from_edges;
+
+    #[test]
+    fn context_validates_dimensions() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let cache = RrCache::new(4, RrStrategy::Standard, 1, 1);
+        let inst = RmInstance::try_new(
+            4,
+            vec![Advertiser::try_new(5.0, 1.0).unwrap()],
+            SeedCosts::Shared(vec![1.0; 4]),
+        )
+        .unwrap();
+        let good = UniformIc::new(1, 0.5);
+        assert!(SolveContext::new(&g, &good, &inst, &cache).is_ok());
+
+        let bad_model = UniformIc::new(3, 0.5);
+        assert!(matches!(
+            SolveContext::new(&g, &bad_model, &inst, &cache),
+            Err(RmError::DimensionMismatch { .. })
+        ));
+
+        let bad_cache = RrCache::new(7, RrStrategy::Standard, 1, 1);
+        assert!(matches!(
+            SolveContext::new(&g, &good, &inst, &bad_cache),
+            Err(RmError::DimensionMismatch { .. })
+        ));
+
+        let big_graph = graph_from_edges(9, &[(0, 1)]);
+        assert!(matches!(
+            SolveContext::new(&big_graph, &good, &inst, &cache),
+            Err(RmError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -66,11 +66,7 @@ pub fn simulate_action_log<R: Rng>(
 /// (`+0/+1`) replaced by simply reporting 0 for never-attempted edges (the
 /// paper's learner likewise assigns positive probabilities only to observed
 /// influence relationships).
-pub fn learn_topic_probs(
-    num_edges: usize,
-    num_topics: usize,
-    log: &[Episode],
-) -> Vec<Vec<f32>> {
+pub fn learn_topic_probs(num_edges: usize, num_topics: usize, log: &[Episode]) -> Vec<Vec<f32>> {
     let mut successes = vec![vec![0u32; num_edges]; num_topics];
     let mut attempts = vec![vec![0u32; num_edges]; num_topics];
     for episode in log {
@@ -167,11 +163,11 @@ mod tests {
         let truth = TicModel::new(m, vec![vec![1.0; m], vec![0.0; m]], vec![vec![0.5, 0.5]]);
         let log = simulate_action_log(&g, &truth, 200, &mut rng());
         let learned = learn_topic_probs(m, 2, &log);
-        for e in 0..m {
-            if learned[0][e] > 0.0 {
-                assert_eq!(learned[0][e], 1.0);
+        for (always, never) in learned[0].iter().zip(&learned[1]) {
+            if *always > 0.0 {
+                assert_eq!(*always, 1.0);
             }
-            assert_eq!(learned[1][e], 0.0);
+            assert_eq!(*never, 0.0);
         }
     }
 
@@ -180,7 +176,11 @@ mod tests {
         let g = erdos_renyi(80, 0.05, &mut rng());
         let m = g.num_edges();
         let truth_probs = trivalency_topic_probs(m, 2, 0.8, &mut rng());
-        let truth = TicModel::new(m, truth_probs.clone(), random_ad_mixtures(2, 2, 1, &mut rng()));
+        let truth = TicModel::new(
+            m,
+            truth_probs.clone(),
+            random_ad_mixtures(2, 2, 1, &mut rng()),
+        );
         let small = simulate_action_log(&g, &truth, 30, &mut rng());
         let large = simulate_action_log(&g, &truth, 800, &mut rng());
         let err_small = probability_mae(&truth_probs, &learn_topic_probs(m, 2, &small));

@@ -46,7 +46,11 @@ pub const FLIXSTER_PROFILE: BudgetProfile = BudgetProfile {
 /// [`BudgetProfile`]: values are sampled uniformly in `[min, max]` and then
 /// shifted so the sample mean matches the profile mean (clamped back into
 /// the range).
-pub fn table2_advertisers<R: Rng>(profile: &BudgetProfile, h: usize, rng: &mut R) -> Vec<Advertiser> {
+pub fn table2_advertisers<R: Rng>(
+    profile: &BudgetProfile,
+    h: usize,
+    rng: &mut R,
+) -> Vec<Advertiser> {
     assert!(h > 0);
     let mut budgets: Vec<f64> = (0..h)
         .map(|_| rng.gen_range(profile.budget_min..=profile.budget_max))
@@ -54,12 +58,22 @@ pub fn table2_advertisers<R: Rng>(profile: &BudgetProfile, h: usize, rng: &mut R
     let mut cpes: Vec<f64> = (0..h)
         .map(|_| rng.gen_range(profile.cpe_min..=profile.cpe_max))
         .collect();
-    recenter(&mut budgets, profile.budget_mean, profile.budget_min, profile.budget_max);
-    recenter(&mut cpes, profile.cpe_mean, profile.cpe_min, profile.cpe_max);
+    recenter(
+        &mut budgets,
+        profile.budget_mean,
+        profile.budget_min,
+        profile.budget_max,
+    );
+    recenter(
+        &mut cpes,
+        profile.cpe_mean,
+        profile.cpe_min,
+        profile.cpe_max,
+    );
     budgets
         .into_iter()
         .zip(cpes)
-        .map(|(b, c)| Advertiser::new(b, c))
+        .map(|(b, c)| Advertiser::try_new(b, c).unwrap())
         .collect()
 }
 
@@ -67,7 +81,9 @@ pub fn table2_advertisers<R: Rng>(profile: &BudgetProfile, h: usize, rng: &mut R
 /// budgets and unit CPE (Section 5.2.3).
 pub fn scalability_advertisers(h: usize, budget: f64) -> Vec<Advertiser> {
     assert!(h > 0);
-    (0..h).map(|_| Advertiser::new(budget, 1.0)).collect()
+    (0..h)
+        .map(|_| Advertiser::try_new(budget, 1.0).unwrap())
+        .collect()
 }
 
 fn recenter(values: &mut [f64], target_mean: f64, lo: f64, hi: f64) {
@@ -107,7 +123,8 @@ mod tests {
         let mut rng = Pcg64Mcg::seed_from_u64(2);
         let lastfm = table2_advertisers(&LASTFM_PROFILE, 10, &mut rng);
         let flixster = table2_advertisers(&FLIXSTER_PROFILE, 10, &mut rng);
-        let mean = |ads: &[Advertiser]| ads.iter().map(|a| a.budget).sum::<f64>() / ads.len() as f64;
+        let mean =
+            |ads: &[Advertiser]| ads.iter().map(|a| a.budget).sum::<f64>() / ads.len() as f64;
         assert!(mean(&flixster) > 5.0 * mean(&lastfm));
     }
 

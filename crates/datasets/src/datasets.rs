@@ -236,7 +236,7 @@ impl Dataset {
         assert_eq!(advertisers.len(), self.num_ads);
         let spreads = self.singleton_spreads(rr_per_ad, seed);
         let costs = seed_costs_from_spreads(&spreads, incentive, alpha);
-        RmInstance::new(self.graph.num_nodes(), advertisers, costs)
+        RmInstance::try_new(self.graph.num_nodes(), advertisers, costs).unwrap()
     }
 
     /// Assemble an instance from precomputed singleton spreads (avoids
@@ -250,7 +250,7 @@ impl Dataset {
     ) -> RmInstance {
         assert_eq!(advertisers.len(), self.num_ads);
         let costs: SeedCosts = seed_costs_from_spreads(spreads, incentive, alpha);
-        RmInstance::new(self.graph.num_nodes(), advertisers, costs)
+        RmInstance::try_new(self.graph.num_nodes(), advertisers, costs).unwrap()
     }
 }
 
@@ -310,15 +310,18 @@ mod tests {
         assert_eq!(spreads.len(), 2);
         assert_eq!(spreads[0].len(), d.graph.num_nodes());
         assert!(spreads.iter().flatten().all(|&s| s >= 1.0));
-        // The node with the largest out-degree should have an above-average
-        // spread estimate.
-        let hub = d
-            .graph
-            .nodes()
-            .max_by_key(|&u| d.graph.out_degree(u))
-            .unwrap();
-        let mean: f64 = spreads[0].iter().sum::<f64>() / spreads[0].len() as f64;
-        assert!(spreads[0][hub as usize] >= mean);
+        // The spread distribution must have a real upper tail: the most
+        // influential node clearly exceeds the median. (Out-degree is
+        // nearly constant in a preferential-attachment graph, so no fixed
+        // node is guaranteed to be the influence hub across RNG streams.)
+        let mut sorted = spreads[0].clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("spreads are finite"));
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(
+            max >= 1.2 * median.max(1.0),
+            "max spread {max} not clearly above median {median}"
+        );
     }
 
     #[test]
@@ -333,7 +336,10 @@ mod tests {
     #[test]
     fn build_instance_produces_consistent_dimensions() {
         let d = Dataset::build(DatasetKind::LastfmSyn, 2, 0.05, 3);
-        let ads = vec![Advertiser::new(100.0, 1.0), Advertiser::new(150.0, 2.0)];
+        let ads = vec![
+            Advertiser::try_new(100.0, 1.0).unwrap(),
+            Advertiser::try_new(150.0, 2.0).unwrap(),
+        ];
         let inst = d.build_instance(ads, IncentiveModel::Linear, 0.1, 1_000, 3);
         assert_eq!(inst.num_nodes, d.graph.num_nodes());
         assert_eq!(inst.num_ads(), 2);
@@ -344,7 +350,7 @@ mod tests {
     fn alpha_scales_costs_linearly_under_the_linear_model() {
         let d = Dataset::build(DatasetKind::LastfmSyn, 1, 0.05, 3);
         let spreads = d.singleton_spreads(1_000, 4);
-        let ads = vec![Advertiser::new(100.0, 1.0)];
+        let ads = vec![Advertiser::try_new(100.0, 1.0).unwrap()];
         let a = d.build_instance_from_spreads(ads.clone(), &spreads, IncentiveModel::Linear, 0.1);
         let b = d.build_instance_from_spreads(ads, &spreads, IncentiveModel::Linear, 0.2);
         for u in 0..10u32 {

@@ -1,0 +1,433 @@
+//! A shared, lazily-extendable RR-set cache.
+//!
+//! The paper's experiments are parameter sweeps: the same graph and
+//! propagation model are queried by several algorithms at many parameter
+//! points. RR-set generation dominates the cost of every sampling
+//! algorithm, yet RR-sets depend only on the graph, the propagation model,
+//! and the advertiser-selection distribution of the uniform sampler
+//! (`cpe(i) / Γ`) — *not* on budgets, seed costs, ε, τ, or ϱ. A sweep over
+//! any of those can therefore reuse one progressively growing collection
+//! instead of regenerating from scratch at every point.
+//!
+//! [`RrCache`] owns a small set of named collections ([`RrStream`]) behind a
+//! [`parking_lot::Mutex`]. A request for `count` RR-sets *extends* the
+//! stream's collection when it is shorter and serves the (possibly larger)
+//! cached collection otherwise; [`RrCacheStats`] records how many RR-sets were actually
+//! generated versus requested, which is how the test-suite proves the
+//! amortisation. The cache fingerprints the RR-set distribution — graph
+//! shape, advertiser-CPE line-up, and a probe of the model's edge
+//! probabilities — and invalidates itself when any of them changes
+//! (correctness first, reuse second).
+
+use crate::models::PropagationModel;
+use crate::rr::RrStrategy;
+use crate::sampler::{RrCollection, UniformRrSampler};
+use parking_lot::Mutex;
+use rmsa_graph::DirectedGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Named RR-set streams inside an [`RrCache`].
+///
+/// Streams are seeded independently, so collections drawn from different
+/// streams are statistically independent — exactly what the progressive
+/// algorithm needs for its optimisation (`R1`) / validation (`R2`) split and
+/// what keeps evaluation collections unseen by any solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RrStream {
+    /// Collection the algorithms optimise on (RMA's `R1`, one-batch's `R`).
+    Optimize,
+    /// Independent validation collection (RMA's `R2`).
+    Validate,
+    /// Evaluation collection never shown to any solver.
+    Evaluate,
+    /// Additional independent streams for custom workloads.
+    Aux(u8),
+}
+
+impl RrStream {
+    fn index(self) -> usize {
+        match self {
+            RrStream::Optimize => 0,
+            RrStream::Validate => 1,
+            RrStream::Evaluate => 2,
+            RrStream::Aux(k) => 3 + k as usize,
+        }
+    }
+
+    fn seed_tag(self) -> u64 {
+        // Distinct odd tags decorrelate the per-stream RNG streams.
+        0xA076_1D64_78BD_642F_u64.wrapping_mul(self.index() as u64 * 2 + 1)
+    }
+}
+
+/// Accounting of cache effectiveness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RrCacheStats {
+    /// RR-sets actually generated since creation (or the last invalidation
+    /// reset them being counted — invalidations do not reset this counter).
+    pub generated: usize,
+    /// RR-sets requested by callers; without the cache, this many would
+    /// have been generated.
+    pub requested: usize,
+    /// Requests (in RR-sets) served from already-cached collections.
+    pub served_from_cache: usize,
+    /// Number of times a sampler change invalidated the cached collections.
+    pub invalidations: usize,
+}
+
+/// Accounting of one [`RrCache::with_at_least`] call. Unlike the global
+/// [`RrCacheStats`] counters, this is attributed to exactly one request, so
+/// concurrent callers cannot misattribute each other's generation work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RrRequestStats {
+    /// RR-sets the caller asked for.
+    pub requested: usize,
+    /// RR-sets freshly generated to satisfy this request.
+    pub generated: usize,
+    /// RR-sets served from the already-cached prefix.
+    pub served_from_cache: usize,
+}
+
+struct StreamState {
+    collection: RrCollection,
+    extensions: u64,
+}
+
+struct Inner {
+    /// Fingerprint of the sampler the collections were generated under.
+    fingerprint: Option<u64>,
+    streams: Vec<Option<StreamState>>,
+    stats: RrCacheStats,
+}
+
+/// Thread-safe, lazily-extendable store of RR-set collections shared by all
+/// solvers running against one graph + propagation model.
+pub struct RrCache {
+    num_nodes: usize,
+    strategy: RrStrategy,
+    num_threads: usize,
+    base_seed: u64,
+    inner: Mutex<Inner>,
+}
+
+impl RrCache {
+    /// Create an empty cache for graphs with `num_nodes` nodes.
+    ///
+    /// `strategy` and `num_threads` govern all generation done through the
+    /// cache; `base_seed` makes every stream deterministic.
+    pub fn new(num_nodes: usize, strategy: RrStrategy, num_threads: usize, base_seed: u64) -> Self {
+        RrCache {
+            num_nodes,
+            strategy,
+            num_threads: num_threads.max(1),
+            base_seed,
+            inner: Mutex::new(Inner {
+                fingerprint: None,
+                streams: Vec::new(),
+                stats: RrCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Number of nodes of the graph the cache serves.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The RR-set generation strategy used by every stream.
+    pub fn strategy(&self) -> RrStrategy {
+        self.strategy
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn stats(&self) -> RrCacheStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Current size of a stream's collection (0 when never touched).
+    pub fn len(&self, stream: RrStream) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .streams
+            .get(stream.index())
+            .and_then(|s| s.as_ref())
+            .map_or(0, |s| s.collection.len())
+    }
+
+    /// True when no stream holds any RR-set.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .streams
+            .iter()
+            .all(|s| s.as_ref().is_none_or(|s| s.collection.is_empty()))
+    }
+
+    /// Approximate heap footprint of all cached collections in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .streams
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|s| s.collection.memory_bytes())
+            .sum()
+    }
+
+    /// Drop every cached collection (accounting counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.streams.clear();
+        inner.fingerprint = None;
+    }
+
+    /// Ensure `stream` holds at least `count` RR-sets generated under
+    /// `sampler`, extending (never regenerating) the collection, then hand
+    /// it to `f`. Returns the closure's value plus this request's
+    /// [`RrRequestStats`].
+    ///
+    /// The closure receives the *whole* collection, which may exceed
+    /// `count` when earlier requests already grew it — estimates built on
+    /// the larger sample are statistically at least as good, but callers
+    /// needing an exact sample size must run against a fresh cache.
+    ///
+    /// The closure runs under the cache lock; build whatever index you need
+    /// (e.g. an estimator) and return it rather than holding references.
+    pub fn with_at_least<M, T>(
+        &self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        stream: RrStream,
+        count: usize,
+        f: impl FnOnce(&RrCollection) -> T,
+    ) -> (T, RrRequestStats)
+    where
+        M: PropagationModel + ?Sized,
+    {
+        assert_eq!(
+            graph.num_nodes(),
+            self.num_nodes,
+            "cache was created for a different graph"
+        );
+        let mut inner = self.inner.lock();
+        self.revalidate(&mut inner, graph, model, sampler);
+
+        let idx = stream.index();
+        if inner.streams.len() <= idx {
+            inner.streams.resize_with(idx + 1, || None);
+        }
+        let strategy = self.strategy;
+        let num_nodes = self.num_nodes;
+        let state = inner.streams[idx].get_or_insert_with(|| StreamState {
+            collection: RrCollection::new(num_nodes, strategy),
+            extensions: 0,
+        });
+
+        let have = state.collection.len();
+        let missing = count.saturating_sub(have);
+        if missing > 0 {
+            state.extensions += 1;
+            let seed = self
+                .base_seed
+                .wrapping_add(stream.seed_tag())
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(state.extensions));
+            state.collection.generate_parallel(
+                graph,
+                &model,
+                sampler,
+                missing,
+                self.num_threads,
+                seed,
+            );
+        }
+        let result = f(&state.collection);
+        inner.stats.requested += count;
+        inner.stats.generated += missing;
+        inner.stats.served_from_cache += count - missing;
+        (
+            result,
+            RrRequestStats {
+                requested: count,
+                generated: missing,
+                served_from_cache: count - missing,
+            },
+        )
+    }
+
+    /// Invalidate cached collections when the RR-set distribution changed:
+    /// a different sampler (CPE line-up), graph shape, or propagation
+    /// model.
+    fn revalidate<M: PropagationModel + ?Sized>(
+        &self,
+        inner: &mut Inner,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+    ) {
+        let fp = distribution_fingerprint(graph, model, sampler);
+        match inner.fingerprint {
+            Some(existing) if existing == fp => {}
+            Some(_) => {
+                inner.streams.clear();
+                inner.fingerprint = Some(fp);
+                inner.stats.invalidations += 1;
+            }
+            None => inner.fingerprint = Some(fp),
+        }
+    }
+}
+
+/// Hash of everything the RR-set distribution depends on: graph shape, the
+/// advertiser-selection distribution, and a deterministic probe of the
+/// model's edge probabilities (64 evenly spaced edges per advertiser — a
+/// cheap signature that catches model swaps and re-parameterisations
+/// without walking every edge on every request). The probe is a heuristic:
+/// two models that differ only on a handful of non-probed edges collide,
+/// so callers that mutate a model in place should [`RrCache::clear`] the
+/// cache explicitly. The `Workbench` owns its model and never swaps it, so
+/// this only concerns standalone `RrCache` users.
+fn distribution_fingerprint<M: PropagationModel + ?Sized>(
+    graph: &DirectedGraph,
+    model: &M,
+    sampler: &UniformRrSampler,
+) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    graph.num_nodes().hash(&mut hasher);
+    graph.num_edges().hash(&mut hasher);
+    sampler.num_ads().hash(&mut hasher);
+    for ad in 0..sampler.num_ads() {
+        sampler.cpe(ad).to_bits().hash(&mut hasher);
+    }
+    model.num_ads().hash(&mut hasher);
+    let m = graph.num_edges();
+    if m > 0 {
+        let probes = m.min(64);
+        for ad in 0..model.num_ads() {
+            for k in 0..probes {
+                let edge = (k * m / probes) as u32;
+                model.edge_prob(ad, edge).to_bits().hash(&mut hasher);
+            }
+        }
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::UniformIc;
+    use rmsa_graph::graph_from_edges;
+
+    fn setup() -> (DirectedGraph, UniformIc, UniformRrSampler) {
+        let g = graph_from_edges(12, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)]);
+        let m = UniformIc::new(2, 0.5);
+        let s = UniformRrSampler::new(&[1.0, 2.0]);
+        (g, m, s)
+    }
+
+    #[test]
+    fn extends_monotonically_instead_of_regenerating() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        let (first, req1) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 500, |c| {
+            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
+        });
+        assert_eq!(req1.generated, 500);
+        assert_eq!(req1.served_from_cache, 0);
+        assert_eq!(cache.len(RrStream::Optimize), 500);
+
+        // Growing keeps the existing prefix bit-for-bit.
+        let (second, req2) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 800, |c| {
+            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
+        });
+        assert_eq!(req2.generated, 300);
+        assert_eq!(req2.served_from_cache, 500);
+        assert_eq!(cache.len(RrStream::Optimize), 800);
+        assert_eq!(&second[..500], &first[..]);
+
+        // Shrinking requests are served from cache without generation.
+        let (_, req3) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 100, |c| {
+            assert_eq!(c.len(), 800);
+        });
+        assert_eq!(req3.generated, 0);
+        let stats = cache.stats();
+        assert_eq!(stats.generated, 800);
+        assert_eq!(stats.requested, 500 + 800 + 100);
+        assert_eq!(stats.served_from_cache, 500 + 100);
+        assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        let (opt, _) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 400, |c| {
+            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
+        });
+        let (val, _) = cache.with_at_least(&g, &m, &s, RrStream::Validate, 400, |c| {
+            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
+        });
+        assert_ne!(opt, val, "streams must not replay the same RNG stream");
+        assert_eq!(cache.len(RrStream::Optimize), 400);
+        assert_eq!(cache.len(RrStream::Validate), 400);
+        assert_eq!(cache.len(RrStream::Aux(3)), 0);
+    }
+
+    #[test]
+    fn sampler_change_invalidates() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        cache.with_at_least(&g, &m, &s, RrStream::Optimize, 300, |_| ());
+        // Same cpe distribution → still cached.
+        let same = UniformRrSampler::new(&[1.0, 2.0]);
+        cache.with_at_least(&g, &m, &same, RrStream::Optimize, 300, |_| ());
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().generated, 300);
+        // Different cpe distribution → regenerate.
+        let other = UniformRrSampler::new(&[1.0, 3.0]);
+        cache.with_at_least(&g, &m, &other, RrStream::Optimize, 300, |_| ());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.generated, 600);
+    }
+
+    #[test]
+    fn model_change_invalidates() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        cache.with_at_least(&g, &m, &s, RrStream::Optimize, 300, |_| ());
+        assert_eq!(cache.stats().invalidations, 0);
+        // Same sampler, different edge probabilities → stale RR-sets must
+        // not be served.
+        let hotter = UniformIc::new(2, 0.9);
+        let (len, req) = cache.with_at_least(&g, &hotter, &s, RrStream::Optimize, 300, |c| c.len());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(len, 300);
+        assert_eq!(req.generated, 300, "collection must be regenerated");
+    }
+
+    #[test]
+    fn clear_drops_collections_but_keeps_counters() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        cache.with_at_least(&g, &m, &s, RrStream::Evaluate, 200, |_| ());
+        assert!(!cache.is_empty());
+        assert!(cache.memory_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().generated, 200);
+    }
+
+    #[test]
+    fn works_through_a_trait_object_model() {
+        let (g, m, s) = setup();
+        let boxed: Box<dyn PropagationModel> = Box::new(m);
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 2, 9);
+        let (n, _) = cache.with_at_least(&g, boxed.as_ref(), &s, RrStream::Optimize, 1500, |c| {
+            c.len()
+        });
+        assert_eq!(n, 1500);
+    }
+}

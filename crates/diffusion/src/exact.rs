@@ -64,11 +64,7 @@ impl<'g, M: PropagationModel> ExactOracle<'g, M> {
         }
         let m = self.graph.num_edges();
         let probs = self.probs_for(ad);
-        let edges: Vec<(NodeId, NodeId)> = self
-            .graph
-            .edges()
-            .map(|(u, v, _)| (u, v))
-            .collect();
+        let edges: Vec<(NodeId, NodeId)> = self.graph.edges().map(|(u, v, _)| (u, v)).collect();
         let n = self.graph.num_nodes();
         let mut expected = 0.0f64;
         // Enumerate every subset of live edges.

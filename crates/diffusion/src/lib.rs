@@ -19,13 +19,18 @@
 //!   RR-set first samples an advertiser proportional to its CPE and then a
 //!   uniform root, plus the coverage index used for fast marginal-gain
 //!   queries.
+//! * [`cache`] — the shared, lazily-extendable [`RrCache`] behind the
+//!   `Solver`/`Workbench` API: parameter sweeps extend one progressively
+//!   growing set of collections instead of regenerating them per run.
 
+pub mod cache;
 pub mod exact;
 pub mod models;
 pub mod rr;
 pub mod sampler;
 pub mod simulate;
 
+pub use cache::{RrCache, RrCacheStats, RrRequestStats, RrStream};
 pub use models::{AdId, MaterializedModel, PropagationModel, TicModel, UniformIc, WeightedCascade};
 pub use rr::{RrGenerator, RrSet, RrStrategy};
 pub use sampler::{RrCollection, RrCoverage, UniformRrSampler};

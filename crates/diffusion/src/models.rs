@@ -34,6 +34,38 @@ pub trait PropagationModel: Send + Sync {
     }
 }
 
+// Delegating impls so trait objects (`&dyn PropagationModel`,
+// `Box<dyn PropagationModel>`) flow through the generic sampling functions
+// unchanged — the `Solver` API stores models type-erased.
+
+impl<M: PropagationModel + ?Sized> PropagationModel for &M {
+    fn num_ads(&self) -> usize {
+        (**self).num_ads()
+    }
+
+    fn edge_prob(&self, ad: AdId, edge: EdgeId) -> f64 {
+        (**self).edge_prob(ad, edge)
+    }
+
+    fn uniform_in_prob(&self, ad: AdId, node: NodeId) -> Option<f64> {
+        (**self).uniform_in_prob(ad, node)
+    }
+}
+
+impl<M: PropagationModel + ?Sized> PropagationModel for Box<M> {
+    fn num_ads(&self) -> usize {
+        (**self).num_ads()
+    }
+
+    fn edge_prob(&self, ad: AdId, edge: EdgeId) -> f64 {
+        (**self).edge_prob(ad, edge)
+    }
+
+    fn uniform_in_prob(&self, ad: AdId, node: NodeId) -> Option<f64> {
+        (**self).uniform_in_prob(ad, node)
+    }
+}
+
 /// The Topic-aware Independent Cascade model.
 ///
 /// `topic_edge_probs[z][e]` is the probability that the edge with forward id

@@ -94,7 +94,12 @@ pub fn load_edge_list<P: AsRef<Path>>(
 pub fn write_edge_list<P: AsRef<Path>>(graph: &DirectedGraph, path: P) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v, _) in graph.edges() {
         writeln!(w, "{u}\t{v}")?;
     }

@@ -4,17 +4,40 @@
 //! expensive, so cost-aware algorithms shift to many medium nodes while
 //! cost-agnostic ones collapse.
 //!
+//! All three incentive models share one `Workbench`: node costs do not
+//! affect RR-sets, so the whole comparison reuses one set of collections.
+//!
 //! Run with: `cargo run --release --example incentive_models`
 
 use rmsa::prelude::*;
-use rmsa_core::baselines::{ti_carm, TiConfig};
 
 fn main() {
     let h = 5;
     let dataset = Dataset::build(DatasetKind::LastfmSyn, h, 1.0, 3);
-    let advertisers: Vec<Advertiser> = (0..h).map(|_| Advertiser::new(320.0, 1.5)).collect();
+    let advertisers: Vec<Advertiser> = (0..h)
+        .map(|_| Advertiser::try_new(320.0, 1.5).unwrap())
+        .collect();
     let spreads = dataset.singleton_spreads(30_000, 9);
-    let evaluator_seed = 4242;
+
+    let mut wb = Workbench::builder()
+        .graph(dataset.graph.clone())
+        .model(dataset.model.clone())
+        .threads(4)
+        .seed(4242)
+        .build()
+        .expect("graph and model provided");
+    wb.register(Rma::new(RmaConfig {
+        epsilon: 0.06, // < λ(5, 0.1) ≈ 0.083
+        max_rr_per_collection: 200_000,
+        ..RmaConfig::default()
+    }));
+    wb.register(TiCarm::with_budget_scale(
+        TiConfig {
+            max_rr_per_ad: 40_000,
+            ..TiConfig::default()
+        },
+        1.1,
+    ));
 
     println!(
         "lastfm-syn: {} nodes, {} edges, {h} advertisers, budget 320 each\n",
@@ -27,41 +50,12 @@ fn main() {
     );
 
     for incentive in IncentiveModel::all() {
-        let instance = dataset.build_instance_from_spreads(
-            advertisers.clone(),
-            &spreads,
-            incentive,
-            0.2,
-        );
-        let evaluator = IndependentEvaluator::build(
-            &dataset.graph,
-            &dataset.model,
-            &instance,
-            200_000,
-            4,
-            evaluator_seed,
-        );
-
-        let rma = rm_without_oracle(
-            &dataset.graph,
-            &dataset.model,
-            &instance,
-            &RmaConfig {
-                max_rr_per_collection: 200_000,
-                ..RmaConfig::default()
-            },
-        );
-        let carm = ti_carm(
-            &dataset.graph,
-            &dataset.model,
-            &instance.with_scaled_budgets(1.1),
-            &TiConfig {
-                max_rr_per_ad: 40_000,
-                ..TiConfig::default()
-            },
-        );
-        let rma_rep = evaluator.report(&instance, &rma.allocation);
-        let carm_rep = evaluator.report(&instance, &carm.allocation);
+        let instance =
+            dataset.build_instance_from_spreads(advertisers.clone(), &spreads, incentive, 0.2);
+        let reports = wb.run(&instance).expect("valid configurations");
+        let evaluator = wb.evaluator(&instance, 200_000);
+        let rma_rep = evaluator.report(&instance, &reports[0].allocation);
+        let carm_rep = evaluator.report(&instance, &reports[1].allocation);
         println!(
             "{:<14} {:>12.1} {:>12.1} {:>8}   {:>12.1} {:>8}",
             incentive.label(),
@@ -73,6 +67,11 @@ fn main() {
         );
     }
 
-    println!("\nUnder the super-linear model the cost-agnostic baseline selects very few");
+    let stats = wb.cache_stats();
+    println!(
+        "\nshared cache: {} RR-sets generated, {} served from cache across the three models",
+        stats.generated, stats.served_from_cache
+    );
+    println!("Under the super-linear model the cost-agnostic baseline selects very few");
     println!("seeds (hubs violate the budget immediately), mirroring Fig. 1 of the paper.");
 }

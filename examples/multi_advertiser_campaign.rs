@@ -1,14 +1,13 @@
 //! A multi-advertiser campaign on the Flixster stand-in: ten advertisers
 //! with heterogeneous budgets and CPEs (Table 2 of the paper), seed costs
 //! from the quasi-linear incentive model, and a head-to-head comparison of
-//! RMA against the TI-CARM / TI-CSRM baselines.
+//! RMA against the TI-CARM / TI-CSRM baselines through one `Workbench`.
 //!
 //! Run with: `cargo run --release --example multi_advertiser_campaign`
 
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 use rmsa::prelude::*;
-use rmsa_core::baselines::{ti_carm, ti_csrm, TiConfig};
 use rmsa_datasets::config::{table2_advertisers, FLIXSTER_PROFILE};
 
 fn main() {
@@ -29,59 +28,57 @@ fn main() {
     for a in &mut advertisers {
         a.budget *= scale;
     }
-    let instance = dataset.build_instance(
-        advertisers,
-        IncentiveModel::QuasiLinear,
-        0.1,
-        20_000,
-        23,
-    );
+    let instance =
+        dataset.build_instance(advertisers, IncentiveModel::QuasiLinear, 0.1, 20_000, 23);
 
-    let evaluator =
-        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 300_000, 4, 777);
-
-    // RMA — the paper's algorithm.
-    let rma_cfg = RmaConfig {
-        epsilon: 0.1,
-        rho: 0.1,
+    // One workbench runs all three solvers over the same shared cache; the
+    // TI baselines receive the paper's (1 + ϱ)-scaled budgets.
+    let rho = 0.1;
+    let mut wb = Workbench::builder()
+        .graph(dataset.graph.clone())
+        .model(dataset.model.clone())
+        .threads(4)
+        .seed(777)
+        .build()
+        .expect("graph and model provided");
+    wb.register(Rma::new(RmaConfig {
+        epsilon: 0.04, // < λ(10, 0.1) ≈ 0.057
+        rho,
         max_rr_per_collection: 300_000,
         ..RmaConfig::default()
-    };
-    let rma = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &rma_cfg);
-    let rma_report = evaluator.report(&instance, &rma.allocation);
-
-    // Baselines of Aslay et al. — they receive the (1+ϱ)-scaled budgets, as
-    // in the paper's comparison protocol.
-    let baseline_instance = instance.with_scaled_budgets(1.0 + rma_cfg.rho);
+    }));
     let ti_cfg = TiConfig {
         epsilon: 0.1,
         max_rr_per_ad: 60_000,
         ..TiConfig::default()
     };
-    let carm = ti_carm(&dataset.graph, &dataset.model, &baseline_instance, &ti_cfg);
-    let csrm = ti_csrm(&dataset.graph, &dataset.model, &baseline_instance, &ti_cfg);
-    let carm_report = evaluator.report(&instance, &carm.allocation);
-    let csrm_report = evaluator.report(&instance, &csrm.allocation);
+    wb.register(TiCarm::with_budget_scale(ti_cfg.clone(), 1.0 + rho));
+    wb.register(TiCsrm::with_budget_scale(ti_cfg, 1.0 + rho));
 
-    println!("\n{:<10} {:>12} {:>14} {:>10} {:>12}", "algorithm", "revenue", "seeding cost", "seeds", "time");
-    for (name, report, elapsed) in [
-        ("RMA", &rma_report, rma.elapsed),
-        ("TI-CARM", &carm_report, carm.elapsed),
-        ("TI-CSRM", &csrm_report, csrm.elapsed),
-    ] {
+    let reports = wb.run(&instance).expect("valid configurations");
+    let evaluator = wb.evaluator(&instance, 300_000);
+
+    println!(
+        "\n{:<10} {:>12} {:>14} {:>10} {:>12}",
+        "algorithm", "revenue", "seeding cost", "seeds", "time"
+    );
+    for report in &reports {
+        let eval = evaluator.report(&instance, &report.allocation);
         println!(
-            "{name:<10} {:>12.1} {:>14.1} {:>10} {:>10.2?}",
-            report.revenue, report.seeding_cost, report.total_seeds, elapsed
+            "{:<10} {:>12.1} {:>14.1} {:>10} {:>10.2?}",
+            report.solver, eval.revenue, eval.seeding_cost, eval.total_seeds, report.elapsed
         );
     }
 
+    let rma = &reports[0];
+    let rma_eval = evaluator.report(&instance, &rma.allocation);
     println!("\nper-advertiser breakdown (RMA):");
     for ad in 0..h {
         println!(
             "  advertiser {ad:2}: budget {:8.1}  revenue {:8.1}  cost {:7.1}  seeds {:3}",
             instance.budget(ad),
-            rma_report.per_ad_revenue[ad],
-            rma_report.per_ad_cost[ad],
+            rma_eval.per_ad_revenue[ad],
+            rma_eval.per_ad_cost[ad],
             rma.allocation.seeds(ad).len()
         );
     }

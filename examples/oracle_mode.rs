@@ -1,12 +1,11 @@
 //! The Section-3 oracle setting on a tiny instance: an exact influence
-//! oracle (possible-world enumeration), the `RM_with_Oracle` dispatcher, and
-//! a brute-force check that the returned revenue meets the paper's
+//! oracle (possible-world enumeration) behind the `OracleGreedy` solver,
+//! and a brute-force check that the returned revenue meets the paper's
 //! instance-independent approximation ratio λ.
 //!
 //! Run with: `cargo run --release --example oracle_mode`
 
 use rmsa::prelude::*;
-use rmsa_core::rm_with_oracle;
 
 fn main() {
     // A hand-made 8-node network with two communities.
@@ -16,16 +15,33 @@ fn main() {
     }
     let graph = b.build();
     let model = UniformIc::new(2, 0.6);
-    let instance = RmInstance::new(
+    let instance = RmInstance::try_new(
         8,
-        vec![Advertiser::new(6.0, 1.0), Advertiser::new(5.0, 1.2)],
+        vec![
+            Advertiser::try_new(6.0, 1.0).unwrap(),
+            Advertiser::try_new(5.0, 1.2).unwrap(),
+        ],
         SeedCosts::Shared(vec![1.0; 8]),
-    );
+    )
+    .expect("consistent instance");
+
+    // The oracle used for brute-force verification below.
     let oracle = ExactRevenueOracle::new(&graph, &model, &instance);
 
-    let solution = rm_with_oracle(&instance, &oracle, 0.1);
+    // `RM_with_Oracle(τ)` under the exact oracle, through the solver API.
+    let wb = Workbench::builder()
+        .graph(graph.clone())
+        .model(model.clone())
+        .threads(1)
+        .seed(1)
+        .build()
+        .unwrap();
+    let report = wb
+        .run_solver(&OracleGreedy::exact(0.1), &instance)
+        .expect("valid τ");
+    let lambda = report.lambda.expect("oracle solver reports λ");
     println!("RM_with_Oracle (h = 2, τ = 0.1):");
-    for (ad, seeds) in solution.allocation.seed_sets.iter().enumerate() {
+    for (ad, seeds) in report.allocation.seed_sets.iter().enumerate() {
         println!(
             "  advertiser {ad}: seeds {:?}, revenue {:.3}, budget {}",
             seeds,
@@ -33,8 +49,8 @@ fn main() {
             instance.budget(ad)
         );
     }
-    println!("  total revenue: {:.3}", solution.revenue);
-    println!("  guaranteed ratio λ = {:.3}", solution.lambda);
+    println!("  total revenue: {:.3}", report.revenue_estimate);
+    println!("  guaranteed ratio λ = {lambda:.3}");
 
     // Brute force the optimum: each node goes to ad 0, ad 1, or nobody.
     let mut opt = 0.0f64;
@@ -51,8 +67,7 @@ fn main() {
             code /= 3;
         }
         let feasible = (0..2).all(|ad| {
-            oracle.revenue(ad, &sets[ad]) + instance.set_cost(ad, &sets[ad])
-                <= instance.budget(ad)
+            oracle.revenue(ad, &sets[ad]) + instance.set_cost(ad, &sets[ad]) <= instance.budget(ad)
         });
         if feasible {
             let rev = oracle.allocation_revenue(&sets);
@@ -62,11 +77,11 @@ fn main() {
             }
         }
     }
-    println!("\nbrute-force optimum: {:.3} with allocation {:?}", opt, opt_alloc);
+    println!("\nbrute-force optimum: {opt:.3} with allocation {opt_alloc:?}");
     println!(
         "achieved / optimal = {:.3} (guarantee was {:.3})",
-        solution.revenue / opt,
-        solution.lambda
+        report.revenue_estimate / opt,
+        lambda
     );
-    assert!(solution.revenue >= solution.lambda * opt - 1e-9);
+    assert!(report.revenue_estimate >= lambda * opt - 1e-9);
 }

@@ -1,6 +1,6 @@
 //! Quickstart: build a small synthetic social network, define two
 //! advertisers, and let RMA (the paper's `RM_without_Oracle`) pick seed
-//! users for each of them.
+//! users for each of them — all through the `Workbench` session API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -18,41 +18,63 @@ fn main() {
 
     // 2. Two advertisers with different budgets and CPE prices, linear seed
     //    incentives with α = 0.1.
-    let advertisers = vec![Advertiser::new(300.0, 1.0), Advertiser::new(150.0, 2.0)];
+    let advertisers = vec![
+        Advertiser::try_new(300.0, 1.0).expect("positive budget and cpe"),
+        Advertiser::try_new(150.0, 2.0).expect("positive budget and cpe"),
+    ];
     let instance = dataset.build_instance(advertisers, IncentiveModel::Linear, 0.1, 20_000, 7);
 
-    // 3. Run the progressive-sampling algorithm (Algorithm 6 of the paper).
-    let config = RmaConfig {
+    // 3. A workbench owns the graph, the propagation model, and a shared
+    //    RR-set cache; solvers are registered once and run per instance.
+    let mut wb = Workbench::builder()
+        .graph(dataset.graph.clone())
+        .model(dataset.model.clone())
+        .threads(4)
+        .seed(999)
+        .build()
+        .expect("graph and model provided");
+    wb.register(Rma::new(RmaConfig {
         epsilon: 0.1,
         rho: 0.1,
         tau: 0.1,
         max_rr_per_collection: 200_000,
         ..RmaConfig::default()
-    };
-    let result = rm_without_oracle(&dataset.graph, &dataset.model, &instance, &config);
+    }));
 
-    // 4. Evaluate the allocation on RR-sets the algorithm never saw.
-    let evaluator =
-        IndependentEvaluator::build(&dataset.graph, &dataset.model, &instance, 200_000, 4, 999);
-    let report = evaluator.report(&instance, &result.allocation);
+    // 4. Run the progressive-sampling algorithm (Algorithm 6 of the paper)
+    //    and evaluate the allocation on RR-sets the algorithm never saw
+    //    (the cache's dedicated evaluation stream).
+    let report = wb.run(&instance).expect("valid configuration").remove(0);
+    let evaluator = wb.evaluator(&instance, 200_000);
+    let eval = evaluator.report(&instance, &report.allocation);
 
-    println!("\nRMA finished in {:?}", result.elapsed);
-    println!("  approximation ratio λ      : {:.4}", result.lambda);
-    println!("  RR-sets per collection     : {}", result.rr_sets_per_collection);
-    println!("  progressive rounds         : {}", result.iterations);
-    println!("  certificate β = LB/UB      : {:.4}", result.beta);
+    println!("\nRMA finished in {:?}", report.elapsed);
+    println!(
+        "  approximation ratio λ      : {:.4}",
+        report.lambda.unwrap()
+    );
+    println!(
+        "  RR-sets used / generated   : {} / {}",
+        report.rr.used, report.rr.generated
+    );
+    println!("  progressive rounds         : {}", report.iterations);
+    println!("  certificate β = LB/UB      : {:.4}", report.beta.unwrap());
+    println!(
+        "  certified revenue LB       : {:.1}",
+        report.revenue_lower_bound.unwrap()
+    );
     println!("\nallocation:");
-    for (ad, seeds) in result.allocation.seed_sets.iter().enumerate() {
+    for (ad, seeds) in report.allocation.seed_sets.iter().enumerate() {
         println!(
             "  advertiser {ad}: {:3} seeds, revenue {:8.1}, seeding cost {:8.1}, budget {:8.1}",
             seeds.len(),
-            report.per_ad_revenue[ad],
-            report.per_ad_cost[ad],
+            eval.per_ad_revenue[ad],
+            eval.per_ad_cost[ad],
             instance.budget(ad)
         );
     }
-    println!("\ntotal revenue      : {:.1}", report.revenue);
-    println!("total seeding cost : {:.1}", report.seeding_cost);
-    println!("budget usage       : {:.1}%", report.budget_usage_pct);
-    println!("rate of return     : {:.1}%", report.rate_of_return_pct);
+    println!("\ntotal revenue      : {:.1}", eval.revenue);
+    println!("total seeding cost : {:.1}", eval.seeding_cost);
+    println!("budget usage       : {:.1}%", eval.budget_usage_pct);
+    println!("rate of return     : {:.1}%", eval.rate_of_return_pct);
 }

@@ -2,35 +2,54 @@
 //!
 //! Facade crate for the reproduction of *"Efficient and Effective Algorithms
 //! for Revenue Maximization in Social Advertising"* (SIGMOD 2021). It
-//! re-exports the workspace crates under stable module names so downstream
-//! users can depend on a single crate:
+//! re-exports the workspace crates under stable module names and adds the
+//! [`Workbench`] session API:
 //!
 //! * [`graph`] — CSR directed graphs, generators, IO ([`rmsa_graph`]).
 //! * [`diffusion`] — TIC / Weighted-Cascade models, Monte-Carlo simulation,
-//!   RR-set sampling ([`rmsa_diffusion`]).
-//! * [`core`] — the RM problem, the paper's algorithms (oracle + sampling)
-//!   and the baselines ([`rmsa_core`]).
+//!   RR-set sampling and the shared [`diffusion::RrCache`]
+//!   ([`rmsa_diffusion`]).
+//! * [`core`] — the RM problem, the paper's algorithms (oracle + sampling),
+//!   the baselines, and the unified [`core::solver::Solver`] trait
+//!   ([`rmsa_core`]).
 //! * [`datasets`] — synthetic dataset stand-ins and experiment configuration
 //!   ([`rmsa_datasets`]).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the paper-reproduction map.
+//! ## The solving session
+//!
+//! Algorithms are [`core::solver::Solver`]s invoked through a
+//! [`core::solver::SolveContext`]; the [`Workbench`] owns graph, model, and
+//! a shared RR-set cache, and drives registered solvers across parameter
+//! sweeps so sampling work is amortised instead of repeated. See `DESIGN.md`
+//! for the paper-algorithm → module map and the migration table from the
+//! pre-0.2 free-function API, and `examples/quickstart.rs` for a
+//! five-minute tour.
 
 pub use rmsa_core as core;
 pub use rmsa_datasets as datasets;
 pub use rmsa_diffusion as diffusion;
 pub use rmsa_graph as graph;
 
+mod workbench;
+
+pub use workbench::{SweepPoint, Workbench, WorkbenchBuilder};
+
 /// Commonly used items, re-exported flat for convenience.
 pub mod prelude {
+    pub use crate::workbench::{SweepPoint, Workbench, WorkbenchBuilder};
+    pub use rmsa_core::baselines::{TiConfig, TiResult};
+    pub use rmsa_core::solver::{
+        CaGreedy, CsGreedy, OneBatch, OracleGreedy, OracleMode, Rma, RrAccounting, SolveContext,
+        SolveReport, Solver, TiCarm, TiCsrm,
+    };
     pub use rmsa_core::{
-        rm_with_oracle, rm_without_oracle, Advertiser, Allocation, ExactRevenueOracle,
-        IndependentEvaluator, McRevenueOracle, RevenueOracle, RmInstance, RmaConfig, RmaResult,
-        SeedCosts,
+        Advertiser, Allocation, ExactRevenueOracle, IndependentEvaluator, McRevenueOracle,
+        RevenueOracle, RmError, RmInstance, RmaConfig, RmaResult, SeedCosts,
     };
     pub use rmsa_datasets::{Dataset, DatasetKind, IncentiveModel};
     pub use rmsa_diffusion::{
-        PropagationModel, RrStrategy, TicModel, UniformIc, WeightedCascade,
+        PropagationModel, RrCache, RrCacheStats, RrStrategy, RrStream, TicModel, UniformIc,
+        WeightedCascade,
     };
     pub use rmsa_graph::{DirectedGraph, GraphBuilder, NodeId};
 }
@@ -42,18 +61,28 @@ mod tests {
     #[test]
     fn facade_reexports_compose() {
         let graph = rmsa_graph::generators::celebrity_graph(3, 5);
-        let model = UniformIc::new(1, 0.5);
-        let instance = RmInstance::new(
-            graph.num_nodes(),
-            vec![Advertiser::new(10.0, 1.0)],
-            SeedCosts::Shared(vec![1.0; graph.num_nodes()]),
-        );
-        let config = RmaConfig {
+        let n = graph.num_nodes();
+        let mut wb = Workbench::builder()
+            .graph(graph)
+            .model(UniformIc::new(1, 0.5))
+            .threads(1)
+            .seed(1)
+            .build()
+            .expect("graph and model provided");
+        wb.register(Rma::new(RmaConfig {
+            epsilon: 0.1,
             max_rr_per_collection: 5_000,
             num_threads: 1,
             ..RmaConfig::default()
-        };
-        let result = rm_without_oracle(&graph, &model, &instance, &config);
-        assert!(result.allocation.is_disjoint());
+        }));
+        let instance = RmInstance::try_new(
+            n,
+            vec![Advertiser::try_new(10.0, 1.0).unwrap()],
+            SeedCosts::Shared(vec![1.0; n]),
+        )
+        .unwrap();
+        let reports = wb.run(&instance).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].allocation.is_disjoint());
     }
 }

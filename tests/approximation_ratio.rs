@@ -1,9 +1,12 @@
 //! Approximation-ratio checks of the oracle-setting algorithms against
-//! brute-force optima on tiny instances (Theorems 3.1–3.5).
+//! brute-force optima on tiny instances (Theorems 3.1–3.5), driven through
+//! the unified `Solver` API.
 
 use rmsa::prelude::*;
-use rmsa_core::baselines::{ca_greedy, cs_greedy};
-use rmsa_core::{greedy_single, rm_with_oracle, RevenueOracle};
+use rmsa_core::greedy_single;
+
+/// One brute-force scenario: edge list, budget, activation probability.
+type TinyCase = (Vec<(u32, u32)>, f64, f64);
 
 /// Brute-force the optimal revenue of an instance with `h ≤ 2` advertisers
 /// by assigning each node to advertiser 0, advertiser 1 (if present), or
@@ -35,22 +38,40 @@ fn brute_force_opt<O: RevenueOracle>(instance: &RmInstance, oracle: &O) -> f64 {
     opt
 }
 
-fn tiny_world(seed_edges: &[(u32, u32)], n: usize, h: usize, budget: f64, prob: f64) -> (DirectedGraph, UniformIc, RmInstance) {
+fn tiny_world(
+    seed_edges: &[(u32, u32)],
+    n: usize,
+    h: usize,
+    budget: f64,
+    prob: f64,
+) -> (DirectedGraph, UniformIc, RmInstance) {
     let g = rmsa_graph::graph_from_edges(n, seed_edges);
     let m = UniformIc::new(h, prob);
-    let inst = RmInstance::new(
+    let inst = RmInstance::try_new(
         n,
         (0..h)
-            .map(|i| Advertiser::new(budget + i as f64, 1.0))
+            .map(|i| Advertiser::try_new(budget + i as f64, 1.0).unwrap())
             .collect(),
         SeedCosts::Shared(vec![1.0; n]),
-    );
+    )
+    .unwrap();
     (g, m, inst)
+}
+
+fn exact_solve(g: &DirectedGraph, m: &UniformIc, inst: &RmInstance, tau: f64) -> SolveReport {
+    let wb = Workbench::builder()
+        .graph(g.clone())
+        .model(m.clone())
+        .threads(1)
+        .seed(1)
+        .build()
+        .unwrap();
+    wb.run_solver(&OracleGreedy::exact(tau), inst).unwrap()
 }
 
 #[test]
 fn greedy_meets_the_one_third_ratio_on_many_tiny_instances() {
-    let cases: Vec<(Vec<(u32, u32)>, f64, f64)> = vec![
+    let cases: Vec<TinyCase> = vec![
         (vec![(0, 1), (1, 2), (2, 3), (3, 4)], 4.0, 0.8),
         (vec![(0, 1), (0, 2), (0, 3), (4, 5)], 3.5, 0.6),
         (vec![(0, 1), (2, 3), (4, 5), (5, 6)], 5.0, 0.4),
@@ -74,7 +95,7 @@ fn greedy_meets_the_one_third_ratio_on_many_tiny_instances() {
 
 #[test]
 fn rm_with_oracle_meets_lambda_for_two_advertisers() {
-    let cases: Vec<(Vec<(u32, u32)>, f64, f64)> = vec![
+    let cases: Vec<TinyCase> = vec![
         (vec![(0, 1), (1, 2), (3, 4)], 4.0, 0.9),
         (vec![(0, 1), (0, 2), (3, 4), (4, 5)], 5.0, 0.5),
         (vec![(0, 1), (1, 2), (2, 0), (3, 4)], 3.0, 0.6),
@@ -83,33 +104,45 @@ fn rm_with_oracle_meets_lambda_for_two_advertisers() {
         let n = 6;
         let (g, m, inst) = tiny_world(&edges, n, 2, budget, prob);
         let oracle = ExactRevenueOracle::new(&g, &m, &inst);
-        let sol = rm_with_oracle(&inst, &oracle, 0.1);
+        let report = exact_solve(&g, &m, &inst, 0.1);
+        let lambda = report.lambda.expect("oracle solver reports λ");
         let opt = brute_force_opt(&inst, &oracle);
         assert!(
-            sol.revenue >= sol.lambda * opt - 1e-9,
+            report.revenue_estimate >= lambda * opt - 1e-9,
             "revenue {} < λ·OPT = {} on edges {edges:?}",
-            sol.revenue,
-            sol.lambda * opt
+            report.revenue_estimate,
+            lambda * opt
         );
         // In practice the algorithm does far better than the worst case; it
         // should capture at least half the optimum on these toys.
-        assert!(sol.revenue >= 0.5 * opt - 1e-9);
+        assert!(report.revenue_estimate >= 0.5 * opt - 1e-9);
     }
 }
 
 #[test]
 fn our_algorithm_is_at_least_as_good_as_both_baselines_on_tiny_instances() {
     let (g, m, inst) = tiny_world(&[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6)], 8, 2, 5.0, 1.0);
-    let oracle = ExactRevenueOracle::new(&g, &m, &inst);
-    let ours = rm_with_oracle(&inst, &oracle, 0.1);
-    let ca = oracle.allocation_revenue(&ca_greedy(&inst, &oracle).seed_sets);
-    let cs = oracle.allocation_revenue(&cs_greedy(&inst, &oracle).seed_sets);
+    let wb = Workbench::builder()
+        .graph(g.clone())
+        .model(m.clone())
+        .threads(1)
+        .seed(1)
+        .build()
+        .unwrap();
+    let ours = wb.run_solver(&OracleGreedy::exact(0.1), &inst).unwrap();
+    let ca = wb
+        .run_solver(&CaGreedy::new(OracleMode::Exact), &inst)
+        .unwrap();
+    let cs = wb
+        .run_solver(&CsGreedy::new(OracleMode::Exact), &inst)
+        .unwrap();
     assert!(
-        ours.revenue >= ca - 1e-9 && ours.revenue >= cs - 1e-9,
+        ours.revenue_estimate >= ca.revenue_estimate - 1e-9
+            && ours.revenue_estimate >= cs.revenue_estimate - 1e-9,
         "ours {} vs CA {} / CS {}",
-        ours.revenue,
-        ca,
-        cs
+        ours.revenue_estimate,
+        ca.revenue_estimate,
+        cs.revenue_estimate
     );
 }
 
@@ -117,11 +150,11 @@ fn our_algorithm_is_at_least_as_good_as_both_baselines_on_tiny_instances() {
 fn solutions_are_always_feasible_even_when_budget_is_fractional() {
     let (g, m, inst) = tiny_world(&[(0, 1), (1, 2), (2, 3)], 5, 2, 2.7, 0.45);
     let oracle = ExactRevenueOracle::new(&g, &m, &inst);
-    let sol = rm_with_oracle(&inst, &oracle, 0.2);
+    let report = exact_solve(&g, &m, &inst, 0.2);
     for ad in 0..2 {
-        let seeds = sol.allocation.seeds(ad);
+        let seeds = report.allocation.seeds(ad);
         let spend = oracle.revenue(ad, seeds) + inst.set_cost(ad, seeds);
         assert!(spend <= inst.budget(ad) + 1e-9);
     }
-    assert!(sol.allocation.is_disjoint());
+    assert!(report.allocation.is_disjoint());
 }

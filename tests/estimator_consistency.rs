@@ -9,16 +9,17 @@ use rmsa_core::{ExactRevenueOracle, McRevenueOracle, RevenueOracle, RrRevenueEst
 use rmsa_diffusion::{RrCollection, UniformRrSampler};
 
 fn tiny_instance() -> (DirectedGraph, UniformIc, RmInstance) {
-    let g = rmsa_graph::graph_from_edges(
-        6,
-        &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (2, 5)],
-    );
+    let g = rmsa_graph::graph_from_edges(6, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (2, 5)]);
     let m = UniformIc::new(2, 0.45);
-    let inst = RmInstance::new(
+    let inst = RmInstance::try_new(
         6,
-        vec![Advertiser::new(20.0, 1.0), Advertiser::new(20.0, 2.5)],
+        vec![
+            Advertiser::try_new(20.0, 1.0).unwrap(),
+            Advertiser::try_new(20.0, 2.5).unwrap(),
+        ],
         SeedCosts::Shared(vec![1.0; 6]),
-    );
+    )
+    .unwrap();
     (g, m, inst)
 }
 
@@ -130,11 +131,15 @@ fn monte_carlo_simulation_agrees_with_exact_spread_on_the_tic_model() {
         vec![vec![0.9, 0.9, 0.9], vec![0.2, 0.2, 0.2]],
         vec![vec![1.0, 0.0], vec![0.0, 1.0]],
     );
-    let inst = RmInstance::new(
+    let inst = RmInstance::try_new(
         4,
-        vec![Advertiser::new(50.0, 1.0), Advertiser::new(50.0, 1.0)],
+        vec![
+            Advertiser::try_new(50.0, 1.0).unwrap(),
+            Advertiser::try_new(50.0, 1.0).unwrap(),
+        ],
         SeedCosts::Shared(vec![1.0; 4]),
-    );
+    )
+    .unwrap();
     let exact = ExactRevenueOracle::new(&g, &tic, &inst);
     let mc = McRevenueOracle::new(&g, &tic, &inst, 40_000, 9);
     for ad in 0..2 {

@@ -1,0 +1,68 @@
+//! Offline shim for `rand_pcg`: the [`Pcg64Mcg`] generator (PCG XSL-RR
+//! 128/64 with a multiplicative congruential state transition), implemented
+//! against the vendored `rand` shim's `RngCore` / `SeedableRng` traits.
+
+use rand::{RngCore, SeedableRng};
+
+/// O'Neill's PCG multiplier for 128-bit state.
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// PCG XSL-RR 128/64 (MCG): 128-bit multiplicative state, 64-bit output via
+/// xorshift-low + random rotation. Fast, tiny, and statistically strong —
+/// the workhorse RNG of the RR-set samplers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pcg64Mcg {
+    state: u128,
+}
+
+impl Pcg64Mcg {
+    /// Construct from a 128-bit state; the low bit is forced to 1 because an
+    /// MCG requires odd state.
+    pub fn new(state: u128) -> Self {
+        Pcg64Mcg { state: state | 1 }
+    }
+}
+
+impl RngCore for Pcg64Mcg {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MULTIPLIER);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+impl SeedableRng for Pcg64Mcg {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Pcg64Mcg::new(u128::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg64Mcg::seed_from_u64(123);
+        let mut b = Pcg64Mcg::seed_from_u64(123);
+        let mut c = Pcg64Mcg::seed_from_u64(124);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = Pcg64Mcg::seed_from_u64(5);
+        let n = 40_000usize;
+        let ones: u32 = (0..n).map(|_| rng.next_u64().count_ones()).sum::<u32>();
+        let mean_bits = ones as f64 / n as f64;
+        assert!((mean_bits - 32.0).abs() < 0.2, "mean set bits {mean_bits}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros and defines marker traits with blanket
+//! implementations, so `#[derive(Serialize, Deserialize)]` annotations and
+//! `T: Serialize` bounds compile unchanged against this shim. Swap the
+//! `path` dependency for the real crate to restore actual serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` exactly as it would against real serde; these macros accept
+//! the annotation and expand to nothing. The companion `serde` shim provides
+//! blanket trait impls, so trait bounds on `Serialize` / `Deserialize`
+//! continue to hold.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
