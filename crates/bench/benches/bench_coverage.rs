@@ -1,28 +1,68 @@
-//! Micro-benchmark: coverage-index construction and marginal-gain queries on
-//! the RR-set revenue estimator (the inner loop of every greedy pass).
+//! Micro-benchmark: coverage-index construction, incremental extension,
+//! and marginal-gain queries on the RR-set revenue estimator (the inner
+//! loop of every greedy pass).
+//!
+//! The headline comparison is `extend_theta1_to_theta2` versus
+//! `rebuild_at_theta2`: growing a warm index from θ₁ to θ₂ only indexes
+//! the new sets (plus a copy-on-write of the advertiser/singleton
+//! columns), while a from-scratch build re-walks every member entry.
+//!
+//! Set `RMSA_BENCH_QUICK=1` to shrink the workload for CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 use rmsa_core::{RevenueOracle, RrRevenueEstimator};
-use rmsa_diffusion::{RrCollection, RrStrategy, UniformIc, UniformRrSampler};
+use rmsa_diffusion::{CoverageIndex, RrArena, RrStrategy, UniformIc, UniformRrSampler};
 use rmsa_graph::generators::barabasi_albert;
 
 fn bench_coverage(c: &mut Criterion) {
+    let quick = std::env::var("RMSA_BENCH_QUICK").is_ok();
+    let (num_nodes, theta2) = if quick {
+        (2_000, 8_000)
+    } else {
+        (10_000, 50_000)
+    };
+    let theta1 = theta2 / 2;
     let mut rng = Pcg64Mcg::seed_from_u64(3);
-    let graph = barabasi_albert(10_000, 6, &mut rng);
+    let graph = barabasi_albert(num_nodes, 6, &mut rng);
     let model = UniformIc::new(4, 0.05);
     let sampler = UniformRrSampler::new(&[1.0, 1.5, 2.0, 1.0]);
-    let mut coll = RrCollection::new(graph.num_nodes(), RrStrategy::Standard);
-    coll.generate(&graph, &model, &sampler, 50_000, &mut rng);
+    let mut arena = RrArena::new(graph.num_nodes(), RrStrategy::Standard);
+    arena.generate(&graph, &model, &sampler, theta2, &mut rng);
+
+    // A warm index over the θ₁ prefix, cloned per iteration below.
+    let mut warm = CoverageIndex::new(graph.num_nodes(), 4);
+    warm.extend_to(&arena, theta1);
 
     let mut group = c.benchmark_group("coverage");
     group.sample_size(20);
-    group.bench_function("build_estimator_50k_sets", |b| {
-        b.iter(|| RrRevenueEstimator::new(&coll, 4, 5.5).num_rr());
+    group.bench_function("rebuild_at_theta2", |b| {
+        b.iter(|| {
+            let mut index = CoverageIndex::new(graph.num_nodes(), 4);
+            index.extend_from(&arena);
+            index.num_rr()
+        });
+    });
+    group.bench_function("extend_theta1_to_theta2", |b| {
+        b.iter(|| {
+            // The clone shares the θ₁ segment; extending indexes only the
+            // new θ₂ − θ₁ sets (copy-on-write on the shared columns).
+            let mut index = warm.clone();
+            index.extend_from(&arena);
+            index.num_rr()
+        });
+    });
+    group.bench_function("estimator_snapshot_from_warm_index", |b| {
+        let mut index = CoverageIndex::new(graph.num_nodes(), 4);
+        index.extend_from(&arena);
+        b.iter(|| RrRevenueEstimator::from_view(index.view(), 5.5).num_rr());
+    });
+    group.bench_function("build_estimator_from_scratch", |b| {
+        b.iter(|| RrRevenueEstimator::new(&arena, 4, 5.5).num_rr());
     });
 
-    let est = RrRevenueEstimator::new(&coll, 4, 5.5);
+    let est = RrRevenueEstimator::new(&arena, 4, 5.5);
     group.bench_function("greedy_marginal_gains_1000_nodes", |b| {
         b.iter(|| {
             let state = est.new_state(0);

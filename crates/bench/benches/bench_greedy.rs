@@ -8,7 +8,7 @@ use rmsa_core::{
     greedy_single, rm_with_oracle, threshold_greedy, Advertiser, RmInstance, RrRevenueEstimator,
     SeedCosts,
 };
-use rmsa_diffusion::{RrCollection, RrStrategy, UniformIc, UniformRrSampler};
+use rmsa_diffusion::{RrArena, RrStrategy, UniformIc, UniformRrSampler};
 use rmsa_graph::generators::barabasi_albert;
 use rmsa_graph::NodeId;
 
@@ -19,9 +19,9 @@ fn setup() -> (RmInstance, RrRevenueEstimator) {
     let model = UniformIc::new(h, 0.05);
     let cpes = vec![1.0; h];
     let sampler = UniformRrSampler::new(&cpes);
-    let mut coll = RrCollection::new(graph.num_nodes(), RrStrategy::Standard);
-    coll.generate(&graph, &model, &sampler, 30_000, &mut rng);
-    let estimator = RrRevenueEstimator::new(&coll, h, h as f64);
+    let mut arena = RrArena::new(graph.num_nodes(), RrStrategy::Standard);
+    arena.generate(&graph, &model, &sampler, 30_000, &mut rng);
+    let estimator = RrRevenueEstimator::new(&arena, h, h as f64);
     let instance = RmInstance::try_new(
         graph.num_nodes(),
         (0..h)

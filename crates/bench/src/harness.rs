@@ -132,6 +132,9 @@ pub struct AlgoOutcome {
     /// RR-sets freshly generated for this run (below `rr_sets` when the
     /// shared cache served part of the request).
     pub rr_generated: usize,
+    /// Wall-clock seconds spent building/extending the coverage index in
+    /// this run (zero when the shared index was fully reused).
+    pub index_secs: f64,
     /// Approximate memory footprint of the algorithm's sample structures,
     /// in MiB.
     pub memory_mib: f64,
@@ -158,6 +161,7 @@ impl AlgoOutcome {
             time_secs: report.elapsed.as_secs_f64(),
             rr_sets: report.rr.used,
             rr_generated: report.rr.generated,
+            index_secs: report.index_time.as_secs_f64(),
             memory_mib: report.memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: eval.budget_usage_pct,
             rate_of_return_pct: eval.rate_of_return_pct,

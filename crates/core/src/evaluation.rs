@@ -8,7 +8,7 @@
 
 use crate::problem::{Allocation, RmInstance};
 use crate::sampling::estimator::RrRevenueEstimator;
-use rmsa_diffusion::{PropagationModel, RrCollection, RrStrategy, UniformRrSampler};
+use rmsa_diffusion::{PropagationModel, RrArena, RrStrategy, UniformRrSampler};
 use rmsa_graph::DirectedGraph;
 use serde::{Deserialize, Serialize};
 
@@ -48,10 +48,10 @@ impl IndependentEvaluator {
         seed: u64,
     ) -> Self {
         let sampler = UniformRrSampler::new(&instance.cpe_values());
-        let mut coll = RrCollection::new(instance.num_nodes, RrStrategy::Standard);
-        coll.generate_parallel(graph, model, &sampler, num_rr_sets, num_threads, seed);
+        let mut arena = RrArena::new(instance.num_nodes, RrStrategy::Standard);
+        arena.generate_parallel(graph, model, &sampler, num_rr_sets, num_threads, seed);
         IndependentEvaluator {
-            estimator: RrRevenueEstimator::new(&coll, instance.num_ads(), instance.gamma()),
+            estimator: RrRevenueEstimator::new(&arena, instance.num_ads(), instance.gamma()),
         }
     }
 

@@ -130,6 +130,13 @@ pub struct RmaResult {
     pub rr_generated: usize,
     /// RR-sets served from the shared cache during this run.
     pub rr_reused: usize,
+    /// RR-sets newly added to the shared coverage indexes during this run.
+    pub index_extended: usize,
+    /// RR-sets whose coverage-index entries predate this run (index work
+    /// amortised away by extend-never-rebuild).
+    pub index_reused: usize,
+    /// Wall-clock time spent extending the coverage indexes.
+    pub index_time: Duration,
     /// Approximate memory footprint of both collections in bytes.
     pub memory_bytes: usize,
     /// Wall-clock time of the whole run.
@@ -209,14 +216,19 @@ pub(crate) fn rma_with_cache<M: PropagationModel + ?Sized>(
     let mut iterations = 0usize;
     let mut rr_generated = 0usize;
     let mut rr_reused = 0usize;
+    let mut index_extended = 0usize;
+    let mut index_reused = 0usize;
+    let mut index_time = Duration::ZERO;
     loop {
         iterations += 1;
         // Lines 4–5: make sure both collections hold ≥ `target` RR-sets
         // (possibly more, when a previous solve already extended them).
-        let build = |c: &rmsa_diffusion::RrCollection| {
+        // The estimator snapshots the stream's incrementally extended
+        // coverage index — a few `Arc` bumps, not a rebuild.
+        let build = |v: rmsa_diffusion::RrStreamView<'_>| {
             (
-                RrRevenueEstimator::new(c, h, instance.gamma()),
-                c.memory_bytes(),
+                RrRevenueEstimator::from_view(v.coverage(), instance.gamma()),
+                v.memory_bytes(),
             )
         };
         let ((est1, mem1), req1) =
@@ -235,6 +247,9 @@ pub(crate) fn rma_with_cache<M: PropagationModel + ?Sized>(
         );
         rr_generated += req1.generated + req2.generated;
         rr_reused += req1.served_from_cache + req2.served_from_cache;
+        index_extended += req1.index_extended + req2.index_extended;
+        index_reused += req1.index_reused + req2.index_reused;
+        index_time += req1.index_extend_time + req2.index_extend_time;
 
         // Line 6: run the oracle algorithms on the R1 estimator with relaxed
         // budgets (1 + ϱ/2)·B_i.
@@ -280,6 +295,9 @@ pub(crate) fn rma_with_cache<M: PropagationModel + ?Sized>(
                 revenue_estimate,
                 rr_generated,
                 rr_reused,
+                index_extended,
+                index_reused,
+                index_time,
                 memory_bytes: mem1 + mem2,
                 elapsed: start.elapsed(),
             });
@@ -354,7 +372,7 @@ pub(crate) fn one_batch_with_cache<M: PropagationModel + ?Sized>(
         &sampler,
         RrStream::Optimize,
         num_rr_sets,
-        |c| RrRevenueEstimator::new(c, h, instance.gamma()),
+        |v| RrRevenueEstimator::from_view(v.coverage(), instance.gamma()),
     );
     let relaxed = instance.with_scaled_budgets(1.0 + config.rho / 2.0);
     let solution = rm_with_oracle(&relaxed, &est, config.tau);
@@ -392,7 +410,7 @@ pub fn one_batch<M: PropagationModel>(
 mod tests {
     use super::*;
     use crate::problem::{Advertiser, SeedCosts};
-    use rmsa_diffusion::{RrCollection, UniformIc, UniformRrSampler};
+    use rmsa_diffusion::{RrArena, UniformIc, UniformRrSampler};
     use rmsa_graph::generators::celebrity_graph;
 
     fn setup(h: usize) -> (DirectedGraph, UniformIc, RmInstance) {
@@ -539,10 +557,10 @@ mod tests {
     fn seek_ub_is_at_least_the_solution_estimate() {
         let (g, m, inst) = setup(4);
         let sampler = UniformRrSampler::new(&inst.cpe_values());
-        let mut coll = RrCollection::new(inst.num_nodes, RrStrategy::Standard);
+        let mut arena = RrArena::new(inst.num_nodes, RrStrategy::Standard);
         let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(3);
-        coll.generate(&g, &m, &sampler, 20_000, &mut rng);
-        let est = RrRevenueEstimator::new(&coll, inst.num_ads(), inst.gamma());
+        arena.generate(&g, &m, &sampler, 20_000, &mut rng);
+        let est = RrRevenueEstimator::new(&arena, inst.num_ads(), inst.gamma());
         let sol = rm_with_oracle(&inst, &est, 0.1);
         let z = seek_ub(&sol, &est, inst.num_ads());
         let pi_sol = est.allocation_estimate(&sol.allocation.seed_sets);

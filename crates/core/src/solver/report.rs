@@ -14,6 +14,13 @@ pub struct RrAccounting {
     pub generated: usize,
     /// RR-sets served from the shared cache instead of being generated.
     pub reused: usize,
+    /// RR-sets newly added to the shared coverage index during this solve
+    /// (each set is indexed exactly once across a cache's lifetime).
+    pub index_extended: usize,
+    /// RR-sets whose coverage-index entries already existed when this
+    /// solve ran — the work a per-estimator index rebuild would have
+    /// repeated.
+    pub index_reused: usize,
 }
 
 /// Outcome of one [`crate::solver::Solver::solve`] call: the allocation
@@ -49,6 +56,10 @@ pub struct SolveReport {
     /// Approximate heap footprint of the solver's sample structures in
     /// bytes (the paper's Fig. 4 memory proxy).
     pub memory_bytes: usize,
+    /// Wall-clock time spent extending the shared coverage index during
+    /// this solve (zero when everything was already indexed — the
+    /// extend-never-rebuild payoff).
+    pub index_time: Duration,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
 }
@@ -90,8 +101,11 @@ mod tests {
                 used: 1000,
                 generated: 400,
                 reused: 600,
+                index_extended: 400,
+                index_reused: 600,
             },
             memory_bytes: 1 << 20,
+            index_time: Duration::from_millis(1),
             elapsed: Duration::from_millis(12),
         };
         let s = report.summary();

@@ -9,13 +9,15 @@ use crate::problem::Allocation;
 use crate::sampling::estimator::RrRevenueEstimator;
 use crate::sampling::rma::{one_batch_with_cache, rma_with_cache, RmaConfig};
 use rmsa_diffusion::{RrRequestStats, RrStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn accounting(used: usize, request: RrRequestStats) -> RrAccounting {
     RrAccounting {
         used,
         generated: request.generated,
         reused: request.served_from_cache,
+        index_extended: request.index_extended,
+        index_reused: request.index_reused,
     }
 }
 
@@ -55,8 +57,11 @@ impl Solver for Rma {
                 used: result.total_rr_sets,
                 generated: result.rr_generated,
                 reused: result.rr_reused,
+                index_extended: result.index_extended,
+                index_reused: result.index_reused,
             },
             memory_bytes: result.memory_bytes,
+            index_time: result.index_time,
             elapsed: result.elapsed,
             allocation: result.allocation,
         })
@@ -144,6 +149,7 @@ impl Solver for OneBatch {
             iterations: 1,
             rr: accounting(est.num_rr(), request),
             memory_bytes: est.coverage().memory_bytes(),
+            index_time: request.index_extend_time,
             elapsed: start.elapsed(),
             allocation,
         })
@@ -182,12 +188,14 @@ enum OracleAlgo {
 }
 
 /// Run one oracle-mode algorithm under one [`OracleMode`], reporting
-/// `(allocation, revenue estimate, λ if any, rr accounting, memory bytes)`.
+/// `(allocation, revenue estimate, λ if any, rr accounting, memory bytes,
+/// index-extension time)`.
+#[allow(clippy::type_complexity)]
 fn run_oracle_algo(
     ctx: &SolveContext<'_>,
     mode: &OracleMode,
     algo: &OracleAlgo,
-) -> Result<(Allocation, f64, Option<f64>, RrAccounting, usize), RmError> {
+) -> Result<(Allocation, f64, Option<f64>, RrAccounting, usize, Duration), RmError> {
     fn finish<O: RevenueOracle>(
         ctx: &SolveContext<'_>,
         oracle: &O,
@@ -216,7 +224,14 @@ fn run_oracle_algo(
             let model = ctx.model;
             let oracle = ExactRevenueOracle::new(ctx.graph, &model, ctx.instance);
             let (alloc, revenue, lam) = finish(ctx, &oracle, algo);
-            Ok((alloc, revenue, lam, RrAccounting::default(), 0))
+            Ok((
+                alloc,
+                revenue,
+                lam,
+                RrAccounting::default(),
+                0,
+                Duration::ZERO,
+            ))
         }
         OracleMode::MonteCarlo { simulations, seed } => {
             if *simulations == 0 {
@@ -225,7 +240,14 @@ fn run_oracle_algo(
             let model = ctx.model;
             let oracle = McRevenueOracle::new(ctx.graph, &model, ctx.instance, *simulations, *seed);
             let (alloc, revenue, lam) = finish(ctx, &oracle, algo);
-            Ok((alloc, revenue, lam, RrAccounting::default(), 0))
+            Ok((
+                alloc,
+                revenue,
+                lam,
+                RrAccounting::default(),
+                0,
+                Duration::ZERO,
+            ))
         }
         OracleMode::Sampled { num_rr_sets } => {
             if *num_rr_sets == 0 {
@@ -238,7 +260,7 @@ fn run_oracle_algo(
                 &sampler,
                 RrStream::Optimize,
                 *num_rr_sets,
-                |c| RrRevenueEstimator::new(c, ctx.num_ads(), ctx.instance.gamma()),
+                |v| RrRevenueEstimator::from_view(v.coverage(), ctx.instance.gamma()),
             );
             let (alloc, revenue, lam) = finish(ctx, &est, algo);
             let memory = est.coverage().memory_bytes();
@@ -248,6 +270,7 @@ fn run_oracle_algo(
                 lam,
                 accounting(est.num_rr(), request),
                 memory,
+                request.index_extend_time,
             ))
         }
     }
@@ -256,10 +279,10 @@ fn run_oracle_algo(
 fn oracle_report(
     name: String,
     ctx: &SolveContext<'_>,
-    outcome: (Allocation, f64, Option<f64>, RrAccounting, usize),
+    outcome: (Allocation, f64, Option<f64>, RrAccounting, usize, Duration),
     start: Instant,
 ) -> SolveReport {
-    let (allocation, revenue_estimate, lambda, rr, memory_bytes) = outcome;
+    let (allocation, revenue_estimate, lambda, rr, memory_bytes, index_time) = outcome;
     SolveReport {
         solver: name,
         seeding_cost: allocation.total_cost(ctx.instance),
@@ -272,6 +295,7 @@ fn oracle_report(
         iterations: 1,
         rr,
         memory_bytes,
+        index_time,
         elapsed: start.elapsed(),
         allocation,
     }
@@ -410,8 +434,14 @@ fn ti_report(
             used: result.total_rr_sets,
             generated: result.total_rr_sets,
             reused: 0,
+            // The TI baselines build private per-advertiser TIM indexes —
+            // nothing goes through the shared coverage index, so there is
+            // no shared-index work to report.
+            index_extended: 0,
+            index_reused: 0,
         },
         memory_bytes: result.memory_bytes,
+        index_time: Duration::ZERO,
         elapsed: result.elapsed,
         allocation: result.allocation,
     }

@@ -1,0 +1,933 @@
+//! Columnar RR-set storage and the incrementally extendable coverage index.
+//!
+//! The old representation boxed every RR-set in its own `Vec<NodeId>` and
+//! rebuilt a `Vec<Vec<u32>>` inverted index from scratch for every
+//! estimator. Both are pointer-chasing structures: generation pays one
+//! allocation per RR-set, and every coverage query hops through a
+//! heap-scattered jagged array. This module replaces them with two flat,
+//! cache-friendly structures:
+//!
+//! * [`RrArena`] — a columnar store: one `nodes` buffer holding every
+//!   member of every RR-set back to back, CSR-style `offsets` delimiting
+//!   the sets, and a parallel `ads` column with each set's advertiser.
+//!   Appending a set is a bump-pointer push; the memory footprint is a
+//!   closed-form function of three vector capacities.
+//! * [`CoverageIndex`] — the inverted `node → RR-set` index, stored as a
+//!   sequence of immutable CSR *segments*. Extending the arena appends one
+//!   new segment covering exactly the new sets; the segments indexed for a
+//!   smaller collection are never touched again (the *extend-never-rebuild*
+//!   rule). [`CoverageIndex::view`] takes an O(#segments) snapshot — a
+//!   [`CoverageView`] — that stays valid and immutable while the index
+//!   keeps growing, which is what lets estimators built at different
+//!   sample sizes θ share one index.
+//!
+//! Generation is deterministic in a thread-count independent way: work is
+//! split into fixed-size chunks of [`GENERATION_CHUNK`] RR-sets and every
+//! chunk derives its RNG from `(seed, chunk_index)`, so a collection is a
+//! pure function of `(seed, count)` no matter how many worker threads
+//! produced it.
+
+use crate::models::{AdId, PropagationModel};
+use crate::rr::{RrGenerator, RrStrategy};
+use crate::sampler::UniformRrSampler;
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64Mcg;
+use rmsa_graph::{DirectedGraph, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// RR-sets per generation chunk. Each chunk owns an RNG derived from
+/// `(seed, chunk_index)`, making parallel generation a deterministic
+/// function of `(seed, count)` regardless of the worker-thread count.
+pub const GENERATION_CHUNK: usize = 1024;
+
+/// Columnar store of RR-sets: flat member buffer + CSR offsets + a
+/// parallel advertiser column. Append-only; set `i`'s members are
+/// `nodes[offsets[i]..offsets[i + 1]]` and its root is the first member.
+#[derive(Clone, Debug)]
+pub struct RrArena {
+    num_nodes: usize,
+    strategy: RrStrategy,
+    nodes: Vec<NodeId>,
+    offsets: Vec<usize>,
+    ads: Vec<AdId>,
+}
+
+/// Borrowed view of one RR-set inside an [`RrArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RrSetRef<'a> {
+    /// Advertiser whose edge probabilities generated the set.
+    pub ad: AdId,
+    /// Member nodes; the first entry is the root.
+    pub nodes: &'a [NodeId],
+}
+
+impl RrSetRef<'_> {
+    /// The uniformly random root the set was grown from.
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// An RR-set always contains its root, so it is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl RrArena {
+    /// Create an empty arena for graphs with `num_nodes` nodes.
+    pub fn new(num_nodes: usize, strategy: RrStrategy) -> Self {
+        RrArena {
+            num_nodes,
+            strategy,
+            nodes: Vec::new(),
+            offsets: vec![0],
+            ads: Vec::new(),
+        }
+    }
+
+    /// Number of RR-sets currently held.
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// True when no RR-set has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// Number of nodes in the graph the arena was generated for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The RR-set generation strategy in use.
+    pub fn strategy(&self) -> RrStrategy {
+        self.strategy
+    }
+
+    /// Total member entries across all sets.
+    pub fn total_entries(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Average RR-set size (node entries per set); O(1).
+    pub fn mean_size(&self) -> f64 {
+        if self.ads.is_empty() {
+            0.0
+        } else {
+            self.nodes.len() as f64 / self.ads.len() as f64
+        }
+    }
+
+    /// Approximate heap footprint in bytes (the Fig. 4 memory proxy).
+    ///
+    /// O(1): the columnar layout makes the footprint a closed form of the
+    /// three column capacities, so polling this per sweep point costs
+    /// nothing (the old per-set representation walked every boxed set).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<NodeId>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.ads.capacity() * std::mem::size_of::<AdId>()
+    }
+
+    /// Advertiser of RR-set `i`.
+    pub fn ad_of(&self, i: usize) -> AdId {
+        self.ads[i]
+    }
+
+    /// Member nodes of RR-set `i` (root first).
+    pub fn nodes_of(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Member entries of sets `[from, to)` as one contiguous slice (the
+    /// payoff of the columnar layout: a range of sets is a range of the
+    /// flat buffer).
+    pub fn nodes_of_range(&self, from: usize, to: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[from]..self.offsets[to]]
+    }
+
+    /// Borrowed view of RR-set `i`.
+    pub fn set(&self, i: usize) -> RrSetRef<'_> {
+        RrSetRef {
+            ad: self.ads[i],
+            nodes: self.nodes_of(i),
+        }
+    }
+
+    /// Iterate over all RR-sets in generation order.
+    pub fn iter(&self) -> impl Iterator<Item = RrSetRef<'_>> + '_ {
+        (0..self.len()).map(move |i| self.set(i))
+    }
+
+    /// Append one RR-set with explicit members (`members[0]` must be the
+    /// root). Test/tooling escape hatch; generation goes through
+    /// [`RrArena::generate`] / [`RrArena::generate_parallel`].
+    pub fn push_set(&mut self, ad: AdId, members: &[NodeId]) {
+        assert!(!members.is_empty(), "an RR-set always contains its root");
+        self.nodes.extend_from_slice(members);
+        self.offsets.push(self.nodes.len());
+        self.ads.push(ad);
+    }
+
+    /// Append `count` RR-sets generated sequentially with an external
+    /// `rng` (test/tooling path; the cache uses the chunk-deterministic
+    /// [`RrArena::generate_parallel`]).
+    pub fn generate<M: PropagationModel + ?Sized, R: Rng>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        count: usize,
+        rng: &mut R,
+    ) {
+        let mut gen = RrGenerator::new(graph.num_nodes(), self.strategy);
+        self.reserve_for(count);
+        for _ in 0..count {
+            self.emit_one(graph, model, sampler, &mut gen, rng);
+        }
+    }
+
+    /// Append `count` RR-sets generated by up to `num_threads` workers.
+    ///
+    /// The work is split into [`GENERATION_CHUNK`]-sized chunks; chunk `k`
+    /// draws from an RNG derived from `(seed, k)`, and chunks are appended
+    /// in index order. The resulting collection therefore depends only on
+    /// `(seed, count)` — one thread or sixteen produce bit-identical
+    /// arenas.
+    pub fn generate_parallel<M: PropagationModel + ?Sized>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        count: usize,
+        num_threads: usize,
+        seed: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let num_chunks = count.div_ceil(GENERATION_CHUNK);
+        let chunk_len = |k: usize| {
+            if k + 1 == num_chunks {
+                count - k * GENERATION_CHUNK
+            } else {
+                GENERATION_CHUNK
+            }
+        };
+        let num_threads = num_threads.max(1).min(num_chunks);
+        self.reserve_for(count);
+        if num_threads == 1 {
+            let mut gen = RrGenerator::new(graph.num_nodes(), self.strategy);
+            for k in 0..num_chunks {
+                let mut rng = chunk_rng(seed, k);
+                for _ in 0..chunk_len(k) {
+                    self.emit_one(graph, model, sampler, &mut gen, &mut rng);
+                }
+            }
+            return;
+        }
+        let strategy = self.strategy;
+        let next = AtomicUsize::new(0);
+        let produced = parking_lot::Mutex::new(Vec::with_capacity(num_chunks));
+        std::thread::scope(|scope| {
+            for _ in 0..num_threads {
+                let next = &next;
+                let produced = &produced;
+                scope.spawn(move || {
+                    let mut gen = RrGenerator::new(graph.num_nodes(), strategy);
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= num_chunks {
+                            break;
+                        }
+                        let mut chunk = Chunk::with_capacity(chunk_len(k));
+                        let mut rng = chunk_rng(seed, k);
+                        for _ in 0..chunk_len(k) {
+                            chunk.emit_one(graph, model, sampler, &mut gen, &mut rng);
+                        }
+                        produced.lock().push((k, chunk));
+                    }
+                });
+            }
+        });
+        let mut produced = produced.into_inner();
+        produced.sort_unstable_by_key(|(k, _)| *k);
+        for (_, chunk) in produced {
+            self.append_chunk(chunk);
+        }
+    }
+
+    fn reserve_for(&mut self, count: usize) {
+        self.ads.reserve(count);
+        self.offsets.reserve(count);
+    }
+
+    fn emit_one<M: PropagationModel + ?Sized, R: Rng>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        gen: &mut RrGenerator,
+        rng: &mut R,
+    ) {
+        let ad = sampler.sample_ad(rng);
+        let root = rng.gen_range(0..graph.num_nodes() as NodeId);
+        gen.generate_rooted_into(graph, model, ad, root, rng, &mut self.nodes);
+        self.offsets.push(self.nodes.len());
+        self.ads.push(ad);
+    }
+
+    fn append_chunk(&mut self, chunk: Chunk) {
+        let base = self.nodes.len();
+        self.nodes.extend_from_slice(&chunk.nodes);
+        for &end in &chunk.ends {
+            self.offsets.push(base + end);
+        }
+        self.ads.extend_from_slice(&chunk.ads);
+    }
+}
+
+/// One worker-local columnar batch, merged into the arena in chunk order.
+struct Chunk {
+    ads: Vec<AdId>,
+    /// Exclusive end offset of each set within `nodes`.
+    ends: Vec<usize>,
+    nodes: Vec<NodeId>,
+}
+
+impl Chunk {
+    fn with_capacity(sets: usize) -> Self {
+        Chunk {
+            ads: Vec::with_capacity(sets),
+            ends: Vec::with_capacity(sets),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn emit_one<M: PropagationModel + ?Sized, R: Rng>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        gen: &mut RrGenerator,
+        rng: &mut R,
+    ) {
+        let ad = sampler.sample_ad(rng);
+        let root = rng.gen_range(0..graph.num_nodes() as NodeId);
+        gen.generate_rooted_into(graph, model, ad, root, rng, &mut self.nodes);
+        self.ends.push(self.nodes.len());
+        self.ads.push(ad);
+    }
+}
+
+fn chunk_rng(seed: u64, chunk: usize) -> Pcg64Mcg {
+    Pcg64Mcg::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(chunk as u64 + 1))
+}
+
+/// One immutable CSR block of the inverted index, covering RR-sets
+/// `[rr_base, rr_base + num_sets)`. Once built, a segment is never
+/// modified — prefix views stay valid while the index grows.
+#[derive(Debug)]
+pub struct CoverageSegment {
+    rr_base: u32,
+    num_sets: u32,
+    /// Per-node slice boundaries into `entries`; length `num_nodes + 1`.
+    offsets: Vec<u32>,
+    /// Ascending absolute RR-set ids, grouped by node.
+    entries: Vec<u32>,
+}
+
+impl CoverageSegment {
+    /// First RR-set id this segment covers.
+    pub fn rr_base(&self) -> u32 {
+        self.rr_base
+    }
+
+    /// Number of RR-sets this segment covers.
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// Absolute ids of the covered RR-sets containing `node`.
+    pub fn rr_containing(&self, node: NodeId) -> &[u32] {
+        let u = node as usize;
+        &self.entries[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.entries.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Incrementally extendable inverted `node → RR-set` index over an
+/// [`RrArena`], plus the per-`(advertiser, node)` singleton coverage
+/// counts, both maintained once per arena extension — never per
+/// estimator and never rebuilt.
+///
+/// Mutation is append-only: [`CoverageIndex::extend_to`] adds one
+/// immutable [`CoverageSegment`] for the new sets and bumps the shared
+/// advertiser/singleton columns (copy-on-write when an older
+/// [`CoverageView`] still holds them, in place otherwise).
+#[derive(Clone, Debug)]
+pub struct CoverageIndex {
+    num_nodes: usize,
+    num_ads: usize,
+    num_rr: usize,
+    segments: Vec<Arc<CoverageSegment>>,
+    /// Advertiser of each indexed RR-set (u32 column for cache density).
+    ads: Arc<Vec<u32>>,
+    /// `singleton[ad * num_nodes + u]` = #indexed RR-sets of `ad`
+    /// containing `u`.
+    singleton: Arc<Vec<u32>>,
+}
+
+impl CoverageIndex {
+    /// Create an empty index for graphs with `num_nodes` nodes and
+    /// `num_ads` advertisers.
+    pub fn new(num_nodes: usize, num_ads: usize) -> Self {
+        assert!(num_ads > 0, "at least one advertiser required");
+        CoverageIndex {
+            num_nodes,
+            num_ads,
+            num_rr: 0,
+            segments: Vec::new(),
+            ads: Arc::new(Vec::new()),
+            singleton: Arc::new(vec![0u32; num_ads * num_nodes]),
+        }
+    }
+
+    /// Number of indexed RR-sets.
+    pub fn num_rr(&self) -> usize {
+        self.num_rr
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of advertisers the singleton counts are tracked for.
+    pub fn num_ads(&self) -> usize {
+        self.num_ads
+    }
+
+    /// Number of immutable CSR segments (one per arena extension).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Index every set the arena holds beyond the current position.
+    /// Returns the number of newly indexed sets.
+    pub fn extend_from(&mut self, arena: &RrArena) -> usize {
+        self.extend_to(arena, arena.len())
+    }
+
+    /// Index arena sets `[self.num_rr(), upto)`, appending one immutable
+    /// segment; already-indexed sets are never revisited. Returns the
+    /// number of newly indexed sets.
+    pub fn extend_to(&mut self, arena: &RrArena, upto: usize) -> usize {
+        assert_eq!(
+            arena.num_nodes(),
+            self.num_nodes,
+            "index was created for a different graph"
+        );
+        let from = self.num_rr;
+        let to = upto.min(arena.len());
+        if to <= from {
+            return 0;
+        }
+        // The segment stores u32 offsets and RR-set ids; guard the casts
+        // before any arithmetic can wrap.
+        assert!(
+            to <= u32::MAX as usize,
+            "coverage index caps at u32::MAX RR-sets per stream"
+        );
+        let segment_entries: usize = arena.nodes_of_range(from, to).len();
+        assert!(
+            segment_entries <= u32::MAX as usize,
+            "one index extension caps at u32::MAX member entries \
+             (split the request into smaller extensions)"
+        );
+
+        // Pass 1 (fused): per-node entry counts for the counting sort,
+        // plus the advertiser column and singleton-count bumps — one walk
+        // over the new sets instead of three.
+        let ads = Arc::make_mut(&mut self.ads);
+        ads.reserve(to - from);
+        let singleton = Arc::make_mut(&mut self.singleton);
+        let mut offsets = vec![0u32; self.num_nodes + 1];
+        for i in from..to {
+            let ad = arena.ad_of(i);
+            debug_assert!(ad < self.num_ads, "advertiser id out of range");
+            ads.push(ad as u32);
+            for &u in arena.nodes_of(i) {
+                offsets[u as usize + 1] += 1;
+                singleton[ad * self.num_nodes + u as usize] += 1;
+            }
+        }
+        for u in 0..self.num_nodes {
+            offsets[u + 1] += offsets[u];
+        }
+        // Pass 2: fill the CSR entries.
+        let mut entries = vec![0u32; segment_entries];
+        let mut cursor = offsets.clone();
+        for i in from..to {
+            for &u in arena.nodes_of(i) {
+                let c = &mut cursor[u as usize];
+                entries[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        self.segments.push(Arc::new(CoverageSegment {
+            rr_base: from as u32,
+            num_sets: (to - from) as u32,
+            offsets,
+            entries,
+        }));
+        self.num_rr = to;
+        to - from
+    }
+
+    /// O(#segments) immutable snapshot sharing the index's storage.
+    pub fn view(&self) -> CoverageView {
+        CoverageView {
+            num_nodes: self.num_nodes,
+            num_ads: self.num_ads,
+            num_rr: self.num_rr,
+            segments: self.segments.clone(),
+            ads: Arc::clone(&self.ads),
+            singleton: Arc::clone(&self.singleton),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (index only, not the arena).
+    pub fn memory_bytes(&self) -> usize {
+        index_memory_bytes(&self.segments, &self.ads, &self.singleton)
+    }
+}
+
+/// Shared footprint formula for [`CoverageIndex`] and its views.
+fn index_memory_bytes(
+    segments: &[Arc<CoverageSegment>],
+    ads: &Arc<Vec<u32>>,
+    singleton: &Arc<Vec<u32>>,
+) -> usize {
+    segments.iter().map(|s| s.memory_bytes()).sum::<usize>()
+        + ads.capacity() * std::mem::size_of::<u32>()
+        + singleton.capacity() * std::mem::size_of::<u32>()
+}
+
+/// Immutable snapshot of a [`CoverageIndex`]: the coverage-query surface
+/// every estimator in `rmsa-core` runs against. Cheap to clone (Arc
+/// bumps); stays valid — and bit-identical — while the index it was taken
+/// from keeps extending.
+#[derive(Clone, Debug)]
+pub struct CoverageView {
+    num_nodes: usize,
+    num_ads: usize,
+    num_rr: usize,
+    segments: Vec<Arc<CoverageSegment>>,
+    ads: Arc<Vec<u32>>,
+    singleton: Arc<Vec<u32>>,
+}
+
+impl CoverageView {
+    /// Number of RR-sets covered by this snapshot.
+    pub fn num_rr(&self) -> usize {
+        self.num_rr
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of advertisers.
+    pub fn num_ads(&self) -> usize {
+        self.num_ads
+    }
+
+    /// The immutable CSR segments, in RR-set order.
+    pub fn segments(&self) -> &[Arc<CoverageSegment>] {
+        &self.segments
+    }
+
+    /// Advertiser column: `ads()[rr]` is the advertiser of RR-set `rr`.
+    pub fn ads(&self) -> &[u32] {
+        &self.ads
+    }
+
+    /// Advertiser that RR-set `rr` was generated for.
+    pub fn ad_of(&self, rr: u32) -> AdId {
+        self.ads[rr as usize] as AdId
+    }
+
+    /// Number of RR-sets of `ad` containing `u` (maintained incrementally
+    /// per index extension, not recomputed per estimator).
+    pub fn singleton_count(&self, ad: AdId, u: NodeId) -> u32 {
+        self.singleton[ad * self.num_nodes + u as usize]
+    }
+
+    /// Visit every RR-set id containing `node`, across all segments.
+    pub fn for_each_rr_containing(&self, node: NodeId, mut f: impl FnMut(u32)) {
+        for segment in &self.segments {
+            for &rr in segment.rr_containing(node) {
+                f(rr);
+            }
+        }
+    }
+
+    /// Number of RR-sets generated for `ad` that intersect `seeds`
+    /// (from-scratch query; incremental callers keep a [`CoverBitset`]).
+    pub fn coverage_count(&self, ad: AdId, seeds: &[NodeId]) -> usize {
+        let ad = ad as u32;
+        let mut covered = CoverBitset::new(self.num_rr);
+        let mut count = 0usize;
+        for &u in seeds {
+            self.for_each_rr_containing(u, |rr| {
+                if self.ads[rr as usize] == ad && covered.set(rr) {
+                    count += 1;
+                }
+            });
+        }
+        count
+    }
+
+    /// Number of RR-sets covered by a full allocation `S⃗` (each RR-set is
+    /// covered iff the seed set of *its own* advertiser intersects it).
+    pub fn allocation_coverage_count(&self, allocation: &[Vec<NodeId>]) -> usize {
+        let mut covered = CoverBitset::new(self.num_rr);
+        let mut count = 0usize;
+        for (ad, seeds) in allocation.iter().enumerate() {
+            let ad = ad as u32;
+            for &u in seeds {
+                self.for_each_rr_containing(u, |rr| {
+                    if self.ads[rr as usize] == ad && covered.set(rr) {
+                        count += 1;
+                    }
+                });
+            }
+        }
+        count
+    }
+
+    /// Approximate heap footprint in bytes of the shared index storage.
+    pub fn memory_bytes(&self) -> usize {
+        index_memory_bytes(&self.segments, &self.ads, &self.singleton)
+    }
+}
+
+/// Dense bitset over RR-set ids: 64 covered-flags per word instead of the
+/// old one-`bool`-per-set map (8× smaller, so greedy covered-state fits in
+/// cache far longer).
+#[derive(Clone, Debug, Default)]
+pub struct CoverBitset {
+    words: Vec<u64>,
+}
+
+impl CoverBitset {
+    /// An empty bitset able to hold `len` bits.
+    pub fn new(len: usize) -> Self {
+        CoverBitset {
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Whether bit `i` is set.
+    pub fn test(&self, i: u32) -> bool {
+        (self.words[(i >> 6) as usize] >> (i & 63)) & 1 != 0
+    }
+
+    /// Set bit `i`; returns true when the bit was previously clear.
+    pub fn set(&mut self, i: u32) -> bool {
+        let word = &mut self.words[(i >> 6) as usize];
+        let mask = 1u64 << (i & 63);
+        let newly = *word & mask == 0;
+        *word |= mask;
+        newly
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{UniformIc, WeightedCascade};
+    use rmsa_graph::generators::barabasi_albert;
+    use rmsa_graph::graph_from_edges;
+
+    fn rng() -> Pcg64Mcg {
+        Pcg64Mcg::seed_from_u64(7)
+    }
+
+    fn collect_sets(arena: &RrArena) -> Vec<(AdId, Vec<NodeId>)> {
+        arena.iter().map(|s| (s.ad, s.nodes.to_vec())).collect()
+    }
+
+    #[test]
+    fn arena_generates_requested_count() {
+        let g = graph_from_edges(10, &[(0, 1), (1, 2), (3, 4)]);
+        let m = UniformIc::new(2, 0.5);
+        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
+        let mut arena = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        arena.generate(&g, &m, &sampler, 500, &mut rng());
+        assert_eq!(arena.len(), 500);
+        assert!(arena.mean_size() >= 1.0);
+        assert!(arena.memory_bytes() > 0);
+        assert_eq!(arena.total_entries(), arena.iter().map(|s| s.len()).sum());
+        for set in arena.iter() {
+            assert!(!set.is_empty());
+            assert_eq!(set.nodes[0], set.root());
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_count_independent() {
+        let g = graph_from_edges(20, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]);
+        let m = UniformIc::new(2, 0.7);
+        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
+        // Spans several chunks plus a ragged tail.
+        let count = 3 * GENERATION_CHUNK + 137;
+        let mut reference = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        reference.generate_parallel(&g, &m, &sampler, count, 1, 99);
+        assert_eq!(reference.len(), count);
+        for threads in [2usize, 8] {
+            let mut other = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+            other.generate_parallel(&g, &m, &sampler, count, threads, 99);
+            assert_eq!(
+                collect_sets(&reference),
+                collect_sets(&other),
+                "{threads} threads must reproduce the single-thread arena"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_deterministic_across_runs() {
+        let g = graph_from_edges(20, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]);
+        let m = UniformIc::new(2, 0.7);
+        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
+        let mut a = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        a.generate_parallel(&g, &m, &sampler, 4000, 4, 99);
+        let mut b = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        b.generate_parallel(&g, &m, &sampler, 4000, 4, 99);
+        assert_eq!(a.len(), 4000);
+        assert_eq!(collect_sets(&a), collect_sets(&b));
+    }
+
+    #[test]
+    fn memory_bytes_is_a_cheap_running_figure() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2)]);
+        let m = UniformIc::new(1, 1.0);
+        let sampler = UniformRrSampler::new(&[1.0]);
+        let mut arena = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        let empty = arena.memory_bytes();
+        arena.generate(&g, &m, &sampler, 200, &mut rng());
+        let grown = arena.memory_bytes();
+        assert!(grown > empty);
+        assert!(grown >= arena.total_entries() * std::mem::size_of::<NodeId>());
+        // Appending more never shrinks the figure.
+        arena.generate(&g, &m, &sampler, 200, &mut rng());
+        assert!(arena.memory_bytes() >= grown);
+    }
+
+    #[test]
+    fn coverage_counts_only_matching_advertiser() {
+        // Deterministic edges so RR membership is predictable: 0 -> 1.
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let m = UniformIc::new(2, 1.0);
+        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
+        let mut arena = RrArena::new(2, RrStrategy::Standard);
+        arena.generate(&g, &m, &sampler, 2000, &mut rng());
+        let mut index = CoverageIndex::new(2, 2);
+        index.extend_from(&arena);
+        let view = index.view();
+        assert_eq!(view.num_rr(), 2000);
+        // Node 0 reverse-reaches every root, so seeding node 0 for ad 0
+        // covers exactly the RR-sets generated for ad 0.
+        let ad0_sets = arena.iter().filter(|r| r.ad == 0).count();
+        assert_eq!(view.coverage_count(0, &[0]), ad0_sets);
+        // Node 1 only appears in RR-sets rooted at node 1.
+        let ad0_rooted_at_1 = arena.iter().filter(|r| r.ad == 0 && r.root() == 1).count();
+        assert_eq!(view.coverage_count(0, &[1]), ad0_rooted_at_1);
+        // Singleton counts match the coverage queries.
+        assert_eq!(view.singleton_count(0, 0) as usize, ad0_sets);
+        assert_eq!(view.singleton_count(0, 1) as usize, ad0_rooted_at_1);
+    }
+
+    #[test]
+    fn allocation_coverage_combines_per_ad_coverage() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let m = UniformIc::new(2, 1.0);
+        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
+        let mut arena = RrArena::new(2, RrStrategy::Standard);
+        arena.generate(&g, &m, &sampler, 1000, &mut rng());
+        let mut index = CoverageIndex::new(2, 2);
+        index.extend_from(&arena);
+        let view = index.view();
+        let alloc = vec![vec![0], vec![0]];
+        // Node 0 covers every RR-set regardless of which ad it belongs to.
+        assert_eq!(view.allocation_coverage_count(&alloc), 1000);
+        let partial = vec![vec![0], vec![]];
+        let ad0_sets = arena.iter().filter(|r| r.ad == 0).count();
+        assert_eq!(view.allocation_coverage_count(&partial), ad0_sets);
+    }
+
+    #[test]
+    fn index_is_extended_in_place_and_matches_a_fresh_build() {
+        let mut graph_rng = rng();
+        let g = barabasi_albert(300, 3, &mut graph_rng);
+        let m = UniformIc::new(2, 0.2);
+        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
+        let mut arena = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        arena.generate_parallel(&g, &m, &sampler, 1500, 2, 11);
+
+        // Index the θ₁ prefix, snapshot, then extend to θ₂.
+        let mut index = CoverageIndex::new(g.num_nodes(), 2);
+        assert_eq!(index.extend_to(&arena, 1500), 1500);
+        let theta1_view = index.view();
+        arena.generate_parallel(&g, &m, &sampler, 1500, 2, 13);
+        assert_eq!(index.extend_from(&arena), 1500);
+        assert_eq!(index.num_segments(), 2);
+        let theta2_view = index.view();
+
+        // Extend-never-rebuild: the θ₁ segment is the *same* allocation.
+        assert!(
+            Arc::ptr_eq(&theta1_view.segments()[0], &theta2_view.segments()[0]),
+            "extension must reuse the θ₁ segment, not rebuild it"
+        );
+        // The earlier snapshot still answers exactly as it did at θ₁.
+        assert_eq!(theta1_view.num_rr(), 1500);
+
+        // Counts at θ₂ equal a from-scratch single-segment build.
+        let mut fresh = CoverageIndex::new(g.num_nodes(), 2);
+        fresh.extend_from(&arena);
+        assert_eq!(fresh.num_segments(), 1);
+        let fresh_view = fresh.view();
+        for ad in 0..2 {
+            for u in (0..300u32).step_by(17) {
+                assert_eq!(
+                    theta2_view.singleton_count(ad, u),
+                    fresh_view.singleton_count(ad, u),
+                    "singleton counts diverge at ad {ad}, node {u}"
+                );
+            }
+            let seeds: Vec<NodeId> = (0..20).collect();
+            assert_eq!(
+                theta2_view.coverage_count(ad, &seeds),
+                fresh_view.coverage_count(ad, &seeds)
+            );
+        }
+        let alloc = vec![vec![0, 5, 9], vec![1, 2]];
+        assert_eq!(
+            theta2_view.allocation_coverage_count(&alloc),
+            fresh_view.allocation_coverage_count(&alloc)
+        );
+    }
+
+    #[test]
+    fn older_views_are_immune_to_later_extensions() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let m = UniformIc::new(1, 1.0);
+        let sampler = UniformRrSampler::new(&[1.0]);
+        let mut arena = RrArena::new(2, RrStrategy::Standard);
+        arena.generate(&g, &m, &sampler, 400, &mut rng());
+        let mut index = CoverageIndex::new(2, 1);
+        index.extend_from(&arena);
+        let early = index.view();
+        let early_count = early.coverage_count(0, &[0]);
+        assert_eq!(early_count, 400);
+        // Extending while `early` is alive must copy-on-write the shared
+        // columns instead of corrupting the snapshot.
+        arena.generate(&g, &m, &sampler, 600, &mut rng());
+        index.extend_from(&arena);
+        assert_eq!(early.coverage_count(0, &[0]), early_count);
+        assert_eq!(early.singleton_count(0, 0), 400);
+        assert_eq!(index.view().coverage_count(0, &[0]), 1000);
+        assert_eq!(index.view().singleton_count(0, 0), 1000);
+    }
+
+    #[test]
+    fn subsim_and_standard_strategies_agree_on_weighted_cascade() {
+        let mut graph_rng = rng();
+        let g = barabasi_albert(400, 3, &mut graph_rng);
+        let wc = WeightedCascade::new(&g, 2);
+        let sampler = UniformRrSampler::new(&[1.0, 1.5]);
+        let count = 20_000;
+        let mut standard = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        standard.generate_parallel(&g, &wc, &sampler, count, 2, 41);
+        let mut subsim = RrArena::new(g.num_nodes(), RrStrategy::Subsim);
+        subsim.generate_parallel(&g, &wc, &sampler, count, 2, 43);
+
+        // Mean RR-set size must agree within a seeded tolerance.
+        let (a, b) = (standard.mean_size(), subsim.mean_size());
+        assert!(
+            (a - b).abs() / a.max(1.0) < 0.05,
+            "mean sizes diverge: standard {a}, subsim {b}"
+        );
+
+        // Singleton coverage counts (normalised per collection size) must
+        // agree node by node.
+        let mut idx_a = CoverageIndex::new(g.num_nodes(), 2);
+        idx_a.extend_from(&standard);
+        let mut idx_b = CoverageIndex::new(g.num_nodes(), 2);
+        idx_b.extend_from(&subsim);
+        let (va, vb) = (idx_a.view(), idx_b.view());
+        let mut total_gap = 0.0f64;
+        for ad in 0..2usize {
+            for u in 0..g.num_nodes() as NodeId {
+                let fa = va.singleton_count(ad, u) as f64 / count as f64;
+                let fb = vb.singleton_count(ad, u) as f64 / count as f64;
+                assert!(
+                    (fa - fb).abs() < 0.05,
+                    "node {u} / ad {ad}: standard {fa:.4} vs subsim {fb:.4}"
+                );
+                total_gap += (fa - fb).abs();
+            }
+        }
+        let mean_gap = total_gap / (2.0 * g.num_nodes() as f64);
+        assert!(mean_gap < 0.004, "mean per-node gap {mean_gap}");
+    }
+
+    #[test]
+    fn empty_arena_edge_cases() {
+        let arena = RrArena::new(5, RrStrategy::Subsim);
+        assert!(arena.is_empty());
+        assert_eq!(arena.mean_size(), 0.0);
+        let mut index = CoverageIndex::new(5, 2);
+        assert_eq!(index.extend_from(&arena), 0);
+        let view = index.view();
+        assert_eq!(view.num_rr(), 0);
+        assert_eq!(view.coverage_count(0, &[1, 2]), 0);
+    }
+
+    #[test]
+    fn bitset_set_and_test_roundtrip() {
+        let mut bits = CoverBitset::new(130);
+        assert!(!bits.test(0));
+        assert!(bits.set(0));
+        assert!(!bits.set(0), "second set reports already-set");
+        assert!(bits.set(64));
+        assert!(bits.set(129));
+        assert!(bits.test(129));
+        assert_eq!(bits.count_ones(), 3);
+        assert!(bits.memory_bytes() >= 3 * 8);
+    }
+}

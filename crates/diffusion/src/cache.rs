@@ -9,23 +9,31 @@
 //! any of those can therefore reuse one progressively growing collection
 //! instead of regenerating from scratch at every point.
 //!
-//! [`RrCache`] owns a small set of named collections ([`RrStream`]) behind a
-//! [`parking_lot::Mutex`]. A request for `count` RR-sets *extends* the
-//! stream's collection when it is shorter and serves the (possibly larger)
-//! cached collection otherwise; [`RrCacheStats`] records how many RR-sets were actually
-//! generated versus requested, which is how the test-suite proves the
-//! amortisation. The cache fingerprints the RR-set distribution — graph
-//! shape, advertiser-CPE line-up, and a probe of the model's edge
-//! probabilities — and invalidates itself when any of them changes
-//! (correctness first, reuse second).
+//! [`RrCache`] owns a small set of named streams ([`RrStream`]) behind a
+//! [`parking_lot::Mutex`]. Each stream holds a columnar
+//! [`RrArena`] *and* its incrementally maintained
+//! [`CoverageIndex`]. A request for `count`
+//! RR-sets *extends* the stream's arena when it is shorter and serves the
+//! (possibly larger) cached arena otherwise; the inverted index is
+//! extended in place over exactly the new sets — never rebuilt — so
+//! estimators requested at different sample sizes θ share one index
+//! through cheap [`CoverageView`] snapshots.
+//! [`RrCacheStats`] records how many RR-sets were generated versus
+//! requested and how much index work was amortised, which is how the
+//! test-suite proves the amortisation. The cache fingerprints the RR-set
+//! distribution — graph shape, advertiser-CPE line-up, and a probe of the
+//! model's edge probabilities — and invalidates itself when any of them
+//! changes (correctness first, reuse second).
 
+use crate::arena::{CoverageIndex, CoverageView, RrArena};
 use crate::models::PropagationModel;
 use crate::rr::RrStrategy;
-use crate::sampler::{RrCollection, UniformRrSampler};
+use crate::sampler::UniformRrSampler;
 use parking_lot::Mutex;
 use rmsa_graph::DirectedGraph;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 /// Named RR-set streams inside an [`RrCache`].
 ///
@@ -74,6 +82,11 @@ pub struct RrCacheStats {
     pub served_from_cache: usize,
     /// Number of times a sampler change invalidated the cached collections.
     pub invalidations: usize,
+    /// RR-sets appended to the inverted coverage indexes (each set is
+    /// indexed exactly once; everything below `requested` is index reuse).
+    pub index_extended: usize,
+    /// Wall-clock time spent extending the coverage indexes.
+    pub index_extend_time: Duration,
 }
 
 /// Accounting of one [`RrCache::with_at_least`] call. Unlike the global
@@ -87,10 +100,58 @@ pub struct RrRequestStats {
     pub generated: usize,
     /// RR-sets served from the already-cached prefix.
     pub served_from_cache: usize,
+    /// RR-sets newly added to the stream's coverage index by this request.
+    pub index_extended: usize,
+    /// RR-sets whose inverted-index entries already existed (the work an
+    /// index rebuild would have repeated).
+    pub index_reused: usize,
+    /// Wall-clock time spent extending the coverage index.
+    pub index_extend_time: Duration,
+}
+
+/// Borrowed view of one cache stream inside a [`RrCache::with_at_least`]
+/// closure: the columnar arena plus its coverage index.
+///
+/// The closure runs under the cache lock; take what you need — typically a
+/// [`CoverageView`] snapshot via [`RrStreamView::coverage`], which is a few
+/// `Arc` bumps — and return it rather than holding references.
+#[derive(Clone, Copy)]
+pub struct RrStreamView<'a> {
+    arena: &'a RrArena,
+    index: &'a CoverageIndex,
+}
+
+impl<'a> RrStreamView<'a> {
+    /// The stream's columnar RR-set arena.
+    pub fn arena(&self) -> &'a RrArena {
+        self.arena
+    }
+
+    /// Number of RR-sets in the stream.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// True when the stream holds no RR-set.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// O(#segments) snapshot of the stream's coverage index, valid after
+    /// the lock is released and immutable under later extensions.
+    pub fn coverage(&self) -> CoverageView {
+        self.index.view()
+    }
+
+    /// Approximate heap footprint of arena + index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.memory_bytes() + self.index.memory_bytes()
+    }
 }
 
 struct StreamState {
-    collection: RrCollection,
+    arena: RrArena,
+    index: CoverageIndex,
     extensions: u64,
 }
 
@@ -115,7 +176,9 @@ impl RrCache {
     /// Create an empty cache for graphs with `num_nodes` nodes.
     ///
     /// `strategy` and `num_threads` govern all generation done through the
-    /// cache; `base_seed` makes every stream deterministic.
+    /// cache; `base_seed` makes every stream deterministic — collections
+    /// are a function of `(base_seed, request sizes)` only, independent of
+    /// `num_threads` (see [`RrArena::generate_parallel`]).
     pub fn new(num_nodes: usize, strategy: RrStrategy, num_threads: usize, base_seed: u64) -> Self {
         RrCache {
             num_nodes,
@@ -152,7 +215,19 @@ impl RrCache {
             .streams
             .get(stream.index())
             .and_then(|s| s.as_ref())
-            .map_or(0, |s| s.collection.len())
+            .map_or(0, |s| s.arena.len())
+    }
+
+    /// Number of immutable index segments a stream has accumulated — one
+    /// per extension, because the index is extended in place, never
+    /// rebuilt.
+    pub fn index_segments(&self, stream: RrStream) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .streams
+            .get(stream.index())
+            .and_then(|s| s.as_ref())
+            .map_or(0, |s| s.index.num_segments())
     }
 
     /// True when no stream holds any RR-set.
@@ -161,17 +236,19 @@ impl RrCache {
         inner
             .streams
             .iter()
-            .all(|s| s.as_ref().is_none_or(|s| s.collection.is_empty()))
+            .all(|s| s.as_ref().is_none_or(|s| s.arena.is_empty()))
     }
 
-    /// Approximate heap footprint of all cached collections in bytes.
+    /// Approximate heap footprint of all cached arenas and indexes in
+    /// bytes. O(#streams): the columnar representation keeps running
+    /// totals, so polling this per sweep point is free.
     pub fn memory_bytes(&self) -> usize {
         let inner = self.inner.lock();
         inner
             .streams
             .iter()
             .filter_map(|s| s.as_ref())
-            .map(|s| s.collection.memory_bytes())
+            .map(|s| s.arena.memory_bytes() + s.index.memory_bytes())
             .sum()
     }
 
@@ -183,17 +260,18 @@ impl RrCache {
     }
 
     /// Ensure `stream` holds at least `count` RR-sets generated under
-    /// `sampler`, extending (never regenerating) the collection, then hand
-    /// it to `f`. Returns the closure's value plus this request's
-    /// [`RrRequestStats`].
+    /// `sampler`, extending (never regenerating) the arena and its
+    /// coverage index, then hand the stream to `f`. Returns the closure's
+    /// value plus this request's [`RrRequestStats`].
     ///
-    /// The closure receives the *whole* collection, which may exceed
+    /// The closure receives a view of the *whole* stream, which may exceed
     /// `count` when earlier requests already grew it — estimates built on
     /// the larger sample are statistically at least as good, but callers
     /// needing an exact sample size must run against a fresh cache.
     ///
-    /// The closure runs under the cache lock; build whatever index you need
-    /// (e.g. an estimator) and return it rather than holding references.
+    /// The closure runs under the cache lock; snapshot what you need (an
+    /// estimator over [`RrStreamView::coverage`] is a few `Arc` bumps) and
+    /// return it rather than holding references.
     pub fn with_at_least<M, T>(
         &self,
         graph: &DirectedGraph,
@@ -201,7 +279,7 @@ impl RrCache {
         sampler: &UniformRrSampler,
         stream: RrStream,
         count: usize,
-        f: impl FnOnce(&RrCollection) -> T,
+        f: impl FnOnce(RrStreamView<'_>) -> T,
     ) -> (T, RrRequestStats)
     where
         M: PropagationModel + ?Sized,
@@ -221,11 +299,12 @@ impl RrCache {
         let strategy = self.strategy;
         let num_nodes = self.num_nodes;
         let state = inner.streams[idx].get_or_insert_with(|| StreamState {
-            collection: RrCollection::new(num_nodes, strategy),
+            arena: RrArena::new(num_nodes, strategy),
+            index: CoverageIndex::new(num_nodes, sampler.num_ads()),
             extensions: 0,
         });
 
-        let have = state.collection.len();
+        let have = state.arena.len();
         let missing = count.saturating_sub(have);
         if missing > 0 {
             state.extensions += 1;
@@ -233,25 +312,34 @@ impl RrCache {
                 .base_seed
                 .wrapping_add(stream.seed_tag())
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(state.extensions));
-            state.collection.generate_parallel(
-                graph,
-                &model,
-                sampler,
-                missing,
-                self.num_threads,
-                seed,
-            );
+            state
+                .arena
+                .generate_parallel(graph, &model, sampler, missing, self.num_threads, seed);
         }
-        let result = f(&state.collection);
+        // Extend-never-rebuild: index exactly the new sets, in place.
+        let index_start = Instant::now();
+        let index_extended = state.index.extend_from(&state.arena);
+        let index_extend_time = index_start.elapsed();
+        let index_reused = state.index.num_rr() - index_extended;
+
+        let result = f(RrStreamView {
+            arena: &state.arena,
+            index: &state.index,
+        });
         inner.stats.requested += count;
         inner.stats.generated += missing;
         inner.stats.served_from_cache += count - missing;
+        inner.stats.index_extended += index_extended;
+        inner.stats.index_extend_time += index_extend_time;
         (
             result,
             RrRequestStats {
                 requested: count,
                 generated: missing,
                 served_from_cache: count - missing,
+                index_extended,
+                index_reused,
+                index_extend_time,
             },
         )
     }
@@ -327,52 +415,91 @@ mod tests {
         (g, m, s)
     }
 
+    fn roots(view: RrStreamView<'_>) -> Vec<(usize, u32)> {
+        view.arena().iter().map(|r| (r.ad, r.root())).collect()
+    }
+
     #[test]
     fn extends_monotonically_instead_of_regenerating() {
         let (g, m, s) = setup();
         let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
-        let (first, req1) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 500, |c| {
-            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
-        });
+        let (first, req1) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 500, roots);
         assert_eq!(req1.generated, 500);
         assert_eq!(req1.served_from_cache, 0);
+        assert_eq!(req1.index_extended, 500);
+        assert_eq!(req1.index_reused, 0);
         assert_eq!(cache.len(RrStream::Optimize), 500);
+        assert_eq!(cache.index_segments(RrStream::Optimize), 1);
 
-        // Growing keeps the existing prefix bit-for-bit.
-        let (second, req2) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 800, |c| {
-            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
-        });
+        // Growing keeps the existing prefix bit-for-bit and only indexes
+        // the new sets.
+        let (second, req2) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 800, roots);
         assert_eq!(req2.generated, 300);
         assert_eq!(req2.served_from_cache, 500);
+        assert_eq!(req2.index_extended, 300);
+        assert_eq!(req2.index_reused, 500);
         assert_eq!(cache.len(RrStream::Optimize), 800);
+        assert_eq!(cache.index_segments(RrStream::Optimize), 2);
         assert_eq!(&second[..500], &first[..]);
 
-        // Shrinking requests are served from cache without generation.
-        let (_, req3) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 100, |c| {
-            assert_eq!(c.len(), 800);
+        // Shrinking requests are served from cache without generation or
+        // index work.
+        let (_, req3) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 100, |v| {
+            assert_eq!(v.len(), 800);
         });
         assert_eq!(req3.generated, 0);
+        assert_eq!(req3.index_extended, 0);
+        assert_eq!(req3.index_reused, 800);
+        assert_eq!(cache.index_segments(RrStream::Optimize), 2);
         let stats = cache.stats();
         assert_eq!(stats.generated, 800);
         assert_eq!(stats.requested, 500 + 800 + 100);
         assert_eq!(stats.served_from_cache, 500 + 100);
+        assert_eq!(stats.index_extended, 800);
         assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn coverage_views_at_different_sizes_share_the_index_prefix() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        let (view1, _) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 600, |v| v.coverage());
+        let (view2, _) =
+            cache.with_at_least(&g, &m, &s, RrStream::Optimize, 1400, |v| v.coverage());
+        assert_eq!(view1.num_rr(), 600);
+        assert_eq!(view2.num_rr(), 1400);
+        // The θ₁ view's segment is the θ₂ view's first segment — shared,
+        // not rebuilt.
+        assert!(std::sync::Arc::ptr_eq(
+            &view1.segments()[0],
+            &view2.segments()[0]
+        ));
+        // And the smaller view still answers exactly over its prefix.
+        for u in 0..g.num_nodes() as u32 {
+            assert!(view1.singleton_count(0, u) <= view2.singleton_count(0, u));
+        }
     }
 
     #[test]
     fn streams_are_independent() {
         let (g, m, s) = setup();
         let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
-        let (opt, _) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 400, |c| {
-            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
-        });
-        let (val, _) = cache.with_at_least(&g, &m, &s, RrStream::Validate, 400, |c| {
-            c.sets().iter().map(|r| (r.ad, r.root)).collect::<Vec<_>>()
-        });
+        let (opt, _) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 400, roots);
+        let (val, _) = cache.with_at_least(&g, &m, &s, RrStream::Validate, 400, roots);
         assert_ne!(opt, val, "streams must not replay the same RNG stream");
         assert_eq!(cache.len(RrStream::Optimize), 400);
         assert_eq!(cache.len(RrStream::Validate), 400);
         assert_eq!(cache.len(RrStream::Aux(3)), 0);
+    }
+
+    #[test]
+    fn collections_are_thread_count_independent() {
+        let (g, m, s) = setup();
+        let serial = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        let threaded = RrCache::new(g.num_nodes(), RrStrategy::Standard, 8, 7);
+        let (a, _) = serial.with_at_least(&g, &m, &s, RrStream::Optimize, 5000, roots);
+        let (b, _) = threaded.with_at_least(&g, &m, &s, RrStream::Optimize, 5000, roots);
+        assert_eq!(a, b, "num_threads must not change the collection");
     }
 
     #[test]
@@ -402,7 +529,7 @@ mod tests {
         // Same sampler, different edge probabilities → stale RR-sets must
         // not be served.
         let hotter = UniformIc::new(2, 0.9);
-        let (len, req) = cache.with_at_least(&g, &hotter, &s, RrStream::Optimize, 300, |c| c.len());
+        let (len, req) = cache.with_at_least(&g, &hotter, &s, RrStream::Optimize, 300, |v| v.len());
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(len, 300);
         assert_eq!(req.generated, 300, "collection must be regenerated");
@@ -425,8 +552,8 @@ mod tests {
         let (g, m, s) = setup();
         let boxed: Box<dyn PropagationModel> = Box::new(m);
         let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 2, 9);
-        let (n, _) = cache.with_at_least(&g, boxed.as_ref(), &s, RrStream::Optimize, 1500, |c| {
-            c.len()
+        let (n, _) = cache.with_at_least(&g, boxed.as_ref(), &s, RrStream::Optimize, 1500, |v| {
+            v.len()
         });
         assert_eq!(n, 1500);
     }

@@ -17,12 +17,17 @@
 //!   skipping when a node's incoming probabilities are uniform.
 //! * [`sampler`] — the paper's uniform sampling method (Section 4.2): each
 //!   RR-set first samples an advertiser proportional to its CPE and then a
-//!   uniform root, plus the coverage index used for fast marginal-gain
-//!   queries.
+//!   uniform root.
+//! * [`arena`] — the columnar [`RrArena`] RR-set store (flat CSR member
+//!   buffer + advertiser column) and the incrementally extendable
+//!   [`CoverageIndex`] with its immutable [`CoverageView`] snapshots; all
+//!   fast marginal-gain machinery in `rmsa-core` runs on these.
 //! * [`cache`] — the shared, lazily-extendable [`RrCache`] behind the
 //!   `Solver`/`Workbench` API: parameter sweeps extend one progressively
-//!   growing set of collections instead of regenerating them per run.
+//!   growing set of arenas (and their coverage indexes) instead of
+//!   regenerating them per run.
 
+pub mod arena;
 pub mod cache;
 pub mod exact;
 pub mod models;
@@ -30,8 +35,9 @@ pub mod rr;
 pub mod sampler;
 pub mod simulate;
 
-pub use cache::{RrCache, RrCacheStats, RrRequestStats, RrStream};
+pub use arena::{CoverBitset, CoverageIndex, CoverageSegment, CoverageView, RrArena, RrSetRef};
+pub use cache::{RrCache, RrCacheStats, RrRequestStats, RrStream, RrStreamView};
 pub use models::{AdId, MaterializedModel, PropagationModel, TicModel, UniformIc, WeightedCascade};
 pub use rr::{RrGenerator, RrSet, RrStrategy};
-pub use sampler::{RrCollection, RrCoverage, UniformRrSampler};
+pub use sampler::UniformRrSampler;
 pub use simulate::{estimate_spread, simulate_once};

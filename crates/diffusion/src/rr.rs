@@ -96,7 +96,29 @@ impl RrGenerator {
         root: NodeId,
         rng: &mut R,
     ) -> RrSet {
+        let mut nodes = Vec::new();
+        self.generate_rooted_into(graph, model, ad, root, rng, &mut nodes);
+        RrSet { ad, root, nodes }
+    }
+
+    /// Generate one RR-set for `ad` rooted at `root`, appending the member
+    /// nodes (root first) to `out` instead of allocating a fresh vector.
+    /// Returns the number of appended members.
+    ///
+    /// This is the emission path of the columnar [`crate::arena::RrArena`]:
+    /// sets are written back to back into one flat buffer, so generation
+    /// performs no per-set allocation at all.
+    pub fn generate_rooted_into<M: PropagationModel + ?Sized, R: Rng>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        ad: AdId,
+        root: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> usize {
         debug_assert_eq!(self.visited.len(), graph.num_nodes());
+        let start = out.len();
         // Reset scratch state from the previous call.
         for &t in &self.touched {
             self.visited[t as usize] = false;
@@ -107,7 +129,8 @@ impl RrGenerator {
         self.visited[root as usize] = true;
         self.touched.push(root);
         self.queue.push_back(root);
-        let mut nodes = vec![root];
+        let nodes = out;
+        nodes.push(root);
 
         while let Some(v) = self.queue.pop_front() {
             let uniform = match self.strategy {
@@ -118,7 +141,7 @@ impl RrGenerator {
                 Some(p) if p <= 0.0 => {}
                 Some(p) if p >= 1.0 => {
                     for (u, _) in graph.in_edges(v) {
-                        self.try_visit(u, &mut nodes);
+                        self.try_visit(u, nodes);
                     }
                 }
                 Some(p) => {
@@ -134,20 +157,20 @@ impl RrGenerator {
                         if idx >= d as i64 {
                             break;
                         }
-                        self.try_visit(in_neighbors[idx as usize], &mut nodes);
+                        self.try_visit(in_neighbors[idx as usize], nodes);
                     }
                 }
                 None => {
                     for (u, e) in graph.in_edges(v) {
                         let p = model.edge_prob(ad, e);
                         if p > 0.0 && rng.gen_bool(p.min(1.0)) {
-                            self.try_visit(u, &mut nodes);
+                            self.try_visit(u, nodes);
                         }
                     }
                 }
             }
         }
-        RrSet { ad, root, nodes }
+        nodes.len() - start
     }
 
     /// Generate one RR-set for `ad` with a uniformly random root.
@@ -176,7 +199,7 @@ impl RrGenerator {
 /// Estimate `σ_ad(seeds)` from `num_sets` RR-sets generated on the fly:
 /// `n · (covered sets) / num_sets`. Convenience helper used by tests and the
 /// seed-cost assignment; large-scale estimation goes through
-/// [`crate::sampler::RrCollection`].
+/// [`crate::arena::RrArena`] and the [`crate::cache::RrCache`].
 pub fn rr_spread_estimate<M: PropagationModel, R: Rng>(
     graph: &DirectedGraph,
     model: &M,

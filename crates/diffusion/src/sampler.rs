@@ -1,4 +1,4 @@
-//! The paper's uniform RR-set sampling scheme and coverage index.
+//! The paper's uniform RR-set sampling scheme.
 //!
 //! Section 4.2: a straightforward approach would maintain `h` independent
 //! RR-set collections, one per advertiser, but the resulting estimators mix
@@ -8,13 +8,12 @@
 //! root, generating the RR-set under ad `i`'s edge probabilities. With
 //! `Λ(S⃗, R) = 1` iff the RR-set's advertiser `j` satisfies `S_j ∩ R ≠ ∅`,
 //! Lemma 4.1 gives `π(S⃗) = nΓ · E[Λ(S⃗, R)]`.
+//!
+//! The sampled sets live in the columnar [`crate::arena::RrArena`]; the
+//! coverage machinery is [`crate::arena::CoverageIndex`].
 
-use crate::models::{AdId, PropagationModel};
-use crate::rr::{RrGenerator, RrSet, RrStrategy};
+use crate::models::AdId;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_pcg::Pcg64Mcg;
-use rmsa_graph::{DirectedGraph, NodeId};
 
 /// Samples `(advertiser, root)` pairs for RR-set generation: the advertiser
 /// proportional to its CPE, the root uniformly at random.
@@ -63,244 +62,30 @@ impl UniformRrSampler {
 
     /// Sample an advertiser with probability proportional to its CPE.
     pub fn sample_ad<R: Rng>(&self, rng: &mut R) -> AdId {
-        let x = rng.gen_range(0.0..self.gamma);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("cpe values are finite"))
-        {
-            Ok(i) => (i + 1).min(self.cpe.len() - 1),
-            Err(i) => i,
-        }
-    }
-}
-
-/// A growable collection of RR-sets produced by the uniform sampler.
-#[derive(Clone, Debug)]
-pub struct RrCollection {
-    num_nodes: usize,
-    strategy: RrStrategy,
-    sets: Vec<RrSet>,
-}
-
-impl RrCollection {
-    /// Create an empty collection for graphs with `num_nodes` nodes.
-    pub fn new(num_nodes: usize, strategy: RrStrategy) -> Self {
-        RrCollection {
-            num_nodes,
-            strategy,
-            sets: Vec::new(),
-        }
+        self.ad_for_point(rng.gen_range(0.0..self.gamma))
     }
 
-    /// Number of RR-sets currently held.
-    pub fn len(&self) -> usize {
-        self.sets.len()
-    }
-
-    /// True when no RR-set has been generated yet.
-    pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
-    }
-
-    /// Access the underlying RR-sets.
-    pub fn sets(&self) -> &[RrSet] {
-        &self.sets
-    }
-
-    /// Number of nodes in the graph the collection was generated for.
-    pub fn num_nodes(&self) -> usize {
-        self.num_nodes
-    }
-
-    /// The RR-set generation strategy in use.
-    pub fn strategy(&self) -> RrStrategy {
-        self.strategy
-    }
-
-    /// Total approximate heap footprint of the stored RR-sets in bytes. This
-    /// is the "memory usage" proxy reported by the Fig. 4 experiment.
-    pub fn memory_bytes(&self) -> usize {
-        self.sets.iter().map(|r| r.memory_bytes()).sum::<usize>()
-            + self.sets.capacity() * std::mem::size_of::<RrSet>()
-    }
-
-    /// Average RR-set size (node entries per set).
-    pub fn mean_size(&self) -> f64 {
-        if self.sets.is_empty() {
-            0.0
-        } else {
-            self.sets.iter().map(|r| r.len()).sum::<usize>() as f64 / self.sets.len() as f64
-        }
-    }
-
-    /// Append `count` RR-sets generated sequentially with `rng`.
-    pub fn generate<M: PropagationModel, R: Rng>(
-        &mut self,
-        graph: &DirectedGraph,
-        model: &M,
-        sampler: &UniformRrSampler,
-        count: usize,
-        rng: &mut R,
-    ) {
-        let mut gen = RrGenerator::new(graph.num_nodes(), self.strategy);
-        self.sets.reserve(count);
-        for _ in 0..count {
-            let ad = sampler.sample_ad(rng);
-            self.sets.push(gen.generate(graph, model, ad, rng));
-        }
-    }
-
-    /// Append `count` RR-sets generated by `num_threads` worker threads.
+    /// Map a point `x ∈ [0, Γ)` to the advertiser whose half-open CPE
+    /// interval `[cum_{i-1}, cum_i)` contains it.
     ///
-    /// Each worker derives its own deterministic RNG stream from `seed`, so
-    /// the multiset of generated RR-sets is reproducible for a fixed
-    /// `(seed, count, num_threads)` triple.
-    pub fn generate_parallel<M: PropagationModel>(
-        &mut self,
-        graph: &DirectedGraph,
-        model: &M,
-        sampler: &UniformRrSampler,
-        count: usize,
-        num_threads: usize,
-        seed: u64,
-    ) {
-        let num_threads = num_threads.max(1);
-        if num_threads == 1 || count < 1024 {
-            let mut rng = Pcg64Mcg::seed_from_u64(seed);
-            self.generate(graph, model, sampler, count, &mut rng);
-            return;
-        }
-        let chunk = count / num_threads;
-        let remainder = count % num_threads;
-        let strategy = self.strategy;
-        let results = parking_lot::Mutex::new(Vec::with_capacity(num_threads));
-        std::thread::scope(|scope| {
-            for t in 0..num_threads {
-                let my_count = chunk + usize::from(t < remainder);
-                let results = &results;
-                scope.spawn(move || {
-                    let mut rng = Pcg64Mcg::seed_from_u64(
-                        seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1),
-                    );
-                    let mut gen = RrGenerator::new(graph.num_nodes(), strategy);
-                    let mut local = Vec::with_capacity(my_count);
-                    for _ in 0..my_count {
-                        let ad = sampler.sample_ad(&mut rng);
-                        local.push(gen.generate(graph, model, ad, &mut rng));
-                    }
-                    results.lock().push((t, local));
-                });
-            }
-        });
-        let mut produced = results.into_inner();
-        produced.sort_by_key(|(t, _)| *t);
-        for (_, mut local) in produced {
-            self.sets.append(&mut local);
-        }
-    }
-}
-
-/// Immutable coverage index over an [`RrCollection`]: for every node, the
-/// ids of the RR-sets containing it, plus each RR-set's owning advertiser.
-/// All estimator and greedy-selection queries in `rmsa-core` run against
-/// this index.
-#[derive(Clone, Debug)]
-pub struct RrCoverage {
-    num_nodes: usize,
-    num_rr: usize,
-    node_to_rr: Vec<Vec<u32>>,
-    rr_ad: Vec<AdId>,
-}
-
-impl RrCoverage {
-    /// Build the inverted index from a collection.
-    pub fn build(collection: &RrCollection) -> Self {
-        let num_nodes = collection.num_nodes();
-        let mut node_to_rr: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
-        let mut rr_ad = Vec::with_capacity(collection.len());
-        for (id, rr) in collection.sets().iter().enumerate() {
-            rr_ad.push(rr.ad);
-            for &u in &rr.nodes {
-                node_to_rr[u as usize].push(id as u32);
-            }
-        }
-        RrCoverage {
-            num_nodes,
-            num_rr: collection.len(),
-            node_to_rr,
-            rr_ad,
-        }
-    }
-
-    /// Number of indexed RR-sets.
-    pub fn num_rr(&self) -> usize {
-        self.num_rr
-    }
-
-    /// Number of nodes in the underlying graph.
-    pub fn num_nodes(&self) -> usize {
-        self.num_nodes
-    }
-
-    /// Advertiser that RR-set `rr` was generated for.
-    pub fn ad_of(&self, rr: u32) -> AdId {
-        self.rr_ad[rr as usize]
-    }
-
-    /// RR-set ids containing `node`.
-    pub fn rr_containing(&self, node: NodeId) -> &[u32] {
-        &self.node_to_rr[node as usize]
-    }
-
-    /// Number of RR-sets generated for `ad` that intersect `seeds`
-    /// (from-scratch query).
-    pub fn coverage_count(&self, ad: AdId, seeds: &[NodeId]) -> usize {
-        let mut covered = vec![false; self.num_rr];
-        let mut count = 0usize;
-        for &u in seeds {
-            for &rr in self.rr_containing(u) {
-                if !covered[rr as usize] && self.rr_ad[rr as usize] == ad {
-                    covered[rr as usize] = true;
-                    count += 1;
-                }
-            }
-        }
-        count
-    }
-
-    /// Number of RR-sets covered by a full allocation `S⃗` (each RR-set is
-    /// covered iff the seed set of *its own* advertiser intersects it).
-    pub fn allocation_coverage_count(&self, allocation: &[Vec<NodeId>]) -> usize {
-        let mut covered = vec![false; self.num_rr];
-        let mut count = 0usize;
-        for (ad, seeds) in allocation.iter().enumerate() {
-            for &u in seeds {
-                for &rr in self.rr_containing(u) {
-                    if !covered[rr as usize] && self.rr_ad[rr as usize] == ad {
-                        covered[rr as usize] = true;
-                        count += 1;
-                    }
-                }
-            }
-        }
-        count
-    }
-
-    /// Approximate heap footprint in bytes (index only, not the RR-sets).
-    pub fn memory_bytes(&self) -> usize {
-        self.node_to_rr
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<u32>())
-            .sum::<usize>()
-            + self.rr_ad.capacity() * std::mem::size_of::<AdId>()
+    /// Boundary behaviour is uniform: an exact hit on *any* cumulative
+    /// value `cum_i` belongs to the next advertiser `i + 1`, because
+    /// advertiser `i`'s interval is open on the right. The result is
+    /// clamped to the last advertiser only to guard against a
+    /// floating-point `x == Γ`, which `sample_ad`'s half-open range never
+    /// produces but a caller-supplied point could.
+    pub fn ad_for_point(&self, x: f64) -> AdId {
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cpe.len() - 1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::UniformIc;
-    use rmsa_graph::graph_from_edges;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64Mcg;
 
     fn rng() -> Pcg64Mcg {
         Pcg64Mcg::seed_from_u64(7)
@@ -326,79 +111,31 @@ mod tests {
     }
 
     #[test]
-    fn collection_generates_requested_count() {
-        let g = graph_from_edges(10, &[(0, 1), (1, 2), (3, 4)]);
-        let m = UniformIc::new(2, 0.5);
-        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
-        let mut coll = RrCollection::new(g.num_nodes(), RrStrategy::Standard);
-        coll.generate(&g, &m, &sampler, 500, &mut rng());
-        assert_eq!(coll.len(), 500);
-        assert!(coll.mean_size() >= 1.0);
-        assert!(coll.memory_bytes() > 0);
+    fn boundary_points_always_map_to_the_next_advertiser() {
+        let sampler = UniformRrSampler::new(&[1.0, 2.0, 0.5]);
+        // Interior points.
+        assert_eq!(sampler.ad_for_point(0.0), 0);
+        assert_eq!(sampler.ad_for_point(0.5), 0);
+        assert_eq!(sampler.ad_for_point(1.5), 1);
+        assert_eq!(sampler.ad_for_point(3.2), 2);
+        // Exact hits on every cumulative boundary go to the next ad…
+        assert_eq!(sampler.ad_for_point(1.0), 1);
+        assert_eq!(sampler.ad_for_point(3.0), 2);
+        // …including the final boundary Γ, which clamps to the last ad
+        // instead of running off the end.
+        assert_eq!(sampler.ad_for_point(3.5), 2);
+        assert_eq!(sampler.ad_for_point(f64::next_up(3.5)), 2);
     }
 
     #[test]
-    fn parallel_generation_is_deterministic_and_complete() {
-        let g = graph_from_edges(20, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]);
-        let m = UniformIc::new(2, 0.7);
-        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
-        let mut a = RrCollection::new(g.num_nodes(), RrStrategy::Standard);
-        a.generate_parallel(&g, &m, &sampler, 4000, 4, 99);
-        let mut b = RrCollection::new(g.num_nodes(), RrStrategy::Standard);
-        b.generate_parallel(&g, &m, &sampler, 4000, 4, 99);
-        assert_eq!(a.len(), 4000);
-        assert_eq!(b.len(), 4000);
-        let roots_a: Vec<_> = a.sets().iter().map(|r| (r.ad, r.root)).collect();
-        let roots_b: Vec<_> = b.sets().iter().map(|r| (r.ad, r.root)).collect();
-        assert_eq!(roots_a, roots_b);
-    }
-
-    #[test]
-    fn coverage_counts_only_matching_advertiser() {
-        // Deterministic edges so RR membership is predictable: 0 -> 1.
-        let g = graph_from_edges(2, &[(0, 1)]);
-        let m = UniformIc::new(2, 1.0);
-        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
-        let mut coll = RrCollection::new(2, RrStrategy::Standard);
-        coll.generate(&g, &m, &sampler, 2000, &mut rng());
-        let cov = RrCoverage::build(&coll);
-        assert_eq!(cov.num_rr(), 2000);
-        // Node 0 reverse-reaches every root, so seeding node 0 for ad 0
-        // covers exactly the RR-sets generated for ad 0.
-        let ad0_sets = coll.sets().iter().filter(|r| r.ad == 0).count();
-        assert_eq!(cov.coverage_count(0, &[0]), ad0_sets);
-        // Node 1 only appears in RR-sets rooted at node 1.
-        let ad0_rooted_at_1 = coll
-            .sets()
-            .iter()
-            .filter(|r| r.ad == 0 && r.root == 1)
-            .count();
-        assert_eq!(cov.coverage_count(0, &[1]), ad0_rooted_at_1);
-    }
-
-    #[test]
-    fn allocation_coverage_combines_per_ad_coverage() {
-        let g = graph_from_edges(2, &[(0, 1)]);
-        let m = UniformIc::new(2, 1.0);
-        let sampler = UniformRrSampler::new(&[1.0, 1.0]);
-        let mut coll = RrCollection::new(2, RrStrategy::Standard);
-        coll.generate(&g, &m, &sampler, 1000, &mut rng());
-        let cov = RrCoverage::build(&coll);
-        let alloc = vec![vec![0], vec![0]];
-        // Node 0 covers every RR-set regardless of which ad it belongs to.
-        assert_eq!(cov.allocation_coverage_count(&alloc), 1000);
-        let partial = vec![vec![0], vec![]];
-        let ad0_sets = coll.sets().iter().filter(|r| r.ad == 0).count();
-        assert_eq!(cov.allocation_coverage_count(&partial), ad0_sets);
-    }
-
-    #[test]
-    fn empty_collection_edge_cases() {
-        let coll = RrCollection::new(5, RrStrategy::Subsim);
-        assert!(coll.is_empty());
-        assert_eq!(coll.mean_size(), 0.0);
-        let cov = RrCoverage::build(&coll);
-        assert_eq!(cov.num_rr(), 0);
-        assert_eq!(cov.coverage_count(0, &[1, 2]), 0);
+    fn single_advertiser_always_wins() {
+        let sampler = UniformRrSampler::new(&[2.5]);
+        assert_eq!(sampler.ad_for_point(0.0), 0);
+        assert_eq!(sampler.ad_for_point(2.4999), 0);
+        assert_eq!(sampler.ad_for_point(2.5), 0);
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(sampler.sample_ad(&mut rng), 0);
+        }
     }
 }

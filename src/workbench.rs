@@ -225,7 +225,9 @@ impl Workbench {
 
     /// An independent evaluator over the cache's [`RrStream::Evaluate`]
     /// stream — RR-sets no solver ever optimises against. Re-requesting an
-    /// evaluator across a sweep reuses the same collection.
+    /// evaluator across a sweep reuses the same collection *and* the same
+    /// incrementally maintained coverage index (the estimator snapshot is
+    /// a few `Arc` bumps, not a rebuild).
     pub fn evaluator(&self, instance: &RmInstance, num_rr_sets: usize) -> IndependentEvaluator {
         let sampler = UniformRrSampler::new(&instance.cpe_values());
         let (evaluator, _) = self.cache.with_at_least(
@@ -234,10 +236,9 @@ impl Workbench {
             &sampler,
             RrStream::Evaluate,
             num_rr_sets,
-            |c| {
-                IndependentEvaluator::from_estimator(RrRevenueEstimator::new(
-                    c,
-                    instance.num_ads(),
+            |v| {
+                IndependentEvaluator::from_estimator(RrRevenueEstimator::from_view(
+                    v.coverage(),
                     instance.gamma(),
                 ))
             },
@@ -339,6 +340,27 @@ mod tests {
             "sweep must reuse RR-sets: generated {} of {} requested",
             stats.generated,
             stats.requested
+        );
+    }
+
+    #[test]
+    fn reports_expose_index_reuse_accounting() {
+        let (mut wb, instance) = bench_world(2);
+        wb.register(Rma::new(quick_rma()));
+        let first = wb.run(&instance).unwrap();
+        assert!(first[0].rr.index_extended > 0, "cold cache must index");
+        // Same instance again: collections and coverage index are warm, so
+        // the second solve does zero index work and reports pure reuse.
+        let second = wb.run(&instance).unwrap();
+        assert_eq!(
+            second[0].rr.index_extended, 0,
+            "warm index must be reused, not rebuilt"
+        );
+        assert!(second[0].rr.index_reused >= second[0].rr.used);
+        let stats = wb.cache_stats();
+        assert_eq!(
+            stats.index_extended, stats.generated,
+            "every generated RR-set is indexed exactly once"
         );
     }
 

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use rand_pcg::Pcg64Mcg;
 use rmsa::prelude::*;
 use rmsa_core::{ExactRevenueOracle, McRevenueOracle, RevenueOracle, RrRevenueEstimator};
-use rmsa_diffusion::{RrCollection, UniformRrSampler};
+use rmsa_diffusion::{RrArena, UniformRrSampler};
 
 fn tiny_instance() -> (DirectedGraph, UniformIc, RmInstance) {
     let g = rmsa_graph::graph_from_edges(6, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5), (2, 5)]);
@@ -31,10 +31,10 @@ fn rr_estimator(
     seed: u64,
 ) -> RrRevenueEstimator {
     let sampler = UniformRrSampler::new(&inst.cpe_values());
-    let mut coll = RrCollection::new(g.num_nodes(), RrStrategy::Standard);
+    let mut arena = RrArena::new(g.num_nodes(), RrStrategy::Standard);
     let mut rng = Pcg64Mcg::seed_from_u64(seed);
-    coll.generate(g, m, &sampler, num_sets, &mut rng);
-    RrRevenueEstimator::new(&coll, inst.num_ads(), inst.gamma())
+    arena.generate(g, m, &sampler, num_sets, &mut rng);
+    RrRevenueEstimator::new(&arena, inst.num_ads(), inst.gamma())
 }
 
 #[test]

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
 use rmsa::prelude::*;
 use rmsa_core::{greedy_single, rm_with_oracle, threshold_greedy, ExactRevenueOracle};
-use rmsa_diffusion::{RrCollection, RrGenerator, UniformRrSampler};
+use rmsa_diffusion::{RrArena, RrGenerator, UniformRrSampler};
 use rmsa_graph::{graph_from_edges, traversal};
 
 /// Number of sampled cases per property.
@@ -214,9 +214,9 @@ fn uniform_sampler_unbiasedness_lemma_4_1() {
         let truth = exact.allocation_revenue(&alloc);
 
         let sampler = UniformRrSampler::new(&inst.cpe_values());
-        let mut coll = RrCollection::new(4, RrStrategy::Standard);
-        coll.generate(&g, &m, &sampler, 60_000, &mut rng);
-        let est = rmsa_core::RrRevenueEstimator::new(&coll, 2, inst.gamma());
+        let mut arena = RrArena::new(4, RrStrategy::Standard);
+        arena.generate(&g, &m, &sampler, 60_000, &mut rng);
+        let est = rmsa_core::RrRevenueEstimator::new(&arena, 2, inst.gamma());
         let estimate = est.allocation_estimate(&alloc);
         assert!(
             (estimate - truth).abs() < 0.15 * truth.max(1.0),
