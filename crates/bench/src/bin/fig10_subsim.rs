@@ -1,50 +1,8 @@
-//! Figure 10 / Table 6: the SUBSIM-accelerated variant — revenue, seeding
-//! cost and running time under the linear cost model when all algorithms use
-//! geometric-skip RR-set generation instead of per-edge coin flips.
+//! Figure 10 / Table 6: the SUBSIM-accelerated variant.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig10_subsim`.
-
-use rmsa_bench::sweeps::{alpha_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+//! Thin wrapper over the manifest `scenarios/fig10.toml`; equivalent to
+//! `rmsa sweep scenarios/fig10.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        let rows = alpha_sweep(&ctx, kind, IncentiveModel::Linear, RrStrategy::Subsim);
-        print_sweep_metric(
-            &format!("Fig.10 — total revenue (SUBSIM), {} / linear", kind.name()),
-            "alpha",
-            &rows,
-            |o| format!("{:.1}", o.revenue),
-        );
-        print_sweep_metric(
-            &format!(
-                "Fig.10 — total seeding cost (SUBSIM), {} / linear",
-                kind.name()
-            ),
-            "alpha",
-            &rows,
-            |o| format!("{:.1}", o.seeding_cost),
-        );
-        print_sweep_metric(
-            &format!(
-                "Table 6 — running time (s) with SUBSIM, {} / linear",
-                kind.name()
-            ),
-            "alpha",
-            &rows,
-            |o| format!("{:.2}", o.time_secs),
-        );
-        lines.extend(sweep_csv_lines(&format!("{},subsim,", kind.name()), &rows));
-    }
-    let path = write_csv(
-        "fig10_subsim",
-        &format!("dataset,strategy,alpha,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig10");
 }

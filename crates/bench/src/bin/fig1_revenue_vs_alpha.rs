@@ -1,42 +1,8 @@
-//! Figure 1: total revenue as a function of α on the two TIC datasets under
-//! the linear / quasi-linear / super-linear incentive models, comparing RMA
-//! with TI-CARM and TI-CSRM.
+//! Figure 1: total revenue vs α (RMA vs TI-CARM / TI-CSRM).
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig1_revenue_vs_alpha`.
-//! Use `RMSA_SCALE=0.1` for a quick laptop run.
-
-use rmsa_bench::sweeps::{alpha_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+//! Thin wrapper over the manifest `scenarios/fig1.toml`; equivalent to
+//! `rmsa sweep scenarios/fig1.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        for incentive in IncentiveModel::all() {
-            let rows = alpha_sweep(&ctx, kind, incentive, RrStrategy::Standard);
-            print_sweep_metric(
-                &format!(
-                    "Fig.1 — total revenue, {} / {}",
-                    kind.name(),
-                    incentive.label()
-                ),
-                "alpha",
-                &rows,
-                |o| format!("{:.1}", o.revenue),
-            );
-            lines.extend(sweep_csv_lines(
-                &format!("{},{},", kind.name(), incentive.label()),
-                &rows,
-            ));
-        }
-    }
-    let path = write_csv(
-        "fig1_revenue_vs_alpha",
-        &format!("dataset,incentive,alpha,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig1");
 }

@@ -1,40 +1,8 @@
-//! Figure 2: total seeding cost as a function of α on the two TIC datasets
-//! under the three incentive models.
+//! Figure 2: total seeding cost vs α.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig2_seeding_cost_vs_alpha`.
-
-use rmsa_bench::sweeps::{alpha_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+//! Thin wrapper over the manifest `scenarios/fig2.toml`; equivalent to
+//! `rmsa sweep scenarios/fig2.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        for incentive in IncentiveModel::all() {
-            let rows = alpha_sweep(&ctx, kind, incentive, RrStrategy::Standard);
-            print_sweep_metric(
-                &format!(
-                    "Fig.2 — total seeding cost, {} / {}",
-                    kind.name(),
-                    incentive.label()
-                ),
-                "alpha",
-                &rows,
-                |o| format!("{:.1}", o.seeding_cost),
-            );
-            lines.extend(sweep_csv_lines(
-                &format!("{},{},", kind.name(), incentive.label()),
-                &rows,
-            ));
-        }
-    }
-    let path = write_csv(
-        "fig2_seeding_cost_vs_alpha",
-        &format!("dataset,incentive,alpha,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig2");
 }

@@ -1,31 +1,8 @@
-//! Figure 3: total number of selected seeds as a function of α under the
-//! linear incentive model.
+//! Figure 3: total number of selected seeds vs α.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig3_seed_size_vs_alpha`.
-
-use rmsa_bench::sweeps::{alpha_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+//! Thin wrapper over the manifest `scenarios/fig3.toml`; equivalent to
+//! `rmsa sweep scenarios/fig3.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::LastfmSyn, DatasetKind::FlixsterSyn] {
-        let rows = alpha_sweep(&ctx, kind, IncentiveModel::Linear, RrStrategy::Standard);
-        print_sweep_metric(
-            &format!("Fig.3 — total seed size, {} / linear", kind.name()),
-            "alpha",
-            &rows,
-            |o| o.seeds.to_string(),
-        );
-        lines.extend(sweep_csv_lines(&format!("{},linear,", kind.name()), &rows));
-    }
-    let path = write_csv(
-        "fig3_seed_size_vs_alpha",
-        &format!("dataset,incentive,alpha,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig3");
 }

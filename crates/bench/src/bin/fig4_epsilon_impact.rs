@@ -1,37 +1,8 @@
-//! Figure 4: impact of ε on revenue and on memory consumption (RR-set
-//! footprint proxy) for RMA, TI-CARM and TI-CSRM under the linear cost
-//! model with α = 0.1.
+//! Figure 4: impact of ε on revenue and memory consumption.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig4_epsilon_impact`.
-
-use rmsa_bench::sweeps::{epsilon_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/fig4.toml`; equivalent to
+//! `rmsa sweep scenarios/fig4.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        let rows = epsilon_sweep(&ctx, kind);
-        print_sweep_metric(
-            &format!("Fig.4 — total revenue vs ε, {}", kind.name()),
-            "epsilon",
-            &rows,
-            |o| format!("{:.1}", o.revenue),
-        );
-        print_sweep_metric(
-            &format!("Fig.4 — RR-set memory (MiB) vs ε, {}", kind.name()),
-            "epsilon",
-            &rows,
-            |o| format!("{:.2}", o.memory_mib),
-        );
-        lines.extend(sweep_csv_lines(&format!("{},", kind.name()), &rows));
-    }
-    let path = write_csv(
-        "fig4_epsilon_impact",
-        &format!("dataset,epsilon,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig4");
 }

@@ -1,89 +1,8 @@
-//! Figure 5: scalability on the Weighted-Cascade datasets — running time and
-//! total revenue while (a–d) scaling the number of advertisers and (e–h)
-//! scaling the per-advertiser budget.
+//! Figure 5: scalability in the advertiser count and the budgets.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig5_scalability`.
-//! `RMSA_SCALE` shrinks both the graphs and the budgets.
-
-use rmsa_bench::sweeps::{
-    print_sweep_metric, scalability_sweep, sweep_csv_lines, ScalabilitySweep, SWEEP_CSV_COLUMNS,
-};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/fig5.toml`; equivalent to
+//! `rmsa sweep scenarios/fig5.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::DblpSyn, DatasetKind::LiveJournalSyn] {
-        // Fig. 5(a–d): h ∈ {1, 5, 10, 15, 20}, budget 10K (DBLP) / 100K (LJ).
-        let budget = if kind == DatasetKind::DblpSyn {
-            10_000.0
-        } else {
-            100_000.0
-        };
-        let rows_h = scalability_sweep(
-            &ctx,
-            kind,
-            ScalabilitySweep::Advertisers {
-                budget,
-                values: vec![1, 5, 10, 15, 20],
-            },
-        );
-        print_sweep_metric(
-            &format!("Fig.5 — running time (s) vs h, {}", kind.name()),
-            "h",
-            &rows_h,
-            |o| format!("{:.2}", o.time_secs),
-        );
-        print_sweep_metric(
-            &format!("Fig.5 — total revenue vs h, {}", kind.name()),
-            "h",
-            &rows_h,
-            |o| format!("{:.1}", o.revenue),
-        );
-        lines.extend(sweep_csv_lines(
-            &format!("{},advertisers,", kind.name()),
-            &rows_h,
-        ));
-
-        // Fig. 5(e–h): budgets swept with h = 5.
-        let budgets: Vec<f64> = if kind == DatasetKind::DblpSyn {
-            vec![5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0, 30_000.0]
-        } else {
-            vec![
-                50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0, 300_000.0,
-            ]
-        };
-        let rows_b = scalability_sweep(
-            &ctx,
-            kind,
-            ScalabilitySweep::Budgets {
-                num_ads: 5,
-                values: budgets,
-            },
-        );
-        print_sweep_metric(
-            &format!("Fig.5 — running time (s) vs budget, {}", kind.name()),
-            "budget",
-            &rows_b,
-            |o| format!("{:.2}", o.time_secs),
-        );
-        print_sweep_metric(
-            &format!("Fig.5 — total revenue vs budget, {}", kind.name()),
-            "budget",
-            &rows_b,
-            |o| format!("{:.1}", o.revenue),
-        );
-        lines.extend(sweep_csv_lines(
-            &format!("{},budgets,", kind.name()),
-            &rows_b,
-        ));
-    }
-    let path = write_csv(
-        "fig5_scalability",
-        &format!("dataset,sweep,key,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig5");
 }

@@ -1,45 +1,8 @@
-//! Figure 6: budget usage and rate of return on the LiveJournal stand-in
-//! while sweeping the per-advertiser budget (the derived metrics behind the
-//! Fig. 5(h) discussion).
+//! Figure 6: budget usage and rate of return vs budget.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig6_budget_usage`.
-
-use rmsa_bench::sweeps::{
-    print_sweep_metric, scalability_sweep, sweep_csv_lines, ScalabilitySweep, SWEEP_CSV_COLUMNS,
-};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/fig6.toml`; equivalent to
+//! `rmsa sweep scenarios/fig6.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let rows = scalability_sweep(
-        &ctx,
-        DatasetKind::LiveJournalSyn,
-        ScalabilitySweep::Budgets {
-            num_ads: 5,
-            values: vec![
-                50_000.0, 100_000.0, 150_000.0, 200_000.0, 250_000.0, 300_000.0,
-            ],
-        },
-    );
-    print_sweep_metric(
-        "Fig.6(a) — budget usage (%) vs budget, livejournal-syn",
-        "budget",
-        &rows,
-        |o| format!("{:.1}", o.budget_usage_pct),
-    );
-    print_sweep_metric(
-        "Fig.6(b) — rate of return (%) vs budget, livejournal-syn",
-        "budget",
-        &rows,
-        |o| format!("{:.1}", o.rate_of_return_pct),
-    );
-    let lines = sweep_csv_lines("livejournal-syn,budgets,", &rows);
-    let path = write_csv(
-        "fig6_budget_usage",
-        &format!("dataset,sweep,key,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig6");
 }

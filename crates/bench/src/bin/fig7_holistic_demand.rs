@@ -1,64 +1,8 @@
-//! Figure 7: the holistic-demand scenario — total revenue and seeding cost
-//! (a, b) as the total market demand M varies, and (c, d) as α varies at a
-//! fixed demand, on the Flixster stand-in.
+//! Figure 7: the holistic-demand scenario.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig7_holistic_demand`.
-
-use rmsa_bench::sweeps::{
-    alpha_sweep, demand_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS,
-};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+//! Thin wrapper over the manifest `scenarios/fig7.toml`; equivalent to
+//! `rmsa sweep scenarios/fig7.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-
-    // Fig. 7(a)-(b): total demand M ∈ [2.0, 2.5], α = 0.1, cpe = 1.
-    let demands = [2.0, 2.1, 2.2, 2.3, 2.4, 2.5];
-    let rows_m = demand_sweep(&ctx, DatasetKind::FlixsterSyn, &demands);
-    print_sweep_metric(
-        "Fig.7(a) — total revenue vs total demand M, flixster-syn",
-        "M",
-        &rows_m,
-        |o| format!("{:.1}", o.revenue),
-    );
-    print_sweep_metric(
-        "Fig.7(b) — total seeding cost vs total demand M, flixster-syn",
-        "M",
-        &rows_m,
-        |o| format!("{:.1}", o.seeding_cost),
-    );
-    lines.extend(sweep_csv_lines("flixster-syn,demand,", &rows_m));
-
-    // Fig. 7(c)-(d): α sweep at fixed demand (Table-2 style budgets already
-    // encode a fixed total demand; the α dependence is what the panel shows).
-    let rows_a = alpha_sweep(
-        &ctx,
-        DatasetKind::FlixsterSyn,
-        IncentiveModel::Linear,
-        RrStrategy::Standard,
-    );
-    print_sweep_metric(
-        "Fig.7(c) — total revenue vs alpha, flixster-syn",
-        "alpha",
-        &rows_a,
-        |o| format!("{:.1}", o.revenue),
-    );
-    print_sweep_metric(
-        "Fig.7(d) — total seeding cost vs alpha, flixster-syn",
-        "alpha",
-        &rows_a,
-        |o| format!("{:.1}", o.seeding_cost),
-    );
-    lines.extend(sweep_csv_lines("flixster-syn,alpha,", &rows_a));
-
-    let path = write_csv(
-        "fig7_holistic_demand",
-        &format!("dataset,sweep,key,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig7");
 }

@@ -1,45 +1,8 @@
-//! Figure 8 / Table 5: impact of the binary-search accuracy τ on RMA's
-//! revenue and running time (linear cost model, α = 0.1).
+//! Figure 8 / Table 5: impact of the binary-search accuracy τ on RMA.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig8_tau_impact`.
-
-use rmsa_bench::sweeps::rma_parameter_sweep;
-use rmsa_bench::sweeps::RmaParameter;
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/fig8.toml`; equivalent to
+//! `rmsa sweep scenarios/fig8.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let taus = [0.05, 0.10, 0.15, 0.25, 0.35, 0.45];
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        let rows = rma_parameter_sweep(&ctx, kind, RmaParameter::Tau, &taus);
-        println!("\nFig.8 / Table 5 — impact of τ on RMA, {}", kind.name());
-        println!(
-            "{:<8} {:>14} {:>14} {:>10}",
-            "tau", "revenue", "time (s)", "RR-sets"
-        );
-        for (tau, o) in &rows {
-            println!(
-                "{:<8.2} {:>14.1} {:>14.2} {:>10}",
-                tau, o.revenue, o.time_secs, o.rr_sets
-            );
-            lines.push(format!(
-                "{},{:.2},{:.3},{:.3},{},{}",
-                kind.name(),
-                tau,
-                o.revenue,
-                o.time_secs,
-                o.seeds,
-                o.rr_sets
-            ));
-        }
-    }
-    let path = write_csv(
-        "fig8_tau_impact",
-        "dataset,tau,revenue,time_secs,seeds,rr_sets",
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig8");
 }

@@ -1,44 +1,8 @@
-//! Figure 9: impact of the budget-overshoot parameter ϱ on RMA's revenue
-//! (linear cost model, α = 0.1). Larger ϱ means RMA internally optimises
-//! against a smaller effective budget, so revenue decreases.
+//! Figure 9: impact of the budget-overshoot parameter ϱ on RMA.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin fig9_rho_impact`.
-
-use rmsa_bench::sweeps::{rma_parameter_sweep, RmaParameter};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/fig9.toml`; equivalent to
+//! `rmsa sweep scenarios/fig9.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let rhos = [0.10, 0.45, 0.80, 0.95];
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        let rows = rma_parameter_sweep(&ctx, kind, RmaParameter::Rho, &rhos);
-        println!("\nFig.9 — impact of ϱ on RMA, {}", kind.name());
-        println!(
-            "{:<8} {:>14} {:>14} {:>10}",
-            "rho", "revenue", "seed cost", "seeds"
-        );
-        for (rho, o) in &rows {
-            println!(
-                "{:<8.2} {:>14.1} {:>14.1} {:>10}",
-                rho, o.revenue, o.seeding_cost, o.seeds
-            );
-            lines.push(format!(
-                "{},{:.2},{:.3},{:.3},{}",
-                kind.name(),
-                rho,
-                o.revenue,
-                o.seeding_cost,
-                o.seeds
-            ));
-        }
-    }
-    let path = write_csv(
-        "fig9_rho_impact",
-        "dataset,rho,revenue,seeding_cost,seeds",
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("fig9");
 }

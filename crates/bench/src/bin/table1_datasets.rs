@@ -1,50 +1,8 @@
 //! Table 1: dataset statistics of the four synthetic stand-ins.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin table1_datasets`
-//! (set `RMSA_SCALE` to shrink every dataset proportionally).
-
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/table1.toml`; equivalent to
+//! `rmsa sweep scenarios/table1.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    println!(
-        "Table 1 — datasets (scale {} on top of per-dataset defaults)\n",
-        ctx.scale
-    );
-    println!(
-        "{:<18} {:>10} {:>12} {:>10} {:>12} {:>8}",
-        "dataset", "|V|", "|E|", "max indeg", "mean deg", "model"
-    );
-    let mut rows = Vec::new();
-    for kind in DatasetKind::all() {
-        let dataset = ctx.dataset(kind);
-        let s = dataset.stats();
-        let model = if kind.uses_tic() { "TIC" } else { "WC" };
-        println!(
-            "{:<18} {:>10} {:>12} {:>10} {:>12.2} {:>8}",
-            kind.name(),
-            s.num_nodes,
-            s.num_edges,
-            s.max_in_degree,
-            s.mean_degree,
-            model
-        );
-        rows.push(format!(
-            "{},{},{},{},{:.3},{}",
-            kind.name(),
-            s.num_nodes,
-            s.num_edges,
-            s.max_in_degree,
-            s.mean_degree,
-            model
-        ));
-    }
-    let path = write_csv(
-        "table1_datasets",
-        "dataset,nodes,edges,max_in_degree,mean_degree,model",
-        &rows,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("table1");
 }

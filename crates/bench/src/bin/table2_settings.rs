@@ -1,55 +1,8 @@
-//! Table 2: advertiser budgets and CPE values drawn for the TIC datasets.
+//! Table 2: advertiser budgets and CPE values for the TIC datasets.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin table2_settings`.
-
-use rmsa_bench::sweeps::advertisers_for;
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::DatasetKind;
+//! Thin wrapper over the manifest `scenarios/table2.toml`; equivalent to
+//! `rmsa sweep scenarios/table2.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    println!(
-        "Table 2 — advertiser budgets and CPEs (h = {}, scale {})\n",
-        ctx.num_ads, ctx.scale
-    );
-    println!(
-        "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
-        "dataset", "budget mean", "budget max", "budget min", "cpe mean", "cpe max", "cpe min"
-    );
-    let mut rows = Vec::new();
-    for kind in [DatasetKind::LastfmSyn, DatasetKind::FlixsterSyn] {
-        let ads = advertisers_for(&ctx, kind, ctx.seed ^ 0xAD5);
-        let budgets: Vec<f64> = ads.iter().map(|a| a.budget).collect();
-        let cpes: Vec<f64> = ads.iter().map(|a| a.cpe).collect();
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let max = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
-        let min = |v: &[f64]| v.iter().cloned().fold(f64::MAX, f64::min);
-        println!(
-            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>8.2}",
-            kind.name(),
-            mean(&budgets),
-            max(&budgets),
-            min(&budgets),
-            mean(&cpes),
-            max(&cpes),
-            min(&cpes)
-        );
-        rows.push(format!(
-            "{},{:.2},{:.2},{:.2},{:.3},{:.3},{:.3}",
-            kind.name(),
-            mean(&budgets),
-            max(&budgets),
-            min(&budgets),
-            mean(&cpes),
-            max(&cpes),
-            min(&cpes)
-        ));
-    }
-    let path = write_csv(
-        "table2_settings",
-        "dataset,budget_mean,budget_max,budget_min,cpe_mean,cpe_max,cpe_min",
-        &rows,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("table2");
 }

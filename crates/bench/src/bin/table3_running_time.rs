@@ -1,31 +1,8 @@
-//! Table 3: running time (seconds) under the linear cost model as α varies,
-//! for RMA, TI-CARM and TI-CSRM on both TIC datasets.
+//! Table 3: running time under the linear cost model as α varies.
 //!
-//! Run with `cargo run --release -p rmsa-bench --bin table3_running_time`.
-
-use rmsa_bench::sweeps::{alpha_sweep, print_sweep_metric, sweep_csv_lines, SWEEP_CSV_COLUMNS};
-use rmsa_bench::{write_csv, ExperimentContext};
-use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+//! Thin wrapper over the manifest `scenarios/table3.toml`; equivalent to
+//! `rmsa sweep scenarios/table3.toml`.
 
 fn main() {
-    let ctx = ExperimentContext::from_env();
-    let mut lines = Vec::new();
-    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
-        let rows = alpha_sweep(&ctx, kind, IncentiveModel::Linear, RrStrategy::Standard);
-        print_sweep_metric(
-            &format!("Table 3 — running time (s), {} / linear", kind.name()),
-            "alpha",
-            &rows,
-            |o| format!("{:.2}", o.time_secs),
-        );
-        lines.extend(sweep_csv_lines(&format!("{},linear,", kind.name()), &rows));
-    }
-    let path = write_csv(
-        "table3_running_time",
-        &format!("dataset,incentive,alpha,{SWEEP_CSV_COLUMNS}"),
-        &lines,
-    )
-    .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    rmsa_bench::scenario_main("table3");
 }

@@ -47,10 +47,7 @@ impl ExperimentContext {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(1.0);
-        let threads = std::env::var("RMSA_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(4);
+        let threads = rmsa_core::default_num_threads();
         let seed = std::env::var("RMSA_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -115,12 +112,14 @@ impl ExperimentContext {
 
 /// One algorithm's outcome on one configuration: the row format shared by
 /// every figure and table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AlgoOutcome {
     /// Algorithm name (`RMA`, `TI-CARM`, `TI-CSRM`, …).
     pub algorithm: String,
     /// Total revenue measured on the independent evaluator.
     pub revenue: f64,
+    /// Certified revenue lower bound where the solver provides one (RMA).
+    pub revenue_lower_bound: Option<f64>,
     /// Total seed-incentive cost.
     pub seeding_cost: f64,
     /// Total number of selected seeds.
@@ -136,7 +135,9 @@ pub struct AlgoOutcome {
     /// this run (zero when the shared index was fully reused).
     pub index_secs: f64,
     /// Approximate memory footprint of the algorithm's sample structures,
-    /// in MiB.
+    /// in bytes (exact `memory_bytes()` accounting).
+    pub memory_bytes: usize,
+    /// The same footprint in MiB (the historical CSV column).
     pub memory_mib: f64,
     /// Budget usage percentage (Fig. 6).
     pub budget_usage_pct: f64,
@@ -156,12 +157,14 @@ impl AlgoOutcome {
         AlgoOutcome {
             algorithm: report.solver.clone(),
             revenue: eval.revenue,
+            revenue_lower_bound: report.revenue_lower_bound,
             seeding_cost: eval.seeding_cost,
             seeds: eval.total_seeds,
             time_secs: report.elapsed.as_secs_f64(),
             rr_sets: report.rr.used,
             rr_generated: report.rr.generated,
             index_secs: report.index_time.as_secs_f64(),
+            memory_bytes: report.memory_bytes,
             memory_mib: report.memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: eval.budget_usage_pct,
             rate_of_return_pct: eval.rate_of_return_pct,

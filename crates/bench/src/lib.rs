@@ -12,9 +12,17 @@
 //! a laptop in minutes while preserving the comparative shapes.
 
 pub mod harness;
+pub mod json;
+pub mod manifest;
+pub mod report;
+pub mod runner;
 pub mod sweeps;
+pub mod toml_lite;
 
 pub use harness::{
     compare_algorithms, default_rma_config, default_ti_config, run_rma, run_ti, write_csv,
     AlgoOutcome, ExperimentContext,
 };
+pub use manifest::{Scenario, ScenarioJob, SweepSpec};
+pub use report::{compare_reports, BenchReport, RunManifest, Tolerance};
+pub use runner::{run_scenario, scenario_main, ScenarioOutput};

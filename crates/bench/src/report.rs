@@ -1,0 +1,532 @@
+//! Versioned machine-readable bench reports (`BENCH_<scenario>.json`) and
+//! the regression comparison behind `rmsa compare`.
+//!
+//! A [`BenchReport`] is the JSON trajectory record of one scenario run:
+//! one point per `(job, sweep key, algorithm)` with wall-clock, RR-set and
+//! coverage-index accounting, revenue (plus RMA's certified lower bound)
+//! and the exact `memory_bytes()` footprint — plus a [`RunManifest`] footer
+//! (git revision, seed, thread count, scale, quick flag) that makes every
+//! committed baseline self-describing.
+//!
+//! [`compare_reports`] diffs two reports: revenue-style metrics regress
+//! when the new value drops below `old · (1 − tolerance)`; wall-clock
+//! metrics regress when the new value exceeds `old · (1 + time tolerance)`
+//! *and* the absolute slowdown exceeds a floor (so sub-100 ms points never
+//! flake a CI gate).
+
+use crate::harness::AlgoOutcome;
+use crate::json::{self, Json};
+use serde::{Deserialize, Serialize};
+
+/// Schema version written into every report.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One `(job, key, algorithm)` measurement of a scenario run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchPoint {
+    /// Job label (the CSV row prefix of the job that produced the point).
+    pub job: String,
+    /// The swept parameter value.
+    pub key: f64,
+    /// The measured outcome.
+    pub outcome: AlgoOutcome,
+}
+
+/// Self-description footer: where, how and from what a report was produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// `git rev-parse --short=12 HEAD` when available.
+    pub git_rev: Option<String>,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Global scale factor.
+    pub scale: f64,
+    /// Whether the run used the quick (CI) profile.
+    pub quick: bool,
+}
+
+impl RunManifest {
+    /// Collect the footer from an experiment context and the environment.
+    pub fn collect(seed: u64, threads: usize, scale: f64, quick: bool) -> Self {
+        RunManifest {
+            git_rev: git_revision(),
+            seed,
+            threads,
+            scale,
+            quick,
+        }
+    }
+}
+
+/// The current git revision, if the working directory is a repository and
+/// `git` is on the PATH.
+pub fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
+/// The JSON bench report of one scenario run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Scenario name (`BENCH_<scenario>.json`).
+    pub scenario: String,
+    /// Human-readable scenario title.
+    pub title: String,
+    /// Measurement points, in job/sweep order.
+    pub points: Vec<BenchPoint>,
+    /// End-to-end wall-clock of the whole scenario run, in seconds.
+    pub total_wall_secs: f64,
+    /// Self-description footer.
+    pub run: RunManifest,
+}
+
+impl BenchReport {
+    /// Peak `memory_bytes()` across all points.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.points
+            .iter()
+            .map(|p| p.outcome.memory_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total RR-sets freshly generated across all points.
+    pub fn total_rr_generated(&self) -> usize {
+        self.points.iter().map(|p| p.outcome.rr_generated).sum()
+    }
+
+    /// Serialize to the on-disk JSON format.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("schema_version", Json::Int(BENCH_SCHEMA_VERSION as i64))
+            .set("scenario", Json::Str(self.scenario.clone()))
+            .set("title", Json::Str(self.title.clone()))
+            .set(
+                "points",
+                Json::Arr(self.points.iter().map(point_to_json).collect()),
+            );
+        let mut totals = Json::obj();
+        totals
+            .set("wall_secs", Json::Num(self.total_wall_secs))
+            .set(
+                "peak_memory_bytes",
+                Json::Int(self.peak_memory_bytes() as i64),
+            )
+            .set("rr_generated", Json::Int(self.total_rr_generated() as i64));
+        doc.set("totals", totals);
+        let mut run = Json::obj();
+        run.set(
+            "git_rev",
+            match &self.run.git_rev {
+                Some(rev) => Json::Str(rev.clone()),
+                None => Json::Null,
+            },
+        )
+        .set("seed", Json::Int(self.run.seed as i64))
+        .set("threads", Json::Int(self.run.threads as i64))
+        .set("scale", Json::Num(self.run.scale))
+        .set("quick", Json::Bool(self.run.quick));
+        doc.set("run", run);
+        doc
+    }
+
+    /// Render the pretty-printed JSON document.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parse a report from JSON text, verifying the schema version.
+    pub fn from_json_text(text: &str) -> Result<BenchReport, String> {
+        let doc = json::parse(text)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(|v| v.as_i64())
+            .ok_or("report is missing schema_version")?;
+        if version != BENCH_SCHEMA_VERSION as i64 {
+            return Err(format!("unsupported bench report schema {version}"));
+        }
+        let str_field = |obj: &Json, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let points = doc
+            .get("points")
+            .and_then(|v| v.as_arr())
+            .ok_or("report is missing points")?
+            .iter()
+            .map(point_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let run = doc.get("run").ok_or("report is missing run footer")?;
+        Ok(BenchReport {
+            scenario: str_field(&doc, "scenario")?,
+            title: str_field(&doc, "title")?,
+            points,
+            total_wall_secs: doc
+                .get("totals")
+                .and_then(|t| t.get("wall_secs"))
+                .and_then(|v| v.as_f64())
+                .ok_or("report is missing totals.wall_secs")?,
+            run: RunManifest {
+                git_rev: run
+                    .get("git_rev")
+                    .and_then(|v| v.as_str())
+                    .map(|s| s.to_string()),
+                seed: run
+                    .get("seed")
+                    .and_then(|v| v.as_i64())
+                    .ok_or("run.seed missing")? as u64,
+                threads: run
+                    .get("threads")
+                    .and_then(|v| v.as_i64())
+                    .ok_or("run.threads missing")? as usize,
+                scale: run
+                    .get("scale")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("run.scale missing")?,
+                quick: run.get("quick").and_then(|v| v.as_bool()).unwrap_or(false),
+            },
+        })
+    }
+
+    /// Load a report from a file.
+    pub fn load(path: &std::path::Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        BenchReport::from_json_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn point_to_json(point: &BenchPoint) -> Json {
+    let o = &point.outcome;
+    let mut p = Json::obj();
+    p.set("job", Json::Str(point.job.clone()))
+        .set("key", Json::Num(point.key))
+        .set("algorithm", Json::Str(o.algorithm.clone()))
+        .set("revenue", Json::Num(o.revenue))
+        .set(
+            "revenue_lower_bound",
+            match o.revenue_lower_bound {
+                Some(lb) => Json::Num(lb),
+                None => Json::Null,
+            },
+        )
+        .set("seeding_cost", Json::Num(o.seeding_cost))
+        .set("seeds", Json::Int(o.seeds as i64))
+        .set("wall_secs", Json::Num(o.time_secs))
+        .set("rr_sets", Json::Int(o.rr_sets as i64))
+        .set("rr_generated", Json::Int(o.rr_generated as i64))
+        .set("index_secs", Json::Num(o.index_secs))
+        .set("memory_bytes", Json::Int(o.memory_bytes as i64))
+        .set("budget_usage_pct", Json::Num(o.budget_usage_pct))
+        .set("rate_of_return_pct", Json::Num(o.rate_of_return_pct));
+    p
+}
+
+fn point_from_json(p: &Json) -> Result<BenchPoint, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        p.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("point is missing number {key:?}"))
+    };
+    let u = |key: &str| -> Result<usize, String> {
+        p.get(key)
+            .and_then(|v| v.as_i64())
+            .map(|i| i.max(0) as usize)
+            .ok_or_else(|| format!("point is missing integer {key:?}"))
+    };
+    let memory_bytes = u("memory_bytes")?;
+    Ok(BenchPoint {
+        job: p
+            .get("job")
+            .and_then(|v| v.as_str())
+            .ok_or("point is missing job")?
+            .to_string(),
+        key: f("key")?,
+        outcome: AlgoOutcome {
+            algorithm: p
+                .get("algorithm")
+                .and_then(|v| v.as_str())
+                .ok_or("point is missing algorithm")?
+                .to_string(),
+            revenue: f("revenue")?,
+            revenue_lower_bound: p.get("revenue_lower_bound").and_then(|v| v.as_f64()),
+            seeding_cost: f("seeding_cost")?,
+            seeds: u("seeds")?,
+            time_secs: f("wall_secs")?,
+            rr_sets: u("rr_sets")?,
+            rr_generated: u("rr_generated")?,
+            index_secs: f("index_secs")?,
+            memory_bytes,
+            memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
+            budget_usage_pct: f("budget_usage_pct")?,
+            rate_of_return_pct: f("rate_of_return_pct")?,
+        },
+    })
+}
+
+/// Regression thresholds for [`compare_reports`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// Allowed fractional drop in revenue-style metrics (0.1 = 10 %).
+    pub metric_frac: f64,
+    /// Allowed fractional wall-clock slowdown.
+    pub time_frac: f64,
+    /// Absolute wall-clock slack in seconds: a point only counts as a time
+    /// regression when the slowdown also exceeds this floor.
+    pub min_time_secs: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            metric_frac: 0.10,
+            time_frac: 0.10,
+            min_time_secs: 0.25,
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// `(job, key, algorithm)` location, or `"totals"`.
+    pub location: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.location, self.detail)
+    }
+}
+
+/// Compare `new` against the `old` baseline. Returns every detected
+/// regression; an empty vector means the gate passes.
+pub fn compare_reports(old: &BenchReport, new: &BenchReport, tol: &Tolerance) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    let locate = |p: &BenchPoint| format!("{}{} [{}]", p.job, p.key, p.outcome.algorithm);
+    for old_point in &old.points {
+        let Some(new_point) = new.points.iter().find(|p| {
+            p.job == old_point.job
+                && p.outcome.algorithm == old_point.outcome.algorithm
+                && (p.key - old_point.key).abs() <= 1e-12 * old_point.key.abs().max(1.0)
+        }) else {
+            regressions.push(Regression {
+                location: locate(old_point),
+                detail: "point missing from new report".to_string(),
+            });
+            continue;
+        };
+        let o = &old_point.outcome;
+        let n = &new_point.outcome;
+        for (metric, old_v, new_v) in [
+            ("revenue", Some(o.revenue), Some(n.revenue)),
+            (
+                "revenue_lower_bound",
+                o.revenue_lower_bound,
+                n.revenue_lower_bound,
+            ),
+        ] {
+            let (old_v, new_v) = match (old_v, new_v) {
+                (Some(o), Some(n)) => (o, n),
+                // A certified bound the baseline had must not vanish.
+                (Some(old_v), None) => {
+                    regressions.push(Regression {
+                        location: locate(old_point),
+                        detail: format!(
+                            "{metric} disappeared (baseline had {old_v:.3}, new report has none)"
+                        ),
+                    });
+                    continue;
+                }
+                _ => continue,
+            };
+            if new_v < old_v * (1.0 - tol.metric_frac) - 1e-9 {
+                regressions.push(Regression {
+                    location: locate(old_point),
+                    detail: format!(
+                        "{metric} dropped {old_v:.3} -> {new_v:.3} \
+                         (tolerance {:.1} %)",
+                        tol.metric_frac * 100.0
+                    ),
+                });
+            }
+        }
+        if n.time_secs > o.time_secs * (1.0 + tol.time_frac)
+            && n.time_secs - o.time_secs > tol.min_time_secs
+        {
+            regressions.push(Regression {
+                location: locate(old_point),
+                detail: format!(
+                    "wall-clock regressed {:.3}s -> {:.3}s (tolerance {:.1} % + {:.2}s)",
+                    o.time_secs,
+                    n.time_secs,
+                    tol.time_frac * 100.0,
+                    tol.min_time_secs
+                ),
+            });
+        }
+    }
+    if new.total_wall_secs > old.total_wall_secs * (1.0 + tol.time_frac)
+        && new.total_wall_secs - old.total_wall_secs > tol.min_time_secs
+    {
+        regressions.push(Regression {
+            location: "totals".to_string(),
+            detail: format!(
+                "total wall-clock regressed {:.3}s -> {:.3}s",
+                old.total_wall_secs, new.total_wall_secs
+            ),
+        });
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn outcome(algorithm: &str, revenue: f64, time: f64) -> AlgoOutcome {
+        AlgoOutcome {
+            algorithm: algorithm.to_string(),
+            revenue,
+            revenue_lower_bound: Some(revenue * 0.8),
+            seeding_cost: 10.0,
+            seeds: 5,
+            time_secs: time,
+            rr_sets: 1000,
+            rr_generated: 400,
+            index_secs: 0.01,
+            memory_bytes: 1 << 20,
+            memory_mib: 1.0,
+            budget_usage_pct: 50.0,
+            rate_of_return_pct: 120.0,
+        }
+    }
+
+    pub(crate) fn report(points: Vec<BenchPoint>, total: f64) -> BenchReport {
+        BenchReport {
+            scenario: "test".to_string(),
+            title: "test scenario".to_string(),
+            points,
+            total_wall_secs: total,
+            run: RunManifest {
+                git_rev: Some("abc123def456".to_string()),
+                seed: 7,
+                threads: 1,
+                scale: 0.05,
+                quick: true,
+            },
+        }
+    }
+
+    fn point(job: &str, key: f64, o: AlgoOutcome) -> BenchPoint {
+        BenchPoint {
+            job: job.to_string(),
+            key,
+            outcome: o,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_report() {
+        let r = report(
+            vec![
+                point("a,", 0.1, outcome("RMA", 123.456, 1.5)),
+                point("a,", 0.2, outcome("TI-CARM", 99.5, 2.25)),
+            ],
+            4.0,
+        );
+        let parsed = BenchReport::from_json_text(&r.render()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.peak_memory_bytes(), 1 << 20);
+        assert_eq!(parsed.total_rr_generated(), 800);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.0))], 2.0);
+        assert!(compare_reports(&r, &r, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn revenue_drop_beyond_tolerance_fails_and_within_passes() {
+        let tol = Tolerance {
+            metric_frac: 0.10,
+            time_frac: 10.0,
+            min_time_secs: 60.0,
+        };
+        let old = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.0))], 2.0);
+        // Exactly at the boundary (drop of 10 %) passes…
+        let at = report(vec![point("a,", 0.1, outcome("RMA", 90.0, 1.0))], 2.0);
+        assert!(compare_reports(&old, &at, &tol).is_empty());
+        // …just beyond it fails, on both revenue and the lower bound.
+        let beyond = report(vec![point("a,", 0.1, outcome("RMA", 89.9, 1.0))], 2.0);
+        let regs = compare_reports(&old, &beyond, &tol);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs[0].detail.contains("revenue dropped"));
+    }
+
+    #[test]
+    fn time_regression_needs_both_fraction_and_floor() {
+        let tol = Tolerance {
+            metric_frac: 1.0,
+            time_frac: 0.10,
+            min_time_secs: 0.25,
+        };
+        let old = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.0))], 1.0);
+        // +10 % exactly: passes.
+        let at = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.1))], 1.1);
+        assert!(compare_reports(&old, &at, &tol).is_empty());
+        // +20 % but under the absolute floor: passes.
+        let small = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.2))], 1.2);
+        assert!(compare_reports(&old, &small, &tol).is_empty());
+        // +40 %, above the floor: fails per-point and on totals.
+        let slow = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.4))], 1.4);
+        let regs = compare_reports(&old, &slow, &tol);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs.iter().any(|r| r.location == "totals"));
+    }
+
+    #[test]
+    fn disappearing_lower_bound_is_a_regression() {
+        let old = report(vec![point("a,", 0.1, outcome("RMA", 100.0, 1.0))], 2.0);
+        let mut new = old.clone();
+        new.points[0].outcome.revenue_lower_bound = None;
+        let regs = compare_reports(&old, &new, &Tolerance::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].detail.contains("disappeared"));
+    }
+
+    #[test]
+    fn missing_points_are_regressions_and_extra_points_are_not() {
+        let old = report(
+            vec![
+                point("a,", 0.1, outcome("RMA", 100.0, 1.0)),
+                point("a,", 0.2, outcome("RMA", 100.0, 1.0)),
+            ],
+            2.0,
+        );
+        let new = report(
+            vec![
+                point("a,", 0.1, outcome("RMA", 100.0, 1.0)),
+                point("b,", 0.3, outcome("RMA", 50.0, 9.0)),
+            ],
+            2.0,
+        );
+        let regs = compare_reports(&old, &new, &Tolerance::default());
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].detail.contains("missing"));
+    }
+}

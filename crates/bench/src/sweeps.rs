@@ -46,6 +46,18 @@ pub fn alpha_sweep(
     incentive: IncentiveModel,
     strategy: RrStrategy,
 ) -> Vec<SweepRow> {
+    alpha_sweep_values(ctx, kind, incentive, strategy, &ALPHAS)
+}
+
+/// [`alpha_sweep`] over an explicit α grid (manifest-driven scenarios can
+/// override the paper's five points).
+pub fn alpha_sweep_values(
+    ctx: &ExperimentContext,
+    kind: DatasetKind,
+    incentive: IncentiveModel,
+    strategy: RrStrategy,
+    alphas: &[f64],
+) -> Vec<SweepRow> {
     let dataset = ctx.dataset(kind);
     let wb = ctx.workbench(&dataset, strategy);
     let advertisers = advertisers_for(ctx, kind, ctx.seed ^ 0xAD5);
@@ -53,7 +65,7 @@ pub fn alpha_sweep(
     let rma_cfg = default_rma_config(ctx);
     let mut ti_cfg = default_ti_config(ctx);
     ti_cfg.strategy = strategy;
-    ALPHAS
+    alphas
         .iter()
         .map(|&alpha| {
             let instance = instance_for_alpha(&dataset, &advertisers, &spreads, incentive, alpha);
@@ -295,6 +307,34 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
 pub const SWEEP_CSV_COLUMNS: &str = "algorithm,revenue,seeding_cost,seeds,time_secs,rr_sets,\
 rr_generated,index_secs,memory_mib,budget_usage_pct,rate_of_return_pct";
 
+/// The deterministic projection of a standard sweep CSV row: every column
+/// except the wall-clock ones (`time_secs`, `index_secs`), which differ
+/// between otherwise-identical executions. Column positions are derived
+/// from [`SWEEP_CSV_COLUMNS`] (counted from the row's end, so any number
+/// of leading configuration columns is tolerated). Used by tests and
+/// tooling that compare rows across runs.
+pub fn deterministic_csv_fields(row: &str) -> Vec<String> {
+    let metrics: Vec<&str> = SWEEP_CSV_COLUMNS.split(',').collect();
+    let from_end = |name: &str| {
+        metrics.len()
+            - metrics
+                .iter()
+                .position(|m| *m == name)
+                .expect("metric is in SWEEP_CSV_COLUMNS")
+    };
+    let fields: Vec<&str> = row.split(',').collect();
+    let skip = [
+        fields.len() - from_end("time_secs"),
+        fields.len() - from_end("index_secs"),
+    ];
+    fields
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !skip.contains(i))
+        .map(|(_, f)| f.to_string())
+        .collect()
+}
+
 /// Print one metric of a sweep as the table the paper's figure plots.
 pub fn print_sweep_metric<F: Fn(&AlgoOutcome) -> String>(
     title: &str,
@@ -302,27 +342,41 @@ pub fn print_sweep_metric<F: Fn(&AlgoOutcome) -> String>(
     rows: &[SweepRow],
     metric: F,
 ) {
-    println!("\n{title}");
-    println!(
-        "{:<12} {:>14} {:>14} {:>14}",
-        key_label, "RMA", "TI-CARM", "TI-CSRM"
-    );
-    for (key, outcomes) in rows {
-        let get = |name: &str| {
-            outcomes
-                .iter()
-                .find(|o| o.algorithm == name)
-                .map(&metric)
-                .unwrap_or_else(|| "-".to_string())
-        };
-        println!(
-            "{:<12.4} {:>14} {:>14} {:>14}",
-            key,
-            get("RMA"),
-            get("TI-CARM"),
-            get("TI-CSRM")
-        );
+    print!("{}", sweep_metric_table(title, key_label, rows, metric));
+}
+
+/// Render one metric of a sweep as the table the paper's figure plots; the
+/// algorithm columns are taken from the first row's outcomes.
+pub fn sweep_metric_table<F: Fn(&AlgoOutcome) -> String>(
+    title: &str,
+    key_label: &str,
+    rows: &[SweepRow],
+    metric: F,
+) -> String {
+    use std::fmt::Write;
+    let algorithms: Vec<String> = rows
+        .first()
+        .map(|(_, outcomes)| outcomes.iter().map(|o| o.algorithm.clone()).collect())
+        .unwrap_or_default();
+    let mut out = format!("\n{title}\n");
+    let _ = write!(out, "{key_label:<12}");
+    for name in &algorithms {
+        let _ = write!(out, " {name:>14}");
     }
+    out.push('\n');
+    for (key, outcomes) in rows {
+        let _ = write!(out, "{key:<12.4}");
+        for name in &algorithms {
+            let cell = outcomes
+                .iter()
+                .find(|o| &o.algorithm == name)
+                .map(&metric)
+                .unwrap_or_else(|| "-".to_string());
+            let _ = write!(out, " {cell:>14}");
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]

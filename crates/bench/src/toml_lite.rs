@@ -1,0 +1,470 @@
+//! A minimal TOML-subset parser for scenario manifests.
+//!
+//! The workspace is offline (no real `toml` crate), so scenario manifests
+//! are parsed by this small reader. Supported subset — everything the
+//! `scenarios/*.toml` files use:
+//!
+//! * `key = value` pairs with basic strings (`"…"` with `\"`, `\\`, `\n`,
+//!   `\t` escapes), integers, floats, booleans, and (possibly multi-line)
+//!   arrays of those;
+//! * `[table]` and dotted `[table.subtable]` headers;
+//! * `[[array-of-tables]]` headers (one level, e.g. `[[job]]`);
+//! * `#` comments and blank lines.
+//!
+//! Unsupported TOML (inline tables, dotted keys, dates, literal strings)
+//! is rejected with a line-numbered error rather than misparsed.
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Toml {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Toml>),
+    /// A table (`[header]` or the document root); insertion-ordered.
+    Table(Vec<(String, Toml)>),
+    /// An array of tables (`[[header]]`).
+    TableArray(Vec<Toml>),
+}
+
+impl Toml {
+    /// Look up `key` in a table.
+    pub fn get(&self, key: &str) -> Option<&Toml> {
+        match self {
+            Toml::Table(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Toml::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (accepting integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Toml::Int(i) => Some(*i as f64),
+            Toml::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Toml::Int(i) if *i >= 0 => Some(*i as usize),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned 64-bit integer (seeds).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Toml::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Toml::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Toml]> {
+        match self {
+            Toml::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The tables of a `[[…]]` array-of-tables.
+    pub fn as_tables(&self) -> Option<&[Toml]> {
+        match self {
+            Toml::TableArray(tables) => Some(tables),
+            _ => None,
+        }
+    }
+
+    /// Keys of a table, in file order.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Toml::Table(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Parse a TOML document into its root [`Toml::Table`].
+pub fn parse(input: &str) -> Result<Toml, String> {
+    let mut root: Vec<(String, Toml)> = Vec::new();
+    // Path of the table currently receiving `key = value` lines; empty for
+    // the root. The final component may address the *last* element of an
+    // array-of-tables.
+    let mut current_path: Vec<String> = Vec::new();
+
+    let mut lines = input.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err("malformed [[header]]"))?
+                .trim();
+            if name.is_empty() || name.contains('.') {
+                return Err(err("array-of-tables headers must be a single bare key"));
+            }
+            let slot = entry_mut(&mut root, name);
+            match slot {
+                Some(Toml::TableArray(tables)) => tables.push(Toml::Table(Vec::new())),
+                Some(_) => return Err(err("key redefined as array-of-tables")),
+                None => root.push((
+                    name.to_string(),
+                    Toml::TableArray(vec![Toml::Table(Vec::new())]),
+                )),
+            }
+            current_path = vec![name.to_string()];
+        } else if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| err("malformed [header]"))?
+                .trim();
+            if name.is_empty() {
+                return Err(err("empty table header"));
+            }
+            current_path = name.split('.').map(|p| p.trim().to_string()).collect();
+            ensure_table(&mut root, &current_path).map_err(|m| err(&m))?;
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if key.is_empty() || key.contains('.') || key.starts_with('"') {
+                return Err(err("unsupported key syntax"));
+            }
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets balance
+            // outside of strings.
+            while !brackets_balanced(&value_text) {
+                let (_, next) = lines
+                    .next()
+                    .ok_or_else(|| err("unterminated multi-line array"))?;
+                value_text.push(' ');
+                value_text.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&value_text).map_err(|m| err(&m))?;
+            let table = table_mut(&mut root, &current_path)
+                .ok_or_else(|| err("internal error: missing table"))?;
+            if table.iter().any(|(k, _)| k == key) {
+                return Err(err(&format!("duplicate key {key:?}")));
+            }
+            table.push((key.to_string(), value));
+        } else {
+            return Err(err("expected `key = value` or a [header]"));
+        }
+    }
+    Ok(Toml::Table(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn brackets_balanced(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth <= 0
+}
+
+fn entry_mut<'a>(table: &'a mut [(String, Toml)], key: &str) -> Option<&'a mut Toml> {
+    table.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Create (if needed) the nested table at `path` under `root`.
+fn ensure_table(root: &mut Vec<(String, Toml)>, path: &[String]) -> Result<(), String> {
+    let mut table = root;
+    for part in path {
+        if entry_mut(table, part).is_none() {
+            table.push((part.clone(), Toml::Table(Vec::new())));
+        }
+        table = match entry_mut(table, part) {
+            Some(Toml::Table(entries)) => entries,
+            Some(Toml::TableArray(tables)) => match tables.last_mut() {
+                Some(Toml::Table(entries)) => entries,
+                _ => return Err(format!("corrupt array-of-tables {part:?}")),
+            },
+            _ => return Err(format!("key {part:?} is not a table")),
+        };
+    }
+    Ok(())
+}
+
+/// The mutable entry list of the table at `path` (descending into the last
+/// element of any array-of-tables on the way).
+fn table_mut<'a>(
+    root: &'a mut Vec<(String, Toml)>,
+    path: &[String],
+) -> Option<&'a mut Vec<(String, Toml)>> {
+    let mut table = root;
+    for part in path {
+        table = match entry_mut(table, part)? {
+            Toml::Table(entries) => entries,
+            Toml::TableArray(tables) => match tables.last_mut()? {
+                Toml::Table(entries) => entries,
+                _ => return None,
+            },
+            _ => return None,
+        };
+    }
+    Some(table)
+}
+
+fn parse_value(text: &str) -> Result<Toml, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty value".to_string());
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_string(rest).and_then(|(s, tail)| {
+            if tail.trim().is_empty() {
+                Ok(Toml::Str(s))
+            } else {
+                Err(format!("trailing characters after string: {tail:?}"))
+            }
+        });
+    }
+    if text == "true" {
+        return Ok(Toml::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Toml::Bool(false));
+    }
+    if text.starts_with('[') {
+        return parse_array(text);
+    }
+    if text.starts_with('{') {
+        return Err("inline tables are not supported".to_string());
+    }
+    // TOML allows underscores in numbers.
+    let plain: String = text.chars().filter(|&c| c != '_').collect();
+    if plain.contains('.') || plain.contains('e') || plain.contains('E') {
+        plain
+            .parse::<f64>()
+            .map(Toml::Float)
+            .map_err(|e| format!("bad float {text:?}: {e}"))
+    } else {
+        plain
+            .parse::<i64>()
+            .map(Toml::Int)
+            .map_err(|e| format!("bad value {text:?}: {e}"))
+    }
+}
+
+/// Parse a string body (after the opening quote); returns the string and
+/// the remaining text after the closing quote.
+fn parse_string(rest: &str) -> Result<(String, &str), String> {
+    let mut s = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((s, &rest[i + 1..])),
+            '\\' => match chars.next().map(|(_, c)| c) {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                Some('t') => s.push('\t'),
+                Some('r') => s.push('\r'),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            c => s.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(text: &str) -> Result<Toml, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or("malformed array")?;
+    let mut items = Vec::new();
+    for part in split_top_level(inner)? {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_value(part)?);
+    }
+    Ok(Toml::Arr(items))
+}
+
+/// Split on commas that are not nested inside strings or brackets.
+fn split_top_level(text: &str) -> Result<Vec<&str>, String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            ',' if !in_string && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_string || depth != 0 {
+        return Err("malformed nested array".to_string());
+    }
+    parts.push(&text[start..]);
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = parse(
+            r#"
+# a scenario
+schema = 1
+name = "fig1"      # inline comment
+scale = 0.5
+quick = true
+alphas = [0.1, 0.2, 0.3]
+
+[defaults]
+num_ads = 10
+seed = 20_210_620
+
+[defaults.nested]
+x = -2
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_usize(), Some(1));
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("fig1"));
+        assert_eq!(doc.get("scale").unwrap().as_f64(), Some(0.5));
+        assert_eq!(doc.get("quick").unwrap().as_bool(), Some(true));
+        let alphas: Vec<f64> = doc
+            .get("alphas")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(alphas, vec![0.1, 0.2, 0.3]);
+        let defaults = doc.get("defaults").unwrap();
+        assert_eq!(defaults.get("num_ads").unwrap().as_usize(), Some(10));
+        assert_eq!(defaults.get("seed").unwrap().as_u64(), Some(20_210_620));
+        assert_eq!(
+            defaults.get("nested").unwrap().get("x").unwrap().as_f64(),
+            Some(-2.0)
+        );
+    }
+
+    #[test]
+    fn parses_array_of_tables_in_order() {
+        let doc = parse(
+            r#"
+[[job]]
+sweep = "alpha"
+dataset = "flixster-syn"
+
+[[job]]
+sweep = "alpha"
+dataset = "lastfm-syn"
+values = [
+    0.1,
+    0.2, # with a comment
+]
+"#,
+        )
+        .unwrap();
+        let jobs = doc.get("job").unwrap().as_tables().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0].get("dataset").unwrap().as_str(),
+            Some("flixster-syn")
+        );
+        assert_eq!(jobs[1].get("values").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_hashes() {
+        let doc = parse(r#"s = "a # not a comment \"x\" \n""#).unwrap();
+        assert_eq!(
+            doc.get("s").unwrap().as_str(),
+            Some("a # not a comment \"x\" \n")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "just words",
+            "[unclosed",
+            "k = ",
+            "k = {a = 1}",
+            "k = 1\nk = 2",
+            "k = \"unterminated",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Integration tests for the manifest/report layer: shipped manifests
+//! parse, the fig1 scenario reproduces the legacy binary's rows, and the
+//! `BENCH_*.json` schema is golden-file stable.
+
+use rmsa_bench::manifest::{Scenario, SweepSpec};
+use rmsa_bench::report::{BenchPoint, BenchReport, RunManifest};
+use rmsa_bench::runner::run_scenario;
+use rmsa_bench::sweeps::{alpha_sweep_values, sweep_csv_lines, ALPHAS};
+use rmsa_bench::{AlgoOutcome, ExperimentContext};
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn every_shipped_manifest_parses() {
+    let dir = scenarios_dir();
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let scenario =
+            Scenario::load(&path).unwrap_or_else(|e| panic!("{} failed: {e}", path.display()));
+        assert!(!scenario.jobs.is_empty(), "{}", path.display());
+        count += 1;
+    }
+    assert!(
+        count >= 15,
+        "expected the 13 figure/table manifests plus 2 CI scenarios, found {count}"
+    );
+}
+
+#[test]
+fn fig1_manifest_mirrors_the_legacy_binary_structure() {
+    // The legacy fig1 binary looped kinds [Flixster, Lastfm] outer and
+    // incentives [linear, quasilinear, superlinear] inner; the manifest
+    // must preserve that job order so CSV rows stay in the same order.
+    let scenario = Scenario::load(&scenarios_dir().join("fig1.toml")).unwrap();
+    assert_eq!(scenario.name, "fig1_revenue_vs_alpha");
+    assert_eq!(scenario.jobs.len(), 6);
+    let expected = [
+        (DatasetKind::FlixsterSyn, IncentiveModel::Linear),
+        (DatasetKind::FlixsterSyn, IncentiveModel::QuasiLinear),
+        (DatasetKind::FlixsterSyn, IncentiveModel::SuperLinear),
+        (DatasetKind::LastfmSyn, IncentiveModel::Linear),
+        (DatasetKind::LastfmSyn, IncentiveModel::QuasiLinear),
+        (DatasetKind::LastfmSyn, IncentiveModel::SuperLinear),
+    ];
+    for (job, (kind, model)) in scenario.jobs.iter().zip(expected) {
+        match &job.sweep {
+            SweepSpec::Alpha {
+                dataset,
+                incentive,
+                strategy,
+                values,
+            } => {
+                assert_eq!(*dataset, kind);
+                assert_eq!(*incentive, model);
+                assert_eq!(*strategy, RrStrategy::Standard);
+                assert!(values.is_none(), "fig1 uses the paper's five alphas");
+            }
+            other => panic!("fig1 job must be an alpha sweep, got {other:?}"),
+        }
+        assert_eq!(job.prefix, format!("{},{},", kind.name(), model.label()));
+    }
+}
+
+// Drops the wall-clock columns (`time_secs`, `index_secs`) of a standard
+// CSV row; every other column is deterministic for a fixed seed.
+use rmsa_bench::sweeps::deterministic_csv_fields as deterministic_row;
+
+#[test]
+fn fig1_scenario_reproduces_the_legacy_binary_rows() {
+    // The acceptance check of the manifest runner: `rmsa sweep
+    // scenarios/fig1.toml` must produce exactly the rows the legacy
+    // `fig1_revenue_vs_alpha` binary produced — same seeds, same values —
+    // here verified at smoke scale against the legacy loop structure.
+    let mut ctx = ExperimentContext::smoke();
+    ctx.eval_rr = 5_000;
+    ctx.spread_rr = 500;
+    let scenario = Scenario::load(&scenarios_dir().join("fig1.toml")).unwrap();
+    let output = run_scenario(&scenario, &ctx, false, 3).unwrap();
+
+    // The legacy binary, verbatim (modulo printing): two datasets outer,
+    // three incentive models inner, one alpha_sweep each.
+    let mut legacy = Vec::new();
+    for kind in [DatasetKind::FlixsterSyn, DatasetKind::LastfmSyn] {
+        for incentive in IncentiveModel::all() {
+            let rows = alpha_sweep_values(&ctx, kind, incentive, RrStrategy::Standard, &ALPHAS);
+            legacy.extend(sweep_csv_lines(
+                &format!("{},{},", kind.name(), incentive.label()),
+                &rows,
+            ));
+        }
+    }
+    assert_eq!(output.csv_rows.len(), legacy.len());
+    for (ours, theirs) in output.csv_rows.iter().zip(&legacy) {
+        assert_eq!(deterministic_row(ours), deterministic_row(theirs));
+    }
+}
+
+fn golden_report() -> BenchReport {
+    BenchReport {
+        scenario: "golden".to_string(),
+        title: "Golden schema fixture".to_string(),
+        points: vec![
+            BenchPoint {
+                job: "lastfm-syn,linear,".to_string(),
+                key: 0.1,
+                outcome: AlgoOutcome {
+                    algorithm: "RMA".to_string(),
+                    revenue: 61.625,
+                    revenue_lower_bound: Some(54.25),
+                    seeding_cost: 4.5705,
+                    seeds: 39,
+                    time_secs: 0.015625,
+                    rr_sets: 20000,
+                    rr_generated: 18000,
+                    index_secs: 0.00025,
+                    memory_bytes: 639132,
+                    memory_mib: 639132.0 / (1024.0 * 1024.0),
+                    budget_usage_pct: 93.25,
+                    rate_of_return_pct: 93.125,
+                },
+            },
+            BenchPoint {
+                job: "lastfm-syn,linear,".to_string(),
+                key: 0.1,
+                outcome: AlgoOutcome {
+                    algorithm: "TI-CARM".to_string(),
+                    revenue: 50.5,
+                    revenue_lower_bound: None,
+                    seeding_cost: 5.25,
+                    seeds: 41,
+                    time_secs: 0.03125,
+                    rr_sets: 9000,
+                    rr_generated: 9000,
+                    index_secs: 0.0005,
+                    memory_bytes: 292608,
+                    memory_mib: 292608.0 / (1024.0 * 1024.0),
+                    budget_usage_pct: 88.5,
+                    rate_of_return_pct: 90.25,
+                },
+            },
+        ],
+        total_wall_secs: 0.0625,
+        run: RunManifest {
+            git_rev: Some("0123abcd4567".to_string()),
+            seed: 20_210_620,
+            threads: 4,
+            scale: 0.05,
+            quick: true,
+        },
+    }
+}
+
+#[test]
+fn bench_report_schema_matches_the_golden_file() {
+    // Guards the BENCH_*.json wire format: if this test fails, either
+    // restore compatibility or bump BENCH_SCHEMA_VERSION and regenerate
+    // the golden file (and the committed baselines under
+    // crates/bench/results/).
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bench_report_v1.json");
+    let report = golden_report();
+    if std::env::var("RMSA_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, report.render()).unwrap();
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", golden_path.display()));
+    assert_eq!(
+        report.render(),
+        expected,
+        "BENCH_*.json schema drifted from tests/golden/bench_report_v1.json"
+    );
+    // And the parser reads the golden file back into the same report.
+    let parsed = BenchReport::from_json_text(&expected).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn quick_context_is_applied_by_run() {
+    // The CI scenarios pin their own quick profile; `quick = true` must
+    // pick it up (tiny eval collection => fast) regardless of the base
+    // context's full-scale settings.
+    let scenario = Scenario::load(&scenarios_dir().join("ci_quick_alpha.toml")).unwrap();
+    let base = ExperimentContext::from_env();
+    let ctx = scenario.context(&base, true);
+    assert_eq!(ctx.eval_rr, 10_000);
+    assert_eq!(ctx.num_ads, 3);
+    assert_eq!(ctx.scale, 0.05);
+    let output = run_scenario(&scenario, &base, true, 2).unwrap();
+    assert!(output.report.run.quick);
+    assert_eq!(output.report.points.len(), 6, "2 alphas x 3 algorithms");
+}

@@ -1,0 +1,361 @@
+//! `rmsa` — the config-driven experiment runner.
+//!
+//! One binary replaces the 13 per-figure bench binaries: scenarios are
+//! declarative TOML manifests under `scenarios/` and the subcommands are
+//!
+//! * `rmsa run <manifest>` — run a scenario (optionally a single job)
+//!   and write `results/<name>.csv` + `BENCH_<name>.json`;
+//! * `rmsa sweep <manifest>` — run the full sweep grid (alias of `run`
+//!   without job selection), e.g. `rmsa sweep scenarios/fig1.toml`;
+//! * `rmsa bench <manifest>...` — run scenarios (usually `--quick`) and
+//!   emit only the `BENCH_*.json` trajectory reports;
+//! * `rmsa compare old.json new.json --tolerance 10%` — exit non-zero
+//!   when the new report regresses wall-clock or revenue bounds.
+//!
+//! Environment: `RMSA_SCALE`, `RMSA_SEED`, `RMSA_THREADS`, `RMSA_EVAL_RR`
+//! seed the base context (CLI flags override), `RMSA_JOBS` caps job-level
+//! parallelism, and `RMSA_BENCH_QUICK=1` is equivalent to `--quick`.
+
+use rmsa_bench::manifest::{CtxOverrides, Scenario};
+use rmsa_bench::report::{compare_reports, BenchReport, Tolerance};
+use rmsa_bench::runner::{self, env_flag, write_outputs};
+use rmsa_bench::ExperimentContext;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rmsa — config-driven experiment runner for the RMSA reproduction
+
+USAGE:
+    rmsa run <scenario.toml> [--job N|PREFIX] [OPTIONS]
+    rmsa sweep <scenario.toml> [OPTIONS]
+    rmsa bench <scenario.toml>... [--quick] [--out-dir DIR]
+    rmsa compare <old.json> <new.json> [--tolerance P%] [--time-tolerance P%]
+                 [--min-time-secs S]
+
+OPTIONS (run/sweep/bench):
+    --quick             use the scenario's quick (CI) profile
+    --jobs N            max concurrently running jobs (default: auto;
+                        output is identical for any value)
+    --seed N            master seed override
+    --threads N         RR-generation threads override
+    --scale X           global dataset/budget scale override
+    --out-dir DIR       directory for BENCH_<name>.json (default: .)
+    --no-csv            skip writing results/<name>.csv (run/sweep)
+
+compare exits 0 when the new report is within tolerance of the old one,
+1 on regression, 2 on usage or IO errors.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => run_command(rest, true),
+        "sweep" => run_command(rest, false),
+        "bench" => bench_command(rest),
+        "compare" => return compare_command(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rmsa: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared options of `run` / `sweep` / `bench`.
+struct RunOptions {
+    manifests: Vec<PathBuf>,
+    job: Option<String>,
+    quick: bool,
+    jobs: Option<usize>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    scale: Option<f64>,
+    out_dir: PathBuf,
+    write_csv: bool,
+}
+
+fn parse_run_options(args: &[String], allow_job: bool) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
+        manifests: Vec::new(),
+        job: None,
+        quick: env_flag("RMSA_BENCH_QUICK"),
+        jobs: None,
+        seed: None,
+        threads: None,
+        scale: None,
+        out_dir: PathBuf::from("."),
+        write_csv: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--no-csv" => opts.write_csv = false,
+            "--job" if allow_job => opts.job = Some(value("--job")?),
+            "--jobs" => opts.jobs = Some(parse_num(&value("--jobs")?, "--jobs")?),
+            "--seed" => opts.seed = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--threads" => opts.threads = Some(parse_num(&value("--threads")?, "--threads")?),
+            "--scale" => {
+                opts.scale = Some(
+                    value("--scale")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                )
+            }
+            "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            path => opts.manifests.push(resolve_manifest(path)?),
+        }
+    }
+    if opts.manifests.is_empty() {
+        return Err("no scenario manifest given".to_string());
+    }
+    Ok(opts)
+}
+
+/// Accept either a path to a manifest or a bare scenario stem
+/// (`fig1` → `scenarios/fig1.toml`).
+fn resolve_manifest(arg: &str) -> Result<PathBuf, String> {
+    let path = Path::new(arg);
+    if path.is_file() {
+        return Ok(path.to_path_buf());
+    }
+    if !arg.contains('/') && !arg.ends_with(".toml") {
+        if let Some(found) = runner::find_scenario(arg) {
+            return Ok(found);
+        }
+    }
+    Err(format!("scenario manifest {arg:?} not found"))
+}
+
+/// CLI flags as the final context-override layer: they win over the
+/// manifest's `[defaults]` and `[quick]` sections (and the quick profile).
+fn cli_overrides(opts: &RunOptions) -> CtxOverrides {
+    CtxOverrides {
+        seed: opts.seed,
+        threads: opts.threads,
+        scale: opts.scale,
+        ..CtxOverrides::default()
+    }
+}
+
+fn run_command(args: &[String], allow_job: bool) -> Result<(), String> {
+    let opts = parse_run_options(args, allow_job)?;
+    if opts.manifests.len() != 1 {
+        return Err("run/sweep take exactly one scenario manifest".to_string());
+    }
+    let mut scenario = Scenario::load(&opts.manifests[0])?;
+    if let Some(selector) = &opts.job {
+        select_job(&mut scenario, selector)?;
+    }
+    execute(&scenario, &opts)
+}
+
+fn bench_command(args: &[String]) -> Result<(), String> {
+    let mut opts = parse_run_options(args, false)?;
+    opts.write_csv = false;
+    for path in opts.manifests.clone() {
+        let scenario = Scenario::load(&path)?;
+        execute(&scenario, &opts)?;
+    }
+    Ok(())
+}
+
+/// Restrict a scenario to one job, selected by 0-based index or by a
+/// prefix substring.
+fn select_job(scenario: &mut Scenario, selector: &str) -> Result<(), String> {
+    let index = match selector.parse::<usize>() {
+        Ok(i) => i,
+        Err(_) => scenario
+            .jobs
+            .iter()
+            .position(|j| j.prefix.contains(selector))
+            .ok_or_else(|| format!("no job matches {selector:?}"))?,
+    };
+    if index >= scenario.jobs.len() {
+        return Err(format!(
+            "job index {index} out of range ({} jobs)",
+            scenario.jobs.len()
+        ));
+    }
+    scenario.jobs = vec![scenario.jobs[index].clone()];
+    Ok(())
+}
+
+fn execute(scenario: &Scenario, opts: &RunOptions) -> Result<(), String> {
+    let base = ExperimentContext::from_env();
+    let overrides = cli_overrides(opts);
+    let effective = scenario.context_with_overrides(&base, opts.quick, &overrides);
+    let parallel = opts
+        .jobs
+        .unwrap_or_else(|| runner::default_parallel_jobs(&effective));
+    let output =
+        runner::run_scenario_with_overrides(scenario, &base, opts.quick, &overrides, parallel)?;
+    print!("{}", output.console);
+    if opts.write_csv {
+        let (csv_path, json_path) = write_outputs(scenario, &output, Some(&opts.out_dir))
+            .map_err(|e| format!("writing outputs: {e}"))?;
+        println!("\nwrote {}", csv_path.display());
+        println!("wrote {}", json_path.display());
+    } else {
+        let json_path = opts.out_dir.join(format!("BENCH_{}.json", scenario.name));
+        std::fs::create_dir_all(&opts.out_dir)
+            .and_then(|()| std::fs::write(&json_path, output.report.render()))
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+        println!("\nwrote {}", json_path.display());
+    }
+    println!(
+        "scenario {}: {} points, {:.2}s wall, peak {:.1} MiB",
+        scenario.name,
+        output.report.points.len(),
+        output.report.total_wall_secs,
+        output.report.peak_memory_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    Ok(())
+}
+
+fn compare_command(args: &[String]) -> ExitCode {
+    match try_compare(args) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("compare: OK — no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!("compare: {} regression(s) detected:", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("rmsa: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn try_compare(args: &[String]) -> Result<Vec<rmsa_bench::report::Regression>, String> {
+    let mut paths = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--tolerance" => {
+                let frac = parse_fraction(&value("--tolerance")?)?;
+                tol.metric_frac = frac;
+                tol.time_frac = frac;
+            }
+            "--time-tolerance" => tol.time_frac = parse_fraction(&value("--time-tolerance")?)?,
+            "--min-time-secs" => {
+                tol.min_time_secs = value("--min-time-secs")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--min-time-secs: {e}"))?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("compare takes exactly two report paths".to_string());
+    };
+    let old = BenchReport::load(old_path)?;
+    let new = BenchReport::load(new_path)?;
+    println!(
+        "comparing {} ({}) -> {} ({}), tolerance {:.1}% / time {:.1}% (+{:.2}s floor)",
+        old_path.display(),
+        old.run.git_rev.as_deref().unwrap_or("unknown rev"),
+        new_path.display(),
+        new.run.git_rev.as_deref().unwrap_or("unknown rev"),
+        tol.metric_frac * 100.0,
+        tol.time_frac * 100.0,
+        tol.min_time_secs,
+    );
+    Ok(compare_reports(&old, &new, &tol))
+}
+
+/// Parse `10%` or `0.1` into a fraction.
+fn parse_fraction(text: &str) -> Result<f64, String> {
+    let (body, percent) = match text.strip_suffix('%') {
+        Some(body) => (body, true),
+        None => (text, false),
+    };
+    let value = body
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad tolerance {text:?}: {e}"))?;
+    if value < 0.0 {
+        return Err(format!("tolerance {text:?} must be non-negative"));
+    }
+    Ok(if percent { value / 100.0 } else { value })
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse::<T>().map_err(|e| format!("{flag}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_accept_percent_and_plain_forms() {
+        assert_eq!(parse_fraction("10%").unwrap(), 0.10);
+        assert_eq!(parse_fraction("0.25").unwrap(), 0.25);
+        assert_eq!(parse_fraction("300%").unwrap(), 3.0);
+        assert!(parse_fraction("-1").is_err());
+        assert!(parse_fraction("abc").is_err());
+    }
+
+    #[test]
+    fn run_options_parse_flags_and_manifest() {
+        let dir = std::env::temp_dir().join("rmsa_cli_test_opts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("s.toml");
+        std::fs::write(&manifest, "x").unwrap();
+        let args: Vec<String> = [
+            manifest.to_str().unwrap(),
+            "--quick",
+            "--jobs",
+            "3",
+            "--seed",
+            "42",
+            "--no-csv",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_run_options(&args, true).unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.jobs, Some(3));
+        assert_eq!(opts.seed, Some(42));
+        assert!(!opts.write_csv);
+        assert_eq!(opts.manifests.len(), 1);
+        assert!(parse_run_options(&["--jobs".to_string()], true).is_err());
+        assert!(parse_run_options(&[], true).is_err());
+    }
+}

@@ -58,6 +58,7 @@ pub mod oracle;
 pub mod problem;
 pub mod sampling;
 pub mod solver;
+pub mod threads;
 mod util;
 
 pub use algorithms::{fill, greedy_single, rm_with_oracle, search, threshold_greedy};
@@ -71,6 +72,7 @@ pub use solver::{
     CaGreedy, CsGreedy, OneBatch, OracleGreedy, OracleMode, Rma, RrAccounting, SolveContext,
     SolveReport, Solver, TiCarm, TiCsrm,
 };
+pub use threads::default_num_threads;
 
 #[allow(deprecated)]
 pub use sampling::{one_batch, rm_without_oracle};

@@ -45,6 +45,8 @@ pub struct RmaConfig {
     /// fixes the strategy.
     pub strategy: RrStrategy,
     /// Worker threads for RR-set generation (same caveat as `strategy`).
+    /// Defaults from `RMSA_THREADS` via
+    /// [`crate::threads::default_num_threads`].
     pub num_threads: usize,
     /// Practical cap on the size of each collection; the theoretical cap
     /// `θ_max` can exceed available memory on large instances, in which case
@@ -63,7 +65,7 @@ impl Default for RmaConfig {
             tau: 0.1,
             rho: 0.1,
             strategy: RrStrategy::Standard,
-            num_threads: 4,
+            num_threads: crate::threads::default_num_threads(),
             max_rr_per_collection: 4_000_000,
             seed: 0xC0FFEE,
         }

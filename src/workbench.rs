@@ -52,7 +52,8 @@ impl WorkbenchBuilder {
         self
     }
 
-    /// Worker threads for RR-set generation (default 4).
+    /// Worker threads for RR-set generation (default: `RMSA_THREADS` via
+    /// [`rmsa_core::default_num_threads`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -139,7 +140,7 @@ impl Workbench {
             graph: None,
             model: None,
             strategy: RrStrategy::Standard,
-            threads: 4,
+            threads: rmsa_core::default_num_threads(),
             seed: 0xC0FFEE,
         }
     }
