@@ -406,6 +406,74 @@ mod tests {
     }
 
     #[test]
+    fn integer_vs_float_boundary_is_preserved() {
+        // i64 extremes stay integers.
+        assert_eq!(parse("9223372036854775807").unwrap(), Json::Int(i64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Json::Int(i64::MIN));
+        // One past i64::MAX is an error, not a silent truncation.
+        assert!(parse("9223372036854775808").is_err());
+        // Exponent forms are floats even when whole, and stay floats
+        // through a render/parse cycle (the writer pins a decimal marker).
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::Num(1000.0).render_compact(), "1000.0");
+        assert_eq!(parse("1000.0").unwrap(), Json::Num(1000.0));
+        assert_eq!(parse("1000").unwrap(), Json::Int(1000));
+        // Accessor cross-over: whole floats read as ints, fractional don't.
+        assert_eq!(Json::Num(2.0).as_i64(), Some(2));
+        assert_eq!(Json::Num(2.5).as_i64(), None);
+        assert_eq!(Json::Int(2).as_f64(), Some(2.0));
+        // Negative zero round-trips as a float.
+        let neg_zero = parse("-0.0").unwrap();
+        assert_eq!(neg_zero.as_f64(), Some(-0.0));
+        assert!(neg_zero.as_f64().unwrap().is_sign_negative());
+    }
+
+    #[test]
+    fn escaped_strings_cover_the_wire_protocol() {
+        // Every escape class the NDJSON wire can carry: quotes,
+        // backslashes, control characters, \uXXXX, raw non-ASCII.
+        for s in [
+            "plain",
+            "quote \" backslash \\ slash /",
+            "newline\n tab\t return\r",
+            "control \u{1} \u{1f}",
+            "unicode é Ω 🦀",
+            "\\\\double-escaped\\\"",
+            "",
+        ] {
+            let rendered = Json::Str(s.into()).render_compact();
+            assert!(!rendered.contains('\n'), "{rendered:?} must be one line");
+            assert_eq!(parse(&rendered).unwrap().as_str(), Some(s));
+        }
+        // \uXXXX parses (the writer only emits it for control chars).
+        assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+        assert!(parse(r#""\u00g1""#).is_err());
+        assert!(parse(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn nested_arrays_of_objects_roundtrip() {
+        // The stats response shape: an object holding an array of objects,
+        // each holding arrays and nested objects.
+        let text = r#"{"sessions":[{"session":"a/standard","streams":[{"kind":"optimize","len":10},{"kind":"validate","len":10}]},{"session":"b/subsim","streams":[]}],"evictions":0}"#;
+        let doc = parse(text).unwrap();
+        let sessions = doc.get("sessions").unwrap().as_arr().unwrap();
+        assert_eq!(sessions.len(), 2);
+        let streams = sessions[0].get("streams").unwrap().as_arr().unwrap();
+        assert_eq!(streams[1].get("kind").unwrap().as_str(), Some("validate"));
+        assert!(sessions[1]
+            .get("streams")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+        // Compact rendering reproduces the input byte-for-byte (stable key
+        // order), and pretty rendering parses back to the same document.
+        assert_eq!(doc.render_compact(), text);
+        assert_eq!(parse(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
     fn malformed_documents_error_out() {
         for bad in ["{", "[1,]", "{\"a\" 1}", "12x", "\"unterminated", ""] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");

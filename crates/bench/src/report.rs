@@ -297,18 +297,40 @@ impl Default for Tolerance {
     }
 }
 
-/// One detected regression.
+/// One detected regression. Every failure line names the offending
+/// metric and shows both values (a missing side prints as `missing`), so
+/// a red CI gate is diagnosable from the log alone.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
     /// `(job, key, algorithm)` location, or `"totals"`.
     pub location: String,
-    /// Human-readable description.
+    /// The offending metric (`revenue`, `revenue_lower_bound`,
+    /// `wall_secs`, `total_wall_secs`, or `point` when the whole point
+    /// vanished).
+    pub metric: String,
+    /// Baseline value, when the baseline had one.
+    pub old_value: Option<f64>,
+    /// New value, when the new report has one.
+    pub new_value: Option<f64>,
+    /// Why this counts as a regression (tolerance context).
     pub detail: String,
 }
 
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.location, self.detail)
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.3}"),
+            None => "missing".to_string(),
+        };
+        write!(
+            f,
+            "{}: {} {} -> {} ({})",
+            self.location,
+            self.metric,
+            fmt(self.old_value),
+            fmt(self.new_value),
+            self.detail
+        )
     }
 }
 
@@ -325,7 +347,10 @@ pub fn compare_reports(old: &BenchReport, new: &BenchReport, tol: &Tolerance) ->
         }) else {
             regressions.push(Regression {
                 location: locate(old_point),
-                detail: "point missing from new report".to_string(),
+                metric: "point".to_string(),
+                old_value: Some(old_point.outcome.revenue),
+                new_value: None,
+                detail: "point missing from new report (old value is its revenue)".to_string(),
             });
             continue;
         };
@@ -345,9 +370,10 @@ pub fn compare_reports(old: &BenchReport, new: &BenchReport, tol: &Tolerance) ->
                 (Some(old_v), None) => {
                     regressions.push(Regression {
                         location: locate(old_point),
-                        detail: format!(
-                            "{metric} disappeared (baseline had {old_v:.3}, new report has none)"
-                        ),
+                        metric: metric.to_string(),
+                        old_value: Some(old_v),
+                        new_value: None,
+                        detail: "metric disappeared from the new report".to_string(),
                     });
                     continue;
                 }
@@ -356,11 +382,10 @@ pub fn compare_reports(old: &BenchReport, new: &BenchReport, tol: &Tolerance) ->
             if new_v < old_v * (1.0 - tol.metric_frac) - 1e-9 {
                 regressions.push(Regression {
                     location: locate(old_point),
-                    detail: format!(
-                        "{metric} dropped {old_v:.3} -> {new_v:.3} \
-                         (tolerance {:.1} %)",
-                        tol.metric_frac * 100.0
-                    ),
+                    metric: metric.to_string(),
+                    old_value: Some(old_v),
+                    new_value: Some(new_v),
+                    detail: format!("dropped beyond tolerance {:.1} %", tol.metric_frac * 100.0),
                 });
             }
         }
@@ -369,10 +394,11 @@ pub fn compare_reports(old: &BenchReport, new: &BenchReport, tol: &Tolerance) ->
         {
             regressions.push(Regression {
                 location: locate(old_point),
+                metric: "wall_secs".to_string(),
+                old_value: Some(o.time_secs),
+                new_value: Some(n.time_secs),
                 detail: format!(
-                    "wall-clock regressed {:.3}s -> {:.3}s (tolerance {:.1} % + {:.2}s)",
-                    o.time_secs,
-                    n.time_secs,
+                    "slower than tolerance {:.1} % + {:.2}s floor",
                     tol.time_frac * 100.0,
                     tol.min_time_secs
                 ),
@@ -384,9 +410,13 @@ pub fn compare_reports(old: &BenchReport, new: &BenchReport, tol: &Tolerance) ->
     {
         regressions.push(Regression {
             location: "totals".to_string(),
+            metric: "total_wall_secs".to_string(),
+            old_value: Some(old.total_wall_secs),
+            new_value: Some(new.total_wall_secs),
             detail: format!(
-                "total wall-clock regressed {:.3}s -> {:.3}s",
-                old.total_wall_secs, new.total_wall_secs
+                "slower than tolerance {:.1} % + {:.2}s floor",
+                tol.time_frac * 100.0,
+                tol.min_time_secs
             ),
         });
     }
@@ -475,7 +505,53 @@ mod tests {
         let beyond = report(vec![point("a,", 0.1, outcome("RMA", 89.9, 1.0))], 2.0);
         let regs = compare_reports(&old, &beyond, &tol);
         assert_eq!(regs.len(), 2, "{regs:?}");
-        assert!(regs[0].detail.contains("revenue dropped"));
+        assert_eq!(regs[0].metric, "revenue");
+        assert_eq!(regs[0].old_value, Some(100.0));
+        assert_eq!(regs[0].new_value, Some(89.9));
+        assert_eq!(regs[1].metric, "revenue_lower_bound");
+    }
+
+    #[test]
+    fn every_failure_line_names_the_metric_and_both_values() {
+        // Cover all four regression shapes in one comparison: a missing
+        // point, a revenue drop, a vanished lower bound, and time
+        // regressions — each printed line must name its metric and show
+        // both sides.
+        let tol = Tolerance {
+            metric_frac: 0.10,
+            time_frac: 0.10,
+            min_time_secs: 0.0,
+        };
+        let old = report(
+            vec![
+                point("a,", 0.1, outcome("RMA", 100.0, 1.0)),
+                point("b,", 0.2, outcome("RMA", 50.0, 1.0)),
+            ],
+            1.0,
+        );
+        let mut dropped = outcome("RMA", 10.0, 9.0);
+        dropped.revenue_lower_bound = None;
+        let new = report(vec![point("a,", 0.1, dropped)], 9.0);
+        let regs = compare_reports(&old, &new, &tol);
+        let lines: Vec<String> = regs.iter().map(|r| r.to_string()).collect();
+        assert_eq!(regs.len(), 5, "{lines:?}");
+        for (reg, line) in regs.iter().zip(&lines) {
+            assert!(!reg.metric.is_empty());
+            assert!(line.contains(&reg.metric), "{line}");
+            assert!(line.contains("->"), "{line}");
+            assert!(reg.old_value.is_some() || reg.new_value.is_some(), "{line}");
+        }
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("revenue 100.000 -> 10.000")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("revenue_lower_bound 80.000 -> missing")));
+        assert!(lines.iter().any(|l| l.contains("wall_secs 1.000 -> 9.000")));
+        assert!(lines.iter().any(|l| l.contains("point 50.000 -> missing")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("totals: total_wall_secs 1.000 -> 9.000")));
     }
 
     #[test]
@@ -506,6 +582,8 @@ mod tests {
         new.points[0].outcome.revenue_lower_bound = None;
         let regs = compare_reports(&old, &new, &Tolerance::default());
         assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "revenue_lower_bound");
+        assert_eq!(regs[0].new_value, None);
         assert!(regs[0].detail.contains("disappeared"));
     }
 

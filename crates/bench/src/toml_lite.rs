@@ -455,6 +455,60 @@ values = [
     }
 
     #[test]
+    fn nested_arrays_and_strings_with_structural_characters() {
+        let doc = parse(
+            r#"
+grid = [[0.1, 0.2], [0.3], []]
+tricky = ["a, b", "c ] d", "e [ f", "g # h"]
+mixed = [1, "two", true, [3.5]]
+"#,
+        )
+        .unwrap();
+        let grid = doc.get("grid").unwrap().as_arr().unwrap();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0].as_arr().unwrap().len(), 2);
+        assert_eq!(grid[1].as_arr().unwrap()[0].as_f64(), Some(0.3));
+        assert!(grid[2].as_arr().unwrap().is_empty());
+        // Commas, brackets and hashes inside strings are content, not
+        // structure.
+        let tricky: Vec<&str> = doc
+            .get("tricky")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(tricky, vec!["a, b", "c ] d", "e [ f", "g # h"]);
+        let mixed = doc.get("mixed").unwrap().as_arr().unwrap();
+        assert_eq!(mixed[0].as_usize(), Some(1));
+        assert_eq!(mixed[1].as_str(), Some("two"));
+        assert_eq!(mixed[2].as_bool(), Some(true));
+        assert_eq!(mixed[3].as_arr().unwrap()[0].as_f64(), Some(3.5));
+    }
+
+    #[test]
+    fn integer_vs_float_boundary() {
+        let doc =
+            parse("big = 9223372036854775807\nneg = -42\nexp = 1e3\nfrac = 0.5\nsep = 1_000_000\n")
+                .unwrap();
+        // i64::MAX survives; exponent forms are floats even when whole.
+        assert_eq!(doc.get("big").unwrap().as_u64(), Some(i64::MAX as u64));
+        assert_eq!(doc.get("big").unwrap().as_usize(), Some(i64::MAX as usize));
+        assert_eq!(doc.get("exp").unwrap(), &Toml::Float(1000.0));
+        assert_eq!(doc.get("sep").unwrap(), &Toml::Int(1_000_000));
+        // Accessor cross-over: floats don't silently become counts, ints
+        // widen to floats, negatives refuse unsigned accessors.
+        assert_eq!(doc.get("exp").unwrap().as_usize(), None);
+        assert_eq!(doc.get("frac").unwrap().as_usize(), None);
+        assert_eq!(doc.get("neg").unwrap().as_f64(), Some(-42.0));
+        assert_eq!(doc.get("neg").unwrap().as_usize(), None);
+        assert_eq!(doc.get("neg").unwrap().as_u64(), None);
+        // One past i64::MAX is a parse error, not wrap-around.
+        assert!(parse("seed = 9223372036854775808").is_err());
+    }
+
+    #[test]
     fn rejects_malformed_documents() {
         for bad in [
             "just words",

@@ -10,7 +10,12 @@
 //! * `rmsa bench <manifest>...` — run scenarios (usually `--quick`) and
 //!   emit only the `BENCH_*.json` trajectory reports;
 //! * `rmsa compare old.json new.json --tolerance 10%` — exit non-zero
-//!   when the new report regresses wall-clock or revenue bounds.
+//!   when the new report regresses wall-clock or revenue bounds;
+//! * `rmsa serve` — the long-running solving daemon (warm session pool,
+//!   request batching) speaking newline-delimited JSON over TCP;
+//! * `rmsa query` — one-shot client for the daemon;
+//! * `rmsa loadgen` — closed-loop load generator emitting
+//!   `BENCH_service.json` for the compare gate.
 //!
 //! Environment: `RMSA_SCALE`, `RMSA_SEED`, `RMSA_THREADS`, `RMSA_EVAL_RR`
 //! seed the base context (CLI flags override), `RMSA_JOBS` caps job-level
@@ -23,8 +28,10 @@ use rmsa_bench::ExperimentContext;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod service_cmd;
+
 const USAGE: &str = "\
-rmsa — config-driven experiment runner for the RMSA reproduction
+rmsa — experiment runner and serving stack for the RMSA reproduction
 
 USAGE:
     rmsa run <scenario.toml> [--job N|PREFIX] [OPTIONS]
@@ -32,6 +39,15 @@ USAGE:
     rmsa bench <scenario.toml>... [--quick] [--out-dir DIR]
     rmsa compare <old.json> <new.json> [--tolerance P%] [--time-tolerance P%]
                  [--min-time-secs S]
+    rmsa serve [--addr HOST:PORT] [--workers N] [--max-sessions K] [--quick]
+               [--seed N] [--scale X] [--threads N] [--warm-rr N]
+               [--eval-rr N] [--port-file PATH]
+    rmsa query [solve|warm|stats|ping|shutdown] [--addr HOST:PORT]
+               [--dataset D] [--strategy standard|subsim]
+               [--algorithm rma|one-batch|ti-carm|ti-csrm] [--incentive I]
+               [--alpha X] [--no-evaluate] [--target-rr N] [--id N]
+    rmsa loadgen [--addr HOST:PORT] [--quick] [--clients C] [--requests N]
+                 [--seed N] [--out-dir DIR] [--dump PATH] [--shutdown]
 
 OPTIONS (run/sweep/bench):
     --quick             use the scenario's quick (CI) profile
@@ -43,8 +59,17 @@ OPTIONS (run/sweep/bench):
     --out-dir DIR       directory for BENCH_<name>.json (default: .)
     --no-csv            skip writing results/<name>.csv (run/sweep)
 
+serve answers newline-delimited JSON requests over TCP from a warm
+session pool (one RR-set cache per dataset/strategy fingerprint, LRU
+bound --max-sessions, batch admission). query sends one request and
+prints the response. loadgen drives a daemon closed-loop with a seeded
+request mix and writes BENCH_service.json for the compare gate; for a
+fixed seed its canonical response bytes are identical for any worker
+count (--dump writes them).
+
 compare exits 0 when the new report is within tolerance of the old one,
-1 on regression, 2 on usage or IO errors.
+1 on regression, 2 on usage or IO errors. Every failure line names the
+offending metric and prints both values.
 ";
 
 fn main() -> ExitCode {
@@ -58,6 +83,9 @@ fn main() -> ExitCode {
         "sweep" => run_command(rest, false),
         "bench" => bench_command(rest),
         "compare" => return compare_command(rest),
+        "serve" => service_cmd::serve_command(rest),
+        "query" => service_cmd::query_command(rest),
+        "loadgen" => service_cmd::loadgen_command(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -1,0 +1,296 @@
+//! The serving subcommands of `rmsa`: `serve`, `query`, and `loadgen`.
+
+use rmsa_bench::ExperimentContext;
+use rmsa_service::loadgen::{self, LoadMix, LoadgenConfig};
+use rmsa_service::wire::{self, Algorithm, Request, Response, SolveRequest, WarmRequest};
+use rmsa_service::{server, ServiceClient, ServiceConfig};
+use std::path::PathBuf;
+
+/// Default address of `serve` / `query` / `loadgen`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7747";
+
+struct ArgReader<'a> {
+    it: std::slice::Iter<'a, String>,
+}
+
+impl<'a> ArgReader<'a> {
+    fn new(args: &'a [String]) -> Self {
+        ArgReader { it: args.iter() }
+    }
+
+    fn next(&mut self) -> Option<&'a String> {
+        self.it.next()
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.it
+            .next()
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(flag)?
+            .parse::<T>()
+            .map_err(|e| format!("{flag}: {e}"))
+    }
+}
+
+/// The serving context: the environment-driven experiment context, the
+/// smoke-scale profile under `--quick`, explicit flags on top.
+struct ServeOptions {
+    addr: String,
+    config: ServiceConfig,
+    port_file: Option<PathBuf>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let base = ExperimentContext::from_env();
+    let mut quick = rmsa_bench::runner::env_flag("RMSA_BENCH_QUICK");
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut workers = None;
+    let mut max_sessions = 4usize;
+    let mut port_file = None;
+    let mut seed = None;
+    let mut scale = None;
+    let mut threads = None;
+    let mut warm_rr = None;
+    let mut eval_rr = None;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--workers" => workers = Some(reader.parsed::<usize>("--workers")?),
+            "--max-sessions" => max_sessions = reader.parsed::<usize>("--max-sessions")?,
+            "--port-file" => port_file = Some(PathBuf::from(reader.value("--port-file")?)),
+            "--seed" => seed = Some(reader.parsed::<u64>("--seed")?),
+            "--scale" => scale = Some(reader.parsed::<f64>("--scale")?),
+            "--threads" => threads = Some(reader.parsed::<usize>("--threads")?),
+            "--warm-rr" => warm_rr = Some(reader.parsed::<usize>("--warm-rr")?),
+            "--eval-rr" => eval_rr = Some(reader.parsed::<usize>("--eval-rr")?),
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+    let mut ctx = if quick {
+        let mut quick_ctx = rmsa_service::tiny_serve_ctx(base.seed);
+        quick_ctx.threads = base.threads;
+        quick_ctx
+    } else {
+        base
+    };
+    if let Some(seed) = seed {
+        ctx.seed = seed;
+    }
+    if let Some(scale) = scale {
+        ctx.scale = scale;
+    }
+    if let Some(threads) = threads {
+        ctx.threads = threads.max(1);
+    }
+    if let Some(warm_rr) = warm_rr {
+        ctx.rma_max_rr = warm_rr;
+    }
+    if let Some(eval_rr) = eval_rr {
+        ctx.eval_rr = eval_rr;
+    }
+    let mut config = ServiceConfig::new(ctx);
+    if let Some(workers) = workers {
+        config.workers = workers.max(1);
+    }
+    config.max_sessions = max_sessions.max(1);
+    Ok(ServeOptions {
+        addr,
+        config,
+        port_file,
+    })
+}
+
+/// `rmsa serve`: run the daemon until a `shutdown` request arrives.
+pub fn serve_command(args: &[String]) -> Result<(), String> {
+    let options = parse_serve(args)?;
+    let workers = options.config.workers;
+    let sessions = options.config.max_sessions;
+    let seed = options.config.ctx.seed;
+    let handle = server::start(&options.addr, options.config)
+        .map_err(|e| format!("bind {}: {e}", options.addr))?;
+    let addr = handle.local_addr();
+    if let Some(path) = &options.port_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    println!(
+        "rmsa serve listening on {addr} ({workers} workers, {sessions} resident sessions, \
+         seed {seed}); send a shutdown request to stop"
+    );
+    handle.wait();
+    println!("rmsa serve: shut down");
+    Ok(())
+}
+
+/// `rmsa query`: one request, one printed response.
+pub fn query_command(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut op = "solve".to_string();
+    let mut id = 1u64;
+    let mut dataset = "lastfm-syn".to_string();
+    let mut strategy = "standard".to_string();
+    let mut algorithm = "rma".to_string();
+    let mut incentive = "linear".to_string();
+    let mut alpha = 0.1f64;
+    let mut evaluate = true;
+    let mut target_rr = None;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--id" => id = reader.parsed::<u64>("--id")?,
+            "--dataset" => dataset = reader.value("--dataset")?.to_string(),
+            "--strategy" => strategy = reader.value("--strategy")?.to_string(),
+            "--algorithm" => algorithm = reader.value("--algorithm")?.to_string(),
+            "--incentive" => incentive = reader.value("--incentive")?.to_string(),
+            "--alpha" => alpha = reader.parsed::<f64>("--alpha")?,
+            "--no-evaluate" => evaluate = false,
+            "--target-rr" => target_rr = Some(reader.parsed::<usize>("--target-rr")?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown query option {other:?}"))
+            }
+            word => op = word.to_string(),
+        }
+    }
+    // Round-trip the textual fields through the wire parser so `query`
+    // accepts exactly what the server accepts.
+    let request = match op.as_str() {
+        "solve" => Request::Solve(SolveRequest {
+            id,
+            dataset: wire::parse_dataset(&dataset)?,
+            strategy: wire::parse_strategy(&strategy)?,
+            algorithm: Algorithm::parse(&algorithm)?,
+            incentive: wire::parse_incentive(&incentive)?,
+            alpha,
+            evaluate,
+        }),
+        "warm" => Request::Warm(WarmRequest {
+            id,
+            dataset: wire::parse_dataset(&dataset)?,
+            strategy: wire::parse_strategy(&strategy)?,
+            target_rr,
+        }),
+        "stats" => Request::Stats { id },
+        "ping" => Request::Ping { id },
+        "shutdown" => Request::Shutdown { id },
+        other => return Err(format!("unknown query op {other:?}")),
+    };
+    let mut client = ServiceClient::connect(&addr)?;
+    let response = client.call(&request)?;
+    print!("{}", response.to_json().render_pretty());
+    match response {
+        Response::Error { message, .. } => Err(format!("server error: {message}")),
+        _ => Ok(()),
+    }
+}
+
+/// `rmsa loadgen`: closed-loop load against a running daemon, reported as
+/// `BENCH_service.json`.
+pub fn loadgen_command(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut quick = rmsa_bench::runner::env_flag("RMSA_BENCH_QUICK");
+    let mut clients = None;
+    let mut requests = None;
+    let mut seed = 7u64;
+    let mut out_dir = PathBuf::from(".");
+    let mut dump = None;
+    let mut shutdown = false;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--quick" => quick = true,
+            "--clients" => clients = Some(reader.parsed::<usize>("--clients")?),
+            "--requests" => requests = Some(reader.parsed::<usize>("--requests")?),
+            "--seed" => seed = reader.parsed::<u64>("--seed")?,
+            "--out-dir" => out_dir = PathBuf::from(reader.value("--out-dir")?),
+            "--dump" => dump = Some(PathBuf::from(reader.value("--dump")?)),
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown loadgen option {other:?}")),
+        }
+    }
+    let mut config = if quick {
+        LoadgenConfig::quick(seed)
+    } else {
+        LoadgenConfig {
+            clients: 8,
+            requests_per_client: 16,
+            seed,
+            mix: LoadMix::full(),
+        }
+    };
+    if let Some(clients) = clients {
+        config.clients = clients.max(1);
+    }
+    if let Some(requests) = requests {
+        config.requests_per_client = requests.max(1);
+    }
+    let outcome = loadgen::run(&addr, &config)?;
+    print!("{}", outcome.summary());
+    let report = loadgen::report(&outcome, &config, quick);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let json_path = out_dir.join("BENCH_service.json");
+    std::fs::write(&json_path, report.render())
+        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    println!("wrote {}", json_path.display());
+    if let Some(path) = dump {
+        let mut lines = outcome.canonical_lines().join("\n");
+        lines.push('\n');
+        std::fs::write(&path, lines).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    if shutdown {
+        let mut client = ServiceClient::connect(&addr)?;
+        client.call(&Request::Shutdown { id: u64::MAX })?;
+        println!("sent shutdown to {addr}");
+    }
+    if !outcome.errors.is_empty() {
+        return Err(format!(
+            "{} request(s) failed; first error: {}",
+            outcome.errors.len(),
+            outcome.errors[0]
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_options_parse_and_quick_shrinks_the_context() {
+        let options = parse_serve(&strings(&[
+            "--quick",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--max-sessions",
+            "3",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr, "127.0.0.1:0");
+        assert_eq!(options.config.workers, 2);
+        assert_eq!(options.config.max_sessions, 3);
+        assert_eq!(options.config.ctx.seed, 42);
+        assert!(options.config.ctx.rma_max_rr <= 10_000, "quick must shrink");
+        assert!(parse_serve(&strings(&["--workers"])).is_err());
+        assert!(parse_serve(&strings(&["--bogus"])).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Golden test of `rmsa --help`: the usage text is user-facing API.
+//!
+//! Regenerate after an intentional CLI change with
+//! `RMSA_BLESS=1 cargo test -p rmsa-cli --test help_golden`.
+
+use std::process::Command;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/help.txt")
+}
+
+#[test]
+fn help_output_matches_the_golden_file() {
+    let output = Command::new(env!("CARGO_BIN_EXE_rmsa"))
+        .arg("--help")
+        .output()
+        .expect("run rmsa --help");
+    assert!(output.status.success(), "--help must exit 0");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 help text");
+    let path = golden_path();
+    if std::env::var("RMSA_BLESS").is_ok() {
+        std::fs::write(&path, &stdout).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        golden, stdout,
+        "rmsa --help drifted from tests/golden/help.txt — if intentional, re-bless"
+    );
+    // The help must mention every subcommand.
+    for subcommand in [
+        "run", "sweep", "bench", "compare", "serve", "query", "loadgen",
+    ] {
+        assert!(
+            stdout.contains(&format!("rmsa {subcommand}")),
+            "--help must document {subcommand}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommands_fail_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_rmsa"))
+        .arg("frobnicate")
+        .output()
+        .expect("run rmsa frobnicate");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("USAGE"));
+}

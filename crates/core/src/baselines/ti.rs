@@ -34,7 +34,10 @@ pub enum TiRule {
 }
 
 /// Configuration shared by TI-CARM and TI-CSRM.
-#[derive(Clone, Debug)]
+///
+/// Request-facing: carries serde derives so serving layers can embed it
+/// in wire/report schemas.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct TiConfig {
     /// Estimation accuracy ε of Eq. (5); the paper uses 0.1–0.3.
     pub epsilon: f64,

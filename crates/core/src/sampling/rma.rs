@@ -29,7 +29,10 @@ use rmsa_graph::DirectedGraph;
 use std::time::{Duration, Instant};
 
 /// Configuration of the RMA algorithm.
-#[derive(Clone, Debug)]
+///
+/// Request-facing: carries serde derives so serving layers can embed it
+/// in wire/report schemas.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct RmaConfig {
     /// Approximation slack ε ∈ (0, λ).
     pub epsilon: f64,

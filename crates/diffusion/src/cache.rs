@@ -316,10 +316,16 @@ impl RrCache {
                 .arena
                 .generate_parallel(graph, &model, sampler, missing, self.num_threads, seed);
         }
-        // Extend-never-rebuild: index exactly the new sets, in place.
+        // Extend-never-rebuild: index exactly the new sets, in place. A
+        // fully warm stream reports exactly zero index time (not timer
+        // noise), so "no index work" is testable as `== Duration::ZERO`.
         let index_start = Instant::now();
         let index_extended = state.index.extend_from(&state.arena);
-        let index_extend_time = index_start.elapsed();
+        let index_extend_time = if index_extended == 0 {
+            Duration::ZERO
+        } else {
+            index_start.elapsed()
+        };
         let index_reused = state.index.num_rr() - index_extended;
 
         let result = f(RrStreamView {

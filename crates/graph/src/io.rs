@@ -2,7 +2,11 @@
 //!
 //! The format is the one used by SNAP datasets: one `source target` pair per
 //! line, whitespace separated, `#`-prefixed comment lines ignored. Node ids
-//! are remapped to a dense `0..n` range on load.
+//! are remapped to a dense `0..n` range on load — but when the input ids
+//! already *are* dense `0..n` (the common case for published SNAP exports),
+//! the loader detects it with a bitset pass and skips the `HashMap`
+//! interning entirely, so multi-million-edge loads don't pay per-endpoint
+//! hashing.
 
 use crate::builder::GraphBuilder;
 use crate::csr::DirectedGraph;
@@ -38,18 +42,63 @@ impl From<io::Error> for EdgeListError {
     }
 }
 
+/// How original node labels map to the dense ids of the loaded graph.
+#[derive(Clone, Debug)]
+pub enum NodeRemap {
+    /// The input ids were already dense `0..n`: every label is its own id
+    /// and no lookup table was built.
+    Identity {
+        /// Number of nodes `n`.
+        num_nodes: u32,
+    },
+    /// Arbitrary labels, interned in order of first appearance.
+    Map(HashMap<u64, u32>),
+}
+
+impl NodeRemap {
+    /// The dense id of an original label, if the label occurred.
+    pub fn get(&self, label: u64) -> Option<u32> {
+        match self {
+            NodeRemap::Identity { num_nodes } => {
+                (label < *num_nodes as u64).then_some(label as u32)
+            }
+            NodeRemap::Map(map) => map.get(&label).copied(),
+        }
+    }
+
+    /// Number of distinct labels seen.
+    pub fn len(&self) -> usize {
+        match self {
+            NodeRemap::Identity { num_nodes } => *num_nodes as usize,
+            NodeRemap::Map(map) => map.len(),
+        }
+    }
+
+    /// True when no label was seen.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the fast identity path was taken (ids were dense `0..n`).
+    pub fn is_identity(&self) -> bool {
+        matches!(self, NodeRemap::Identity { .. })
+    }
+}
+
 /// Parse an edge list from any reader. Returns the graph plus the mapping
 /// from original node labels to dense ids.
 pub fn read_edge_list<R: BufRead>(
     reader: R,
     undirected: bool,
-) -> Result<(DirectedGraph, HashMap<u64, u32>), EdgeListError> {
-    let mut remap: HashMap<u64, u32> = HashMap::new();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let intern = |label: u64, remap: &mut HashMap<u64, u32>| -> u32 {
-        let next = remap.len() as u32;
-        *remap.entry(label).or_insert(next)
-    };
+) -> Result<(DirectedGraph, NodeRemap), EdgeListError> {
+    let (edges, max_id) = parse_raw_edges(reader)?;
+    Ok(assemble(edges, max_id, undirected, false))
+}
+
+/// First pass: raw `(source, target)` label pairs plus the maximum label.
+fn parse_raw_edges<R: BufRead>(reader: R) -> Result<(Vec<(u64, u64)>, u64), EdgeListError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id = 0u64;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -67,25 +116,92 @@ pub fn read_edge_list<R: BufRead>(
                 })
             }
         };
-        let ui = intern(u, &mut remap);
-        let vi = intern(v, &mut remap);
-        edges.push((ui, vi));
-        if undirected {
-            edges.push((vi, ui));
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    Ok((edges, max_id))
+}
+
+/// Second pass: decide dense-vs-remap and build the graph. `force_remap`
+/// exists so tests can run dense inputs through the slow path and check the
+/// two agree.
+fn assemble(
+    edges: Vec<(u64, u64)>,
+    max_id: u64,
+    undirected: bool,
+    force_remap: bool,
+) -> (DirectedGraph, NodeRemap) {
+    let directed_len = edges.len() * if undirected { 2 } else { 1 };
+    if !force_remap && ids_are_dense(&edges, max_id) {
+        let num_nodes = if edges.is_empty() {
+            0
+        } else {
+            max_id as u32 + 1
+        };
+        let mut b = GraphBuilder::with_capacity(num_nodes as usize, directed_len);
+        for &(u, v) in &edges {
+            b.add_edge(u as u32, v as u32);
+            if undirected {
+                b.add_edge(v as u32, u as u32);
+            }
+        }
+        return (b.build(), NodeRemap::Identity { num_nodes });
+    }
+    // Remap path: intern first (establishing first-appearance order and
+    // the node count the builder needs up front), then feed the builder
+    // straight from the consumed raw edges — no intermediate dense edge
+    // vector, so peak memory is the raw pairs plus the builder only.
+    let mut remap: HashMap<u64, u32> = HashMap::new();
+    for &(u, v) in &edges {
+        for label in [u, v] {
+            let next = remap.len() as u32;
+            remap.entry(label).or_insert(next);
         }
     }
-    let mut b = GraphBuilder::with_capacity(remap.len(), edges.len());
+    let mut b = GraphBuilder::with_capacity(remap.len(), directed_len);
     for (u, v) in edges {
-        b.add_edge(u, v);
+        let (ui, vi) = (remap[&u], remap[&v]);
+        b.add_edge(ui, vi);
+        if undirected {
+            b.add_edge(vi, ui);
+        }
     }
-    Ok((b.build(), remap))
+    (b.build(), NodeRemap::Map(remap))
+}
+
+/// True when the labels of `edges` are exactly `0..=max_id` — i.e. already
+/// dense ids. Each edge introduces at most two distinct labels, so inputs
+/// with `max_id + 1 > 2 · |edges|` (or labels beyond `u32`) cannot be dense
+/// and are rejected before the bitset is even allocated.
+fn ids_are_dense(edges: &[(u64, u64)], max_id: u64) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    if max_id >= u32::MAX as u64 || max_id + 1 > 2 * edges.len() as u64 {
+        return false;
+    }
+    let words = (max_id as usize + 1).div_ceil(64);
+    let mut seen = vec![0u64; words];
+    let mut distinct = 0u64;
+    let mut mark = |label: u64, seen: &mut [u64]| {
+        let (word, bit) = ((label / 64) as usize, label % 64);
+        if seen[word] >> bit & 1 == 0 {
+            seen[word] |= 1 << bit;
+            distinct += 1;
+        }
+    };
+    for &(u, v) in edges {
+        mark(u, &mut seen);
+        mark(v, &mut seen);
+    }
+    distinct == max_id + 1
 }
 
 /// Load an edge list from a file path.
 pub fn load_edge_list<P: AsRef<Path>>(
     path: P,
     undirected: bool,
-) -> Result<(DirectedGraph, HashMap<u64, u32>), EdgeListError> {
+) -> Result<(DirectedGraph, NodeRemap), EdgeListError> {
     let file = std::fs::File::open(path)?;
     read_edge_list(io::BufReader::new(file), undirected)
 }
@@ -118,9 +234,74 @@ mod tests {
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(remap.len(), 3);
-        let a = remap[&10];
-        let c = remap[&30];
+        assert!(!remap.is_identity(), "sparse labels must take the map path");
+        let a = remap.get(10).unwrap();
+        let c = remap.get(30).unwrap();
         assert!(g.out_neighbors(a).contains(&c));
+        assert_eq!(remap.get(99), None);
+    }
+
+    #[test]
+    fn dense_ids_take_the_identity_fast_path() {
+        let text = "0 1\n1 2\n2 0\n";
+        let (g, remap) = read_edge_list(Cursor::new(text), false).unwrap();
+        assert!(remap.is_identity(), "dense 0..n ids must skip the HashMap");
+        assert_eq!(remap.len(), 3);
+        assert_eq!(remap.get(2), Some(2), "identity keeps labels as ids");
+        assert_eq!(remap.get(3), None);
+        assert_eq!(g.num_nodes(), 3);
+        assert!(g.out_neighbors(2).contains(&0));
+    }
+
+    #[test]
+    fn a_gap_in_the_id_range_falls_back_to_remapping() {
+        // Ids 0,1,3 — max 3 but only 3 distinct labels: not dense.
+        let text = "0 1\n1 3\n";
+        let (g, remap) = read_edge_list(Cursor::new(text), false).unwrap();
+        assert!(!remap.is_identity());
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(remap.get(3), Some(2), "first-appearance interning");
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_on_dense_input() {
+        // Dense ids, deliberately out of first-appearance order, with an
+        // undirected doubling — run through both paths and compare the
+        // graphs edge by edge under each path's own remap.
+        let text = "3 1\n0 3\n2 0\n1 2\n0 1\n";
+        for undirected in [false, true] {
+            let (raw, max_id) = parse_raw_edges(Cursor::new(text)).unwrap();
+            let (fast_g, fast_r) = assemble(raw.clone(), max_id, undirected, false);
+            let (slow_g, slow_r) = assemble(raw.clone(), max_id, undirected, true);
+            assert!(fast_r.is_identity());
+            assert!(!slow_r.is_identity());
+            assert_eq!(fast_g.num_nodes(), slow_g.num_nodes());
+            assert_eq!(fast_g.num_edges(), slow_g.num_edges());
+            for &(u, v) in &raw {
+                for (s, t) in [(u, v), (v, u)] {
+                    if (s, t) == (v, u) && !undirected {
+                        continue;
+                    }
+                    let fast_has = fast_g
+                        .out_neighbors(fast_r.get(s).unwrap())
+                        .contains(&fast_r.get(t).unwrap());
+                    let slow_has = slow_g
+                        .out_neighbors(slow_r.get(s).unwrap())
+                        .contains(&slow_r.get(t).unwrap());
+                    assert!(fast_has && slow_has, "edge {s}->{t} must exist in both");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_sparse_labels_never_allocate_the_density_bitset() {
+        // max id ~ 2^40: the density pre-check must bail out before trying
+        // to allocate a 2^40-bit bitset.
+        let text = "1099511627776 1\n1 2\n";
+        let (g, remap) = read_edge_list(Cursor::new(text), false).unwrap();
+        assert!(!remap.is_identity());
+        assert_eq!(g.num_nodes(), 3);
     }
 
     #[test]
@@ -157,5 +338,12 @@ mod tests {
         let text = "0 0\n0 1\n";
         let (g, _) = read_edge_list(Cursor::new(text), false).unwrap();
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_graph() {
+        let (g, remap) = read_edge_list(Cursor::new("# only comments\n"), false).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert!(remap.is_empty());
     }
 }

@@ -1,0 +1,46 @@
+//! Blocking NDJSON client for the `rmsa serve` wire protocol.
+
+use crate::wire::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a daemon. Requests are written as single lines;
+/// [`ServiceClient::call`] blocks for the matching response line.
+pub struct ServiceClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServiceClient {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<ServiceClient, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(ServiceClient { writer, reader })
+    }
+
+    /// Send one request and block for its response. The daemon answers
+    /// every request with exactly one line, in per-connection request
+    /// order for a closed-loop client like this one.
+    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut answer = String::new();
+        let n = self
+            .reader
+            .read_line(&mut answer)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Response::parse(answer.trim_end())
+    }
+}

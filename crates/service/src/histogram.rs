@@ -1,0 +1,173 @@
+//! A hand-rolled log-bucket latency histogram.
+//!
+//! Latencies span five orders of magnitude between a cache-hit solve and a
+//! cold-session warm-up, so fixed-width buckets are useless. The classic
+//! answer (HdrHistogram-style) is logarithmic bucketing: bucket `k` covers
+//! `[MIN · 2^(k/SUB), MIN · 2^((k+1)/SUB))`, i.e. [`SUB_BUCKETS`] buckets
+//! per octave, which bounds the relative quantile error by
+//! `2^(1/SUB) − 1 ≈ 9 %` with constant memory and O(1) recording — no
+//! stored samples, merge is element-wise addition.
+
+/// Smallest representable latency (1 µs); everything below lands in
+/// bucket 0.
+const MIN_SECS: f64 = 1e-6;
+
+/// Buckets per factor-of-two octave.
+const SUB_BUCKETS: usize = 8;
+
+/// Total buckets: 40 octaves × 8 ≈ 1 µs … > 10^5 s.
+const NUM_BUCKETS: usize = 40 * SUB_BUCKETS;
+
+/// Fixed-memory histogram of positive durations in seconds.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_secs: f64,
+    max_secs: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum_secs: 0.0,
+            max_secs: 0.0,
+        }
+    }
+
+    fn bucket_of(secs: f64) -> usize {
+        if secs <= MIN_SECS {
+            return 0;
+        }
+        let k = ((secs / MIN_SECS).log2() * SUB_BUCKETS as f64).floor() as usize;
+        k.min(NUM_BUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `k` in seconds.
+    fn bucket_low(k: usize) -> f64 {
+        MIN_SECS * (k as f64 / SUB_BUCKETS as f64).exp2()
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, secs: f64) {
+        let secs = secs.max(0.0);
+        self.counts[Self::bucket_of(secs)] += 1;
+        self.total += 1;
+        self.sum_secs += secs;
+        self.max_secs = self.max_secs.max(secs);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_secs += other.sum_secs;
+        self.max_secs = self.max_secs.max(other.max_secs);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed).
+    pub fn mean_secs(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_secs / self.total as f64
+        }
+    }
+
+    /// Maximum recorded sample (exact).
+    pub fn max_secs(&self) -> f64 {
+        self.max_secs
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) as the geometric midpoint of the
+    /// bucket holding the rank, clamped by the exact maximum. Relative
+    /// error is bounded by the bucket width (≈ 9 %).
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let mid = (Self::bucket_low(k) * Self::bucket_low(k + 1)).sqrt();
+                return mid.min(self.max_secs);
+            }
+        }
+        self.max_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_exact_values_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        // 1..=1000 ms, uniformly.
+        for ms in 1..=1000u64 {
+            h.record(ms as f64 / 1000.0);
+        }
+        assert_eq!(h.count(), 1000);
+        for (q, exact) in [(0.50, 0.500), (0.90, 0.900), (0.99, 0.990)] {
+            let got = h.quantile_secs(q);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.10, "p{}: got {got}, want ≈{exact}", q * 100.0);
+        }
+        assert!((h.mean_secs() - 0.5005).abs() < 1e-9);
+        assert_eq!(h.max_secs(), 1.0);
+        assert!(h.quantile_secs(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..500 {
+            let v = 1e-4 * (i as f64 + 1.0);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_secs(q), all.quantile_secs(q));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile_secs(0.5), 0.0);
+        assert_eq!(h.mean_secs(), 0.0);
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(1e12);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile_secs(0.0) >= 0.0);
+        assert!(h.quantile_secs(1.0) <= 1e12);
+    }
+}

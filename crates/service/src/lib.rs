@@ -1,0 +1,74 @@
+//! # rmsa-service — the online serving subsystem
+//!
+//! Everything behind the `rmsa serve` / `rmsa query` / `rmsa loadgen`
+//! subcommands: a long-running daemon that keeps [`Workbench`] sessions
+//! warm and answers a stream of revenue-maximization queries over a
+//! newline-delimited JSON protocol on plain TCP.
+//!
+//! * [`wire`] — the versioned request/response schema (schema v1, golden
+//!   filed like `BENCH_*.json`).
+//! * [`session`] — warm sessions keyed by `(dataset, strategy)`
+//!   fingerprint, an LRU-bounded [`session::SessionRegistry`], and the
+//!   warm invariant that makes serving deterministic.
+//! * [`server`] — accept loop, admission/batching queue, worker pool.
+//! * [`client`] — blocking NDJSON client.
+//! * [`loadgen`] — seeded closed-loop load generator emitting
+//!   `BENCH_service.json`.
+//! * [`histogram`] — the hand-rolled log-bucket latency histogram.
+//!
+//! See `DESIGN.md`, section "Serving architecture", for the batching
+//! invariant and the determinism guarantee.
+//!
+//! [`Workbench`]: rmsa::Workbench
+
+pub mod client;
+pub mod histogram;
+pub mod loadgen;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::ServiceClient;
+pub use histogram::LogHistogram;
+pub use loadgen::{LoadMix, LoadgenConfig, LoadgenOutcome};
+pub use server::{start, ServiceConfig, ServiceHandle};
+pub use session::{Session, SessionKey, SessionRegistry};
+pub use wire::{Request, Response, SolveRequest, WarmRequest, WIRE_SCHEMA_VERSION};
+
+/// A tiny [`rmsa_bench::ExperimentContext`] for smoke-scale serving:
+/// miniature datasets and sample sizes, single-threaded generation,
+/// deterministic seed. Used by the CI smoke profile and the integration
+/// tests.
+pub fn tiny_serve_ctx(seed: u64) -> rmsa_bench::ExperimentContext {
+    let mut ctx = rmsa_bench::ExperimentContext::smoke();
+    ctx.seed = seed;
+    ctx.spread_rr = 500;
+    ctx.eval_rr = 5_000;
+    ctx.rma_max_rr = 5_000;
+    ctx.ti_max_rr = 1_500;
+    ctx
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::wire::{Algorithm, SolveRequest};
+    use rmsa_bench::ExperimentContext;
+    use rmsa_datasets::{DatasetKind, IncentiveModel};
+    use rmsa_diffusion::RrStrategy;
+
+    pub fn tiny_ctx() -> ExperimentContext {
+        crate::tiny_serve_ctx(7)
+    }
+
+    pub fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
+        SolveRequest {
+            id,
+            dataset: DatasetKind::LastfmSyn,
+            strategy: RrStrategy::Standard,
+            algorithm,
+            incentive: IncentiveModel::Linear,
+            alpha,
+            evaluate: true,
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The built-in closed-loop load generator behind `rmsa loadgen`.
+//!
+//! `clients` threads each hold one connection and run a closed loop:
+//! draw a request from the seeded mix, send it, block for the response,
+//! record the latency, repeat. The request mix is a pure function of
+//! `(master seed, client index, request index)` — the *set* of requests
+//! sent is identical run over run regardless of scheduling, which is what
+//! lets the determinism test diff canonical response bytes across server
+//! worker counts.
+//!
+//! Results aggregate into a [`rmsa_bench::BenchReport`]
+//! (`BENCH_service.json`): per-(dataset, algorithm) revenue/latency
+//! classes (deterministic, gated tightly by `rmsa compare`), latency
+//! quantiles from the [`LogHistogram`] and a throughput row (wall-clock
+//! style, gated loosely).
+
+use crate::client::ServiceClient;
+use crate::histogram::LogHistogram;
+use crate::wire::{Algorithm, Request, Response, SolveRequest, SolveResponse};
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64Mcg;
+use rmsa_bench::report::{BenchPoint, BenchReport, RunManifest};
+use rmsa_bench::AlgoOutcome;
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The request population a load run draws from.
+#[derive(Clone, Debug)]
+pub struct LoadMix {
+    /// Candidate datasets.
+    pub datasets: Vec<DatasetKind>,
+    /// RR strategy of every request.
+    pub strategy: RrStrategy,
+    /// Candidate algorithms.
+    pub algorithms: Vec<Algorithm>,
+    /// Candidate incentive models.
+    pub incentives: Vec<IncentiveModel>,
+    /// Candidate α values.
+    pub alphas: Vec<f64>,
+    /// Whether requests ask for independent evaluation.
+    pub evaluate: bool,
+}
+
+impl LoadMix {
+    /// The CI / smoke mix: one tiny dataset, RMA + one-batch + TI-CARM.
+    pub fn quick() -> LoadMix {
+        LoadMix {
+            datasets: vec![DatasetKind::LastfmSyn],
+            strategy: RrStrategy::Standard,
+            algorithms: vec![Algorithm::Rma, Algorithm::OneBatch, Algorithm::TiCarm],
+            incentives: vec![IncentiveModel::Linear, IncentiveModel::SuperLinear],
+            alphas: vec![0.1, 0.3],
+            evaluate: true,
+        }
+    }
+
+    /// The default full mix: both TIC datasets, all four wire algorithms,
+    /// all incentive models, the paper's α grid.
+    pub fn full() -> LoadMix {
+        LoadMix {
+            datasets: vec![DatasetKind::LastfmSyn, DatasetKind::FlixsterSyn],
+            strategy: RrStrategy::Standard,
+            algorithms: Algorithm::all().to_vec(),
+            incentives: IncentiveModel::all().to_vec(),
+            alphas: rmsa_bench::sweeps::ALPHAS.to_vec(),
+            evaluate: true,
+        }
+    }
+}
+
+/// Parameters of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Master seed of the request mix.
+    pub seed: u64,
+    /// The request population.
+    pub mix: LoadMix,
+}
+
+impl LoadgenConfig {
+    /// The CI profile: 4 clients × 6 requests over [`LoadMix::quick`].
+    pub fn quick(seed: u64) -> LoadgenConfig {
+        LoadgenConfig {
+            clients: 4,
+            requests_per_client: 6,
+            seed,
+            mix: LoadMix::quick(),
+        }
+    }
+
+    /// The deterministic request of client `client`, index `index`.
+    pub fn request(&self, client: usize, index: usize) -> SolveRequest {
+        let id = (client * self.requests_per_client + index + 1) as u64;
+        // One RNG per request: the mix draw depends only on (seed, id).
+        let mut rng = Pcg64Mcg::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pick = |rng: &mut Pcg64Mcg, len: usize| rng.gen_range(0..len);
+        let mix = &self.mix;
+        SolveRequest {
+            id,
+            dataset: mix.datasets[pick(&mut rng, mix.datasets.len())],
+            strategy: mix.strategy,
+            algorithm: mix.algorithms[pick(&mut rng, mix.algorithms.len())],
+            incentive: mix.incentives[pick(&mut rng, mix.incentives.len())],
+            alpha: mix.alphas[pick(&mut rng, mix.alphas.len())],
+            evaluate: mix.evaluate,
+        }
+    }
+}
+
+/// Everything one load run measured.
+pub struct LoadgenOutcome {
+    /// Solve responses paired with their measured latency, sorted by
+    /// request id.
+    pub responses: Vec<(SolveResponse, f64)>,
+    /// End-to-end latency histogram.
+    pub latency: LogHistogram,
+    /// Wall-clock of the whole run.
+    pub wall_secs: f64,
+    /// Error strings of failed requests (empty on a healthy run).
+    pub errors: Vec<String>,
+    /// Total session memory reported by a final `stats` call.
+    pub session_memory_bytes: usize,
+}
+
+impl LoadgenOutcome {
+    /// Requests served per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.responses.len() as f64 / self.wall_secs
+        }
+    }
+
+    /// Canonical response lines (timing stripped), sorted by request id:
+    /// the bytes that must be identical across server worker counts and
+    /// client interleavings.
+    pub fn canonical_lines(&self) -> Vec<String> {
+        self.responses
+            .iter()
+            .map(|(r, _)| r.canonical_json().render_compact())
+            .collect()
+    }
+
+    /// Human-readable summary table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} responses in {:.2}s — {:.1} req/s, {} error(s)",
+            self.responses.len(),
+            self.wall_secs,
+            self.throughput(),
+            self.errors.len(),
+        );
+        let _ = writeln!(
+            out,
+            "latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+            self.latency.quantile_secs(0.50) * 1e3,
+            self.latency.quantile_secs(0.90) * 1e3,
+            self.latency.quantile_secs(0.99) * 1e3,
+            self.latency.max_secs() * 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "sessions: {:.1} MiB resident",
+            self.session_memory_bytes as f64 / (1024.0 * 1024.0)
+        );
+        out
+    }
+}
+
+/// Run the closed loop against a daemon at `addr`.
+pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String> {
+    let collected: Mutex<Vec<(SolveResponse, f64)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let latency: Mutex<LogHistogram> = Mutex::new(LogHistogram::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let collected = &collected;
+            let errors = &errors;
+            let latency = &latency;
+            scope.spawn(move || {
+                let mut connection = match ServiceClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        errors.lock().expect("errors lock").push(e);
+                        return;
+                    }
+                };
+                let mut local_hist = LogHistogram::new();
+                let mut local: Vec<(SolveResponse, f64)> = Vec::new();
+                for index in 0..config.requests_per_client {
+                    let request = config.request(client, index);
+                    let sent = Instant::now();
+                    match connection.call(&Request::Solve(request)) {
+                        Ok(Response::Solve(response)) => {
+                            let secs = sent.elapsed().as_secs_f64();
+                            local_hist.record(secs);
+                            local.push((response, secs));
+                        }
+                        Ok(Response::Error { id, message }) => errors
+                            .lock()
+                            .expect("errors lock")
+                            .push(format!("request {id}: {message}")),
+                        Ok(other) => errors
+                            .lock()
+                            .expect("errors lock")
+                            .push(format!("unexpected response {other:?}")),
+                        Err(e) => {
+                            errors.lock().expect("errors lock").push(e);
+                            return;
+                        }
+                    }
+                }
+                collected.lock().expect("responses lock").extend(local);
+                latency.lock().expect("latency lock").merge(&local_hist);
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut responses = collected.into_inner().expect("responses lock");
+    responses.sort_by_key(|(r, _)| r.id);
+    let session_memory_bytes = match ServiceClient::connect(addr)
+        .and_then(|mut c| c.call(&Request::Stats { id: u64::MAX }))
+    {
+        Ok(Response::Stats { sessions, .. }) => sessions.iter().map(|s| s.memory_bytes).sum(),
+        _ => 0,
+    };
+    Ok(LoadgenOutcome {
+        responses,
+        latency: latency.into_inner().expect("latency lock"),
+        wall_secs,
+        errors: errors.into_inner().expect("errors lock"),
+        session_memory_bytes,
+    })
+}
+
+/// Build the `BENCH_service.json` report of a load run.
+///
+/// Point layout (all matched by `(job, key, algorithm)` in
+/// `rmsa compare`):
+///
+/// * one row per `(dataset, algorithm)` class — revenue-style metrics are
+///   deterministic means over the class's responses, so the 5 % revenue
+///   gate really bites;
+/// * `latency,` rows at keys 50/90/99 — the histogram quantiles land in
+///   `wall_secs`, where the compare gate applies its generous time
+///   tolerance and absolute floor;
+/// * one `throughput,` row whose `wall_secs` is the whole run.
+pub fn report(outcome: &LoadgenOutcome, config: &LoadgenConfig, quick: bool) -> BenchReport {
+    let mut points: Vec<BenchPoint> = Vec::new();
+    // Classes, in the canonical (dataset, algorithm) mix order.
+    for dataset in &config.mix.datasets {
+        for algorithm in &config.mix.algorithms {
+            let class: Vec<&(SolveResponse, f64)> = outcome
+                .responses
+                .iter()
+                .filter(|(r, _)| {
+                    r.session.starts_with(dataset.name())
+                        && r.result.algorithm == algorithm_report_name(*algorithm)
+                })
+                .collect();
+            if class.is_empty() {
+                continue;
+            }
+            let count = class.len() as f64;
+            let mean = |f: &dyn Fn(&SolveResponse) -> f64| {
+                class.iter().map(|(r, _)| f(r)).sum::<f64>() / count
+            };
+            let lower_bounds: Vec<f64> = class
+                .iter()
+                .filter_map(|(r, _)| r.result.revenue_lower_bound)
+                .collect();
+            points.push(BenchPoint {
+                job: format!("{},", dataset.name()),
+                key: 0.0,
+                outcome: AlgoOutcome {
+                    algorithm: algorithm_report_name(*algorithm).to_string(),
+                    revenue: mean(&|r| r.result.revenue.unwrap_or(r.result.revenue_estimate)),
+                    revenue_lower_bound: (lower_bounds.len() == class.len())
+                        .then(|| lower_bounds.iter().sum::<f64>() / lower_bounds.len() as f64),
+                    seeding_cost: mean(&|r| r.result.seeding_cost),
+                    seeds: mean(&|r| r.result.seeds as f64).round() as usize,
+                    time_secs: class.iter().map(|(_, secs)| secs).sum::<f64>() / count,
+                    rr_sets: mean(&|r| r.result.rr_used as f64).round() as usize,
+                    rr_generated: class.iter().map(|(r, _)| r.result.rr_generated).sum(),
+                    index_secs: 0.0,
+                    memory_bytes: 0,
+                    memory_mib: 0.0,
+                    budget_usage_pct: 0.0,
+                    rate_of_return_pct: 0.0,
+                },
+            });
+        }
+    }
+    for (quantile, key) in [(0.50, 50.0), (0.90, 90.0), (0.99, 99.0)] {
+        points.push(BenchPoint {
+            job: "latency,".to_string(),
+            key,
+            outcome: meta_outcome(outcome.latency.quantile_secs(quantile), 0),
+        });
+    }
+    points.push(BenchPoint {
+        job: "throughput,".to_string(),
+        key: 0.0,
+        outcome: {
+            let mut o = meta_outcome(outcome.wall_secs, outcome.session_memory_bytes);
+            o.rate_of_return_pct = outcome.throughput();
+            o
+        },
+    });
+    BenchReport {
+        scenario: "service".to_string(),
+        title: "rmsa serve — loadgen".to_string(),
+        points,
+        total_wall_secs: outcome.wall_secs,
+        run: RunManifest::collect(config.seed, config.clients, 1.0, quick),
+    }
+}
+
+/// A latency/throughput row: only `wall_secs` (and informational fields)
+/// carry signal; revenue-style metrics are zero on both sides of a
+/// compare, which never trips the gate.
+fn meta_outcome(wall_secs: f64, memory_bytes: usize) -> AlgoOutcome {
+    AlgoOutcome {
+        algorithm: "loadgen".to_string(),
+        revenue: 0.0,
+        revenue_lower_bound: None,
+        seeding_cost: 0.0,
+        seeds: 0,
+        time_secs: wall_secs,
+        rr_sets: 0,
+        rr_generated: 0,
+        index_secs: 0.0,
+        memory_bytes,
+        memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
+        budget_usage_pct: 0.0,
+        rate_of_return_pct: 0.0,
+    }
+}
+
+/// The solver-reported algorithm name of a wire algorithm.
+pub fn algorithm_report_name(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Rma => "RMA",
+        Algorithm::OneBatch => "OneBatch",
+        Algorithm::TiCarm => "TI-CARM",
+        Algorithm::TiCsrm => "TI-CSRM",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_is_deterministic_and_covers_the_population() {
+        let config = LoadgenConfig::quick(7);
+        let a: Vec<SolveRequest> = (0..config.clients)
+            .flat_map(|c| (0..config.requests_per_client).map(move |k| (c, k)))
+            .map(|(c, k)| config.request(c, k))
+            .collect();
+        let b: Vec<SolveRequest> = (0..config.clients)
+            .flat_map(|c| (0..config.requests_per_client).map(move |k| (c, k)))
+            .map(|(c, k)| config.request(c, k))
+            .collect();
+        assert_eq!(a, b, "the mix must be a pure function of the seed");
+        let ids: std::collections::BTreeSet<u64> = a.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), a.len(), "request ids must be unique");
+        assert!(a.iter().any(|r| r.algorithm == Algorithm::Rma));
+        // A different seed gives a different draw.
+        let other = LoadgenConfig::quick(8);
+        let c: Vec<SolveRequest> = (0..other.clients)
+            .flat_map(|cl| (0..other.requests_per_client).map(move |k| (cl, k)))
+            .map(|(cl, k)| other.request(cl, k))
+            .collect();
+        assert_ne!(a, c);
+    }
+}

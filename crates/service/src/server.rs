@@ -1,0 +1,350 @@
+//! The `rmsa serve` daemon: TCP accept loop, admission/batching queue,
+//! and the worker pool.
+//!
+//! Connection threads only parse and enqueue; all cache-touching work
+//! (warm-ups and solves) flows through one admission queue. Workers pop
+//! the queue in *fingerprint batches*: a worker takes the front job plus
+//! every queued job sharing its [`SessionKey`], warms that session once,
+//! and serves the whole batch — so N concurrent cold-session requests
+//! trigger exactly one RR-cache extension (the same trick the scenario
+//! runner plays with sweep groups). Cheap control requests (`ping`,
+//! `stats`, `shutdown`) are answered inline on the connection thread.
+//!
+//! Determinism: solves only ever run on a warmed session (see
+//! [`crate::session`]), so the result payload of every response is
+//! independent of the worker count and of how client requests interleave
+//! — the integration tests assert bit-identical canonical responses for
+//! 1 and 8 workers.
+
+use crate::session::{SessionKey, SessionRegistry};
+use crate::wire::{Request, Response, SolveRequest, SolveResponse, SolveTiming, WarmRequest};
+use rmsa_bench::ExperimentContext;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration of one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Context sessions are built under (seed, scale, RR targets, …).
+    pub ctx: ExperimentContext,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// LRU bound on resident sessions.
+    pub max_sessions: usize,
+}
+
+impl ServiceConfig {
+    /// Config with the default worker count
+    /// ([`rmsa_core::default_num_threads`]) and 4 resident sessions.
+    pub fn new(ctx: ExperimentContext) -> Self {
+        ServiceConfig {
+            ctx,
+            workers: rmsa_core::default_num_threads(),
+            max_sessions: 4,
+        }
+    }
+}
+
+/// One queued unit of session work.
+struct Job {
+    key: SessionKey,
+    kind: JobKind,
+    enqueued: Instant,
+    out: Arc<ConnWriter>,
+}
+
+enum JobKind {
+    Solve(SolveRequest),
+    Warm(WarmRequest),
+}
+
+/// Write half of a connection; workers and the connection thread share it.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, response: &Response) {
+        let mut line = response.render();
+        line.push('\n');
+        let mut stream = self.stream.lock().expect("writer lock poisoned");
+        // A vanished client is not a server error; drop the response.
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+struct Shared {
+    registry: SessionRegistry,
+    addr: SocketAddr,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Flag the shutdown, wake idle workers, and unblock the accept loop
+    /// (which is parked in blocking `incoming()`) with a throwaway
+    /// connection — so a shutdown that arrives over the wire really stops
+    /// the daemon, not just its workers.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon; dropping the handle does **not** stop it — call
+/// [`ServiceHandle::shutdown`] (or send a `shutdown` request) and then
+/// [`ServiceHandle::wait`].
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (useful with `--addr 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The session registry (exposed for tests and stats).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.shared.registry
+    }
+
+    /// Ask the daemon to stop: pending queue entries are still flushed,
+    /// new connections are refused.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the accept loop and all workers have exited.
+    pub fn wait(self) {
+        let _ = self.accept.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
+/// accept loop plus `config.workers` queue workers.
+pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        registry: SessionRegistry::new(config.ctx.clone(), config.max_sessions),
+        addr,
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("rmsa-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    let accept = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("rmsa-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn accept loop")
+    };
+    Ok(ServiceHandle {
+        addr,
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = shared.clone();
+        // Connection threads are detached: they exit on client EOF, and
+        // the daemon process exits after `wait()` regardless.
+        let _ = std::thread::Builder::new()
+            .name("rmsa-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+    // No more producers: let idle workers observe the shutdown flag.
+    shared.available.notify_all();
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(ConnWriter {
+        stream: Mutex::new(stream),
+    });
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                out.send(&Response::Error { id: 0, message });
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            out.send(&Response::Error {
+                id: request.id(),
+                message: "server is shutting down".to_string(),
+            });
+            continue;
+        }
+        match request {
+            Request::Ping { id } => out.send(&Response::Pong { id }),
+            Request::Stats { id } => out.send(&Response::Stats {
+                id,
+                sessions: shared.registry.stats(),
+                evictions: shared.registry.evictions(),
+            }),
+            Request::Shutdown { id } => {
+                out.send(&Response::ShuttingDown { id });
+                shared.begin_shutdown();
+                return;
+            }
+            Request::Solve(solve) => enqueue(
+                shared,
+                Job {
+                    key: SessionKey::from(&solve),
+                    kind: JobKind::Solve(solve),
+                    enqueued: Instant::now(),
+                    out: out.clone(),
+                },
+            ),
+            Request::Warm(warm) => enqueue(
+                shared,
+                Job {
+                    key: SessionKey::from(&warm),
+                    kind: JobKind::Warm(warm),
+                    enqueued: Instant::now(),
+                    out: out.clone(),
+                },
+            ),
+        }
+    }
+}
+
+fn enqueue(shared: &Shared, job: Job) {
+    // The authoritative shutdown check happens here, under the queue
+    // lock: workers only exit after observing the flag with the lock held
+    // and an empty queue, so a job admitted while the flag is still unset
+    // is guaranteed a worker — no request can be stranded unanswered.
+    let refused = {
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            Some(job)
+        } else {
+            queue.push_back(job);
+            None
+        }
+    };
+    match refused {
+        Some(job) => {
+            let id = match &job.kind {
+                JobKind::Solve(solve) => solve.id,
+                JobKind::Warm(warm) => warm.id,
+            };
+            job.out.send(&Response::Error {
+                id,
+                message: "server is shutting down".to_string(),
+            });
+        }
+        None => shared.available.notify_one(),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(key) = queue.front().map(|j| j.key) {
+                    // Batch: the front job plus every queued job sharing
+                    // its fingerprint, preserving arrival order.
+                    let mut batch = Vec::new();
+                    let mut i = 0;
+                    while i < queue.len() {
+                        if queue[i].key == key {
+                            batch.push(queue.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    break batch;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        serve_batch(shared, batch);
+    }
+}
+
+fn serve_batch(shared: &Shared, batch: Vec<Job>) {
+    let key = batch[0].key;
+    let session = shared.registry.session(key);
+    let batch_size = batch.len();
+    for job in batch {
+        let queue_secs = job.enqueued.elapsed().as_secs_f64();
+        match job.kind {
+            JobKind::Warm(warm) => {
+                let outcome = session.ensure_warm(warm.target_rr);
+                job.out.send(&Response::Warm(crate::wire::WarmResponse {
+                    id: warm.id,
+                    session: key.label(),
+                    target_rr: outcome.target_rr,
+                    generated: outcome.generated,
+                    already_warm: outcome.already_warm,
+                }));
+            }
+            JobKind::Solve(solve) => {
+                // Warm before solving — a no-op for every batch member
+                // but (at most) the first.
+                session.ensure_warm(None);
+                let started = Instant::now();
+                let response = match session.solve(&solve) {
+                    Ok(result) => Response::Solve(SolveResponse {
+                        id: solve.id,
+                        session: key.label(),
+                        result,
+                        timing: SolveTiming {
+                            queue_secs,
+                            solve_secs: started.elapsed().as_secs_f64(),
+                            batch_size,
+                        },
+                    }),
+                    Err(e) => Response::Error {
+                        id: solve.id,
+                        message: e.to_string(),
+                    },
+                };
+                job.out.send(&response);
+            }
+        }
+    }
+}

@@ -1,0 +1,824 @@
+//! The versioned newline-delimited JSON wire protocol of `rmsa serve`.
+//!
+//! One request per line, one response per line, both JSON objects encoded
+//! with [`rmsa_bench::json`] (stable key order, golden-file friendly — the
+//! same machinery behind `BENCH_*.json`). Every message carries
+//! `schema_version` ([`WIRE_SCHEMA_VERSION`]) and a client-chosen `id` that
+//! the response echoes, so clients may pipeline requests and match answers
+//! out of order.
+//!
+//! Responses separate the **deterministic result payload** from
+//! **timing**: for a fixed server seed and warm target, the `result`
+//! object of a [`SolveResponse`] is a pure function of the request — it is
+//! bit-identical no matter how many worker threads serve it or how client
+//! requests interleave (see `DESIGN.md`, "Serving architecture"). The
+//! `timing` object (queue delay, solve wall-clock, batch size) is the only
+//! part allowed to vary; [`SolveResponse::canonical_json`] strips it, and
+//! the serving determinism test diffs exactly those canonical bytes.
+
+use rmsa_bench::json::{self, Json};
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+
+/// Wire schema version accepted and emitted by this build.
+pub const WIRE_SCHEMA_VERSION: u32 = 1;
+
+/// Solver selectable through the wire protocol.
+///
+/// Only solvers whose result is a deterministic function of the request
+/// under a warm cache are exposed; the oracle-mode solvers are
+/// experiment-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Progressive-sampling RMA (Algorithm 6).
+    Rma,
+    /// One-batch variant (Section 4.3) at the session's serving θ.
+    OneBatch,
+    /// TI-CARM baseline (private per-advertiser collections).
+    TiCarm,
+    /// TI-CSRM baseline (cost-sensitive variant).
+    TiCsrm,
+}
+
+impl Algorithm {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Rma => "rma",
+            Algorithm::OneBatch => "one-batch",
+            Algorithm::TiCarm => "ti-carm",
+            Algorithm::TiCsrm => "ti-csrm",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(name: &str) -> Result<Algorithm, String> {
+        match name {
+            "rma" => Ok(Algorithm::Rma),
+            "one-batch" => Ok(Algorithm::OneBatch),
+            "ti-carm" => Ok(Algorithm::TiCarm),
+            "ti-csrm" => Ok(Algorithm::TiCsrm),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+
+    /// All wire-selectable algorithms.
+    pub fn all() -> [Algorithm; 4] {
+        [
+            Algorithm::Rma,
+            Algorithm::OneBatch,
+            Algorithm::TiCarm,
+            Algorithm::TiCsrm,
+        ]
+    }
+}
+
+/// One revenue-maximization query: which session fingerprint to route to
+/// (`dataset` + `strategy`) plus the instance parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveRequest {
+    /// Client-chosen correlation id, echoed by the response.
+    pub id: u64,
+    /// Dataset of the target session.
+    pub dataset: DatasetKind,
+    /// RR-set generation strategy of the target session.
+    pub strategy: RrStrategy,
+    /// Solver to run.
+    pub algorithm: Algorithm,
+    /// Incentive cost model of the instance.
+    pub incentive: IncentiveModel,
+    /// Incentive scale α of the instance.
+    pub alpha: f64,
+    /// Measure the allocation on the session's independent evaluation
+    /// collection (default `true`).
+    pub evaluate: bool,
+}
+
+/// Pre-extend a session's RR cache to a target collection size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmRequest {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// Dataset of the target session.
+    pub dataset: DatasetKind,
+    /// RR-set strategy of the target session.
+    pub strategy: RrStrategy,
+    /// Target RR-sets per solver stream; `None` warms to the server's
+    /// default serving θ.
+    pub target_rr: Option<usize>,
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Solve a revenue-maximization query.
+    Solve(SolveRequest),
+    /// Warm a session's RR cache.
+    Warm(WarmRequest),
+    /// Report per-session cache statistics and memory.
+    Stats {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
+    /// Ask the daemon to stop accepting work and exit.
+    Shutdown {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id of any request.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Solve(r) => r.id,
+            Request::Warm(r) => r.id,
+            Request::Stats { id } | Request::Ping { id } | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Encode as a JSON document (one line on the wire).
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("schema_version", Json::Int(WIRE_SCHEMA_VERSION as i64));
+        match self {
+            Request::Solve(r) => {
+                doc.set("op", Json::Str("solve".into()))
+                    .set("id", Json::Int(r.id as i64))
+                    .set("dataset", Json::Str(r.dataset.name().into()))
+                    .set("strategy", Json::Str(strategy_name(r.strategy).into()))
+                    .set("algorithm", Json::Str(r.algorithm.name().into()))
+                    .set("incentive", Json::Str(r.incentive.label().into()))
+                    .set("alpha", Json::Num(r.alpha))
+                    .set("evaluate", Json::Bool(r.evaluate));
+            }
+            Request::Warm(r) => {
+                doc.set("op", Json::Str("warm".into()))
+                    .set("id", Json::Int(r.id as i64))
+                    .set("dataset", Json::Str(r.dataset.name().into()))
+                    .set("strategy", Json::Str(strategy_name(r.strategy).into()));
+                if let Some(t) = r.target_rr {
+                    doc.set("target_rr", Json::Int(t as i64));
+                }
+            }
+            Request::Stats { id } => {
+                doc.set("op", Json::Str("stats".into()))
+                    .set("id", Json::Int(*id as i64));
+            }
+            Request::Ping { id } => {
+                doc.set("op", Json::Str("ping".into()))
+                    .set("id", Json::Int(*id as i64));
+            }
+            Request::Shutdown { id } => {
+                doc.set("op", Json::Str("shutdown".into()))
+                    .set("id", Json::Int(*id as i64));
+            }
+        }
+        doc
+    }
+
+    /// Render as a single wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        self.to_json().render_compact()
+    }
+
+    /// Parse one wire line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = json::parse(line)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(|v| v.as_i64())
+            .ok_or("request is missing schema_version")?;
+        if version != WIRE_SCHEMA_VERSION as i64 {
+            return Err(format!("unsupported wire schema {version}"));
+        }
+        let id = doc
+            .get("id")
+            .and_then(|v| v.as_i64())
+            .ok_or("request is missing id")? as u64;
+        let op = doc
+            .get("op")
+            .and_then(|v| v.as_str())
+            .ok_or("request is missing op")?;
+        match op {
+            "solve" => Ok(Request::Solve(SolveRequest {
+                id,
+                dataset: parse_dataset(req_str(&doc, "dataset")?)?,
+                strategy: parse_strategy(
+                    doc.get("strategy")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("standard"),
+                )?,
+                algorithm: Algorithm::parse(req_str(&doc, "algorithm")?)?,
+                incentive: parse_incentive(
+                    doc.get("incentive")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("linear"),
+                )?,
+                alpha: doc
+                    .get("alpha")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("solve request is missing alpha")?,
+                evaluate: doc
+                    .get("evaluate")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(true),
+            })),
+            "warm" => Ok(Request::Warm(WarmRequest {
+                id,
+                dataset: parse_dataset(req_str(&doc, "dataset")?)?,
+                strategy: parse_strategy(
+                    doc.get("strategy")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("standard"),
+                )?,
+                target_rr: doc
+                    .get("target_rr")
+                    .and_then(|v| v.as_i64())
+                    .map(|t| t.max(0) as usize),
+            })),
+            "stats" => Ok(Request::Stats { id }),
+            "ping" => Ok(Request::Ping { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// The deterministic payload of a solve: everything here is a pure
+/// function of the request for a fixed server seed and warm target.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveResult {
+    /// Solver name as reported by the [`rmsa::prelude::Solver`].
+    pub algorithm: String,
+    /// Revenue on the session's independent evaluation collection
+    /// (`None` when the request opted out of evaluation).
+    pub revenue: Option<f64>,
+    /// The solver's own revenue estimate.
+    pub revenue_estimate: f64,
+    /// Certified lower bound where the solver provides one (RMA).
+    pub revenue_lower_bound: Option<f64>,
+    /// Total seed-incentive cost.
+    pub seeding_cost: f64,
+    /// Number of selected seeds.
+    pub seeds: usize,
+    /// Whether the solver's budget-feasibility check passed.
+    pub feasible: bool,
+    /// Whether a sample-size cap truncated the run.
+    pub capped: bool,
+    /// Progressive rounds executed.
+    pub iterations: usize,
+    /// RR-sets backing the answer.
+    pub rr_used: usize,
+    /// RR-sets freshly generated during the solve (0 on a warm session).
+    pub rr_generated: usize,
+    /// RR-sets newly indexed during the solve (0 on a warm session).
+    pub index_extended: usize,
+    /// Order-independent digest of the selected allocation (hex), so
+    /// bit-identical seed sets are checkable without shipping them.
+    pub allocation_digest: String,
+}
+
+/// The non-deterministic part of a solve response.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolveTiming {
+    /// Seconds the request waited in the admission queue.
+    pub queue_secs: f64,
+    /// Seconds the solve (and evaluation) took.
+    pub solve_secs: f64,
+    /// Number of same-fingerprint requests in the batch that served this
+    /// request.
+    pub batch_size: usize,
+}
+
+/// Response to a [`SolveRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Label of the session that served the request
+    /// (`"<dataset>/<strategy>"`).
+    pub session: String,
+    /// Deterministic result payload.
+    pub result: SolveResult,
+    /// Timing (excluded from [`SolveResponse::canonical_json`]).
+    pub timing: SolveTiming,
+}
+
+impl SolveResponse {
+    /// The response without its timing object: the bytes that must be
+    /// identical across worker-thread counts and client interleavings.
+    pub fn canonical_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("id", Json::Int(self.id as i64))
+            .set("session", Json::Str(self.session.clone()))
+            .set("result", result_to_json(&self.result));
+        doc
+    }
+}
+
+/// Response to a [`WarmRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Label of the warmed session.
+    pub session: String,
+    /// Serving θ after the warm-up.
+    pub target_rr: usize,
+    /// RR-sets generated by this warm-up (0 when already warm).
+    pub generated: usize,
+    /// True when the session already held the target.
+    pub already_warm: bool,
+}
+
+/// Per-session block of a [`Response::Stats`] payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionStatsEntry {
+    /// Session label (`"<dataset>/<strategy>"`).
+    pub session: String,
+    /// Solve requests served.
+    pub served: usize,
+    /// Warm-ups that actually extended the cache.
+    pub warm_extensions: usize,
+    /// Serving θ (RR-sets per solver stream).
+    pub warm_target: usize,
+    /// RR-sets generated since session creation.
+    pub rr_generated: usize,
+    /// RR-sets requested by solves since session creation.
+    pub rr_requested: usize,
+    /// RR-sets appended to coverage indexes since creation.
+    pub index_extended: usize,
+    /// Exact heap footprint of the session's arenas and indexes.
+    pub memory_bytes: usize,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Solve result.
+    Solve(SolveResponse),
+    /// Warm-up result.
+    Warm(WarmResponse),
+    /// Registry statistics.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// Sessions currently resident, most recently used last.
+        sessions: Vec<SessionStatsEntry>,
+        /// Sessions evicted by the LRU bound since startup.
+        evictions: usize,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Shutdown acknowledged; the daemon exits after flushing.
+    ShuttingDown {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// The request failed; `message` says why.
+    Error {
+        /// Echoed request id (0 when the request was unparseable).
+        id: u64,
+        /// Human-readable error.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode as a JSON document (one line on the wire).
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("schema_version", Json::Int(WIRE_SCHEMA_VERSION as i64));
+        match self {
+            Response::Solve(r) => {
+                doc.set("op", Json::Str("solve".into()))
+                    .set("id", Json::Int(r.id as i64))
+                    .set("ok", Json::Bool(true))
+                    .set("session", Json::Str(r.session.clone()))
+                    .set("result", result_to_json(&r.result));
+                let mut t = Json::obj();
+                t.set("queue_secs", Json::Num(r.timing.queue_secs))
+                    .set("solve_secs", Json::Num(r.timing.solve_secs))
+                    .set("batch_size", Json::Int(r.timing.batch_size as i64));
+                doc.set("timing", t);
+            }
+            Response::Warm(r) => {
+                doc.set("op", Json::Str("warm".into()))
+                    .set("id", Json::Int(r.id as i64))
+                    .set("ok", Json::Bool(true))
+                    .set("session", Json::Str(r.session.clone()))
+                    .set("target_rr", Json::Int(r.target_rr as i64))
+                    .set("generated", Json::Int(r.generated as i64))
+                    .set("already_warm", Json::Bool(r.already_warm));
+            }
+            Response::Stats {
+                id,
+                sessions,
+                evictions,
+            } => {
+                doc.set("op", Json::Str("stats".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(true))
+                    .set(
+                        "sessions",
+                        Json::Arr(sessions.iter().map(session_stats_to_json).collect()),
+                    )
+                    .set("evictions", Json::Int(*evictions as i64));
+            }
+            Response::Pong { id } => {
+                doc.set("op", Json::Str("ping".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(true));
+            }
+            Response::ShuttingDown { id } => {
+                doc.set("op", Json::Str("shutdown".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(true));
+            }
+            Response::Error { id, message } => {
+                doc.set("op", Json::Str("error".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(false))
+                    .set("error", Json::Str(message.clone()));
+            }
+        }
+        doc
+    }
+
+    /// Render as a single wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        self.to_json().render_compact()
+    }
+
+    /// Parse one wire line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = json::parse(line)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(|v| v.as_i64())
+            .ok_or("response is missing schema_version")?;
+        if version != WIRE_SCHEMA_VERSION as i64 {
+            return Err(format!("unsupported wire schema {version}"));
+        }
+        let id = doc.get("id").and_then(|v| v.as_i64()).unwrap_or(0) as u64;
+        let op = doc
+            .get("op")
+            .and_then(|v| v.as_str())
+            .ok_or("response is missing op")?;
+        match op {
+            "solve" => {
+                let timing = doc.get("timing").ok_or("solve response missing timing")?;
+                Ok(Response::Solve(SolveResponse {
+                    id,
+                    session: req_str(&doc, "session")?.to_string(),
+                    result: result_from_json(
+                        doc.get("result").ok_or("solve response missing result")?,
+                    )?,
+                    timing: SolveTiming {
+                        queue_secs: num_field(timing, "queue_secs")?,
+                        solve_secs: num_field(timing, "solve_secs")?,
+                        batch_size: int_field(timing, "batch_size")?,
+                    },
+                }))
+            }
+            "warm" => Ok(Response::Warm(WarmResponse {
+                id,
+                session: req_str(&doc, "session")?.to_string(),
+                target_rr: int_field(&doc, "target_rr")?,
+                generated: int_field(&doc, "generated")?,
+                already_warm: doc
+                    .get("already_warm")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
+            })),
+            "stats" => Ok(Response::Stats {
+                id,
+                sessions: doc
+                    .get("sessions")
+                    .and_then(|v| v.as_arr())
+                    .ok_or("stats response missing sessions")?
+                    .iter()
+                    .map(session_stats_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+                evictions: int_field(&doc, "evictions")?,
+            }),
+            "ping" => Ok(Response::Pong { id }),
+            "shutdown" => Ok(Response::ShuttingDown { id }),
+            "error" => Ok(Response::Error {
+                id,
+                message: req_str(&doc, "error")?.to_string(),
+            }),
+            other => Err(format!("unknown response op {other:?}")),
+        }
+    }
+}
+
+fn result_to_json(r: &SolveResult) -> Json {
+    let mut doc = Json::obj();
+    doc.set("algorithm", Json::Str(r.algorithm.clone()))
+        .set(
+            "revenue",
+            match r.revenue {
+                Some(v) => Json::Num(v),
+                None => Json::Null,
+            },
+        )
+        .set("revenue_estimate", Json::Num(r.revenue_estimate))
+        .set(
+            "revenue_lower_bound",
+            match r.revenue_lower_bound {
+                Some(v) => Json::Num(v),
+                None => Json::Null,
+            },
+        )
+        .set("seeding_cost", Json::Num(r.seeding_cost))
+        .set("seeds", Json::Int(r.seeds as i64))
+        .set("feasible", Json::Bool(r.feasible))
+        .set("capped", Json::Bool(r.capped))
+        .set("iterations", Json::Int(r.iterations as i64))
+        .set("rr_used", Json::Int(r.rr_used as i64))
+        .set("rr_generated", Json::Int(r.rr_generated as i64))
+        .set("index_extended", Json::Int(r.index_extended as i64))
+        .set("allocation_digest", Json::Str(r.allocation_digest.clone()));
+    doc
+}
+
+fn result_from_json(doc: &Json) -> Result<SolveResult, String> {
+    Ok(SolveResult {
+        algorithm: req_str(doc, "algorithm")?.to_string(),
+        revenue: doc.get("revenue").and_then(|v| v.as_f64()),
+        revenue_estimate: num_field(doc, "revenue_estimate")?,
+        revenue_lower_bound: doc.get("revenue_lower_bound").and_then(|v| v.as_f64()),
+        seeding_cost: num_field(doc, "seeding_cost")?,
+        seeds: int_field(doc, "seeds")?,
+        feasible: bool_field(doc, "feasible")?,
+        capped: bool_field(doc, "capped")?,
+        iterations: int_field(doc, "iterations")?,
+        rr_used: int_field(doc, "rr_used")?,
+        rr_generated: int_field(doc, "rr_generated")?,
+        index_extended: int_field(doc, "index_extended")?,
+        allocation_digest: req_str(doc, "allocation_digest")?.to_string(),
+    })
+}
+
+fn session_stats_to_json(s: &SessionStatsEntry) -> Json {
+    let mut doc = Json::obj();
+    doc.set("session", Json::Str(s.session.clone()))
+        .set("served", Json::Int(s.served as i64))
+        .set("warm_extensions", Json::Int(s.warm_extensions as i64))
+        .set("warm_target", Json::Int(s.warm_target as i64))
+        .set("rr_generated", Json::Int(s.rr_generated as i64))
+        .set("rr_requested", Json::Int(s.rr_requested as i64))
+        .set("index_extended", Json::Int(s.index_extended as i64))
+        .set("memory_bytes", Json::Int(s.memory_bytes as i64));
+    doc
+}
+
+fn session_stats_from_json(doc: &Json) -> Result<SessionStatsEntry, String> {
+    Ok(SessionStatsEntry {
+        session: req_str(doc, "session")?.to_string(),
+        served: int_field(doc, "served")?,
+        warm_extensions: int_field(doc, "warm_extensions")?,
+        warm_target: int_field(doc, "warm_target")?,
+        rr_generated: int_field(doc, "rr_generated")?,
+        rr_requested: int_field(doc, "rr_requested")?,
+        index_extended: int_field(doc, "index_extended")?,
+        memory_bytes: int_field(doc, "memory_bytes")?,
+    })
+}
+
+/// Wire name of an RR strategy.
+pub fn strategy_name(strategy: RrStrategy) -> &'static str {
+    match strategy {
+        RrStrategy::Standard => "standard",
+        RrStrategy::Subsim => "subsim",
+    }
+}
+
+/// Parse a strategy wire name.
+pub fn parse_strategy(name: &str) -> Result<RrStrategy, String> {
+    match name {
+        "standard" => Ok(RrStrategy::Standard),
+        "subsim" => Ok(RrStrategy::Subsim),
+        other => Err(format!("unknown strategy {other:?}")),
+    }
+}
+
+/// Parse a dataset wire name.
+pub fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    DatasetKind::all()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown dataset {name:?}"))
+}
+
+/// Parse an incentive-model wire name.
+pub fn parse_incentive(name: &str) -> Result<IncentiveModel, String> {
+    IncentiveModel::all()
+        .into_iter()
+        .find(|m| m.label() == name)
+        .ok_or_else(|| format!("unknown incentive model {name:?}"))
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("missing number field {key:?}"))
+}
+
+fn int_field(doc: &Json, key: &str) -> Result<usize, String> {
+    doc.get(key)
+        .and_then(|v| v.as_i64())
+        .map(|i| i.max(0) as usize)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
+    doc.get(key)
+        .and_then(|v| v.as_bool())
+        .ok_or_else(|| format!("missing boolean field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_solve_request() -> SolveRequest {
+        SolveRequest {
+            id: 7,
+            dataset: DatasetKind::LastfmSyn,
+            strategy: RrStrategy::Standard,
+            algorithm: Algorithm::Rma,
+            incentive: IncentiveModel::Linear,
+            alpha: 0.3,
+            evaluate: true,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Solve(sample_solve_request()),
+            Request::Warm(WarmRequest {
+                id: 8,
+                dataset: DatasetKind::FlixsterSyn,
+                strategy: RrStrategy::Subsim,
+                target_rr: Some(50_000),
+            }),
+            Request::Warm(WarmRequest {
+                id: 9,
+                dataset: DatasetKind::LastfmSyn,
+                strategy: RrStrategy::Standard,
+                target_rr: None,
+            }),
+            Request::Stats { id: 10 },
+            Request::Ping { id: 11 },
+            Request::Shutdown { id: 12 },
+        ];
+        for request in requests {
+            let line = request.render();
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let parsed = Request::parse(&line).unwrap();
+            assert_eq!(parsed, request);
+            assert_eq!(parsed.id(), request.id());
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = [
+            Response::Solve(SolveResponse {
+                id: 7,
+                session: "lastfm-syn/standard".into(),
+                result: SolveResult {
+                    algorithm: "RMA".into(),
+                    revenue: Some(123.5),
+                    revenue_estimate: 120.0,
+                    revenue_lower_bound: Some(110.25),
+                    seeding_cost: 30.5,
+                    seeds: 12,
+                    feasible: true,
+                    capped: false,
+                    iterations: 3,
+                    rr_used: 40_000,
+                    rr_generated: 0,
+                    index_extended: 0,
+                    allocation_digest: "00ff12ab34cd56ef".into(),
+                },
+                timing: SolveTiming {
+                    queue_secs: 0.001,
+                    solve_secs: 0.25,
+                    batch_size: 4,
+                },
+            }),
+            Response::Warm(WarmResponse {
+                id: 8,
+                session: "flixster-syn/subsim".into(),
+                target_rr: 50_000,
+                generated: 100_000,
+                already_warm: false,
+            }),
+            Response::Stats {
+                id: 10,
+                sessions: vec![SessionStatsEntry {
+                    session: "lastfm-syn/standard".into(),
+                    served: 9,
+                    warm_extensions: 1,
+                    warm_target: 20_000,
+                    rr_generated: 44_000,
+                    rr_requested: 500_000,
+                    index_extended: 44_000,
+                    memory_bytes: 1 << 22,
+                }],
+                evictions: 2,
+            },
+            Response::Pong { id: 11 },
+            Response::ShuttingDown { id: 12 },
+            Response::Error {
+                id: 3,
+                message: "unknown dataset \"nope\"".into(),
+            },
+        ];
+        for response in responses {
+            let line = response.render();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn canonical_json_strips_timing_only() {
+        let response = SolveResponse {
+            id: 1,
+            session: "lastfm-syn/standard".into(),
+            result: SolveResult {
+                algorithm: "RMA".into(),
+                revenue: None,
+                revenue_estimate: 1.0,
+                revenue_lower_bound: None,
+                seeding_cost: 0.0,
+                seeds: 0,
+                feasible: true,
+                capped: false,
+                iterations: 1,
+                rr_used: 10,
+                rr_generated: 0,
+                index_extended: 0,
+                allocation_digest: "0".into(),
+            },
+            timing: SolveTiming {
+                queue_secs: 0.5,
+                solve_secs: 1.5,
+                batch_size: 2,
+            },
+        };
+        let canonical = response.canonical_json().render_compact();
+        assert!(!canonical.contains("timing"));
+        assert!(!canonical.contains("solve_secs"));
+        assert!(canonical.contains("allocation_digest"));
+        // Two responses differing only in timing canonicalise identically.
+        let mut other = response.clone();
+        other.timing.solve_secs = 99.0;
+        assert_eq!(canonical, other.canonical_json().render_compact());
+    }
+
+    #[test]
+    fn malformed_requests_error_out() {
+        for bad in [
+            "{}",
+            "not json",
+            r#"{"schema_version":1,"id":1,"op":"warp"}"#,
+            r#"{"schema_version":2,"id":1,"op":"ping"}"#,
+            r#"{"schema_version":1,"id":1,"op":"solve","dataset":"nope","algorithm":"rma","alpha":0.1}"#,
+            r#"{"schema_version":1,"id":1,"op":"solve","dataset":"lastfm-syn","algorithm":"rma"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn solve_defaults_are_applied() {
+        let line = r#"{"schema_version":1,"id":4,"op":"solve","dataset":"lastfm-syn","algorithm":"one-batch","alpha":0.2}"#;
+        let Request::Solve(r) = Request::parse(line).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(r.strategy, RrStrategy::Standard);
+        assert_eq!(r.incentive, IncentiveModel::Linear);
+        assert!(r.evaluate);
+    }
+}

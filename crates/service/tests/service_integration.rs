@@ -1,0 +1,265 @@
+//! End-to-end tests of the `rmsa serve` daemon over real TCP.
+//!
+//! The headline invariant: for a fixed master seed, loadgen's canonical
+//! response bytes are identical whether the daemon runs 1 or 8 workers
+//! and regardless of how concurrent clients interleave — and a group of
+//! same-fingerprint requests hitting a cold session triggers exactly one
+//! RR-cache extension.
+
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+use rmsa_service::loadgen::{self, LoadgenConfig};
+use rmsa_service::wire::{Algorithm, Request, Response, SolveRequest, WarmRequest};
+use rmsa_service::{server, ServiceClient, ServiceConfig};
+
+fn tiny_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        ctx: rmsa_service::tiny_serve_ctx(7),
+        workers,
+        max_sessions: 2,
+    }
+}
+
+fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
+    SolveRequest {
+        id,
+        dataset: DatasetKind::LastfmSyn,
+        strategy: RrStrategy::Standard,
+        algorithm,
+        incentive: IncentiveModel::Linear,
+        alpha,
+        evaluate: true,
+    }
+}
+
+/// Start a daemon, run the quick load, shut it down, return the
+/// canonical response lines.
+fn load_canonical(workers: usize) -> Vec<String> {
+    let handle = server::start("127.0.0.1:0", tiny_config(workers)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let config = LoadgenConfig::quick(7);
+    let outcome = loadgen::run(&addr, &config).expect("loadgen");
+    assert_eq!(outcome.errors, Vec::<String>::new());
+    assert_eq!(
+        outcome.responses.len(),
+        config.clients * config.requests_per_client
+    );
+    handle.shutdown();
+    handle.wait();
+    outcome.canonical_lines()
+}
+
+#[test]
+fn loadgen_responses_are_bit_identical_for_1_and_8_workers() {
+    let one = load_canonical(1);
+    let eight = load_canonical(8);
+    assert_eq!(one.len(), 24);
+    assert_eq!(
+        one, eight,
+        "canonical response bytes must not depend on the worker count"
+    );
+    // Responses carry real payloads, not empty husks.
+    assert!(one.iter().all(|l| l.contains("allocation_digest")));
+    assert!(one.iter().any(|l| l.contains("\"RMA\"")));
+    assert!(one.iter().any(|l| l.contains("\"TI-CARM\"")));
+}
+
+#[test]
+fn a_batched_group_of_same_fingerprint_requests_extends_the_cache_once() {
+    let handle = server::start("127.0.0.1:0", tiny_config(4)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    const N: usize = 8;
+    // N concurrent clients fire same-fingerprint solves at a cold session.
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(&addr).expect("connect");
+                    client
+                        .call(&Request::Solve(solve_request(
+                            i as u64 + 1,
+                            Algorithm::Rma,
+                            0.2,
+                        )))
+                        .expect("solve")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    let mut solves = 0;
+    for response in &responses {
+        let Response::Solve(solve) = response else {
+            panic!("expected a solve response, got {response:?}");
+        };
+        solves += 1;
+        assert_eq!(
+            solve.result.rr_generated, 0,
+            "the warm-up, not the solves, must do all generation"
+        );
+        assert_eq!(
+            solve.result.index_extended, 0,
+            "no solve may extend the coverage index"
+        );
+    }
+    assert_eq!(solves, N);
+
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let Response::Stats { sessions, .. } = client.call(&Request::Stats { id: 99 }).expect("stats")
+    else {
+        panic!("expected stats");
+    };
+    assert_eq!(sessions.len(), 1);
+    let session = &sessions[0];
+    assert_eq!(session.session, "lastfm-syn/standard");
+    assert_eq!(session.served, N);
+    assert_eq!(
+        session.warm_extensions, 1,
+        "N same-fingerprint requests must trigger exactly one extension"
+    );
+    assert!(
+        session.rr_generated > 0,
+        "the single warm-up really generated"
+    );
+    assert_eq!(
+        session.index_extended, session.rr_generated,
+        "every generated RR-set indexed exactly once, nothing rebuilt"
+    );
+    assert!(session.memory_bytes > 0);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn warm_rpc_pre_extends_and_solves_report_reuse() {
+    let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+
+    let warm = Request::Warm(WarmRequest {
+        id: 1,
+        dataset: DatasetKind::LastfmSyn,
+        strategy: RrStrategy::Standard,
+        target_rr: None,
+    });
+    let Response::Warm(first) = client.call(&warm).expect("warm") else {
+        panic!("expected warm response");
+    };
+    assert!(!first.already_warm);
+    assert!(first.generated > 0);
+    let Response::Warm(second) = client.call(&warm).expect("warm") else {
+        panic!("expected warm response");
+    };
+    assert!(second.already_warm);
+    assert_eq!(second.generated, 0);
+
+    let Response::Solve(solve) = client
+        .call(&Request::Solve(solve_request(3, Algorithm::OneBatch, 0.1)))
+        .expect("solve")
+    else {
+        panic!("expected solve response");
+    };
+    assert_eq!(solve.result.rr_generated, 0);
+    assert_eq!(solve.session, "lastfm-syn/standard");
+    assert!(solve.timing.batch_size >= 1);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn a_wire_shutdown_alone_stops_the_daemon() {
+    // Regression test: a `shutdown` request arriving over TCP must also
+    // unblock the accept thread (parked in blocking `incoming()`), not
+    // just the workers — otherwise `rmsa serve` never exits and the CI
+    // smoke step hangs at `wait()`.
+    let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    assert!(matches!(
+        client.call(&Request::Shutdown { id: 1 }).expect("shutdown"),
+        Response::ShuttingDown { id: 1 }
+    ));
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.wait();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(20))
+        .expect("daemon must fully exit after a wire shutdown");
+}
+
+#[test]
+fn protocol_errors_are_answered_not_fatal() {
+    let handle = server::start("127.0.0.1:0", tiny_config(1)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+
+    // A malformed line on a raw connection gets an error response and the
+    // connection lives on.
+    use std::io::Write as _;
+    let mut garbage = std::net::TcpStream::connect(&addr).expect("connect");
+    garbage.write_all(b"this is not json\n").expect("send");
+    let mut reader = std::io::BufReader::new(garbage.try_clone().expect("clone"));
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    let parsed = Response::parse(line.trim_end()).expect("parse error response");
+    assert!(matches!(parsed, Response::Error { .. }));
+
+    // Ping still works, and an unknown-dataset solve errors gracefully.
+    assert!(matches!(
+        client.call(&Request::Ping { id: 5 }).expect("ping"),
+        Response::Pong { id: 5 }
+    ));
+    let bad = r#"{"schema_version":1,"id":6,"op":"solve","dataset":"nope","algorithm":"rma","alpha":0.1}"#;
+    garbage.write_all(bad.as_bytes()).expect("send");
+    garbage.write_all(b"\n").expect("send");
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    assert!(matches!(
+        Response::parse(line.trim_end()).expect("parse"),
+        Response::Error { .. }
+    ));
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn loadgen_report_matches_itself_across_runs_and_feeds_compare() {
+    use rmsa_bench::report::{compare_reports, Tolerance};
+    let make = || {
+        let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
+        let addr = handle.local_addr().to_string();
+        let config = LoadgenConfig::quick(7);
+        let outcome = loadgen::run(&addr, &config).expect("loadgen");
+        handle.shutdown();
+        handle.wait();
+        loadgen::report(&outcome, &config, true)
+    };
+    let a = make();
+    let b = make();
+    // Revenue-style metrics are deterministic → a tight gate passes.
+    let tolerance = Tolerance {
+        metric_frac: 0.0,
+        time_frac: 1_000.0,
+        min_time_secs: 1_000.0,
+    };
+    let regressions = compare_reports(&a, &b, &tolerance);
+    assert_eq!(regressions, Vec::new(), "deterministic metrics must match");
+    assert!(a.points.iter().any(|p| p.job == "latency,"));
+    assert!(a.points.iter().any(|p| p.job == "throughput,"));
+    assert!(a
+        .points
+        .iter()
+        .any(|p| p.job == "lastfm-syn," && p.outcome.algorithm == "RMA"));
+    // The report round-trips through its JSON rendering.
+    let parsed = rmsa_bench::BenchReport::from_json_text(&a.render()).expect("parse");
+    assert_eq!(parsed.points.len(), a.points.len());
+}

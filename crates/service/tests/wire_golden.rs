@@ -1,0 +1,138 @@
+//! Golden-file pin of wire schema v1.
+//!
+//! `tests/golden/wire_v1.jsonl` holds one canonical line per message kind.
+//! If this test fails after an intentional schema change, bump
+//! [`rmsa_service::WIRE_SCHEMA_VERSION`] and regenerate the file with
+//! `RMSA_BLESS=1 cargo test -p rmsa-service --test wire_golden`.
+
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+use rmsa_service::wire::{
+    Algorithm, Request, Response, SessionStatsEntry, SolveRequest, SolveResponse, SolveResult,
+    SolveTiming, WarmRequest, WarmResponse,
+};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wire_v1.jsonl")
+}
+
+fn canonical_messages() -> Vec<String> {
+    let solve = SolveRequest {
+        id: 1,
+        dataset: DatasetKind::LastfmSyn,
+        strategy: RrStrategy::Standard,
+        algorithm: Algorithm::Rma,
+        incentive: IncentiveModel::Linear,
+        alpha: 0.3,
+        evaluate: true,
+    };
+    let requests = [
+        Request::Solve(solve),
+        Request::Warm(WarmRequest {
+            id: 2,
+            dataset: DatasetKind::FlixsterSyn,
+            strategy: RrStrategy::Subsim,
+            target_rr: Some(100_000),
+        }),
+        Request::Stats { id: 3 },
+        Request::Ping { id: 4 },
+        Request::Shutdown { id: 5 },
+    ];
+    let responses = [
+        Response::Solve(SolveResponse {
+            id: 1,
+            session: "lastfm-syn/standard".into(),
+            result: SolveResult {
+                algorithm: "RMA".into(),
+                revenue: Some(812.5),
+                revenue_estimate: 800.25,
+                revenue_lower_bound: Some(750.125),
+                seeding_cost: 120.5,
+                seeds: 42,
+                feasible: true,
+                capped: false,
+                iterations: 3,
+                rr_used: 10000,
+                rr_generated: 0,
+                index_extended: 0,
+                allocation_digest: "0123456789abcdef".into(),
+            },
+            timing: SolveTiming {
+                queue_secs: 0.25,
+                solve_secs: 1.5,
+                batch_size: 4,
+            },
+        }),
+        Response::Warm(WarmResponse {
+            id: 2,
+            session: "flixster-syn/subsim".into(),
+            target_rr: 100000,
+            generated: 200000,
+            already_warm: false,
+        }),
+        Response::Stats {
+            id: 3,
+            sessions: vec![SessionStatsEntry {
+                session: "lastfm-syn/standard".into(),
+                served: 24,
+                warm_extensions: 1,
+                warm_target: 5000,
+                rr_generated: 15000,
+                rr_requested: 480000,
+                index_extended: 15000,
+                memory_bytes: 4194304,
+            }],
+            evictions: 1,
+        },
+        Response::Pong { id: 4 },
+        Response::ShuttingDown { id: 5 },
+        Response::Error {
+            id: 6,
+            message: "unknown dataset \"nope\"".into(),
+        },
+    ];
+    requests
+        .iter()
+        .map(Request::render)
+        .chain(responses.iter().map(Response::render))
+        .collect()
+}
+
+#[test]
+fn wire_schema_v1_matches_the_golden_file() {
+    let lines = canonical_messages();
+    let rendered = lines.join("\n") + "\n";
+    let path = golden_path();
+    if std::env::var("RMSA_BLESS").is_ok() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        golden, rendered,
+        "wire schema drifted from tests/golden/wire_v1.jsonl — if intentional, \
+         bump WIRE_SCHEMA_VERSION and re-bless"
+    );
+}
+
+#[test]
+fn golden_lines_parse_back_losslessly() {
+    let golden = std::fs::read_to_string(golden_path()).expect("read golden file");
+    let mut parsed_requests = 0;
+    let mut parsed_responses = 0;
+    for line in golden.lines() {
+        // Responses carry `ok`; requests never do.
+        let doc = rmsa_bench::json::parse(line).expect("golden line is JSON");
+        if doc.get("ok").is_some() {
+            let response = Response::parse(line).expect("response parses");
+            assert_eq!(response.render(), line);
+            parsed_responses += 1;
+        } else {
+            let request = Request::parse(line).expect("request parses");
+            assert_eq!(request.render(), line);
+            parsed_requests += 1;
+        }
+    }
+    assert_eq!(parsed_requests, 5);
+    assert_eq!(parsed_responses, 6);
+}

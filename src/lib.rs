@@ -32,11 +32,11 @@ pub use rmsa_graph as graph;
 
 mod workbench;
 
-pub use workbench::{SweepPoint, Workbench, WorkbenchBuilder};
+pub use workbench::{SweepPoint, WarmStats, Workbench, WorkbenchBuilder};
 
 /// Commonly used items, re-exported flat for convenience.
 pub mod prelude {
-    pub use crate::workbench::{SweepPoint, Workbench, WorkbenchBuilder};
+    pub use crate::workbench::{SweepPoint, WarmStats, Workbench, WorkbenchBuilder};
     pub use rmsa_core::baselines::{TiConfig, TiResult};
     pub use rmsa_core::solver::{
         CaGreedy, CsGreedy, OneBatch, OracleGreedy, OracleMode, Rma, RrAccounting, SolveContext,
