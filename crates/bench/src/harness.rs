@@ -134,6 +134,12 @@ pub struct AlgoOutcome {
     /// Wall-clock seconds spent building/extending the coverage index in
     /// this run (zero when the shared index was fully reused).
     pub index_secs: f64,
+    /// RR-sets behind this run that were restored from a persisted
+    /// snapshot instead of being generated in-process (0 without
+    /// `--snapshot-dir` / `rmsa snapshot`).
+    pub loaded_from_snapshot: usize,
+    /// Wall-clock seconds the shared cache spent loading that snapshot.
+    pub snapshot_load_secs: f64,
     /// Approximate memory footprint of the algorithm's sample structures,
     /// in bytes (exact `memory_bytes()` accounting).
     pub memory_bytes: usize,
@@ -164,6 +170,8 @@ impl AlgoOutcome {
             rr_sets: report.rr.used,
             rr_generated: report.rr.generated,
             index_secs: report.index_time.as_secs_f64(),
+            loaded_from_snapshot: report.loaded_from_snapshot,
+            snapshot_load_secs: report.snapshot_load_time.as_secs_f64(),
             memory_bytes: report.memory_bytes,
             memory_mib: report.memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: eval.budget_usage_pct,

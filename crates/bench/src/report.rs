@@ -227,6 +227,11 @@ fn point_to_json(point: &BenchPoint) -> Json {
         .set("rr_sets", Json::Int(o.rr_sets as i64))
         .set("rr_generated", Json::Int(o.rr_generated as i64))
         .set("index_secs", Json::Num(o.index_secs))
+        .set(
+            "loaded_from_snapshot",
+            Json::Int(o.loaded_from_snapshot as i64),
+        )
+        .set("snapshot_load_secs", Json::Num(o.snapshot_load_secs))
         .set("memory_bytes", Json::Int(o.memory_bytes as i64))
         .set("budget_usage_pct", Json::Num(o.budget_usage_pct))
         .set("rate_of_return_pct", Json::Num(o.rate_of_return_pct));
@@ -267,6 +272,10 @@ fn point_from_json(p: &Json) -> Result<BenchPoint, String> {
             rr_sets: u("rr_sets")?,
             rr_generated: u("rr_generated")?,
             index_secs: f("index_secs")?,
+            // Snapshot accounting arrived with the persistence subsystem;
+            // baselines written before it simply lack the fields.
+            loaded_from_snapshot: u("loaded_from_snapshot").unwrap_or(0),
+            snapshot_load_secs: f("snapshot_load_secs").unwrap_or(0.0),
             memory_bytes,
             memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: f("budget_usage_pct")?,
@@ -438,6 +447,8 @@ mod tests {
             rr_sets: 1000,
             rr_generated: 400,
             index_secs: 0.01,
+            loaded_from_snapshot: 0,
+            snapshot_load_secs: 0.0,
             memory_bytes: 1 << 20,
             memory_mib: 1.0,
             budget_usage_pct: 50.0,

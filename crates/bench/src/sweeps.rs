@@ -284,7 +284,7 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
     for (key, outcomes) in rows {
         for o in outcomes {
             lines.push(format!(
-                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{},{:.4},{:.3},{:.2},{:.2}",
+                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{},{:.4},{},{:.3},{:.2},{:.2}",
                 o.algorithm,
                 o.revenue,
                 o.seeding_cost,
@@ -293,6 +293,7 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
                 o.rr_sets,
                 o.rr_generated,
                 o.index_secs,
+                o.loaded_from_snapshot,
                 o.memory_mib,
                 o.budget_usage_pct,
                 o.rate_of_return_pct
@@ -305,7 +306,7 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
 /// The CSV column list appended after any configuration columns and the
 /// sweep key.
 pub const SWEEP_CSV_COLUMNS: &str = "algorithm,revenue,seeding_cost,seeds,time_secs,rr_sets,\
-rr_generated,index_secs,memory_mib,budget_usage_pct,rate_of_return_pct";
+rr_generated,index_secs,loaded_from_snapshot,memory_mib,budget_usage_pct,rate_of_return_pct";
 
 /// The deterministic projection of a standard sweep CSV row: every column
 /// except the wall-clock ones (`time_secs`, `index_secs`), which differ

@@ -122,6 +122,8 @@ fn golden_report() -> BenchReport {
                     rr_sets: 20000,
                     rr_generated: 18000,
                     index_secs: 0.00025,
+                    loaded_from_snapshot: 0,
+                    snapshot_load_secs: 0.0,
                     memory_bytes: 639132,
                     memory_mib: 639132.0 / (1024.0 * 1024.0),
                     budget_usage_pct: 93.25,
@@ -141,6 +143,8 @@ fn golden_report() -> BenchReport {
                     rr_sets: 9000,
                     rr_generated: 9000,
                     index_secs: 0.0005,
+                    loaded_from_snapshot: 0,
+                    snapshot_load_secs: 0.0,
                     memory_bytes: 292608,
                     memory_mib: 292608.0 / (1024.0 * 1024.0),
                     budget_usage_pct: 88.5,

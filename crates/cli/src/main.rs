@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod service_cmd;
+mod snapshot_cmd;
 
 const USAGE: &str = "\
 rmsa — experiment runner and serving stack for the RMSA reproduction
@@ -41,13 +42,21 @@ USAGE:
                  [--min-time-secs S]
     rmsa serve [--addr HOST:PORT] [--workers N] [--max-sessions K] [--quick]
                [--seed N] [--scale X] [--threads N] [--warm-rr N]
-               [--eval-rr N] [--port-file PATH]
+               [--eval-rr N] [--port-file PATH] [--snapshot-dir DIR]
     rmsa query [solve|warm|stats|ping|shutdown] [--addr HOST:PORT]
                [--dataset D] [--strategy standard|subsim]
                [--algorithm rma|one-batch|ti-carm|ti-csrm] [--incentive I]
                [--alpha X] [--no-evaluate] [--target-rr N] [--id N]
     rmsa loadgen [--addr HOST:PORT] [--quick] [--clients C] [--requests N]
                  [--seed N] [--out-dir DIR] [--dump PATH] [--shutdown]
+    rmsa snapshot make [--dir DIR] [--dataset D] [--strategy S] [--quick]
+                 [--seed N] [--scale X] [--threads N] [--warm-rr N]
+                 [--eval-rr N]
+    rmsa snapshot inspect <file.rmsnap>...
+    rmsa snapshot bench [--dataset D] [--strategy S] [--quick] [--dir DIR]
+                 [--out-dir DIR] [--min-speedup X] [context flags]
+    rmsa dataset info <scenario.toml|dataset>... [--snapshot-dir DIR]
+                 [--quick] [--seed N] [--scale X]
 
 OPTIONS (run/sweep/bench):
     --quick             use the scenario's quick (CI) profile
@@ -70,6 +79,15 @@ count (--dump writes them).
 compare exits 0 when the new report is within tolerance of the old one,
 1 on regression, 2 on usage or IO errors. Every failure line names the
 offending metric and prints both values.
+
+snapshot persists warm sessions (graph + model + spreads + RR arenas +
+coverage indexes) as versioned, checksummed .rmsnap files; serve with
+--snapshot-dir warm-starts from them and persists back after cache
+extensions (a stale snapshot is rejected with a reason, never reused).
+snapshot bench writes BENCH_snapshot.json (cold vs warm start-to-first-
+response) and fails when warm is slower than --min-speedup. dataset info
+prints Table-1-style statistics, plus mean RR size when a snapshot
+exists.
 ";
 
 fn main() -> ExitCode {
@@ -86,6 +104,8 @@ fn main() -> ExitCode {
         "serve" => service_cmd::serve_command(rest),
         "query" => service_cmd::query_command(rest),
         "loadgen" => service_cmd::loadgen_command(rest),
+        "snapshot" => snapshot_cmd::snapshot_command(rest),
+        "dataset" => snapshot_cmd::dataset_command(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

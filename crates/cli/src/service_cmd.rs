@@ -59,6 +59,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut threads = None;
     let mut warm_rr = None;
     let mut eval_rr = None;
+    let mut snapshot_dir = None;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
         match arg.as_str() {
@@ -72,6 +73,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
             "--threads" => threads = Some(reader.parsed::<usize>("--threads")?),
             "--warm-rr" => warm_rr = Some(reader.parsed::<usize>("--warm-rr")?),
             "--eval-rr" => eval_rr = Some(reader.parsed::<usize>("--eval-rr")?),
+            "--snapshot-dir" => snapshot_dir = Some(PathBuf::from(reader.value("--snapshot-dir")?)),
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -102,6 +104,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
         config.workers = workers.max(1);
     }
     config.max_sessions = max_sessions.max(1);
+    config.snapshot_dir = snapshot_dir;
     Ok(ServeOptions {
         addr,
         config,

@@ -61,6 +61,13 @@ pub struct SolveReport {
     /// this solve (zero when everything was already indexed — the
     /// extend-never-rebuild payoff).
     pub index_time: Duration,
+    /// RR-sets in the shared cache that were restored from a persisted
+    /// snapshot rather than generated in this process (0 for cold-built
+    /// caches; stamped by the `Workbench`, see `rmsa-store`).
+    pub loaded_from_snapshot: usize,
+    /// Wall-clock the cache spent loading that snapshot (zero when no
+    /// snapshot was loaded).
+    pub snapshot_load_time: Duration,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
 }
@@ -107,6 +114,8 @@ mod tests {
             },
             memory_bytes: 1 << 20,
             index_time: Duration::from_millis(1),
+            loaded_from_snapshot: 0,
+            snapshot_load_time: Duration::ZERO,
             elapsed: Duration::from_millis(12),
         };
         let s = report.summary();

@@ -62,6 +62,8 @@ impl Solver for Rma {
             },
             memory_bytes: result.memory_bytes,
             index_time: result.index_time,
+            loaded_from_snapshot: 0,
+            snapshot_load_time: Duration::ZERO,
             elapsed: result.elapsed,
             allocation: result.allocation,
         })
@@ -150,6 +152,8 @@ impl Solver for OneBatch {
             rr: accounting(est.num_rr(), request),
             memory_bytes: est.coverage().memory_bytes(),
             index_time: request.index_extend_time,
+            loaded_from_snapshot: 0,
+            snapshot_load_time: Duration::ZERO,
             elapsed: start.elapsed(),
             allocation,
         })
@@ -296,6 +300,8 @@ fn oracle_report(
         rr,
         memory_bytes,
         index_time,
+        loaded_from_snapshot: 0,
+        snapshot_load_time: Duration::ZERO,
         elapsed: start.elapsed(),
         allocation,
     }
@@ -442,6 +448,8 @@ fn ti_report(
         },
         memory_bytes: result.memory_bytes,
         index_time: Duration::ZERO,
+        loaded_from_snapshot: 0,
+        snapshot_load_time: Duration::ZERO,
         elapsed: result.elapsed,
         allocation: result.allocation,
     }

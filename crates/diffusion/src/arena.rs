@@ -46,11 +46,11 @@ pub const GENERATION_CHUNK: usize = 1024;
 /// `nodes[offsets[i]..offsets[i + 1]]` and its root is the first member.
 #[derive(Clone, Debug)]
 pub struct RrArena {
-    num_nodes: usize,
-    strategy: RrStrategy,
-    nodes: Vec<NodeId>,
-    offsets: Vec<usize>,
-    ads: Vec<AdId>,
+    pub(crate) num_nodes: usize,
+    pub(crate) strategy: RrStrategy,
+    pub(crate) nodes: Vec<NodeId>,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) ads: Vec<AdId>,
 }
 
 /// Borrowed view of one RR-set inside an [`RrArena`].
@@ -336,12 +336,12 @@ fn chunk_rng(seed: u64, chunk: usize) -> Pcg64Mcg {
 /// modified — prefix views stay valid while the index grows.
 #[derive(Debug)]
 pub struct CoverageSegment {
-    rr_base: u32,
-    num_sets: u32,
+    pub(crate) rr_base: u32,
+    pub(crate) num_sets: u32,
     /// Per-node slice boundaries into `entries`; length `num_nodes + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Ascending absolute RR-set ids, grouped by node.
-    entries: Vec<u32>,
+    pub(crate) entries: Vec<u32>,
 }
 
 impl CoverageSegment {
@@ -378,15 +378,15 @@ impl CoverageSegment {
 /// [`CoverageView`] still holds them, in place otherwise).
 #[derive(Clone, Debug)]
 pub struct CoverageIndex {
-    num_nodes: usize,
-    num_ads: usize,
-    num_rr: usize,
-    segments: Vec<Arc<CoverageSegment>>,
+    pub(crate) num_nodes: usize,
+    pub(crate) num_ads: usize,
+    pub(crate) num_rr: usize,
+    pub(crate) segments: Vec<Arc<CoverageSegment>>,
     /// Advertiser of each indexed RR-set (u32 column for cache density).
-    ads: Arc<Vec<u32>>,
+    pub(crate) ads: Arc<Vec<u32>>,
     /// `singleton[ad * num_nodes + u]` = #indexed RR-sets of `ad`
     /// containing `u`.
-    singleton: Arc<Vec<u32>>,
+    pub(crate) singleton: Arc<Vec<u32>>,
 }
 
 impl CoverageIndex {

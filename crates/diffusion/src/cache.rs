@@ -31,6 +31,7 @@ use crate::rr::RrStrategy;
 use crate::sampler::UniformRrSampler;
 use parking_lot::Mutex;
 use rmsa_graph::DirectedGraph;
+use rmsa_store::{section as store_section, SnapshotReader, SnapshotWriter, StoreError};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
@@ -87,6 +88,12 @@ pub struct RrCacheStats {
     pub index_extended: usize,
     /// Wall-clock time spent extending the coverage indexes.
     pub index_extend_time: Duration,
+    /// RR-sets restored from a persisted snapshot instead of being
+    /// generated (0 for caches built cold; see [`RrCache::load_from`]).
+    pub loaded_from_snapshot: usize,
+    /// Wall-clock spent reading and decoding that snapshot (zero for cold
+    /// caches).
+    pub snapshot_load_time: Duration,
 }
 
 /// Accounting of one [`RrCache::with_at_least`] call. Unlike the global
@@ -259,6 +266,176 @@ impl RrCache {
         inner.fingerprint = None;
     }
 
+    /// The distribution fingerprint the cached collections were generated
+    /// under (`None` until the first request). Snapshots persist this
+    /// value, so a loaded cache rejects — via [`RrCache::with_at_least`]'s
+    /// revalidation — any graph/model/CPE line-up other than the one it
+    /// was saved under.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.inner.lock().fingerprint
+    }
+
+    /// The base RNG seed every stream derives from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Append the cache's snapshot sections (`cache-meta` plus one
+    /// `rr-stream-k` section per non-empty stream) to a snapshot under
+    /// construction. Composable: higher layers (session snapshots) add
+    /// their own sections to the same container.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        let inner = self.inner.lock();
+        let meta = w.section(store_section::CACHE_META);
+        meta.put_u64(self.num_nodes as u64);
+        meta.put_u8(crate::snapshot::strategy_tag(self.strategy));
+        meta.put_u64(self.base_seed);
+        match inner.fingerprint {
+            Some(fp) => {
+                meta.put_u8(1);
+                meta.put_u64(fp);
+            }
+            None => {
+                meta.put_u8(0);
+                meta.put_u64(0);
+            }
+        }
+        meta.put_u64(inner.streams.len() as u64);
+        for (idx, state) in inner.streams.iter().enumerate() {
+            let Some(state) = state else { continue };
+            let s = w.section(store_section::CACHE_STREAM_BASE + idx as u32);
+            s.put_u64(state.extensions);
+            crate::snapshot::write_arena(&state.arena, s);
+            crate::snapshot::write_index(&state.index, s);
+        }
+    }
+
+    /// Serialize the cache into a self-contained snapshot container.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.write_snapshot(&mut w);
+        w.finish()
+    }
+
+    /// Persist the cache to `path` (atomic write; see
+    /// [`rmsa_store::write_file`]).
+    pub fn save_to(&self, path: &std::path::Path) -> Result<(), StoreError> {
+        rmsa_store::write_file(path, &self.to_snapshot_bytes())
+    }
+
+    /// Rebuild a cache from the snapshot sections of a parsed container.
+    ///
+    /// The restored cache is *exactly* the saved one: same collections,
+    /// same coverage-index segments, same per-stream extension counters —
+    /// so extending it later produces the same RR-sets a never-persisted
+    /// cache would have produced (the extend-never-rebuild invariant holds
+    /// across the save/load boundary). `num_threads` only parallelises
+    /// future extensions; it never changes their content.
+    pub fn read_snapshot(
+        r: &SnapshotReader<'_>,
+        num_threads: usize,
+    ) -> Result<RrCache, StoreError> {
+        let start = Instant::now();
+        let mut meta = r.require(store_section::CACHE_META)?;
+        let num_nodes = meta.get_u64("cache num_nodes")? as usize;
+        let strategy = crate::snapshot::strategy_from_tag(meta.get_u8("cache strategy")?)?;
+        let base_seed = meta.get_u64("cache base_seed")?;
+        let has_fingerprint = meta.get_u8("cache fingerprint flag")? != 0;
+        let fingerprint_value = meta.get_u64("cache fingerprint")?;
+        let declared_streams = meta.get_u64("cache stream count")? as usize;
+
+        let mut streams: Vec<Option<StreamState>> = Vec::new();
+        streams.resize_with(declared_streams, || None);
+        let mut loaded = 0usize;
+        // Streams are independent blobs; decode them concurrently — on a
+        // warm restart the decode is the whole critical path, and three
+        // streams (optimize/validate/evaluate) split it almost perfectly.
+        let sections = r.sections_in_range(
+            store_section::CACHE_STREAM_BASE,
+            store_section::CACHE_STREAM_END,
+        );
+        let decoded: Vec<Result<(usize, StreamState), StoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sections
+                .into_iter()
+                .map(|(id, mut cur)| {
+                    scope.spawn(move || {
+                        let idx = (id - store_section::CACHE_STREAM_BASE) as usize;
+                        let extensions = cur.get_u64("stream extensions")?;
+                        let arena = crate::snapshot::read_arena(&mut cur)?;
+                        if arena.num_nodes() != num_nodes || arena.strategy() != strategy {
+                            return Err(StoreError::Corrupt(format!(
+                                "rr-stream-{idx} disagrees with the cache meta section"
+                            )));
+                        }
+                        let index = crate::snapshot::read_index(&mut cur, &arena)?;
+                        if index.num_rr() != arena.len() {
+                            return Err(StoreError::Corrupt(format!(
+                                "rr-stream-{idx}: index covers {} of {} cached sets",
+                                index.num_rr(),
+                                arena.len()
+                            )));
+                        }
+                        Ok((
+                            idx,
+                            StreamState {
+                                arena,
+                                index,
+                                extensions,
+                            },
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream decode thread"))
+                .collect()
+        });
+        for result in decoded {
+            let (idx, state) = result?;
+            loaded += state.arena.len();
+            if streams.len() <= idx {
+                streams.resize_with(idx + 1, || None);
+            }
+            streams[idx] = Some(state);
+        }
+        let stats = RrCacheStats {
+            loaded_from_snapshot: loaded,
+            snapshot_load_time: start.elapsed(),
+            ..RrCacheStats::default()
+        };
+        Ok(RrCache {
+            num_nodes,
+            strategy,
+            num_threads: num_threads.max(1),
+            base_seed,
+            inner: Mutex::new(Inner {
+                fingerprint: has_fingerprint.then_some(fingerprint_value),
+                streams,
+                stats,
+            }),
+        })
+    }
+
+    /// Load a cache persisted by [`RrCache::save_to`].
+    ///
+    /// Every failure mode is a typed [`StoreError`] — bad magic,
+    /// unsupported version, truncation, checksum mismatch, semantic
+    /// corruption — never a panic. A *stale* snapshot (saved under a
+    /// different graph, model or CPE line-up) loads successfully but is
+    /// rejected on first use: the persisted fingerprint will not match the
+    /// live distribution, and revalidation drops the collections instead
+    /// of serving them.
+    pub fn load_from(path: &std::path::Path, num_threads: usize) -> Result<RrCache, StoreError> {
+        let start = Instant::now();
+        let bytes = rmsa_store::read_file(path)?;
+        let reader = SnapshotReader::parse(&bytes)?;
+        let cache = RrCache::read_snapshot(&reader, num_threads)?;
+        // Account the file read + container parse into the load time.
+        cache.inner.lock().stats.snapshot_load_time = start.elapsed();
+        Ok(cache)
+    }
+
     /// Ensure `stream` holds at least `count` RR-sets generated under
     /// `sampler`, extending (never regenerating) the arena and its
     /// coverage index, then hand the stream to `f`. Returns the closure's
@@ -382,7 +559,11 @@ impl RrCache {
 /// so callers that mutate a model in place should [`RrCache::clear`] the
 /// cache explicitly. The `Workbench` owns its model and never swaps it, so
 /// this only concerns standalone `RrCache` users.
-fn distribution_fingerprint<M: PropagationModel + ?Sized>(
+///
+/// Public because snapshot loaders use it to verify that a persisted cache
+/// (keyed by [`RrCache::fingerprint`]) still matches the live
+/// graph/model/CPE line-up before serving from it.
+pub fn distribution_fingerprint<M: PropagationModel + ?Sized>(
     graph: &DirectedGraph,
     model: &M,
     sampler: &UniformRrSampler,
@@ -551,6 +732,113 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().generated, 200);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_collections_and_fingerprint() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 2, 7);
+        let (original, _) = cache.with_at_least(&g, &m, &s, RrStream::Optimize, 700, roots);
+        cache.with_at_least(&g, &m, &s, RrStream::Evaluate, 300, |_| ());
+
+        let bytes = cache.to_snapshot_bytes();
+        let loaded = {
+            let reader = SnapshotReader::parse(&bytes).unwrap();
+            RrCache::read_snapshot(&reader, 2).unwrap()
+        };
+        assert_eq!(loaded.num_nodes(), cache.num_nodes());
+        assert_eq!(loaded.strategy(), cache.strategy());
+        assert_eq!(loaded.base_seed(), cache.base_seed());
+        assert_eq!(loaded.fingerprint(), cache.fingerprint());
+        assert_eq!(loaded.len(RrStream::Optimize), 700);
+        assert_eq!(loaded.len(RrStream::Evaluate), 300);
+        assert_eq!(loaded.index_segments(RrStream::Optimize), 1);
+        let stats = loaded.stats();
+        assert_eq!(stats.loaded_from_snapshot, 1000);
+        assert_eq!(stats.generated, 0, "loaded sets were not generated here");
+
+        // Serving from the loaded cache returns the same collection
+        // without generating anything.
+        let (served, req) = loaded.with_at_least(&g, &m, &s, RrStream::Optimize, 700, roots);
+        assert_eq!(served, original);
+        assert_eq!(req.generated, 0);
+        assert_eq!(req.index_extended, 0);
+        assert_eq!(loaded.stats().invalidations, 0, "snapshot was not stale");
+
+        // Byte stability: saving the loaded cache reproduces the bytes.
+        assert_eq!(loaded.to_snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn extend_after_load_matches_a_never_persisted_cache() {
+        // The extend-never-rebuild invariant across a save/load boundary:
+        // grow θ₁ → save → load → grow to θ₂ must equal a cache that grew
+        // θ₁ → θ₂ without ever touching disk — same sets, same segment
+        // structure, same extension accounting.
+        let (g, m, s) = setup();
+        let witness = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        witness.with_at_least(&g, &m, &s, RrStream::Optimize, 500, |_| ());
+
+        let persisted = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        persisted.with_at_least(&g, &m, &s, RrStream::Optimize, 500, |_| ());
+        let bytes = persisted.to_snapshot_bytes();
+        let loaded = {
+            let reader = SnapshotReader::parse(&bytes).unwrap();
+            RrCache::read_snapshot(&reader, 1).unwrap()
+        };
+
+        let (grown_cold, _) = witness.with_at_least(&g, &m, &s, RrStream::Optimize, 1200, roots);
+        let (grown_loaded, req) = loaded.with_at_least(&g, &m, &s, RrStream::Optimize, 1200, roots);
+        assert_eq!(req.generated, 700, "only the extension is generated");
+        assert_eq!(
+            grown_cold, grown_loaded,
+            "extension after load must replay the cold trajectory"
+        );
+        assert_eq!(
+            loaded.index_segments(RrStream::Optimize),
+            witness.index_segments(RrStream::Optimize),
+            "segment history must survive the save/load boundary"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_is_rejected_never_silently_reused() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        cache.with_at_least(&g, &m, &s, RrStream::Optimize, 400, |_| ());
+        let bytes = cache.to_snapshot_bytes();
+        let loaded = {
+            let reader = SnapshotReader::parse(&bytes).unwrap();
+            RrCache::read_snapshot(&reader, 1).unwrap()
+        };
+        // The live model changed since the snapshot was taken: the loaded
+        // collections must be invalidated and regenerated, not served.
+        let hotter = UniformIc::new(2, 0.9);
+        let (_, req) = loaded.with_at_least(&g, &hotter, &s, RrStream::Optimize, 400, roots);
+        assert_eq!(req.generated, 400, "stale collections must not be served");
+        assert_eq!(loaded.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn save_to_and_load_from_roundtrip_on_disk() {
+        let (g, m, s) = setup();
+        let cache = RrCache::new(g.num_nodes(), RrStrategy::Subsim, 1, 9);
+        cache.with_at_least(&g, &m, &s, RrStream::Validate, 250, |_| ());
+        let dir = std::env::temp_dir().join("rmsa_cache_snapshot_test");
+        let path = dir.join("cache.rmsnap");
+        cache.save_to(&path).unwrap();
+        let loaded = RrCache::load_from(&path, 4).unwrap();
+        assert_eq!(loaded.strategy(), RrStrategy::Subsim);
+        assert_eq!(loaded.len(RrStream::Validate), 250);
+        assert!(loaded.stats().snapshot_load_time > Duration::ZERO);
+        std::fs::remove_file(&path).ok();
+        let missing = RrCache::load_from(&path, 1).map(|_| ());
+        assert!(matches!(missing.unwrap_err(), StoreError::Io(_)));
+        // Corrupted files surface typed errors, not panics.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, b"RMSASNAPgarbage").unwrap();
+        assert!(RrCache::load_from(&path, 1).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

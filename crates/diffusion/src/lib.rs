@@ -34,10 +34,14 @@ pub mod models;
 pub mod rr;
 pub mod sampler;
 pub mod simulate;
+pub mod snapshot;
 
 pub use arena::{CoverBitset, CoverageIndex, CoverageSegment, CoverageView, RrArena, RrSetRef};
-pub use cache::{RrCache, RrCacheStats, RrRequestStats, RrStream, RrStreamView};
+pub use cache::{
+    distribution_fingerprint, RrCache, RrCacheStats, RrRequestStats, RrStream, RrStreamView,
+};
 pub use models::{AdId, MaterializedModel, PropagationModel, TicModel, UniformIc, WeightedCascade};
 pub use rr::{RrGenerator, RrSet, RrStrategy};
 pub use sampler::UniformRrSampler;
 pub use simulate::{estimate_spread, simulate_once};
+pub use snapshot::ModelSnapshot;

@@ -180,7 +180,7 @@ impl PropagationModel for TicModel {
 /// Fully materialised per-ad per-edge probabilities (`h x m`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MaterializedModel {
-    per_ad: Vec<Vec<f32>>,
+    pub(crate) per_ad: Vec<Vec<f32>>,
 }
 
 impl MaterializedModel {
@@ -229,11 +229,11 @@ impl PropagationModel for MaterializedModel {
 /// fast path.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WeightedCascade {
-    num_ads: usize,
+    pub(crate) num_ads: usize,
     /// Probability per forward edge id (`1 / indeg(target)`).
-    edge_probs: Vec<f32>,
+    pub(crate) edge_probs: Vec<f32>,
     /// Probability per node (`1 / indeg(node)`, 0 for indeg 0).
-    node_probs: Vec<f32>,
+    pub(crate) node_probs: Vec<f32>,
 }
 
 impl WeightedCascade {
@@ -279,8 +279,8 @@ impl PropagationModel for WeightedCascade {
 /// ad. Mostly used by tests, examples, and micro-benchmarks.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct UniformIc {
-    num_ads: usize,
-    prob: f64,
+    pub(crate) num_ads: usize,
+    pub(crate) prob: f64,
 }
 
 impl UniformIc {

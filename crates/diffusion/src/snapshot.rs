@@ -1,0 +1,571 @@
+//! Snapshot codecs for the diffusion layer: [`RrArena`], [`CoverageIndex`]
+//! and the propagation models.
+//!
+//! The arena's three columns and the index's CSR segments are written
+//! verbatim — loading restores not just the same RR-sets but the same
+//! *extension history* (segment boundaries, per-stream extension counters
+//! via [`crate::RrCache`]), which is what keeps a loaded cache on the exact
+//! deterministic trajectory a cold cache would have taken: the
+//! extend-never-rebuild invariant holds across a save/load boundary.
+//!
+//! All readers return typed [`StoreError`]s and never panic on corrupt
+//! bytes; container checksums have already been verified by the time these
+//! codecs run, so the checks here are semantic (consistent lengths, valid
+//! tags, ids in range).
+
+use crate::arena::{CoverageIndex, CoverageSegment, RrArena};
+use crate::models::{MaterializedModel, UniformIc, WeightedCascade};
+use crate::rr::RrStrategy;
+use rmsa_store::{Cursor, SectionBuf, StoreError};
+use std::sync::Arc;
+
+pub(crate) fn strategy_tag(strategy: RrStrategy) -> u8 {
+    match strategy {
+        RrStrategy::Standard => 0,
+        RrStrategy::Subsim => 1,
+    }
+}
+
+pub(crate) fn strategy_from_tag(tag: u8) -> Result<RrStrategy, StoreError> {
+    match tag {
+        0 => Ok(RrStrategy::Standard),
+        1 => Ok(RrStrategy::Subsim),
+        other => Err(StoreError::Corrupt(format!(
+            "unknown RR strategy tag {other}"
+        ))),
+    }
+}
+
+/// Write an arena's columnar buffers.
+pub fn write_arena(arena: &RrArena, out: &mut SectionBuf) {
+    out.put_u64(arena.num_nodes as u64);
+    out.put_u8(strategy_tag(arena.strategy));
+    out.put_u32_slice(&arena.ads.iter().map(|&a| a as u32).collect::<Vec<u32>>());
+    out.put_usize_slice(&arena.offsets);
+    out.put_u32_slice(&arena.nodes);
+}
+
+/// Read an arena back, validating the CSR structure.
+pub fn read_arena(cur: &mut Cursor<'_>) -> Result<RrArena, StoreError> {
+    let num_nodes = cur.get_u64("arena num_nodes")? as usize;
+    let strategy = strategy_from_tag(cur.get_u8("arena strategy")?)?;
+    let ads: Vec<usize> = cur
+        .get_u32_vec("arena ads")?
+        .into_iter()
+        .map(|a| a as usize)
+        .collect();
+    let offsets = cur.get_usize_vec("arena offsets")?;
+    let nodes = cur.get_u32_vec("arena nodes")?;
+
+    let corrupt = |why: &str| StoreError::Corrupt(format!("arena section: {why}"));
+    if offsets.len() != ads.len() + 1 {
+        return Err(corrupt("offsets/ads length mismatch"));
+    }
+    if offsets[0] != 0 || *offsets.last().expect("non-empty") != nodes.len() {
+        return Err(corrupt("offsets do not cover the node buffer"));
+    }
+    if offsets.windows(2).any(|w| w[0] >= w[1]) && !ads.is_empty() {
+        // An RR-set always contains at least its root.
+        return Err(corrupt("offsets are not strictly monotone"));
+    }
+    if num_nodes > u32::MAX as usize || nodes.iter().any(|&u| u as usize >= num_nodes) {
+        return Err(corrupt("a member node id is out of range"));
+    }
+    Ok(RrArena {
+        num_nodes,
+        strategy,
+        nodes,
+        offsets,
+        ads,
+    })
+}
+
+/// Write a coverage index: segment CSR blocks plus the shared
+/// advertiser/singleton columns.
+pub fn write_index(index: &CoverageIndex, out: &mut SectionBuf) {
+    out.put_u64(index.num_nodes as u64);
+    out.put_u64(index.num_ads as u64);
+    out.put_u64(index.num_rr as u64);
+    out.put_u64(index.segments.len() as u64);
+    for segment in &index.segments {
+        out.put_u32(segment.rr_base);
+        out.put_u32(segment.num_sets);
+        out.put_u32_slice(&segment.offsets);
+        out.put_u32_slice(&segment.entries);
+    }
+    out.put_u32_slice(&index.ads);
+    out.put_u32_slice(&index.singleton);
+}
+
+/// Read a coverage index back, validating segment structure against the
+/// arena it indexes.
+pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex, StoreError> {
+    let corrupt = |why: String| StoreError::Corrupt(format!("coverage-index section: {why}"));
+    let num_nodes = cur.get_u64("index num_nodes")? as usize;
+    let num_ads = cur.get_u64("index num_ads")? as usize;
+    let num_rr = cur.get_u64("index num_rr")? as usize;
+    let num_segments = cur.get_u64("index num_segments")? as usize;
+    if num_nodes != arena.num_nodes() {
+        return Err(corrupt(format!(
+            "index covers {num_nodes} nodes but the arena has {}",
+            arena.num_nodes()
+        )));
+    }
+    if num_ads == 0 {
+        return Err(corrupt("zero advertisers".to_string()));
+    }
+    if num_rr > arena.len() {
+        return Err(corrupt(format!(
+            "index claims {num_rr} RR-sets but the arena holds {}",
+            arena.len()
+        )));
+    }
+    // `num_segments` is untrusted: cap the preallocation by what the
+    // remaining bytes could hold (a segment is at least 24 bytes) so a
+    // crafted count errors as Truncated instead of aborting on an absurd
+    // allocation.
+    let mut segments = Vec::with_capacity(num_segments.min(cur.remaining() / 24));
+    let mut expected_base = 0u32;
+    for i in 0..num_segments {
+        let rr_base = cur.get_u32("segment rr_base")?;
+        let num_sets = cur.get_u32("segment num_sets")?;
+        let offsets = cur.get_u32_vec("segment offsets")?;
+        let entries = cur.get_u32_vec("segment entries")?;
+        if rr_base != expected_base {
+            return Err(corrupt(format!(
+                "segment {i} starts at RR {rr_base}, expected {expected_base}"
+            )));
+        }
+        if offsets.len() != num_nodes + 1
+            || offsets[0] != 0
+            || *offsets.last().expect("length checked") as usize != entries.len()
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(corrupt(format!("segment {i} has an inconsistent CSR")));
+        }
+        let end = rr_base as u64 + num_sets as u64;
+        if entries
+            .iter()
+            .any(|&rr| (rr as u64) < rr_base as u64 || rr as u64 >= end)
+        {
+            return Err(corrupt(format!("segment {i} has an RR id out of range")));
+        }
+        expected_base = end as u32;
+        segments.push(Arc::new(CoverageSegment {
+            rr_base,
+            num_sets,
+            offsets,
+            entries,
+        }));
+    }
+    if expected_base as usize != num_rr {
+        return Err(corrupt(format!(
+            "segments cover {expected_base} RR-sets, header says {num_rr}"
+        )));
+    }
+    let ads = cur.get_u32_vec("index ads")?;
+    let singleton = cur.get_u32_vec("index singleton")?;
+    if ads.len() != num_rr {
+        return Err(corrupt("advertiser column length mismatch".to_string()));
+    }
+    if singleton.len() != num_ads * num_nodes {
+        return Err(corrupt("singleton column length mismatch".to_string()));
+    }
+    if ads.iter().any(|&a| a as usize >= num_ads) {
+        return Err(corrupt("an advertiser id is out of range".to_string()));
+    }
+    Ok(CoverageIndex {
+        num_nodes,
+        num_ads,
+        num_rr,
+        segments,
+        ads: Arc::new(ads),
+        singleton: Arc::new(singleton),
+    })
+}
+
+/// The model variants the snapshot format can persist. [`crate::TicModel`]
+/// is stored in its materialised form — the representation every serving
+/// and experiment path runs on.
+#[derive(Clone, Debug)]
+pub enum ModelSnapshot {
+    /// Per-ad per-edge probability rows.
+    Materialized(MaterializedModel),
+    /// Weighted cascade (`p = 1/indeg`).
+    WeightedCascade(WeightedCascade),
+    /// One constant probability everywhere.
+    UniformIc(UniformIc),
+}
+
+const MODEL_MATERIALIZED: u8 = 1;
+const MODEL_WC: u8 = 2;
+const MODEL_UNIFORM: u8 = 3;
+
+/// Write propagation-model parameters.
+pub fn write_model(model: &ModelSnapshot, out: &mut SectionBuf) {
+    match model {
+        ModelSnapshot::Materialized(m) => {
+            out.put_u8(MODEL_MATERIALIZED);
+            out.put_u64(m.per_ad.len() as u64);
+            for row in &m.per_ad {
+                out.put_f32_slice(row);
+            }
+        }
+        ModelSnapshot::WeightedCascade(m) => {
+            out.put_u8(MODEL_WC);
+            out.put_u64(m.num_ads as u64);
+            out.put_f32_slice(&m.edge_probs);
+            out.put_f32_slice(&m.node_probs);
+        }
+        ModelSnapshot::UniformIc(m) => {
+            out.put_u8(MODEL_UNIFORM);
+            out.put_u64(m.num_ads as u64);
+            out.put_f64(m.prob);
+        }
+    }
+}
+
+/// Read propagation-model parameters back.
+pub fn read_model(cur: &mut Cursor<'_>) -> Result<ModelSnapshot, StoreError> {
+    let corrupt = |why: &str| StoreError::Corrupt(format!("model section: {why}"));
+    match cur.get_u8("model tag")? {
+        MODEL_MATERIALIZED => {
+            let h = cur.get_u64("model num_ads")? as usize;
+            if h == 0 {
+                return Err(corrupt("zero advertisers"));
+            }
+            // Untrusted count: cap by the bytes a row prefix needs.
+            let mut per_ad = Vec::with_capacity(h.min(cur.remaining() / 8));
+            let mut width = None;
+            for i in 0..h {
+                let row = cur.get_f32_vec("model probability row")?;
+                if row.iter().any(|p| !(0.0..=1.0).contains(p)) {
+                    return Err(corrupt("a probability is outside [0, 1]"));
+                }
+                if *width.get_or_insert(row.len()) != row.len() {
+                    return Err(StoreError::Corrupt(format!(
+                        "model section: row {i} has a different edge count"
+                    )));
+                }
+                per_ad.push(row);
+            }
+            Ok(ModelSnapshot::Materialized(MaterializedModel { per_ad }))
+        }
+        MODEL_WC => {
+            let num_ads = cur.get_u64("model num_ads")? as usize;
+            if num_ads == 0 {
+                return Err(corrupt("zero advertisers"));
+            }
+            let edge_probs = cur.get_f32_vec("model edge probabilities")?;
+            let node_probs = cur.get_f32_vec("model node probabilities")?;
+            if edge_probs
+                .iter()
+                .chain(&node_probs)
+                .any(|p| !(0.0..=1.0).contains(p))
+            {
+                return Err(corrupt("a probability is outside [0, 1]"));
+            }
+            Ok(ModelSnapshot::WeightedCascade(WeightedCascade {
+                num_ads,
+                edge_probs,
+                node_probs,
+            }))
+        }
+        MODEL_UNIFORM => {
+            let num_ads = cur.get_u64("model num_ads")? as usize;
+            let prob = cur.get_f64("model probability")?;
+            if num_ads == 0 || !(0.0..=1.0).contains(&prob) {
+                return Err(corrupt("invalid uniform-IC parameters"));
+            }
+            Ok(ModelSnapshot::UniformIc(UniformIc { num_ads, prob }))
+        }
+        other => Err(StoreError::Corrupt(format!("unknown model tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PropagationModel;
+    use crate::sampler::UniformRrSampler;
+    use rmsa_graph::generators::barabasi_albert;
+    use rmsa_store::{section, SnapshotReader, SnapshotWriter};
+
+    fn sample_arena(strategy: RrStrategy, count: usize) -> (rmsa_graph::DirectedGraph, RrArena) {
+        let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(11);
+        let g = barabasi_albert(200, 3, &mut rng);
+        let m = crate::models::WeightedCascade::new(&g, 2);
+        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
+        let mut arena = RrArena::new(g.num_nodes(), strategy);
+        arena.generate_parallel(&g, &m, &sampler, count, 2, 77);
+        (g, arena)
+    }
+
+    fn arena_bytes(arena: &RrArena) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        write_arena(arena, w.section(section::CACHE_STREAM_BASE));
+        w.finish()
+    }
+
+    /// Byte-and-semantics round trip for both RR strategies (the PR-1
+    /// seeded-loop style: several seeds, several sizes).
+    #[test]
+    fn arena_roundtrips_for_both_strategies() {
+        for strategy in [RrStrategy::Standard, RrStrategy::Subsim] {
+            for count in [1usize, 500, 3000] {
+                let (_, arena) = sample_arena(strategy, count);
+                let bytes = arena_bytes(&arena);
+                let r = SnapshotReader::parse(&bytes).unwrap();
+                let restored =
+                    read_arena(&mut r.require(section::CACHE_STREAM_BASE).unwrap()).unwrap();
+                assert_eq!(restored.len(), arena.len());
+                assert_eq!(restored.strategy(), strategy);
+                assert_eq!(restored.num_nodes(), arena.num_nodes());
+                let sets = |a: &RrArena| {
+                    a.iter()
+                        .map(|s| (s.ad, s.nodes.to_vec()))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(sets(&arena), sets(&restored), "{strategy:?}/{count}");
+                // Byte stability: save(load(save(x))) == save(x).
+                assert_eq!(arena_bytes(&restored), bytes);
+            }
+        }
+    }
+
+    /// Satellite invariant: graph + arena + coverage-index save/load is
+    /// byte- and semantics-identical across all five generator families
+    /// and both RR strategies (seeded loops, PR-1 style).
+    #[test]
+    fn full_roundtrip_across_generator_families_and_strategies() {
+        use rmsa_graph::generators;
+        for seed in [5u64, 23] {
+            let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(seed);
+            let graphs: Vec<(&str, rmsa_graph::DirectedGraph)> = vec![
+                ("erdos_renyi", generators::erdos_renyi(90, 0.06, &mut rng)),
+                (
+                    "barabasi_albert",
+                    generators::barabasi_albert(120, 3, &mut rng),
+                ),
+                (
+                    "power_law_configuration",
+                    generators::power_law_configuration(120, 2.4, 3.0, 25, &mut rng),
+                ),
+                (
+                    "watts_strogatz",
+                    generators::watts_strogatz(100, 4, 0.15, &mut rng),
+                ),
+                ("celebrity_graph", generators::celebrity_graph(3, 8)),
+            ];
+            for (family, graph) in &graphs {
+                for strategy in [RrStrategy::Standard, RrStrategy::Subsim] {
+                    let model = crate::models::WeightedCascade::new(graph, 2);
+                    let sampler = UniformRrSampler::new(&[1.0, 1.5]);
+                    let mut arena = RrArena::new(graph.num_nodes(), strategy);
+                    let mut index = CoverageIndex::new(graph.num_nodes(), 2);
+                    // Two extensions, so segment history is non-trivial.
+                    arena.generate_parallel(graph, &model, &sampler, 400, 2, seed ^ 0xA1);
+                    index.extend_from(&arena);
+                    arena.generate_parallel(graph, &model, &sampler, 300, 2, seed ^ 0xB2);
+                    index.extend_from(&arena);
+
+                    let serialize =
+                        |g: &rmsa_graph::DirectedGraph, a: &RrArena, i: &CoverageIndex| {
+                            let mut w = SnapshotWriter::new();
+                            rmsa_graph::snapshot::write_graph(g, w.section(section::GRAPH));
+                            write_arena(a, w.section(section::CACHE_STREAM_BASE));
+                            write_index(i, w.section(section::CACHE_STREAM_BASE + 1));
+                            w.finish()
+                        };
+                    let bytes = serialize(graph, &arena, &index);
+                    let r = SnapshotReader::parse(&bytes).unwrap();
+                    let graph2 =
+                        rmsa_graph::snapshot::read_graph(&mut r.require(section::GRAPH).unwrap())
+                            .unwrap();
+                    let arena2 =
+                        read_arena(&mut r.require(section::CACHE_STREAM_BASE).unwrap()).unwrap();
+                    let index2 = read_index(
+                        &mut r.require(section::CACHE_STREAM_BASE + 1).unwrap(),
+                        &arena2,
+                    )
+                    .unwrap();
+
+                    // Byte equality: re-serializing the loaded state is a
+                    // fixed point.
+                    assert_eq!(
+                        serialize(&graph2, &arena2, &index2),
+                        bytes,
+                        "{family}/{strategy:?} (seed {seed}) not byte-stable"
+                    );
+                    // Semantic equality: graph edges, every RR-set, and
+                    // every coverage answer.
+                    assert_eq!(
+                        graph.edges().collect::<Vec<_>>(),
+                        graph2.edges().collect::<Vec<_>>()
+                    );
+                    let sets = |a: &RrArena| {
+                        a.iter()
+                            .map(|s| (s.ad, s.nodes.to_vec()))
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(sets(&arena), sets(&arena2));
+                    assert_eq!(index2.num_segments(), 2);
+                    let (va, vb) = (index.view(), index2.view());
+                    for ad in 0..2 {
+                        for u in (0..graph.num_nodes() as u32).step_by(7) {
+                            assert_eq!(
+                                va.singleton_count(ad, u),
+                                vb.singleton_count(ad, u),
+                                "{family}/{strategy:?}: singleton diverged at {u}"
+                            );
+                        }
+                        let seeds: Vec<u32> = (0..15).collect();
+                        assert_eq!(va.coverage_count(ad, &seeds), vb.coverage_count(ad, &seeds));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_roundtrips_with_its_segment_structure() {
+        let (g, mut arena) = sample_arena(RrStrategy::Standard, 1200);
+        let m = crate::models::WeightedCascade::new(&g, 2);
+        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
+        let mut index = CoverageIndex::new(g.num_nodes(), 2);
+        index.extend_to(&arena, 700);
+        arena.generate_parallel(&g, &m, &sampler, 800, 2, 78);
+        index.extend_from(&arena);
+        assert_eq!(index.num_segments(), 2);
+
+        let mut w = SnapshotWriter::new();
+        write_arena(&arena, w.section(section::CACHE_STREAM_BASE));
+        write_index(&index, w.section(section::CACHE_STREAM_BASE + 1));
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let arena2 = read_arena(&mut r.require(section::CACHE_STREAM_BASE).unwrap()).unwrap();
+        let index2 = read_index(
+            &mut r.require(section::CACHE_STREAM_BASE + 1).unwrap(),
+            &arena2,
+        )
+        .unwrap();
+
+        // Segment structure (the extension history) is preserved…
+        assert_eq!(index2.num_segments(), 2);
+        assert_eq!(index2.num_rr(), index.num_rr());
+        // …and every coverage answer matches.
+        let (va, vb) = (index.view(), index2.view());
+        for ad in 0..2 {
+            for u in (0..g.num_nodes() as u32).step_by(13) {
+                assert_eq!(va.singleton_count(ad, u), vb.singleton_count(ad, u));
+            }
+            let seeds: Vec<u32> = (0..25).collect();
+            assert_eq!(va.coverage_count(ad, &seeds), vb.coverage_count(ad, &seeds));
+        }
+    }
+
+    #[test]
+    fn models_roundtrip_bit_for_bit() {
+        let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(3);
+        let g = barabasi_albert(60, 2, &mut rng);
+        let models = [
+            ModelSnapshot::Materialized(MaterializedModel::from_rows(vec![
+                vec![0.25; g.num_edges()],
+                vec![0.5; g.num_edges()],
+            ])),
+            ModelSnapshot::WeightedCascade(WeightedCascade::new(&g, 3)),
+            ModelSnapshot::UniformIc(UniformIc::new(2, 0.125)),
+        ];
+        for model in &models {
+            let mut w = SnapshotWriter::new();
+            write_model(model, w.section(section::MODEL));
+            let bytes = w.finish();
+            let r = SnapshotReader::parse(&bytes).unwrap();
+            let restored = read_model(&mut r.require(section::MODEL).unwrap()).unwrap();
+            let (a, b): (&dyn PropagationModel, &dyn PropagationModel) = (
+                match model {
+                    ModelSnapshot::Materialized(m) => m,
+                    ModelSnapshot::WeightedCascade(m) => m,
+                    ModelSnapshot::UniformIc(m) => m,
+                },
+                match &restored {
+                    ModelSnapshot::Materialized(m) => m,
+                    ModelSnapshot::WeightedCascade(m) => m,
+                    ModelSnapshot::UniformIc(m) => m,
+                },
+            );
+            assert_eq!(a.num_ads(), b.num_ads());
+            for ad in 0..a.num_ads() {
+                for e in 0..g.num_edges() as u32 {
+                    assert_eq!(a.edge_prob(ad, e).to_bits(), b.edge_prob(ad, e).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_declared_counts_error_instead_of_allocating() {
+        // A checksum-valid section whose declared segment count is absurd
+        // must fail with a typed error, not a capacity-overflow abort.
+        let (_, arena) = sample_arena(RrStrategy::Standard, 8);
+        let mut w = SnapshotWriter::new();
+        let s = w.section(section::CACHE_STREAM_BASE + 1);
+        s.put_u64(arena.num_nodes() as u64);
+        s.put_u64(2);
+        s.put_u64(8);
+        s.put_u64(u64::MAX); // num_segments
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let err = read_index(
+            &mut r.require(section::CACHE_STREAM_BASE + 1).unwrap(),
+            &arena,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(
+            matches!(err, StoreError::Truncated { .. } | StoreError::Corrupt(_)),
+            "{err:?}"
+        );
+
+        // Same for a materialized model declaring u64::MAX advertisers.
+        let mut w = SnapshotWriter::new();
+        let s = w.section(section::MODEL);
+        s.put_u8(1); // materialized tag
+        s.put_u64(u64::MAX);
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let err = read_model(&mut r.require(section::MODEL).unwrap())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn semantic_corruption_is_rejected() {
+        let (_, arena) = sample_arena(RrStrategy::Standard, 64);
+        // Arena whose offsets disagree with the node buffer.
+        let mut w = SnapshotWriter::new();
+        let s = w.section(section::CACHE_STREAM_BASE);
+        s.put_u64(arena.num_nodes() as u64);
+        s.put_u8(0);
+        s.put_u32_slice(&[0, 1]); // two sets claimed
+        s.put_usize_slice(&[0, 1]); // but offsets describe one
+        s.put_u32_slice(&[0]);
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert!(matches!(
+            read_arena(&mut r.require(section::CACHE_STREAM_BASE).unwrap()).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+
+        // Unknown strategy and model tags.
+        let mut w = SnapshotWriter::new();
+        w.section(section::MODEL).put_u8(200);
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert!(matches!(
+            read_model(&mut r.require(section::MODEL).unwrap()).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+    }
+}

@@ -17,17 +17,17 @@ pub type EdgeId = u32;
 /// incoming edges (the hot path of RR-set generation).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DirectedGraph {
-    num_nodes: usize,
+    pub(crate) num_nodes: usize,
     /// Forward CSR offsets, length `n + 1`.
-    out_offsets: Vec<u32>,
+    pub(crate) out_offsets: Vec<u32>,
     /// Forward CSR targets, length `m`.
-    out_targets: Vec<NodeId>,
+    pub(crate) out_targets: Vec<NodeId>,
     /// Reverse CSR offsets, length `n + 1`.
-    in_offsets: Vec<u32>,
+    pub(crate) in_offsets: Vec<u32>,
     /// Reverse CSR sources, length `m`.
-    in_sources: Vec<NodeId>,
+    pub(crate) in_sources: Vec<NodeId>,
     /// For each reverse slot, the forward edge id of that edge.
-    in_edge_ids: Vec<EdgeId>,
+    pub(crate) in_edge_ids: Vec<EdgeId>,
 }
 
 impl DirectedGraph {

@@ -17,6 +17,7 @@ pub mod builder;
 pub mod csr;
 pub mod generators;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 pub mod traversal;
 

@@ -26,6 +26,7 @@ pub mod histogram;
 pub mod loadgen;
 pub mod server;
 pub mod session;
+pub mod snapshot;
 pub mod wire;
 
 pub use client::ServiceClient;
@@ -33,6 +34,7 @@ pub use histogram::LogHistogram;
 pub use loadgen::{LoadMix, LoadgenConfig, LoadgenOutcome};
 pub use server::{start, ServiceConfig, ServiceHandle};
 pub use session::{Session, SessionKey, SessionRegistry};
+pub use snapshot::{SnapshotInfo, SESSION_SNAPSHOT_VERSION};
 pub use wire::{Request, Response, SolveRequest, WarmRequest, WIRE_SCHEMA_VERSION};
 
 /// A tiny [`rmsa_bench::ExperimentContext`] for smoke-scale serving:

@@ -294,6 +294,8 @@ pub fn report(outcome: &LoadgenOutcome, config: &LoadgenConfig, quick: bool) -> 
                     rr_sets: mean(&|r| r.result.rr_used as f64).round() as usize,
                     rr_generated: class.iter().map(|(r, _)| r.result.rr_generated).sum(),
                     index_secs: 0.0,
+                    loaded_from_snapshot: 0,
+                    snapshot_load_secs: 0.0,
                     memory_bytes: 0,
                     memory_mib: 0.0,
                     budget_usage_pct: 0.0,
@@ -341,6 +343,8 @@ fn meta_outcome(wall_secs: f64, memory_bytes: usize) -> AlgoOutcome {
         rr_sets: 0,
         rr_generated: 0,
         index_secs: 0.0,
+        loaded_from_snapshot: 0,
+        snapshot_load_secs: 0.0,
         memory_bytes,
         memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
         budget_usage_pct: 0.0,

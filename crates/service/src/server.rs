@@ -22,6 +22,7 @@ use rmsa_bench::ExperimentContext;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -35,16 +36,22 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// LRU bound on resident sessions.
     pub max_sessions: usize,
+    /// Snapshot directory (`--snapshot-dir`): sessions warm-start from it
+    /// on boot and are persisted back in the background after every cache
+    /// extension. `None` disables persistence.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl ServiceConfig {
     /// Config with the default worker count
-    /// ([`rmsa_core::default_num_threads`]) and 4 resident sessions.
+    /// ([`rmsa_core::default_num_threads`]), 4 resident sessions, and no
+    /// snapshot persistence.
     pub fn new(ctx: ExperimentContext) -> Self {
         ServiceConfig {
             ctx,
             workers: rmsa_core::default_num_threads(),
             max_sessions: 4,
+            snapshot_dir: None,
         }
     }
 }
@@ -84,6 +91,9 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// In-flight background snapshot writes; joined on shutdown so a
+    /// `shutdown` right after a warm-up never truncates a persist.
+    persists: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -125,11 +135,16 @@ impl ServiceHandle {
         self.shared.begin_shutdown();
     }
 
-    /// Block until the accept loop and all workers have exited.
+    /// Block until the accept loop, all workers and any in-flight
+    /// background snapshot writes have finished.
     pub fn wait(self) {
         let _ = self.accept.join();
         for worker in self.workers {
             let _ = worker.join();
+        }
+        let persists = std::mem::take(&mut *self.shared.persists.lock().expect("persist lock"));
+        for persist in persists {
+            let _ = persist.join();
         }
     }
 }
@@ -140,11 +155,13 @@ pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        registry: SessionRegistry::new(config.ctx.clone(), config.max_sessions),
+        registry: SessionRegistry::new(config.ctx.clone(), config.max_sessions)
+            .with_snapshot_dir(config.snapshot_dir.clone()),
         addr,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        persists: Mutex::new(Vec::new()),
     });
     let workers = (0..config.workers.max(1))
         .map(|i| {
@@ -305,6 +322,39 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Persist `session` to the registry's snapshot directory on a background
+/// thread (never on the serving path). Called after a warm-up actually
+/// extended the cache; the handle is joined on shutdown.
+fn persist_in_background(shared: &Shared, session: Arc<crate::session::Session>) {
+    let Some(dir) = shared.registry.snapshot_dir().map(Path::to_path_buf) else {
+        return;
+    };
+    let handle = std::thread::Builder::new()
+        .name("rmsa-snapshot".to_string())
+        .spawn(move || match session.save_snapshot(&dir) {
+            Ok(path) => {
+                eprintln!(
+                    "rmsa serve: persisted {} to {}",
+                    session.key().label(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!(
+                    "rmsa serve: failed to persist {}: {e}",
+                    session.key().label()
+                );
+            }
+        });
+    if let Ok(handle) = handle {
+        let mut persists = shared.persists.lock().expect("persist lock");
+        // Reap completed persists so a long-lived daemon under churn does
+        // not accumulate one handle per warm-up forever.
+        persists.retain(|h| !h.is_finished());
+        persists.push(handle);
+    }
+}
+
 fn serve_batch(shared: &Shared, batch: Vec<Job>) {
     let key = batch[0].key;
     let session = shared.registry.session(key);
@@ -314,6 +364,9 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
         match job.kind {
             JobKind::Warm(warm) => {
                 let outcome = session.ensure_warm(warm.target_rr);
+                if !outcome.already_warm {
+                    persist_in_background(shared, session.clone());
+                }
                 job.out.send(&Response::Warm(crate::wire::WarmResponse {
                     id: warm.id,
                     session: key.label(),
@@ -324,8 +377,13 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
             }
             JobKind::Solve(solve) => {
                 // Warm before solving — a no-op for every batch member
-                // but (at most) the first.
-                session.ensure_warm(None);
+                // but (at most) the first. When the warm-up did real
+                // cache work, persist the freshly warmed session so the
+                // next restart skips it.
+                let outcome = session.ensure_warm(None);
+                if !outcome.already_warm {
+                    persist_in_background(shared, session.clone());
+                }
                 let started = Instant::now();
                 let response = match session.solve(&solve) {
                     Ok(result) => Response::Solve(SolveResponse {

@@ -1,0 +1,535 @@
+//! Persistent session snapshots: everything a warm [`Session`] is made of
+//! — graph CSR, propagation-model parameters, Table-2 advertisers,
+//! singleton spreads, and the full RR-set cache (arenas + coverage
+//! indexes + extension counters) — in one `rmsa-store` container, so
+//! `rmsa serve --snapshot-dir` restarts warm instead of regenerating
+//! minutes of RR samples.
+//!
+//! ## Staleness — rejected, never silently reused
+//!
+//! A snapshot is keyed twice:
+//!
+//! 1. the **meta section** records the deterministic build inputs
+//!    (dataset, strategy, scale, seed, advertiser count, spread sample
+//!    size); any mismatch with the serving context rejects the file with a
+//!    reason, and
+//! 2. the persisted **RR-cache fingerprint** (CPE line-up + model probe,
+//!    see [`rmsa_diffusion::distribution_fingerprint`]) is re-derived from
+//!    the *loaded* graph/model/advertisers and compared — a file whose
+//!    collections do not match its own ingredients is rejected too. Even
+//!    if both checks were bypassed, the cache's own revalidation on first
+//!    use would drop mismatched collections rather than serve them.
+//!
+//! A rejected or corrupt snapshot falls back to the deterministic cold
+//! build; the daemon logs why.
+
+use crate::session::{Session, SessionKey};
+use crate::wire::strategy_name;
+use rmsa::prelude::*;
+use rmsa_bench::ExperimentContext;
+use rmsa_datasets::{Dataset, DatasetModel};
+use rmsa_diffusion::snapshot::ModelSnapshot;
+use rmsa_diffusion::{RrCache, UniformRrSampler};
+use rmsa_store::{read_file, section, SnapshotReader, SnapshotWriter, StoreError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Snapshot kind tag stored in the meta section.
+pub const SESSION_SNAPSHOT_KIND: &str = "rmsa-session";
+
+/// Session-snapshot schema version (independent of the container version).
+pub const SESSION_SNAPSHOT_VERSION: u32 = 1;
+
+/// Canonical file name of a session snapshot inside a snapshot directory.
+pub fn snapshot_path(dir: &Path, key: SessionKey) -> PathBuf {
+    dir.join(format!(
+        "{}-{}.rmsnap",
+        key.dataset.name(),
+        strategy_name(key.strategy)
+    ))
+}
+
+/// The meta section of a session snapshot: the deterministic build inputs
+/// the file is keyed by, plus the warm level to restore.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionMeta {
+    /// Dataset name (`lastfm-syn`, …).
+    pub dataset: String,
+    /// RR strategy wire name (`standard` / `subsim`).
+    pub strategy: String,
+    /// Dataset scale the graph was built at.
+    pub scale: f64,
+    /// Master seed of the serving context.
+    pub seed: u64,
+    /// Advertiser count.
+    pub num_ads: usize,
+    /// RR-sets per advertiser behind the persisted singleton spreads.
+    pub spread_rr: usize,
+    /// Size of the independent evaluation collection.
+    pub eval_rr: usize,
+    /// Warm level (serving θ) at save time; restored so a warm-started
+    /// session reports `warm_extensions == 0`.
+    pub warm_level: usize,
+}
+
+fn write_meta(meta: &SessionMeta, w: &mut SnapshotWriter) {
+    let s = w.section(section::META);
+    s.put_str(SESSION_SNAPSHOT_KIND);
+    s.put_u32(SESSION_SNAPSHOT_VERSION);
+    s.put_str(&meta.dataset);
+    s.put_str(&meta.strategy);
+    s.put_f64(meta.scale);
+    s.put_u64(meta.seed);
+    s.put_u64(meta.num_ads as u64);
+    s.put_u64(meta.spread_rr as u64);
+    s.put_u64(meta.eval_rr as u64);
+    s.put_u64(meta.warm_level as u64);
+}
+
+fn read_meta(r: &SnapshotReader<'_>) -> Result<SessionMeta, StoreError> {
+    let mut c = r.require(section::META)?;
+    let kind = c.get_str("snapshot kind")?;
+    if kind != SESSION_SNAPSHOT_KIND {
+        return Err(StoreError::Mismatch(format!(
+            "snapshot kind is {kind:?}, expected {SESSION_SNAPSHOT_KIND:?}"
+        )));
+    }
+    let version = c.get_u32("session snapshot version")?;
+    if version != SESSION_SNAPSHOT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    Ok(SessionMeta {
+        dataset: c.get_str("meta dataset")?,
+        strategy: c.get_str("meta strategy")?,
+        scale: c.get_f64("meta scale")?,
+        seed: c.get_u64("meta seed")?,
+        num_ads: c.get_u64("meta num_ads")? as usize,
+        spread_rr: c.get_u64("meta spread_rr")? as usize,
+        eval_rr: c.get_u64("meta eval_rr")? as usize,
+        warm_level: c.get_u64("meta warm_level")? as usize,
+    })
+}
+
+/// Serialize a session into snapshot bytes.
+pub fn session_to_bytes(session: &Session) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    // Hold the warm lock (the session's warm-up critical section) across
+    // the whole serialization: a concurrent Warm RPC must not extend the
+    // cache between the meta block and the cache sections, or the file
+    // would record a warm level below its own collections — and a restart
+    // from it would re-extend.
+    let warm_level = session.warm_level.lock().expect("warm lock poisoned");
+    let meta = SessionMeta {
+        dataset: session.key.dataset.name().to_string(),
+        strategy: strategy_name(session.key.strategy).to_string(),
+        scale: session.dataset.scale,
+        seed: session.workbench.cache().base_seed(),
+        num_ads: session.dataset.num_ads,
+        spread_rr: session.spread_rr,
+        eval_rr: session.eval_rr,
+        warm_level: *warm_level,
+    };
+    write_meta(&meta, &mut w);
+    rmsa_graph::snapshot::write_graph(&session.dataset.graph, w.section(section::GRAPH));
+    let model = match &session.dataset.model {
+        DatasetModel::Tic(m) => ModelSnapshot::Materialized(m.clone()),
+        DatasetModel::WeightedCascade(m) => ModelSnapshot::WeightedCascade(m.clone()),
+    };
+    rmsa_diffusion::snapshot::write_model(&model, w.section(section::MODEL));
+    let ads = w.section(section::ADVERTISERS);
+    ads.put_u64(session.advertisers.len() as u64);
+    for a in &session.advertisers {
+        ads.put_f64(a.budget);
+        ads.put_f64(a.cpe);
+    }
+    let spreads = w.section(section::SPREADS);
+    spreads.put_u64(session.spreads.len() as u64);
+    for row in &session.spreads {
+        spreads.put_f64_slice(row);
+    }
+    session.workbench.cache().write_snapshot(&mut w);
+    w.finish()
+}
+
+/// Persist a session under `dir` (atomic write). Returns the file path.
+pub fn save_session(session: &Session, dir: &Path) -> Result<PathBuf, StoreError> {
+    let path = snapshot_path(dir, session.key());
+    rmsa_store::write_file(&path, &session_to_bytes(session))?;
+    Ok(path)
+}
+
+/// Why a present, well-formed-enough-to-read snapshot was not used.
+fn stale(why: String) -> StoreError {
+    StoreError::Mismatch(why)
+}
+
+/// Rebuild a [`Session`] from snapshot bytes, verifying the snapshot
+/// matches `key` and `ctx` (see the module docs for the rejection rules).
+pub fn session_from_bytes(
+    bytes: &[u8],
+    key: SessionKey,
+    ctx: &ExperimentContext,
+) -> Result<Session, StoreError> {
+    let start = Instant::now();
+    let r = SnapshotReader::parse(bytes)?;
+    let meta = read_meta(&r)?;
+
+    // Key/context checks: every deterministic build input must match.
+    let expected_scale = key.dataset.default_scale() * ctx.scale;
+    let checks: [(&str, String, String); 6] = [
+        ("dataset", meta.dataset.clone(), key.dataset.name().into()),
+        (
+            "strategy",
+            meta.strategy.clone(),
+            strategy_name(key.strategy).into(),
+        ),
+        ("seed", meta.seed.to_string(), ctx.seed.to_string()),
+        ("num_ads", meta.num_ads.to_string(), ctx.num_ads.to_string()),
+        (
+            "spread_rr",
+            meta.spread_rr.to_string(),
+            ctx.spread_rr.to_string(),
+        ),
+        ("eval_rr", meta.eval_rr.to_string(), ctx.eval_rr.to_string()),
+    ];
+    for (field, found, expected) in checks {
+        if found != expected {
+            return Err(stale(format!(
+                "{field} is {found} but the serving context expects {expected}"
+            )));
+        }
+    }
+    if (meta.scale - expected_scale).abs() > 1e-12 * expected_scale.abs().max(1.0) {
+        return Err(stale(format!(
+            "scale is {} but the serving context expects {expected_scale}",
+            meta.scale
+        )));
+    }
+
+    let graph = rmsa_graph::snapshot::read_graph(&mut r.require(section::GRAPH)?)?;
+    let model = match rmsa_diffusion::snapshot::read_model(&mut r.require(section::MODEL)?)? {
+        ModelSnapshot::Materialized(m) => DatasetModel::Tic(m),
+        ModelSnapshot::WeightedCascade(m) => DatasetModel::WeightedCascade(m),
+        ModelSnapshot::UniformIc(_) => {
+            return Err(StoreError::Corrupt(
+                "session snapshots never carry a uniform-IC model".to_string(),
+            ))
+        }
+    };
+
+    let mut ads = r.require(section::ADVERTISERS)?;
+    let h = ads.get_u64("advertiser count")? as usize;
+    if h != ctx.num_ads {
+        return Err(stale(format!(
+            "snapshot has {h} advertisers, context expects {}",
+            ctx.num_ads
+        )));
+    }
+    let mut advertisers = Vec::with_capacity(h);
+    for _ in 0..h {
+        let budget = ads.get_f64("advertiser budget")?;
+        let cpe = ads.get_f64("advertiser cpe")?;
+        advertisers.push(
+            Advertiser::try_new(budget, cpe)
+                .map_err(|e| StoreError::Corrupt(format!("invalid persisted advertiser: {e}")))?,
+        );
+    }
+
+    let mut spreads_cur = r.require(section::SPREADS)?;
+    let rows = spreads_cur.get_u64("spread row count")? as usize;
+    if rows != h {
+        return Err(StoreError::Corrupt(format!(
+            "{rows} spread rows for {h} advertisers"
+        )));
+    }
+    let mut spreads = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let row = spreads_cur.get_f64_vec("spread row")?;
+        if row.len() != graph.num_nodes() {
+            return Err(StoreError::Corrupt(
+                "spread row length disagrees with the graph".to_string(),
+            ));
+        }
+        spreads.push(row);
+    }
+
+    let cache = RrCache::read_snapshot(&r, ctx.threads)?;
+    if cache.num_nodes() != graph.num_nodes() {
+        return Err(StoreError::Corrupt(
+            "cache node count disagrees with the graph".to_string(),
+        ));
+    }
+    // Fingerprint check: the persisted collections must have been drawn
+    // from exactly the distribution the loaded ingredients induce.
+    let cpes: Vec<f64> = advertisers.iter().map(|a| a.cpe).collect();
+    let sampler = UniformRrSampler::new(&cpes);
+    let expected_fp = rmsa_diffusion::distribution_fingerprint(&graph, &model, &sampler);
+    match cache.fingerprint() {
+        Some(fp) if fp == expected_fp => {}
+        Some(fp) => {
+            return Err(stale(format!(
+                "RR-cache fingerprint {fp:016x} does not match the live distribution \
+                 {expected_fp:016x}"
+            )))
+        }
+        None if meta.warm_level > 0 => {
+            return Err(StoreError::Corrupt(
+                "warm snapshot without a cache fingerprint".to_string(),
+            ))
+        }
+        None => {}
+    }
+
+    let dataset = Dataset {
+        kind: key.dataset,
+        graph: graph.clone(),
+        model,
+        num_ads: h,
+        scale: meta.scale,
+    };
+    let workbench = Workbench::builder()
+        .graph(graph)
+        .model(dataset.model.clone())
+        .strategy(key.strategy)
+        .threads(ctx.threads)
+        .seed(ctx.seed)
+        .preloaded_cache(cache)
+        .build()
+        .map_err(|e| StoreError::Corrupt(format!("workbench rebuild failed: {e}")))?;
+    let rma_config = rmsa_bench::default_rma_config(ctx);
+    let ti_config = rmsa_bench::default_ti_config(ctx);
+    let default_target = rma_config.max_rr_per_collection;
+    Ok(Session {
+        key,
+        dataset,
+        workbench,
+        advertisers,
+        spreads,
+        rma_config,
+        ti_config,
+        eval_rr: ctx.eval_rr,
+        spread_rr: ctx.spread_rr,
+        default_target,
+        warm_level: Mutex::new(meta.warm_level),
+        warm_extensions: AtomicUsize::new(0),
+        served: AtomicUsize::new(0),
+        loaded_from_snapshot: true,
+        snapshot_load_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Load the session snapshot for `key` from `dir`.
+///
+/// * `Ok(Some(session))` — warm-started from disk;
+/// * `Ok(None)` — no snapshot file exists (cold build, nothing logged);
+/// * `Err(e)` — a file exists but is corrupt or stale; the caller falls
+///   back to a cold build and reports `e` (rejected, never silently
+///   reused).
+pub fn load_session(
+    key: SessionKey,
+    ctx: &ExperimentContext,
+    dir: &Path,
+) -> Result<Option<Session>, StoreError> {
+    let path = snapshot_path(dir, key);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let start = Instant::now();
+    let bytes = read_file(&path)?;
+    let mut session = session_from_bytes(&bytes, key, ctx)?;
+    // Include the file read in the reported load time.
+    session.snapshot_load_secs = start.elapsed().as_secs_f64();
+    Ok(Some(session))
+}
+
+/// Per-stream summary used by `rmsa snapshot inspect` and
+/// `rmsa dataset info`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamInfo {
+    /// Stream slot (0 = Optimize, 1 = Validate, 2 = Evaluate, 3+ = Aux).
+    pub index: usize,
+    /// Cached RR-sets.
+    pub sets: usize,
+    /// Total member entries across those sets.
+    pub entries: usize,
+    /// Mean RR-set size.
+    pub mean_size: f64,
+    /// Arena extensions recorded (one immutable index segment each).
+    pub extensions: u64,
+}
+
+/// Everything `rmsa snapshot inspect` prints about a snapshot file.
+#[derive(Clone, Debug)]
+pub struct SnapshotInfo {
+    /// File size in bytes.
+    pub file_bytes: usize,
+    /// Raw section table (id, registry name, payload length).
+    pub sections: Vec<rmsa_store::SectionInfo>,
+    /// Session meta, when the file is a session snapshot.
+    pub meta: Option<SessionMeta>,
+    /// Graph dimensions, when a graph section is present.
+    pub graph: Option<(usize, usize)>,
+    /// RR-cache fingerprint, when a cache-meta section is present.
+    pub cache_fingerprint: Option<u64>,
+    /// Per-stream RR summaries.
+    pub streams: Vec<StreamInfo>,
+}
+
+impl SnapshotInfo {
+    /// Mean RR-set size of the Optimize stream (the figure Table 1 quotes
+    /// as "mean RR size"), when the snapshot holds one.
+    pub fn mean_rr_size(&self) -> Option<f64> {
+        self.streams
+            .iter()
+            .find(|s| s.index == 0 && s.sets > 0)
+            .map(|s| s.mean_size)
+    }
+}
+
+/// Inspect a snapshot file without rebuilding a session: validates the
+/// container (magic, version, checksums) and decodes the summary blocks.
+pub fn inspect(path: &Path) -> Result<SnapshotInfo, StoreError> {
+    let bytes = read_file(path)?;
+    let r = SnapshotReader::parse(&bytes)?;
+    let meta = match r.section(section::META) {
+        Some(_) => read_meta(&r).ok(),
+        None => None,
+    };
+    let graph = match r.section(section::GRAPH) {
+        Some(_) => {
+            let g = rmsa_graph::snapshot::read_graph(&mut r.require(section::GRAPH)?)?;
+            Some((g.num_nodes(), g.num_edges()))
+        }
+        None => None,
+    };
+    let cache_fingerprint = match r.section(section::CACHE_META) {
+        Some(mut c) => {
+            let _num_nodes = c.get_u64("cache num_nodes")?;
+            let _strategy = c.get_u8("cache strategy")?;
+            let _seed = c.get_u64("cache base_seed")?;
+            let has_fp = c.get_u8("cache fingerprint flag")? != 0;
+            let fp = c.get_u64("cache fingerprint")?;
+            has_fp.then_some(fp)
+        }
+        None => None,
+    };
+    let mut streams = Vec::new();
+    for (id, mut cur) in r.sections_in_range(section::CACHE_STREAM_BASE, section::CACHE_STREAM_END)
+    {
+        let extensions = cur.get_u64("stream extensions")?;
+        let arena = rmsa_diffusion::snapshot::read_arena(&mut cur)?;
+        streams.push(StreamInfo {
+            index: (id - section::CACHE_STREAM_BASE) as usize,
+            sets: arena.len(),
+            entries: arena.total_entries(),
+            mean_size: arena.mean_size(),
+            extensions,
+        });
+    }
+    streams.sort_by_key(|s| s.index);
+    Ok(SnapshotInfo {
+        file_bytes: bytes.len(),
+        sections: r.sections(),
+        meta,
+        graph,
+        cache_fingerprint,
+        streams,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_ctx;
+    use crate::wire::Algorithm;
+    use rmsa_datasets::DatasetKind;
+    use rmsa_diffusion::RrStrategy;
+
+    fn key() -> SessionKey {
+        SessionKey {
+            dataset: DatasetKind::LastfmSyn,
+            strategy: RrStrategy::Standard,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rmsa_session_snapshot_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn warm_session_roundtrips_and_solves_identically() {
+        let ctx = tiny_ctx();
+        let cold = Session::build(key(), &ctx);
+        cold.ensure_warm(None);
+        let request = crate::test_util::solve_request(1, Algorithm::Rma, 0.2);
+        let cold_result = cold.solve(&request).unwrap();
+
+        let dir = temp_dir("roundtrip");
+        let path = save_session(&cold, &dir).unwrap();
+        let warm = load_session(key(), &ctx, &dir)
+            .unwrap()
+            .expect("file exists");
+        assert!(warm.loaded_from_snapshot);
+        assert!(warm.snapshot_load_secs > 0.0);
+
+        // The restored session is already at the serving θ: warming is a
+        // no-op and the solve is bit-identical to the cold session's.
+        let outcome = warm.ensure_warm(None);
+        assert!(outcome.already_warm, "snapshot must restore the warm level");
+        assert_eq!(outcome.generated, 0);
+        let warm_result = warm.solve(&request).unwrap();
+        assert_eq!(warm_result, cold_result, "solve must be bit-identical");
+        assert_eq!(warm.stats_entry().warm_extensions, 0);
+        assert_eq!(warm_result.rr_generated, 0);
+
+        let info = inspect(&path).unwrap();
+        assert_eq!(info.meta.as_ref().unwrap().dataset, "lastfm-syn");
+        assert!(info.mean_rr_size().unwrap() >= 1.0);
+        assert!(info.graph.unwrap().0 >= 32);
+        assert!(info.cache_fingerprint.is_some());
+        assert!(info.streams.len() >= 3, "optimize/validate/evaluate");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_cold_start() {
+        let dir = temp_dir("missing");
+        std::fs::remove_file(snapshot_path(&dir, key())).ok();
+        assert!(load_session(key(), &tiny_ctx(), &dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_snapshots_are_rejected_with_reasons() {
+        let ctx = tiny_ctx();
+        let session = Session::build(key(), &ctx);
+        session.ensure_warm(None);
+        let dir = temp_dir("stale");
+        save_session(&session, &dir).unwrap();
+
+        // A different master seed must reject the file…
+        let mut other = ctx.clone();
+        other.seed ^= 1;
+        let err = load_session(key(), &other, &dir).map(|_| ()).unwrap_err();
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+        assert!(err.to_string().contains("seed"), "{err}");
+
+        // …and so must a different advertiser line-up.
+        let mut more_ads = ctx.clone();
+        more_ads.num_ads += 1;
+        let err = load_session(key(), &more_ads, &dir)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("num_ads"), "{err}");
+
+        // A truncated file is corrupt, not silently cold.
+        let path = snapshot_path(&dir, key());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_session(key(), &ctx, &dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

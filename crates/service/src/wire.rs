@@ -356,6 +356,11 @@ pub struct SessionStatsEntry {
     pub index_extended: usize,
     /// Exact heap footprint of the session's arenas and indexes.
     pub memory_bytes: usize,
+    /// True when the session was warm-started from a disk snapshot
+    /// (`rmsa serve --snapshot-dir`).
+    pub loaded_from_snapshot: bool,
+    /// Seconds spent loading that snapshot (0 for cold-built sessions).
+    pub snapshot_load_secs: f64,
 }
 
 /// A server response.
@@ -579,7 +584,9 @@ fn session_stats_to_json(s: &SessionStatsEntry) -> Json {
         .set("rr_generated", Json::Int(s.rr_generated as i64))
         .set("rr_requested", Json::Int(s.rr_requested as i64))
         .set("index_extended", Json::Int(s.index_extended as i64))
-        .set("memory_bytes", Json::Int(s.memory_bytes as i64));
+        .set("memory_bytes", Json::Int(s.memory_bytes as i64))
+        .set("loaded_from_snapshot", Json::Bool(s.loaded_from_snapshot))
+        .set("snapshot_load_secs", Json::Num(s.snapshot_load_secs));
     doc
 }
 
@@ -593,6 +600,16 @@ fn session_stats_from_json(doc: &Json) -> Result<SessionStatsEntry, String> {
         rr_requested: int_field(doc, "rr_requested")?,
         index_extended: int_field(doc, "index_extended")?,
         memory_bytes: int_field(doc, "memory_bytes")?,
+        // Additive v1 fields: stats written before the snapshot subsystem
+        // simply lack them.
+        loaded_from_snapshot: doc
+            .get("loaded_from_snapshot")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false),
+        snapshot_load_secs: doc
+            .get("snapshot_load_secs")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0),
     })
 }
 
@@ -744,6 +761,8 @@ mod tests {
                     rr_requested: 500_000,
                     index_extended: 44_000,
                     memory_bytes: 1 << 22,
+                    loaded_from_snapshot: false,
+                    snapshot_load_secs: 0.0,
                 }],
                 evictions: 2,
             },

@@ -17,6 +17,7 @@ fn tiny_config(workers: usize) -> ServiceConfig {
         ctx: rmsa_service::tiny_serve_ctx(7),
         workers,
         max_sessions: 2,
+        snapshot_dir: None,
     }
 }
 
@@ -229,6 +230,79 @@ fn protocol_errors_are_answered_not_fatal() {
 
     handle.shutdown();
     handle.wait();
+}
+
+#[test]
+fn snapshot_restart_is_warm_and_bit_identical() {
+    // The round-trip invariant, end to end over real TCP: run a daemon
+    // with --snapshot-dir, drive it, shut it down; a restarted daemon on
+    // the same directory must (a) warm-start every session from disk,
+    // (b) answer the same seeded load with bit-identical canonical
+    // response bytes, and (c) report zero warm extensions — the restart
+    // generated no RR-set at all.
+    let dir = std::env::temp_dir().join("rmsa_service_snapshot_restart");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config_with_dir = |workers: usize| {
+        let mut config = tiny_config(workers);
+        config.snapshot_dir = Some(dir.clone());
+        config
+    };
+
+    // Cold run: builds sessions, persists them in the background.
+    let handle = server::start("127.0.0.1:0", config_with_dir(2)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let load = LoadgenConfig::quick(7);
+    let cold = loadgen::run(&addr, &load).expect("loadgen");
+    assert_eq!(cold.errors, Vec::<String>::new());
+    handle.shutdown();
+    handle.wait(); // joins the background persist threads
+    let snapshots: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert!(
+        snapshots.iter().any(|n| n.ends_with(".rmsnap")),
+        "cold run must persist snapshots, found {snapshots:?}"
+    );
+
+    // Warm restart: same directory, different worker count on purpose.
+    let handle = server::start("127.0.0.1:0", config_with_dir(4)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let warm = loadgen::run(&addr, &load).expect("loadgen");
+    assert_eq!(warm.errors, Vec::<String>::new());
+    assert_eq!(
+        cold.canonical_lines(),
+        warm.canonical_lines(),
+        "a snapshot restart must answer bit-identically to the cold run"
+    );
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let Response::Stats { sessions, .. } = client.call(&Request::Stats { id: 9 }).expect("stats")
+    else {
+        panic!("expected stats");
+    };
+    assert!(!sessions.is_empty());
+    for session in &sessions {
+        assert!(
+            session.loaded_from_snapshot,
+            "{} must warm-start from disk",
+            session.session
+        );
+        assert_eq!(
+            session.warm_extensions, 0,
+            "{} restarted warm — no extension allowed",
+            session.session
+        );
+        assert_eq!(
+            session.rr_generated, 0,
+            "{} must not generate a single RR-set after a warm restart",
+            session.session
+        );
+        assert!(session.snapshot_load_secs > 0.0);
+    }
+    handle.shutdown();
+    handle.wait();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -81,6 +81,8 @@ fn canonical_messages() -> Vec<String> {
                 rr_requested: 480000,
                 index_extended: 15000,
                 memory_bytes: 4194304,
+                loaded_from_snapshot: false,
+                snapshot_load_secs: 0.0,
             }],
             evictions: 1,
         },

@@ -1,0 +1,814 @@
+//! # rmsa-store — the versioned binary snapshot container
+//!
+//! A dependency-free container format for persisting the expensive state of
+//! the RMSA stack — CSR graphs, propagation-model parameters, RR-set arenas
+//! and their coverage indexes — so that a process restart costs a file read
+//! instead of minutes of regeneration.
+//!
+//! This crate knows nothing about those payloads. It provides the *file
+//! format* — magic, version, a sequence of typed sections with per-section
+//! checksums — plus the typed little-endian [`SectionBuf`]/[`Cursor`]
+//! primitives the payload crates (`rmsa-graph`, `rmsa-diffusion`,
+//! `rmsa-service`) build their codecs on. Keeping the container at the
+//! bottom of the dependency graph is what lets `RrCache::save_to` /
+//! `RrCache::load_from` live on the cache type itself.
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "RMSASNAP"
+//! 8       4     container version (u32 LE, currently 1)
+//! 12      4     section count (u32 LE)
+//! 16      ...   sections, back to back:
+//!                 id        u32 LE   (see [`section`])
+//!                 len       u64 LE   payload length in bytes
+//!                 checksum  u64 LE   FNV-1a 64 over the payload
+//!                 payload   [len]
+//! ```
+//!
+//! All integers are little-endian. Readers *skip* sections whose id they do
+//! not recognise, which is what makes the format forward-compatible: a
+//! newer writer may append sections an older reader ignores. Every
+//! structural defect is a typed [`StoreError`] — the loader never panics on
+//! untrusted bytes.
+
+use std::fmt;
+use std::path::Path;
+
+/// File magic, first 8 bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"RMSASNAP";
+
+/// Container version written and accepted by this build.
+pub const CONTAINER_VERSION: u32 = 1;
+
+/// Registry of known section ids.
+///
+/// The registry exists so independent payload crates never collide and so
+/// `rmsa snapshot inspect` can name what it finds. Unknown ids are valid —
+/// they render as `unknown(<id>)` and are skipped by readers.
+pub mod section {
+    /// Snapshot-level metadata (kind, dataset, context fingerprint).
+    pub const META: u32 = 1;
+    /// CSR graph columns (`rmsa-graph`).
+    pub const GRAPH: u32 = 2;
+    /// Propagation-model parameters (`rmsa-diffusion`).
+    pub const MODEL: u32 = 3;
+    /// Advertiser budgets and CPEs.
+    pub const ADVERTISERS: u32 = 4;
+    /// Per-ad singleton-spread vectors.
+    pub const SPREADS: u32 = 5;
+    /// RR-cache configuration and fingerprint (`rmsa-diffusion`).
+    pub const CACHE_META: u32 = 16;
+    /// First RR-stream section; stream `k` is stored at `CACHE_STREAM_BASE + k`.
+    pub const CACHE_STREAM_BASE: u32 = 17;
+    /// Exclusive upper bound of the RR-stream id range.
+    pub const CACHE_STREAM_END: u32 = CACHE_STREAM_BASE + 512;
+
+    /// Human-readable name of a section id.
+    pub fn name(id: u32) -> String {
+        match id {
+            META => "meta".to_string(),
+            GRAPH => "graph".to_string(),
+            MODEL => "model".to_string(),
+            ADVERTISERS => "advertisers".to_string(),
+            SPREADS => "spreads".to_string(),
+            CACHE_META => "cache-meta".to_string(),
+            // Exclusive upper bound, matching every stream reader.
+            id if (CACHE_STREAM_BASE..CACHE_STREAM_END).contains(&id) => {
+                format!("rr-stream-{}", id - CACHE_STREAM_BASE)
+            }
+            other => format!("unknown({other})"),
+        }
+    }
+}
+
+/// Everything that can go wrong reading a snapshot. The loader returns
+/// these — it never panics on malformed or truncated bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The first 8 bytes are not [`MAGIC`] — this is not a snapshot file.
+    BadMagic,
+    /// The container version is newer (or older) than this build speaks.
+    UnsupportedVersion(u32),
+    /// The byte stream ended before `what` could be read in full.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: String,
+    },
+    /// A section's payload does not hash to its recorded checksum.
+    ChecksumMismatch {
+        /// Id of the corrupted section.
+        section: u32,
+    },
+    /// A required section is absent from the file.
+    MissingSection {
+        /// Id of the missing section.
+        section: u32,
+    },
+    /// The bytes parsed but describe an impossible payload (bad enum tag,
+    /// inconsistent lengths, out-of-range ids, …).
+    Corrupt(String),
+    /// The snapshot is well-formed but does not match what the caller
+    /// expected (stale fingerprint, different dataset, wrong seed, …).
+    Mismatch(String),
+    /// Underlying filesystem error.
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot container version {v} (this build speaks {CONTAINER_VERSION})"
+                )
+            }
+            StoreError::Truncated { what } => write!(f, "snapshot truncated while reading {what}"),
+            StoreError::ChecksumMismatch { section } => {
+                write!(
+                    f,
+                    "checksum mismatch in section {} ({})",
+                    section,
+                    section::name(*section)
+                )
+            }
+            StoreError::MissingSection { section } => {
+                write!(
+                    f,
+                    "snapshot is missing section {} ({})",
+                    section,
+                    section::name(*section)
+                )
+            }
+            StoreError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            StoreError::Mismatch(why) => write!(f, "snapshot does not match: {why}"),
+            StoreError::Io(why) => write!(f, "snapshot io error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// 64-bit integrity checksum over 8-byte words (FNV-1a-style mix with a
+/// rotate so byte *position* matters within a word). Word-at-a-time keeps
+/// validation at memory speed — a multi-hundred-MiB arena section must not
+/// spend longer checksumming than reading — while still catching the torn
+/// writes and bit rot the per-section checksums guard against (this is an
+/// integrity check, not a cryptographic one).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = (hash ^ word).wrapping_mul(PRIME).rotate_left(23);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    hash = (hash ^ tail).wrapping_mul(PRIME);
+    hash ^ (hash >> 29)
+}
+
+/// One section's payload under construction: a growing byte buffer with
+/// typed little-endian `put_*` writers mirrored by [`Cursor`]'s `get_*`.
+#[derive(Debug, Default)]
+pub struct SectionBuf {
+    bytes: Vec<u8>,
+}
+
+impl SectionBuf {
+    /// An empty payload buffer.
+    pub fn new() -> Self {
+        SectionBuf::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Append a `u32` (LE).
+    pub fn put_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (LE).
+    pub fn put_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` (LE bit pattern — round-trips exactly).
+    pub fn put_f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `u32` column.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        self.bytes.reserve(vs.len() * 4);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `u64` column.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `usize` column (stored as `u64`).
+    pub fn put_usize_slice(&mut self, vs: &[usize]) {
+        self.put_u64(vs.len() as u64);
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `f32` column (LE bit patterns).
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.put_u64(vs.len() as u64);
+        self.bytes.reserve(vs.len() * 4);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a length-prefixed `f64` column (LE bit patterns).
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u64(vs.len() as u64);
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Writer assembling a snapshot: open sections with
+/// [`SnapshotWriter::section`], then [`SnapshotWriter::finish`] into the
+/// container bytes (checksums are computed at finish time).
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u32, SectionBuf)>,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Open (append) a section with the given id and return its payload
+    /// buffer. Sections are written in call order.
+    pub fn section(&mut self, id: u32) -> &mut SectionBuf {
+        self.sections.push((id, SectionBuf::new()));
+        &mut self.sections.last_mut().expect("just pushed").1
+    }
+
+    /// Assemble the container bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let payload: usize = self.sections.iter().map(|(_, s)| s.bytes.len() + 20).sum();
+        let mut out = Vec::with_capacity(16 + payload);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (id, buf) in self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(buf.bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&checksum(&buf.bytes).to_le_bytes());
+            out.extend_from_slice(&buf.bytes);
+        }
+        out
+    }
+
+    /// Assemble and write the container to `path` atomically (temp file +
+    /// rename), so a crash mid-write never leaves a half-snapshot behind.
+    pub fn write_to(self, path: &Path) -> Result<(), StoreError> {
+        write_file(path, &self.finish())
+    }
+}
+
+/// Atomically write snapshot bytes: write `<path>.tmp`, fsync, then rename
+/// over `path`. Readers only ever see complete files, and a crash right
+/// after the rename cannot leave a not-yet-flushed (hence torn) snapshot
+/// behind the new name. The temp name embeds a process-wide counter so
+/// concurrent writers to the same path never interleave inside one temp
+/// file — last rename wins with a complete image either way.
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    use std::io::Write as _;
+    static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| StoreError::Io(format!("create {}: {e}", parent.display())))?;
+        }
+    }
+    let tmp = path.with_extension(format!(
+        "tmp{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let io_err = |what: &str, e: std::io::Error| StoreError::Io(format!("{what}: {e}"));
+    let result = (|| {
+        let mut file =
+            std::fs::File::create(&tmp).map_err(|e| io_err("create temp snapshot", e))?;
+        file.write_all(bytes)
+            .map_err(|e| io_err("write temp snapshot", e))?;
+        file.sync_all().map_err(|e| io_err("sync snapshot", e))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            io_err(
+                &format!("rename {} -> {}", tmp.display(), path.display()),
+                e,
+            )
+        })
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Read a snapshot file into memory.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    std::fs::read(path).map_err(|e| StoreError::Io(format!("read {}: {e}", path.display())))
+}
+
+/// Summary of one parsed section (for `rmsa snapshot inspect`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id.
+    pub id: u32,
+    /// Registry name ([`section::name`]).
+    pub name: String,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Parsed snapshot: magic and version verified, every section's checksum
+/// validated eagerly, unknown sections retained (and skippable).
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parse and validate a snapshot. Checksums of *all* sections are
+    /// verified here, so any later read works on known-good bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, StoreError> {
+        if bytes.len() < 8 {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut cur = Cursor {
+            data: bytes,
+            pos: 8,
+        };
+        let version = cur.get_u32("container version")?;
+        if version != CONTAINER_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let count = cur.get_u32("section count")? as usize;
+        // The header carries no checksum, so `count` is untrusted: cap the
+        // preallocation by what the remaining bytes could possibly hold
+        // (20 header bytes per section) — a corrupt count then fails as
+        // Truncated instead of aborting on an absurd allocation.
+        let mut sections = Vec::with_capacity(count.min(cur.remaining() / 20));
+        for i in 0..count {
+            let id = cur.get_u32("section id")?;
+            let len = cur.get_u64("section length")? as usize;
+            let sum = cur.get_u64("section checksum")?;
+            let payload = cur.get_bytes(len, &format!("section {i} payload"))?;
+            if checksum(payload) != sum {
+                return Err(StoreError::ChecksumMismatch { section: id });
+            }
+            sections.push((id, payload));
+        }
+        Ok(SnapshotReader { sections })
+    }
+
+    /// Parsed sections in file order.
+    pub fn sections(&self) -> Vec<SectionInfo> {
+        self.sections
+            .iter()
+            .map(|(id, payload)| SectionInfo {
+                id: *id,
+                name: section::name(*id),
+                len: payload.len(),
+            })
+            .collect()
+    }
+
+    /// Cursor over the first section with `id`, if present.
+    pub fn section(&self, id: u32) -> Option<Cursor<'a>> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, payload)| Cursor {
+                data: payload,
+                pos: 0,
+            })
+    }
+
+    /// Cursor over a section that must exist.
+    pub fn require(&self, id: u32) -> Result<Cursor<'a>, StoreError> {
+        self.section(id)
+            .ok_or(StoreError::MissingSection { section: id })
+    }
+
+    /// All sections whose id lies in `[lo, hi)`, in file order, as
+    /// `(id, cursor)` pairs — how readers enumerate the RR-stream range.
+    pub fn sections_in_range(&self, lo: u32, hi: u32) -> Vec<(u32, Cursor<'a>)> {
+        self.sections
+            .iter()
+            .filter(|(id, _)| (lo..hi).contains(id))
+            .map(|(id, payload)| {
+                (
+                    *id,
+                    Cursor {
+                        data: payload,
+                        pos: 0,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Bounds-checked little-endian reader over one section's payload. Every
+/// `get_*` that runs off the end returns [`StoreError::Truncated`] naming
+/// what was being read.
+#[derive(Clone, Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap raw payload bytes.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                what: what.to_string(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.get_bytes(1, what)?[0])
+    }
+
+    /// Read a `u32` (LE).
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        let b = self.get_bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64` (LE).
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let b = self.get_bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &str) -> Result<String, StoreError> {
+        let len = self.get_len(what)?;
+        let bytes = self.get_bytes(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Read a column length, guarding against lengths that cannot fit in
+    /// the remaining bytes (so a corrupt length errors instead of
+    /// attempting a absurd allocation).
+    fn get_len(&mut self, what: &str) -> Result<usize, StoreError> {
+        let len = self.get_u64(what)?;
+        if len > self.remaining() as u64 {
+            return Err(StoreError::Truncated {
+                what: what.to_string(),
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Read a length-prefixed `u32` column.
+    pub fn get_u32_vec(&mut self, what: &str) -> Result<Vec<u32>, StoreError> {
+        let len = self.get_len(what)?;
+        let bytes = self.get_bytes(len.checked_mul(4).ok_or_else(overflow(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    /// Read a length-prefixed `u64` column.
+    pub fn get_u64_vec(&mut self, what: &str) -> Result<Vec<u64>, StoreError> {
+        let len = self.get_len(what)?;
+        let bytes = self.get_bytes(len.checked_mul(8).ok_or_else(overflow(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+            .collect())
+    }
+
+    /// Read a length-prefixed `usize` column (stored as `u64`).
+    pub fn get_usize_vec(&mut self, what: &str) -> Result<Vec<usize>, StoreError> {
+        Ok(self
+            .get_u64_vec(what)?
+            .into_iter()
+            .map(|v| v as usize)
+            .collect())
+    }
+
+    /// Read a length-prefixed `f32` column.
+    pub fn get_f32_vec(&mut self, what: &str) -> Result<Vec<f32>, StoreError> {
+        let len = self.get_len(what)?;
+        let bytes = self.get_bytes(len.checked_mul(4).ok_or_else(overflow(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    /// Read a length-prefixed `f64` column.
+    pub fn get_f64_vec(&mut self, what: &str) -> Result<Vec<f64>, StoreError> {
+        Ok(self
+            .get_u64_vec(what)?
+            .into_iter()
+            .map(f64::from_bits)
+            .collect())
+    }
+}
+
+fn overflow(what: &str) -> impl FnOnce() -> StoreError + '_ {
+    move || StoreError::Corrupt(format!("{what} length overflows"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        let meta = w.section(section::META);
+        meta.put_str("unit-test");
+        meta.put_u64(42);
+        let graph = w.section(section::GRAPH);
+        graph.put_u32_slice(&[1, 2, 3]);
+        graph.put_f64_slice(&[0.5, -1.25]);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_column_type() {
+        let mut w = SnapshotWriter::new();
+        let s = w.section(7);
+        s.put_u8(9);
+        s.put_u32(0xDEAD_BEEF);
+        s.put_u64(u64::MAX - 1);
+        s.put_f64(-0.0);
+        s.put_str("héllo");
+        s.put_u32_slice(&[0, u32::MAX]);
+        s.put_u64_slice(&[1, 2, 3]);
+        s.put_usize_slice(&[4, 5]);
+        s.put_f32_slice(&[1.5, f32::MIN_POSITIVE]);
+        s.put_f64_slice(&[f64::NAN]);
+        let bytes = w.finish();
+
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let mut c = r.require(7).unwrap();
+        assert_eq!(c.get_u8("a").unwrap(), 9);
+        assert_eq!(c.get_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.get_u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(c.get_f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(c.get_str("e").unwrap(), "héllo");
+        assert_eq!(c.get_u32_vec("f").unwrap(), vec![0, u32::MAX]);
+        assert_eq!(c.get_u64_vec("g").unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.get_usize_vec("h").unwrap(), vec![4, 5]);
+        assert_eq!(c.get_f32_vec("i").unwrap(), vec![1.5, f32::MIN_POSITIVE]);
+        assert!(c.get_f64_vec("j").unwrap()[0].is_nan());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_error() {
+        let mut bytes = sample_snapshot();
+        bytes[0] = b'X';
+        assert_eq!(
+            SnapshotReader::parse(&bytes).unwrap_err(),
+            StoreError::BadMagic
+        );
+        // A file shorter than the magic is also BadMagic, not a panic.
+        assert_eq!(
+            SnapshotReader::parse(&bytes[..5]).unwrap_err(),
+            StoreError::BadMagic
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_a_typed_error() {
+        let mut bytes = sample_snapshot();
+        bytes[8] = 99; // container version LE low byte
+        assert_eq!(
+            SnapshotReader::parse(&bytes).unwrap_err(),
+            StoreError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_cut() {
+        let bytes = sample_snapshot();
+        // Cut the file at every length short of complete: each must yield
+        // a typed error (Truncated or, for cuts inside the magic,
+        // BadMagic) — never a panic, never Ok.
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::parse(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. } | StoreError::BadMagic),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+        assert!(SnapshotReader::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let bytes = sample_snapshot();
+        // Flip one bit in every payload byte position; parse must fail
+        // with ChecksumMismatch naming the right section.
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let infos = r.sections();
+        assert_eq!(infos.len(), 2);
+        drop(r);
+        // The first payload byte lives after: 16-byte header + 20-byte
+        // section header.
+        let mut corrupted = bytes.clone();
+        corrupted[16 + 20] ^= 0x01;
+        assert_eq!(
+            SnapshotReader::parse(&corrupted).unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: section::META
+            }
+        );
+        // Corrupting the *last* payload byte of the file hits the second
+        // section.
+        let mut corrupted = bytes.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0x80;
+        assert_eq!(
+            SnapshotReader::parse(&corrupted).unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: section::GRAPH
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_column_inside_a_section_is_typed() {
+        // A section whose recorded payload is internally inconsistent: a
+        // column length promising more bytes than the payload holds.
+        let mut w = SnapshotWriter::new();
+        let s = w.section(3);
+        s.put_u64(1_000_000); // length prefix with no data behind it
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let mut c = r.require(3).unwrap();
+        assert!(matches!(
+            c.get_u32_vec("column").unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn absurd_section_count_is_truncated_not_an_allocation_abort() {
+        // The header has no checksum, so a corrupt/crafted count must be
+        // rejected by the Truncated path — never pre-allocated.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::parse(&bytes).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn stream_name_range_is_exclusive_like_the_readers() {
+        // Ids at/past CACHE_STREAM_END are skipped by every stream reader;
+        // the registry must not label them as streams.
+        assert_eq!(
+            section::name(section::CACHE_STREAM_END - 1),
+            format!(
+                "rr-stream-{}",
+                section::CACHE_STREAM_END - 1 - section::CACHE_STREAM_BASE
+            )
+        );
+        assert_eq!(
+            section::name(section::CACHE_STREAM_END),
+            format!("unknown({})", section::CACHE_STREAM_END)
+        );
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_not_fatal() {
+        // Forward compatibility: a reader must tolerate ids it has never
+        // heard of and still find the sections it wants.
+        let mut w = SnapshotWriter::new();
+        w.section(0xDEAD).put_u64(1);
+        w.section(section::META).put_str("kept");
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(r.sections().len(), 2);
+        assert_eq!(r.sections()[0].name, "unknown(57005)");
+        let mut meta = r.require(section::META).unwrap();
+        assert_eq!(meta.get_str("kind").unwrap(), "kept");
+        assert!(r.section(0xBEEF).is_none());
+        assert_eq!(
+            r.require(0xBEEF).unwrap_err(),
+            StoreError::MissingSection { section: 0xBEEF }
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_lossless() {
+        let dir = std::env::temp_dir().join("rmsa_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.rmsnap");
+        let bytes = sample_snapshot();
+        write_file(&path, &bytes).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files renamed away: {leftovers:?}"
+        );
+        assert_eq!(read_file(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(read_file(&path).unwrap_err(), StoreError::Io(_)));
+    }
+
+    #[test]
+    fn section_ranges_enumerate_streams_in_order() {
+        let mut w = SnapshotWriter::new();
+        w.section(section::CACHE_STREAM_BASE + 2).put_u64(2);
+        w.section(section::CACHE_STREAM_BASE).put_u64(0);
+        w.section(section::META).put_u64(9);
+        let bytes = w.finish();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        let streams = r.sections_in_range(section::CACHE_STREAM_BASE, section::CACHE_STREAM_END);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].0, section::CACHE_STREAM_BASE + 2);
+        assert_eq!(streams[1].0, section::CACHE_STREAM_BASE);
+        assert_eq!(section::name(section::CACHE_STREAM_BASE + 2), "rr-stream-2");
+    }
+}
