@@ -1,0 +1,83 @@
+//! `rmsa lint` — run the workspace invariant checker (`rmsa-lint`).
+//!
+//! Exit codes: 0 when the workspace is clean (inline allows are still
+//! listed), 1 when any non-allowed finding remains, 2 on usage or IO
+//! errors — mirroring `rmsa compare`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+pub fn lint_command(args: &[String]) -> ExitCode {
+    match try_lint(args) {
+        Ok(outcome) if outcome.is_clean() => {
+            print!("{}", outcome.render_human());
+            println!("lint: OK — no findings");
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            print!("{}", outcome.render_human());
+            eprintln!("lint: {} finding(s)", outcome.findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("rmsa: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn try_lint(args: &[String]) -> Result<rmsa_lint::LintOutcome, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--report" => report = Some(PathBuf::from(value("--report")?)),
+            other => return Err(format!("unknown lint option {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => find_workspace_root()?,
+    };
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let outcome = rmsa_lint::lint_workspace(&root)?;
+    if let Some(path) = report {
+        std::fs::write(&path, outcome.render_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(outcome)
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found above the current directory (pass --root)".to_string(),
+            );
+        }
+    }
+}

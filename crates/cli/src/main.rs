@@ -28,6 +28,7 @@ use rmsa_bench::ExperimentContext;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod lint_cmd;
 mod service_cmd;
 mod snapshot_cmd;
 
@@ -57,6 +58,7 @@ USAGE:
                  [--out-dir DIR] [--min-speedup X] [context flags]
     rmsa dataset info <scenario.toml|dataset>... [--snapshot-dir DIR]
                  [--quick] [--seed N] [--scale X]
+    rmsa lint [--root DIR] [--report LINT_report.json]
 
 OPTIONS (run/sweep/bench):
     --quick             use the scenario's quick (CI) profile
@@ -78,7 +80,17 @@ count (--dump writes them).
 
 compare exits 0 when the new report is within tolerance of the old one,
 1 on regression, 2 on usage or IO errors. Every failure line names the
-offending metric and prints both values.
+offending metric and prints both values. compare only reads BENCH_*.json
+trajectory reports — to gate LINT_report.json, rerun `rmsa lint`, which
+re-derives the report from the sources.
+
+lint runs the workspace invariant checker (rule families R1 panic-
+discipline, R2 determinism, R3 unsafe-hygiene, R4 checked-casts, R5
+lock-scope) over the workspace's own sources and, with --report, writes
+the byte-stable LINT_report.json. Intentional exceptions use inline
+`// lint: allow(Rn, reason = \"...\")` directives, which are themselves
+reported. Exit codes mirror compare: 0 clean, 1 findings, 2 usage/IO
+errors.
 
 snapshot persists warm sessions (graph + model + spreads + RR arenas +
 coverage indexes) as versioned, checksummed .rmsnap files; serve with
@@ -104,6 +116,7 @@ fn main() -> ExitCode {
         "serve" => service_cmd::serve_command(rest),
         "query" => service_cmd::query_command(rest),
         "loadgen" => service_cmd::loadgen_command(rest),
+        "lint" => return lint_cmd::lint_command(rest),
         "snapshot" => snapshot_cmd::snapshot_command(rest),
         "dataset" => snapshot_cmd::dataset_command(rest),
         "help" | "--help" | "-h" => {
@@ -328,8 +341,24 @@ fn try_compare(args: &[String]) -> Result<Vec<rmsa_bench::report::Regression>, S
     let [old_path, new_path] = paths.as_slice() else {
         return Err("compare takes exactly two report paths".to_string());
     };
-    let old = BenchReport::load(old_path)?;
-    let new = BenchReport::load(new_path)?;
+    // A lint report fed to the perf gate is a usage error worth a pointed
+    // message: compare reads BENCH_*.json trajectories only.
+    let load = |path: &PathBuf| {
+        BenchReport::load(path).map_err(|e| {
+            let name = path.file_name().map(|n| n.to_string_lossy());
+            if name.is_some_and(|n| n.starts_with("LINT_")) {
+                format!(
+                    "{}: {e} — compare only reads BENCH_*.json trajectory reports; \
+                     LINT_report.json is gated by `rmsa lint` itself",
+                    path.display()
+                )
+            } else {
+                e
+            }
+        })
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
     println!(
         "comparing {} ({}) -> {} ({}), tolerance {:.1}% / time {:.1}% (+{:.2}s floor)",
         old_path.display(),

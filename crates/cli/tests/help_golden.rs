@@ -29,7 +29,7 @@ fn help_output_matches_the_golden_file() {
     );
     // The help must mention every subcommand.
     for subcommand in [
-        "run", "sweep", "bench", "compare", "serve", "query", "loadgen",
+        "run", "sweep", "bench", "compare", "serve", "query", "loadgen", "lint",
     ] {
         assert!(
             stdout.contains(&format!("rmsa {subcommand}")),

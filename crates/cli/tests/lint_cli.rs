@@ -1,0 +1,137 @@
+//! End-to-end tests of `rmsa lint`: the documented exit-code contract
+//! (0 clean, 1 findings, 2 usage/IO errors — mirroring `rmsa compare`)
+//! and the byte-stable `LINT_report.json` artifact.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn rmsa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rmsa"))
+        .args(args)
+        .output()
+        .expect("run rmsa")
+}
+
+/// Lay out a miniature workspace under a fresh temp dir.
+fn fixture_workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("rmsa_lint_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create fixture root");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("create dirs");
+        std::fs::write(path, contents).expect("write fixture source");
+    }
+    root
+}
+
+fn root_arg(root: &Path) -> String {
+    root.display().to_string()
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = fixture_workspace(
+        "clean",
+        &[("src/lib.rs", "pub fn id(x: u64) -> u64 {\n    x\n}\n")],
+    );
+    let output = rmsa(&["lint", "--root", &root_arg(&root)]);
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("lint: OK"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn findings_exit_one_and_name_the_site() {
+    // `snapshot.rs` carries R4 wherever it lives, so a truncating cast in
+    // the fixture workspace must fail the run.
+    let root = fixture_workspace(
+        "dirty",
+        &[(
+            "src/snapshot.rs",
+            "pub fn narrow(v: u64) -> u32 {\n    v as u32\n}\n",
+        )],
+    );
+    let output = rmsa(&["lint", "--root", &root_arg(&root)]);
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("src/snapshot.rs:2:") && stdout.contains("R4"),
+        "finding must name file, line and rule:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    let unknown = rmsa(&["lint", "--frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2), "{unknown:?}");
+    let missing_value = rmsa(&["lint", "--root"]);
+    assert_eq!(missing_value.status.code(), Some(2), "{missing_value:?}");
+    let bad_root = rmsa(&["lint", "--root", "/nonexistent/rmsa-lint-root"]);
+    assert_eq!(bad_root.status.code(), Some(2), "{bad_root:?}");
+}
+
+#[test]
+fn report_artifact_is_byte_stable_across_runs() {
+    let root = fixture_workspace(
+        "report",
+        &[(
+            "src/snapshot.rs",
+            "pub fn narrow(v: u64) -> u32 {\n    // lint: allow(R4, reason = \"fixture\")\n    v as u32\n}\n",
+        )],
+    );
+    let report_a = root.join("a.json");
+    let report_b = root.join("b.json");
+    for report in [&report_a, &report_b] {
+        let output = rmsa(&[
+            "lint",
+            "--root",
+            &root_arg(&root),
+            "--report",
+            &report.display().to_string(),
+        ]);
+        // The allow suppresses the cast, so the run is clean…
+        assert_eq!(output.status.code(), Some(0), "{output:?}");
+    }
+    let a = std::fs::read(&report_a).expect("report a");
+    let b = std::fs::read(&report_b).expect("report b");
+    assert_eq!(a, b, "LINT_report.json must be byte-stable");
+    // Feeding a lint report to the perf gate is a usage error (exit 2)
+    // with a message pointing back at `rmsa lint`.
+    let lint_report = root.join("LINT_report.json");
+    std::fs::copy(&report_a, &lint_report).expect("copy report");
+    let misuse = rmsa(&[
+        "compare",
+        &lint_report.display().to_string(),
+        &lint_report.display().to_string(),
+    ]);
+    assert_eq!(misuse.status.code(), Some(2), "{misuse:?}");
+    let stderr = String::from_utf8_lossy(&misuse.stderr);
+    assert!(stderr.contains("rmsa lint"), "{stderr}");
+    // …but never silent: the directive is carried into the report.
+    let text = String::from_utf8(a).expect("utf-8 report");
+    assert!(text.contains("\"allows\""), "{text}");
+    assert!(text.contains("\"used\": true"), "{text}");
+    assert!(text.contains("\"lint_report_version\": 1"), "{text}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The CI gate in one test: linting this repository with the shipped
+/// binary exits 0.
+#[test]
+fn the_repository_lints_clean_through_the_cli() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let output = rmsa(&["lint", "--root", &root_arg(&root)]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "rmsa lint found problems:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}

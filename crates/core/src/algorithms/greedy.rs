@@ -31,12 +31,12 @@ pub struct GreedyOutcome {
 impl GreedyOutcome {
     /// The final answer `S*_i = argmax_{X ∈ {S_i, D_i}} π_i(X)`.
     pub fn best(&self) -> Vec<NodeId> {
-        if self.stopple_revenue > self.selected_revenue {
-            vec![self
-                .stopple
-                .expect("stopple revenue implies a stopple node")]
-        } else {
-            self.selected.clone()
+        match self.stopple {
+            // A positive stopple revenue implies the stopple exists; the
+            // match makes the absent case fall back to `selected` instead
+            // of asserting it.
+            Some(u) if self.stopple_revenue > self.selected_revenue => vec![u],
+            _ => self.selected.clone(),
         }
     }
 

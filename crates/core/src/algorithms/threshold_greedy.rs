@@ -134,8 +134,10 @@ pub fn threshold_greedy<O: RevenueOracle>(
         let a_rev = fallback_revenue[ad];
         if a_rev >= s_rev && a_rev >= d_rev && !fallback[ad].is_empty() {
             chosen.seed_sets[ad] = fallback[ad].clone();
-        } else if d_rev > s_rev {
-            chosen.seed_sets[ad] = vec![stopples[ad].expect("d_rev > 0 implies a stopple")];
+        } else if let (Some(u), true) = (stopples[ad], d_rev > s_rev) {
+            // d_rev > 0 implies a stopple; if it is somehow absent the
+            // branch falls through to S_j rather than asserting.
+            chosen.seed_sets[ad] = vec![u];
         } else {
             chosen.seed_sets[ad] = states[ad].seeds().to_vec();
         }

@@ -316,6 +316,7 @@ pub fn ti_baseline<M: PropagationModel + ?Sized>(
     since = "0.2.0",
     note = "use the unified solver API: `rmsa_core::solver::TiCarm` with a `SolveContext`"
 )]
+#[allow(clippy::expect_used)]
 pub fn ti_carm<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -323,6 +324,7 @@ pub fn ti_carm<M: PropagationModel>(
     config: &TiConfig,
 ) -> TiResult {
     ti_baseline(graph, model, instance, config, TiRule::CostAgnostic)
+        // lint: allow(R1, reason = "deprecated pre-0.2 API whose documented contract is to panic on invalid configuration")
         .expect("invalid TI configuration")
 }
 
@@ -331,6 +333,7 @@ pub fn ti_carm<M: PropagationModel>(
     since = "0.2.0",
     note = "use the unified solver API: `rmsa_core::solver::TiCsrm` with a `SolveContext`"
 )]
+#[allow(clippy::expect_used)]
 pub fn ti_csrm<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -338,6 +341,7 @@ pub fn ti_csrm<M: PropagationModel>(
     config: &TiConfig,
 ) -> TiResult {
     ti_baseline(graph, model, instance, config, TiRule::CostSensitive)
+        // lint: allow(R1, reason = "deprecated pre-0.2 API whose documented contract is to panic on invalid configuration")
         .expect("invalid TI configuration")
 }
 

@@ -42,8 +42,10 @@ impl Advertiser {
         match Self::try_new(budget, cpe) {
             Ok(a) => a,
             Err(RmError::InvalidParameter { name: "budget", .. }) => {
+                // lint: allow(R1, reason = "deprecated constructor documented to panic; try_new is the fallible path")
                 panic!("budget must be positive")
             }
+            // lint: allow(R1, reason = "deprecated constructor documented to panic; try_new is the fallible path")
             Err(_) => panic!("cpe must be positive"),
         }
     }
@@ -144,11 +146,14 @@ impl RmInstance {
     pub fn new(num_nodes: usize, advertisers: Vec<Advertiser>, costs: SeedCosts) -> Self {
         match Self::try_new(num_nodes, advertisers, costs) {
             Ok(inst) => inst,
+            // lint: allow(R1, reason = "deprecated constructor documented to panic; try_new is the fallible path")
             Err(RmError::NoAdvertisers) => panic!("at least one advertiser required"),
             Err(RmError::DimensionMismatch {
                 what: "per-ad cost rows",
                 ..
+                // lint: allow(R1, reason = "deprecated constructor documented to panic; try_new is the fallible path")
             }) => panic!("one cost row per advertiser"),
+            // lint: allow(R1, reason = "deprecated constructor documented to panic; try_new is the fallible path")
             Err(_) => panic!("cost table does not cover every node"),
         }
     }
@@ -218,7 +223,9 @@ impl RmInstance {
         let mut costs: Vec<f64> = (0..self.num_nodes as NodeId)
             .map(|u| self.cost(ad, u))
             .collect();
-        costs.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+        // Costs are validated finite at construction; total_cmp orders any
+        // float either way.
+        costs.sort_by(|a, b| a.total_cmp(b));
         let mut total = 0.0;
         let mut count = 0usize;
         for c in costs {

@@ -334,6 +334,7 @@ fn legacy_config(config: &RmaConfig, num_ads: usize) -> RmaConfig {
     note = "use the unified solver API: `rmsa_core::solver::Rma` with a `SolveContext` \
             (or a `Workbench`), which shares RR-set collections across runs"
 )]
+#[allow(clippy::expect_used)]
 pub fn rm_without_oracle<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -347,6 +348,7 @@ pub fn rm_without_oracle<M: PropagationModel>(
         config.seed,
     );
     let cfg = legacy_config(config, instance.num_ads());
+    // lint: allow(R1, reason = "deprecated pre-0.2 API whose documented contract is to panic on invalid configuration")
     rma_with_cache(graph, model, instance, &cfg, &cache).expect("invalid RMA configuration")
 }
 
@@ -391,6 +393,7 @@ pub(crate) fn one_batch_with_cache<M: PropagationModel + ?Sized>(
     since = "0.2.0",
     note = "use the unified solver API: `rmsa_core::solver::OneBatch` with a `SolveContext`"
 )]
+#[allow(clippy::expect_used)]
 pub fn one_batch<M: PropagationModel>(
     graph: &DirectedGraph,
     model: &M,
@@ -407,6 +410,7 @@ pub fn one_batch<M: PropagationModel>(
     let cfg = legacy_config(config, instance.num_ads());
     let (allocation, estimator, _) =
         one_batch_with_cache(graph, model, instance, num_rr_sets, &cfg, &cache)
+            // lint: allow(R1, reason = "deprecated pre-0.2 API whose documented contract is to panic on invalid configuration")
             .expect("invalid one-batch configuration");
     (allocation, estimator)
 }

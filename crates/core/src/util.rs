@@ -38,10 +38,10 @@ impl PartialOrd for LazyEntry {
 
 impl Ord for LazyEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by key; NaN keys are rejected at construction time.
+        // Max-heap by key; NaN keys are rejected at construction time, and
+        // total_cmp gives every float a total order regardless.
         self.key
-            .partial_cmp(&other.key)
-            .expect("heap keys must not be NaN")
+            .total_cmp(&other.key)
             .then_with(|| self.node.cmp(&other.node))
             .then_with(|| self.ad.cmp(&other.ad))
     }

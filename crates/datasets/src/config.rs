@@ -46,6 +46,9 @@ pub const FLIXSTER_PROFILE: BudgetProfile = BudgetProfile {
 /// [`BudgetProfile`]: values are sampled uniformly in `[min, max]` and then
 /// shifted so the sample mean matches the profile mean (clamped back into
 /// the range).
+// Budgets and CPEs are clamped into the profile's positive [min, max]
+// ranges, so `Advertiser::try_new` cannot fail.
+#[allow(clippy::unwrap_used)]
 pub fn table2_advertisers<R: Rng>(
     profile: &BudgetProfile,
     h: usize,
@@ -79,8 +82,10 @@ pub fn table2_advertisers<R: Rng>(
 
 /// The scalability-experiment setting: `h` advertisers with identical
 /// budgets and unit CPE (Section 5.2.3).
+#[allow(clippy::unwrap_used)]
 pub fn scalability_advertisers(h: usize, budget: f64) -> Vec<Advertiser> {
     assert!(h > 0);
+    assert!(budget > 0.0, "advertiser budgets must be positive");
     (0..h)
         .map(|_| Advertiser::try_new(budget, 1.0).unwrap())
         .collect()

@@ -225,6 +225,9 @@ impl Dataset {
     /// Assemble a complete [`RmInstance`] from advertisers, an incentive
     /// model and its multiplier α. Singleton spreads are estimated with
     /// `rr_per_ad` RR-sets per advertiser.
+    // The cost table is built from this dataset's own graph and spreads,
+    // so the dimension checks in `try_new` hold by construction.
+    #[allow(clippy::unwrap_used)]
     pub fn build_instance(
         &self,
         advertisers: Vec<Advertiser>,
@@ -241,6 +244,9 @@ impl Dataset {
 
     /// Assemble an instance from precomputed singleton spreads (avoids
     /// re-estimating them when sweeping α, as the experiments do).
+    // The spread rows are per-node vectors produced by
+    // `singleton_spreads`, so the dimension checks hold by construction.
+    #[allow(clippy::unwrap_used)]
     pub fn build_instance_from_spreads(
         &self,
         advertisers: Vec<Advertiser>,

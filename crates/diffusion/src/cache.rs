@@ -388,7 +388,13 @@ impl RrCache {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("stream decode thread"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(StoreError::Corrupt(
+                            "a stream decode thread panicked".to_string(),
+                        ))
+                    })
+                })
                 .collect()
         });
         for result in decoded {

@@ -46,15 +46,15 @@ impl<'g, M: PropagationModel> ExactOracle<'g, M> {
     }
 
     fn probs_for(&mut self, ad: AdId) -> Vec<f64> {
-        if self.edge_probs[ad].is_none() {
-            let probs: Vec<f64> = self
-                .graph
-                .edges()
-                .map(|(_, _, e)| self.model.edge_prob(ad, e))
-                .collect();
-            self.edge_probs[ad] = Some(probs);
-        }
-        self.edge_probs[ad].clone().unwrap()
+        let (graph, model) = (self.graph, self.model);
+        self.edge_probs[ad]
+            .get_or_insert_with(|| {
+                graph
+                    .edges()
+                    .map(|(_, _, e)| model.edge_prob(ad, e))
+                    .collect()
+            })
+            .clone()
     }
 
     /// Exact expected spread `σ_ad(seeds)`.

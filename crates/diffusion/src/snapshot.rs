@@ -16,7 +16,7 @@
 use crate::arena::{CoverageIndex, CoverageSegment, RrArena};
 use crate::models::{MaterializedModel, UniformIc, WeightedCascade};
 use crate::rr::RrStrategy;
-use rmsa_store::{Cursor, SectionBuf, StoreError};
+use rmsa_store::{to_usize, Cursor, SectionBuf, StoreError};
 use std::sync::Arc;
 
 pub(crate) fn strategy_tag(strategy: RrStrategy) -> u8 {
@@ -40,6 +40,7 @@ pub(crate) fn strategy_from_tag(tag: u8) -> Result<RrStrategy, StoreError> {
 pub fn write_arena(arena: &RrArena, out: &mut SectionBuf) {
     out.put_u64(arena.num_nodes as u64);
     out.put_u8(strategy_tag(arena.strategy));
+    // lint: allow(R4, reason = "ad ids in a live arena are validated < num_ads << 2^32 at push time")
     out.put_u32_slice(&arena.ads.iter().map(|&a| a as u32).collect::<Vec<u32>>());
     out.put_usize_slice(&arena.offsets);
     out.put_u32_slice(&arena.nodes);
@@ -47,13 +48,13 @@ pub fn write_arena(arena: &RrArena, out: &mut SectionBuf) {
 
 /// Read an arena back, validating the CSR structure.
 pub fn read_arena(cur: &mut Cursor<'_>) -> Result<RrArena, StoreError> {
-    let num_nodes = cur.get_u64("arena num_nodes")? as usize;
+    let num_nodes = cur.get_usize("arena num_nodes")?;
     let strategy = strategy_from_tag(cur.get_u8("arena strategy")?)?;
     let ads: Vec<usize> = cur
         .get_u32_vec("arena ads")?
         .into_iter()
-        .map(|a| a as usize)
-        .collect();
+        .map(|a| to_usize(u64::from(a), "arena ad id"))
+        .collect::<Result<_, _>>()?;
     let offsets = cur.get_usize_vec("arena offsets")?;
     let nodes = cur.get_u32_vec("arena nodes")?;
 
@@ -61,14 +62,15 @@ pub fn read_arena(cur: &mut Cursor<'_>) -> Result<RrArena, StoreError> {
     if offsets.len() != ads.len() + 1 {
         return Err(corrupt("offsets/ads length mismatch"));
     }
-    if offsets[0] != 0 || *offsets.last().expect("non-empty") != nodes.len() {
+    if offsets.first() != Some(&0) || offsets.last() != Some(&nodes.len()) {
         return Err(corrupt("offsets do not cover the node buffer"));
     }
     if offsets.windows(2).any(|w| w[0] >= w[1]) && !ads.is_empty() {
         // An RR-set always contains at least its root.
         return Err(corrupt("offsets are not strictly monotone"));
     }
-    if num_nodes > u32::MAX as usize || nodes.iter().any(|&u| u as usize >= num_nodes) {
+    if u32::try_from(num_nodes).is_err() || nodes.iter().any(|&u| u64::from(u) >= num_nodes as u64)
+    {
         return Err(corrupt("a member node id is out of range"));
     }
     Ok(RrArena {
@@ -101,10 +103,10 @@ pub fn write_index(index: &CoverageIndex, out: &mut SectionBuf) {
 /// arena it indexes.
 pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex, StoreError> {
     let corrupt = |why: String| StoreError::Corrupt(format!("coverage-index section: {why}"));
-    let num_nodes = cur.get_u64("index num_nodes")? as usize;
-    let num_ads = cur.get_u64("index num_ads")? as usize;
-    let num_rr = cur.get_u64("index num_rr")? as usize;
-    let num_segments = cur.get_u64("index num_segments")? as usize;
+    let num_nodes = cur.get_usize("index num_nodes")?;
+    let num_ads = cur.get_usize("index num_ads")?;
+    let num_rr = cur.get_usize("index num_rr")?;
+    let num_segments = cur.get_usize("index num_segments")?;
     if num_nodes != arena.num_nodes() {
         return Err(corrupt(format!(
             "index covers {num_nodes} nodes but the arena has {}",
@@ -137,8 +139,8 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
             )));
         }
         if offsets.len() != num_nodes + 1
-            || offsets[0] != 0
-            || *offsets.last().expect("length checked") as usize != entries.len()
+            || offsets.first() != Some(&0)
+            || offsets.last().map(|&v| u64::from(v)) != Some(entries.len() as u64)
             || offsets.windows(2).any(|w| w[0] > w[1])
         {
             return Err(corrupt(format!("segment {i} has an inconsistent CSR")));
@@ -150,7 +152,8 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
         {
             return Err(corrupt(format!("segment {i} has an RR id out of range")));
         }
-        expected_base = end as u32;
+        expected_base = u32::try_from(end)
+            .map_err(|_| corrupt(format!("segment {i} extends past the u32 RR id space")))?;
         segments.push(Arc::new(CoverageSegment {
             rr_base,
             num_sets,
@@ -158,7 +161,7 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
             entries,
         }));
     }
-    if expected_base as usize != num_rr {
+    if u64::from(expected_base) != num_rr as u64 {
         return Err(corrupt(format!(
             "segments cover {expected_base} RR-sets, header says {num_rr}"
         )));
@@ -171,7 +174,7 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
     if singleton.len() != num_ads * num_nodes {
         return Err(corrupt("singleton column length mismatch".to_string()));
     }
-    if ads.iter().any(|&a| a as usize >= num_ads) {
+    if ads.iter().any(|&a| u64::from(a) >= num_ads as u64) {
         return Err(corrupt("an advertiser id is out of range".to_string()));
     }
     Ok(CoverageIndex {
@@ -230,7 +233,7 @@ pub fn read_model(cur: &mut Cursor<'_>) -> Result<ModelSnapshot, StoreError> {
     let corrupt = |why: &str| StoreError::Corrupt(format!("model section: {why}"));
     match cur.get_u8("model tag")? {
         MODEL_MATERIALIZED => {
-            let h = cur.get_u64("model num_ads")? as usize;
+            let h = cur.get_usize("model num_ads")?;
             if h == 0 {
                 return Err(corrupt("zero advertisers"));
             }
@@ -252,7 +255,7 @@ pub fn read_model(cur: &mut Cursor<'_>) -> Result<ModelSnapshot, StoreError> {
             Ok(ModelSnapshot::Materialized(MaterializedModel { per_ad }))
         }
         MODEL_WC => {
-            let num_ads = cur.get_u64("model num_ads")? as usize;
+            let num_ads = cur.get_usize("model num_ads")?;
             if num_ads == 0 {
                 return Err(corrupt("zero advertisers"));
             }
@@ -272,7 +275,7 @@ pub fn read_model(cur: &mut Cursor<'_>) -> Result<ModelSnapshot, StoreError> {
             }))
         }
         MODEL_UNIFORM => {
-            let num_ads = cur.get_u64("model num_ads")? as usize;
+            let num_ads = cur.get_usize("model num_ads")?;
             let prob = cur.get_f64("model probability")?;
             if num_ads == 0 || !(0.0..=1.0).contains(&prob) {
                 return Err(corrupt("invalid uniform-IC parameters"));

@@ -215,10 +215,10 @@ impl DirectedGraph {
         if self.in_offsets.len() != self.num_nodes + 1 {
             return Err("reverse offset array has wrong length".into());
         }
-        if *self.out_offsets.last().unwrap() as usize != self.out_targets.len() {
+        if self.out_offsets.last().map(|&v| v as usize) != Some(self.out_targets.len()) {
             return Err("forward offsets do not cover target array".into());
         }
-        if *self.in_offsets.last().unwrap() as usize != self.in_sources.len() {
+        if self.in_offsets.last().map(|&v| v as usize) != Some(self.in_sources.len()) {
             return Err("reverse offsets do not cover source array".into());
         }
         if self.out_targets.len() != self.in_sources.len() {

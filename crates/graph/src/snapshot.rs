@@ -27,8 +27,8 @@ pub fn write_graph(graph: &DirectedGraph, out: &mut SectionBuf) {
 
 /// Read a graph back from a snapshot section, validating CSR structure.
 pub fn read_graph(cur: &mut Cursor<'_>) -> Result<DirectedGraph, StoreError> {
-    let num_nodes = cur.get_u64("graph num_nodes")? as usize;
-    let num_edges = cur.get_u64("graph num_edges")? as usize;
+    let num_nodes = cur.get_usize("graph num_nodes")?;
+    let num_edges = cur.get_usize("graph num_edges")?;
     let out_offsets = cur.get_u32_vec("graph out_offsets")?;
     let out_targets = cur.get_u32_vec("graph out_targets")?;
     let in_offsets = cur.get_u32_vec("graph in_offsets")?;
@@ -46,21 +46,26 @@ pub fn read_graph(cur: &mut Cursor<'_>) -> Result<DirectedGraph, StoreError> {
         return Err(corrupt("edge arrays have the wrong length"));
     }
     for offsets in [&out_offsets, &in_offsets] {
-        if offsets[0] != 0 || *offsets.last().expect("length checked") as usize != num_edges {
+        // Compare in the u64 domain: no offset value is ever narrowed.
+        if offsets.first() != Some(&0)
+            || offsets.last().map(|&v| u64::from(v)) != Some(num_edges as u64)
+        {
             return Err(corrupt("offsets do not cover the edge arrays"));
         }
         if offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(corrupt("offsets are not monotone"));
         }
     }
-    if num_nodes > u32::MAX as usize {
+    let Ok(n) = u32::try_from(num_nodes) else {
         return Err(corrupt("node count exceeds the u32 id space"));
-    }
-    let n = num_nodes as u32;
+    };
     if out_targets.iter().chain(&in_sources).any(|&v| v >= n) && num_edges > 0 {
         return Err(corrupt("a node id is out of range"));
     }
-    if in_edge_ids.iter().any(|&e| e as usize >= num_edges) {
+    if in_edge_ids
+        .iter()
+        .any(|&e| u64::from(e) >= num_edges as u64)
+    {
         return Err(corrupt("a forward edge id is out of range"));
     }
     Ok(DirectedGraph {

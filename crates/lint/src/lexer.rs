@@ -1,0 +1,494 @@
+//! A small hand-rolled lexer over Rust source text, in the spirit of the
+//! workspace's `toml_lite` and `json` modules: no syn, no proc-macro
+//! machinery, just enough lexical structure for the rule engine.
+//!
+//! The lexer produces a *masked* view of each line — comments, string
+//! literals and char literals replaced by spaces, byte positions preserved
+//! — plus two layers of context the rules need:
+//!
+//! * **test regions**: lines inside a `#[cfg(test)]`-gated item or a
+//!   `#[test]` function are marked, so panic-discipline rules only see
+//!   production code;
+//! * **lint directives**: `// lint: allow(R1, reason = "...")` comments,
+//!   which suppress a finding on the same line (trailing form) or on the
+//!   next line (standalone form) and are themselves reported.
+//!
+//! Lifetimes (`'a`) are distinguished from char literals (`'a'`) by one
+//! character of lookahead past the identifier; raw strings (`r#"…"#`),
+//! byte strings and nested block comments are handled.
+
+/// One parsed lint directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Directive {
+    /// Rule id the directive suppresses (e.g. `"R1"`).
+    pub rule: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// 1-based line the directive was written on.
+    pub decl_line: usize,
+    /// 1-based line the directive applies to.
+    pub target_line: usize,
+}
+
+/// One source line after lexing.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// The original text (for snippets and `// SAFETY:` lookups).
+    pub raw: String,
+    /// The masked text: code only, comments/strings/chars blanked.
+    pub masked: String,
+    /// True when the line lies inside a test-gated region.
+    pub in_test: bool,
+}
+
+/// A fully lexed source file.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// Lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// Parsed lint directives, in declaration order.
+    pub directives: Vec<Directive>,
+}
+
+impl Lexed {
+    /// 1-based accessor used by the rules; masked text of `line`.
+    pub fn masked(&self, line: usize) -> &str {
+        &self.lines[line - 1].masked
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lex `source` into masked lines, test regions and directives.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut masked = String::with_capacity(source.len());
+    // Comment spans as (start offset in `masked` coords, text) — collected
+    // to parse directives after masking.
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut state = State::Code;
+    let mut comment_start = 0usize;
+    let mut comment_text = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match state {
+            State::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    comment_start = masked.len();
+                    comment_text.clear();
+                    comment_text.push_str("//");
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    comment_start = masked.len();
+                    comment_text.clear();
+                    comment_text.push_str("/*");
+                    masked.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) strings: r"…", r#"…"#, br"…", br#"…"#.
+                if c == 'r' || (c == 'b' && bytes.get(i + 1) == Some(&'r')) {
+                    let mut j = i + if c == 'b' { 2 } else { 1 };
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            masked.push(' ');
+                        }
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                }
+                if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&'"')) {
+                    if c == 'b' {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                    masked.push(' ');
+                    i += 1;
+                    state = State::Str;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime or char literal? After the quote, an
+                    // identifier NOT followed by a closing quote is a
+                    // lifetime (`'a`, `'static`); everything else is a
+                    // char literal.
+                    let mut j = i + 1;
+                    if bytes
+                        .get(j)
+                        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                        && bytes.get(j) != Some(&'\\')
+                    {
+                        while bytes
+                            .get(j)
+                            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                        {
+                            j += 1;
+                        }
+                        if bytes.get(j) != Some(&'\'') {
+                            // Lifetime: keep it in the masked view.
+                            masked.push(c);
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    masked.push(' ');
+                    i += 1;
+                    state = State::Char;
+                    continue;
+                }
+                masked.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    masked.push('\n');
+                    comments.push((comment_start, comment_text.clone()));
+                    state = State::Code;
+                } else {
+                    comment_text.push(c);
+                    masked.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    masked.push_str("  ");
+                    comment_text.push_str("*/");
+                    i += 2;
+                    if depth == 1 {
+                        comments.push((comment_start, comment_text.clone()));
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    continue;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    masked.push_str("  ");
+                    comment_text.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    continue;
+                }
+                masked.push(if c == '\n' { '\n' } else { ' ' });
+                comment_text.push(c);
+                i += 1;
+            }
+            State::Str => {
+                if c == '\\' {
+                    masked.push(' ');
+                    if bytes.get(i + 1).is_some() {
+                        masked.push(if bytes[i + 1] == '\n' { '\n' } else { ' ' });
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                masked.push(if c == '\n' { '\n' } else { ' ' });
+                if c == '"' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes as usize {
+                            masked.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                masked.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    masked.push(' ');
+                    if bytes.get(i + 1).is_some() {
+                        masked.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                masked.push(if c == '\n' { '\n' } else { ' ' });
+                if c == '\'' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push((comment_start, comment_text.clone()));
+    }
+
+    let raw_lines: Vec<&str> = source.split('\n').collect();
+    let masked_lines: Vec<&str> = masked.split('\n').collect();
+    let in_test = mark_test_regions(&masked);
+
+    // Map comment start offsets (in masked coords) to 1-based lines.
+    let mut line_starts = vec![0usize];
+    for (idx, ch) in masked.char_indices() {
+        if ch == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    let offset_to_line = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let mut directives = Vec::new();
+    for (offset, text) in &comments {
+        let Some(directive) = parse_directive(text) else {
+            continue;
+        };
+        let decl_line = offset_to_line(*offset);
+        // Trailing form: code before the comment on the same line.
+        let own_line = masked_lines
+            .get(decl_line - 1)
+            .is_some_and(|l| l.trim().is_empty());
+        let target_line = if own_line { decl_line + 1 } else { decl_line };
+        directives.push(Directive {
+            rule: directive.0,
+            reason: directive.1,
+            decl_line,
+            target_line,
+        });
+    }
+
+    let lines = raw_lines
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| Line {
+            raw: raw.to_string(),
+            masked: masked_lines.get(i).unwrap_or(&"").to_string(),
+            in_test: in_test.get(i).copied().unwrap_or(false),
+        })
+        .collect();
+    Lexed { lines, directives }
+}
+
+/// Parse `lint: allow(R1, reason = "...")` out of one comment's text.
+/// Returns `(rule, reason)`.
+fn parse_directive(comment: &str) -> Option<(String, String)> {
+    let body = comment.trim_start_matches(['/', '!', '*']).trim_start();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let args = &rest[..close];
+    let (rule, reason_part) = args.split_once(',')?;
+    let reason_part = reason_part.trim();
+    let reason_part = reason_part.strip_prefix("reason")?.trim_start();
+    let reason_part = reason_part.strip_prefix('=')?.trim_start();
+    let reason = reason_part
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))?;
+    if reason.trim().is_empty() {
+        return None;
+    }
+    Some((rule.trim().to_string(), reason.to_string()))
+}
+
+/// Mark every line that lies inside a `#[cfg(test)]`-gated item or a
+/// `#[test]` function. Works on the masked source so strings and comments
+/// cannot fake attributes.
+fn mark_test_regions(masked: &str) -> Vec<bool> {
+    let num_lines = masked.split('\n').count();
+    let mut in_test = vec![false; num_lines];
+    let chars: Vec<char> = masked.chars().collect();
+    let mut line_of = Vec::with_capacity(chars.len() + 1);
+    let mut line = 0usize;
+    for &c in &chars {
+        line_of.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+    line_of.push(line);
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        // Read the attribute body up to the matching `]`.
+        let attr_start = j + 1;
+        let mut depth = 1i32;
+        let mut k = attr_start;
+        while k < chars.len() && depth > 0 {
+            match chars[k] {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let attr: String = chars[attr_start..k.saturating_sub(1)].iter().collect();
+        if !is_test_attr(&attr) {
+            i = k;
+            continue;
+        }
+        // Mark from the attribute to the end of the gated item: the
+        // matching `}` of its first top-level block, or the first `;`
+        // before any block (brace-less items like `mod tests;`).
+        let mut depth = 0i32;
+        let mut end = chars.len();
+        let mut m = k;
+        while m < chars.len() {
+            match chars[m] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = m + 1;
+                        break;
+                    }
+                }
+                ';' if depth == 0 => {
+                    end = m + 1;
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        let last = line_of[end.min(chars.len())].min(num_lines.saturating_sub(1));
+        for flag in &mut in_test[line_of[i]..=last] {
+            *flag = true;
+        }
+        i = end;
+    }
+    in_test
+}
+
+/// True for attributes that gate test-only code: `test`, `cfg(test)`,
+/// `cfg(all(test, …))`. Note `cfg(not(test))` and `cfg_attr(…, test…)`
+/// gate *production* code and must not match.
+fn is_test_attr(attr: &str) -> bool {
+    let flat: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    if flat == "test" || flat.ends_with("::test") {
+        return true;
+    }
+    if let Some(cfg) = flat.strip_prefix("cfg(") {
+        return cfg.starts_with("test") || cfg.starts_with("all(test");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_chars_are_masked() {
+        let src = r#"let x = "unwrap()"; // unwrap() here
+let c = 'a'; let lt: &'static str = s; /* panic!() */ let y = 1;"#;
+        let lexed = lex(src);
+        assert!(!lexed.lines[0].masked.contains("unwrap"));
+        assert!(lexed.lines[0].masked.contains("let x ="));
+        assert!(!lexed.lines[1].masked.contains("panic"));
+        assert!(lexed.lines[1].masked.contains("'static"));
+        assert!(lexed.lines[1].masked.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments_are_masked() {
+        let src = "let a = r#\"unwrap()\"#;\n/* outer /* panic!() */ still */ let b = 2;\nlet s = b\"expect(\";";
+        let lexed = lex(src);
+        assert!(!lexed.lines[0].masked.contains("unwrap"));
+        assert!(!lexed.lines[1].masked.contains("panic"));
+        assert!(lexed.lines[1].masked.contains("let b = 2;"));
+        assert!(!lexed.lines[2].masked.contains("expect"));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\n#[test]\nfn t() { z.unwrap(); }\nfn prod2() {}\n";
+        let lexed = lex(src);
+        assert!(!lexed.lines[0].in_test);
+        assert!(lexed.lines[1].in_test, "attribute line is in the region");
+        assert!(lexed.lines[3].in_test, "body of cfg(test) mod");
+        assert!(lexed.lines[6].in_test, "body of #[test] fn");
+        assert!(!lexed.lines[7].in_test, "code after the region");
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n#[cfg_attr(not(test), allow(dead_code))]\nfn prod2() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn directives_parse_with_targets() {
+        let src = "// lint: allow(R1, reason = \"checked above\")\nx.unwrap();\ny.unwrap(); // lint: allow(R1, reason = \"same line\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 2);
+        assert_eq!(lexed.directives[0].rule, "R1");
+        assert_eq!(lexed.directives[0].target_line, 2);
+        assert_eq!(lexed.directives[1].target_line, 3);
+        assert_eq!(lexed.directives[1].reason, "same line");
+    }
+
+    #[test]
+    fn directive_without_reason_is_ignored() {
+        let lexed = lex("x.unwrap(); // lint: allow(R1)\n");
+        assert!(lexed.directives.is_empty());
+        let lexed = lex("x.unwrap(); // lint: allow(R1, reason = \"\")\n");
+        assert!(lexed.directives.is_empty());
+    }
+
+    #[test]
+    fn brace_less_cfg_test_item_does_not_swallow_the_next_item() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x.unwrap(); }\n";
+        let lexed = lex(src);
+        assert!(lexed.lines[1].in_test);
+        assert!(!lexed.lines[2].in_test);
+    }
+}

@@ -1,0 +1,170 @@
+//! Findings, allow records, and the `LINT_report.json` document.
+//!
+//! The report is rendered with the workspace's dependency-free [`json`]
+//! module: insertion-ordered object keys and shortest-roundtrip floats
+//! make the bytes a pure function of the scanned sources — the CI
+//! artifact is byte-stable across runs.
+//!
+//! [`json`]: rmsa_bench::json
+
+use rmsa_bench::json::Json;
+
+/// Schema version of `LINT_report.json`.
+pub const LINT_REPORT_VERSION: u32 = 1;
+
+/// The rule catalog, in report order.
+pub const RULES: [(&str, &str); 5] = [
+    ("R1", "panic-discipline"),
+    ("R2", "determinism"),
+    ("R3", "unsafe-hygiene"),
+    ("R4", "checked-casts"),
+    ("R5", "lock-scope"),
+];
+
+/// One finding that survived allow-directive matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`"R1"` … `"R5"`).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human message.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One `// lint: allow(…)` directive found in the workspace. Allows are
+/// never silent: every one is carried into the report, whether it
+/// suppressed a finding (`used`) or is stale (`!used`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowRecord {
+    /// Rule id the directive names.
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line the directive was declared on.
+    pub line: usize,
+    /// The mandatory reason.
+    pub reason: String,
+    /// True when the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Outcome of a workspace lint pass.
+#[derive(Clone, Debug, Default)]
+pub struct LintOutcome {
+    /// Findings not covered by an allow, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Every allow directive in the workspace, sorted like findings.
+    pub allows: Vec<AllowRecord>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintOutcome {
+    /// True when no unsuppressed finding remains.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The `LINT_report.json` document (stable key order, byte-stable).
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("lint_report_version", Json::Int(LINT_REPORT_VERSION as i64));
+        root.set("files_scanned", Json::Int(self.files_scanned as i64));
+        let mut counts = Json::obj();
+        for (rule, name) in RULES {
+            let n = self.findings.iter().filter(|f| f.rule == rule).count();
+            counts.set(&format!("{rule} {name}"), Json::Int(n as i64));
+        }
+        root.set("finding_counts", counts);
+        root.set(
+            "findings",
+            Json::Arr(
+                self.findings
+                    .iter()
+                    .map(|f| {
+                        let mut o = Json::obj();
+                        o.set("rule", Json::Str(f.rule.to_string()));
+                        o.set("file", Json::Str(f.file.clone()));
+                        o.set("line", Json::Int(f.line as i64));
+                        o.set("col", Json::Int(f.col as i64));
+                        o.set("message", Json::Str(f.message.clone()));
+                        o.set("snippet", Json::Str(f.snippet.clone()));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root.set(
+            "allows",
+            Json::Arr(
+                self.allows
+                    .iter()
+                    .map(|a| {
+                        let mut o = Json::obj();
+                        o.set("rule", Json::Str(a.rule.clone()));
+                        o.set("file", Json::Str(a.file.clone()));
+                        o.set("line", Json::Int(a.line as i64));
+                        o.set("reason", Json::Str(a.reason.clone()));
+                        o.set("used", Json::Bool(a.used));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root
+    }
+
+    /// Render the report document to its canonical bytes.
+    pub fn render_json(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Human console output: one line per finding, the allow inventory,
+    /// and a per-rule summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {} {}\n    {}\n",
+                f.file, f.line, f.col, f.rule, f.message, f.snippet
+            ));
+        }
+        if !self.allows.is_empty() {
+            out.push_str(&format!(
+                "{} inline allow(s) in effect:\n",
+                self.allows.len()
+            ));
+            for a in &self.allows {
+                out.push_str(&format!(
+                    "  {}:{}: allow({}) — {}{}\n",
+                    a.file,
+                    a.line,
+                    a.rule,
+                    a.reason,
+                    if a.used { "" } else { " [UNUSED]" }
+                ));
+            }
+        }
+        let counts: Vec<String> = RULES
+            .iter()
+            .map(|(rule, name)| {
+                let n = self.findings.iter().filter(|f| f.rule == *rule).count();
+                format!("{rule} {name}: {n}")
+            })
+            .collect();
+        out.push_str(&format!(
+            "lint: {} file(s), {} finding(s) [{}]\n",
+            self.files_scanned,
+            self.findings.len(),
+            counts.join(", ")
+        ));
+        out
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixture tests for the five rule families: every family pins at least
+//! one true positive and one suppressed (allowed) finding, the JSON
+//! report is golden-filed byte-for-byte, and the workspace itself must
+//! scan clean — the same gate CI runs via `rmsa lint`.
+
+use rmsa_lint::{lint_source, lint_workspace, scope_for, LintOutcome, RuleScope};
+
+fn all_rules() -> RuleScope {
+    RuleScope {
+        r1: true,
+        r2: true,
+        r2_timing_ok: false,
+        r3: true,
+        r4: true,
+        r5: true,
+    }
+}
+
+/// Lint `src` as if it were a library file every rule applies to.
+fn run(src: &str) -> (Vec<rmsa_lint::Finding>, Vec<rmsa_lint::AllowRecord>) {
+    lint_source("crates/core/src/fixture.rs", src, all_rules())
+}
+
+struct Fixture {
+    rule: &'static str,
+    /// Source with one violation and no directive.
+    positive: &'static str,
+    /// The same violation with an inline allow directive.
+    suppressed: &'static str,
+}
+
+const FIXTURES: [Fixture; 5] = [
+    Fixture {
+        rule: "R1",
+        positive: "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        suppressed: "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(R1, reason = \"fixture\")\n    x.unwrap()\n}\n",
+    },
+    Fixture {
+        rule: "R2",
+        positive: "use std::collections::HashMap;\n",
+        suppressed: "use std::collections::HashMap; // lint: allow(R2, reason = \"fixture\")\n",
+    },
+    Fixture {
+        rule: "R3",
+        positive: "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        suppressed: "fn f(p: *const u8) -> u8 {\n    // lint: allow(R3, reason = \"fixture\")\n    unsafe { *p }\n}\n",
+    },
+    Fixture {
+        rule: "R4",
+        positive: "fn f(v: u64) -> u32 {\n    v as u32\n}\n",
+        suppressed: "fn f(v: u64) -> u32 {\n    v as u32 // lint: allow(R4, reason = \"fixture\")\n}\n",
+    },
+    Fixture {
+        rule: "R5",
+        positive: "fn f() {\n    let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    g.write_all(b).ok();\n}\n",
+        suppressed: "fn f() {\n    // lint: allow(R5, reason = \"fixture\")\n    let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    g.write_all(b).ok();\n}\n",
+    },
+];
+
+#[test]
+fn every_rule_family_has_a_true_positive() {
+    for fixture in &FIXTURES {
+        let (findings, _) = run(fixture.positive);
+        assert!(
+            findings.iter().any(|f| f.rule == fixture.rule),
+            "{} fixture produced {findings:?}",
+            fixture.rule
+        );
+    }
+}
+
+#[test]
+fn every_rule_family_is_suppressible_and_the_allow_is_recorded() {
+    for fixture in &FIXTURES {
+        let (findings, allows) = run(fixture.suppressed);
+        assert!(
+            findings.iter().all(|f| f.rule != fixture.rule),
+            "{} allow did not suppress: {findings:?}",
+            fixture.rule
+        );
+        // The suppression is never silent: the allow shows up, marked used.
+        let allow = allows
+            .iter()
+            .find(|a| a.rule == fixture.rule)
+            .unwrap_or_else(|| panic!("{} allow missing from the record", fixture.rule));
+        assert!(allow.used, "{} allow not marked used", fixture.rule);
+        assert_eq!(allow.reason, "fixture");
+    }
+}
+
+/// One source exercising every family at once, used for the report golden.
+const REPORT_FIXTURE: &str = "\
+use std::collections::HashMap;
+
+fn codec(v: u64, p: *const u8) -> u32 {
+    let trunc = v as u32;
+    // lint: allow(R1, reason = \"fixture allows one unwrap\")
+    let x = some().unwrap();
+    let _ = other().unwrap();
+    unsafe { touch(p) };
+    trunc
+}
+
+fn guarded() {
+    let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    g.write_all(b).ok();
+}
+";
+
+fn report_outcome() -> LintOutcome {
+    let (findings, allows) = run(REPORT_FIXTURE);
+    let mut outcome = LintOutcome {
+        findings,
+        allows,
+        files_scanned: 1,
+    };
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    outcome
+}
+
+#[test]
+fn report_covers_every_family_and_matches_the_golden_bytes() {
+    let outcome = report_outcome();
+    for rule in ["R2", "R3", "R4", "R5"] {
+        assert!(
+            outcome.findings.iter().any(|f| f.rule == rule),
+            "report fixture lost its {rule} finding: {:?}",
+            outcome.findings
+        );
+    }
+    // R1 appears twice in the source; exactly one survives the allow.
+    assert_eq!(
+        outcome.findings.iter().filter(|f| f.rule == "R1").count(),
+        1
+    );
+    assert_eq!(outcome.allows.len(), 1);
+
+    let rendered = outcome.render_json();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/lint_report_v1.json"
+    );
+    if std::env::var_os("RMSA_BLESS").is_some() {
+        std::fs::write(golden_path, &rendered).expect("bless golden");
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("read golden");
+    assert_eq!(
+        rendered, golden,
+        "LINT_report.json drifted from tests/golden/lint_report_v1.json — if intentional, re-bless with RMSA_BLESS=1"
+    );
+}
+
+#[test]
+fn report_bytes_are_a_pure_function_of_the_sources() {
+    // Two independent passes over the same source must render the exact
+    // same bytes (no timestamps, no map iteration order, no environment).
+    assert_eq!(
+        report_outcome().render_json(),
+        report_outcome().render_json()
+    );
+}
+
+#[test]
+fn exit_code_semantics_follow_is_clean() {
+    let (findings, _) = run("fn f() { x.unwrap(); }\n");
+    let dirty = LintOutcome {
+        findings,
+        allows: Vec::new(),
+        files_scanned: 1,
+    };
+    assert!(!dirty.is_clean());
+    let clean = LintOutcome::default();
+    assert!(clean.is_clean());
+}
+
+/// The repo must hold its own bar: linting the workspace from the crate's
+/// parent directory finds nothing (CI runs the same check via `rmsa lint`).
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let outcome = lint_workspace(&root).expect("lint workspace");
+    assert!(
+        outcome.is_clean(),
+        "workspace has lint findings:\n{}",
+        outcome.render_human()
+    );
+    assert!(outcome.files_scanned > 50, "suspiciously few files scanned");
+    // Stale allows are findings waiting to happen: every directive in the
+    // tree must still be suppressing something.
+    let stale: Vec<_> = outcome.allows.iter().filter(|a| !a.used).collect();
+    assert!(stale.is_empty(), "stale allow directives: {stale:?}");
+}
+
+#[test]
+fn scope_for_drives_rules_per_path() {
+    // A snapshot codec carries R4; arbitrary library code does not.
+    assert!(scope_for("crates/diffusion/src/snapshot.rs").r4);
+    assert!(!scope_for("crates/core/src/problem.rs").r4);
+    // Only the five library crates carry R1 (bench/cli/datasets do not).
+    assert!(scope_for("crates/service/src/server.rs").r1);
+    assert!(!scope_for("crates/bench/src/json.rs").r1);
+    assert!(!scope_for("crates/cli/src/main.rs").r1);
+}

@@ -37,6 +37,25 @@ pub use session::{Session, SessionKey, SessionRegistry};
 pub use snapshot::{SnapshotInfo, SESSION_SNAPSHOT_VERSION};
 pub use wire::{Request, Response, SolveRequest, WarmRequest, WIRE_SCHEMA_VERSION};
 
+/// Lock a mutex, recovering the guarded data if a previous holder
+/// panicked: the serving invariant (R1 panic-discipline) is that a fault
+/// degrades to an error response, never takes the whole daemon down with
+/// a poisoned-lock panic cascade. Guarded state is only ever replaced
+/// wholesale (queues drained, counters bumped), so a poisoned value is
+/// still structurally sound.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Mutex::into_inner`] with the same poison recovery as
+/// [`lock_unpoisoned`].
+///
+/// [`Mutex::into_inner`]: std::sync::Mutex::into_inner
+pub(crate) fn into_inner_unpoisoned<T>(m: std::sync::Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A tiny [`rmsa_bench::ExperimentContext`] for smoke-scale serving:
 /// miniature datasets and sample sizes, single-threaded generation,
 /// deterministic seed. Used by the CI smoke profile and the integration

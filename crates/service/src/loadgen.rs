@@ -17,6 +17,7 @@
 use crate::client::ServiceClient;
 use crate::histogram::LogHistogram;
 use crate::wire::{Algorithm, Request, Response, SolveRequest, SolveResponse};
+use crate::{into_inner_unpoisoned, lock_unpoisoned};
 use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
 use rmsa_bench::report::{BenchPoint, BenchReport, RunManifest};
@@ -192,7 +193,7 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
                 let mut connection = match ServiceClient::connect(addr) {
                     Ok(c) => c,
                     Err(e) => {
-                        errors.lock().expect("errors lock").push(e);
+                        lock_unpoisoned(errors).push(e);
                         return;
                     }
                 };
@@ -207,27 +208,25 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
                             local_hist.record(secs);
                             local.push((response, secs));
                         }
-                        Ok(Response::Error { id, message }) => errors
-                            .lock()
-                            .expect("errors lock")
-                            .push(format!("request {id}: {message}")),
-                        Ok(other) => errors
-                            .lock()
-                            .expect("errors lock")
-                            .push(format!("unexpected response {other:?}")),
+                        Ok(Response::Error { id, message }) => {
+                            lock_unpoisoned(errors).push(format!("request {id}: {message}"))
+                        }
+                        Ok(other) => {
+                            lock_unpoisoned(errors).push(format!("unexpected response {other:?}"))
+                        }
                         Err(e) => {
-                            errors.lock().expect("errors lock").push(e);
+                            lock_unpoisoned(errors).push(e);
                             return;
                         }
                     }
                 }
-                collected.lock().expect("responses lock").extend(local);
-                latency.lock().expect("latency lock").merge(&local_hist);
+                lock_unpoisoned(collected).extend(local);
+                lock_unpoisoned(latency).merge(&local_hist);
             });
         }
     });
     let wall_secs = started.elapsed().as_secs_f64();
-    let mut responses = collected.into_inner().expect("responses lock");
+    let mut responses = into_inner_unpoisoned(collected);
     responses.sort_by_key(|(r, _)| r.id);
     let session_memory_bytes = match ServiceClient::connect(addr)
         .and_then(|mut c| c.call(&Request::Stats { id: u64::MAX }))
@@ -237,9 +236,9 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
     };
     Ok(LoadgenOutcome {
         responses,
-        latency: latency.into_inner().expect("latency lock"),
+        latency: into_inner_unpoisoned(latency),
         wall_secs,
-        errors: errors.into_inner().expect("errors lock"),
+        errors: into_inner_unpoisoned(errors),
         session_memory_bytes,
     })
 }

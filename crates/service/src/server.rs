@@ -16,6 +16,7 @@
 //! — the integration tests assert bit-identical canonical responses for
 //! 1 and 8 workers.
 
+use crate::lock_unpoisoned;
 use crate::session::{SessionKey, SessionRegistry};
 use crate::wire::{Request, Response, SolveRequest, SolveResponse, SolveTiming, WarmRequest};
 use rmsa_bench::ExperimentContext;
@@ -78,8 +79,11 @@ impl ConnWriter {
     fn send(&self, response: &Response) {
         let mut line = response.render();
         line.push('\n');
-        let mut stream = self.stream.lock().expect("writer lock poisoned");
-        // A vanished client is not a server error; drop the response.
+        // Holding the writer lock across the socket write is the point:
+        // it is what keeps concurrent responses line-atomic on one
+        // connection. A vanished client is not a server error; drop the
+        // response.
+        let mut stream = lock_unpoisoned(&self.stream);
         let _ = stream.write_all(line.as_bytes());
         let _ = stream.flush();
     }
@@ -142,7 +146,7 @@ impl ServiceHandle {
         for worker in self.workers {
             let _ = worker.join();
         }
-        let persists = std::mem::take(&mut *self.shared.persists.lock().expect("persist lock"));
+        let persists = std::mem::take(&mut *lock_unpoisoned(&self.shared.persists));
         for persist in persists {
             let _ = persist.join();
         }
@@ -169,15 +173,13 @@ pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle
             std::thread::Builder::new()
                 .name(format!("rmsa-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
         })
-        .collect();
+        .collect::<std::io::Result<Vec<_>>>()?;
     let accept = {
         let shared = shared.clone();
         std::thread::Builder::new()
             .name("rmsa-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared))
-            .expect("spawn accept loop")
+            .spawn(move || accept_loop(&listener, &shared))?
     };
     Ok(ServiceHandle {
         addr,
@@ -270,7 +272,7 @@ fn enqueue(shared: &Shared, job: Job) {
     // and an empty queue, so a job admitted while the flag is still unset
     // is guaranteed a worker — no request can be stranded unanswered.
     let refused = {
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        let mut queue = lock_unpoisoned(&shared.queue);
         if shared.shutdown.load(Ordering::SeqCst) {
             Some(job)
         } else {
@@ -296,7 +298,7 @@ fn enqueue(shared: &Shared, job: Job) {
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(key) = queue.front().map(|j| j.key) {
                     // Batch: the front job plus every queued job sharing
@@ -305,7 +307,10 @@ fn worker_loop(shared: &Shared) {
                     let mut i = 0;
                     while i < queue.len() {
                         if queue[i].key == key {
-                            batch.push(queue.remove(i).expect("index in bounds"));
+                            match queue.remove(i) {
+                                Some(job) => batch.push(job),
+                                None => break,
+                            }
                         } else {
                             i += 1;
                         }
@@ -315,7 +320,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.available.wait(queue).expect("queue lock poisoned");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         serve_batch(shared, batch);
@@ -347,7 +355,7 @@ fn persist_in_background(shared: &Shared, session: Arc<crate::session::Session>)
             }
         });
     if let Ok(handle) = handle {
-        let mut persists = shared.persists.lock().expect("persist lock");
+        let mut persists = lock_unpoisoned(&shared.persists);
         // Reap completed persists so a long-lived daemon under churn does
         // not accumulate one handle per warm-up forever.
         persists.retain(|h| !h.is_finished());
@@ -356,7 +364,9 @@ fn persist_in_background(shared: &Shared, session: Arc<crate::session::Session>)
 }
 
 fn serve_batch(shared: &Shared, batch: Vec<Job>) {
-    let key = batch[0].key;
+    let Some(key) = batch.first().map(|job| job.key) else {
+        return;
+    };
     let session = shared.registry.session(key);
     let batch_size = batch.len();
     for job in batch {

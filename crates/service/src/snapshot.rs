@@ -23,6 +23,7 @@
 //! A rejected or corrupt snapshot falls back to the deterministic cold
 //! build; the daemon logs why.
 
+use crate::lock_unpoisoned;
 use crate::session::{Session, SessionKey};
 use crate::wire::strategy_name;
 use rmsa::prelude::*;
@@ -105,10 +106,10 @@ fn read_meta(r: &SnapshotReader<'_>) -> Result<SessionMeta, StoreError> {
         strategy: c.get_str("meta strategy")?,
         scale: c.get_f64("meta scale")?,
         seed: c.get_u64("meta seed")?,
-        num_ads: c.get_u64("meta num_ads")? as usize,
-        spread_rr: c.get_u64("meta spread_rr")? as usize,
-        eval_rr: c.get_u64("meta eval_rr")? as usize,
-        warm_level: c.get_u64("meta warm_level")? as usize,
+        num_ads: c.get_usize("meta num_ads")?,
+        spread_rr: c.get_usize("meta spread_rr")?,
+        eval_rr: c.get_usize("meta eval_rr")?,
+        warm_level: c.get_usize("meta warm_level")?,
     })
 }
 
@@ -120,7 +121,7 @@ pub fn session_to_bytes(session: &Session) -> Vec<u8> {
     // cache between the meta block and the cache sections, or the file
     // would record a warm level below its own collections — and a restart
     // from it would re-extend.
-    let warm_level = session.warm_level.lock().expect("warm lock poisoned");
+    let warm_level = lock_unpoisoned(&session.warm_level);
     let meta = SessionMeta {
         dataset: session.key.dataset.name().to_string(),
         strategy: strategy_name(session.key.strategy).to_string(),
@@ -172,6 +173,7 @@ pub fn session_from_bytes(
     key: SessionKey,
     ctx: &ExperimentContext,
 ) -> Result<Session, StoreError> {
+    // lint: allow(R2, reason = "wall-clock load-time statistic; reported to stats RPC, never serialized")
     let start = Instant::now();
     let r = SnapshotReader::parse(bytes)?;
     let meta = read_meta(&r)?;
@@ -220,7 +222,7 @@ pub fn session_from_bytes(
     };
 
     let mut ads = r.require(section::ADVERTISERS)?;
-    let h = ads.get_u64("advertiser count")? as usize;
+    let h = ads.get_usize("advertiser count")?;
     if h != ctx.num_ads {
         return Err(stale(format!(
             "snapshot has {h} advertisers, context expects {}",
@@ -238,7 +240,7 @@ pub fn session_from_bytes(
     }
 
     let mut spreads_cur = r.require(section::SPREADS)?;
-    let rows = spreads_cur.get_u64("spread row count")? as usize;
+    let rows = spreads_cur.get_usize("spread row count")?;
     if rows != h {
         return Err(StoreError::Corrupt(format!(
             "{rows} spread rows for {h} advertisers"
@@ -336,6 +338,7 @@ pub fn load_session(
     if !path.exists() {
         return Ok(None);
     }
+    // lint: allow(R2, reason = "wall-clock load-time statistic; reported to stats RPC, never serialized")
     let start = Instant::now();
     let bytes = read_file(&path)?;
     let mut session = session_from_bytes(&bytes, key, ctx)?;
@@ -421,7 +424,10 @@ pub fn inspect(path: &Path) -> Result<SnapshotInfo, StoreError> {
         let extensions = cur.get_u64("stream extensions")?;
         let arena = rmsa_diffusion::snapshot::read_arena(&mut cur)?;
         streams.push(StreamInfo {
-            index: (id - section::CACHE_STREAM_BASE) as usize,
+            index: rmsa_store::to_usize(
+                u64::from(id - section::CACHE_STREAM_BASE),
+                "stream index",
+            )?,
             sets: arena.len(),
             entries: arena.total_entries(),
             mean_size: arena.mean_size(),

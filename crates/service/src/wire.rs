@@ -220,10 +220,11 @@ impl Request {
                         .and_then(|v| v.as_str())
                         .unwrap_or("linear"),
                 )?,
-                alpha: doc
-                    .get("alpha")
-                    .and_then(|v| v.as_f64())
-                    .ok_or("solve request is missing alpha")?,
+                alpha: parse_alpha(
+                    doc.get("alpha")
+                        .and_then(|v| v.as_f64())
+                        .ok_or("solve request is missing alpha")?,
+                )?,
                 evaluate: doc
                     .get("evaluate")
                     .and_then(|v| v.as_bool())
@@ -638,6 +639,18 @@ pub fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
         .ok_or_else(|| format!("unknown dataset {name:?}"))
 }
 
+/// Validate the incentive scale of a solve request at the wire boundary:
+/// a negative or non-finite α would turn into negative/NaN seed costs and
+/// reach the solvers, so it is refused with a typed error before a worker
+/// ever sees the request.
+pub fn parse_alpha(alpha: f64) -> Result<f64, String> {
+    if alpha.is_finite() && alpha >= 0.0 {
+        Ok(alpha)
+    } else {
+        Err(format!("alpha must be finite and >= 0, got {alpha}"))
+    }
+}
+
 /// Parse an incentive-model wire name.
 pub fn parse_incentive(name: &str) -> Result<IncentiveModel, String> {
     IncentiveModel::all()
@@ -825,6 +838,7 @@ mod tests {
             r#"{"schema_version":2,"id":1,"op":"ping"}"#,
             r#"{"schema_version":1,"id":1,"op":"solve","dataset":"nope","algorithm":"rma","alpha":0.1}"#,
             r#"{"schema_version":1,"id":1,"op":"solve","dataset":"lastfm-syn","algorithm":"rma"}"#,
+            r#"{"schema_version":1,"id":1,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":-0.5}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
         }

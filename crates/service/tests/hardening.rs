@@ -1,0 +1,241 @@
+//! Serving-robustness tests added alongside the `rmsa lint` panic
+//! discipline: no request a client can put on the wire may kill a worker
+//! thread, and the warm/solve pipeline must be schedule-oblivious — the
+//! response payloads are bit-identical no matter how threads interleave
+//! session eviction with same-fingerprint admission batching.
+
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+use rmsa_service::wire::{Algorithm, Request, Response, SolveRequest, SolveResult};
+use rmsa_service::{server, ServiceConfig, SessionKey, SessionRegistry};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
+    SolveRequest {
+        id,
+        dataset: DatasetKind::LastfmSyn,
+        strategy: RrStrategy::Standard,
+        algorithm,
+        incentive: IncentiveModel::Linear,
+        alpha,
+        evaluate: true,
+    }
+}
+
+/// A daemon with exactly ONE worker is fed every malformed/invalid shape a
+/// client can produce, then asked for a real solve. If any of the bad
+/// requests had panicked the lone worker, the solve could never be
+/// answered — the read timeout below would trip.
+#[test]
+fn no_wire_request_can_kill_the_single_worker() {
+    let config = ServiceConfig {
+        ctx: rmsa_service::tiny_serve_ctx(7),
+        workers: 1,
+        max_sessions: 2,
+        snapshot_dir: None,
+    };
+    let handle = server::start("127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr();
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut call = |line: &str| -> Response {
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        let mut answer = String::new();
+        reader
+            .read_line(&mut answer)
+            .expect("a response before the timeout — did a worker die?");
+        Response::parse(answer.trim_end()).expect("parse response")
+    };
+
+    // Every hostile shape must come back as a typed wire error.
+    let hostile = [
+        "this is not json",
+        "{}",
+        r#"{"schema_version":9,"id":1,"op":"ping"}"#,
+        r#"{"schema_version":1,"id":2,"op":"warp"}"#,
+        r#"{"schema_version":1,"id":3,"op":"solve","dataset":"nope","algorithm":"rma","alpha":0.1}"#,
+        r#"{"schema_version":1,"id":4,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":-0.5}"#,
+        r#"{"schema_version":1,"id":5,"op":"solve","dataset":"lastfm-syn","algorithm":"sorcery","alpha":0.1}"#,
+        r#"{"schema_version":1,"id":6,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":0.1,"incentive":"bribes"}"#,
+    ];
+    for line in hostile {
+        let response = call(line);
+        assert!(
+            matches!(response, Response::Error { .. }),
+            "{line} must get a typed error, got {response:?}"
+        );
+    }
+
+    // A warm actually reaches the worker…
+    let warm = call(
+        r#"{"schema_version":1,"id":7,"op":"warm","dataset":"lastfm-syn","strategy":"standard"}"#,
+    );
+    assert!(matches!(warm, Response::Warm(_)), "got {warm:?}");
+    // …and the lone worker still serves a full solve afterwards.
+    let solve = call(&Request::Solve(solve_request(8, Algorithm::Rma, 0.2)).render());
+    let Response::Solve(solve) = solve else {
+        panic!("expected a solve response, got {solve:?}");
+    };
+    assert_eq!(solve.id, 8);
+    assert_eq!(solve.result.rr_generated, 0, "warm invariant");
+    assert!(!solve.result.allocation_digest.is_empty());
+
+    handle.shutdown();
+    handle.wait();
+}
+
+/// Deterministic xorshift64 for the schedule shuffles below.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = Rng(seed | 1);
+    for i in (1..items.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[derive(Clone)]
+enum Op {
+    /// `session(A)` + warm + solve — the serve_batch path.
+    Solve(SolveRequest),
+    /// `session(key)` + warm on a *different* fingerprint, which under
+    /// `max_sessions = 2` forces LRU evictions mid-run.
+    Churn(DatasetKind),
+}
+
+/// Run one schedule: the op multiset is dealt across 4 threads in a
+/// seed-permuted order and executed concurrently against a fresh registry.
+/// Returns the solve results by request id, plus the warm-extension count
+/// of every session *generation* (distinct `Arc<Session>`) touched.
+fn run_schedule(seed: u64) -> (BTreeMap<u64, SolveResult>, Vec<usize>, usize) {
+    let registry = SessionRegistry::new(rmsa_service::tiny_serve_ctx(7), 2);
+
+    let mut ops: Vec<Op> = Vec::new();
+    let table = [
+        (Algorithm::Rma, 0.1),
+        (Algorithm::OneBatch, 0.2),
+        (Algorithm::TiCarm, 0.3),
+        (Algorithm::Rma, 0.3),
+        (Algorithm::OneBatch, 0.1),
+        (Algorithm::TiCsrm, 0.2),
+    ];
+    for (i, (algorithm, alpha)) in table.into_iter().enumerate() {
+        ops.push(Op::Solve(solve_request(i as u64 + 1, algorithm, alpha)));
+    }
+    ops.push(Op::Churn(DatasetKind::FlixsterSyn));
+    ops.push(Op::Churn(DatasetKind::DblpSyn));
+    seeded_shuffle(&mut ops, seed);
+
+    let results: Mutex<BTreeMap<u64, SolveResult>> = Mutex::new(BTreeMap::new());
+    let generations: Mutex<Vec<Arc<rmsa_service::Session>>> = Mutex::new(Vec::new());
+    const THREADS: usize = 4;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let lane: Vec<Op> = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % THREADS == t)
+                .map(|(_, op)| op.clone())
+                .collect();
+            let registry = &registry;
+            let results = &results;
+            let generations = &generations;
+            scope.spawn(move || {
+                for op in lane {
+                    let key = match &op {
+                        Op::Solve(r) => SessionKey::from(r),
+                        Op::Churn(dataset) => SessionKey {
+                            dataset: *dataset,
+                            strategy: RrStrategy::Standard,
+                        },
+                    };
+                    let session = registry.session(key);
+                    session.ensure_warm(None);
+                    if let Op::Solve(request) = &op {
+                        let result = session.solve(request).expect("solve");
+                        results
+                            .lock()
+                            .expect("results lock")
+                            .insert(request.id, result);
+                    }
+                    generations.lock().expect("generations lock").push(session);
+                }
+            });
+        }
+    });
+
+    let mut seen: Vec<Arc<rmsa_service::Session>> = Vec::new();
+    for session in generations.into_inner().expect("generations") {
+        if !seen.iter().any(|s| Arc::ptr_eq(s, &session)) {
+            seen.push(session);
+        }
+    }
+    let extensions = seen
+        .iter()
+        .map(|s| s.stats_entry().warm_extensions)
+        .collect();
+    let results = results.into_inner().expect("results");
+    (results, extensions, registry.evictions())
+}
+
+/// The headline schedule-obliviousness invariant: permuting which thread
+/// runs which op — with evictions landing at different points every time —
+/// changes neither a single response payload nor the one-extension-per-
+/// generation warm discipline.
+#[test]
+fn schedule_permutations_are_response_invariant() {
+    let (baseline, extensions, evictions) = run_schedule(0xA11CE);
+    assert_eq!(baseline.len(), 6, "every solve must be answered");
+    assert!(
+        evictions > 0,
+        "3 fingerprints under max_sessions = 2 must evict"
+    );
+    for (id, result) in &baseline {
+        // TI baselines deterministically build private per-advertiser
+        // collections inside the solve; only the shared-cache solvers are
+        // bound by the zero-generation warm invariant.
+        if !result.algorithm.starts_with("TI") {
+            assert_eq!(result.rr_generated, 0, "solve {id} ran on a cold session");
+            assert_eq!(result.index_extended, 0);
+        }
+        assert!(result.revenue.is_some());
+    }
+    assert!(
+        extensions.iter().all(|&e| e == 1),
+        "each session generation must warm exactly once, got {extensions:?}"
+    );
+
+    for seed in [0xB0B, 0xC0FFEE, 0xDEADBEE] {
+        let (permuted, extensions, evictions) = run_schedule(seed);
+        assert_eq!(
+            permuted, baseline,
+            "seed {seed:#x}: responses must be bit-identical under any schedule"
+        );
+        assert!(evictions > 0, "seed {seed:#x}: churn must evict");
+        assert!(
+            extensions.iter().all(|&e| e == 1),
+            "seed {seed:#x}: a generation warmed twice: {extensions:?}"
+        );
+    }
+}

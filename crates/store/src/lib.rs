@@ -163,6 +163,8 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ (bytes.len() as u64).wrapping_mul(PRIME);
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
+        #[allow(clippy::expect_used)]
+        // lint: allow(R1, reason = "chunks_exact(8) guarantees the slice is 8 bytes")
         let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         hash = (hash ^ word).wrapping_mul(PRIME).rotate_left(23);
     }
@@ -287,7 +289,8 @@ impl SnapshotWriter {
     /// buffer. Sections are written in call order.
     pub fn section(&mut self, id: u32) -> &mut SectionBuf {
         self.sections.push((id, SectionBuf::new()));
-        &mut self.sections.last_mut().expect("just pushed").1
+        let last = self.sections.len() - 1;
+        &mut self.sections[last].1
     }
 
     /// Assemble the container bytes.
@@ -296,6 +299,7 @@ impl SnapshotWriter {
         let mut out = Vec::with_capacity(16 + payload);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+        // lint: allow(R4, reason = "in-memory writer state: a process cannot hold 2^32 open sections")
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         for (id, buf) in self.sections {
             out.extend_from_slice(&id.to_le_bytes());
@@ -394,7 +398,7 @@ impl<'a> SnapshotReader<'a> {
         if version != CONTAINER_VERSION {
             return Err(StoreError::UnsupportedVersion(version));
         }
-        let count = cur.get_u32("section count")? as usize;
+        let count = to_usize(u64::from(cur.get_u32("section count")?), "section count")?;
         // The header carries no checksum, so `count` is untrusted: cap the
         // preallocation by what the remaining bytes could possibly hold
         // (20 header bytes per section) — a corrupt count then fails as
@@ -402,7 +406,7 @@ impl<'a> SnapshotReader<'a> {
         let mut sections = Vec::with_capacity(count.min(cur.remaining() / 20));
         for i in 0..count {
             let id = cur.get_u32("section id")?;
-            let len = cur.get_u64("section length")? as usize;
+            let len = to_usize(cur.get_u64("section length")?, "section length")?;
             let sum = cur.get_u64("section checksum")?;
             let payload = cur.get_bytes(len, &format!("section {i} payload"))?;
             if checksum(payload) != sum {
@@ -534,7 +538,13 @@ impl<'a> Cursor<'a> {
                 what: what.to_string(),
             });
         }
-        Ok(len as usize)
+        to_usize(len, what)
+    }
+
+    /// Read a `u64` that the payload uses as a count/size, checked into
+    /// `usize` (a value that does not fit the address space is corruption).
+    pub fn get_usize(&mut self, what: &str) -> Result<usize, StoreError> {
+        to_usize(self.get_u64(what)?, what)
     }
 
     /// Read a length-prefixed `u32` column.
@@ -559,11 +569,10 @@ impl<'a> Cursor<'a> {
 
     /// Read a length-prefixed `usize` column (stored as `u64`).
     pub fn get_usize_vec(&mut self, what: &str) -> Result<Vec<usize>, StoreError> {
-        Ok(self
-            .get_u64_vec(what)?
+        self.get_u64_vec(what)?
             .into_iter()
-            .map(|v| v as usize)
-            .collect())
+            .map(|v| to_usize(v, what))
+            .collect()
     }
 
     /// Read a length-prefixed `f32` column.
@@ -588,6 +597,20 @@ impl<'a> Cursor<'a> {
 
 fn overflow(what: &str) -> impl FnOnce() -> StoreError + '_ {
     move || StoreError::Corrupt(format!("{what} length overflows"))
+}
+
+/// Checked `u64` → `usize` for untrusted on-disk values: a count that does
+/// not fit the address space is [`StoreError::Corrupt`], never a silent
+/// truncating cast (R4 checked-casts).
+pub fn to_usize(v: u64, what: &str) -> Result<usize, StoreError> {
+    usize::try_from(v).map_err(|_| StoreError::Corrupt(format!("{what} {v} does not fit in usize")))
+}
+
+/// Checked `usize` → `u32` for values a codec must narrow before writing
+/// or comparing (node ids, segment extents). Out-of-range is
+/// [`StoreError::Corrupt`].
+pub fn to_u32(v: usize, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(v).map_err(|_| StoreError::Corrupt(format!("{what} {v} does not fit in u32")))
 }
 
 #[cfg(test)]

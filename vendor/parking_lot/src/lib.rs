@@ -4,6 +4,10 @@
 //! possible after a panic while holding the guard — is treated as fatal,
 //! matching the abort-on-poison spirit of parking_lot users.
 
+// Abort-on-poison is this shim's documented contract, so the workspace
+// panic-discipline clippy pass does not apply to it.
+#![allow(clippy::expect_used)]
+
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };
