@@ -141,8 +141,14 @@ pub struct AlgoOutcome {
     /// Wall-clock seconds the shared cache spent loading that snapshot.
     pub snapshot_load_secs: f64,
     /// Approximate memory footprint of the algorithm's sample structures,
-    /// in bytes (exact `memory_bytes()` accounting).
+    /// in bytes (exact `memory_bytes()` accounting): resident heap plus
+    /// snapshot-mapped pages.
     pub memory_bytes: usize,
+    /// Heap-owned portion of `memory_bytes`.
+    pub resident_bytes: usize,
+    /// Portion of `memory_bytes` borrowed zero-copy from a memory-mapped
+    /// snapshot (0 for cold-built caches and owned snapshot loads).
+    pub mapped_bytes: usize,
     /// The same footprint in MiB (the historical CSV column).
     pub memory_mib: f64,
     /// Budget usage percentage (Fig. 6).
@@ -173,6 +179,8 @@ impl AlgoOutcome {
             loaded_from_snapshot: report.loaded_from_snapshot,
             snapshot_load_secs: report.snapshot_load_time.as_secs_f64(),
             memory_bytes: report.memory_bytes,
+            resident_bytes: report.memory_bytes.saturating_sub(report.mapped_bytes),
+            mapped_bytes: report.mapped_bytes,
             memory_mib: report.memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: eval.budget_usage_pct,
             rate_of_return_pct: eval.rate_of_return_pct,

@@ -137,6 +137,19 @@ pub enum SweepSpec {
         /// Advertiser-count or budget sweep.
         sweep: ScalabilitySpec,
     },
+    /// Tentpole scalability: generator-family graphs swept toward
+    /// million-node scale with sharded RR generation and owned-vs-mapped
+    /// snapshot load races (see [`crate::sweeps::genscale_sweep`]).
+    GenScale {
+        /// Generator family ([`crate::sweeps::GENERATOR_FAMILIES`]).
+        family: String,
+        /// Target node counts (scaled by the context's `scale`).
+        nodes: Vec<usize>,
+        /// RR-sets generated per (scaled) node.
+        rr_per_node: f64,
+        /// Number of generation shards.
+        shards: usize,
+    },
     /// Fig. 7(a–b): holistic total-demand sweep.
     Demand {
         /// Dataset to sweep on.
@@ -411,6 +424,36 @@ fn parse_job(table: &Toml) -> Result<ScenarioJob, String> {
             SweepSpec::Scalability {
                 dataset: dataset("dataset")?,
                 sweep,
+            }
+        }
+        "genscale" => {
+            let family = req_str(table, "family")?;
+            if !crate::sweeps::GENERATOR_FAMILIES.contains(&family.as_str()) {
+                return Err(format!(
+                    "unknown generator family {family:?} (expected one of {:?})",
+                    crate::sweeps::GENERATOR_FAMILIES
+                ));
+            }
+            SweepSpec::GenScale {
+                family,
+                nodes: table
+                    .get("nodes")
+                    .and_then(|v| v.as_arr())
+                    .ok_or("genscale needs `nodes`")?
+                    .iter()
+                    .map(|x| {
+                        x.as_usize()
+                            .ok_or("node counts must be integers".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                rr_per_node: match table.get("rr_per_node") {
+                    None => 1.0,
+                    Some(v) => req_f64(v, "rr_per_node")?,
+                },
+                shards: match table.get("shards") {
+                    None => 8,
+                    Some(v) => req_usize(v, "shards")?.max(1),
+                },
             }
         }
         "demand" => SweepSpec::Demand {

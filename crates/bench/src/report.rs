@@ -233,6 +233,8 @@ fn point_to_json(point: &BenchPoint) -> Json {
         )
         .set("snapshot_load_secs", Json::Num(o.snapshot_load_secs))
         .set("memory_bytes", Json::Int(o.memory_bytes as i64))
+        .set("resident_bytes", Json::Int(o.resident_bytes as i64))
+        .set("mapped_bytes", Json::Int(o.mapped_bytes as i64))
         .set("budget_usage_pct", Json::Num(o.budget_usage_pct))
         .set("rate_of_return_pct", Json::Num(o.rate_of_return_pct));
     p
@@ -251,6 +253,10 @@ fn point_from_json(p: &Json) -> Result<BenchPoint, String> {
             .ok_or_else(|| format!("point is missing integer {key:?}"))
     };
     let memory_bytes = u("memory_bytes")?;
+    // The resident/mapped split arrived with the zero-copy loader;
+    // baselines written before it count everything as resident.
+    let mapped_bytes = u("mapped_bytes").unwrap_or(0);
+    let resident_bytes = u("resident_bytes").unwrap_or(memory_bytes.saturating_sub(mapped_bytes));
     Ok(BenchPoint {
         job: p
             .get("job")
@@ -277,6 +283,8 @@ fn point_from_json(p: &Json) -> Result<BenchPoint, String> {
             loaded_from_snapshot: u("loaded_from_snapshot").unwrap_or(0),
             snapshot_load_secs: f("snapshot_load_secs").unwrap_or(0.0),
             memory_bytes,
+            resident_bytes,
+            mapped_bytes,
             memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: f("budget_usage_pct")?,
             rate_of_return_pct: f("rate_of_return_pct")?,
@@ -450,6 +458,8 @@ mod tests {
             loaded_from_snapshot: 0,
             snapshot_load_secs: 0.0,
             memory_bytes: 1 << 20,
+            resident_bytes: 1 << 20,
+            mapped_bytes: 0,
             memory_mib: 1.0,
             budget_usage_pct: 50.0,
             rate_of_return_pct: 120.0,

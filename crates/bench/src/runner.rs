@@ -14,8 +14,9 @@ use crate::harness::ExperimentContext;
 use crate::manifest::{metric_value, Scenario, ScenarioJob, SweepSpec};
 use crate::report::{BenchPoint, BenchReport, RunManifest};
 use crate::sweeps::{
-    advertisers_for, alpha_sweep_values, demand_sweep, epsilon_sweep, rma_parameter_sweep,
-    scalability_sweep, sweep_metric_table, SweepRow, ALPHAS, SWEEP_CSV_COLUMNS,
+    advertisers_for, alpha_sweep_values, demand_sweep, epsilon_sweep, genscale_sweep,
+    rma_parameter_sweep, scalability_sweep, sweep_metric_table, SweepRow, ALPHAS,
+    SWEEP_CSV_COLUMNS,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -72,7 +73,7 @@ pub fn run_scenario_with_overrides(
 ) -> Result<ScenarioOutput, String> {
     let ctx = scenario.context_with_overrides(base_ctx, quick, overrides);
     let started = Instant::now();
-    let results = run_jobs(&ctx, scenario, parallel_jobs.max(1));
+    let results = run_jobs(&ctx, scenario, parallel_jobs.max(1))?;
     let total_wall_secs = started.elapsed().as_secs_f64();
 
     let mut csv_rows = Vec::new();
@@ -112,14 +113,19 @@ fn csv_header(scenario: &Scenario) -> String {
     }
 }
 
-fn run_jobs(ctx: &ExperimentContext, scenario: &Scenario, parallel_jobs: usize) -> Vec<JobResult> {
+fn run_jobs(
+    ctx: &ExperimentContext,
+    scenario: &Scenario,
+    parallel_jobs: usize,
+) -> Result<Vec<JobResult>, String> {
     let jobs = &scenario.jobs;
     let workers = parallel_jobs.min(jobs.len()).max(1);
     if workers == 1 {
         return jobs.iter().map(|j| run_job(ctx, scenario, j)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<Result<JobResult, String>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -140,8 +146,12 @@ fn run_jobs(ctx: &ExperimentContext, scenario: &Scenario, parallel_jobs: usize) 
         .collect()
 }
 
-fn run_job(ctx: &ExperimentContext, scenario: &Scenario, job: &ScenarioJob) -> JobResult {
-    match &job.sweep {
+fn run_job(
+    ctx: &ExperimentContext,
+    scenario: &Scenario,
+    job: &ScenarioJob,
+) -> Result<JobResult, String> {
+    Ok(match &job.sweep {
         SweepSpec::Alpha {
             dataset,
             incentive,
@@ -158,6 +168,15 @@ fn run_job(ctx: &ExperimentContext, scenario: &Scenario, job: &ScenarioJob) -> J
         }
         SweepSpec::Scalability { dataset, sweep } => {
             let rows = scalability_sweep(ctx, *dataset, sweep.to_sweep());
+            sweep_result(scenario, job, rows)
+        }
+        SweepSpec::GenScale {
+            family,
+            nodes,
+            rr_per_node,
+            shards,
+        } => {
+            let rows = genscale_sweep(ctx, family, nodes, *rr_per_node, *shards)?;
             sweep_result(scenario, job, rows)
         }
         SweepSpec::Demand { dataset, values } => {
@@ -178,7 +197,7 @@ fn run_job(ctx: &ExperimentContext, scenario: &Scenario, job: &ScenarioJob) -> J
         }
         SweepSpec::Datasets => datasets_result(ctx),
         SweepSpec::Settings { datasets } => settings_result(ctx, datasets),
-    }
+    })
 }
 
 /// CSV lines, bench points and console tables of a standard sweep job.

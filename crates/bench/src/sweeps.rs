@@ -187,6 +187,231 @@ pub fn scalability_sweep(
     rows
 }
 
+/// The generator families swept by the fig5-style scalability scenario.
+pub const GENERATOR_FAMILIES: [&str; 5] = [
+    "barabasi_albert",
+    "erdos_renyi",
+    "power_law_configuration",
+    "watts_strogatz",
+    "celebrity_graph",
+];
+
+/// Build a ~`n`-node graph of one generator family, deterministic in
+/// `seed`. The random families share a mean degree of ~8 so the sweep's
+/// points are comparable across families; `celebrity_graph` (the one
+/// deterministic family) rounds `n` up to whole hub blocks.
+pub fn family_graph(
+    family: &str,
+    n: usize,
+    seed: u64,
+) -> Result<rmsa_graph::DirectedGraph, String> {
+    use rmsa_graph::generators as g;
+    let mut rng = Pcg64Mcg::seed_from_u64(seed);
+    Ok(match family {
+        "barabasi_albert" => g::barabasi_albert(n, 8, &mut rng),
+        "erdos_renyi" => g::erdos_renyi(n, (8.0 / n.max(2) as f64).min(1.0), &mut rng),
+        "power_law_configuration" => {
+            g::power_law_configuration(n, 2.3, 8.0, (n / 10).max(8), &mut rng)
+        }
+        "watts_strogatz" => g::watts_strogatz(n, 8, 0.1, &mut rng),
+        "celebrity_graph" => g::celebrity_graph(n.div_ceil(100).max(1), 99),
+        other => {
+            return Err(format!(
+                "unknown generator family {other:?} (expected one of {GENERATOR_FAMILIES:?})"
+            ))
+        }
+    })
+}
+
+/// Decode a genscale snapshot back from either source (owned bytes or a
+/// zero-copy mapping).
+fn genscale_decode<S: rmsa_store::SectionSource>(
+    src: &S,
+) -> Result<
+    (
+        rmsa_graph::DirectedGraph,
+        rmsa_diffusion::RrArena,
+        rmsa_diffusion::CoverageIndex,
+    ),
+    rmsa_store::StoreError,
+> {
+    use rmsa_store::section;
+    let graph = rmsa_graph::snapshot::read_graph(&mut src.require(section::GRAPH)?)?;
+    let arena =
+        rmsa_diffusion::snapshot::read_arena(&mut src.require(section::CACHE_STREAM_BASE)?)?;
+    let index = rmsa_diffusion::snapshot::read_index(
+        &mut src.require(section::CACHE_STREAM_BASE + 1)?,
+        &arena,
+    )?;
+    Ok((graph, arena, index))
+}
+
+/// The tentpole scalability sweep: for each target node count, build one
+/// generator-family graph, generate a sharded RR batch over it, persist a
+/// v2 snapshot, and race the owned decode against the zero-copy mmap load.
+///
+/// Each point emits three rows keyed by the (scaled) node count:
+///
+/// * `generate` — sharded generation + coverage indexing wall-clock;
+///   `revenue` carries the total RR entry count, which is bit-identical
+///   for any shard/thread count, so the compare gate catches a
+///   distribution regression.
+/// * `load-owned` — full eager decode of the snapshot (every column
+///   copied to the heap, per-element validation on).
+/// * `load-mapped` — lazy zero-copy load (`mapped_bytes` > 0 on eligible
+///   targets; validation deferred to the checksum layer).
+///
+/// Node counts scale with `ctx.scale`, so the quick CI profile runs
+/// miniatures of the very sweep the full profile drives past 10^6 nodes.
+pub fn genscale_sweep(
+    ctx: &ExperimentContext,
+    family: &str,
+    nodes: &[usize],
+    rr_per_node: f64,
+    num_shards: usize,
+) -> Result<Vec<SweepRow>, String> {
+    use rmsa_diffusion::{CoverageIndex, MappedSnapshot, RrArena, UniformRrSampler, VerifyMode};
+    use rmsa_store::{section, SnapshotReader, SnapshotWriter};
+    use std::time::Instant;
+    let mut rows = Vec::new();
+    for &target in nodes {
+        let n = ((target as f64 * ctx.scale).round() as usize).max(64);
+        let graph = family_graph(family, n, ctx.seed ^ target as u64)?;
+        let model = rmsa_diffusion::WeightedCascade::new(&graph, ctx.num_ads);
+        let cpes = vec![1.0; ctx.num_ads];
+        let sampler = UniformRrSampler::new(&cpes);
+        let count = ((n as f64 * rr_per_node).round() as usize).max(1);
+
+        let gen_start = Instant::now();
+        let mut arena = RrArena::new(graph.num_nodes(), RrStrategy::Subsim);
+        let spans = arena.generate_sharded(
+            &graph,
+            &model,
+            &sampler,
+            count,
+            num_shards,
+            ctx.threads,
+            ctx.seed ^ 0x6E5C,
+        );
+        let gen_secs = gen_start.elapsed().as_secs_f64();
+        let index_start = Instant::now();
+        let mut index = CoverageIndex::new(graph.num_nodes(), ctx.num_ads);
+        index.extend_by_spans(&arena, &spans);
+        let index_secs = index_start.elapsed().as_secs_f64();
+        let entries = arena.total_entries();
+
+        // Persist the point as an aligned v2 snapshot, then race the two
+        // load paths against the same file.
+        let mut w = SnapshotWriter::new();
+        rmsa_graph::snapshot::write_graph(&graph, w.section(section::GRAPH));
+        rmsa_diffusion::snapshot::write_arena(&arena, w.section(section::CACHE_STREAM_BASE));
+        rmsa_diffusion::snapshot::write_index(&index, w.section(section::CACHE_STREAM_BASE + 1));
+        let bytes = w.finish();
+        let path = std::env::temp_dir().join(format!(
+            "rmsa_genscale_{family}_{n}_{:x}.rmsnap",
+            ctx.seed ^ std::process::id() as u64
+        ));
+        rmsa_store::write_file(&path, &bytes)
+            .map_err(|e| format!("genscale: write {}: {e}", path.display()))?;
+
+        let owned_start = Instant::now();
+        let file_bytes = rmsa_store::read_file(&path)
+            .map_err(|e| format!("genscale: reread {}: {e}", path.display()))?;
+        let reader = SnapshotReader::parse(&file_bytes)
+            .map_err(|e| format!("genscale: parse {}: {e}", path.display()))?;
+        let (_, arena_o, index_o) = genscale_decode(&reader)
+            .map_err(|e| format!("genscale: owned decode {}: {e}", path.display()))?;
+        let owned_secs = owned_start.elapsed().as_secs_f64();
+
+        let mapped_start = Instant::now();
+        let snap = MappedSnapshot::open(&path, VerifyMode::Lazy)
+            .map_err(|e| format!("genscale: mmap {}: {e}", path.display()))?;
+        let (_, arena_m, index_m) = genscale_decode(&snap)
+            .map_err(|e| format!("genscale: mapped decode {}: {e}", path.display()))?;
+        let mapped_secs = mapped_start.elapsed().as_secs_f64();
+        std::fs::remove_file(&path).ok();
+
+        // Cheap identity spine (the exhaustive mapped ≡ owned equivalence
+        // lives in the diffusion test suite).
+        if arena_o.len() != arena_m.len()
+            || arena_o.total_entries() != arena_m.total_entries()
+            || arena_o.len() != count
+        {
+            return Err(format!(
+                "genscale: load paths disagree for {family} at n = {n}: owned {}x{}, mapped {}x{}",
+                arena_o.len(),
+                arena_o.total_entries(),
+                arena_m.len(),
+                arena_m.total_entries()
+            ));
+        }
+
+        let outcome = |algorithm: &str,
+                       time_secs: f64,
+                       rr_generated: usize,
+                       idx_secs: f64,
+                       loaded: usize,
+                       load_secs: f64,
+                       resident: usize,
+                       mapped: usize| AlgoOutcome {
+            algorithm: algorithm.to_string(),
+            revenue: entries as f64,
+            revenue_lower_bound: None,
+            seeding_cost: 0.0,
+            seeds: 0,
+            time_secs,
+            rr_sets: count,
+            rr_generated,
+            index_secs: idx_secs,
+            loaded_from_snapshot: loaded,
+            snapshot_load_secs: load_secs,
+            memory_bytes: resident + mapped,
+            resident_bytes: resident,
+            mapped_bytes: mapped,
+            memory_mib: (resident + mapped) as f64 / (1024.0 * 1024.0),
+            budget_usage_pct: 0.0,
+            rate_of_return_pct: 0.0,
+        };
+        let key = n as f64;
+        rows.push((
+            key,
+            vec![
+                outcome(
+                    "generate",
+                    gen_secs,
+                    count,
+                    index_secs,
+                    0,
+                    0.0,
+                    arena.resident_bytes() + index.resident_bytes(),
+                    arena.mapped_bytes() + index.mapped_bytes(),
+                ),
+                outcome(
+                    "load-owned",
+                    owned_secs,
+                    0,
+                    0.0,
+                    arena_o.len(),
+                    owned_secs,
+                    arena_o.resident_bytes() + index_o.resident_bytes(),
+                    arena_o.mapped_bytes() + index_o.mapped_bytes(),
+                ),
+                outcome(
+                    "load-mapped",
+                    mapped_secs,
+                    0,
+                    0.0,
+                    arena_m.len(),
+                    mapped_secs,
+                    arena_m.resident_bytes() + index_m.resident_bytes(),
+                    arena_m.mapped_bytes() + index_m.mapped_bytes(),
+                ),
+            ],
+        ));
+    }
+    Ok(rows)
+}
+
 /// Fig. 7: the holistic-demand sweep. Total demand `M = Σ_i B_i / (n·cpe_i)`
 /// is split randomly across advertisers with `cpe = 1`. One workbench
 /// serves every demand point (budgets change, CPEs do not).
@@ -284,7 +509,7 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
     for (key, outcomes) in rows {
         for o in outcomes {
             lines.push(format!(
-                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{},{:.4},{},{:.3},{:.2},{:.2}",
+                "{row_prefix}{key},{},{:.3},{:.3},{},{:.3},{},{},{:.4},{},{:.3},{},{},{:.2},{:.2}",
                 o.algorithm,
                 o.revenue,
                 o.seeding_cost,
@@ -295,6 +520,8 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
                 o.index_secs,
                 o.loaded_from_snapshot,
                 o.memory_mib,
+                o.resident_bytes,
+                o.mapped_bytes,
                 o.budget_usage_pct,
                 o.rate_of_return_pct
             ));
@@ -306,7 +533,8 @@ pub fn sweep_csv_lines(row_prefix: &str, rows: &[SweepRow]) -> Vec<String> {
 /// The CSV column list appended after any configuration columns and the
 /// sweep key.
 pub const SWEEP_CSV_COLUMNS: &str = "algorithm,revenue,seeding_cost,seeds,time_secs,rr_sets,\
-rr_generated,index_secs,loaded_from_snapshot,memory_mib,budget_usage_pct,rate_of_return_pct";
+rr_generated,index_secs,loaded_from_snapshot,memory_mib,resident_bytes,mapped_bytes,\
+budget_usage_pct,rate_of_return_pct";
 
 /// The deterministic projection of a standard sweep CSV row: every column
 /// except the wall-clock ones (`time_secs`, `index_secs`), which differ

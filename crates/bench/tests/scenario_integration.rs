@@ -125,6 +125,8 @@ fn golden_report() -> BenchReport {
                     loaded_from_snapshot: 0,
                     snapshot_load_secs: 0.0,
                     memory_bytes: 639132,
+                    resident_bytes: 589132,
+                    mapped_bytes: 50000,
                     memory_mib: 639132.0 / (1024.0 * 1024.0),
                     budget_usage_pct: 93.25,
                     rate_of_return_pct: 93.125,
@@ -146,6 +148,8 @@ fn golden_report() -> BenchReport {
                     loaded_from_snapshot: 0,
                     snapshot_load_secs: 0.0,
                     memory_bytes: 292608,
+                    resident_bytes: 292608,
+                    mapped_bytes: 0,
                     memory_mib: 292608.0 / (1024.0 * 1024.0),
                     budget_usage_pct: 88.5,
                     rate_of_return_pct: 90.25,

@@ -44,6 +44,7 @@ USAGE:
     rmsa serve [--addr HOST:PORT] [--workers N] [--max-sessions K] [--quick]
                [--seed N] [--scale X] [--threads N] [--warm-rr N]
                [--eval-rr N] [--port-file PATH] [--snapshot-dir DIR]
+               [--verify-snapshots]
     rmsa query [solve|warm|stats|ping|shutdown] [--addr HOST:PORT]
                [--dataset D] [--strategy standard|subsim]
                [--algorithm rma|one-batch|ti-carm|ti-csrm] [--incentive I]
@@ -55,7 +56,8 @@ USAGE:
                  [--eval-rr N]
     rmsa snapshot inspect <file.rmsnap>...
     rmsa snapshot bench [--dataset D] [--strategy S] [--quick] [--dir DIR]
-                 [--out-dir DIR] [--min-speedup X] [context flags]
+                 [--out-dir DIR] [--min-speedup X] [--mmap]
+                 [--min-load-speedup X] [context flags]
     rmsa dataset info <scenario.toml|dataset>... [--snapshot-dir DIR]
                  [--quick] [--seed N] [--scale X]
     rmsa lint [--root DIR] [--report LINT_report.json]
@@ -94,12 +96,15 @@ errors.
 
 snapshot persists warm sessions (graph + model + spreads + RR arenas +
 coverage indexes) as versioned, checksummed .rmsnap files; serve with
---snapshot-dir warm-starts from them and persists back after cache
-extensions (a stale snapshot is rejected with a reason, never reused).
-snapshot bench writes BENCH_snapshot.json (cold vs warm start-to-first-
-response) and fails when warm is slower than --min-speedup. dataset info
-prints Table-1-style statistics, plus mean RR size when a snapshot
-exists.
+--snapshot-dir warm-starts from them by memory-mapping the aligned v2
+layout (zero-copy columns, lazy checksums; --verify-snapshots re-hashes
+every section first) and persists back after cache extensions (a stale
+snapshot is rejected with a reason, never reused). snapshot bench
+writes BENCH_snapshot.json (cold vs warm start-to-first-response) and
+fails when warm is slower than --min-speedup; --mmap additionally races
+the mmap load against a full owned decode of the same file and fails
+below --min-load-speedup. dataset info prints Table-1-style statistics,
+plus mean RR size when a snapshot exists.
 ";
 
 fn main() -> ExitCode {

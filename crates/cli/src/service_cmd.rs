@@ -60,6 +60,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut warm_rr = None;
     let mut eval_rr = None;
     let mut snapshot_dir = None;
+    let mut verify_snapshots = false;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
         match arg.as_str() {
@@ -74,6 +75,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
             "--warm-rr" => warm_rr = Some(reader.parsed::<usize>("--warm-rr")?),
             "--eval-rr" => eval_rr = Some(reader.parsed::<usize>("--eval-rr")?),
             "--snapshot-dir" => snapshot_dir = Some(PathBuf::from(reader.value("--snapshot-dir")?)),
+            "--verify-snapshots" => verify_snapshots = true,
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -105,6 +107,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     }
     config.max_sessions = max_sessions.max(1);
     config.snapshot_dir = snapshot_dir;
+    config.verify_snapshots = verify_snapshots;
     Ok(ServeOptions {
         addr,
         config,

@@ -20,7 +20,7 @@ use rmsa_bench::manifest::{Scenario, SweepSpec};
 use rmsa_bench::report::{BenchPoint, BenchReport, RunManifest};
 use rmsa_bench::{AlgoOutcome, ExperimentContext};
 use rmsa_datasets::{DatasetKind, IncentiveModel};
-use rmsa_diffusion::RrStrategy;
+use rmsa_diffusion::{RrCache, RrStrategy, VerifyMode, ZERO_COPY_TARGET};
 use rmsa_graph::stats::DegreeStats;
 use rmsa_service::session::{Session, SessionKey};
 use rmsa_service::snapshot as session_snapshot;
@@ -219,11 +219,29 @@ fn render_inspect(path: &Path, info: &session_snapshot::SnapshotInfo) -> String 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} — {:.1} MiB, {} sections, checksums OK",
+        "{} — container v{}, {:.1} MiB, {} sections, checksums OK",
         path.display(),
+        info.container_version,
         info.file_bytes as f64 / (1024.0 * 1024.0),
         info.sections.len()
     );
+    if info.zero_copy_eligible {
+        let _ = writeln!(
+            out,
+            "  zero-copy: eligible (aligned v2 layout; mmap load borrows columns)"
+        );
+    } else if info.container_version < 2 {
+        let _ = writeln!(
+            out,
+            "  zero-copy: no (legacy v1 layout — still loads via the owned \
+             decode path, never rejected; re-save to upgrade to v2)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  zero-copy: no (v2 layout, but this target is not little-endian 64-bit)"
+        );
+    }
     if let Some(meta) = &info.meta {
         let _ = writeln!(
             out,
@@ -244,9 +262,21 @@ fn render_inspect(path: &Path, info: &session_snapshot::SnapshotInfo) -> String 
     if let Some(fp) = info.cache_fingerprint {
         let _ = writeln!(out, "  cache fingerprint: {fp:016x}");
     }
-    let _ = writeln!(out, "  {:<16} {:>12} {:>8}", "section", "bytes", "");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>12} {:>12} {:>8} {:>8}",
+        "section", "bytes", "offset", "padding", "aligned"
+    );
     for section in &info.sections {
-        let _ = writeln!(out, "  {:<16} {:>12} ", section.name, section.len);
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12} {:>12} {:>8} {:>8}",
+            section.name,
+            section.len,
+            section.offset,
+            section.padding,
+            if section.aligned() { "yes" } else { "no" }
+        );
     }
     if !info.streams.is_empty() {
         let _ = writeln!(
@@ -277,6 +307,8 @@ struct StartMeasurement {
     result: rmsa_service::wire::SolveResult,
     loaded_from_snapshot: usize,
     snapshot_load_secs: f64,
+    resident_bytes: usize,
+    mapped_bytes: usize,
 }
 
 fn first_response(session: &Session, request: &SolveRequest, started: Instant) -> StartMeasurement {
@@ -299,6 +331,8 @@ fn first_response(session: &Session, request: &SolveRequest, started: Instant) -
         result,
         loaded_from_snapshot: cache.loaded_from_snapshot,
         snapshot_load_secs: cache.snapshot_load_time.as_secs_f64(),
+        resident_bytes: cache.resident_bytes,
+        mapped_bytes: cache.mapped_bytes,
     }
 }
 
@@ -325,6 +359,8 @@ fn snapshot_bench(args: &[String]) -> Result<(), String> {
     let mut dir: Option<PathBuf> = None;
     let mut min_speedup: Option<f64> = None;
     let mut repeat = 1usize;
+    let mut mmap = false;
+    let mut min_load_speedup: Option<f64> = None;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
         if ctx_flags.consume(arg, &mut reader)? {
@@ -337,6 +373,12 @@ fn snapshot_bench(args: &[String]) -> Result<(), String> {
             "--dir" => dir = Some(PathBuf::from(reader.value("--dir")?)),
             "--min-speedup" => min_speedup = Some(reader.parsed::<f64>("--min-speedup")?),
             "--repeat" => repeat = reader.parsed::<usize>("--repeat")?.max(1),
+            "--mmap" => mmap = true,
+            "--min-load-speedup" => {
+                // The gate only makes sense over the mmap microbench.
+                mmap = true;
+                min_load_speedup = Some(reader.parsed::<f64>("--min-load-speedup")?);
+            }
             other => return Err(format!("unknown snapshot bench option {other:?}")),
         }
     }
@@ -437,6 +479,37 @@ fn snapshot_bench(args: &[String]) -> Result<(), String> {
     // The cold point carries the median across rounds (the printed and
     // gated figure), not round 0's wall-clock.
     report.points[0].outcome.time_secs = cold_secs;
+
+    let load = if mmap {
+        let bench = mmap_load_bench(&path, ctx.threads)?;
+        println!(
+            "mmap load bench: owned decode {:.4}s, mapped {:.6}s (best of {} reps) — \
+             {:.0}x; {:.1} of {:.1} MiB borrowed zero-copy",
+            bench.owned_secs,
+            bench.mapped_secs,
+            LOAD_BENCH_REPS,
+            bench.speedup(),
+            bench.mapped_bytes as f64 / (1024.0 * 1024.0),
+            (bench.resident_bytes + bench.mapped_bytes) as f64 / (1024.0 * 1024.0),
+        );
+        report
+            .points
+            .push(load_point("load-owned,", bench.owned_secs, 0.0, &bench));
+        report
+            .points
+            .push(load_point("load-mapped,", bench.mapped_secs, 0.0, &bench));
+        // Like the warm/cold speedup point, the load speedup rides the
+        // revenue column so a regression can trip the compare gate.
+        report.points.push(load_point(
+            "load-speedup,",
+            bench.mapped_secs,
+            bench.speedup(),
+            &bench,
+        ));
+        Some(bench)
+    } else {
+        None
+    };
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let json_path = out_dir.join("BENCH_snapshot.json");
     std::fs::write(&json_path, report.render())
@@ -450,7 +523,107 @@ fn snapshot_bench(args: &[String]) -> Result<(), String> {
             ));
         }
     }
+    if let (Some(min), Some(bench)) = (min_load_speedup, &load) {
+        if bench.speedup() < min {
+            return Err(format!(
+                "mmap load is only {:.1}x faster than the owned decode (required: {min}x)",
+                bench.speedup()
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Best-of reps for the owned-vs-mapped load race; small because the
+/// owned side of the race decodes the full file every rep.
+const LOAD_BENCH_REPS: usize = 5;
+
+/// Result of racing a full owned decode of a snapshot's RR cache against
+/// a zero-copy mmap load of the same file.
+struct LoadBench {
+    owned_secs: f64,
+    mapped_secs: f64,
+    resident_bytes: usize,
+    mapped_bytes: usize,
+}
+
+impl LoadBench {
+    fn speedup(&self) -> f64 {
+        self.owned_secs / self.mapped_secs.max(1e-9)
+    }
+}
+
+/// Race `RrCache::load_from` (eager owned decode) against
+/// `RrCache::load_mapped` (lazy zero-copy borrow) on the same file,
+/// best-of-[`LOAD_BENCH_REPS`], and check both restore the identical
+/// cache (same distribution fingerprint).
+fn mmap_load_bench(path: &Path, threads: usize) -> Result<LoadBench, String> {
+    let mut owned_secs = f64::INFINITY;
+    let mut mapped_secs = f64::INFINITY;
+    let mut resident_bytes = 0;
+    let mut mapped_bytes = 0;
+    for _ in 0..LOAD_BENCH_REPS {
+        let start = Instant::now();
+        let owned = RrCache::load_from(path, threads)
+            .map_err(|e| format!("owned load {}: {e}", path.display()))?;
+        owned_secs = owned_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let mapped = RrCache::load_mapped(path, threads, VerifyMode::Lazy)
+            .map_err(|e| format!("mmap load {}: {e}", path.display()))?;
+        mapped_secs = mapped_secs.min(start.elapsed().as_secs_f64());
+
+        if owned.fingerprint() != mapped.fingerprint() {
+            return Err(format!(
+                "mmap load disagrees with the owned decode: fingerprints {:?} vs {:?}",
+                owned.fingerprint(),
+                mapped.fingerprint()
+            ));
+        }
+        resident_bytes = mapped.resident_bytes();
+        mapped_bytes = mapped.mapped_bytes();
+    }
+    if ZERO_COPY_TARGET && mapped_bytes == 0 {
+        return Err(
+            "mmap load borrowed nothing zero-copy on an eligible target (is the file v1?)"
+                .to_string(),
+        );
+    }
+    Ok(LoadBench {
+        owned_secs,
+        mapped_secs,
+        resident_bytes,
+        mapped_bytes,
+    })
+}
+
+/// A load-race point for `BENCH_snapshot.json`: the load time rides
+/// `time_secs`/`snapshot_load_secs`, and for the speedup point the ratio
+/// rides the revenue column (matching the warm/cold speedup point).
+fn load_point(job: &str, secs: f64, revenue: f64, bench: &LoadBench) -> BenchPoint {
+    BenchPoint {
+        job: job.to_string(),
+        key: 0.0,
+        outcome: AlgoOutcome {
+            algorithm: "snapshot".to_string(),
+            revenue,
+            revenue_lower_bound: None,
+            seeding_cost: 0.0,
+            seeds: 0,
+            time_secs: secs,
+            rr_sets: 0,
+            rr_generated: 0,
+            index_secs: 0.0,
+            loaded_from_snapshot: 0,
+            snapshot_load_secs: secs,
+            memory_bytes: bench.resident_bytes + bench.mapped_bytes,
+            resident_bytes: bench.resident_bytes,
+            mapped_bytes: bench.mapped_bytes,
+            memory_mib: (bench.resident_bytes + bench.mapped_bytes) as f64 / (1024.0 * 1024.0),
+            budget_usage_pct: 0.0,
+            rate_of_return_pct: 0.0,
+        },
+    }
 }
 
 fn snapshot_bench_report(
@@ -478,8 +651,10 @@ fn snapshot_bench_report(
                 index_secs: 0.0,
                 loaded_from_snapshot: m.loaded_from_snapshot,
                 snapshot_load_secs: m.snapshot_load_secs,
-                memory_bytes: 0,
-                memory_mib: 0.0,
+                memory_bytes: m.resident_bytes + m.mapped_bytes,
+                resident_bytes: m.resident_bytes,
+                mapped_bytes: m.mapped_bytes,
+                memory_mib: (m.resident_bytes + m.mapped_bytes) as f64 / (1024.0 * 1024.0),
                 budget_usage_pct: 0.0,
                 rate_of_return_pct: 0.0,
             },
@@ -581,6 +756,9 @@ fn scenario_datasets(scenario: &Scenario) -> Vec<(DatasetKind, RrStrategy)> {
             | SweepSpec::Scalability { dataset, .. }
             | SweepSpec::Demand { dataset, .. }
             | SweepSpec::Rma { dataset, .. } => push((*dataset, RrStrategy::Standard)),
+            // Generator-family sweeps synthesise their graphs in memory and
+            // touch no named dataset.
+            SweepSpec::GenScale { .. } => {}
             SweepSpec::Datasets => {
                 for kind in DatasetKind::all() {
                     push((kind, RrStrategy::Standard));

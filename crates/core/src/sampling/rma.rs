@@ -144,6 +144,10 @@ pub struct RmaResult {
     pub index_time: Duration,
     /// Approximate memory footprint of both collections in bytes.
     pub memory_bytes: usize,
+    /// Portion of `memory_bytes` borrowed from a memory-mapped snapshot
+    /// (0 unless the shared cache was mmap-loaded and not yet extended
+    /// past its persisted collections).
+    pub mapped_bytes: usize,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -234,15 +238,16 @@ pub(crate) fn rma_with_cache<M: PropagationModel + ?Sized>(
             (
                 RrRevenueEstimator::from_view(v.coverage(), instance.gamma()),
                 v.memory_bytes(),
+                v.mapped_bytes(),
             )
         };
-        let ((est1, mem1), req1) =
+        let ((est1, mem1, map1), req1) =
             cache.with_at_least(graph, model, &sampler, RrStream::Optimize, target, build);
         // R2 tracks R1's *actual* size: a warm Optimize stream (e.g. after a
         // one-batch run) must not leave the validation bounds on a tiny
         // collection while the certificate is judged against a huge R1.
         let validate_target = target.max(est1.num_rr().min(theta_cap_eff));
-        let ((est2, mem2), req2) = cache.with_at_least(
+        let ((est2, mem2, map2), req2) = cache.with_at_least(
             graph,
             model,
             &sampler,
@@ -304,6 +309,7 @@ pub(crate) fn rma_with_cache<M: PropagationModel + ?Sized>(
                 index_reused,
                 index_time,
                 memory_bytes: mem1 + mem2,
+                mapped_bytes: map1 + map2,
                 elapsed: start.elapsed(),
             });
         }

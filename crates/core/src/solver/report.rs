@@ -54,9 +54,14 @@ pub struct SolveReport {
     pub iterations: usize,
     /// RR-set accounting.
     pub rr: RrAccounting,
-    /// Approximate heap footprint of the solver's sample structures in
-    /// bytes (the paper's Fig. 4 memory proxy).
+    /// Approximate footprint of the solver's sample structures in bytes
+    /// (the paper's Fig. 4 memory proxy): heap allocations plus any pages
+    /// borrowed from a memory-mapped snapshot.
     pub memory_bytes: usize,
+    /// Portion of `memory_bytes` borrowed zero-copy from a memory-mapped
+    /// snapshot rather than heap-allocated (0 for cold-built caches; the
+    /// remainder, `memory_bytes - mapped_bytes`, is resident).
+    pub mapped_bytes: usize,
     /// Wall-clock time spent extending the shared coverage index during
     /// this solve (zero when everything was already indexed — the
     /// extend-never-rebuild payoff).
@@ -113,6 +118,7 @@ mod tests {
                 index_reused: 600,
             },
             memory_bytes: 1 << 20,
+            mapped_bytes: 0,
             index_time: Duration::from_millis(1),
             loaded_from_snapshot: 0,
             snapshot_load_time: Duration::ZERO,

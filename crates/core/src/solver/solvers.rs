@@ -61,6 +61,7 @@ impl Solver for Rma {
                 index_reused: result.index_reused,
             },
             memory_bytes: result.memory_bytes,
+            mapped_bytes: result.mapped_bytes,
             index_time: result.index_time,
             loaded_from_snapshot: 0,
             snapshot_load_time: Duration::ZERO,
@@ -151,6 +152,7 @@ impl Solver for OneBatch {
             iterations: 1,
             rr: accounting(est.num_rr(), request),
             memory_bytes: est.coverage().memory_bytes(),
+            mapped_bytes: est.coverage().mapped_bytes(),
             index_time: request.index_extend_time,
             loaded_from_snapshot: 0,
             snapshot_load_time: Duration::ZERO,
@@ -199,7 +201,17 @@ fn run_oracle_algo(
     ctx: &SolveContext<'_>,
     mode: &OracleMode,
     algo: &OracleAlgo,
-) -> Result<(Allocation, f64, Option<f64>, RrAccounting, usize, Duration), RmError> {
+) -> Result<
+    (
+        Allocation,
+        f64,
+        Option<f64>,
+        RrAccounting,
+        (usize, usize),
+        Duration,
+    ),
+    RmError,
+> {
     fn finish<O: RevenueOracle>(
         ctx: &SolveContext<'_>,
         oracle: &O,
@@ -233,7 +245,7 @@ fn run_oracle_algo(
                 revenue,
                 lam,
                 RrAccounting::default(),
-                0,
+                (0, 0),
                 Duration::ZERO,
             ))
         }
@@ -249,7 +261,7 @@ fn run_oracle_algo(
                 revenue,
                 lam,
                 RrAccounting::default(),
-                0,
+                (0, 0),
                 Duration::ZERO,
             ))
         }
@@ -267,7 +279,7 @@ fn run_oracle_algo(
                 |v| RrRevenueEstimator::from_view(v.coverage(), ctx.instance.gamma()),
             );
             let (alloc, revenue, lam) = finish(ctx, &est, algo);
-            let memory = est.coverage().memory_bytes();
+            let memory = (est.coverage().memory_bytes(), est.coverage().mapped_bytes());
             Ok((
                 alloc,
                 revenue,
@@ -283,10 +295,18 @@ fn run_oracle_algo(
 fn oracle_report(
     name: String,
     ctx: &SolveContext<'_>,
-    outcome: (Allocation, f64, Option<f64>, RrAccounting, usize, Duration),
+    outcome: (
+        Allocation,
+        f64,
+        Option<f64>,
+        RrAccounting,
+        (usize, usize),
+        Duration,
+    ),
     start: Instant,
 ) -> SolveReport {
-    let (allocation, revenue_estimate, lambda, rr, memory_bytes, index_time) = outcome;
+    let (allocation, revenue_estimate, lambda, rr, (memory_bytes, mapped_bytes), index_time) =
+        outcome;
     SolveReport {
         solver: name,
         seeding_cost: allocation.total_cost(ctx.instance),
@@ -299,6 +319,7 @@ fn oracle_report(
         iterations: 1,
         rr,
         memory_bytes,
+        mapped_bytes,
         index_time,
         loaded_from_snapshot: 0,
         snapshot_load_time: Duration::ZERO,
@@ -447,6 +468,9 @@ fn ti_report(
             index_reused: 0,
         },
         memory_bytes: result.memory_bytes,
+        // The TI baselines own all their sample structures on the heap —
+        // nothing is borrowed from a mapped snapshot.
+        mapped_bytes: 0,
         index_time: Duration::ZERO,
         loaded_from_snapshot: 0,
         snapshot_load_time: Duration::ZERO,

@@ -25,7 +25,16 @@
 //! split into fixed-size chunks of [`GENERATION_CHUNK`] RR-sets and every
 //! chunk derives its RNG from `(seed, chunk_index)`, so a collection is a
 //! pure function of `(seed, count)` no matter how many worker threads
-//! produced it.
+//! produced it. Sharded generation ([`RrArena::generate_sharded`]) builds
+//! on the same invariant: a [`ShardSpan`] is a contiguous range of chunk
+//! indices, every shard derives its RNGs from the *global* chunk index,
+//! and shards concatenate in order — so the result is bit-identical to
+//! unsharded generation for any shard count.
+//!
+//! All three arena columns and both CSR columns of every coverage segment
+//! are [`rmsa_store::Column`]s: owned when generated or decoded from
+//! in-memory bytes, borrowed zero-copy when restored from an aligned v2
+//! snapshot mapping.
 
 use crate::models::{AdId, PropagationModel};
 use crate::rr::{RrGenerator, RrStrategy};
@@ -33,6 +42,7 @@ use crate::sampler::UniformRrSampler;
 use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
 use rmsa_graph::{DirectedGraph, NodeId};
+use rmsa_store::Column;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -48,9 +58,11 @@ pub const GENERATION_CHUNK: usize = 1024;
 pub struct RrArena {
     pub(crate) num_nodes: usize,
     pub(crate) strategy: RrStrategy,
-    pub(crate) nodes: Vec<NodeId>,
-    pub(crate) offsets: Vec<usize>,
-    pub(crate) ads: Vec<AdId>,
+    pub(crate) nodes: Column<NodeId>,
+    pub(crate) offsets: Column<usize>,
+    /// Advertiser of each set (u32 column: matches the wire format, so a
+    /// mapped snapshot load borrows it without conversion).
+    pub(crate) ads: Column<u32>,
 }
 
 /// Borrowed view of one RR-set inside an [`RrArena`].
@@ -85,9 +97,9 @@ impl RrArena {
         RrArena {
             num_nodes,
             strategy,
-            nodes: Vec::new(),
-            offsets: vec![0],
-            ads: Vec::new(),
+            nodes: Column::new(),
+            offsets: vec![0].into(),
+            ads: Column::new(),
         }
     }
 
@@ -125,20 +137,30 @@ impl RrArena {
         }
     }
 
-    /// Approximate heap footprint in bytes (the Fig. 4 memory proxy).
+    /// Approximate memory footprint in bytes (the Fig. 4 memory proxy):
+    /// owned heap plus file-mapped bytes.
     ///
     /// O(1): the columnar layout makes the footprint a closed form of the
-    /// three column capacities, so polling this per sweep point costs
-    /// nothing (the old per-set representation walked every boxed set).
+    /// three column sizes, so polling this per sweep point costs nothing
+    /// (the old per-set representation walked every boxed set).
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<NodeId>()
-            + self.offsets.capacity() * std::mem::size_of::<usize>()
-            + self.ads.capacity() * std::mem::size_of::<AdId>()
+        self.resident_bytes() + self.mapped_bytes()
+    }
+
+    /// Owned heap bytes (excludes columns borrowed from a snapshot
+    /// mapping — those cost page cache, not private heap).
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.resident_bytes() + self.offsets.resident_bytes() + self.ads.resident_bytes()
+    }
+
+    /// Bytes borrowed zero-copy from a snapshot mapping.
+    pub fn mapped_bytes(&self) -> usize {
+        self.nodes.mapped_bytes() + self.offsets.mapped_bytes() + self.ads.mapped_bytes()
     }
 
     /// Advertiser of RR-set `i`.
     pub fn ad_of(&self, i: usize) -> AdId {
-        self.ads[i]
+        self.ads[i] as AdId
     }
 
     /// Member nodes of RR-set `i` (root first).
@@ -156,7 +178,7 @@ impl RrArena {
     /// Borrowed view of RR-set `i`.
     pub fn set(&self, i: usize) -> RrSetRef<'_> {
         RrSetRef {
-            ad: self.ads[i],
+            ad: self.ad_of(i),
             nodes: self.nodes_of(i),
         }
     }
@@ -171,9 +193,13 @@ impl RrArena {
     /// [`RrArena::generate`] / [`RrArena::generate_parallel`].
     pub fn push_set(&mut self, ad: AdId, members: &[NodeId]) {
         assert!(!members.is_empty(), "an RR-set always contains its root");
+        assert!(
+            ad <= u32::MAX as usize,
+            "advertiser ids are stored as u32 columns"
+        );
         self.nodes.extend_from_slice(members);
         self.offsets.push(self.nodes.len());
-        self.ads.push(ad);
+        self.ads.push(ad as u32);
     }
 
     /// Append `count` RR-sets generated sequentially with an external
@@ -214,18 +240,51 @@ impl RrArena {
             return;
         }
         let num_chunks = count.div_ceil(GENERATION_CHUNK);
+        self.generate_chunks(
+            graph,
+            model,
+            sampler,
+            count,
+            0,
+            num_chunks,
+            num_threads,
+            seed,
+        );
+    }
+
+    /// Generate chunks `[chunk_from, chunk_to)` of a `total`-set batch.
+    /// Chunk `k` always draws from `chunk_rng(seed, k)` with `k` a *global*
+    /// chunk index, so disjoint chunk ranges generated into separate arenas
+    /// and concatenated in order are bit-identical to one full-range pass.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_chunks<M: PropagationModel + ?Sized>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        total: usize,
+        chunk_from: usize,
+        chunk_to: usize,
+        num_threads: usize,
+        seed: u64,
+    ) {
+        if chunk_to <= chunk_from {
+            return;
+        }
+        let num_chunks = total.div_ceil(GENERATION_CHUNK);
         let chunk_len = |k: usize| {
             if k + 1 == num_chunks {
-                count - k * GENERATION_CHUNK
+                total - k * GENERATION_CHUNK
             } else {
                 GENERATION_CHUNK
             }
         };
-        let num_threads = num_threads.max(1).min(num_chunks);
-        self.reserve_for(count);
+        let span_sets: usize = (chunk_from..chunk_to).map(chunk_len).sum();
+        let num_threads = num_threads.max(1).min(chunk_to - chunk_from);
+        self.reserve_for(span_sets);
         if num_threads == 1 {
             let mut gen = RrGenerator::new(graph.num_nodes(), self.strategy);
-            for k in 0..num_chunks {
+            for k in chunk_from..chunk_to {
                 let mut rng = chunk_rng(seed, k);
                 for _ in 0..chunk_len(k) {
                     self.emit_one(graph, model, sampler, &mut gen, &mut rng);
@@ -234,8 +293,8 @@ impl RrArena {
             return;
         }
         let strategy = self.strategy;
-        let next = AtomicUsize::new(0);
-        let produced = parking_lot::Mutex::new(Vec::with_capacity(num_chunks));
+        let next = AtomicUsize::new(chunk_from);
+        let produced = parking_lot::Mutex::new(Vec::with_capacity(chunk_to - chunk_from));
         std::thread::scope(|scope| {
             for _ in 0..num_threads {
                 let next = &next;
@@ -244,7 +303,7 @@ impl RrArena {
                     let mut gen = RrGenerator::new(graph.num_nodes(), strategy);
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= num_chunks {
+                        if k >= chunk_to {
                             break;
                         }
                         let mut chunk = Chunk::with_capacity(chunk_len(k));
@@ -265,8 +324,8 @@ impl RrArena {
     }
 
     fn reserve_for(&mut self, count: usize) {
-        self.ads.reserve(count);
-        self.offsets.reserve(count);
+        self.ads.to_mut().reserve(count);
+        self.offsets.to_mut().reserve(count);
     }
 
     fn emit_one<M: PropagationModel + ?Sized, R: Rng>(
@@ -279,24 +338,194 @@ impl RrArena {
     ) {
         let ad = sampler.sample_ad(rng);
         let root = rng.gen_range(0..graph.num_nodes() as NodeId);
-        gen.generate_rooted_into(graph, model, ad, root, rng, &mut self.nodes);
+        gen.generate_rooted_into(graph, model, ad, root, rng, self.nodes.to_mut());
         self.offsets.push(self.nodes.len());
-        self.ads.push(ad);
+        // Sampled ads are `< num_ads`, far below u32::MAX.
+        self.ads.push(ad as u32);
     }
 
     fn append_chunk(&mut self, chunk: Chunk) {
         let base = self.nodes.len();
         self.nodes.extend_from_slice(&chunk.nodes);
+        let offsets = self.offsets.to_mut();
         for &end in &chunk.ends {
-            self.offsets.push(base + end);
+            offsets.push(base + end);
         }
         self.ads.extend_from_slice(&chunk.ads);
     }
+
+    /// Append every set of `shard` (concatenation: `shard`'s set `i`
+    /// becomes set `self.len() + i`). Shards produced by
+    /// [`RrArena::generate_shard`] over consecutive [`ShardSpan`]s merge
+    /// into exactly the arena unsharded generation would have produced.
+    pub fn append_arena(&mut self, shard: &RrArena) {
+        assert_eq!(
+            self.num_nodes, shard.num_nodes,
+            "shards must come from the same graph"
+        );
+        assert_eq!(
+            self.strategy, shard.strategy,
+            "shards must use the same RR strategy"
+        );
+        let base = self.nodes.len();
+        self.nodes.extend_from_slice(&shard.nodes);
+        let offsets = self.offsets.to_mut();
+        for &end in &shard.offsets[1..] {
+            offsets.push(base + end);
+        }
+        self.ads.extend_from_slice(&shard.ads);
+    }
+
+    /// Generate one shard of a `count`-set batch into its own arena.
+    ///
+    /// The shard draws every chunk RNG from the *master* `seed` and the
+    /// global chunk index recorded in `span`, so the shard's content is
+    /// independent of how many shards the batch was split into.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_shard<M: PropagationModel + ?Sized>(
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        strategy: RrStrategy,
+        count: usize,
+        span: ShardSpan,
+        num_threads: usize,
+        seed: u64,
+    ) -> RrArena {
+        let mut shard = RrArena::new(graph.num_nodes(), strategy);
+        shard.generate_chunks(
+            graph,
+            model,
+            sampler,
+            count,
+            span.chunk_from,
+            span.chunk_to,
+            num_threads,
+            seed,
+        );
+        shard
+    }
+
+    /// Append `count` RR-sets generated as `num_shards` independent arena
+    /// shards (one scoped thread per shard, `num_threads` split between
+    /// them), merged in shard order.
+    ///
+    /// Bit-identical to [`RrArena::generate_parallel`] with the same
+    /// `(seed, count)` for *any* shard count — the sharded analogue of the
+    /// thread-count-independence invariant. Returns the shard spans
+    /// (absolute set ranges within this arena), which
+    /// [`CoverageIndex::extend_by_spans`] turns into one coverage segment
+    /// per shard without rebuilding.
+    #[allow(clippy::too_many_arguments)] // mirrors generate_chunks' knobs
+    pub fn generate_sharded<M: PropagationModel + ?Sized>(
+        &mut self,
+        graph: &DirectedGraph,
+        model: &M,
+        sampler: &UniformRrSampler,
+        count: usize,
+        num_shards: usize,
+        num_threads: usize,
+        seed: u64,
+    ) -> Vec<ShardSpan> {
+        let base = self.len();
+        let mut spans = shard_plan(count, num_shards);
+        if count > 0 {
+            let strategy = self.strategy;
+            let per_shard_threads = (num_threads.max(1) / spans.len().max(1)).max(1);
+            let shards: Vec<RrArena> = std::thread::scope(|scope| {
+                let handles: Vec<_> = spans
+                    .iter()
+                    .map(|&span| {
+                        scope.spawn(move || {
+                            RrArena::generate_shard(
+                                graph,
+                                model,
+                                sampler,
+                                strategy,
+                                count,
+                                span,
+                                per_shard_threads,
+                                seed,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(shard) => shard,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+            for shard in &shards {
+                self.append_arena(shard);
+            }
+        }
+        for span in &mut spans {
+            span.set_from += base;
+            span.set_to += base;
+        }
+        spans
+    }
+}
+
+/// Contiguous slice of one generation batch assigned to a shard: RR-sets
+/// `[set_from, set_to)`, produced from global chunks
+/// `[chunk_from, chunk_to)`. Spans are chunk-aligned so every chunk RNG is
+/// derived exactly as unsharded generation derives it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// First RR-set index of the span (relative to the batch from
+    /// [`shard_plan`]; absolute within the arena once returned by
+    /// [`RrArena::generate_sharded`]).
+    pub set_from: usize,
+    /// One past the last RR-set index of the span.
+    pub set_to: usize,
+    pub(crate) chunk_from: usize,
+    pub(crate) chunk_to: usize,
+}
+
+impl ShardSpan {
+    /// Number of RR-sets in the span.
+    pub fn len(&self) -> usize {
+        self.set_to - self.set_from
+    }
+
+    /// True when the span covers no set.
+    pub fn is_empty(&self) -> bool {
+        self.set_to == self.set_from
+    }
+}
+
+/// Split a `count`-set generation batch into at most `num_shards`
+/// contiguous, chunk-aligned spans. Shards are balanced to within one
+/// chunk; when there are fewer chunks than requested shards, the plan has
+/// fewer (non-empty) spans instead of empty shards.
+pub fn shard_plan(count: usize, num_shards: usize) -> Vec<ShardSpan> {
+    let num_chunks = count.div_ceil(GENERATION_CHUNK);
+    let num_shards = num_shards.max(1);
+    let mut spans = Vec::with_capacity(num_shards.min(num_chunks));
+    let mut chunk_from = 0usize;
+    for shard in 0..num_shards {
+        let chunk_to = (shard + 1) * num_chunks / num_shards;
+        if chunk_to <= chunk_from {
+            continue;
+        }
+        spans.push(ShardSpan {
+            set_from: chunk_from * GENERATION_CHUNK,
+            set_to: (chunk_to * GENERATION_CHUNK).min(count),
+            chunk_from,
+            chunk_to,
+        });
+        chunk_from = chunk_to;
+    }
+    spans
 }
 
 /// One worker-local columnar batch, merged into the arena in chunk order.
 struct Chunk {
-    ads: Vec<AdId>,
+    ads: Vec<u32>,
     /// Exclusive end offset of each set within `nodes`.
     ends: Vec<usize>,
     nodes: Vec<NodeId>,
@@ -323,7 +552,8 @@ impl Chunk {
         let root = rng.gen_range(0..graph.num_nodes() as NodeId);
         gen.generate_rooted_into(graph, model, ad, root, rng, &mut self.nodes);
         self.ends.push(self.nodes.len());
-        self.ads.push(ad);
+        // Sampled ads are `< num_ads`, far below u32::MAX.
+        self.ads.push(ad as u32);
     }
 }
 
@@ -339,9 +569,9 @@ pub struct CoverageSegment {
     pub(crate) rr_base: u32,
     pub(crate) num_sets: u32,
     /// Per-node slice boundaries into `entries`; length `num_nodes + 1`.
-    pub(crate) offsets: Vec<u32>,
+    pub(crate) offsets: Column<u32>,
     /// Ascending absolute RR-set ids, grouped by node.
-    pub(crate) entries: Vec<u32>,
+    pub(crate) entries: Column<u32>,
 }
 
 impl CoverageSegment {
@@ -361,9 +591,12 @@ impl CoverageSegment {
         &self.entries[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
-    fn memory_bytes(&self) -> usize {
-        self.offsets.capacity() * std::mem::size_of::<u32>()
-            + self.entries.capacity() * std::mem::size_of::<u32>()
+    fn resident_bytes(&self) -> usize {
+        self.offsets.resident_bytes() + self.entries.resident_bytes()
+    }
+
+    fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes() + self.entries.mapped_bytes()
     }
 }
 
@@ -383,10 +616,10 @@ pub struct CoverageIndex {
     pub(crate) num_rr: usize,
     pub(crate) segments: Vec<Arc<CoverageSegment>>,
     /// Advertiser of each indexed RR-set (u32 column for cache density).
-    pub(crate) ads: Arc<Vec<u32>>,
+    pub(crate) ads: Arc<Column<u32>>,
     /// `singleton[ad * num_nodes + u]` = #indexed RR-sets of `ad`
     /// containing `u`.
-    pub(crate) singleton: Arc<Vec<u32>>,
+    pub(crate) singleton: Arc<Column<u32>>,
 }
 
 impl CoverageIndex {
@@ -399,8 +632,8 @@ impl CoverageIndex {
             num_ads,
             num_rr: 0,
             segments: Vec::new(),
-            ads: Arc::new(Vec::new()),
-            singleton: Arc::new(vec![0u32; num_ads * num_nodes]),
+            ads: Arc::new(Column::new()),
+            singleton: Arc::new(vec![0u32; num_ads * num_nodes].into()),
         }
     }
 
@@ -459,10 +692,11 @@ impl CoverageIndex {
 
         // Pass 1 (fused): per-node entry counts for the counting sort,
         // plus the advertiser column and singleton-count bumps — one walk
-        // over the new sets instead of three.
-        let ads = Arc::make_mut(&mut self.ads);
+        // over the new sets instead of three. `to_mut` promotes columns
+        // still borrowed from a snapshot mapping to owned before writing.
+        let ads = Arc::make_mut(&mut self.ads).to_mut();
         ads.reserve(to - from);
-        let singleton = Arc::make_mut(&mut self.singleton);
+        let singleton = Arc::make_mut(&mut self.singleton).to_mut();
         let mut offsets = vec![0u32; self.num_nodes + 1];
         for i in from..to {
             let ad = arena.ad_of(i);
@@ -489,11 +723,25 @@ impl CoverageIndex {
         self.segments.push(Arc::new(CoverageSegment {
             rr_base: from as u32,
             num_sets: (to - from) as u32,
-            offsets,
-            entries,
+            offsets: offsets.into(),
+            entries: entries.into(),
         }));
         self.num_rr = to;
         to - from
+    }
+
+    /// Index a sharded extension: one immutable segment per [`ShardSpan`],
+    /// appended in span order — the merge is pure concatenation, no
+    /// rebuild. After [`RrArena::generate_sharded`], passing its returned
+    /// spans here leaves the index answering exactly as if the shards had
+    /// been indexed by one [`CoverageIndex::extend_from`] call (coverage
+    /// queries walk segments transparently). Returns the number of newly
+    /// indexed sets.
+    pub fn extend_by_spans(&mut self, arena: &RrArena, spans: &[ShardSpan]) -> usize {
+        spans
+            .iter()
+            .map(|span| self.extend_to(arena, span.set_to))
+            .sum()
     }
 
     /// O(#segments) immutable snapshot sharing the index's storage.
@@ -508,21 +756,43 @@ impl CoverageIndex {
         }
     }
 
-    /// Approximate heap footprint in bytes (index only, not the arena).
+    /// Approximate memory footprint in bytes (index only, not the arena):
+    /// owned heap plus mapped bytes.
     pub fn memory_bytes(&self) -> usize {
-        index_memory_bytes(&self.segments, &self.ads, &self.singleton)
+        self.resident_bytes() + self.mapped_bytes()
+    }
+
+    /// Owned heap bytes of the index storage.
+    pub fn resident_bytes(&self) -> usize {
+        index_resident_bytes(&self.segments, &self.ads, &self.singleton)
+    }
+
+    /// Bytes borrowed zero-copy from a snapshot mapping.
+    pub fn mapped_bytes(&self) -> usize {
+        index_mapped_bytes(&self.segments, &self.ads, &self.singleton)
     }
 }
 
-/// Shared footprint formula for [`CoverageIndex`] and its views.
-fn index_memory_bytes(
+/// Shared owned-heap formula for [`CoverageIndex`] and its views.
+fn index_resident_bytes(
     segments: &[Arc<CoverageSegment>],
-    ads: &Arc<Vec<u32>>,
-    singleton: &Arc<Vec<u32>>,
+    ads: &Arc<Column<u32>>,
+    singleton: &Arc<Column<u32>>,
 ) -> usize {
-    segments.iter().map(|s| s.memory_bytes()).sum::<usize>()
-        + ads.capacity() * std::mem::size_of::<u32>()
-        + singleton.capacity() * std::mem::size_of::<u32>()
+    segments.iter().map(|s| s.resident_bytes()).sum::<usize>()
+        + ads.resident_bytes()
+        + singleton.resident_bytes()
+}
+
+/// Shared mapped-bytes formula for [`CoverageIndex`] and its views.
+fn index_mapped_bytes(
+    segments: &[Arc<CoverageSegment>],
+    ads: &Arc<Column<u32>>,
+    singleton: &Arc<Column<u32>>,
+) -> usize {
+    segments.iter().map(|s| s.mapped_bytes()).sum::<usize>()
+        + ads.mapped_bytes()
+        + singleton.mapped_bytes()
 }
 
 /// Immutable snapshot of a [`CoverageIndex`]: the coverage-query surface
@@ -535,8 +805,8 @@ pub struct CoverageView {
     num_ads: usize,
     num_rr: usize,
     segments: Vec<Arc<CoverageSegment>>,
-    ads: Arc<Vec<u32>>,
-    singleton: Arc<Vec<u32>>,
+    ads: Arc<Column<u32>>,
+    singleton: Arc<Column<u32>>,
 }
 
 impl CoverageView {
@@ -619,9 +889,21 @@ impl CoverageView {
         count
     }
 
-    /// Approximate heap footprint in bytes of the shared index storage.
+    /// Approximate memory footprint in bytes of the shared index storage
+    /// (owned heap plus mapped bytes).
     pub fn memory_bytes(&self) -> usize {
-        index_memory_bytes(&self.segments, &self.ads, &self.singleton)
+        self.resident_bytes() + self.mapped_bytes()
+    }
+
+    /// Heap-owned portion of [`Self::memory_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        index_resident_bytes(&self.segments, &self.ads, &self.singleton)
+    }
+
+    /// Snapshot-mapped portion of [`Self::memory_bytes`] (pages borrowed
+    /// from a mapped `.rmsnap` file rather than allocated).
+    pub fn mapped_bytes(&self) -> usize {
+        index_mapped_bytes(&self.segments, &self.ads, &self.singleton)
     }
 }
 
@@ -730,6 +1012,93 @@ mod tests {
         b.generate_parallel(&g, &m, &sampler, 4000, 4, 99);
         assert_eq!(a.len(), 4000);
         assert_eq!(collect_sets(&a), collect_sets(&b));
+    }
+
+    /// Acceptance criterion: sharded generation is bit-identical to
+    /// unsharded for shard counts {1, 2, 8} — the sharded analogue of the
+    /// thread-count-independence invariant.
+    #[test]
+    fn sharded_generation_is_bit_identical_for_any_shard_count() {
+        let g = graph_from_edges(20, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]);
+        let m = UniformIc::new(2, 0.7);
+        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
+        // Spans several chunks plus a ragged tail.
+        let count = 3 * GENERATION_CHUNK + 137;
+        let mut reference = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        reference.generate_parallel(&g, &m, &sampler, count, 2, 99);
+        for shards in [1usize, 2, 8] {
+            let mut sharded = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+            let spans = sharded.generate_sharded(&g, &m, &sampler, count, shards, 4, 99);
+            assert_eq!(sharded.len(), count);
+            assert!(spans.len() <= shards);
+            assert_eq!(spans.iter().map(ShardSpan::len).sum::<usize>(), count);
+            assert_eq!(spans.first().map(|s| s.set_from), Some(0));
+            assert_eq!(spans.last().map(|s| s.set_to), Some(count));
+            assert_eq!(
+                collect_sets(&reference),
+                collect_sets(&sharded),
+                "{shards} shards must reproduce the unsharded arena"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_plan_is_chunk_aligned_and_balanced() {
+        // More shards than chunks: the plan shrinks, no empty spans.
+        let plan = shard_plan(GENERATION_CHUNK + 1, 8);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|s| !s.is_empty()));
+        // Spans tile [0, count) contiguously on chunk boundaries.
+        let count = 10 * GENERATION_CHUNK + 5;
+        let plan = shard_plan(count, 3);
+        let mut expected_from = 0;
+        for span in &plan {
+            assert_eq!(span.set_from, expected_from);
+            assert!(span.set_from.is_multiple_of(GENERATION_CHUNK));
+            expected_from = span.set_to;
+        }
+        assert_eq!(expected_from, count);
+        assert!(shard_plan(0, 4).is_empty());
+    }
+
+    /// Shard-merge determinism for the index side: one segment per shard
+    /// span, and every coverage answer equals a single-segment build.
+    #[test]
+    fn extend_by_spans_merges_shard_segments_without_rebuild() {
+        let mut graph_rng = rng();
+        let g = barabasi_albert(250, 3, &mut graph_rng);
+        let m = UniformIc::new(2, 0.2);
+        let sampler = UniformRrSampler::new(&[1.0, 2.0]);
+        let count = 4 * GENERATION_CHUNK + 77;
+        let mut arena = RrArena::new(g.num_nodes(), RrStrategy::Standard);
+        let spans = arena.generate_sharded(&g, &m, &sampler, count, 4, 2, 17);
+
+        let mut sharded_index = CoverageIndex::new(g.num_nodes(), 2);
+        assert_eq!(sharded_index.extend_by_spans(&arena, &spans), count);
+        assert_eq!(sharded_index.num_segments(), spans.len());
+        assert_eq!(sharded_index.num_rr(), count);
+
+        let mut fresh = CoverageIndex::new(g.num_nodes(), 2);
+        fresh.extend_from(&arena);
+        let (va, vb) = (sharded_index.view(), fresh.view());
+        for ad in 0..2 {
+            for u in (0..g.num_nodes() as NodeId).step_by(11) {
+                assert_eq!(va.singleton_count(ad, u), vb.singleton_count(ad, u));
+            }
+            let seeds: Vec<NodeId> = (0..25).collect();
+            assert_eq!(va.coverage_count(ad, &seeds), vb.coverage_count(ad, &seeds));
+        }
+    }
+
+    #[test]
+    fn append_arena_rejects_mismatched_shards() {
+        let a = RrArena::new(5, RrStrategy::Standard);
+        let b = RrArena::new(6, RrStrategy::Standard);
+        let result = std::panic::catch_unwind(move || {
+            let mut a = a;
+            a.append_arena(&b);
+        });
+        assert!(result.is_err(), "mismatched num_nodes must be rejected");
     }
 
     #[test]

@@ -31,7 +31,10 @@ use crate::rr::RrStrategy;
 use crate::sampler::UniformRrSampler;
 use parking_lot::Mutex;
 use rmsa_graph::DirectedGraph;
-use rmsa_store::{section as store_section, SnapshotReader, SnapshotWriter, StoreError};
+use rmsa_store::{
+    section as store_section, MappedSnapshot, SectionSource, SnapshotReader, SnapshotWriter,
+    StoreError, VerifyMode,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
@@ -94,6 +97,13 @@ pub struct RrCacheStats {
     /// Wall-clock spent reading and decoding that snapshot (zero for cold
     /// caches).
     pub snapshot_load_time: Duration,
+    /// Owned heap bytes of all cached arenas and indexes at the time the
+    /// stats were taken (excludes mapped columns).
+    pub resident_bytes: usize,
+    /// Bytes borrowed zero-copy from a snapshot mapping at the time the
+    /// stats were taken (0 for caches built cold or loaded via the owned
+    /// decode path).
+    pub mapped_bytes: usize,
 }
 
 /// Accounting of one [`RrCache::with_at_least`] call. Unlike the global
@@ -150,9 +160,20 @@ impl<'a> RrStreamView<'a> {
         self.index.view()
     }
 
-    /// Approximate heap footprint of arena + index in bytes.
+    /// Approximate memory footprint of arena + index in bytes (owned heap
+    /// plus mapped bytes).
     pub fn memory_bytes(&self) -> usize {
         self.arena.memory_bytes() + self.index.memory_bytes()
+    }
+
+    /// Owned heap bytes of arena + index.
+    pub fn resident_bytes(&self) -> usize {
+        self.arena.resident_bytes() + self.index.resident_bytes()
+    }
+
+    /// Arena + index bytes borrowed zero-copy from a snapshot mapping.
+    pub fn mapped_bytes(&self) -> usize {
+        self.arena.mapped_bytes() + self.index.mapped_bytes()
     }
 }
 
@@ -210,9 +231,19 @@ impl RrCache {
         self.strategy
     }
 
-    /// Snapshot of the accounting counters.
+    /// Snapshot of the accounting counters, with the current
+    /// resident/mapped memory split filled in.
     pub fn stats(&self) -> RrCacheStats {
-        self.inner.lock().stats.clone()
+        let inner = self.inner.lock();
+        let mut stats = inner.stats.clone();
+        let live = inner.streams.iter().filter_map(|s| s.as_ref());
+        stats.resident_bytes = 0;
+        stats.mapped_bytes = 0;
+        for s in live {
+            stats.resident_bytes += s.arena.resident_bytes() + s.index.resident_bytes();
+            stats.mapped_bytes += s.arena.mapped_bytes() + s.index.mapped_bytes();
+        }
+        stats
     }
 
     /// Current size of a stream's collection (0 when never touched).
@@ -246,9 +277,10 @@ impl RrCache {
             .all(|s| s.as_ref().is_none_or(|s| s.arena.is_empty()))
     }
 
-    /// Approximate heap footprint of all cached arenas and indexes in
-    /// bytes. O(#streams): the columnar representation keeps running
-    /// totals, so polling this per sweep point is free.
+    /// Approximate memory footprint of all cached arenas and indexes in
+    /// bytes (owned heap plus mapped bytes). O(#streams): the columnar
+    /// representation keeps running totals, so polling this per sweep
+    /// point is free.
     pub fn memory_bytes(&self) -> usize {
         let inner = self.inner.lock();
         inner
@@ -256,6 +288,30 @@ impl RrCache {
             .iter()
             .filter_map(|s| s.as_ref())
             .map(|s| s.arena.memory_bytes() + s.index.memory_bytes())
+            .sum()
+    }
+
+    /// Owned heap bytes across all cached arenas and indexes.
+    pub fn resident_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .streams
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|s| s.arena.resident_bytes() + s.index.resident_bytes())
+            .sum()
+    }
+
+    /// Bytes borrowed zero-copy from a snapshot mapping across all cached
+    /// arenas and indexes (0 until a mapped load, and shrinking as
+    /// extensions promote mapped columns to owned).
+    pub fn mapped_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .streams
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|s| s.arena.mapped_bytes() + s.index.mapped_bytes())
             .sum()
     }
 
@@ -323,7 +379,10 @@ impl RrCache {
         rmsa_store::write_file(path, &self.to_snapshot_bytes())
     }
 
-    /// Rebuild a cache from the snapshot sections of a parsed container.
+    /// Rebuild a cache from the snapshot sections of any
+    /// [`SectionSource`] — a fully parsed [`SnapshotReader`] (owned
+    /// decode) or a [`MappedSnapshot`] (columns borrowed zero-copy from
+    /// the file mapping on aligned v2 containers).
     ///
     /// The restored cache is *exactly* the saved one: same collections,
     /// same coverage-index segments, same per-stream extension counters —
@@ -331,8 +390,8 @@ impl RrCache {
     /// cache would have produced (the extend-never-rebuild invariant holds
     /// across the save/load boundary). `num_threads` only parallelises
     /// future extensions; it never changes their content.
-    pub fn read_snapshot(
-        r: &SnapshotReader<'_>,
+    pub fn read_snapshot<S: SectionSource>(
+        r: &S,
         num_threads: usize,
     ) -> Result<RrCache, StoreError> {
         let start = Instant::now();
@@ -438,6 +497,26 @@ impl RrCache {
         let reader = SnapshotReader::parse(&bytes)?;
         let cache = RrCache::read_snapshot(&reader, num_threads)?;
         // Account the file read + container parse into the load time.
+        cache.inner.lock().stats.snapshot_load_time = start.elapsed();
+        Ok(cache)
+    }
+
+    /// Load a cache zero-copy from a file mapping: on an aligned v2
+    /// container the arena and index columns *borrow* the mapped file, so
+    /// load time is independent of arena size. With [`VerifyMode::Lazy`],
+    /// checksum verification is skipped at open (use
+    /// [`MappedSnapshot::verify_all`] through a `--verify` path when the
+    /// file is untrusted); [`VerifyMode::Eager`] restores the classic
+    /// whole-file check. v1 containers and non-mmap platforms fall back to
+    /// the owned decode path transparently — never rejected.
+    pub fn load_mapped(
+        path: &std::path::Path,
+        num_threads: usize,
+        verify: VerifyMode,
+    ) -> Result<RrCache, StoreError> {
+        let start = Instant::now();
+        let snap = MappedSnapshot::open(path, verify)?;
+        let cache = RrCache::read_snapshot(&snap, num_threads)?;
         cache.inner.lock().stats.snapshot_load_time = start.elapsed();
         Ok(cache)
     }
@@ -823,6 +902,52 @@ mod tests {
         let (_, req) = loaded.with_at_least(&g, &hotter, &s, RrStream::Optimize, 400, roots);
         assert_eq!(req.generated, 400, "stale collections must not be served");
         assert_eq!(loaded.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn mapped_load_is_zero_copy_and_extends_identically() {
+        let (g, m, s) = setup();
+        let witness = RrCache::new(g.num_nodes(), RrStrategy::Standard, 1, 7);
+        let (original, _) = witness.with_at_least(&g, &m, &s, RrStream::Optimize, 500, roots);
+
+        let dir = std::env::temp_dir().join("rmsa_cache_mapped_test");
+        let path = dir.join("cache.rmsnap");
+        witness.save_to(&path).unwrap();
+
+        let mapped = RrCache::load_mapped(&path, 2, VerifyMode::Lazy).unwrap();
+        assert_eq!(mapped.len(RrStream::Optimize), 500);
+        assert_eq!(mapped.fingerprint(), witness.fingerprint());
+        let stats = mapped.stats();
+        assert_eq!(stats.loaded_from_snapshot, 500);
+        if rmsa_store::ZERO_COPY_TARGET {
+            assert!(
+                stats.mapped_bytes > 0,
+                "a mapped v2 load must borrow columns from the file"
+            );
+        }
+        assert_eq!(
+            stats.resident_bytes + stats.mapped_bytes,
+            mapped.memory_bytes()
+        );
+
+        // Serving from the mapped cache returns the owned collection.
+        let (served, req) = mapped.with_at_least(&g, &m, &s, RrStream::Optimize, 500, roots);
+        assert_eq!(served, original);
+        assert_eq!(req.generated, 0);
+
+        // Extending promotes written columns to owned and replays the cold
+        // trajectory bit-for-bit.
+        let (grown_cold, _) = witness.with_at_least(&g, &m, &s, RrStream::Optimize, 1200, roots);
+        let (grown_mapped, req) = mapped.with_at_least(&g, &m, &s, RrStream::Optimize, 1200, roots);
+        assert_eq!(req.generated, 700);
+        assert_eq!(grown_cold, grown_mapped);
+        std::fs::remove_file(&path).ok();
+
+        // Eager verification also works end to end.
+        witness.save_to(&path).unwrap();
+        let eager = RrCache::load_mapped(&path, 1, VerifyMode::Eager).unwrap();
+        assert_eq!(eager.len(RrStream::Optimize), 1200);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -36,11 +36,17 @@ pub mod sampler;
 pub mod simulate;
 pub mod snapshot;
 
-pub use arena::{CoverBitset, CoverageIndex, CoverageSegment, CoverageView, RrArena, RrSetRef};
+pub use arena::{
+    shard_plan, CoverBitset, CoverageIndex, CoverageSegment, CoverageView, RrArena, RrSetRef,
+    ShardSpan,
+};
 pub use cache::{
     distribution_fingerprint, RrCache, RrCacheStats, RrRequestStats, RrStream, RrStreamView,
 };
+// Re-export the store types that appear in this crate's public loading
+// API, so downstream callers don't need a direct `rmsa-store` edge.
 pub use models::{AdId, MaterializedModel, PropagationModel, TicModel, UniformIc, WeightedCascade};
+pub use rmsa_store::{MappedSnapshot, VerifyMode, ZERO_COPY_TARGET};
 pub use rr::{RrGenerator, RrSet, RrStrategy};
 pub use sampler::UniformRrSampler;
 pub use simulate::{estimate_spread, simulate_once};

@@ -16,7 +16,7 @@
 use crate::arena::{CoverageIndex, CoverageSegment, RrArena};
 use crate::models::{MaterializedModel, UniformIc, WeightedCascade};
 use crate::rr::RrStrategy;
-use rmsa_store::{to_usize, Cursor, SectionBuf, StoreError};
+use rmsa_store::{Cursor, SectionBuf, StoreError};
 use std::sync::Arc;
 
 pub(crate) fn strategy_tag(strategy: RrStrategy) -> u8 {
@@ -40,23 +40,22 @@ pub(crate) fn strategy_from_tag(tag: u8) -> Result<RrStrategy, StoreError> {
 pub fn write_arena(arena: &RrArena, out: &mut SectionBuf) {
     out.put_u64(arena.num_nodes as u64);
     out.put_u8(strategy_tag(arena.strategy));
-    // lint: allow(R4, reason = "ad ids in a live arena are validated < num_ads << 2^32 at push time")
-    out.put_u32_slice(&arena.ads.iter().map(|&a| a as u32).collect::<Vec<u32>>());
+    out.put_u32_slice(&arena.ads);
     out.put_usize_slice(&arena.offsets);
     out.put_u32_slice(&arena.nodes);
 }
 
 /// Read an arena back, validating the CSR structure.
+///
+/// Columns come back as `rmsa_store::Column`s: owned when `cur` reads
+/// in-memory bytes, borrowed zero-copy when it reads an aligned v2 file
+/// mapping.
 pub fn read_arena(cur: &mut Cursor<'_>) -> Result<RrArena, StoreError> {
     let num_nodes = cur.get_usize("arena num_nodes")?;
     let strategy = strategy_from_tag(cur.get_u8("arena strategy")?)?;
-    let ads: Vec<usize> = cur
-        .get_u32_vec("arena ads")?
-        .into_iter()
-        .map(|a| to_usize(u64::from(a), "arena ad id"))
-        .collect::<Result<_, _>>()?;
-    let offsets = cur.get_usize_vec("arena offsets")?;
-    let nodes = cur.get_u32_vec("arena nodes")?;
+    let ads = cur.get_u32_col("arena ads")?;
+    let offsets = cur.get_usize_col("arena offsets")?;
+    let nodes = cur.get_u32_col("arena nodes")?;
 
     let corrupt = |why: &str| StoreError::Corrupt(format!("arena section: {why}"));
     if offsets.len() != ads.len() + 1 {
@@ -65,13 +64,22 @@ pub fn read_arena(cur: &mut Cursor<'_>) -> Result<RrArena, StoreError> {
     if offsets.first() != Some(&0) || offsets.last() != Some(&nodes.len()) {
         return Err(corrupt("offsets do not cover the node buffer"));
     }
-    if offsets.windows(2).any(|w| w[0] >= w[1]) && !ads.is_empty() {
-        // An RR-set always contains at least its root.
-        return Err(corrupt("offsets are not strictly monotone"));
+    if u32::try_from(num_nodes).is_err() {
+        return Err(corrupt("node count exceeds the u32 id space"));
     }
-    if u32::try_from(num_nodes).is_err() || nodes.iter().any(|&u| u64::from(u) >= num_nodes as u64)
-    {
-        return Err(corrupt("a member node id is out of range"));
+    // Deep O(total-entries) validation runs only for owned decodes. A
+    // mapped v2 load is O(sections) by design — touching every member
+    // here would forfeit the zero-copy win — so bit rot detection is the
+    // checksum layer's job there (`VerifyMode::Eager`, `verify_all`, or
+    // the `--verify` paths).
+    if !(ads.is_mapped() && offsets.is_mapped() && nodes.is_mapped()) {
+        if offsets.windows(2).any(|w| w[0] >= w[1]) && !ads.is_empty() {
+            // An RR-set always contains at least its root.
+            return Err(corrupt("offsets are not strictly monotone"));
+        }
+        if nodes.iter().any(|&u| u64::from(u) >= num_nodes as u64) {
+            return Err(corrupt("a member node id is out of range"));
+        }
     }
     Ok(RrArena {
         num_nodes,
@@ -131,8 +139,8 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
     for i in 0..num_segments {
         let rr_base = cur.get_u32("segment rr_base")?;
         let num_sets = cur.get_u32("segment num_sets")?;
-        let offsets = cur.get_u32_vec("segment offsets")?;
-        let entries = cur.get_u32_vec("segment entries")?;
+        let offsets = cur.get_u32_col("segment offsets")?;
+        let entries = cur.get_u32_col("segment entries")?;
         if rr_base != expected_base {
             return Err(corrupt(format!(
                 "segment {i} starts at RR {rr_base}, expected {expected_base}"
@@ -141,16 +149,22 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
         if offsets.len() != num_nodes + 1
             || offsets.first() != Some(&0)
             || offsets.last().map(|&v| u64::from(v)) != Some(entries.len() as u64)
-            || offsets.windows(2).any(|w| w[0] > w[1])
         {
             return Err(corrupt(format!("segment {i} has an inconsistent CSR")));
         }
         let end = rr_base as u64 + num_sets as u64;
-        if entries
-            .iter()
-            .any(|&rr| (rr as u64) < rr_base as u64 || rr as u64 >= end)
-        {
-            return Err(corrupt(format!("segment {i} has an RR id out of range")));
+        // Per-element CSR validation only for owned decodes (see
+        // `read_arena`): mapped segments stay O(1) per segment.
+        if !(offsets.is_mapped() && entries.is_mapped()) {
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt(format!("segment {i} has an inconsistent CSR")));
+            }
+            if entries
+                .iter()
+                .any(|&rr| (rr as u64) < rr_base as u64 || rr as u64 >= end)
+            {
+                return Err(corrupt(format!("segment {i} has an RR id out of range")));
+            }
         }
         expected_base = u32::try_from(end)
             .map_err(|_| corrupt(format!("segment {i} extends past the u32 RR id space")))?;
@@ -166,15 +180,15 @@ pub fn read_index(cur: &mut Cursor<'_>, arena: &RrArena) -> Result<CoverageIndex
             "segments cover {expected_base} RR-sets, header says {num_rr}"
         )));
     }
-    let ads = cur.get_u32_vec("index ads")?;
-    let singleton = cur.get_u32_vec("index singleton")?;
+    let ads = cur.get_u32_col("index ads")?;
+    let singleton = cur.get_u32_col("index singleton")?;
     if ads.len() != num_rr {
         return Err(corrupt("advertiser column length mismatch".to_string()));
     }
     if singleton.len() != num_ads * num_nodes {
         return Err(corrupt("singleton column length mismatch".to_string()));
     }
-    if ads.iter().any(|&a| u64::from(a) >= num_ads as u64) {
+    if !ads.is_mapped() && ads.iter().any(|&a| u64::from(a) >= num_ads as u64) {
         return Err(corrupt("an advertiser id is out of range".to_string()));
     }
     Ok(CoverageIndex {
@@ -428,6 +442,150 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Satellite invariant: a zero-copy mapped load is indistinguishable
+    /// from the owned decode path across all five generator families and
+    /// both RR strategies — same sets, same coverage answers, byte-stable
+    /// re-serialization — while *borrowing* the file's columns on
+    /// eligible targets instead of copying them.
+    #[test]
+    fn mapped_load_is_equivalent_to_owned_load_across_families() {
+        use rmsa_graph::generators;
+        use rmsa_store::{MappedSnapshot, SectionSource, VerifyMode, ZERO_COPY_TARGET};
+        let dir = std::env::temp_dir().join("rmsa_mapped_equivalence_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rng = <rand_pcg::Pcg64Mcg as rand::SeedableRng>::seed_from_u64(31);
+        let graphs: Vec<(&str, rmsa_graph::DirectedGraph)> = vec![
+            ("erdos_renyi", generators::erdos_renyi(90, 0.06, &mut rng)),
+            (
+                "barabasi_albert",
+                generators::barabasi_albert(120, 3, &mut rng),
+            ),
+            (
+                "power_law_configuration",
+                generators::power_law_configuration(120, 2.4, 3.0, 25, &mut rng),
+            ),
+            (
+                "watts_strogatz",
+                generators::watts_strogatz(100, 4, 0.15, &mut rng),
+            ),
+            ("celebrity_graph", generators::celebrity_graph(3, 8)),
+        ];
+        for (family, graph) in &graphs {
+            for strategy in [RrStrategy::Standard, RrStrategy::Subsim] {
+                let model = crate::models::WeightedCascade::new(graph, 2);
+                let sampler = UniformRrSampler::new(&[1.0, 1.5]);
+                let mut arena = RrArena::new(graph.num_nodes(), strategy);
+                let mut index = CoverageIndex::new(graph.num_nodes(), 2);
+                arena.generate_parallel(graph, &model, &sampler, 500, 2, 91);
+                index.extend_from(&arena);
+
+                let mut w = SnapshotWriter::new();
+                rmsa_graph::snapshot::write_graph(graph, w.section(section::GRAPH));
+                write_arena(&arena, w.section(section::CACHE_STREAM_BASE));
+                write_index(&index, w.section(section::CACHE_STREAM_BASE + 1));
+                let bytes = w.finish();
+                let path = dir.join(format!("{family}_{strategy:?}.rmsnap"));
+                rmsa_store::write_file(&path, &bytes).unwrap();
+
+                // Owned path.
+                let r = SnapshotReader::parse(&bytes).unwrap();
+                let arena_o =
+                    read_arena(&mut r.require(section::CACHE_STREAM_BASE).unwrap()).unwrap();
+
+                // Mapped path: lazy verification, columns borrowed.
+                let snap = MappedSnapshot::open(&path, VerifyMode::Lazy).unwrap();
+                let graph_m =
+                    rmsa_graph::snapshot::read_graph(&mut snap.require(section::GRAPH).unwrap())
+                        .unwrap();
+                let arena_m =
+                    read_arena(&mut snap.require(section::CACHE_STREAM_BASE).unwrap()).unwrap();
+                let index_m = read_index(
+                    &mut snap.require(section::CACHE_STREAM_BASE + 1).unwrap(),
+                    &arena_m,
+                )
+                .unwrap();
+
+                let sets = |a: &RrArena| {
+                    a.iter()
+                        .map(|s| (s.ad, s.nodes.to_vec()))
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(sets(&arena_o), sets(&arena_m), "{family}/{strategy:?}");
+                assert_eq!(
+                    graph.edges().collect::<Vec<_>>(),
+                    graph_m.edges().collect::<Vec<_>>()
+                );
+                let (va, vb) = (index.view(), index_m.view());
+                for ad in 0..2 {
+                    for u in (0..graph.num_nodes() as u32).step_by(9) {
+                        assert_eq!(va.singleton_count(ad, u), vb.singleton_count(ad, u));
+                    }
+                    let seeds: Vec<u32> = (0..15).collect();
+                    assert_eq!(va.coverage_count(ad, &seeds), vb.coverage_count(ad, &seeds));
+                }
+                assert!(
+                    !snap.zero_copy_eligible() || ZERO_COPY_TARGET,
+                    "eligibility implies a zero-copy target"
+                );
+                if snap.zero_copy_eligible() {
+                    assert!(
+                        arena_m.mapped_bytes() > 0,
+                        "{family}/{strategy:?}: v2 mapped load must borrow arena columns"
+                    );
+                    assert!(
+                        index_m.mapped_bytes() > 0,
+                        "{family}/{strategy:?}: v2 mapped load must borrow index columns"
+                    );
+                }
+                assert_eq!(arena_o.mapped_bytes(), 0, "owned path never maps");
+
+                // Re-serializing the mapped state reproduces the bytes.
+                let mut w = SnapshotWriter::new();
+                rmsa_graph::snapshot::write_graph(&graph_m, w.section(section::GRAPH));
+                write_arena(&arena_m, w.section(section::CACHE_STREAM_BASE));
+                write_index(&index_m, w.section(section::CACHE_STREAM_BASE + 1));
+                assert_eq!(w.finish(), bytes, "{family}/{strategy:?} not byte-stable");
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    /// v2-loader corruption coverage: truncation anywhere and flipped
+    /// payload bytes surface typed errors through the mapped path — eager
+    /// at open, lazy at verify — never a panic or a silent wrong answer.
+    #[test]
+    fn mapped_loader_rejects_truncation_and_corruption() {
+        use rmsa_store::{MappedSnapshot, VerifyMode};
+        let (_, arena) = sample_arena(RrStrategy::Standard, 600);
+        let bytes = arena_bytes(&arena);
+        let dir = std::env::temp_dir().join("rmsa_mapped_corruption_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Truncation at several cut points: header, section header, mid-payload.
+        for cut in [4usize, 20, bytes.len() / 2, bytes.len() - 3] {
+            let path = dir.join(format!("truncated_{cut}.rmsnap"));
+            rmsa_store::write_file(&path, &bytes[..cut]).unwrap();
+            let err = MappedSnapshot::open(&path, VerifyMode::Eager).map(|_| ());
+            assert!(err.is_err(), "cut at {cut} must fail eager open");
+            std::fs::remove_file(&path).ok();
+        }
+
+        // A flipped payload byte passes a lazy open but fails verification,
+        // and the eager path refuses it outright.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2; // well inside the arena payload
+        corrupt[mid] ^= 0xFF;
+        let path = dir.join("corrupt.rmsnap");
+        rmsa_store::write_file(&path, &corrupt).unwrap();
+        assert!(MappedSnapshot::open(&path, VerifyMode::Eager).is_err());
+        let lazy = MappedSnapshot::open(&path, VerifyMode::Lazy).unwrap();
+        assert!(
+            lazy.verify_all().is_err(),
+            "lazy verify must catch the flip"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Compressed-sparse-row directed graph with forward and reverse adjacency.
 
+use rmsa_store::Column;
 use serde::{Deserialize, Serialize};
 
 /// Dense node identifier in `0..n`.
@@ -15,19 +16,24 @@ pub type EdgeId = u32;
 /// the forward [`EdgeId`] of the corresponding edge so that per-edge
 /// attributes indexed by forward edge id can be looked up while walking
 /// incoming edges (the hot path of RR-set generation).
+///
+/// The columns are [`Column`]s rather than `Vec`s: a graph built in
+/// memory owns its arrays, while one loaded from an `mmap`'d v2
+/// snapshot borrows them zero-copy from the file mapping (see
+/// `rmsa_store::mapping`). Every accessor works identically on both.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DirectedGraph {
     pub(crate) num_nodes: usize,
     /// Forward CSR offsets, length `n + 1`.
-    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_offsets: Column<u32>,
     /// Forward CSR targets, length `m`.
-    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) out_targets: Column<NodeId>,
     /// Reverse CSR offsets, length `n + 1`.
-    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_offsets: Column<u32>,
     /// Reverse CSR sources, length `m`.
-    pub(crate) in_sources: Vec<NodeId>,
+    pub(crate) in_sources: Column<NodeId>,
     /// For each reverse slot, the forward edge id of that edge.
-    pub(crate) in_edge_ids: Vec<EdgeId>,
+    pub(crate) in_edge_ids: Column<EdgeId>,
 }
 
 impl DirectedGraph {
@@ -82,11 +88,11 @@ impl DirectedGraph {
 
         DirectedGraph {
             num_nodes,
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_sources,
-            in_edge_ids,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_edge_ids: in_edge_ids.into(),
         }
     }
 
@@ -194,14 +200,33 @@ impl DirectedGraph {
         (u as NodeId, v)
     }
 
-    /// Total heap footprint of the CSR arrays, in bytes (used by the
-    /// memory-proxy measurements of the Fig. 4 experiment).
+    /// Total footprint of the CSR arrays, in bytes (used by the
+    /// memory-proxy measurements of the Fig. 4 experiment): owned heap
+    /// plus file-mapped bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.out_offsets.capacity() * std::mem::size_of::<u32>()
-            + self.out_targets.capacity() * std::mem::size_of::<NodeId>()
-            + self.in_offsets.capacity() * std::mem::size_of::<u32>()
-            + self.in_sources.capacity() * std::mem::size_of::<NodeId>()
-            + self.in_edge_ids.capacity() * std::mem::size_of::<EdgeId>()
+        self.resident_bytes() + self.mapped_bytes()
+    }
+
+    /// Heap bytes owned by the CSR columns (0 for the parts of a graph
+    /// borrowed from a snapshot mapping).
+    pub fn resident_bytes(&self) -> usize {
+        self.columns().iter().map(|c| c.resident_bytes()).sum()
+    }
+
+    /// Bytes borrowed from an `mmap`'d snapshot (0 for an in-memory
+    /// graph).
+    pub fn mapped_bytes(&self) -> usize {
+        self.columns().iter().map(|c| c.mapped_bytes()).sum()
+    }
+
+    fn columns(&self) -> [&Column<u32>; 5] {
+        [
+            &self.out_offsets,
+            &self.out_targets,
+            &self.in_offsets,
+            &self.in_sources,
+            &self.in_edge_ids,
+        ]
     }
 
     /// Consistency check used by tests and `debug_assert!`s: the forward and

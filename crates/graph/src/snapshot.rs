@@ -26,14 +26,19 @@ pub fn write_graph(graph: &DirectedGraph, out: &mut SectionBuf) {
 }
 
 /// Read a graph back from a snapshot section, validating CSR structure.
+///
+/// Columns come back as `rmsa_store::Column`s: owned when `cur` reads
+/// in-memory bytes, borrowed zero-copy when it reads an aligned v2 file
+/// mapping. Validation runs either way — it touches the pages once,
+/// which is still far cheaper than decoding them.
 pub fn read_graph(cur: &mut Cursor<'_>) -> Result<DirectedGraph, StoreError> {
     let num_nodes = cur.get_usize("graph num_nodes")?;
     let num_edges = cur.get_usize("graph num_edges")?;
-    let out_offsets = cur.get_u32_vec("graph out_offsets")?;
-    let out_targets = cur.get_u32_vec("graph out_targets")?;
-    let in_offsets = cur.get_u32_vec("graph in_offsets")?;
-    let in_sources = cur.get_u32_vec("graph in_sources")?;
-    let in_edge_ids = cur.get_u32_vec("graph in_edge_ids")?;
+    let out_offsets = cur.get_u32_col("graph out_offsets")?;
+    let out_targets = cur.get_u32_col("graph out_targets")?;
+    let in_offsets = cur.get_u32_col("graph in_offsets")?;
+    let in_sources = cur.get_u32_col("graph in_sources")?;
+    let in_edge_ids = cur.get_u32_col("graph in_edge_ids")?;
 
     let corrupt = |why: &str| StoreError::Corrupt(format!("graph section: {why}"));
     if out_offsets.len() != num_nodes + 1 || in_offsets.len() != num_nodes + 1 {
@@ -52,21 +57,34 @@ pub fn read_graph(cur: &mut Cursor<'_>) -> Result<DirectedGraph, StoreError> {
         {
             return Err(corrupt("offsets do not cover the edge arrays"));
         }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(corrupt("offsets are not monotone"));
-        }
     }
     let Ok(n) = u32::try_from(num_nodes) else {
         return Err(corrupt("node count exceeds the u32 id space"));
     };
-    if out_targets.iter().chain(&in_sources).any(|&v| v >= n) && num_edges > 0 {
-        return Err(corrupt("a node id is out of range"));
-    }
-    if in_edge_ids
-        .iter()
-        .any(|&e| u64::from(e) >= num_edges as u64)
-    {
-        return Err(corrupt("a forward edge id is out of range"));
+    // Per-element validation runs only for owned decodes. A mapped v2
+    // load is O(sections) by design; its bit-rot guard is the container
+    // checksum layer (eager open or the `--verify` paths), not an
+    // O(edges) walk that would touch every borrowed page.
+    let all_mapped = out_offsets.is_mapped()
+        && out_targets.is_mapped()
+        && in_offsets.is_mapped()
+        && in_sources.is_mapped()
+        && in_edge_ids.is_mapped();
+    if !all_mapped {
+        for offsets in [&out_offsets, &in_offsets] {
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt("offsets are not monotone"));
+            }
+        }
+        if out_targets.iter().chain(in_sources.iter()).any(|&v| v >= n) && num_edges > 0 {
+            return Err(corrupt("a node id is out of range"));
+        }
+        if in_edge_ids
+            .iter()
+            .any(|&e| u64::from(e) >= num_edges as u64)
+        {
+            return Err(corrupt("a forward edge id is out of range"));
+        }
     }
     Ok(DirectedGraph {
         num_nodes,

@@ -200,6 +200,10 @@ mod tests {
         assert!(!bench_json.r1 && bench_json.r2);
         let snap = scope_for("crates/diffusion/src/snapshot.rs");
         assert!(snap.r1 && snap.r2 && snap.r4);
+        // The mmap layer: R4 checked-casts (store prefix) plus R3
+        // unsafe-hygiene, which is in force everywhere.
+        let mapping = scope_for("crates/store/src/mapping.rs");
+        assert!(mapping.r1 && mapping.r3 && mapping.r4 && !mapping.r2);
         let hist = scope_for("crates/service/src/histogram.rs");
         assert!(hist.r2 && hist.r2_timing_ok);
         let facade = scope_for("src/workbench.rs");

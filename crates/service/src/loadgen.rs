@@ -296,6 +296,8 @@ pub fn report(outcome: &LoadgenOutcome, config: &LoadgenConfig, quick: bool) -> 
                     loaded_from_snapshot: 0,
                     snapshot_load_secs: 0.0,
                     memory_bytes: 0,
+                    resident_bytes: 0,
+                    mapped_bytes: 0,
                     memory_mib: 0.0,
                     budget_usage_pct: 0.0,
                     rate_of_return_pct: 0.0,
@@ -345,6 +347,8 @@ fn meta_outcome(wall_secs: f64, memory_bytes: usize) -> AlgoOutcome {
         loaded_from_snapshot: 0,
         snapshot_load_secs: 0.0,
         memory_bytes,
+        resident_bytes: memory_bytes,
+        mapped_bytes: 0,
         memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
         budget_usage_pct: 0.0,
         rate_of_return_pct: 0.0,

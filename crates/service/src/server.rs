@@ -41,6 +41,11 @@ pub struct ServiceConfig {
     /// on boot and are persisted back in the background after every cache
     /// extension. `None` disables persistence.
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Hash every snapshot section before warm-starting from it
+    /// (`--verify-snapshots`). Off by default: the mapped load path
+    /// validates structure and the distribution fingerprint instead, so
+    /// boot time stays independent of snapshot size.
+    pub verify_snapshots: bool,
 }
 
 impl ServiceConfig {
@@ -53,6 +58,7 @@ impl ServiceConfig {
             workers: rmsa_core::default_num_threads(),
             max_sessions: 4,
             snapshot_dir: None,
+            verify_snapshots: false,
         }
     }
 }
@@ -160,7 +166,12 @@ pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         registry: SessionRegistry::new(config.ctx.clone(), config.max_sessions)
-            .with_snapshot_dir(config.snapshot_dir.clone()),
+            .with_snapshot_dir(config.snapshot_dir.clone())
+            .with_snapshot_verify(if config.verify_snapshots {
+                rmsa_store::VerifyMode::Eager
+            } else {
+                rmsa_store::VerifyMode::Lazy
+            }),
         addr,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),

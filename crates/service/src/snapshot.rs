@@ -31,7 +31,9 @@ use rmsa_bench::ExperimentContext;
 use rmsa_datasets::{Dataset, DatasetModel};
 use rmsa_diffusion::snapshot::ModelSnapshot;
 use rmsa_diffusion::{RrCache, UniformRrSampler};
-use rmsa_store::{read_file, section, SnapshotReader, SnapshotWriter, StoreError};
+use rmsa_store::{
+    section, MappedSnapshot, SectionSource, SnapshotReader, SnapshotWriter, StoreError, VerifyMode,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicUsize;
 use std::sync::Mutex;
@@ -89,7 +91,7 @@ fn write_meta(meta: &SessionMeta, w: &mut SnapshotWriter) {
     s.put_u64(meta.warm_level as u64);
 }
 
-fn read_meta(r: &SnapshotReader<'_>) -> Result<SessionMeta, StoreError> {
+fn read_meta<S: SectionSource>(r: &S) -> Result<SessionMeta, StoreError> {
     let mut c = r.require(section::META)?;
     let kind = c.get_str("snapshot kind")?;
     if kind != SESSION_SNAPSHOT_KIND {
@@ -168,15 +170,32 @@ fn stale(why: String) -> StoreError {
 
 /// Rebuild a [`Session`] from snapshot bytes, verifying the snapshot
 /// matches `key` and `ctx` (see the module docs for the rejection rules).
+///
+/// This decodes every collection into owned memory. The serve daemon's
+/// warm-start path goes through [`load_session`] instead, which reads the
+/// same sections through a [`MappedSnapshot`] so large columns stay
+/// borrowed from the page cache.
 pub fn session_from_bytes(
     bytes: &[u8],
     key: SessionKey,
     ctx: &ExperimentContext,
 ) -> Result<Session, StoreError> {
+    let r = SnapshotReader::parse(bytes)?;
+    session_from_source(&r, key, ctx)
+}
+
+/// Rebuild a [`Session`] from any parsed snapshot source — an eager
+/// in-memory [`SnapshotReader`] or a zero-copy [`MappedSnapshot`]. The
+/// staleness checks are identical either way; only column ownership
+/// differs.
+pub fn session_from_source<S: SectionSource>(
+    r: &S,
+    key: SessionKey,
+    ctx: &ExperimentContext,
+) -> Result<Session, StoreError> {
     // lint: allow(R2, reason = "wall-clock load-time statistic; reported to stats RPC, never serialized")
     let start = Instant::now();
-    let r = SnapshotReader::parse(bytes)?;
-    let meta = read_meta(&r)?;
+    let meta = read_meta(r)?;
 
     // Key/context checks: every deterministic build input must match.
     let expected_scale = key.dataset.default_scale() * ctx.scale;
@@ -257,7 +276,7 @@ pub fn session_from_bytes(
         spreads.push(row);
     }
 
-    let cache = RrCache::read_snapshot(&r, ctx.threads)?;
+    let cache = RrCache::read_snapshot(r, ctx.threads)?;
     if cache.num_nodes() != graph.num_nodes() {
         return Err(StoreError::Corrupt(
             "cache node count disagrees with the graph".to_string(),
@@ -329,10 +348,28 @@ pub fn session_from_bytes(
 /// * `Err(e)` — a file exists but is corrupt or stale; the caller falls
 ///   back to a cold build and reports `e` (rejected, never silently
 ///   reused).
+///
+/// The file is memory-mapped and opened with [`VerifyMode::Lazy`]: the
+/// section table is walked but payloads are not hashed, so a multi-GB v2
+/// snapshot warm-starts in microseconds with its columns borrowed from
+/// the page cache. Structural validation, the staleness checks, and the
+/// distribution-fingerprint check still run in full. Pass
+/// [`VerifyMode::Eager`] through [`load_session_with`] to hash every
+/// payload up front (the daemon's `--verify-snapshots` flag).
 pub fn load_session(
     key: SessionKey,
     ctx: &ExperimentContext,
     dir: &Path,
+) -> Result<Option<Session>, StoreError> {
+    load_session_with(key, ctx, dir, VerifyMode::Lazy)
+}
+
+/// [`load_session`] with an explicit checksum policy.
+pub fn load_session_with(
+    key: SessionKey,
+    ctx: &ExperimentContext,
+    dir: &Path,
+    verify: VerifyMode,
 ) -> Result<Option<Session>, StoreError> {
     let path = snapshot_path(dir, key);
     if !path.exists() {
@@ -340,9 +377,9 @@ pub fn load_session(
     }
     // lint: allow(R2, reason = "wall-clock load-time statistic; reported to stats RPC, never serialized")
     let start = Instant::now();
-    let bytes = read_file(&path)?;
-    let mut session = session_from_bytes(&bytes, key, ctx)?;
-    // Include the file read in the reported load time.
+    let snap = MappedSnapshot::open(&path, verify)?;
+    let mut session = session_from_source(&snap, key, ctx)?;
+    // Include the open/mapping step in the reported load time.
     session.snapshot_load_secs = start.elapsed().as_secs_f64();
     Ok(Some(session))
 }
@@ -368,7 +405,13 @@ pub struct StreamInfo {
 pub struct SnapshotInfo {
     /// File size in bytes.
     pub file_bytes: usize,
-    /// Raw section table (id, registry name, payload length).
+    /// Container version (1 = legacy packed, 2 = 8-byte-aligned).
+    pub container_version: u32,
+    /// True when column reads from this file can borrow the mapping:
+    /// the aligned v2 layout on a little-endian 64-bit target.
+    pub zero_copy_eligible: bool,
+    /// Raw section table (id, registry name, payload length, file
+    /// offset, trailing padding).
     pub sections: Vec<rmsa_store::SectionInfo>,
     /// Session meta, when the file is a session snapshot.
     pub meta: Option<SessionMeta>,
@@ -392,10 +435,10 @@ impl SnapshotInfo {
 }
 
 /// Inspect a snapshot file without rebuilding a session: validates the
-/// container (magic, version, checksums) and decodes the summary blocks.
+/// container (magic, version, and — eagerly, this is the `--verify`
+/// path — every section checksum) and decodes the summary blocks.
 pub fn inspect(path: &Path) -> Result<SnapshotInfo, StoreError> {
-    let bytes = read_file(path)?;
-    let r = SnapshotReader::parse(&bytes)?;
+    let r = MappedSnapshot::open(path, VerifyMode::Eager)?;
     let meta = match r.section(section::META) {
         Some(_) => read_meta(&r).ok(),
         None => None,
@@ -436,7 +479,9 @@ pub fn inspect(path: &Path) -> Result<SnapshotInfo, StoreError> {
     }
     streams.sort_by_key(|s| s.index);
     Ok(SnapshotInfo {
-        file_bytes: bytes.len(),
+        file_bytes: r.file_bytes(),
+        container_version: r.version(),
+        zero_copy_eligible: r.zero_copy_eligible(),
         sections: r.sections(),
         meta,
         graph,

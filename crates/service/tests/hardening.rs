@@ -36,6 +36,7 @@ fn no_wire_request_can_kill_the_single_worker() {
         workers: 1,
         max_sessions: 2,
         snapshot_dir: None,
+        verify_snapshots: false,
     };
     let handle = server::start("127.0.0.1:0", config).expect("bind");
     let addr = handle.local_addr();

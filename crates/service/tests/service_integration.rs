@@ -18,6 +18,7 @@ fn tiny_config(workers: usize) -> ServiceConfig {
         workers,
         max_sessions: 2,
         snapshot_dir: None,
+        verify_snapshots: false,
     }
 }
 

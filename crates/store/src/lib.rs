@@ -13,19 +13,35 @@
 //! bottom of the dependency graph is what lets `RrCache::save_to` /
 //! `RrCache::load_from` live on the cache type itself.
 //!
-//! ## Layout
+//! ## Layout (v2, written by this build)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  "RMSASNAP"
-//! 8       4     container version (u32 LE, currently 1)
+//! 8       4     container version (u32 LE, currently 2)
 //! 12      4     section count (u32 LE)
 //! 16      ...   sections, back to back:
 //!                 id        u32 LE   (see [`section`])
+//!                 reserved  u32 LE   zero (keeps the 24-byte header 8-aligned)
 //!                 len       u64 LE   payload length in bytes
-//!                 checksum  u64 LE   FNV-1a 64 over the payload
+//!                 checksum  u64 LE   FNV-1a 64 over the payload (padding excluded)
 //!                 payload   [len]
+//!                 padding   [(8 - len % 8) % 8] zero bytes
 //! ```
+//!
+//! Because the file header is 16 bytes, the section header 24, and every
+//! payload zero-padded to the next 8-byte boundary, **every payload starts
+//! on an 8-byte file offset**. Inside a payload, the slice writers
+//! ([`SectionBuf::put_u32_slice`] and friends) likewise pad to an 8-byte
+//! boundary before their length prefix, so packed column data always sits
+//! 8-aligned relative to the file. That alignment is what makes the
+//! zero-copy path possible: on 64-bit little-endian targets a
+//! [`MappedSnapshot`] hands out [`Column`]s that *borrow* the `mmap`'d
+//! file pages instead of decoding them (see [`mapping`]).
+//!
+//! The legacy v1 layout (20-byte section headers — no reserved word — and
+//! no padding) is still parsed by every reader; v1 files simply always
+//! decode into owned columns. Writers always emit v2.
 //!
 //! All integers are little-endian. Readers *skip* sections whose id they do
 //! not recognise, which is what makes the format forward-compatible: a
@@ -33,14 +49,29 @@
 //! structural defect is a typed [`StoreError`] — the loader never panics on
 //! untrusted bytes.
 
+pub mod mapping;
+
+pub use mapping::{Column, MappedSnapshot, SnapshotMapping, VerifyMode, ZERO_COPY_TARGET};
+
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic, first 8 bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"RMSASNAP";
 
-/// Container version written and accepted by this build.
-pub const CONTAINER_VERSION: u32 = 1;
+/// Container version written by this build (8-byte-aligned sections).
+pub const CONTAINER_VERSION: u32 = 2;
+
+/// Oldest container version this build still reads (unaligned sections,
+/// owned decode only).
+pub const MIN_CONTAINER_VERSION: u32 = 1;
+
+/// Zero bytes required after a `len`-byte payload (or before a slice's
+/// length prefix) to reach the next 8-byte boundary.
+pub(crate) fn pad8(len: usize) -> usize {
+    (8 - len % 8) % 8
+}
 
 /// Registry of known section ids.
 ///
@@ -123,7 +154,7 @@ impl fmt::Display for StoreError {
             StoreError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot container version {v} (this build speaks {CONTAINER_VERSION})"
+                    "unsupported snapshot container version {v} (this build speaks {MIN_CONTAINER_VERSION}..={CONTAINER_VERSION})"
                 )
             }
             StoreError::Truncated { what } => write!(f, "snapshot truncated while reading {what}"),
@@ -225,8 +256,18 @@ impl SectionBuf {
         self.bytes.extend_from_slice(s.as_bytes());
     }
 
+    /// Pad with zeros to the next 8-byte boundary. Every slice writer
+    /// calls this before its length prefix so that — combined with the
+    /// v2 container's 8-aligned payload offsets — packed column data is
+    /// always 8-aligned in the file (the zero-copy invariant).
+    fn align8(&mut self) {
+        let pad = pad8(self.bytes.len());
+        self.bytes.resize(self.bytes.len() + pad, 0);
+    }
+
     /// Append a length-prefixed `u32` column.
     pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.align8();
         self.put_u64(vs.len() as u64);
         self.bytes.reserve(vs.len() * 4);
         for &v in vs {
@@ -236,6 +277,7 @@ impl SectionBuf {
 
     /// Append a length-prefixed `u64` column.
     pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.align8();
         self.put_u64(vs.len() as u64);
         self.bytes.reserve(vs.len() * 8);
         for &v in vs {
@@ -245,6 +287,7 @@ impl SectionBuf {
 
     /// Append a length-prefixed `usize` column (stored as `u64`).
     pub fn put_usize_slice(&mut self, vs: &[usize]) {
+        self.align8();
         self.put_u64(vs.len() as u64);
         self.bytes.reserve(vs.len() * 8);
         for &v in vs {
@@ -254,6 +297,7 @@ impl SectionBuf {
 
     /// Append a length-prefixed `f32` column (LE bit patterns).
     pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.align8();
         self.put_u64(vs.len() as u64);
         self.bytes.reserve(vs.len() * 4);
         for &v in vs {
@@ -263,6 +307,7 @@ impl SectionBuf {
 
     /// Append a length-prefixed `f64` column (LE bit patterns).
     pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.align8();
         self.put_u64(vs.len() as u64);
         self.bytes.reserve(vs.len() * 8);
         for &v in vs {
@@ -293,9 +338,14 @@ impl SnapshotWriter {
         &mut self.sections[last].1
     }
 
-    /// Assemble the container bytes.
+    /// Assemble the container bytes (v2 layout: 24-byte section headers,
+    /// every payload zero-padded to the next 8-byte boundary).
     pub fn finish(self) -> Vec<u8> {
-        let payload: usize = self.sections.iter().map(|(_, s)| s.bytes.len() + 20).sum();
+        let payload: usize = self
+            .sections
+            .iter()
+            .map(|(_, s)| s.bytes.len() + pad8(s.bytes.len()) + 24)
+            .sum();
         let mut out = Vec::with_capacity(16 + payload);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
@@ -303,9 +353,11 @@ impl SnapshotWriter {
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         for (id, buf) in self.sections {
             out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // reserved: keeps the header 8-aligned
             out.extend_from_slice(&(buf.bytes.len() as u64).to_le_bytes());
             out.extend_from_slice(&checksum(&buf.bytes).to_le_bytes());
             out.extend_from_slice(&buf.bytes);
+            out.resize(out.len() + pad8(buf.bytes.len()), 0);
         }
         out
     }
@@ -371,73 +423,163 @@ pub struct SectionInfo {
     pub name: String,
     /// Payload length in bytes.
     pub len: usize,
+    /// File offset of the payload's first byte.
+    pub offset: usize,
+    /// Zero bytes after the payload (v2 containers; always 0 in v1).
+    pub padding: usize,
+}
+
+impl SectionInfo {
+    /// True when the payload starts on an 8-byte file offset — the
+    /// precondition for mapping its columns zero-copy.
+    pub fn aligned(&self) -> bool {
+        self.offset.is_multiple_of(8)
+    }
+}
+
+/// One entry of the walked section table: where a payload lives in the
+/// file and what it should hash to. Shared by the eager
+/// [`SnapshotReader`] and the lazy [`MappedSnapshot`].
+#[derive(Clone, Debug)]
+pub(crate) struct RawSection {
+    pub(crate) id: u32,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+    pub(crate) checksum: u64,
+}
+
+impl RawSection {
+    pub(crate) fn info(&self, version: u32) -> SectionInfo {
+        SectionInfo {
+            id: self.id,
+            name: section::name(self.id),
+            len: self.len,
+            offset: self.offset,
+            padding: if version >= CONTAINER_VERSION {
+                pad8(self.len)
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// Walk a container's header and section table without touching payload
+/// checksums. Accepts both layouts: v1 (20-byte section headers, no
+/// padding) and v2 (24-byte headers, payloads padded to 8 bytes).
+pub(crate) fn parse_container(bytes: &[u8]) -> Result<(u32, Vec<RawSection>), StoreError> {
+    if bytes.len() < 8 || bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut cur = Cursor {
+        data: bytes,
+        pos: 8,
+        align: false,
+        source: None,
+    };
+    let version = cur.get_u32("container version")?;
+    if !(MIN_CONTAINER_VERSION..=CONTAINER_VERSION).contains(&version) {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let count = to_usize(u64::from(cur.get_u32("section count")?), "section count")?;
+    let header_bytes = if version >= CONTAINER_VERSION { 24 } else { 20 };
+    // The header carries no checksum, so `count` is untrusted: cap the
+    // preallocation by what the remaining bytes could possibly hold —
+    // a corrupt count then fails as Truncated instead of aborting on an
+    // absurd allocation.
+    let mut sections = Vec::with_capacity(count.min(cur.remaining() / header_bytes));
+    for i in 0..count {
+        let id = cur.get_u32("section id")?;
+        if version >= CONTAINER_VERSION {
+            cur.get_u32("section reserved word")?;
+        }
+        let len = to_usize(cur.get_u64("section length")?, "section length")?;
+        let checksum = cur.get_u64("section checksum")?;
+        let offset = cur.pos;
+        cur.get_bytes(len, &format!("section {i} payload"))?;
+        if version >= CONTAINER_VERSION {
+            cur.get_bytes(pad8(len), &format!("section {i} padding"))?;
+        }
+        sections.push(RawSection {
+            id,
+            offset,
+            len,
+            checksum,
+        });
+    }
+    Ok((version, sections))
+}
+
+/// Read access to a parsed container's sections, independent of whether
+/// the bytes are an in-memory slice ([`SnapshotReader`]) or a file
+/// mapping ([`MappedSnapshot`]). Payload codecs genericize over this so
+/// the owned and zero-copy load paths share one implementation.
+pub trait SectionSource {
+    /// Cursor over the first section with `id`, if present.
+    fn section(&self, id: u32) -> Option<Cursor<'_>>;
+
+    /// All sections whose id lies in `[lo, hi)`, in file order, as
+    /// `(id, cursor)` pairs — how readers enumerate the RR-stream range.
+    fn sections_in_range(&self, lo: u32, hi: u32) -> Vec<(u32, Cursor<'_>)>;
+
+    /// Cursor over a section that must exist.
+    fn require(&self, id: u32) -> Result<Cursor<'_>, StoreError> {
+        self.section(id)
+            .ok_or(StoreError::MissingSection { section: id })
+    }
 }
 
 /// Parsed snapshot: magic and version verified, every section's checksum
 /// validated eagerly, unknown sections retained (and skippable).
 #[derive(Debug)]
 pub struct SnapshotReader<'a> {
-    sections: Vec<(u32, &'a [u8])>,
+    version: u32,
+    sections: Vec<RawSection>,
+    bytes: &'a [u8],
 }
 
 impl<'a> SnapshotReader<'a> {
     /// Parse and validate a snapshot. Checksums of *all* sections are
     /// verified here, so any later read works on known-good bytes.
     pub fn parse(bytes: &'a [u8]) -> Result<Self, StoreError> {
-        if bytes.len() < 8 {
-            return Err(StoreError::BadMagic);
-        }
-        if bytes[..8] != MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        let mut cur = Cursor {
-            data: bytes,
-            pos: 8,
-        };
-        let version = cur.get_u32("container version")?;
-        if version != CONTAINER_VERSION {
-            return Err(StoreError::UnsupportedVersion(version));
-        }
-        let count = to_usize(u64::from(cur.get_u32("section count")?), "section count")?;
-        // The header carries no checksum, so `count` is untrusted: cap the
-        // preallocation by what the remaining bytes could possibly hold
-        // (20 header bytes per section) — a corrupt count then fails as
-        // Truncated instead of aborting on an absurd allocation.
-        let mut sections = Vec::with_capacity(count.min(cur.remaining() / 20));
-        for i in 0..count {
-            let id = cur.get_u32("section id")?;
-            let len = to_usize(cur.get_u64("section length")?, "section length")?;
-            let sum = cur.get_u64("section checksum")?;
-            let payload = cur.get_bytes(len, &format!("section {i} payload"))?;
-            if checksum(payload) != sum {
-                return Err(StoreError::ChecksumMismatch { section: id });
+        let (version, sections) = parse_container(bytes)?;
+        for s in &sections {
+            if checksum(&bytes[s.offset..s.offset + s.len]) != s.checksum {
+                return Err(StoreError::ChecksumMismatch { section: s.id });
             }
-            sections.push((id, payload));
         }
-        Ok(SnapshotReader { sections })
+        Ok(SnapshotReader {
+            version,
+            sections,
+            bytes,
+        })
+    }
+
+    /// The container version of the parsed bytes (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Parsed sections in file order.
     pub fn sections(&self) -> Vec<SectionInfo> {
-        self.sections
-            .iter()
-            .map(|(id, payload)| SectionInfo {
-                id: *id,
-                name: section::name(*id),
-                len: payload.len(),
-            })
-            .collect()
+        self.sections.iter().map(|s| s.info(self.version)).collect()
+    }
+
+    fn cursor_for(&self, s: &RawSection) -> Cursor<'a> {
+        Cursor {
+            data: &self.bytes[s.offset..s.offset + s.len],
+            pos: 0,
+            align: self.version >= CONTAINER_VERSION,
+            source: None,
+        }
     }
 
     /// Cursor over the first section with `id`, if present.
     pub fn section(&self, id: u32) -> Option<Cursor<'a>> {
         self.sections
             .iter()
-            .find(|(sid, _)| *sid == id)
-            .map(|(_, payload)| Cursor {
-                data: payload,
-                pos: 0,
-            })
+            .find(|s| s.id == id)
+            .map(|s| self.cursor_for(s))
     }
 
     /// Cursor over a section that must exist.
@@ -451,33 +593,67 @@ impl<'a> SnapshotReader<'a> {
     pub fn sections_in_range(&self, lo: u32, hi: u32) -> Vec<(u32, Cursor<'a>)> {
         self.sections
             .iter()
-            .filter(|(id, _)| (lo..hi).contains(id))
-            .map(|(id, payload)| {
-                (
-                    *id,
-                    Cursor {
-                        data: payload,
-                        pos: 0,
-                    },
-                )
-            })
+            .filter(|s| (lo..hi).contains(&s.id))
+            .map(|s| (s.id, self.cursor_for(s)))
             .collect()
+    }
+}
+
+impl SectionSource for SnapshotReader<'_> {
+    fn section(&self, id: u32) -> Option<Cursor<'_>> {
+        SnapshotReader::section(self, id)
+    }
+
+    fn sections_in_range(&self, lo: u32, hi: u32) -> Vec<(u32, Cursor<'_>)> {
+        SnapshotReader::sections_in_range(self, lo, hi)
     }
 }
 
 /// Bounds-checked little-endian reader over one section's payload. Every
 /// `get_*` that runs off the end returns [`StoreError::Truncated`] naming
 /// what was being read.
+///
+/// Cursors over v2 payloads run in *aligned* mode: the slice readers
+/// skip to the next 8-byte boundary before their length prefix,
+/// mirroring [`SectionBuf::align8`]. Cursors handed out by a
+/// [`MappedSnapshot`] additionally carry a reference to the file
+/// mapping, which lets the `get_*_col` readers return borrowed
+/// [`Column`]s instead of decoding.
 #[derive(Clone, Debug)]
 pub struct Cursor<'a> {
     data: &'a [u8],
     pos: usize,
+    /// Skip to 8-byte boundaries before slice length prefixes (v2).
+    align: bool,
+    /// Mapping backing `data`, plus the file offset of `data[0]`.
+    source: Option<(Arc<SnapshotMapping>, usize)>,
 }
 
 impl<'a> Cursor<'a> {
-    /// Wrap raw payload bytes.
+    /// Wrap raw payload bytes in aligned (v2) mode — the layout
+    /// [`SectionBuf`] writes.
     pub fn new(data: &'a [u8]) -> Self {
-        Cursor { data, pos: 0 }
+        Cursor {
+            data,
+            pos: 0,
+            align: true,
+            source: None,
+        }
+    }
+
+    /// Wrap a section payload, optionally backed by its file mapping
+    /// (used by [`MappedSnapshot`] to enable zero-copy column reads).
+    pub(crate) fn with_source(
+        data: &'a [u8],
+        align: bool,
+        source: Option<(Arc<SnapshotMapping>, usize)>,
+    ) -> Self {
+        Cursor {
+            data,
+            pos: 0,
+            align,
+            source,
+        }
     }
 
     /// Bytes left to read.
@@ -547,24 +723,47 @@ impl<'a> Cursor<'a> {
         to_usize(self.get_u64(what)?, what)
     }
 
+    /// In aligned (v2) mode, consume the zero bytes up to the next
+    /// 8-byte boundary — the mirror of [`SectionBuf::align8`]. Running
+    /// off the end is a typed truncation, like any other read.
+    fn skip_align(&mut self, what: &str) -> Result<(), StoreError> {
+        if self.align {
+            let pad = pad8(self.pos);
+            if pad > 0 {
+                self.get_bytes(pad, what)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a slice column's raw bytes: alignment skip, length prefix,
+    /// then `len * elem_bytes` packed bytes. Returns the element count,
+    /// the bytes, and the payload-relative offset of the first element.
+    fn get_slice_raw(
+        &mut self,
+        elem_bytes: usize,
+        what: &str,
+    ) -> Result<(usize, &'a [u8], usize), StoreError> {
+        self.skip_align(what)?;
+        let len = self.get_len(what)?;
+        let data_pos = self.pos;
+        let bytes = self.get_bytes(
+            len.checked_mul(elem_bytes).ok_or_else(overflow(what))?,
+            what,
+        )?;
+        Ok((len, bytes, data_pos))
+    }
+
     /// Read a length-prefixed `u32` column.
     pub fn get_u32_vec(&mut self, what: &str) -> Result<Vec<u32>, StoreError> {
-        let len = self.get_len(what)?;
-        let bytes = self.get_bytes(len.checked_mul(4).ok_or_else(overflow(what))?, what)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            .collect())
+        let (_, bytes, _) = self.get_slice_raw(4, what)?;
+        Ok(decode_u32s(bytes))
     }
 
     /// Read a length-prefixed `u64` column.
     pub fn get_u64_vec(&mut self, what: &str) -> Result<Vec<u64>, StoreError> {
-        let len = self.get_len(what)?;
-        let bytes = self.get_bytes(len.checked_mul(8).ok_or_else(overflow(what))?, what)?;
-        Ok(bytes
-            .chunks_exact(8)
-            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
-            .collect())
+        let (_, bytes, _) = self.get_slice_raw(8, what)?;
+        Ok(decode_u64s(bytes))
     }
 
     /// Read a length-prefixed `usize` column (stored as `u64`).
@@ -577,8 +776,7 @@ impl<'a> Cursor<'a> {
 
     /// Read a length-prefixed `f32` column.
     pub fn get_f32_vec(&mut self, what: &str) -> Result<Vec<f32>, StoreError> {
-        let len = self.get_len(what)?;
-        let bytes = self.get_bytes(len.checked_mul(4).ok_or_else(overflow(what))?, what)?;
+        let (_, bytes, _) = self.get_slice_raw(4, what)?;
         Ok(bytes
             .chunks_exact(4)
             .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
@@ -593,6 +791,62 @@ impl<'a> Cursor<'a> {
             .map(f64::from_bits)
             .collect())
     }
+
+    /// Read a length-prefixed `u32` column as a [`Column`]: borrowed
+    /// from the file mapping when this cursor has one and the window is
+    /// aligned, decoded into an owned `Vec` otherwise.
+    pub fn get_u32_col(&mut self, what: &str) -> Result<Column<u32>, StoreError> {
+        let (len, bytes, data_pos) = self.get_slice_raw(4, what)?;
+        if let Some((map, base)) = &self.source {
+            if let Some(col) = Column::try_mapped(map, base + data_pos, len) {
+                return Ok(col);
+            }
+        }
+        Ok(Column::from(decode_u32s(bytes)))
+    }
+
+    /// Read a length-prefixed `u64` column as a [`Column`].
+    pub fn get_u64_col(&mut self, what: &str) -> Result<Column<u64>, StoreError> {
+        let (len, bytes, data_pos) = self.get_slice_raw(8, what)?;
+        if let Some((map, base)) = &self.source {
+            if let Some(col) = Column::try_mapped(map, base + data_pos, len) {
+                return Ok(col);
+            }
+        }
+        Ok(Column::from(decode_u64s(bytes)))
+    }
+
+    /// Read a length-prefixed `usize` column (stored as `u64`) as a
+    /// [`Column`]. Mapped only on 64-bit little-endian targets, where
+    /// the wire `u64` and the in-memory `usize` coincide; otherwise
+    /// every value is range-checked into an owned `Vec`.
+    pub fn get_usize_col(&mut self, what: &str) -> Result<Column<usize>, StoreError> {
+        let (len, bytes, data_pos) = self.get_slice_raw(8, what)?;
+        if let Some((map, base)) = &self.source {
+            if let Some(col) = Column::try_mapped(map, base + data_pos, len) {
+                return Ok(col);
+            }
+        }
+        decode_u64s(bytes)
+            .into_iter()
+            .map(|v| to_usize(v, what))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Column::from)
+    }
+}
+
+fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect()
+}
+
+fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        .collect()
 }
 
 fn overflow(what: &str) -> impl FnOnce() -> StoreError + '_ {
@@ -709,10 +963,10 @@ mod tests {
         let infos = r.sections();
         assert_eq!(infos.len(), 2);
         drop(r);
-        // The first payload byte lives after: 16-byte header + 20-byte
-        // section header.
+        // The first payload byte lives after: 16-byte header + 24-byte
+        // v2 section header.
         let mut corrupted = bytes.clone();
-        corrupted[16 + 20] ^= 0x01;
+        corrupted[16 + 24] ^= 0x01;
         assert_eq!(
             SnapshotReader::parse(&corrupted).unwrap_err(),
             StoreError::ChecksumMismatch {
@@ -760,6 +1014,158 @@ mod tests {
             SnapshotReader::parse(&bytes).unwrap_err(),
             StoreError::Truncated { .. }
         ));
+    }
+
+    /// Hand-assemble a v1 (unaligned, 20-byte section headers) container
+    /// holding one section with a `u32` column and a trailing `u64`.
+    fn v1_snapshot() -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u64.to_le_bytes()); // column length
+        for v in [7u32, 8, 9] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.extend_from_slice(&42u64.to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // container version 1
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one section
+        bytes.extend_from_slice(&section::GRAPH.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    #[test]
+    fn v1_containers_still_load_via_the_owned_path() {
+        let bytes = v1_snapshot();
+        let r = SnapshotReader::parse(&bytes).expect("v1 parses");
+        assert_eq!(r.version(), 1);
+        let mut c = r.require(section::GRAPH).expect("graph section");
+        // v1 cursors are unaligned: no padding skip before the column.
+        assert_eq!(c.get_u32_vec("col").expect("column"), vec![7, 8, 9]);
+        assert_eq!(c.get_u64("tail").expect("tail"), 42);
+        assert_eq!(c.remaining(), 0);
+        // The mapped loader reads v1 too — it just never borrows.
+        let m = MappedSnapshot::from_mapping(SnapshotMapping::from_bytes(bytes), VerifyMode::Eager)
+            .expect("v1 maps");
+        assert_eq!(m.version(), 1);
+        assert!(!m.zero_copy_eligible());
+        let mut c = SectionSource::require(&m, section::GRAPH).expect("graph section");
+        let col = c.get_u32_col("col").expect("column");
+        assert!(!col.is_mapped());
+        assert_eq!(&col[..], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn v2_payloads_and_columns_start_on_8_byte_offsets() {
+        let bytes = sample_snapshot();
+        let r = SnapshotReader::parse(&bytes).expect("parse");
+        assert_eq!(r.version(), CONTAINER_VERSION);
+        for info in r.sections() {
+            assert!(info.aligned(), "section {} at {}", info.name, info.offset);
+            assert_eq!((info.len + info.padding) % 8, 0);
+        }
+        // Total size accounts for headers + padded payloads exactly.
+        let expect: usize = 16
+            + r.sections()
+                .iter()
+                .map(|s| 24 + s.len + s.padding)
+                .sum::<usize>();
+        assert_eq!(bytes.len(), expect);
+    }
+
+    #[test]
+    fn mapped_and_owned_reads_agree_and_mapped_columns_borrow() {
+        let dir = std::env::temp_dir().join("rmsa_store_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("mapped-{}.rmsnap", std::process::id()));
+        let mut w = SnapshotWriter::new();
+        let s = w.section(section::GRAPH);
+        s.put_u8(1); // deliberately misalign the write position first
+        s.put_u32_slice(&[10, 20, 30, 40, 50]);
+        s.put_usize_slice(&[6, 7]);
+        s.put_u64_slice(&[u64::MAX, 0]);
+        w.write_to(&path).expect("write");
+
+        let m = MappedSnapshot::open(&path, VerifyMode::Lazy).expect("open");
+        assert_eq!(m.version(), CONTAINER_VERSION);
+        m.verify_all().expect("checksums");
+        let mut c = SectionSource::require(&m, section::GRAPH).expect("section");
+        assert_eq!(c.get_u8("pad").expect("u8"), 1);
+        let a = c.get_u32_col("a").expect("a");
+        let b = c.get_usize_col("b").expect("b");
+        let d = c.get_u64_col("d").expect("d");
+        assert_eq!(&a[..], &[10, 20, 30, 40, 50]);
+        assert_eq!(&b[..], &[6, 7]);
+        assert_eq!(&d[..], &[u64::MAX, 0]);
+        if m.is_mapped() && ZERO_COPY_TARGET {
+            assert!(a.is_mapped() && b.is_mapped() && d.is_mapped());
+            assert_eq!(a.resident_bytes(), 0);
+            assert_eq!(a.mapped_bytes(), 20);
+        }
+
+        // The owned path reads the identical values.
+        let bytes = read_file(&path).expect("read");
+        let r = SnapshotReader::parse(&bytes).expect("parse");
+        let mut c = r.require(section::GRAPH).expect("section");
+        assert_eq!(c.get_u8("pad").expect("u8"), 1);
+        assert_eq!(c.get_u32_vec("a").expect("a"), &a[..]);
+        assert_eq!(c.get_usize_vec("b").expect("b"), &b[..]);
+        assert_eq!(c.get_u64_vec("d").expect("d"), &d[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_mapped_parse_defers_checksums_until_verify() {
+        let mut bytes = sample_snapshot();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80; // corrupt the GRAPH payload
+                             // Eager readers reject immediately…
+        assert_eq!(
+            SnapshotReader::parse(&bytes).unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: section::GRAPH
+            }
+        );
+        // …the lazy mapped parse only walks the table…
+        let m = MappedSnapshot::from_mapping(
+            SnapshotMapping::from_bytes(bytes.clone()),
+            VerifyMode::Lazy,
+        )
+        .expect("lazy parse succeeds");
+        assert_eq!(m.sections().len(), 2);
+        m.verify_section(section::META).expect("meta is intact");
+        // …and verification surfaces the damage on demand.
+        assert_eq!(
+            m.verify_all().unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: section::GRAPH
+            }
+        );
+        assert_eq!(
+            MappedSnapshot::from_mapping(SnapshotMapping::from_bytes(bytes), VerifyMode::Eager)
+                .unwrap_err(),
+            StoreError::ChecksumMismatch {
+                section: section::GRAPH
+            }
+        );
+    }
+
+    #[test]
+    fn bad_padding_bytes_truncate_instead_of_shifting_sections() {
+        // Strip the padding from the first section of a two-section v2
+        // file: every later offset shifts, so the walk must end in a
+        // typed error (truncation or checksum), never a mis-read.
+        let bytes = sample_snapshot();
+        let r = SnapshotReader::parse(&bytes).expect("parse");
+        let first = &r.sections()[0];
+        assert!(first.padding > 0, "fixture needs a padded first section");
+        let cut_at = first.offset + first.len;
+        let mut stripped = bytes[..cut_at].to_vec();
+        stripped.extend_from_slice(&bytes[cut_at + first.padding..]);
+        drop(r);
+        assert!(SnapshotReader::parse(&stripped).is_err());
     }
 
     #[test]

@@ -1,0 +1,718 @@
+//! # Zero-copy snapshot mappings and the owned-vs-mapped column
+//!
+//! The v2 `RMSASNAP` container keeps every section payload — and every
+//! slice inside a payload — 8-byte aligned (see the crate root for the
+//! layout). That makes the packed little-endian column encodings
+//! bit-identical to the in-memory representation on 64-bit
+//! little-endian targets, so a multi-gigabyte snapshot can be *mapped*
+//! instead of decoded:
+//!
+//! * [`SnapshotMapping`] — a read-only, page-aligned view of a snapshot
+//!   file, backed by a hand-rolled `mmap` syscall wrapper on Linux
+//!   (x86_64 / aarch64) and by a plain owned read everywhere else.
+//! * [`MappedSnapshot`] — the container parsed *over* a mapping: the
+//!   section table is walked eagerly (it is tiny) but payload checksums
+//!   are verified lazily via [`MappedSnapshot::verify_all`], so opening
+//!   a snapshot costs microseconds regardless of arena size.
+//! * [`Column`] — the `Cow`-style owned-vs-mapped column the codecs in
+//!   `rmsa_graph` and `rmsa_diffusion` store instead of `Vec<T>`. A
+//!   mapped column borrows the file pages (zero heap); the first
+//!   mutation promotes it to an owned `Vec` via [`Column::to_mut`].
+//!
+//! Mapped columns are only ever constructed by the crate's [`Cursor`]
+//! readers, which check bounds and pointer alignment first and fall
+//! back to an owned decode when either fails (v1 files, odd platforms,
+//! hostile inputs). Everything `unsafe` lives in this module.
+//!
+//! [`Cursor`]: crate::Cursor
+
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::{checksum, parse_container, RawSection, SectionInfo, SectionSource, StoreError};
+
+/// True on targets where the wire encoding (packed little-endian,
+/// 8-byte aligned) matches the in-memory layout of the primitive
+/// column types, i.e. where mapped columns are possible at all.
+pub const ZERO_COPY_TARGET: bool = cfg!(all(target_endian = "little", target_pointer_width = "64"));
+
+// ---------------------------------------------------------------------------
+// Raw mmap syscalls (Linux x86_64 / aarch64 only, no libc dependency)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: u64 = 1;
+    const MAP_PRIVATE: u64 = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: u64 = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: u64 = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: u64 = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: u64 = 215;
+
+    /// Invoke a raw 6-argument Linux syscall. Returns the kernel's raw
+    /// result; values in `-4095..0` encode `-errno`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass a syscall number and arguments whose
+    /// semantics are memory-safe for this process (here: `mmap` of a
+    /// readable file and `munmap` of a region we mapped ourselves).
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: declaration only — the caller contract is documented above.
+    unsafe fn syscall6(nr: u64, a0: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: `syscall` with the Linux x86_64 ABI — args in
+        // rdi/rsi/rdx/r10/r8/r9, number in rax, result in rax; the
+        // kernel clobbers rcx/r11 and the flags, all declared below.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a0,
+                in("rsi") a1,
+                in("rdx") a2,
+                in("r10") a3,
+                in("r8") a4,
+                in("r9") a5,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Invoke a raw 6-argument Linux syscall (aarch64 ABI).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as the x86_64 variant: arguments must describe a
+    /// memory-safe operation for this process.
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: declaration only — the caller contract is documented above.
+    unsafe fn syscall6(nr: u64, a0: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: `svc 0` with the Linux aarch64 ABI — args in x0..x5,
+        // number in x8, result in x0.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                inlateout("x0") a0 => ret,
+                in("x1") a1,
+                in("x2") a2,
+                in("x3") a3,
+                in("x4") a4,
+                in("x5") a5,
+                in("x8") nr,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Map `len` bytes of `file` read-only and private. Returns the
+    /// mapping's base address, or `None` if the kernel refused (the
+    /// caller falls back to an owned read).
+    pub(super) fn map_readonly(file: &std::fs::File, len: usize) -> Option<*const u8> {
+        if len == 0 {
+            return None;
+        }
+        let fd = file.as_raw_fd();
+        if fd < 0 {
+            return None;
+        }
+        // SAFETY: mmap of a freshly opened, readable file with
+        // addr=0 (kernel chooses), PROT_READ and MAP_PRIVATE cannot
+        // violate memory safety; the result is validated below.
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as u64,
+                PROT_READ,
+                MAP_PRIVATE,
+                fd as u64,
+                0,
+            )
+        };
+        if (-4095..0).contains(&ret) {
+            return None;
+        }
+        let addr = usize::try_from(ret).ok()?;
+        Some(addr as *const u8)
+    }
+
+    /// Unmap a region previously returned by [`map_readonly`]. Errors
+    /// are ignored — the region is gone either way at process exit.
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must be exactly the base and length of a live
+    /// mapping created by [`map_readonly`], and no reference into the
+    /// mapping may outlive this call.
+    // SAFETY: declaration only — the caller contract is documented above.
+    pub(super) unsafe fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: forwarded contract — munmap of our own mapping.
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as u64, len as u64, 0, 0, 0, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotMapping
+// ---------------------------------------------------------------------------
+
+enum Backing {
+    /// Plain heap bytes: the portable fallback and the in-memory path.
+    Owned(Vec<u8>),
+    /// A live read-only `mmap` region owned by this value.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped { ptr: *const u8, len: usize },
+}
+
+/// A read-only byte view of a snapshot, `mmap`-backed where the
+/// platform allows and heap-backed otherwise. Dereferences to `[u8]`;
+/// [`Column`]s borrow from it via an `Arc` so the mapping outlives
+/// every borrower.
+pub struct SnapshotMapping {
+    backing: Backing,
+}
+
+// SAFETY: the mapped region is PROT_READ/MAP_PRIVATE — it is never
+// written through this process and the kernel keeps it valid until
+// `munmap` in `Drop`, so sharing `&SnapshotMapping` (or moving the
+// owner) across threads cannot race.
+unsafe impl Send for SnapshotMapping {}
+// SAFETY: see the `Send` justification — the region is immutable.
+unsafe impl Sync for SnapshotMapping {}
+
+impl SnapshotMapping {
+    /// Map `path` read-only. Falls back to an owned read when the
+    /// platform has no mmap wrapper or the kernel refuses the mapping,
+    /// so this never fails for a readable file.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            if let Ok(file) = std::fs::File::open(path) {
+                let len = file
+                    .metadata()
+                    .ok()
+                    .and_then(|m| usize::try_from(m.len()).ok());
+                if let Some(len) = len {
+                    if let Some(ptr) = sys::map_readonly(&file, len) {
+                        return Ok(SnapshotMapping {
+                            backing: Backing::Mapped { ptr, len },
+                        });
+                    }
+                }
+            }
+        }
+        crate::read_file(path).map(Self::from_bytes)
+    }
+
+    /// Wrap already-loaded bytes (tests, unsupported platforms, and
+    /// the network path). Columns over an owned backing still work —
+    /// they are simply never zero-copy unless the allocation happens
+    /// to be aligned.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SnapshotMapping {
+            backing: Backing::Owned(bytes),
+        }
+    }
+
+    /// True when the bytes live in a kernel mapping rather than on the
+    /// process heap.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Owned(_) => false,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { .. } => true,
+        }
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Owned(v) => v.as_slice(),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: `ptr` is the base of a live PROT_READ mapping
+                // of exactly `len` bytes created in `open`; it stays
+                // valid until `Drop`, which cannot run while `&self`
+                // is borrowed.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for SnapshotMapping {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Drop for SnapshotMapping {
+    fn drop(&mut self) {
+        match &self.backing {
+            Backing::Owned(_) => {}
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: dropping the sole owner — no outstanding
+                // borrows of the region exist, and (`ptr`, `len`) is
+                // exactly what `map_readonly` returned.
+                unsafe { sys::unmap(*ptr, *len) };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SnapshotMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotMapping")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column<T> — the Cow-style owned-vs-mapped column
+// ---------------------------------------------------------------------------
+
+/// The borrowed half of a [`Column`]: an aligned, bounds-checked window
+/// of a mapping. Only constructed via [`Column::try_mapped`].
+struct MappedCol<T: Copy + 'static> {
+    map: Arc<SnapshotMapping>,
+    /// Byte offset of the first element from the mapping base.
+    offset: usize,
+    /// Element count.
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Copy + 'static> MappedCol<T> {
+    fn as_slice(&self) -> &[T] {
+        // SAFETY: `Column::try_mapped` verified that `offset..offset +
+        // len * size_of::<T>()` lies inside the mapping and that the
+        // concrete address is aligned for `T`; `T` is a plain-old-data
+        // numeric type whose wire encoding (packed little-endian)
+        // equals its in-memory layout on `ZERO_COPY_TARGET` platforms,
+        // every bit pattern is a valid `T`, and the `Arc` field keeps
+        // the mapping alive for the lifetime of the borrow.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_bytes().as_ptr().add(self.offset).cast::<T>(),
+                self.len,
+            )
+        }
+    }
+}
+
+impl<T: Copy + 'static> Clone for MappedCol<T> {
+    fn clone(&self) -> Self {
+        MappedCol {
+            map: Arc::clone(&self.map),
+            offset: self.offset,
+            len: self.len,
+            _elem: PhantomData,
+        }
+    }
+}
+
+/// A numeric column that is either an owned `Vec<T>` or a borrowed,
+/// properly aligned window of a [`SnapshotMapping`]. Dereferences to
+/// `&[T]` either way; mutation goes through [`Column::to_mut`], which
+/// promotes a mapped column to owned first (copy-on-write).
+///
+/// Mapped columns can only be built by this crate's snapshot cursors,
+/// which verify bounds, element-type alignment of the concrete mapped
+/// address, and platform eligibility ([`ZERO_COPY_TARGET`]) before
+/// handing out a view.
+pub struct Column<T: Copy + 'static> {
+    /// The owned elements; empty and unused while `mapped` is `Some`.
+    owned: Vec<T>,
+    mapped: Option<MappedCol<T>>,
+}
+
+impl<T: Copy + 'static> Column<T> {
+    /// An empty owned column.
+    pub fn new() -> Self {
+        Column {
+            owned: Vec::new(),
+            mapped: None,
+        }
+    }
+
+    /// Build a mapped column over `len` elements starting `offset`
+    /// bytes into `map`, or `None` when the window is out of bounds or
+    /// the concrete address is not aligned for `T` (callers then fall
+    /// back to an owned decode).
+    pub(crate) fn try_mapped(
+        map: &Arc<SnapshotMapping>,
+        offset: usize,
+        len: usize,
+    ) -> Option<Self> {
+        if !ZERO_COPY_TARGET {
+            return None;
+        }
+        let nbytes = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = offset.checked_add(nbytes)?;
+        if end > map.len() {
+            return None;
+        }
+        let addr = map.as_bytes().as_ptr() as u64;
+        let elem_align = std::mem::align_of::<T>() as u64;
+        if !(addr + offset as u64).is_multiple_of(elem_align) {
+            return None;
+        }
+        Some(Column {
+            owned: Vec::new(),
+            mapped: Some(MappedCol {
+                map: Arc::clone(map),
+                offset,
+                len,
+                _elem: PhantomData,
+            }),
+        })
+    }
+
+    /// The column as a slice (zero-cost for both representations).
+    pub fn as_slice(&self) -> &[T] {
+        match &self.mapped {
+            Some(m) => m.as_slice(),
+            None => self.owned.as_slice(),
+        }
+    }
+
+    /// Mutable access, promoting a mapped column to an owned `Vec`
+    /// first (the copy-on-write step).
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let Some(m) = self.mapped.take() {
+            self.owned = m.as_slice().to_vec();
+        }
+        &mut self.owned
+    }
+
+    /// True when the elements are borrowed from a mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped.is_some()
+    }
+
+    /// Heap bytes owned by this column (0 when mapped).
+    pub fn resident_bytes(&self) -> usize {
+        self.owned.capacity() * std::mem::size_of::<T>()
+    }
+
+    /// File-backed bytes borrowed by this column (0 when owned).
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.mapped {
+            Some(m) => m.len * std::mem::size_of::<T>(),
+            None => 0,
+        }
+    }
+
+    /// Append one element (promotes to owned).
+    pub fn push(&mut self, value: T) {
+        self.to_mut().push(value);
+    }
+
+    /// Append a slice (promotes to owned).
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.to_mut().extend_from_slice(values);
+    }
+
+    /// Consume the column into an owned `Vec`.
+    pub fn into_vec(mut self) -> Vec<T> {
+        self.to_mut();
+        self.owned
+    }
+}
+
+impl<T: Copy + 'static> From<Vec<T>> for Column<T> {
+    fn from(v: Vec<T>) -> Self {
+        Column {
+            owned: v,
+            mapped: None,
+        }
+    }
+}
+
+impl<T: Copy + 'static> Default for Column<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + 'static> std::ops::Deref for Column<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + 'static> Clone for Column<T> {
+    fn clone(&self) -> Self {
+        Column {
+            owned: self.owned.clone(),
+            mapped: self.mapped.clone(),
+        }
+    }
+}
+
+impl<T: Copy + 'static + std::fmt::Debug> std::fmt::Debug for Column<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+impl<T: Copy + 'static + PartialEq> PartialEq for Column<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + 'static + Eq> Eq for Column<T> {}
+
+impl<T: Copy + 'static> FromIterator<T> for Column<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Column {
+            owned: iter.into_iter().collect(),
+            mapped: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MappedSnapshot
+// ---------------------------------------------------------------------------
+
+/// Checksum policy for [`MappedSnapshot`] parsing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Verify every section checksum up front (reads the whole file —
+    /// the behaviour of [`SnapshotReader::parse`]).
+    ///
+    /// [`SnapshotReader::parse`]: crate::SnapshotReader::parse
+    Eager,
+    /// Only walk the section table; checksums are checked on demand
+    /// via [`MappedSnapshot::verify_all`]. This is what makes opening
+    /// a multi-GB snapshot O(sections) instead of O(bytes).
+    Lazy,
+}
+
+/// A parsed `RMSASNAP` container over a [`SnapshotMapping`]: the
+/// zero-copy analogue of [`SnapshotReader`]. Cursors handed out by
+/// [`SectionSource`] methods carry a reference to the mapping, so
+/// column reads can borrow the file pages directly (v2 containers on
+/// [`ZERO_COPY_TARGET`] platforms) instead of decoding.
+///
+/// [`SnapshotReader`]: crate::SnapshotReader
+pub struct MappedSnapshot {
+    map: Arc<SnapshotMapping>,
+    version: u32,
+    sections: Vec<RawSection>,
+}
+
+impl MappedSnapshot {
+    /// Map and parse the container at `path`.
+    pub fn open(path: &Path, verify: VerifyMode) -> Result<Self, StoreError> {
+        Self::from_mapping(SnapshotMapping::open(path)?, verify)
+    }
+
+    /// Parse a container over an existing mapping.
+    pub fn from_mapping(map: SnapshotMapping, verify: VerifyMode) -> Result<Self, StoreError> {
+        let (version, sections) = parse_container(&map)?;
+        let snap = MappedSnapshot {
+            map: Arc::new(map),
+            version,
+            sections,
+        };
+        if verify == VerifyMode::Eager {
+            snap.verify_all()?;
+        }
+        Ok(snap)
+    }
+
+    /// The container version of the underlying file (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the bytes are kernel-mapped rather than heap-owned.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// True when column reads from this container can borrow the
+    /// mapping: requires the aligned v2 layout *and* a little-endian
+    /// 64-bit target.
+    pub fn zero_copy_eligible(&self) -> bool {
+        self.version >= crate::CONTAINER_VERSION && ZERO_COPY_TARGET
+    }
+
+    /// Per-section metadata in file order.
+    pub fn sections(&self) -> Vec<SectionInfo> {
+        self.sections.iter().map(|s| s.info(self.version)).collect()
+    }
+
+    /// Verify the checksum of every section with id `id`.
+    pub fn verify_section(&self, id: u32) -> Result<(), StoreError> {
+        for s in self.sections.iter().filter(|s| s.id == id) {
+            self.verify_one(s)?;
+        }
+        Ok(())
+    }
+
+    /// Verify every section checksum (the eager `--verify` path).
+    pub fn verify_all(&self) -> Result<(), StoreError> {
+        for s in &self.sections {
+            self.verify_one(s)?;
+        }
+        Ok(())
+    }
+
+    fn verify_one(&self, s: &RawSection) -> Result<(), StoreError> {
+        let payload = &self.map[s.offset..s.offset + s.len];
+        if checksum(payload) != s.checksum {
+            return Err(StoreError::ChecksumMismatch { section: s.id });
+        }
+        Ok(())
+    }
+
+    fn cursor_for(&self, s: &RawSection) -> crate::Cursor<'_> {
+        // Only v2 payloads guarantee the alignment invariant; v1 files
+        // always decode owned, even when an offset happens to align.
+        let aligned = self.version >= crate::CONTAINER_VERSION;
+        let source = aligned.then(|| (Arc::clone(&self.map), s.offset));
+        crate::Cursor::with_source(&self.map[s.offset..s.offset + s.len], aligned, source)
+    }
+}
+
+impl SectionSource for MappedSnapshot {
+    fn section(&self, id: u32) -> Option<crate::Cursor<'_>> {
+        self.sections
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| self.cursor_for(s))
+    }
+
+    fn sections_in_range(&self, lo: u32, hi: u32) -> Vec<(u32, crate::Cursor<'_>)> {
+        self.sections
+            .iter()
+            .filter(|s| s.id >= lo && s.id < hi)
+            .map(|s| (s.id, self.cursor_for(s)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for MappedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedSnapshot")
+            .field("version", &self.version)
+            .field("sections", &self.sections.len())
+            .field("file_bytes", &self.file_bytes())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_columns_report_zero_mapped_bytes() {
+        let col: Column<u32> = vec![1, 2, 3].into();
+        assert!(!col.is_mapped());
+        assert_eq!(col.mapped_bytes(), 0);
+        assert!(col.resident_bytes() >= 12);
+        assert_eq!(&col[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn misaligned_or_out_of_bounds_windows_are_rejected() {
+        let map = Arc::new(SnapshotMapping::from_bytes(vec![0u8; 64]));
+        // Out of bounds: 16 u32s starting at byte 8 needs 72 bytes.
+        assert!(Column::<u32>::try_mapped(&map, 8, 16).is_none());
+        // Misaligned for u64 unless the (8-aligned) allocation start
+        // plus 4 is — i.e. never.
+        let base = map.as_ptr() as usize;
+        if base.is_multiple_of(8) {
+            assert!(Column::<u64>::try_mapped(&map, 4, 2).is_none());
+        }
+        // Overflowing length never panics.
+        assert!(Column::<u64>::try_mapped(&map, 0, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn to_mut_promotes_mapped_columns_to_owned() {
+        let bytes: Vec<u8> = (0u32..8).flat_map(|v| v.to_le_bytes()).collect();
+        let map = Arc::new(SnapshotMapping::from_bytes(bytes));
+        let base = map.as_ptr() as usize;
+        if !base.is_multiple_of(4) || !ZERO_COPY_TARGET {
+            return; // allocation landed unaligned; nothing to test
+        }
+        let mut col = Column::<u32>::try_mapped(&map, 0, 8).expect("aligned window");
+        assert!(col.is_mapped());
+        assert_eq!(col.resident_bytes(), 0);
+        assert_eq!(col.mapped_bytes(), 32);
+        assert_eq!(&col[..], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        col.to_mut()[0] = 99;
+        assert!(!col.is_mapped());
+        assert_eq!(col.mapped_bytes(), 0);
+        assert_eq!(&col[..], &[99, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn mapping_open_falls_back_or_maps_but_always_reads() {
+        let dir = std::env::temp_dir().join(format!("rmsa-map-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("probe.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 13).collect();
+        std::fs::write(&path, &payload).expect("write");
+        let map = SnapshotMapping::open(&path).expect("open");
+        assert_eq!(&map[..], payload.as_slice());
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert!(map.is_mapped(), "expected the kernel mmap path on linux");
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+}
