@@ -11,11 +11,13 @@
 //!   emit only the `BENCH_*.json` trajectory reports;
 //! * `rmsa compare old.json new.json --tolerance 10%` — exit non-zero
 //!   when the new report regresses wall-clock or revenue bounds;
-//! * `rmsa serve` — the long-running solving daemon (warm session pool,
-//!   request batching) speaking newline-delimited JSON over TCP;
+//! * `rmsa serve` — the long-running solving daemon (epoll event loop,
+//!   pipelined connections, warm session pool, request batching)
+//!   speaking newline-delimited JSON over TCP;
 //! * `rmsa query` — one-shot client for the daemon;
-//! * `rmsa loadgen` — closed-loop load generator emitting
-//!   `BENCH_service.json` for the compare gate.
+//! * `rmsa loadgen` — closed-loop or open-loop load generator emitting
+//!   `BENCH_service.json` / `BENCH_service_open.json` for the compare
+//!   gate.
 //!
 //! Environment: `RMSA_SCALE`, `RMSA_SEED`, `RMSA_THREADS`, `RMSA_EVAL_RR`
 //! seed the base context (CLI flags override), `RMSA_JOBS` caps job-level
@@ -42,15 +44,17 @@ USAGE:
     rmsa compare <old.json> <new.json> [--tolerance P%] [--time-tolerance P%]
                  [--min-time-secs S]
     rmsa serve [--addr HOST:PORT] [--workers N] [--max-sessions K] [--quick]
-               [--seed N] [--scale X] [--threads N] [--warm-rr N]
-               [--eval-rr N] [--port-file PATH] [--snapshot-dir DIR]
-               [--verify-snapshots]
+               [--max-inflight N] [--no-memo] [--seed N] [--scale X]
+               [--threads N] [--warm-rr N] [--eval-rr N] [--port-file PATH]
+               [--snapshot-dir DIR] [--verify-snapshots]
     rmsa query [solve|warm|stats|ping|shutdown] [--addr HOST:PORT]
                [--dataset D] [--strategy standard|subsim]
                [--algorithm rma|one-batch|ti-carm|ti-csrm] [--incentive I]
                [--alpha X] [--no-evaluate] [--target-rr N] [--id N]
-    rmsa loadgen [--addr HOST:PORT] [--quick] [--clients C] [--requests N]
-                 [--seed N] [--out-dir DIR] [--dump PATH] [--shutdown]
+    rmsa loadgen [--addr HOST:PORT] [--quick] [--mode closed|open]
+                 [--clients C] [--rate HZ] [--requests N] [--seed N]
+                 [--out-dir DIR] [--dump PATH] [--min-throughput X]
+                 [--shutdown]
     rmsa snapshot make [--dir DIR] [--dataset D] [--strategy S] [--quick]
                  [--seed N] [--scale X] [--threads N] [--warm-rr N]
                  [--eval-rr N]
@@ -74,11 +78,20 @@ OPTIONS (run/sweep/bench):
 
 serve answers newline-delimited JSON requests over TCP from a warm
 session pool (one RR-set cache per dataset/strategy fingerprint, LRU
-bound --max-sessions, batch admission). query sends one request and
-prints the response. loadgen drives a daemon closed-loop with a seeded
-request mix and writes BENCH_service.json for the compare gate; for a
-fixed seed its canonical response bytes are identical for any worker
-count (--dump writes them).
+bound --max-sessions, batch admission). Connections are served by a
+single epoll event loop (a portable readiness scan off Linux) and are
+fully pipelined: up to --max-inflight requests may be outstanding per
+connection, answered in request order, and a stalled reader never
+blocks a solver. The wire protocol is versioned — v2 envelopes carry
+typed error codes, v1 requests are still answered in v1 shape. query
+sends one request and prints the response. loadgen drives a daemon
+either closed-loop (--clients concurrent send-wait clients, the
+default) or open-loop (--mode open --rate HZ: arrivals on a fixed
+seeded schedule over pipelined connections, latency measured from the
+intended send time) and writes BENCH_service.json /
+BENCH_service_open.json for the compare gate; --min-throughput X fails
+the run below X req/s. For a fixed seed the canonical response bytes
+are identical for any worker count (--dump writes them).
 
 compare exits 0 when the new report is within tolerance of the old one,
 1 on regression, 2 on usage or IO errors. Every failure line names the

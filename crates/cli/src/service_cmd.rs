@@ -1,9 +1,14 @@
 //! The serving subcommands of `rmsa`: `serve`, `query`, and `loadgen`.
+//!
+//! Parsing here is a thin mapping from flags onto the validating
+//! builders in `rmsa-service` ([`ServerConfig::builder`],
+//! [`LoadgenPlan::builder`]); range checks live in the builders, not in
+//! the flag loop.
 
 use rmsa_bench::ExperimentContext;
-use rmsa_service::loadgen::{self, LoadMix, LoadgenConfig};
+use rmsa_service::loadgen::{self, LoadMix, LoadgenPlan, Mode};
 use rmsa_service::wire::{self, Algorithm, Request, Response, SolveRequest, WarmRequest};
-use rmsa_service::{server, ServiceClient, ServiceConfig};
+use rmsa_service::{server, ServerConfig, ServiceClient};
 use std::path::PathBuf;
 
 /// Default address of `serve` / `query` / `loadgen`.
@@ -43,7 +48,7 @@ impl<'a> ArgReader<'a> {
 /// smoke-scale profile under `--quick`, explicit flags on top.
 struct ServeOptions {
     addr: String,
-    config: ServiceConfig,
+    config: ServerConfig,
     port_file: Option<PathBuf>,
 }
 
@@ -52,7 +57,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut quick = rmsa_bench::runner::env_flag("RMSA_BENCH_QUICK");
     let mut addr = DEFAULT_ADDR.to_string();
     let mut workers = None;
-    let mut max_sessions = 4usize;
+    let mut max_sessions = None;
+    let mut max_inflight = None;
+    let mut memoize = true;
     let mut port_file = None;
     let mut seed = None;
     let mut scale = None;
@@ -67,7 +74,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
             "--quick" => quick = true,
             "--addr" => addr = reader.value("--addr")?.to_string(),
             "--workers" => workers = Some(reader.parsed::<usize>("--workers")?),
-            "--max-sessions" => max_sessions = reader.parsed::<usize>("--max-sessions")?,
+            "--max-sessions" => max_sessions = Some(reader.parsed::<usize>("--max-sessions")?),
+            "--max-inflight" => max_inflight = Some(reader.parsed::<usize>("--max-inflight")?),
+            "--no-memo" => memoize = false,
             "--port-file" => port_file = Some(PathBuf::from(reader.value("--port-file")?)),
             "--seed" => seed = Some(reader.parsed::<u64>("--seed")?),
             "--scale" => scale = Some(reader.parsed::<f64>("--scale")?),
@@ -101,13 +110,20 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     if let Some(eval_rr) = eval_rr {
         ctx.eval_rr = eval_rr;
     }
-    let mut config = ServiceConfig::new(ctx);
+    let mut builder = ServerConfig::builder(ctx)
+        .memoize(memoize)
+        .snapshot_dir(snapshot_dir)
+        .verify_snapshots(verify_snapshots);
     if let Some(workers) = workers {
-        config.workers = workers.max(1);
+        builder = builder.workers(workers);
     }
-    config.max_sessions = max_sessions.max(1);
-    config.snapshot_dir = snapshot_dir;
-    config.verify_snapshots = verify_snapshots;
+    if let Some(max_sessions) = max_sessions {
+        builder = builder.max_sessions(max_sessions);
+    }
+    if let Some(max_inflight) = max_inflight {
+        builder = builder.max_inflight(max_inflight);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
     Ok(ServeOptions {
         addr,
         config,
@@ -118,9 +134,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
 /// `rmsa serve`: run the daemon until a `shutdown` request arrives.
 pub fn serve_command(args: &[String]) -> Result<(), String> {
     let options = parse_serve(args)?;
-    let workers = options.config.workers;
-    let sessions = options.config.max_sessions;
-    let seed = options.config.ctx.seed;
+    let workers = options.config.workers();
+    let sessions = options.config.max_sessions();
+    let seed = options.config.ctx().seed;
     let handle = server::start(&options.addr, options.config)
         .map_err(|e| format!("bind {}: {e}", options.addr))?;
     let addr = handle.local_addr();
@@ -199,52 +215,72 @@ pub fn query_command(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `rmsa loadgen`: closed-loop load against a running daemon, reported as
-/// `BENCH_service.json`.
+/// `rmsa loadgen`: closed-loop or open-loop load against a running
+/// daemon, reported as `BENCH_service.json` / `BENCH_service_open.json`.
 pub fn loadgen_command(args: &[String]) -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut quick = rmsa_bench::runner::env_flag("RMSA_BENCH_QUICK");
+    let mut mode_name = "closed".to_string();
     let mut clients = None;
+    let mut rate_hz = None;
     let mut requests = None;
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from(".");
     let mut dump = None;
     let mut shutdown = false;
+    let mut min_throughput = None;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
         match arg.as_str() {
             "--addr" => addr = reader.value("--addr")?.to_string(),
             "--quick" => quick = true,
+            "--mode" => mode_name = reader.value("--mode")?.to_string(),
             "--clients" => clients = Some(reader.parsed::<usize>("--clients")?),
+            "--rate" => rate_hz = Some(reader.parsed::<f64>("--rate")?),
             "--requests" => requests = Some(reader.parsed::<usize>("--requests")?),
             "--seed" => seed = reader.parsed::<u64>("--seed")?,
             "--out-dir" => out_dir = PathBuf::from(reader.value("--out-dir")?),
             "--dump" => dump = Some(PathBuf::from(reader.value("--dump")?)),
             "--shutdown" => shutdown = true,
+            "--min-throughput" => min_throughput = Some(reader.parsed::<f64>("--min-throughput")?),
             other => return Err(format!("unknown loadgen option {other:?}")),
         }
     }
-    let mut config = if quick {
-        LoadgenConfig::quick(seed)
-    } else {
-        LoadgenConfig {
-            clients: 8,
-            requests_per_client: 16,
-            seed,
-            mix: LoadMix::full(),
-        }
+    let mode = match mode_name.as_str() {
+        "closed" => Mode::ClosedLoop {
+            clients: clients.unwrap_or(if quick { 4 } else { 8 }),
+        },
+        "open" => Mode::OpenLoop {
+            rate_hz: rate_hz.unwrap_or(200.0),
+        },
+        other => return Err(format!("unknown loadgen mode {other:?} (closed|open)")),
     };
-    if let Some(clients) = clients {
-        config.clients = clients.max(1);
-    }
-    if let Some(requests) = requests {
-        config.requests_per_client = requests.max(1);
-    }
-    let outcome = loadgen::run(&addr, &config)?;
+    let default_requests = match mode {
+        // Per client in closed loop, total in open loop.
+        Mode::ClosedLoop { .. } => {
+            if quick {
+                6
+            } else {
+                16
+            }
+        }
+        Mode::OpenLoop { .. } => 1_000,
+    };
+    let plan = LoadgenPlan::builder(seed)
+        .mode(mode)
+        .requests(requests.unwrap_or(default_requests))
+        .mix(if quick {
+            LoadMix::quick()
+        } else {
+            LoadMix::full()
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    let outcome = loadgen::run(&addr, &plan)?;
     print!("{}", outcome.summary());
-    let report = loadgen::report(&outcome, &config, quick);
+    let report = loadgen::report(&outcome, &plan, quick);
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
-    let json_path = out_dir.join("BENCH_service.json");
+    let json_path = out_dir.join(format!("BENCH_{}.json", report.scenario));
     std::fs::write(&json_path, report.render())
         .map_err(|e| format!("write {}: {e}", json_path.display()))?;
     println!("wrote {}", json_path.display());
@@ -265,6 +301,17 @@ pub fn loadgen_command(args: &[String]) -> Result<(), String> {
             outcome.errors.len(),
             outcome.errors[0]
         ));
+    }
+    // Checked after the report is on disk so a failed gate still leaves
+    // the numbers around for diagnosis.
+    if let Some(floor) = min_throughput {
+        let achieved = outcome.throughput();
+        if achieved < floor {
+            return Err(format!(
+                "throughput gate failed: {achieved:.1} req/s < required {floor:.1} req/s"
+            ));
+        }
+        println!("throughput gate passed: {achieved:.1} req/s >= {floor:.1} req/s");
     }
     Ok(())
 }
@@ -287,16 +334,29 @@ mod tests {
             "2",
             "--max-sessions",
             "3",
+            "--max-inflight",
+            "64",
+            "--no-memo",
             "--seed",
             "42",
         ]))
         .unwrap();
         assert_eq!(options.addr, "127.0.0.1:0");
-        assert_eq!(options.config.workers, 2);
-        assert_eq!(options.config.max_sessions, 3);
-        assert_eq!(options.config.ctx.seed, 42);
-        assert!(options.config.ctx.rma_max_rr <= 10_000, "quick must shrink");
+        assert_eq!(options.config.workers(), 2);
+        assert_eq!(options.config.max_sessions(), 3);
+        assert_eq!(options.config.max_inflight(), 64);
+        assert!(!options.config.memoize());
+        assert_eq!(options.config.ctx().seed, 42);
+        assert!(
+            options.config.ctx().rma_max_rr <= 10_000,
+            "quick must shrink"
+        );
         assert!(parse_serve(&strings(&["--workers"])).is_err());
         assert!(parse_serve(&strings(&["--bogus"])).is_err());
+        // Validation happens in the builder, not the flag loop.
+        match parse_serve(&strings(&["--workers", "0"])) {
+            Err(message) => assert!(message.contains("workers")),
+            Ok(_) => panic!("zero workers must be rejected"),
+        }
     }
 }

@@ -206,6 +206,20 @@ mod tests {
         assert!(mapping.r1 && mapping.r3 && mapping.r4 && !mapping.r2);
         let hist = scope_for("crates/service/src/histogram.rs");
         assert!(hist.r2 && hist.r2_timing_ok);
+        // The event-loop serving path: R1 panic-discipline (service
+        // crate), R3 unsafe-hygiene (raw-syscall poller), R5 lock-scope
+        // — but NOT R2, which is reserved for byte-stable output
+        // modules; readiness polling is inherently timing-dependent.
+        for path in [
+            "crates/service/src/event_loop.rs",
+            "crates/service/src/net.rs",
+        ] {
+            let scope = scope_for(path);
+            assert!(
+                scope.r1 && scope.r3 && scope.r5 && !scope.r2,
+                "{path} must stay under R1/R3/R5 and outside R2"
+            );
+        }
         let facade = scope_for("src/workbench.rs");
         assert!(!facade.r1 && facade.r3 && facade.r5);
     }

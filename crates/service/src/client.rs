@@ -23,16 +23,21 @@ impl ServiceClient {
         Ok(ServiceClient { writer, reader })
     }
 
-    /// Send one request and block for its response. The daemon answers
-    /// every request with exactly one line, in per-connection request
-    /// order for a closed-loop client like this one.
-    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+    /// Send one request without waiting for its response. The daemon
+    /// pipelines: many requests may be in flight on one connection, and
+    /// responses come back in request order — pair with
+    /// [`ServiceClient::recv`].
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
         let mut line = request.render();
         line.push('\n');
         self.writer
             .write_all(line.as_bytes())
             .map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))
+    }
+
+    /// Block for the next response line on this connection.
+    pub fn recv(&mut self) -> Result<Response, String> {
         let mut answer = String::new();
         let n = self
             .reader
@@ -42,5 +47,13 @@ impl ServiceClient {
             return Err("server closed the connection".to_string());
         }
         Response::parse(answer.trim_end())
+    }
+
+    /// Send one request and block for its response. The daemon answers
+    /// every request with exactly one line, in per-connection request
+    /// order for a closed-loop client like this one.
+    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+        self.send(request)?;
+        self.recv()
     }
 }

@@ -1,0 +1,475 @@
+//! The single-threaded readiness event loop behind `rmsa serve`.
+//!
+//! One thread owns the listening socket and every connection. Each
+//! iteration: wait on the [`Poller`], pick up [`Completion`]s workers
+//! pushed through the wake pipe, read whatever sockets are readable,
+//! parse newline-delimited requests, and flush whatever responses are
+//! ready to leave — all non-blocking, so no client can stall the loop
+//! and no solver ever touches a socket.
+//!
+//! **Pipelining ordering invariant.** Every parsed request line gets the
+//! next per-connection sequence number; responses park in an ordered
+//! buffer keyed by that sequence and are appended to the write buffer
+//! strictly in sequence order. Clients may therefore keep hundreds of
+//! requests in flight on one connection and still match responses to
+//! requests positionally — the echoed `id` is a convenience, not a
+//! requirement. Cheap control requests (`ping`, `stats`, `shutdown`) are
+//! answered inline by the loop but travel through the same ordered
+//! buffer, so they never overtake an earlier solve on the same
+//! connection.
+//!
+//! **Backpressure.** A connection pauses reading (its registration is
+//! muted, bytes accumulate in the kernel) while it has `max_inflight`
+//! requests in flight or more than [`WRITE_PAUSE_BYTES`] of unflushed
+//! responses — a slow reader throttles only itself. Solver threads hand
+//! finished responses back as pre-rendered lines via the poller's wake
+//! pipe; they never block on, or even see, a socket.
+//!
+//! **Shutdown drain.** After a `shutdown` request (or
+//! [`crate::ServiceHandle::shutdown`]) the loop stops accepting, refuses
+//! new requests with `shutting-down` errors, serves everything already
+//! admitted, flushes every connection, and exits — or gives up after a
+//! grace period if a dead client never drains its responses.
+
+use crate::lock_unpoisoned;
+use crate::net::{Event, Interest, Poller, WAKE_TOKEN};
+use crate::server::{enqueue, shutting_down_error, Job, JobKind, Reply, Shared};
+use crate::session::SessionKey;
+use crate::wire::{ErrorCode, Request, Response, WireError, WIRE_MIN_SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Token of the listening socket; connection tokens are `slot index + 1`.
+const LISTENER_TOKEN: u64 = 0;
+
+/// Hard cap on one request line; beyond it the connection is answered
+/// with a `bad-request` error and drained no further.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Unflushed-response bytes beyond which a connection stops reading.
+const WRITE_PAUSE_BYTES: usize = 256 << 10;
+
+/// Poller timeout while serving; bounds how stale the shutdown-flag
+/// check can get even if no event ever arrives.
+const IDLE_WAIT_MS: i32 = 500;
+
+/// Poller timeout while draining for shutdown.
+const DRAIN_WAIT_MS: i32 = 20;
+
+/// How long the drain waits for clients to read their last responses
+/// before the daemon exits anyway.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+struct Conn {
+    stream: TcpStream,
+    /// Guards stale completions: a worker's [`Reply`] only routes back
+    /// here if the slot was not reused by a newer connection meanwhile.
+    generation: u64,
+    interest: Interest,
+    /// Unparsed request bytes (no complete line yet, or reading paused).
+    rbuf: Vec<u8>,
+    /// Rendered response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Sequence number the next parsed request line will get.
+    next_seq: u64,
+    /// Sequence number the next flushed response must have.
+    flush_seq: u64,
+    /// Finished responses waiting for their turn in sequence order.
+    done: BTreeMap<u64, String>,
+    /// Requests handed to the admission queue and not yet completed.
+    inflight: usize,
+    eof: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64) -> Conn {
+        Conn {
+            stream,
+            generation,
+            interest: Interest::READ,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            flush_seq: 0,
+            done: BTreeMap::new(),
+            inflight: 0,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// Response bytes queued but not yet written to the socket.
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Park a finished response line at its sequence slot.
+    fn finish(&mut self, seq: u64, line: String) {
+        self.done.insert(seq, line);
+    }
+
+    /// Nothing left to read, serve, or flush.
+    fn drained(&self) -> bool {
+        self.inflight == 0 && self.done.is_empty() && self.pending_write() == 0
+    }
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> i32 {
+    // The scan backend (the only one off unix) never dereferences fds;
+    // it only needs distinct registration slots, which tokens provide.
+    -1
+}
+
+/// Run the loop until shutdown completes. Takes ownership of the
+/// listener and poller; `shared` connects it to the worker pool.
+pub(crate) fn run(listener: TcpListener, mut poller: Poller, shared: &Shared) {
+    let listener_fd = fd_of(&listener);
+    poller.register(listener_fd, LISTENER_TOKEN, Interest::READ);
+    let mut slots: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut generations: u64 = 0;
+    let mut events: Vec<Event> = Vec::new();
+    let mut accepting = true;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        events.clear();
+        let timeout = if drain_deadline.is_some() {
+            DRAIN_WAIT_MS
+        } else {
+            IDLE_WAIT_MS
+        };
+        poller.wait(&mut events, timeout);
+
+        // Route worker completions first so this iteration's write pass
+        // can flush them (and so freed pipeline slots resume reading).
+        deliver_completions(shared, &mut slots);
+
+        for event in &events {
+            match event.token {
+                WAKE_TOKEN => {} // already handled above
+                LISTENER_TOKEN => {
+                    if accepting {
+                        accept_ready(
+                            &listener,
+                            &mut poller,
+                            &mut slots,
+                            &mut free,
+                            &mut generations,
+                        );
+                    }
+                }
+                token => {
+                    let index = (token - 1) as usize;
+                    if let Some(conn) = slots.get_mut(index).and_then(Option::as_mut) {
+                        if event.readable && !conn.dead {
+                            read_ready(shared, conn, token);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Per-connection progress pass: resume paused parsers, move
+        // in-order responses to the write buffer, push bytes, retire
+        // finished or broken connections, refresh registrations.
+        for (index, slot) in slots.iter_mut().enumerate() {
+            let token = index as u64 + 1;
+            let mut close = false;
+            if let Some(conn) = slot.as_mut() {
+                if !conn.dead {
+                    process_lines(shared, conn, token);
+                }
+                advance_writes(conn);
+                close = conn.dead || (conn.eof && conn.drained());
+                if !close {
+                    update_interest(&mut poller, conn, token, shared);
+                }
+            }
+            if close {
+                if let Some(conn) = slot.take() {
+                    poller.deregister(fd_of(&conn.stream));
+                    free.push(index);
+                }
+            }
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            if accepting {
+                accepting = false;
+                poller.deregister(listener_fd);
+                drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            }
+            let queue_empty = lock_unpoisoned(&shared.queue).is_empty();
+            let completions_empty = lock_unpoisoned(&shared.completions).is_empty();
+            let flushed = slots.iter().flatten().all(Conn::drained);
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if (queue_empty && completions_empty && flushed) || expired {
+                break;
+            }
+        }
+    }
+}
+
+/// Accept until `WouldBlock`, registering each connection read-only.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    slots: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    generations: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Responses are whole lines; coalescing them behind Nagle
+                // only adds tail latency.
+                let _ = stream.set_nodelay(true);
+                *generations += 1;
+                let conn = Conn::new(stream, *generations);
+                let index = match free.pop() {
+                    Some(index) => index,
+                    None => {
+                        slots.push(None);
+                        slots.len() - 1
+                    }
+                };
+                poller.register(fd_of(&conn.stream), index as u64 + 1, conn.interest);
+                slots[index] = Some(conn);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Transient accept errors (aborted handshakes, fd pressure):
+            // give up for this readiness event, the next one retries.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Hand every pending worker completion to its connection, unless the
+/// connection died (or its slot was reused) while the job was in flight.
+fn deliver_completions(shared: &Shared, slots: &mut [Option<Conn>]) {
+    let completions = std::mem::take(&mut *lock_unpoisoned(&shared.completions));
+    for completion in completions {
+        let index = (completion.reply.token.max(1) - 1) as usize;
+        if let Some(conn) = slots.get_mut(index).and_then(Option::as_mut) {
+            if conn.generation == completion.reply.generation {
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.finish(completion.reply.seq, completion.line);
+            }
+        }
+    }
+}
+
+/// Drain the socket's read half until `WouldBlock`, EOF, or backpressure.
+fn read_ready(shared: &Shared, conn: &mut Conn, token: u64) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if conn.inflight >= shared.max_inflight || conn.pending_write() >= WRITE_PAUSE_BYTES {
+            break;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                process_lines(shared, conn, token);
+                if conn.dead || conn.eof {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Parse complete request lines out of the read buffer, stopping at the
+/// pipelining window so a burst larger than `max_inflight` stays
+/// buffered until responses drain (the progress pass resumes it).
+fn process_lines(shared: &Shared, conn: &mut Conn, token: u64) {
+    let mut parsed = 0;
+    while !conn.dead && conn.inflight < shared.max_inflight {
+        let Some(rel) = conn.rbuf[parsed..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let end = parsed + rel;
+        let line = String::from_utf8_lossy(&conn.rbuf[parsed..end]).into_owned();
+        parsed = end + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            // Blank lines are not requests: skipped without a sequence
+            // number, exactly like the blocking server ignored them.
+            continue;
+        }
+        handle_request(shared, conn, token, trimmed);
+    }
+    conn.rbuf.drain(..parsed);
+    if conn.rbuf.len() > MAX_LINE_BYTES && !conn.rbuf.contains(&b'\n') {
+        // A line longer than any legal request: answer once, stop
+        // reading, flush, close. Anything else would buffer without
+        // bound on behalf of a hostile client.
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let error = Response::error(
+            0,
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ),
+        );
+        conn.finish(seq, error.render_for(WIRE_MIN_SCHEMA_VERSION));
+        conn.rbuf.clear();
+        conn.eof = true;
+    }
+}
+
+/// Dispatch one request line under the next sequence number: control
+/// requests complete inline, session work goes to the admission queue.
+fn handle_request(shared: &Shared, conn: &mut Conn, token: u64, line: &str) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let (version, request) = match Request::parse_versioned(line) {
+        Ok(parsed) => parsed,
+        Err(failure) => {
+            let response = Response::error(failure.id, failure.error);
+            conn.finish(seq, response.render_for(failure.version));
+            return;
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        conn.finish(seq, shutting_down_error(request.id()).render_for(version));
+        return;
+    }
+    match request {
+        Request::Ping { id } => {
+            conn.finish(seq, Response::Pong { id }.render_for(version));
+        }
+        Request::Stats { id } => {
+            let response = Response::Stats {
+                id,
+                sessions: shared.registry.stats(),
+                evictions: shared.registry.evictions(),
+            };
+            conn.finish(seq, response.render_for(version));
+        }
+        Request::Shutdown { id } => {
+            conn.finish(seq, Response::ShuttingDown { id }.render_for(version));
+            shared.begin_shutdown();
+        }
+        Request::Solve(solve) => {
+            let key = SessionKey::from(&solve);
+            submit(
+                shared,
+                conn,
+                token,
+                seq,
+                version,
+                key,
+                JobKind::Solve(solve),
+            );
+        }
+        Request::Warm(warm) => {
+            let key = SessionKey::from(&warm);
+            submit(shared, conn, token, seq, version, key, JobKind::Warm(warm));
+        }
+    }
+}
+
+/// Enqueue session work; a refusal (shutdown raced us) is answered
+/// immediately through the ordered path.
+fn submit(
+    shared: &Shared,
+    conn: &mut Conn,
+    token: u64,
+    seq: u64,
+    version: u32,
+    key: SessionKey,
+    kind: JobKind,
+) {
+    let id = match &kind {
+        JobKind::Solve(solve) => solve.id,
+        JobKind::Warm(warm) => warm.id,
+    };
+    let reply = Reply {
+        token,
+        generation: conn.generation,
+        seq,
+        version,
+    };
+    conn.inflight += 1;
+    let job = Job {
+        key,
+        kind,
+        enqueued: Instant::now(),
+        reply,
+    };
+    if enqueue(shared, job).is_some() {
+        conn.inflight = conn.inflight.saturating_sub(1);
+        conn.finish(seq, shutting_down_error(id).render_for(version));
+    }
+}
+
+/// Append every response whose turn has come to the write buffer, then
+/// push bytes until the socket stops accepting them.
+fn advance_writes(conn: &mut Conn) {
+    while let Some(line) = conn.done.remove(&conn.flush_seq) {
+        conn.wbuf.extend_from_slice(line.as_bytes());
+        conn.wbuf.push(b'\n');
+        conn.flush_seq += 1;
+    }
+    while conn.wpos < conn.wbuf.len() && !conn.dead {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => conn.dead = true,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => conn.dead = true,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > (64 << 10) {
+        // Reclaim the flushed prefix of a large buffer without shifting
+        // bytes on every partial write.
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+}
+
+/// Re-register the connection for exactly what it can make progress on:
+/// reads unless paused (EOF, pipeline full, or too much unflushed
+/// output), writes only while flushing is actually blocked.
+fn update_interest(poller: &mut Poller, conn: &mut Conn, token: u64, shared: &Shared) {
+    let want = Interest {
+        readable: !conn.eof
+            && conn.inflight < shared.max_inflight
+            && conn.pending_write() < WRITE_PAUSE_BYTES,
+        writable: conn.pending_write() > 0,
+    };
+    if want != conn.interest {
+        poller.modify(fd_of(&conn.stream), token, want);
+        conn.interest = want;
+    }
+}

@@ -5,25 +5,32 @@
 //! warm and answers a stream of revenue-maximization queries over a
 //! newline-delimited JSON protocol on plain TCP.
 //!
-//! * [`wire`] — the versioned request/response schema (schema v1, golden
-//!   filed like `BENCH_*.json`).
+//! * [`wire`] — the versioned request/response schema (v2 with typed
+//!   error codes, v1 still answered in kind; golden filed like
+//!   `BENCH_*.json`).
 //! * [`session`] — warm sessions keyed by `(dataset, strategy)`
 //!   fingerprint, an LRU-bounded [`session::SessionRegistry`], and the
 //!   warm invariant that makes serving deterministic.
-//! * [`server`] — accept loop, admission/batching queue, worker pool.
+//! * [`net`] — the readiness poller (hand-rolled epoll on Linux, a
+//!   portable scan fallback elsewhere) and its cross-thread waker.
+//! * [`server`] — event-loop front end, admission/batching queue,
+//!   worker pool.
 //! * [`client`] — blocking NDJSON client.
-//! * [`loadgen`] — seeded closed-loop load generator emitting
-//!   `BENCH_service.json`.
+//! * [`loadgen`] — seeded closed-loop / open-loop load generator
+//!   emitting `BENCH_service.json` / `BENCH_service_open.json`.
 //! * [`histogram`] — the hand-rolled log-bucket latency histogram.
 //!
-//! See `DESIGN.md`, section "Serving architecture", for the batching
-//! invariant and the determinism guarantee.
+//! See `DESIGN.md`, sections "Serving architecture" and "Event-loop
+//! serving", for the batching invariant, the determinism guarantee, and
+//! the pipelining ordering invariant.
 //!
 //! [`Workbench`]: rmsa::Workbench
 
 pub mod client;
+mod event_loop;
 pub mod histogram;
 pub mod loadgen;
+pub mod net;
 pub mod server;
 pub mod session;
 pub mod snapshot;
@@ -31,11 +38,13 @@ pub mod wire;
 
 pub use client::ServiceClient;
 pub use histogram::LogHistogram;
-pub use loadgen::{LoadMix, LoadgenConfig, LoadgenOutcome};
-pub use server::{start, ServiceConfig, ServiceHandle};
+pub use loadgen::{LoadMix, LoadgenOutcome, LoadgenPlan, Mode};
+pub use server::{start, ServerConfig, ServiceHandle};
 pub use session::{Session, SessionKey, SessionRegistry};
 pub use snapshot::{SnapshotInfo, SESSION_SNAPSHOT_VERSION};
-pub use wire::{Request, Response, SolveRequest, WarmRequest, WIRE_SCHEMA_VERSION};
+pub use wire::{
+    Request, Response, SolveRequest, WarmRequest, WIRE_MIN_SCHEMA_VERSION, WIRE_SCHEMA_VERSION,
+};
 
 /// Lock a mutex, recovering the guarded data if a previous holder
 /// panicked: the serving invariant (R1 panic-discipline) is that a fault

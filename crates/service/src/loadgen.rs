@@ -1,18 +1,33 @@
-//! The built-in closed-loop load generator behind `rmsa loadgen`.
+//! The built-in load generator behind `rmsa loadgen` — closed-loop and
+//! open-loop.
 //!
-//! `clients` threads each hold one connection and run a closed loop:
-//! draw a request from the seeded mix, send it, block for the response,
-//! record the latency, repeat. The request mix is a pure function of
-//! `(master seed, client index, request index)` — the *set* of requests
-//! sent is identical run over run regardless of scheduling, which is what
-//! lets the determinism test diff canonical response bytes across server
-//! worker counts.
+//! **Closed loop** ([`Mode::ClosedLoop`]): `clients` threads each hold
+//! one connection and run send → block → record → repeat. Throughput is
+//! whatever the server sustains; latency excludes queueing the client
+//! itself caused by not sending.
+//!
+//! **Open loop** ([`Mode::OpenLoop`]): requests are *scheduled* at a
+//! fixed arrival rate — request `k` is due at `(k-1)/rate_hz` — and sent
+//! over a small set of pipelined connections regardless of whether
+//! earlier responses came back. Latency is measured from the **intended
+//! send time**, not the actual write, so a server that falls behind
+//! accrues the queueing delay it actually caused instead of hiding it by
+//! slowing the client (no coordinated omission). A sender that oversleeps
+//! catches up back-to-back, preserving the schedule's mean rate.
+//!
+//! In both modes the request mix is a pure function of
+//! `(master seed, request id)` ([`LoadgenPlan::request_for_id`]) — the
+//! *set* of requests sent is identical run over run regardless of
+//! scheduling, which is what lets the determinism test diff canonical
+//! response bytes across server worker counts.
 //!
 //! Results aggregate into a [`rmsa_bench::BenchReport`]
-//! (`BENCH_service.json`): per-(dataset, algorithm) revenue/latency
-//! classes (deterministic, gated tightly by `rmsa compare`), latency
-//! quantiles from the [`LogHistogram`] and a throughput row (wall-clock
-//! style, gated loosely).
+//! (`BENCH_service.json` closed-loop / `BENCH_service_open.json`
+//! open-loop): per-(dataset, algorithm) revenue classes (deterministic,
+//! gated tightly by `rmsa compare`), latency quantiles from the
+//! [`LogHistogram`], and a throughput row — which in the open-loop
+//! report carries the sustained rate in its gated `revenue` column, so
+//! a throughput collapse fails CI.
 
 use crate::client::ServiceClient;
 use crate::histogram::LogHistogram;
@@ -22,10 +37,16 @@ use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
 use rmsa_bench::report::{BenchPoint, BenchReport, RunManifest};
 use rmsa_bench::AlgoOutcome;
+use rmsa_core::RmError;
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Pipelined connections an open-loop run spreads its schedule over.
+const OPEN_CONNECTIONS: usize = 2;
 
 /// The request population a load run draws from.
 #[derive(Clone, Debug)]
@@ -71,34 +92,89 @@ impl LoadMix {
     }
 }
 
-/// Parameters of one load run.
-#[derive(Clone, Debug)]
-pub struct LoadgenConfig {
-    /// Concurrent closed-loop clients.
-    pub clients: usize,
-    /// Requests per client.
-    pub requests_per_client: usize,
-    /// Master seed of the request mix.
-    pub seed: u64,
-    /// The request population.
-    pub mix: LoadMix,
+/// How requests are issued.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mode {
+    /// `clients` connections, each send → block → repeat.
+    ClosedLoop {
+        /// Concurrent closed-loop clients.
+        clients: usize,
+    },
+    /// Fixed arrival rate from a seeded schedule over pipelined
+    /// connections; latency from intended send time.
+    OpenLoop {
+        /// Scheduled arrivals per second.
+        rate_hz: f64,
+    },
 }
 
-impl LoadgenConfig {
-    /// The CI profile: 4 clients × 6 requests over [`LoadMix::quick`].
-    pub fn quick(seed: u64) -> LoadgenConfig {
-        LoadgenConfig {
-            clients: 4,
-            requests_per_client: 6,
+/// Validated parameters of one load run. Construct through
+/// [`LoadgenPlan::builder`]; [`LoadgenPlan::quick`] is the CI profile.
+#[derive(Clone, Debug)]
+pub struct LoadgenPlan {
+    mode: Mode,
+    requests: usize,
+    seed: u64,
+    mix: LoadMix,
+}
+
+impl LoadgenPlan {
+    /// A builder seeded with the closed-loop CI profile: 4 clients × 6
+    /// requests over [`LoadMix::quick`].
+    pub fn builder(seed: u64) -> LoadgenPlanBuilder {
+        LoadgenPlanBuilder {
+            plan: LoadgenPlan {
+                mode: Mode::ClosedLoop { clients: 4 },
+                requests: 6,
+                seed,
+                mix: LoadMix::quick(),
+            },
+        }
+    }
+
+    /// The closed-loop CI profile (4 × 6 over the quick mix), identical
+    /// request-for-request to the pre-event-loop load generator.
+    pub fn quick(seed: u64) -> LoadgenPlan {
+        LoadgenPlan {
+            mode: Mode::ClosedLoop { clients: 4 },
+            requests: 6,
             seed,
             mix: LoadMix::quick(),
         }
     }
 
-    /// The deterministic request of client `client`, index `index`.
-    pub fn request(&self, client: usize, index: usize) -> SolveRequest {
-        let id = (client * self.requests_per_client + index + 1) as u64;
-        // One RNG per request: the mix draw depends only on (seed, id).
+    /// The issue mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Requests **per client** in closed loop; **total** in open loop.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Master seed of the request mix.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The request population.
+    pub fn mix(&self) -> &LoadMix {
+        &self.mix
+    }
+
+    /// Total requests the run will issue.
+    pub fn total_requests(&self) -> usize {
+        match self.mode {
+            Mode::ClosedLoop { clients } => clients * self.requests,
+            Mode::OpenLoop { .. } => self.requests,
+        }
+    }
+
+    /// The deterministic request with id `id` (ids start at 1): one RNG
+    /// per request, seeded from `(master seed, id)` alone, so the mix is
+    /// the same pure function in both modes.
+    pub fn request_for_id(&self, id: u64) -> SolveRequest {
         let mut rng = Pcg64Mcg::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let pick = |rng: &mut Pcg64Mcg, len: usize| rng.gen_range(0..len);
         let mix = &self.mix;
@@ -112,6 +188,93 @@ impl LoadgenConfig {
             evaluate: mix.evaluate,
         }
     }
+
+    /// The deterministic request of closed-loop client `client`, index
+    /// `index` — id layout `client * requests + index + 1`, unchanged
+    /// from the pre-event-loop generator.
+    pub fn request(&self, client: usize, index: usize) -> SolveRequest {
+        self.request_for_id((client * self.requests + index + 1) as u64)
+    }
+
+    /// The full open-loop schedule: `(id, intended send time in seconds
+    /// from run start)`, in send order. Pure in the plan — asserted
+    /// identical across reruns by the determinism test.
+    pub fn schedule(&self) -> Vec<(u64, f64)> {
+        match self.mode {
+            Mode::ClosedLoop { .. } => Vec::new(),
+            Mode::OpenLoop { rate_hz } => (1..=self.requests as u64)
+                .map(|id| (id, (id - 1) as f64 / rate_hz))
+                .collect(),
+        }
+    }
+}
+
+/// Builder for [`LoadgenPlan`]; [`LoadgenPlanBuilder::build`] validates
+/// and never panics (lint R1).
+#[derive(Clone, Debug)]
+pub struct LoadgenPlanBuilder {
+    plan: LoadgenPlan,
+}
+
+impl LoadgenPlanBuilder {
+    /// Set the issue mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.plan.mode = mode;
+        self
+    }
+
+    /// Requests per client (closed loop) / total requests (open loop).
+    pub fn requests(mut self, requests: usize) -> Self {
+        self.plan.requests = requests;
+        self
+    }
+
+    /// Replace the request population.
+    pub fn mix(mut self, mix: LoadMix) -> Self {
+        self.plan.mix = mix;
+        self
+    }
+
+    /// Validate and produce the plan.
+    pub fn build(self) -> Result<LoadgenPlan, RmError> {
+        let plan = &self.plan;
+        match plan.mode {
+            Mode::ClosedLoop { clients: 0 } => {
+                return Err(RmError::invalid_parameter(
+                    "clients",
+                    0.0,
+                    "closed loop needs at least one client",
+                ));
+            }
+            Mode::OpenLoop { rate_hz } if !(rate_hz.is_finite() && rate_hz > 0.0) => {
+                return Err(RmError::invalid_parameter(
+                    "rate_hz",
+                    rate_hz,
+                    "the open-loop arrival rate must be finite and positive",
+                ));
+            }
+            _ => {}
+        }
+        if plan.requests == 0 {
+            return Err(RmError::invalid_parameter(
+                "requests",
+                0.0,
+                "at least one request is required",
+            ));
+        }
+        if plan.mix.datasets.is_empty()
+            || plan.mix.algorithms.is_empty()
+            || plan.mix.incentives.is_empty()
+            || plan.mix.alphas.is_empty()
+        {
+            return Err(RmError::invalid_parameter(
+                "mix",
+                0.0,
+                "every mix dimension needs at least one candidate",
+            ));
+        }
+        Ok(self.plan)
+    }
 }
 
 /// Everything one load run measured.
@@ -119,7 +282,7 @@ pub struct LoadgenOutcome {
     /// Solve responses paired with their measured latency, sorted by
     /// request id.
     pub responses: Vec<(SolveResponse, f64)>,
-    /// End-to-end latency histogram.
+    /// End-to-end latency histogram (open loop: from intended send time).
     pub latency: LogHistogram,
     /// Wall-clock of the whole run.
     pub wall_secs: f64,
@@ -178,14 +341,21 @@ impl LoadgenOutcome {
     }
 }
 
-/// Run the closed loop against a daemon at `addr`.
-pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String> {
+/// Run the plan against a daemon at `addr`.
+pub fn run(addr: &str, plan: &LoadgenPlan) -> Result<LoadgenOutcome, String> {
+    match plan.mode {
+        Mode::ClosedLoop { clients } => run_closed(addr, plan, clients),
+        Mode::OpenLoop { rate_hz } => run_open(addr, plan, rate_hz),
+    }
+}
+
+fn run_closed(addr: &str, plan: &LoadgenPlan, clients: usize) -> Result<LoadgenOutcome, String> {
     let collected: Mutex<Vec<(SolveResponse, f64)>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let latency: Mutex<LogHistogram> = Mutex::new(LogHistogram::new());
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for client in 0..config.clients {
+        for client in 0..clients {
             let collected = &collected;
             let errors = &errors;
             let latency = &latency;
@@ -199,8 +369,8 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
                 };
                 let mut local_hist = LogHistogram::new();
                 let mut local: Vec<(SolveResponse, f64)> = Vec::new();
-                for index in 0..config.requests_per_client {
-                    let request = config.request(client, index);
+                for index in 0..plan.requests {
+                    let request = plan.request(client, index);
                     let sent = Instant::now();
                     match connection.call(&Request::Solve(request)) {
                         Ok(Response::Solve(response)) => {
@@ -208,7 +378,7 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
                             local_hist.record(secs);
                             local.push((response, secs));
                         }
-                        Ok(Response::Error { id, message }) => {
+                        Ok(Response::Error { id, message, .. }) => {
                             lock_unpoisoned(errors).push(format!("request {id}: {message}"))
                         }
                         Ok(other) => {
@@ -228,22 +398,135 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
     let wall_secs = started.elapsed().as_secs_f64();
     let mut responses = into_inner_unpoisoned(collected);
     responses.sort_by_key(|(r, _)| r.id);
-    let session_memory_bytes = match ServiceClient::connect(addr)
-        .and_then(|mut c| c.call(&Request::Stats { id: u64::MAX }))
-    {
-        Ok(Response::Stats { sessions, .. }) => sessions.iter().map(|s| s.memory_bytes).sum(),
-        _ => 0,
-    };
     Ok(LoadgenOutcome {
         responses,
         latency: into_inner_unpoisoned(latency),
         wall_secs,
         errors: into_inner_unpoisoned(errors),
-        session_memory_bytes,
+        session_memory_bytes: probe_session_memory(addr),
     })
 }
 
-/// Build the `BENCH_service.json` report of a load run.
+fn run_open(addr: &str, plan: &LoadgenPlan, rate_hz: f64) -> Result<LoadgenOutcome, String> {
+    let _ = rate_hz; // already baked into the schedule
+    let connections = OPEN_CONNECTIONS.min(plan.requests.max(1));
+    // Round-robin the schedule over the connections; each keeps its slice
+    // in schedule order, so per-connection pipelining stays in id order
+    // while the union follows the global arrival schedule.
+    let schedule = plan.schedule();
+    let mut per_conn: Vec<Vec<(u64, f64)>> = vec![Vec::new(); connections];
+    for (i, entry) in schedule.iter().enumerate() {
+        per_conn[i % connections].push(*entry);
+    }
+    // Connect up front so a dead server fails the run instead of
+    // producing an empty report.
+    let mut streams: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::new();
+    for _ in 0..connections {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        streams.push((writer, reader));
+    }
+
+    let collected: Mutex<Vec<(SolveResponse, f64)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let latency: Mutex<LogHistogram> = Mutex::new(LogHistogram::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for ((mut writer, mut reader), slice) in streams.into_iter().zip(&per_conn) {
+            let collected = &collected;
+            let errors = &errors;
+            let latency = &latency;
+            // Sender: fire every request of the slice at its intended
+            // time, never waiting for responses (that is the open loop).
+            // An oversleeping sender catches up back-to-back, preserving
+            // the schedule's mean rate.
+            scope.spawn(move || {
+                for (id, intended_secs) in slice.iter() {
+                    let due = Duration::from_secs_f64(*intended_secs);
+                    if let Some(wait) = due.checked_sub(started.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let mut line = Request::Solve(plan.request_for_id(*id)).render();
+                    line.push('\n');
+                    if let Err(e) = writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| writer.flush())
+                    {
+                        lock_unpoisoned(errors).push(format!("send request {id}: {e}"));
+                        return;
+                    }
+                }
+            });
+            // Reader: the server answers in per-connection request
+            // order, so the k-th response line pairs with the k-th
+            // scheduled send. Latency is completion minus *intended*
+            // send time — queueing delay the server caused is charged
+            // to it even when the sender fell behind.
+            scope.spawn(move || {
+                let mut local_hist = LogHistogram::new();
+                let mut local: Vec<(SolveResponse, f64)> = Vec::new();
+                for (id, intended_secs) in slice.iter() {
+                    let mut answer = String::new();
+                    match reader.read_line(&mut answer) {
+                        Ok(0) => {
+                            lock_unpoisoned(errors)
+                                .push(format!("request {id}: server closed the connection"));
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            lock_unpoisoned(errors).push(format!("request {id}: receive: {e}"));
+                            break;
+                        }
+                    }
+                    let secs = (started.elapsed().as_secs_f64() - intended_secs).max(0.0);
+                    match Response::parse(answer.trim_end()) {
+                        Ok(Response::Solve(response)) => {
+                            local_hist.record(secs);
+                            local.push((response, secs));
+                        }
+                        Ok(Response::Error { id, message, .. }) => {
+                            lock_unpoisoned(errors).push(format!("request {id}: {message}"))
+                        }
+                        Ok(other) => {
+                            lock_unpoisoned(errors).push(format!("unexpected response {other:?}"))
+                        }
+                        Err(e) => {
+                            lock_unpoisoned(errors).push(e);
+                            break;
+                        }
+                    }
+                }
+                lock_unpoisoned(collected).extend(local);
+                lock_unpoisoned(latency).merge(&local_hist);
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut responses = into_inner_unpoisoned(collected);
+    responses.sort_by_key(|(r, _)| r.id);
+    Ok(LoadgenOutcome {
+        responses,
+        latency: into_inner_unpoisoned(latency),
+        wall_secs,
+        errors: into_inner_unpoisoned(errors),
+        session_memory_bytes: probe_session_memory(addr),
+    })
+}
+
+/// Total resident session memory, via one `stats` round trip.
+fn probe_session_memory(addr: &str) -> usize {
+    match ServiceClient::connect(addr).and_then(|mut c| c.call(&Request::Stats { id: u64::MAX })) {
+        Ok(Response::Stats { sessions, .. }) => sessions.iter().map(|s| s.memory_bytes).sum(),
+        _ => 0,
+    }
+}
+
+/// Build the `BENCH_service[_open].json` report of a load run.
 ///
 /// Point layout (all matched by `(job, key, algorithm)` in
 /// `rmsa compare`):
@@ -254,12 +537,24 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadgenOutcome, String>
 /// * `latency,` rows at keys 50/90/99 — the histogram quantiles land in
 ///   `wall_secs`, where the compare gate applies its generous time
 ///   tolerance and absolute floor;
-/// * one `throughput,` row whose `wall_secs` is the whole run.
-pub fn report(outcome: &LoadgenOutcome, config: &LoadgenConfig, quick: bool) -> BenchReport {
+/// * one `throughput,` row whose `wall_secs` is the whole run. In the
+///   **open-loop** report the sustained req/s additionally lands in the
+///   gated `revenue` column: open-loop throughput ≈ the offered rate
+///   whenever the server keeps up, so a drop beyond tolerance means the
+///   server stopped keeping up — exactly what the gate should catch.
+pub fn report(outcome: &LoadgenOutcome, plan: &LoadgenPlan, quick: bool) -> BenchReport {
+    let (scenario, title, threads) = match plan.mode {
+        Mode::ClosedLoop { clients } => ("service", "rmsa serve — loadgen", clients),
+        Mode::OpenLoop { .. } => (
+            "service_open",
+            "rmsa serve — open-loop loadgen",
+            OPEN_CONNECTIONS,
+        ),
+    };
     let mut points: Vec<BenchPoint> = Vec::new();
     // Classes, in the canonical (dataset, algorithm) mix order.
-    for dataset in &config.mix.datasets {
-        for algorithm in &config.mix.algorithms {
+    for dataset in &plan.mix.datasets {
+        for algorithm in &plan.mix.algorithms {
             let class: Vec<&(SolveResponse, f64)> = outcome
                 .responses
                 .iter()
@@ -318,15 +613,20 @@ pub fn report(outcome: &LoadgenOutcome, config: &LoadgenConfig, quick: bool) -> 
         outcome: {
             let mut o = meta_outcome(outcome.wall_secs, outcome.session_memory_bytes);
             o.rate_of_return_pct = outcome.throughput();
+            if matches!(plan.mode, Mode::OpenLoop { .. }) {
+                // Gate the sustained rate: `revenue` is compared with the
+                // downward-drift tolerance, unlike rate_of_return_pct.
+                o.revenue = outcome.throughput();
+            }
             o
         },
     });
     BenchReport {
-        scenario: "service".to_string(),
-        title: "rmsa serve — loadgen".to_string(),
+        scenario: scenario.to_string(),
+        title: title.to_string(),
         points,
         total_wall_secs: outcome.wall_secs,
-        run: RunManifest::collect(config.seed, config.clients, 1.0, quick),
+        run: RunManifest::collect(plan.seed, threads, 1.0, quick),
     }
 }
 
@@ -371,25 +671,92 @@ mod tests {
 
     #[test]
     fn request_mix_is_deterministic_and_covers_the_population() {
-        let config = LoadgenConfig::quick(7);
-        let a: Vec<SolveRequest> = (0..config.clients)
-            .flat_map(|c| (0..config.requests_per_client).map(move |k| (c, k)))
-            .map(|(c, k)| config.request(c, k))
+        let plan = LoadgenPlan::quick(7);
+        let Mode::ClosedLoop { clients } = plan.mode() else {
+            panic!("quick is closed-loop");
+        };
+        let a: Vec<SolveRequest> = (0..clients)
+            .flat_map(|c| (0..plan.requests()).map(move |k| (c, k)))
+            .map(|(c, k)| plan.request(c, k))
             .collect();
-        let b: Vec<SolveRequest> = (0..config.clients)
-            .flat_map(|c| (0..config.requests_per_client).map(move |k| (c, k)))
-            .map(|(c, k)| config.request(c, k))
+        let b: Vec<SolveRequest> = (0..clients)
+            .flat_map(|c| (0..plan.requests()).map(move |k| (c, k)))
+            .map(|(c, k)| plan.request(c, k))
             .collect();
         assert_eq!(a, b, "the mix must be a pure function of the seed");
         let ids: std::collections::BTreeSet<u64> = a.iter().map(|r| r.id).collect();
         assert_eq!(ids.len(), a.len(), "request ids must be unique");
         assert!(a.iter().any(|r| r.algorithm == Algorithm::Rma));
         // A different seed gives a different draw.
-        let other = LoadgenConfig::quick(8);
-        let c: Vec<SolveRequest> = (0..other.clients)
-            .flat_map(|cl| (0..other.requests_per_client).map(move |k| (cl, k)))
+        let other = LoadgenPlan::quick(8);
+        let c: Vec<SolveRequest> = (0..clients)
+            .flat_map(|cl| (0..other.requests()).map(move |k| (cl, k)))
             .map(|(cl, k)| other.request(cl, k))
             .collect();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn both_modes_draw_the_same_mix_function() {
+        let closed = LoadgenPlan::quick(7);
+        let open = LoadgenPlan::builder(7)
+            .mode(Mode::OpenLoop { rate_hz: 100.0 })
+            .requests(24)
+            .build()
+            .unwrap();
+        for id in 1..=24u64 {
+            assert_eq!(
+                closed.request_for_id(id),
+                open.request_for_id(id),
+                "the mix must depend only on (seed, id), not the mode"
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_schedule_is_deterministic_and_paced() {
+        let build = || {
+            LoadgenPlan::builder(42)
+                .mode(Mode::OpenLoop { rate_hz: 250.0 })
+                .requests(100)
+                .build()
+                .unwrap()
+        };
+        let a = build().schedule();
+        let b = build().schedule();
+        assert_eq!(a, b, "rerunning the plan must reproduce the schedule");
+        assert_eq!(a.len(), 100);
+        assert_eq!(a[0], (1, 0.0));
+        for window in a.windows(2) {
+            let dt = window[1].1 - window[0].1;
+            assert!((dt - 1.0 / 250.0).abs() < 1e-12, "uniform arrivals");
+        }
+        // The requests drawn for the schedule are the plan's pure mix.
+        let plan = build();
+        for (id, _) in a {
+            assert_eq!(plan.request_for_id(id).id, id);
+        }
+    }
+
+    #[test]
+    fn plan_builder_validates() {
+        assert!(LoadgenPlan::builder(1).build().is_ok());
+        for broken in [
+            LoadgenPlan::builder(1).mode(Mode::ClosedLoop { clients: 0 }),
+            LoadgenPlan::builder(1).mode(Mode::OpenLoop { rate_hz: 0.0 }),
+            LoadgenPlan::builder(1).mode(Mode::OpenLoop {
+                rate_hz: f64::INFINITY,
+            }),
+            LoadgenPlan::builder(1).requests(0),
+            LoadgenPlan::builder(1).mix(LoadMix {
+                datasets: Vec::new(),
+                ..LoadMix::quick()
+            }),
+        ] {
+            assert!(matches!(
+                broken.build(),
+                Err(RmError::InvalidParameter { .. })
+            ));
+        }
     }
 }

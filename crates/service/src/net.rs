@@ -1,0 +1,845 @@
+//! Readiness polling for the event-loop server — no `tokio`, no `libc`.
+//!
+//! [`Poller`] is the single dependency of [`crate::event_loop`] on the
+//! operating system: *"tell me which registered sockets are ready, and
+//! let another thread wake me."* Two backends implement it:
+//!
+//! * **Epoll** (Linux x86_64 / aarch64) — a hand-rolled `epoll` wrapper
+//!   over raw syscalls, the same inline-asm idiom as
+//!   `rmsa-store::mapping`'s mmap shim. Level-triggered, one
+//!   `epoll_pwait` per loop iteration, and a non-blocking self-pipe as
+//!   the cross-thread [`Waker`]: a solver thread finishing a response
+//!   writes one byte, the loop sees [`WAKE_TOKEN`] readable and drains
+//!   the pipe.
+//! * **Scan** (everywhere else, and the runtime fallback when
+//!   `epoll_create1` is refused) — a degenerate poll: every registered
+//!   token is reported ready each tick and the caller's non-blocking
+//!   I/O sorts out reality via `WouldBlock`. Between ticks the backend
+//!   parks on a `Condvar` that doubles as the waker, so completions
+//!   still cut the wait short. Fallback-quality latency (a few
+//!   milliseconds per tick), correct everywhere.
+//!
+//! The event loop is written against the union of the two: readiness is
+//! only ever a *hint*, sockets are always non-blocking, and spurious
+//! events are harmless.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Reserved token reported when [`Waker::wake`] was called.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// What a registration wants to hear about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Report the fd readable.
+    pub readable: bool,
+    /// Report the fd writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but muted (backpressure: a paused reader keeps its
+    /// slot without generating events).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token supplied at registration, or [`WAKE_TOKEN`].
+    pub token: u64,
+    /// Read half is (probably) ready.
+    pub readable: bool,
+    /// Write half is (probably) ready.
+    pub writable: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Raw epoll / pipe syscalls (Linux x86_64 / aarch64 only, no libc)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    pub(super) const EPOLL_CTL_ADD: u64 = 1;
+    pub(super) const EPOLL_CTL_DEL: u64 = 2;
+    pub(super) const EPOLL_CTL_MOD: u64 = 3;
+    pub(super) const EPOLLIN: u32 = 0x001;
+    pub(super) const EPOLLOUT: u32 = 0x004;
+    pub(super) const EPOLLERR: u32 = 0x008;
+    pub(super) const EPOLLHUP: u32 = 0x010;
+    /// `O_CLOEXEC`; also the value of `EPOLL_CLOEXEC`.
+    const CLOEXEC: u64 = 0o2000000;
+    const O_NONBLOCK: u64 = 0o4000;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const READ: u64 = 0;
+        pub const WRITE: u64 = 1;
+        pub const CLOSE: u64 = 3;
+        pub const EPOLL_CTL: u64 = 233;
+        pub const EPOLL_PWAIT: u64 = 281;
+        pub const EPOLL_CREATE1: u64 = 291;
+        pub const PIPE2: u64 = 293;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: u64 = 20;
+        pub const EPOLL_CTL: u64 = 21;
+        pub const EPOLL_PWAIT: u64 = 22;
+        pub const CLOSE: u64 = 57;
+        pub const PIPE2: u64 = 59;
+        pub const READ: u64 = 63;
+        pub const WRITE: u64 = 64;
+    }
+
+    /// The kernel's `struct epoll_event`. x86_64 is the one ABI where it
+    /// is packed (12 bytes); everywhere else it has natural alignment.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+    #[cfg(target_arch = "aarch64")]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        _pad: u32,
+        pub data: u64,
+    }
+
+    impl EpollEvent {
+        pub(super) fn zeroed() -> EpollEvent {
+            #[cfg(target_arch = "x86_64")]
+            {
+                EpollEvent { events: 0, data: 0 }
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                EpollEvent {
+                    events: 0,
+                    _pad: 0,
+                    data: 0,
+                }
+            }
+        }
+
+        pub(super) fn new(events: u32, data: u64) -> EpollEvent {
+            let mut ev = EpollEvent::zeroed();
+            ev.events = events;
+            ev.data = data;
+            ev
+        }
+    }
+
+    /// Invoke a raw 6-argument Linux syscall. Returns the kernel's raw
+    /// result; values in `-4095..0` encode `-errno`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass a syscall number and arguments whose
+    /// semantics are memory-safe for this process (here: epoll and pipe
+    /// operations on fds we own, and reads/writes into buffers whose
+    /// pointer + length pairs are live and correctly sized).
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: declaration only — the caller contract is documented above.
+    unsafe fn syscall6(nr: u64, a0: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: `syscall` with the Linux x86_64 ABI — args in
+        // rdi/rsi/rdx/r10/r8/r9, number in rax, result in rax; the
+        // kernel clobbers rcx/r11 and the flags, all declared below.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a0,
+                in("rsi") a1,
+                in("rdx") a2,
+                in("r10") a3,
+                in("r8") a4,
+                in("r9") a5,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Invoke a raw 6-argument Linux syscall (aarch64 ABI).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as the x86_64 variant: arguments must describe a
+    /// memory-safe operation for this process.
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: declaration only — the caller contract is documented above.
+    unsafe fn syscall6(nr: u64, a0: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: `svc 0` with the Linux aarch64 ABI — args in x0..x5,
+        // number in x8, result in x0.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                inlateout("x0") a0 => ret,
+                in("x1") a1,
+                in("x2") a2,
+                in("x3") a3,
+                in("x4") a4,
+                in("x5") a5,
+                in("x8") nr,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// `epoll_create1(EPOLL_CLOEXEC)`; `None` when the kernel refuses.
+    pub(super) fn epoll_create1() -> Option<i32> {
+        // SAFETY: epoll_create1 takes a flags word and touches no caller
+        // memory; the result is validated below.
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, CLOEXEC, 0, 0, 0, 0, 0) };
+        i32::try_from(ret).ok().filter(|fd| *fd >= 0)
+    }
+
+    /// `epoll_ctl`: add/modify/delete `fd` on `epfd`. Returns success.
+    pub(super) fn epoll_ctl(epfd: i32, op: u64, fd: i32, event: Option<EpollEvent>) -> bool {
+        let ev = event.unwrap_or_else(EpollEvent::zeroed);
+        // SAFETY: `ev` is a live, correctly-laid-out epoll_event for the
+        // duration of the call (the kernel copies it before returning);
+        // DEL ignores the pointer.
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                epfd as u64,
+                op,
+                fd as u64,
+                core::ptr::from_ref(&ev) as u64,
+                0,
+                0,
+            )
+        };
+        ret == 0
+    }
+
+    /// `epoll_pwait` with a null sigmask (identical to `epoll_wait`,
+    /// which aarch64 does not have). Returns the number of events, or a
+    /// negative errno.
+    pub(super) fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> i64 {
+        // SAFETY: `events` is a live mutable slice; its pointer and
+        // length describe exactly the buffer the kernel may fill. The
+        // null sigmask (arg 4 = 0) makes the sigsetsize argument
+        // irrelevant.
+        unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT,
+                epfd as u64,
+                events.as_mut_ptr() as u64,
+                events.len() as u64,
+                timeout_ms as u64,
+                0,
+                8,
+            )
+        }
+    }
+
+    /// `pipe2(O_NONBLOCK | O_CLOEXEC)`: the wake pipe. Returns
+    /// `(read_fd, write_fd)`.
+    pub(super) fn pipe2_nonblocking() -> Option<(i32, i32)> {
+        let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a live 2-element i32 array, exactly what
+        // pipe2 writes into.
+        let ret = unsafe {
+            syscall6(
+                nr::PIPE2,
+                fds.as_mut_ptr() as u64,
+                O_NONBLOCK | CLOEXEC,
+                0,
+                0,
+                0,
+                0,
+            )
+        };
+        (ret == 0).then_some((fds[0], fds[1]))
+    }
+
+    /// `read` into `buf`; returns the byte count or a negative errno.
+    pub(super) fn read_fd(fd: i32, buf: &mut [u8]) -> i64 {
+        // SAFETY: `buf` is a live mutable slice; pointer + length
+        // describe exactly the writable region.
+        unsafe {
+            syscall6(
+                nr::READ,
+                fd as u64,
+                buf.as_mut_ptr() as u64,
+                buf.len() as u64,
+                0,
+                0,
+                0,
+            )
+        }
+    }
+
+    /// `write` from `buf`; returns the byte count or a negative errno.
+    pub(super) fn write_fd(fd: i32, buf: &[u8]) -> i64 {
+        // SAFETY: `buf` is a live slice; pointer + length describe
+        // exactly the readable region.
+        unsafe {
+            syscall6(
+                nr::WRITE,
+                fd as u64,
+                buf.as_ptr() as u64,
+                buf.len() as u64,
+                0,
+                0,
+                0,
+            )
+        }
+    }
+
+    /// `close(fd)`. Errors are ignored — the fd is gone either way.
+    pub(super) fn close_fd(fd: i32) {
+        // SAFETY: closing an fd this module opened touches no caller
+        // memory.
+        unsafe {
+            syscall6(nr::CLOSE, fd as u64, 0, 0, 0, 0, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoll backend
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+struct EpollPoller {
+    epfd: i32,
+    wake_read: i32,
+    wake_write: i32,
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+impl EpollPoller {
+    fn new() -> Option<EpollPoller> {
+        let epfd = sys::epoll_create1()?;
+        let Some((wake_read, wake_write)) = sys::pipe2_nonblocking() else {
+            sys::close_fd(epfd);
+            return None;
+        };
+        let registered = sys::epoll_ctl(
+            epfd,
+            sys::EPOLL_CTL_ADD,
+            wake_read,
+            Some(sys::EpollEvent::new(sys::EPOLLIN, WAKE_TOKEN)),
+        );
+        if !registered {
+            sys::close_fd(epfd);
+            sys::close_fd(wake_read);
+            sys::close_fd(wake_write);
+            return None;
+        }
+        Some(EpollPoller {
+            epfd,
+            wake_read,
+            wake_write,
+            buf: vec![sys::EpollEvent::zeroed(); 256],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut mask = 0;
+        if interest.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) {
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Some(sys::EpollEvent::new(Self::mask(interest), token)),
+        );
+    }
+
+    fn modify(&mut self, fd: i32, token: u64, interest: Interest) {
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Some(sys::EpollEvent::new(Self::mask(interest), token)),
+        );
+    }
+
+    fn deregister(&mut self, fd: i32) {
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, None);
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) {
+        let n = sys::epoll_wait(self.epfd, &mut self.buf, timeout_ms);
+        let n = usize::try_from(n).unwrap_or(0).min(self.buf.len());
+        for ev in &self.buf[..n] {
+            let events = ev.events;
+            let token = ev.data;
+            if token == WAKE_TOKEN {
+                // Drain the self-pipe so a level-triggered epoll does
+                // not report the same wake forever.
+                let mut sink = [0u8; 64];
+                while sys::read_fd(self.wake_read, &mut sink) > 0 {}
+                out.push(Event {
+                    token,
+                    readable: true,
+                    writable: false,
+                });
+                continue;
+            }
+            // ERR/HUP surface as both-ready: the caller's next read or
+            // write observes the failure and closes the connection.
+            let broken = events & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            out.push(Event {
+                token,
+                readable: broken || events & sys::EPOLLIN != 0,
+                writable: broken || events & sys::EPOLLOUT != 0,
+            });
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+        sys::close_fd(self.wake_read);
+        sys::close_fd(self.wake_write);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan backend (portable fallback)
+// ---------------------------------------------------------------------------
+
+/// Condvar-based wake flag shared between the scan poller and its wakers.
+struct ScanFlag {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Milliseconds per scan tick: the fallback's readiness granularity.
+const SCAN_TICK_MS: u64 = 2;
+
+struct ScanPoller {
+    registered: Vec<(i32, u64, Interest)>,
+    flag: Arc<ScanFlag>,
+}
+
+impl ScanPoller {
+    fn new() -> ScanPoller {
+        ScanPoller {
+            registered: Vec::new(),
+            flag: Arc::new(ScanFlag {
+                woken: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) {
+        self.registered.retain(|(f, _, _)| *f != fd);
+        self.registered.push((fd, token, interest));
+    }
+
+    fn modify(&mut self, fd: i32, token: u64, interest: Interest) {
+        self.register(fd, token, interest);
+    }
+
+    fn deregister(&mut self, fd: i32) {
+        self.registered.retain(|(f, _, _)| *f != fd);
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) {
+        let tick = if timeout_ms < 0 {
+            SCAN_TICK_MS
+        } else {
+            SCAN_TICK_MS.min(timeout_ms as u64)
+        };
+        let woken = {
+            let guard = self
+                .flag
+                .woken
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut guard = if *guard {
+                guard
+            } else {
+                self.flag
+                    .cv
+                    .wait_timeout(guard, std::time::Duration::from_millis(tick))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0
+            };
+            let woken = *guard;
+            *guard = false;
+            woken
+        };
+        if woken {
+            out.push(Event {
+                token: WAKE_TOKEN,
+                readable: true,
+                writable: false,
+            });
+        }
+        // Every registered token is "ready": the caller's non-blocking
+        // I/O turns optimism into WouldBlock where it was wrong.
+        for (_, token, interest) in &self.registered {
+            if interest.readable || interest.writable {
+                out.push(Event {
+                    token: *token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public facade
+// ---------------------------------------------------------------------------
+
+enum Inner {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Epoll(EpollPoller),
+    Scan(ScanPoller),
+}
+
+/// The readiness selector of the event loop. See the module docs for the
+/// two backends and their contract.
+pub struct Poller {
+    inner: Inner,
+}
+
+impl Default for Poller {
+    fn default() -> Poller {
+        Poller::new()
+    }
+}
+
+impl Poller {
+    /// Build the best available backend: epoll where the platform has
+    /// it, the scan fallback otherwise (including when the kernel
+    /// refuses `epoll_create1` at runtime).
+    pub fn new() -> Poller {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Some(epoll) = EpollPoller::new() {
+            return Poller {
+                inner: Inner::Epoll(epoll),
+            };
+        }
+        Poller {
+            inner: Inner::Scan(ScanPoller::new()),
+        }
+    }
+
+    /// Force the portable scan backend (tests and diagnostics).
+    pub fn new_scan() -> Poller {
+        Poller {
+            inner: Inner::Scan(ScanPoller::new()),
+        }
+    }
+
+    /// The backend's name, for the startup banner.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Epoll(_) => "epoll",
+            Inner::Scan(_) => "scan",
+        }
+    }
+
+    /// A clonable handle other threads use to interrupt [`Poller::wait`].
+    pub fn waker(&self) -> Waker {
+        match &self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Epoll(e) => Waker {
+                inner: WakerInner::Pipe(e.wake_write),
+            },
+            Inner::Scan(s) => Waker {
+                inner: WakerInner::Flag(s.flag.clone()),
+            },
+        }
+    }
+
+    /// Start watching `fd` under `token`.
+    pub fn register(&mut self, fd: i32, token: u64, interest: Interest) {
+        match &mut self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Epoll(e) => e.register(fd, token, interest),
+            Inner::Scan(s) => s.register(fd, token, interest),
+        }
+    }
+
+    /// Change what `fd` is watched for.
+    pub fn modify(&mut self, fd: i32, token: u64, interest: Interest) {
+        match &mut self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Epoll(e) => e.modify(fd, token, interest),
+            Inner::Scan(s) => s.modify(fd, token, interest),
+        }
+    }
+
+    /// Stop watching `fd` (call before closing it).
+    pub fn deregister(&mut self, fd: i32) {
+        match &mut self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Epoll(e) => e.deregister(fd),
+            Inner::Scan(s) => s.deregister(fd),
+        }
+    }
+
+    /// Block up to `timeout_ms` (negative: no timeout) and append ready
+    /// events to `out`. A [`WAKE_TOKEN`] event means some thread called
+    /// [`Waker::wake`] since the last wait.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) {
+        match &mut self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Epoll(e) => e.wait(out, timeout_ms),
+            Inner::Scan(s) => s.wait(out, timeout_ms),
+        }
+    }
+}
+
+enum WakerInner {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Pipe(i32),
+    Flag(Arc<ScanFlag>),
+}
+
+/// Cross-thread interrupt for [`Poller::wait`]. Cheap to clone; safe to
+/// call from any thread; calling it when nobody waits simply leaves a
+/// wake pending for the next wait.
+pub struct Waker {
+    inner: WakerInner,
+}
+
+impl Clone for Waker {
+    fn clone(&self) -> Waker {
+        match &self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            WakerInner::Pipe(fd) => Waker {
+                inner: WakerInner::Pipe(*fd),
+            },
+            WakerInner::Flag(flag) => Waker {
+                inner: WakerInner::Flag(flag.clone()),
+            },
+        }
+    }
+}
+
+impl Waker {
+    /// Interrupt the poller's current (or next) wait.
+    pub fn wake(&self) {
+        match &self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            WakerInner::Pipe(fd) => {
+                // A full pipe means wakes are already pending — the loop
+                // will run regardless, so a short write is fine.
+                sys::write_fd(*fd, &[1u8]);
+            }
+            WakerInner::Flag(flag) => {
+                let mut woken = flag
+                    .woken
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *woken = true;
+                flag.cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+
+    #[cfg(unix)]
+    fn poll_once(poller: &mut Poller, timeout_ms: i32) -> Vec<Event> {
+        let mut events = Vec::new();
+        poller.wait(&mut events, timeout_ms);
+        events
+    }
+
+    #[cfg(unix)]
+    fn readiness_roundtrip(mut poller: Poller) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(listener.as_raw_fd(), 7, Interest::READ);
+
+        // Nothing pending: a short wait returns no socket events.
+        assert!(poll_once(&mut poller, 10)
+            .iter()
+            .all(|e| e.token == WAKE_TOKEN || matches!(poller.inner, Inner::Scan(_))));
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        // The listener must become readable (epoll: for real; scan: by
+        // optimistic default) within a generous deadline.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if poll_once(&mut poller, 100).iter().any(|e| e.token == 7) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "listener never ready");
+        }
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller.register(server_side.as_raw_fd(), 9, Interest::BOTH);
+
+        client.write_all(b"ping\n").unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if poll_once(&mut poller, 100)
+                .iter()
+                .any(|e| e.token == 9 && e.readable)
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "conn never readable");
+        }
+        let mut buf = [0u8; 16];
+        let n = server_side.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping\n");
+
+        poller.deregister(server_side.as_raw_fd());
+        poller.deregister(listener.as_raw_fd());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn default_backend_reports_readiness() {
+        readiness_roundtrip(Poller::new());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn scan_backend_reports_readiness() {
+        readiness_roundtrip(Poller::new_scan());
+    }
+
+    #[test]
+    fn waker_interrupts_a_long_wait() {
+        for poller in [Poller::new(), Poller::new_scan()] {
+            let mut poller = poller;
+            let waker = poller.waker();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                waker.wake();
+            });
+            let started = std::time::Instant::now();
+            // A 10s timeout that must be cut short by the waker.
+            let mut events = Vec::new();
+            let deadline = started + std::time::Duration::from_secs(10);
+            loop {
+                poller.wait(&mut events, 10_000);
+                if events.iter().any(|e| e.token == WAKE_TOKEN) {
+                    break;
+                }
+                events.clear();
+                assert!(std::time::Instant::now() < deadline, "wake never arrived");
+            }
+            assert!(
+                started.elapsed() < std::time::Duration::from_secs(9),
+                "wait was not interrupted ({:?} backend)",
+                poller.backend_name()
+            );
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wake_before_wait_is_not_lost() {
+        for poller in [Poller::new(), Poller::new_scan()] {
+            let mut poller = poller;
+            poller.waker().wake();
+            let mut events = Vec::new();
+            poller.wait(&mut events, 1_000);
+            assert!(
+                events.iter().any(|e| e.token == WAKE_TOKEN),
+                "{} backend lost a pending wake",
+                poller.backend_name()
+            );
+        }
+    }
+}

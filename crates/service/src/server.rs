@@ -1,120 +1,257 @@
-//! The `rmsa serve` daemon: TCP accept loop, admission/batching queue,
-//! and the worker pool.
+//! The `rmsa serve` daemon: readiness event loop, admission/batching
+//! queue, and the worker pool.
 //!
-//! Connection threads only parse and enqueue; all cache-touching work
-//! (warm-ups and solves) flows through one admission queue. Workers pop
-//! the queue in *fingerprint batches*: a worker takes the front job plus
-//! every queued job sharing its [`SessionKey`], warms that session once,
-//! and serves the whole batch — so N concurrent cold-session requests
-//! trigger exactly one RR-cache extension (the same trick the scenario
-//! runner plays with sweep groups). Cheap control requests (`ping`,
-//! `stats`, `shutdown`) are answered inline on the connection thread.
+//! One thread runs the [`crate::event_loop`]: it owns the listening
+//! socket and every connection, parses newline-delimited requests out of
+//! per-connection read buffers, answers cheap control requests (`ping`,
+//! `stats`, `shutdown`) inline, and enqueues session work. All
+//! cache-touching work (warm-ups and solves) flows through one admission
+//! queue; workers pop it in *fingerprint batches* — the front job plus
+//! every queued job sharing its [`SessionKey`] — warm that session once,
+//! and serve the whole batch, so N concurrent cold-session requests
+//! trigger exactly one RR-cache extension. Finished responses travel
+//! back to the loop as pre-rendered [`Completion`] lines through the
+//! poller's wake pipe: a worker never writes to a socket, so a slow
+//! client can never block a solver.
 //!
 //! Determinism: solves only ever run on a warmed session (see
 //! [`crate::session`]), so the result payload of every response is
-//! independent of the worker count and of how client requests interleave
-//! — the integration tests assert bit-identical canonical responses for
-//! 1 and 8 workers.
+//! independent of the worker count, of pipelining depth, and of how
+//! client requests interleave — the integration tests assert
+//! bit-identical canonical responses for 1 and 8 workers under pipelined
+//! concurrent clients.
 
 use crate::lock_unpoisoned;
+use crate::net::{Poller, Waker};
 use crate::session::{SessionKey, SessionRegistry};
-use crate::wire::{Request, Response, SolveRequest, SolveResponse, SolveTiming, WarmRequest};
+use crate::wire::{
+    ErrorCode, Response, SolveRequest, SolveResponse, SolveTiming, WarmRequest, WireError,
+};
 use rmsa_bench::ExperimentContext;
+use rmsa_core::RmError;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Configuration of one daemon instance.
+/// Validated configuration of one daemon instance. Construct through
+/// [`ServerConfig::builder`]; the defaults of [`ServerConfig::new`] are
+/// valid by construction.
 #[derive(Clone, Debug)]
-pub struct ServiceConfig {
-    /// Context sessions are built under (seed, scale, RR targets, …).
-    pub ctx: ExperimentContext,
-    /// Worker threads draining the admission queue.
-    pub workers: usize,
-    /// LRU bound on resident sessions.
-    pub max_sessions: usize,
-    /// Snapshot directory (`--snapshot-dir`): sessions warm-start from it
-    /// on boot and are persisted back in the background after every cache
-    /// extension. `None` disables persistence.
-    pub snapshot_dir: Option<std::path::PathBuf>,
-    /// Hash every snapshot section before warm-starting from it
-    /// (`--verify-snapshots`). Off by default: the mapped load path
-    /// validates structure and the distribution fingerprint instead, so
-    /// boot time stays independent of snapshot size.
-    pub verify_snapshots: bool,
+pub struct ServerConfig {
+    ctx: ExperimentContext,
+    workers: usize,
+    max_sessions: usize,
+    max_inflight: usize,
+    memoize: bool,
+    snapshot_dir: Option<PathBuf>,
+    verify_snapshots: bool,
 }
 
-impl ServiceConfig {
+impl ServerConfig {
     /// Config with the default worker count
-    /// ([`rmsa_core::default_num_threads`]), 4 resident sessions, and no
-    /// snapshot persistence.
+    /// ([`rmsa_core::default_num_threads`]), 4 resident sessions, a
+    /// 256-request pipelining window, memoization on, and no snapshot
+    /// persistence.
     pub fn new(ctx: ExperimentContext) -> Self {
-        ServiceConfig {
+        ServerConfig {
             ctx,
             workers: rmsa_core::default_num_threads(),
             max_sessions: 4,
+            max_inflight: 256,
+            memoize: true,
             snapshot_dir: None,
             verify_snapshots: false,
         }
     }
+
+    /// A builder seeded with the defaults of [`ServerConfig::new`].
+    pub fn builder(ctx: ExperimentContext) -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::new(ctx),
+        }
+    }
+
+    /// Context sessions are built under (seed, scale, RR targets, …).
+    pub fn ctx(&self) -> &ExperimentContext {
+        &self.ctx
+    }
+
+    /// Worker threads draining the admission queue.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// LRU bound on resident sessions.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Per-connection pipelining window: requests in flight beyond this
+    /// pause reading from that connection until responses drain.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Whether warm solves are served from the per-class memo (see
+    /// [`crate::session::Session::solve_memoized`]).
+    pub fn memoize(&self) -> bool {
+        self.memoize
+    }
+
+    /// Snapshot directory (`--snapshot-dir`); `None` disables
+    /// persistence.
+    pub fn snapshot_dir(&self) -> Option<&Path> {
+        self.snapshot_dir.as_deref()
+    }
+
+    /// Whether snapshots are fully hashed before warm-starting
+    /// (`--verify-snapshots`).
+    pub fn verify_snapshots(&self) -> bool {
+        self.verify_snapshots
+    }
+}
+
+/// Builder for [`ServerConfig`]; [`ServerConfigBuilder::build`] validates
+/// and never panics (lint R1).
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Worker threads draining the admission queue (≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// LRU bound on resident sessions (≥ 1).
+    pub fn max_sessions(mut self, max_sessions: usize) -> Self {
+        self.config.max_sessions = max_sessions;
+        self
+    }
+
+    /// Per-connection pipelining window (≥ 1).
+    pub fn max_inflight(mut self, max_inflight: usize) -> Self {
+        self.config.max_inflight = max_inflight;
+        self
+    }
+
+    /// Serve repeated warm solve classes from the memo (default `true`;
+    /// `--no-memo` turns it off to force every solve through the solver).
+    pub fn memoize(mut self, memoize: bool) -> Self {
+        self.config.memoize = memoize;
+        self
+    }
+
+    /// Warm-start from and persist to `dir`.
+    pub fn snapshot_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.config.snapshot_dir = dir;
+        self
+    }
+
+    /// Hash every snapshot section before warm-starting from it.
+    pub fn verify_snapshots(mut self, verify: bool) -> Self {
+        self.config.verify_snapshots = verify;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServerConfig, RmError> {
+        let c = &self.config;
+        if c.workers == 0 {
+            return Err(RmError::invalid_parameter(
+                "workers",
+                0.0,
+                "at least one worker thread is required",
+            ));
+        }
+        if c.max_sessions == 0 {
+            return Err(RmError::invalid_parameter(
+                "max_sessions",
+                0.0,
+                "at least one resident session is required",
+            ));
+        }
+        if c.max_inflight == 0 {
+            return Err(RmError::invalid_parameter(
+                "max_inflight",
+                0.0,
+                "the pipelining window must admit at least one request",
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
+/// Routing slip of one queued request: which connection (token +
+/// generation guard), which per-connection sequence slot, and which wire
+/// schema version to render the answer in.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Reply {
+    pub(crate) token: u64,
+    pub(crate) generation: u64,
+    pub(crate) seq: u64,
+    pub(crate) version: u32,
+}
+
+/// A finished response on its way back to the event loop, already
+/// rendered so the loop only ever copies bytes.
+pub(crate) struct Completion {
+    pub(crate) reply: Reply,
+    pub(crate) line: String,
 }
 
 /// One queued unit of session work.
-struct Job {
-    key: SessionKey,
-    kind: JobKind,
-    enqueued: Instant,
-    out: Arc<ConnWriter>,
+pub(crate) struct Job {
+    pub(crate) key: SessionKey,
+    pub(crate) kind: JobKind,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: Reply,
 }
 
-enum JobKind {
+pub(crate) enum JobKind {
     Solve(SolveRequest),
     Warm(WarmRequest),
 }
 
-/// Write half of a connection; workers and the connection thread share it.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
-}
-
-impl ConnWriter {
-    fn send(&self, response: &Response) {
-        let mut line = response.render();
-        line.push('\n');
-        // Holding the writer lock across the socket write is the point:
-        // it is what keeps concurrent responses line-atomic on one
-        // connection. A vanished client is not a server error; drop the
-        // response.
-        let mut stream = lock_unpoisoned(&self.stream);
-        let _ = stream.write_all(line.as_bytes());
-        let _ = stream.flush();
-    }
-}
-
-struct Shared {
-    registry: SessionRegistry,
-    addr: SocketAddr,
-    queue: Mutex<VecDeque<Job>>,
-    available: Condvar,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) registry: SessionRegistry,
+    pub(crate) queue: Mutex<VecDeque<Job>>,
+    pub(crate) available: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) memoize: bool,
+    pub(crate) max_inflight: usize,
+    /// Finished responses awaiting pickup by the event loop.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Wakes the event loop's poller (wake pipe / flag).
+    pub(crate) waker: Waker,
     /// In-flight background snapshot writes; joined on shutdown so a
     /// `shutdown` right after a warm-up never truncates a persist.
-    persists: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) persists: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Shared {
-    /// Flag the shutdown, wake idle workers, and unblock the accept loop
-    /// (which is parked in blocking `incoming()`) with a throwaway
-    /// connection — so a shutdown that arrives over the wire really stops
-    /// the daemon, not just its workers.
-    fn begin_shutdown(&self) {
+    /// Flag the shutdown, wake idle workers, and wake the event loop so
+    /// it stops accepting and starts draining.
+    pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.available.notify_all();
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
+    }
+
+    /// Hand a finished response back to the event loop: render it in the
+    /// requester's schema version, stash it, and wake the poller.
+    pub(crate) fn complete(&self, reply: Reply, response: &Response) {
+        let line = response.render_for(reply.version);
+        {
+            let mut completions = lock_unpoisoned(&self.completions);
+            completions.push(Completion { reply, line });
+        }
+        self.waker.wake();
     }
 }
 
@@ -124,7 +261,7 @@ impl Shared {
 pub struct ServiceHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: std::thread::JoinHandle<()>,
+    event_loop: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -139,16 +276,16 @@ impl ServiceHandle {
         &self.shared.registry
     }
 
-    /// Ask the daemon to stop: pending queue entries are still flushed,
-    /// new connections are refused.
+    /// Ask the daemon to stop: admitted queue entries are still served
+    /// and flushed, new connections and requests are refused.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
 
-    /// Block until the accept loop, all workers and any in-flight
+    /// Block until the event loop, all workers and any in-flight
     /// background snapshot writes have finished.
     pub fn wait(self) {
-        let _ = self.accept.join();
+        let _ = self.event_loop.join();
         for worker in self.workers {
             let _ = worker.join();
         }
@@ -160,10 +297,14 @@ impl ServiceHandle {
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
-/// accept loop plus `config.workers` queue workers.
-pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+/// event loop plus `config.workers()` queue workers.
+pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServiceHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    // The poller (and with it the wake pipe) must exist before any worker
+    // can finish a job, so `Shared` is assembled around its waker.
+    let poller = Poller::new();
     let shared = Arc::new(Shared {
         registry: SessionRegistry::new(config.ctx.clone(), config.max_sessions)
             .with_snapshot_dir(config.snapshot_dir.clone())
@@ -172,10 +313,13 @@ pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle
             } else {
                 rmsa_store::VerifyMode::Lazy
             }),
-        addr,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        memoize: config.memoize,
+        max_inflight: config.max_inflight,
+        completions: Mutex::new(Vec::new()),
+        waker: poller.waker(),
         persists: Mutex::new(Vec::new()),
     });
     let workers = (0..config.workers.max(1))
@@ -186,102 +330,26 @@ pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<ServiceHandle
                 .spawn(move || worker_loop(&shared))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
-    let accept = {
+    let event_loop = {
         let shared = shared.clone();
         std::thread::Builder::new()
-            .name("rmsa-accept".to_string())
-            .spawn(move || accept_loop(&listener, &shared))?
+            .name("rmsa-event-loop".to_string())
+            .spawn(move || crate::event_loop::run(listener, poller, &shared))?
     };
     Ok(ServiceHandle {
         addr,
         shared,
-        accept,
+        event_loop,
         workers,
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = shared.clone();
-        // Connection threads are detached: they exit on client EOF, and
-        // the daemon process exits after `wait()` regardless.
-        let _ = std::thread::Builder::new()
-            .name("rmsa-conn".to_string())
-            .spawn(move || handle_connection(&shared, stream));
-    }
-    // No more producers: let idle workers observe the shutdown flag.
-    shared.available.notify_all();
-}
-
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let out = Arc::new(ConnWriter {
-        stream: Mutex::new(stream),
-    });
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match Request::parse(&line) {
-            Ok(request) => request,
-            Err(message) => {
-                out.send(&Response::Error { id: 0, message });
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            out.send(&Response::Error {
-                id: request.id(),
-                message: "server is shutting down".to_string(),
-            });
-            continue;
-        }
-        match request {
-            Request::Ping { id } => out.send(&Response::Pong { id }),
-            Request::Stats { id } => out.send(&Response::Stats {
-                id,
-                sessions: shared.registry.stats(),
-                evictions: shared.registry.evictions(),
-            }),
-            Request::Shutdown { id } => {
-                out.send(&Response::ShuttingDown { id });
-                shared.begin_shutdown();
-                return;
-            }
-            Request::Solve(solve) => enqueue(
-                shared,
-                Job {
-                    key: SessionKey::from(&solve),
-                    kind: JobKind::Solve(solve),
-                    enqueued: Instant::now(),
-                    out: out.clone(),
-                },
-            ),
-            Request::Warm(warm) => enqueue(
-                shared,
-                Job {
-                    key: SessionKey::from(&warm),
-                    kind: JobKind::Warm(warm),
-                    enqueued: Instant::now(),
-                    out: out.clone(),
-                },
-            ),
-        }
-    }
-}
-
-fn enqueue(shared: &Shared, job: Job) {
-    // The authoritative shutdown check happens here, under the queue
-    // lock: workers only exit after observing the flag with the lock held
-    // and an empty queue, so a job admitted while the flag is still unset
-    // is guaranteed a worker — no request can be stranded unanswered.
+/// Admit a job to the queue, or hand it back when the daemon is
+/// draining. The authoritative shutdown check happens here, under the
+/// queue lock: workers only exit after observing the flag with the lock
+/// held and an empty queue, so a job admitted while the flag is still
+/// unset is guaranteed a worker — no request can be stranded unanswered.
+pub(crate) fn enqueue(shared: &Shared, job: Job) -> Option<Job> {
     let refused = {
         let mut queue = lock_unpoisoned(&shared.queue);
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -291,19 +359,19 @@ fn enqueue(shared: &Shared, job: Job) {
             None
         }
     };
-    match refused {
-        Some(job) => {
-            let id = match &job.kind {
-                JobKind::Solve(solve) => solve.id,
-                JobKind::Warm(warm) => warm.id,
-            };
-            job.out.send(&Response::Error {
-                id,
-                message: "server is shutting down".to_string(),
-            });
-        }
-        None => shared.available.notify_one(),
+    if refused.is_none() {
+        shared.available.notify_one();
     }
+    refused
+}
+
+/// The error every refused or late request gets; the message is the v1
+/// wire string, verbatim.
+pub(crate) fn shutting_down_error(id: u64) -> Response {
+    Response::error(
+        id,
+        WireError::new(ErrorCode::ShuttingDown, "server is shutting down"),
+    )
 }
 
 fn worker_loop(shared: &Shared) {
@@ -388,13 +456,16 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                 if !outcome.already_warm {
                     persist_in_background(shared, session.clone());
                 }
-                job.out.send(&Response::Warm(crate::wire::WarmResponse {
-                    id: warm.id,
-                    session: key.label(),
-                    target_rr: outcome.target_rr,
-                    generated: outcome.generated,
-                    already_warm: outcome.already_warm,
-                }));
+                shared.complete(
+                    job.reply,
+                    &Response::Warm(crate::wire::WarmResponse {
+                        id: warm.id,
+                        session: key.label(),
+                        target_rr: outcome.target_rr,
+                        generated: outcome.generated,
+                        already_warm: outcome.already_warm,
+                    }),
+                );
             }
             JobKind::Solve(solve) => {
                 // Warm before solving — a no-op for every batch member
@@ -406,7 +477,12 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                     persist_in_background(shared, session.clone());
                 }
                 let started = Instant::now();
-                let response = match session.solve(&solve) {
+                let solved = if shared.memoize {
+                    session.solve_memoized(&solve)
+                } else {
+                    session.solve(&solve)
+                };
+                let response = match solved {
                     Ok(result) => Response::Solve(SolveResponse {
                         id: solve.id,
                         session: key.label(),
@@ -417,13 +493,57 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                             batch_size,
                         },
                     }),
-                    Err(e) => Response::Error {
-                        id: solve.id,
-                        message: e.to_string(),
-                    },
+                    Err(e) => Response::error(
+                        solve.id,
+                        WireError::new(ErrorCode::SolveFailed, e.to_string()),
+                    ),
                 };
-                job.out.send(&response);
+                shared.complete(job.reply, &response);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_ctx;
+
+    #[test]
+    fn builder_applies_and_validates() {
+        let config = ServerConfig::builder(tiny_ctx())
+            .workers(3)
+            .max_sessions(2)
+            .max_inflight(16)
+            .memoize(false)
+            .verify_snapshots(true)
+            .build()
+            .unwrap();
+        assert_eq!(config.workers(), 3);
+        assert_eq!(config.max_sessions(), 2);
+        assert_eq!(config.max_inflight(), 16);
+        assert!(!config.memoize());
+        assert!(config.verify_snapshots());
+        assert!(config.snapshot_dir().is_none());
+
+        for broken in [
+            ServerConfig::builder(tiny_ctx()).workers(0),
+            ServerConfig::builder(tiny_ctx()).max_sessions(0),
+            ServerConfig::builder(tiny_ctx()).max_inflight(0),
+        ] {
+            assert!(matches!(
+                broken.build(),
+                Err(RmError::InvalidParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn defaults_are_valid_by_construction() {
+        let config = ServerConfig::new(tiny_ctx());
+        assert!(config.workers() >= 1);
+        assert_eq!(config.max_sessions(), 4);
+        assert_eq!(config.max_inflight(), 256);
+        assert!(config.memoize());
     }
 }

@@ -334,6 +334,9 @@ pub fn session_from_source<S: SectionSource>(
         spread_rr: ctx.spread_rr,
         default_target,
         warm_level: Mutex::new(meta.warm_level),
+        warm_level_hint: AtomicUsize::new(meta.warm_level),
+        warm_epoch: AtomicUsize::new(0),
+        memo: Mutex::new(std::collections::BTreeMap::new()),
         warm_extensions: AtomicUsize::new(0),
         served: AtomicUsize::new(0),
         loaded_from_snapshot: true,

@@ -3,25 +3,151 @@
 //! One request per line, one response per line, both JSON objects encoded
 //! with [`rmsa_bench::json`] (stable key order, golden-file friendly — the
 //! same machinery behind `BENCH_*.json`). Every message carries
-//! `schema_version` ([`WIRE_SCHEMA_VERSION`]) and a client-chosen `id` that
-//! the response echoes, so clients may pipeline requests and match answers
-//! out of order.
+//! `schema_version` and a client-chosen numeric `id` that the response
+//! echoes, so clients may pipeline many requests on one connection and
+//! match answers to requests; the server writes responses in per-connection
+//! request order.
+//!
+//! Two schema versions are live:
+//!
+//! * **v2** ([`WIRE_SCHEMA_VERSION`]) — the current envelope. Errors are
+//!   machine-readable `{code, message}` objects ([`ErrorCode`] has the
+//!   closed catalog), and `ping` answers carry a `protocol` field naming
+//!   the highest version the server speaks.
+//! * **v1** ([`WIRE_MIN_SCHEMA_VERSION`]) — still accepted and **answered
+//!   in v1 shape**: string errors, no `protocol` field. A v1 client never
+//!   sees a v2 byte. Both shapes are pinned by golden files in
+//!   `tests/golden/`.
 //!
 //! Responses separate the **deterministic result payload** from
 //! **timing**: for a fixed server seed and warm target, the `result`
 //! object of a [`SolveResponse`] is a pure function of the request — it is
 //! bit-identical no matter how many worker threads serve it or how client
-//! requests interleave (see `DESIGN.md`, "Serving architecture"). The
+//! requests interleave (see `DESIGN.md`, "Event-loop serving"). The
 //! `timing` object (queue delay, solve wall-clock, batch size) is the only
 //! part allowed to vary; [`SolveResponse::canonical_json`] strips it, and
-//! the serving determinism test diffs exactly those canonical bytes.
+//! the serving determinism tests diff exactly those canonical bytes.
 
 use rmsa_bench::json::{self, Json};
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
 
-/// Wire schema version accepted and emitted by this build.
-pub const WIRE_SCHEMA_VERSION: u32 = 1;
+/// Highest wire schema version emitted and accepted by this build.
+pub const WIRE_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest wire schema version still accepted (and answered in kind).
+pub const WIRE_MIN_SCHEMA_VERSION: u32 = 1;
+
+/// The closed catalog of machine-readable error codes (wire names are
+/// kebab-case). v1 responses carry only the message; v2 responses carry
+/// `{code, message}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not a well-formed request envelope (bad JSON, missing
+    /// or mistyped required fields, oversized line).
+    BadRequest,
+    /// `schema_version` outside the accepted range.
+    UnsupportedSchema,
+    /// Unknown `op`.
+    UnknownOp,
+    /// Unknown dataset name.
+    UnknownDataset,
+    /// Unknown algorithm name.
+    UnknownAlgorithm,
+    /// Unknown RR-strategy name.
+    UnknownStrategy,
+    /// Unknown incentive-model name.
+    UnknownIncentive,
+    /// A parameter value outside its admissible range (e.g. a negative
+    /// or non-finite α).
+    InvalidParameter,
+    /// The daemon is draining and refused the request.
+    ShuttingDown,
+    /// The solver rejected an admitted request.
+    SolveFailed,
+}
+
+impl ErrorCode {
+    /// Wire name (kebab-case).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnsupportedSchema => "unsupported-schema",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::UnknownDataset => "unknown-dataset",
+            ErrorCode::UnknownAlgorithm => "unknown-algorithm",
+            ErrorCode::UnknownStrategy => "unknown-strategy",
+            ErrorCode::UnknownIncentive => "unknown-incentive",
+            ErrorCode::InvalidParameter => "invalid-parameter",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::SolveFailed => "solve-failed",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(name: &str) -> Option<ErrorCode> {
+        [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedSchema,
+            ErrorCode::UnknownOp,
+            ErrorCode::UnknownDataset,
+            ErrorCode::UnknownAlgorithm,
+            ErrorCode::UnknownStrategy,
+            ErrorCode::UnknownIncentive,
+            ErrorCode::InvalidParameter,
+            ErrorCode::ShuttingDown,
+            ErrorCode::SolveFailed,
+        ]
+        .into_iter()
+        .find(|c| c.name() == name)
+    }
+}
+
+/// A typed wire-level failure: the machine-readable [`ErrorCode`] plus
+/// the human-readable message v1 clients receive verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable message (the complete v1 error string).
+    pub message: String,
+}
+
+impl WireError {
+    /// Construct an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<WireError> for String {
+    fn from(e: WireError) -> String {
+        e.message
+    }
+}
+
+/// Why (and in which shape to answer when) a request line failed to
+/// parse: [`Request::parse_versioned`] extracts the id and schema version
+/// best-effort even from rejected lines, so the error response can echo
+/// the right id in the right version's rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseFailure {
+    /// Schema version to answer in (clamped to a supported one).
+    pub version: u32,
+    /// Best-effort extracted request id (0 when unextractable).
+    pub id: u64,
+    /// The typed error.
+    pub error: WireError,
+}
 
 /// Solver selectable through the wire protocol.
 ///
@@ -52,13 +178,16 @@ impl Algorithm {
     }
 
     /// Parse a wire name.
-    pub fn parse(name: &str) -> Result<Algorithm, String> {
+    pub fn parse(name: &str) -> Result<Algorithm, WireError> {
         match name {
             "rma" => Ok(Algorithm::Rma),
             "one-batch" => Ok(Algorithm::OneBatch),
             "ti-carm" => Ok(Algorithm::TiCarm),
             "ti-csrm" => Ok(Algorithm::TiCsrm),
-            other => Err(format!("unknown algorithm {other:?}")),
+            other => Err(WireError::new(
+                ErrorCode::UnknownAlgorithm,
+                format!("unknown algorithm {other:?}"),
+            )),
         }
     }
 
@@ -120,7 +249,7 @@ pub enum Request {
         /// Client-chosen correlation id.
         id: u64,
     },
-    /// Liveness probe.
+    /// Liveness probe; the v2 answer names the server's protocol version.
     Ping {
         /// Client-chosen correlation id.
         id: u64,
@@ -130,6 +259,11 @@ pub enum Request {
         /// Client-chosen correlation id.
         id: u64,
     },
+}
+
+/// True when `version` is a schema this build speaks.
+pub fn version_supported(version: u32) -> bool {
+    (WIRE_MIN_SCHEMA_VERSION..=WIRE_SCHEMA_VERSION).contains(&version)
 }
 
 impl Request {
@@ -142,10 +276,12 @@ impl Request {
         }
     }
 
-    /// Encode as a JSON document (one line on the wire).
-    pub fn to_json(&self) -> Json {
+    /// Encode as a JSON document in the given schema version. The
+    /// request envelope is field-identical across v1 and v2; only the
+    /// `schema_version` value differs.
+    pub fn to_json_for(&self, version: u32) -> Json {
         let mut doc = Json::obj();
-        doc.set("schema_version", Json::Int(WIRE_SCHEMA_VERSION as i64));
+        doc.set("schema_version", Json::Int(version as i64));
         match self {
             Request::Solve(r) => {
                 doc.set("op", Json::Str("solve".into()))
@@ -182,72 +318,129 @@ impl Request {
         doc
     }
 
-    /// Render as a single wire line (no trailing newline).
+    /// Encode in the current schema version ([`WIRE_SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> Json {
+        self.to_json_for(WIRE_SCHEMA_VERSION)
+    }
+
+    /// Render as a single wire line (no trailing newline) in the given
+    /// schema version.
+    pub fn render_for(&self, version: u32) -> String {
+        self.to_json_for(version).render_compact()
+    }
+
+    /// Render in the current schema version.
     pub fn render(&self) -> String {
         self.to_json().render_compact()
     }
 
-    /// Parse one wire line.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let doc = json::parse(line)?;
-        let version = doc
-            .get("schema_version")
-            .and_then(|v| v.as_i64())
-            .ok_or("request is missing schema_version")?;
-        if version != WIRE_SCHEMA_VERSION as i64 {
-            return Err(format!("unsupported wire schema {version}"));
+    /// Parse one wire line, returning the schema version it was written
+    /// in alongside the request — the server answers in that version.
+    pub fn parse_versioned(line: &str) -> Result<(u32, Request), ParseFailure> {
+        // Best-effort context first, so even a rejected line gets its id
+        // echoed in a version-appropriate error response.
+        let doc = match json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                return Err(ParseFailure {
+                    version: WIRE_MIN_SCHEMA_VERSION,
+                    id: 0,
+                    error: WireError::new(ErrorCode::BadRequest, e),
+                })
+            }
+        };
+        let id = doc.get("id").and_then(|v| v.as_i64()).unwrap_or(0).max(0) as u64;
+        let raw_version = doc.get("schema_version").and_then(|v| v.as_i64());
+        // Answer-version: the request's own when supported; otherwise the
+        // newest we speak (an unsupported-schema client at least gets a
+        // self-describing v2 error).
+        let version = match raw_version {
+            Some(v) if version_supported(v.max(0) as u32) => v as u32,
+            _ => WIRE_SCHEMA_VERSION,
+        };
+        let fail = |error: WireError| ParseFailure { version, id, error };
+        let bad = |message: String| ParseFailure {
+            version,
+            id,
+            error: WireError::new(ErrorCode::BadRequest, message),
+        };
+        let Some(raw) = raw_version else {
+            return Err(bad("request is missing schema_version".to_string()));
+        };
+        if !version_supported(raw.max(0) as u32) {
+            return Err(fail(WireError::new(
+                ErrorCode::UnsupportedSchema,
+                format!("unsupported wire schema {raw}"),
+            )));
         }
-        let id = doc
-            .get("id")
-            .and_then(|v| v.as_i64())
-            .ok_or("request is missing id")? as u64;
-        let op = doc
-            .get("op")
-            .and_then(|v| v.as_str())
-            .ok_or("request is missing op")?;
-        match op {
-            "solve" => Ok(Request::Solve(SolveRequest {
+        if doc.get("id").and_then(|v| v.as_i64()).is_none() {
+            return Err(bad("request is missing id".to_string()));
+        }
+        let Some(op) = doc.get("op").and_then(|v| v.as_str()) else {
+            return Err(bad("request is missing op".to_string()));
+        };
+        let request = match op {
+            "solve" => Request::Solve(SolveRequest {
                 id,
-                dataset: parse_dataset(req_str(&doc, "dataset")?)?,
+                dataset: parse_dataset(req_str(&doc, "dataset").map_err(&fail)?).map_err(&fail)?,
                 strategy: parse_strategy(
                     doc.get("strategy")
                         .and_then(|v| v.as_str())
                         .unwrap_or("standard"),
-                )?,
-                algorithm: Algorithm::parse(req_str(&doc, "algorithm")?)?,
+                )
+                .map_err(&fail)?,
+                algorithm: Algorithm::parse(req_str(&doc, "algorithm").map_err(&fail)?)
+                    .map_err(&fail)?,
                 incentive: parse_incentive(
                     doc.get("incentive")
                         .and_then(|v| v.as_str())
                         .unwrap_or("linear"),
-                )?,
+                )
+                .map_err(&fail)?,
                 alpha: parse_alpha(
                     doc.get("alpha")
                         .and_then(|v| v.as_f64())
-                        .ok_or("solve request is missing alpha")?,
-                )?,
+                        .ok_or_else(|| bad("solve request is missing alpha".to_string()))?,
+                )
+                .map_err(&fail)?,
                 evaluate: doc
                     .get("evaluate")
                     .and_then(|v| v.as_bool())
                     .unwrap_or(true),
-            })),
-            "warm" => Ok(Request::Warm(WarmRequest {
+            }),
+            "warm" => Request::Warm(WarmRequest {
                 id,
-                dataset: parse_dataset(req_str(&doc, "dataset")?)?,
+                dataset: parse_dataset(req_str(&doc, "dataset").map_err(&fail)?).map_err(&fail)?,
                 strategy: parse_strategy(
                     doc.get("strategy")
                         .and_then(|v| v.as_str())
                         .unwrap_or("standard"),
-                )?,
+                )
+                .map_err(&fail)?,
                 target_rr: doc
                     .get("target_rr")
                     .and_then(|v| v.as_i64())
                     .map(|t| t.max(0) as usize),
-            })),
-            "stats" => Ok(Request::Stats { id }),
-            "ping" => Ok(Request::Ping { id }),
-            "shutdown" => Ok(Request::Shutdown { id }),
-            other => Err(format!("unknown op {other:?}")),
-        }
+            }),
+            "stats" => Request::Stats { id },
+            "ping" => Request::Ping { id },
+            "shutdown" => Request::Shutdown { id },
+            other => {
+                return Err(fail(WireError::new(
+                    ErrorCode::UnknownOp,
+                    format!("unknown op {other:?}"),
+                )))
+            }
+        };
+        Ok((version, request))
+    }
+
+    /// Parse one wire line of any supported schema version, discarding
+    /// the version (clients that only need the request).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        Request::parse_versioned(line)
+            .map(|(_, request)| request)
+            .map_err(|failure| failure.error.message)
     }
 }
 
@@ -314,6 +507,7 @@ pub struct SolveResponse {
 impl SolveResponse {
     /// The response without its timing object: the bytes that must be
     /// identical across worker-thread counts and client interleavings.
+    /// Version-independent by construction (no `schema_version` field).
     pub fn canonical_json(&self) -> Json {
         let mut doc = Json::obj();
         doc.set("id", Json::Int(self.id as i64))
@@ -380,7 +574,7 @@ pub enum Response {
         /// Sessions evicted by the LRU bound since startup.
         evictions: usize,
     },
-    /// Liveness answer.
+    /// Liveness answer; v2 renderings carry `protocol`.
     Pong {
         /// Echoed request id.
         id: u64,
@@ -390,20 +584,33 @@ pub enum Response {
         /// Echoed request id.
         id: u64,
     },
-    /// The request failed; `message` says why.
+    /// The request failed. v1 renders the message alone; v2 renders the
+    /// full `{code, message}` object.
     Error {
         /// Echoed request id (0 when the request was unparseable).
         id: u64,
-        /// Human-readable error.
+        /// Machine-readable code (v2 wire field).
+        code: ErrorCode,
+        /// Human-readable message (the whole v1 wire field).
         message: String,
     },
 }
 
 impl Response {
-    /// Encode as a JSON document (one line on the wire).
-    pub fn to_json(&self) -> Json {
+    /// An error response from a typed [`WireError`].
+    pub fn error(id: u64, error: WireError) -> Response {
+        Response::Error {
+            id,
+            code: error.code,
+            message: error.message,
+        }
+    }
+
+    /// Encode as a JSON document in the given schema version.
+    pub fn to_json_for(&self, version: u32) -> Json {
+        let v1 = version <= WIRE_MIN_SCHEMA_VERSION;
         let mut doc = Json::obj();
-        doc.set("schema_version", Json::Int(WIRE_SCHEMA_VERSION as i64));
+        doc.set("schema_version", Json::Int(version as i64));
         match self {
             Response::Solve(r) => {
                 doc.set("op", Json::Str("solve".into()))
@@ -444,35 +651,56 @@ impl Response {
                 doc.set("op", Json::Str("ping".into()))
                     .set("id", Json::Int(*id as i64))
                     .set("ok", Json::Bool(true));
+                if !v1 {
+                    doc.set("protocol", Json::Int(WIRE_SCHEMA_VERSION as i64));
+                }
             }
             Response::ShuttingDown { id } => {
                 doc.set("op", Json::Str("shutdown".into()))
                     .set("id", Json::Int(*id as i64))
                     .set("ok", Json::Bool(true));
             }
-            Response::Error { id, message } => {
+            Response::Error { id, code, message } => {
                 doc.set("op", Json::Str("error".into()))
                     .set("id", Json::Int(*id as i64))
-                    .set("ok", Json::Bool(false))
-                    .set("error", Json::Str(message.clone()));
+                    .set("ok", Json::Bool(false));
+                if v1 {
+                    doc.set("error", Json::Str(message.clone()));
+                } else {
+                    let mut e = Json::obj();
+                    e.set("code", Json::Str(code.name().into()))
+                        .set("message", Json::Str(message.clone()));
+                    doc.set("error", e);
+                }
             }
         }
         doc
     }
 
-    /// Render as a single wire line (no trailing newline).
+    /// Encode in the current schema version.
+    pub fn to_json(&self) -> Json {
+        self.to_json_for(WIRE_SCHEMA_VERSION)
+    }
+
+    /// Render as a single wire line (no trailing newline) in the given
+    /// schema version.
+    pub fn render_for(&self, version: u32) -> String {
+        self.to_json_for(version).render_compact()
+    }
+
+    /// Render in the current schema version.
     pub fn render(&self) -> String {
         self.to_json().render_compact()
     }
 
-    /// Parse one wire line.
+    /// Parse one wire line of any supported schema version.
     pub fn parse(line: &str) -> Result<Response, String> {
         let doc = json::parse(line)?;
         let version = doc
             .get("schema_version")
             .and_then(|v| v.as_i64())
             .ok_or("response is missing schema_version")?;
-        if version != WIRE_SCHEMA_VERSION as i64 {
+        if !version_supported(version.max(0) as u32) {
             return Err(format!("unsupported wire schema {version}"));
         }
         let id = doc.get("id").and_then(|v| v.as_i64()).unwrap_or(0) as u64;
@@ -519,10 +747,34 @@ impl Response {
             }),
             "ping" => Ok(Response::Pong { id }),
             "shutdown" => Ok(Response::ShuttingDown { id }),
-            "error" => Ok(Response::Error {
-                id,
-                message: req_str(&doc, "error")?.to_string(),
-            }),
+            "error" => {
+                let error = doc.get("error").ok_or("error response missing error")?;
+                // v2 nests {code, message}; v1 is the bare message string
+                // (no code on the wire — BadRequest is the neutral
+                // stand-in so the enum stays total).
+                if let Some(message) = error.as_str() {
+                    Ok(Response::Error {
+                        id,
+                        code: ErrorCode::BadRequest,
+                        message: message.to_string(),
+                    })
+                } else {
+                    let code_name = error
+                        .get("code")
+                        .and_then(|v| v.as_str())
+                        .ok_or("error response missing code")?;
+                    Ok(Response::Error {
+                        id,
+                        code: ErrorCode::parse(code_name)
+                            .ok_or_else(|| format!("unknown error code {code_name:?}"))?,
+                        message: error
+                            .get("message")
+                            .and_then(|v| v.as_str())
+                            .ok_or("error response missing message")?
+                            .to_string(),
+                    })
+                }
+            }
             other => Err(format!("unknown response op {other:?}")),
         }
     }
@@ -623,65 +875,95 @@ pub fn strategy_name(strategy: RrStrategy) -> &'static str {
 }
 
 /// Parse a strategy wire name.
-pub fn parse_strategy(name: &str) -> Result<RrStrategy, String> {
+pub fn parse_strategy(name: &str) -> Result<RrStrategy, WireError> {
     match name {
         "standard" => Ok(RrStrategy::Standard),
         "subsim" => Ok(RrStrategy::Subsim),
-        other => Err(format!("unknown strategy {other:?}")),
+        other => Err(WireError::new(
+            ErrorCode::UnknownStrategy,
+            format!("unknown strategy {other:?}"),
+        )),
     }
 }
 
 /// Parse a dataset wire name.
-pub fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+pub fn parse_dataset(name: &str) -> Result<DatasetKind, WireError> {
     DatasetKind::all()
         .into_iter()
         .find(|k| k.name() == name)
-        .ok_or_else(|| format!("unknown dataset {name:?}"))
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownDataset,
+                format!("unknown dataset {name:?}"),
+            )
+        })
 }
 
 /// Validate the incentive scale of a solve request at the wire boundary:
 /// a negative or non-finite α would turn into negative/NaN seed costs and
 /// reach the solvers, so it is refused with a typed error before a worker
 /// ever sees the request.
-pub fn parse_alpha(alpha: f64) -> Result<f64, String> {
+pub fn parse_alpha(alpha: f64) -> Result<f64, WireError> {
     if alpha.is_finite() && alpha >= 0.0 {
         Ok(alpha)
     } else {
-        Err(format!("alpha must be finite and >= 0, got {alpha}"))
+        Err(WireError::new(
+            ErrorCode::InvalidParameter,
+            format!("alpha must be finite and >= 0, got {alpha}"),
+        ))
     }
 }
 
 /// Parse an incentive-model wire name.
-pub fn parse_incentive(name: &str) -> Result<IncentiveModel, String> {
+pub fn parse_incentive(name: &str) -> Result<IncentiveModel, WireError> {
     IncentiveModel::all()
         .into_iter()
         .find(|m| m.label() == name)
-        .ok_or_else(|| format!("unknown incentive model {name:?}"))
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownIncentive,
+                format!("unknown incentive model {name:?}"),
+            )
+        })
 }
 
-fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
-    doc.get(key)
-        .and_then(|v| v.as_str())
-        .ok_or_else(|| format!("missing string field {key:?}"))
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, WireError> {
+    doc.get(key).and_then(|v| v.as_str()).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("missing string field {key:?}"),
+        )
+    })
 }
 
-fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
-    doc.get(key)
-        .and_then(|v| v.as_f64())
-        .ok_or_else(|| format!("missing number field {key:?}"))
+fn num_field(doc: &Json, key: &str) -> Result<f64, WireError> {
+    doc.get(key).and_then(|v| v.as_f64()).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("missing number field {key:?}"),
+        )
+    })
 }
 
-fn int_field(doc: &Json, key: &str) -> Result<usize, String> {
+fn int_field(doc: &Json, key: &str) -> Result<usize, WireError> {
     doc.get(key)
         .and_then(|v| v.as_i64())
         .map(|i| i.max(0) as usize)
-        .ok_or_else(|| format!("missing integer field {key:?}"))
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("missing integer field {key:?}"),
+            )
+        })
 }
 
-fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
-    doc.get(key)
-        .and_then(|v| v.as_bool())
-        .ok_or_else(|| format!("missing boolean field {key:?}"))
+fn bool_field(doc: &Json, key: &str) -> Result<bool, WireError> {
+    doc.get(key).and_then(|v| v.as_bool()).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::BadRequest,
+            format!("missing boolean field {key:?}"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -701,7 +983,7 @@ mod tests {
     }
 
     #[test]
-    fn requests_roundtrip() {
+    fn requests_roundtrip_in_both_versions() {
         let requests = [
             Request::Solve(sample_solve_request()),
             Request::Warm(WarmRequest {
@@ -721,16 +1003,21 @@ mod tests {
             Request::Shutdown { id: 12 },
         ];
         for request in requests {
-            let line = request.render();
-            assert!(!line.contains('\n'), "wire lines must be single lines");
-            let parsed = Request::parse(&line).unwrap();
-            assert_eq!(parsed, request);
-            assert_eq!(parsed.id(), request.id());
+            for version in [1u32, 2] {
+                let line = request.render_for(version);
+                assert!(!line.contains('\n'), "wire lines must be single lines");
+                let (parsed_version, parsed) = Request::parse_versioned(&line).unwrap();
+                assert_eq!(parsed_version, version);
+                assert_eq!(parsed, request);
+                assert_eq!(parsed.id(), request.id());
+            }
+            // The untyped path still accepts either version.
+            assert_eq!(Request::parse(&request.render()).unwrap(), request);
         }
     }
 
     #[test]
-    fn responses_roundtrip() {
+    fn responses_roundtrip_in_both_versions() {
         let responses = [
             Response::Solve(SolveResponse {
                 id: 7,
@@ -783,13 +1070,101 @@ mod tests {
             Response::ShuttingDown { id: 12 },
             Response::Error {
                 id: 3,
+                code: ErrorCode::UnknownDataset,
                 message: "unknown dataset \"nope\"".into(),
             },
         ];
         for response in responses {
+            // v2 roundtrips losslessly, error code included.
             let line = response.render();
             assert!(!line.contains('\n'));
             assert_eq!(Response::parse(&line).unwrap(), response);
+            // v1 parses back too; the code is not on a v1 wire, so only
+            // id and message survive for errors.
+            let v1_line = response.render_for(1);
+            let parsed = Response::parse(&v1_line).unwrap();
+            if let (
+                Response::Error { id, message, .. },
+                Response::Error {
+                    id: pid,
+                    message: pmessage,
+                    code: pcode,
+                },
+            ) = (&response, &parsed)
+            {
+                assert_eq!((id, message), (pid, pmessage));
+                assert_eq!(*pcode, ErrorCode::BadRequest, "v1 neutral default");
+            } else {
+                assert_eq!(parsed, response);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_envelope_carries_codes_and_protocol() {
+        let error = Response::Error {
+            id: 9,
+            code: ErrorCode::UnknownAlgorithm,
+            message: "unknown algorithm \"simplex\"".into(),
+        };
+        let v2 = error.render_for(2);
+        assert!(v2.contains(r#""error":{"code":"unknown-algorithm""#));
+        let v1 = error.render_for(1);
+        assert!(v1.contains(r#""error":"unknown algorithm \"simplex\""#));
+        assert!(!v1.contains("unknown-algorithm"));
+
+        let pong = Response::Pong { id: 4 };
+        assert!(pong.render_for(2).contains(r#""protocol":2"#));
+        assert!(!pong.render_for(1).contains("protocol"));
+    }
+
+    #[test]
+    fn parse_failures_carry_codes_ids_and_answer_versions() {
+        for (line, code, id, version) in [
+            ("not json", ErrorCode::BadRequest, 0, 1),
+            ("{}", ErrorCode::BadRequest, 0, 2),
+            (
+                r#"{"schema_version":3,"id":9,"op":"ping"}"#,
+                ErrorCode::UnsupportedSchema,
+                9,
+                2,
+            ),
+            (
+                r#"{"schema_version":1,"id":7,"op":"warp"}"#,
+                ErrorCode::UnknownOp,
+                7,
+                1,
+            ),
+            (
+                r#"{"schema_version":2,"id":8,"op":"solve","dataset":"nope","algorithm":"rma","alpha":0.1}"#,
+                ErrorCode::UnknownDataset,
+                8,
+                2,
+            ),
+            (
+                r#"{"schema_version":1,"id":2,"op":"solve","dataset":"lastfm-syn","algorithm":"rma"}"#,
+                ErrorCode::BadRequest,
+                2,
+                1,
+            ),
+            (
+                r#"{"schema_version":1,"id":2,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":-0.5}"#,
+                ErrorCode::InvalidParameter,
+                2,
+                1,
+            ),
+            (
+                r#"{"schema_version":2,"id":2,"op":"solve","dataset":"lastfm-syn","algorithm":"simplex","alpha":0.5}"#,
+                ErrorCode::UnknownAlgorithm,
+                2,
+                2,
+            ),
+        ] {
+            let failure = Request::parse_versioned(line).unwrap_err();
+            assert_eq!(failure.error.code, code, "{line}");
+            assert_eq!(failure.id, id, "{line}");
+            assert_eq!(failure.version, version, "{line}");
+            assert!(Request::parse(line).is_err());
         }
     }
 
@@ -822,6 +1197,7 @@ mod tests {
         let canonical = response.canonical_json().render_compact();
         assert!(!canonical.contains("timing"));
         assert!(!canonical.contains("solve_secs"));
+        assert!(!canonical.contains("schema_version"));
         assert!(canonical.contains("allocation_digest"));
         // Two responses differing only in timing canonicalise identically.
         let mut other = response.clone();
@@ -830,28 +1206,36 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_error_out() {
-        for bad in [
-            "{}",
-            "not json",
-            r#"{"schema_version":1,"id":1,"op":"warp"}"#,
-            r#"{"schema_version":2,"id":1,"op":"ping"}"#,
-            r#"{"schema_version":1,"id":1,"op":"solve","dataset":"nope","algorithm":"rma","alpha":0.1}"#,
-            r#"{"schema_version":1,"id":1,"op":"solve","dataset":"lastfm-syn","algorithm":"rma"}"#,
-            r#"{"schema_version":1,"id":1,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":-0.5}"#,
-        ] {
-            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
+    fn solve_defaults_are_applied() {
+        for version in [1, 2] {
+            let line = format!(
+                r#"{{"schema_version":{version},"id":4,"op":"solve","dataset":"lastfm-syn","algorithm":"one-batch","alpha":0.2}}"#
+            );
+            let Request::Solve(r) = Request::parse(&line).unwrap() else {
+                panic!("expected solve");
+            };
+            assert_eq!(r.strategy, RrStrategy::Standard);
+            assert_eq!(r.incentive, IncentiveModel::Linear);
+            assert!(r.evaluate);
         }
     }
 
     #[test]
-    fn solve_defaults_are_applied() {
-        let line = r#"{"schema_version":1,"id":4,"op":"solve","dataset":"lastfm-syn","algorithm":"one-batch","alpha":0.2}"#;
-        let Request::Solve(r) = Request::parse(line).unwrap() else {
-            panic!("expected solve");
-        };
-        assert_eq!(r.strategy, RrStrategy::Standard);
-        assert_eq!(r.incentive, IncentiveModel::Linear);
-        assert!(r.evaluate);
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedSchema,
+            ErrorCode::UnknownOp,
+            ErrorCode::UnknownDataset,
+            ErrorCode::UnknownAlgorithm,
+            ErrorCode::UnknownStrategy,
+            ErrorCode::UnknownIncentive,
+            ErrorCode::InvalidParameter,
+            ErrorCode::ShuttingDown,
+            ErrorCode::SolveFailed,
+        ] {
+            assert_eq!(ErrorCode::parse(code.name()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
     }
 }

@@ -7,7 +7,7 @@
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
 use rmsa_service::wire::{Algorithm, Request, Response, SolveRequest, SolveResult};
-use rmsa_service::{server, ServiceConfig, SessionKey, SessionRegistry};
+use rmsa_service::{server, ServerConfig, SessionKey, SessionRegistry};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::sync::{Arc, Mutex};
@@ -27,17 +27,15 @@ fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
 
 /// A daemon with exactly ONE worker is fed every malformed/invalid shape a
 /// client can produce, then asked for a real solve. If any of the bad
-/// requests had panicked the lone worker, the solve could never be
-/// answered — the read timeout below would trip.
+/// requests had panicked the lone worker (or the event loop), the solve
+/// could never be answered — the read timeout below would trip.
 #[test]
 fn no_wire_request_can_kill_the_single_worker() {
-    let config = ServiceConfig {
-        ctx: rmsa_service::tiny_serve_ctx(7),
-        workers: 1,
-        max_sessions: 2,
-        snapshot_dir: None,
-        verify_snapshots: false,
-    };
+    let config = ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+        .workers(1)
+        .max_sessions(2)
+        .build()
+        .expect("valid config");
     let handle = server::start("127.0.0.1:0", config).expect("bind");
     let addr = handle.local_addr();
 
@@ -67,6 +65,10 @@ fn no_wire_request_can_kill_the_single_worker() {
         r#"{"schema_version":1,"id":4,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":-0.5}"#,
         r#"{"schema_version":1,"id":5,"op":"solve","dataset":"lastfm-syn","algorithm":"sorcery","alpha":0.1}"#,
         r#"{"schema_version":1,"id":6,"op":"solve","dataset":"lastfm-syn","algorithm":"rma","alpha":0.1,"incentive":"bribes"}"#,
+        // v2 shapes: missing id, missing alpha, unknown op.
+        r#"{"schema_version":2,"op":"ping"}"#,
+        r#"{"schema_version":2,"id":10,"op":"solve","dataset":"lastfm-syn","algorithm":"rma"}"#,
+        r#"{"schema_version":2,"id":11,"op":"divine"}"#,
     ];
     for line in hostile {
         let response = call(line);

@@ -1,0 +1,219 @@
+//! Pipelining tests of the event-loop server: many in-flight requests on
+//! one connection, responses in request order, and isolation — one
+//! stalled reader must never stall another connection's solves.
+
+use rmsa_datasets::{DatasetKind, IncentiveModel};
+use rmsa_diffusion::RrStrategy;
+use rmsa_service::wire::{Algorithm, Request, Response, SolveRequest};
+use rmsa_service::{server, ServerConfig, ServiceClient};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn tiny_config(workers: usize) -> ServerConfig {
+    ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+        .workers(workers)
+        .max_sessions(2)
+        .build()
+        .expect("valid config")
+}
+
+fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
+    SolveRequest {
+        id,
+        dataset: DatasetKind::LastfmSyn,
+        strategy: RrStrategy::Standard,
+        algorithm,
+        incentive: IncentiveModel::Linear,
+        alpha,
+        evaluate: true,
+    }
+}
+
+/// A deterministic little request population spanning several solve
+/// classes, so pipelined batching has real work to interleave.
+fn request_population(n: u64) -> Vec<SolveRequest> {
+    let algorithms = [Algorithm::Rma, Algorithm::OneBatch, Algorithm::TiCarm];
+    let alphas = [0.1, 0.2, 0.3];
+    (1..=n)
+        .map(|id| solve_request(id, algorithms[(id % 3) as usize], alphas[(id % 3) as usize]))
+        .collect()
+}
+
+/// The tentpole invariant: 64 requests fired back-to-back on ONE
+/// connection — no waiting between sends — come back exactly in request
+/// order, every id echoed, and the payload bytes are bit-identical to
+/// the same requests issued sequentially against a 1-worker daemon.
+#[test]
+fn a_burst_of_64_pipelined_requests_answers_in_order_and_bit_identically() {
+    let requests = request_population(64);
+
+    // Pipelined shot against an 8-worker daemon.
+    let handle = server::start("127.0.0.1:0", tiny_config(8)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    for request in &requests {
+        client.send(&Request::Solve(request.clone())).expect("send");
+    }
+    let mut pipelined = Vec::new();
+    for expected in &requests {
+        match client.recv().expect("recv") {
+            Response::Solve(solve) => {
+                assert_eq!(
+                    solve.id, expected.id,
+                    "responses must come back in request order"
+                );
+                pipelined.push(solve.canonical_json().render_compact());
+            }
+            other => panic!("expected a solve for id {}, got {other:?}", expected.id),
+        }
+    }
+    handle.shutdown();
+    handle.wait();
+
+    // The same requests, strictly sequentially, one worker, memoization
+    // off — the slowest, most conservative path the server has.
+    let sequential_config = ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+        .workers(1)
+        .max_sessions(2)
+        .memoize(false)
+        .build()
+        .expect("valid config");
+    let handle = server::start("127.0.0.1:0", sequential_config).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let mut sequential = Vec::new();
+    for request in &requests {
+        match client.call(&Request::Solve(request.clone())).expect("call") {
+            Response::Solve(solve) => sequential.push(solve.canonical_json().render_compact()),
+            other => panic!("expected a solve, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+    handle.wait();
+
+    assert_eq!(
+        pipelined, sequential,
+        "pipelined concurrent responses must be bit-identical to sequential ones"
+    );
+}
+
+/// Inline ops travel the same ordered response path as solves: a ping
+/// sent after a solve on the same connection must not overtake it.
+#[test]
+fn control_ops_do_not_overtake_earlier_solves_on_the_same_connection() {
+    let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    client
+        .send(&Request::Solve(solve_request(1, Algorithm::Rma, 0.1)))
+        .expect("send solve");
+    client.send(&Request::Ping { id: 2 }).expect("send ping");
+    client.send(&Request::Stats { id: 3 }).expect("send stats");
+    assert!(
+        matches!(client.recv().expect("recv"), Response::Solve(s) if s.id == 1),
+        "the solve must answer first"
+    );
+    assert!(matches!(
+        client.recv().expect("recv"),
+        Response::Pong { id: 2 }
+    ));
+    assert!(matches!(
+        client.recv().expect("recv"),
+        Response::Stats { id: 3, .. }
+    ));
+    handle.shutdown();
+    handle.wait();
+}
+
+/// Isolation: a client that sends requests and then never reads must not
+/// stall a well-behaved client on another connection. The stalled
+/// connection's responses pile up in its own write buffer; the healthy
+/// connection keeps being served by the same workers.
+#[test]
+fn a_stalled_reader_does_not_stall_another_connections_solves() {
+    let handle = server::start("127.0.0.1:0", tiny_config(1)).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    // Warm the session first so the stalled client's requests are cheap
+    // for the server and the test exercises write-side stalling, not the
+    // one-off warm-up.
+    let mut warmer = ServiceClient::connect(&addr).expect("connect");
+    match warmer
+        .call(&Request::Solve(solve_request(1, Algorithm::Rma, 0.1)))
+        .expect("warm solve")
+    {
+        Response::Solve(_) => {}
+        other => panic!("expected a solve, got {other:?}"),
+    }
+
+    // The hostile client: firehose of solves, never reads a byte.
+    let mut stalled = TcpStream::connect(&addr).expect("connect");
+    for id in 1..=200u64 {
+        let mut line = Request::Solve(solve_request(id, Algorithm::Rma, 0.1)).render();
+        line.push('\n');
+        stalled.write_all(line.as_bytes()).expect("send");
+    }
+    stalled.flush().expect("flush");
+
+    // The healthy client must still get solves, promptly.
+    let healthy = TcpStream::connect(&addr).expect("connect");
+    healthy
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let mut reader = BufReader::new(healthy.try_clone().expect("clone"));
+    let mut writer = healthy;
+    let started = Instant::now();
+    for id in 1..=5u64 {
+        let mut line = Request::Solve(solve_request(id, Algorithm::OneBatch, 0.2)).render();
+        line.push('\n');
+        writer.write_all(line.as_bytes()).expect("send");
+        let mut answer = String::new();
+        reader
+            .read_line(&mut answer)
+            .expect("a healthy client must be answered while another connection stalls");
+        assert!(
+            matches!(
+                Response::parse(answer.trim_end()).expect("parse"),
+                Response::Solve(s) if s.id == id
+            ),
+            "healthy client got a wrong response for id {id}"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(55),
+        "healthy solves took implausibly long next to a stalled reader"
+    );
+
+    drop(stalled); // now let the server clean the hostile connection up
+    handle.shutdown();
+    handle.wait();
+}
+
+/// Backpressure: a single connection may not hold more than
+/// `max_inflight` requests in the solver queue; the overflow waits in
+/// the connection's read buffer and is answered later, in order.
+#[test]
+fn more_requests_than_max_inflight_still_all_answer_in_order() {
+    let config = ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+        .workers(2)
+        .max_sessions(2)
+        .max_inflight(4)
+        .build()
+        .expect("valid config");
+    let handle = server::start("127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let requests = request_population(32);
+    for request in &requests {
+        client.send(&Request::Solve(request.clone())).expect("send");
+    }
+    for expected in &requests {
+        match client.recv().expect("recv") {
+            Response::Solve(solve) => assert_eq!(solve.id, expected.id),
+            other => panic!("expected a solve for id {}, got {other:?}", expected.id),
+        }
+    }
+    handle.shutdown();
+    handle.wait();
+}

@@ -8,18 +8,16 @@
 
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
-use rmsa_service::loadgen::{self, LoadgenConfig};
+use rmsa_service::loadgen::{self, LoadgenPlan};
 use rmsa_service::wire::{Algorithm, Request, Response, SolveRequest, WarmRequest};
-use rmsa_service::{server, ServiceClient, ServiceConfig};
+use rmsa_service::{server, ServerConfig, ServiceClient};
 
-fn tiny_config(workers: usize) -> ServiceConfig {
-    ServiceConfig {
-        ctx: rmsa_service::tiny_serve_ctx(7),
-        workers,
-        max_sessions: 2,
-        snapshot_dir: None,
-        verify_snapshots: false,
-    }
+fn tiny_config(workers: usize) -> ServerConfig {
+    ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+        .workers(workers)
+        .max_sessions(2)
+        .build()
+        .expect("valid config")
 }
 
 fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
@@ -39,13 +37,10 @@ fn solve_request(id: u64, algorithm: Algorithm, alpha: f64) -> SolveRequest {
 fn load_canonical(workers: usize) -> Vec<String> {
     let handle = server::start("127.0.0.1:0", tiny_config(workers)).expect("bind");
     let addr = handle.local_addr().to_string();
-    let config = LoadgenConfig::quick(7);
-    let outcome = loadgen::run(&addr, &config).expect("loadgen");
+    let plan = LoadgenPlan::quick(7);
+    let outcome = loadgen::run(&addr, &plan).expect("loadgen");
     assert_eq!(outcome.errors, Vec::<String>::new());
-    assert_eq!(
-        outcome.responses.len(),
-        config.clients * config.requests_per_client
-    );
+    assert_eq!(outcome.responses.len(), plan.total_requests());
     handle.shutdown();
     handle.wait();
     outcome.canonical_lines()
@@ -176,10 +171,10 @@ fn warm_rpc_pre_extends_and_solves_report_reuse() {
 
 #[test]
 fn a_wire_shutdown_alone_stops_the_daemon() {
-    // Regression test: a `shutdown` request arriving over TCP must also
-    // unblock the accept thread (parked in blocking `incoming()`), not
-    // just the workers — otherwise `rmsa serve` never exits and the CI
-    // smoke step hangs at `wait()`.
+    // Regression test: a `shutdown` request arriving over TCP must fully
+    // stop the daemon — event loop, workers, and background persists —
+    // otherwise `rmsa serve` never exits and the CI smoke step hangs at
+    // `wait()`.
     let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
     let addr = handle.local_addr().to_string();
     let mut client = ServiceClient::connect(&addr).expect("connect");
@@ -245,15 +240,18 @@ fn snapshot_restart_is_warm_and_bit_identical() {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     let config_with_dir = |workers: usize| {
-        let mut config = tiny_config(workers);
-        config.snapshot_dir = Some(dir.clone());
-        config
+        ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+            .workers(workers)
+            .max_sessions(2)
+            .snapshot_dir(Some(dir.clone()))
+            .build()
+            .expect("valid config")
     };
 
     // Cold run: builds sessions, persists them in the background.
     let handle = server::start("127.0.0.1:0", config_with_dir(2)).expect("bind");
     let addr = handle.local_addr().to_string();
-    let load = LoadgenConfig::quick(7);
+    let load = LoadgenPlan::quick(7);
     let cold = loadgen::run(&addr, &load).expect("loadgen");
     assert_eq!(cold.errors, Vec::<String>::new());
     handle.shutdown();
@@ -312,11 +310,11 @@ fn loadgen_report_matches_itself_across_runs_and_feeds_compare() {
     let make = || {
         let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
         let addr = handle.local_addr().to_string();
-        let config = LoadgenConfig::quick(7);
-        let outcome = loadgen::run(&addr, &config).expect("loadgen");
+        let plan = LoadgenPlan::quick(7);
+        let outcome = loadgen::run(&addr, &plan).expect("loadgen");
         handle.shutdown();
         handle.wait();
-        loadgen::report(&outcome, &config, true)
+        loadgen::report(&outcome, &plan, true)
     };
     let a = make();
     let b = make();
@@ -337,4 +335,37 @@ fn loadgen_report_matches_itself_across_runs_and_feeds_compare() {
     // The report round-trips through its JSON rendering.
     let parsed = rmsa_bench::BenchReport::from_json_text(&a.render()).expect("parse");
     assert_eq!(parsed.points.len(), a.points.len());
+}
+
+#[test]
+fn open_loop_load_reports_gated_throughput_and_matches_closed_mix() {
+    use rmsa_service::loadgen::Mode;
+    let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let plan = LoadgenPlan::builder(7)
+        .mode(Mode::OpenLoop { rate_hz: 400.0 })
+        .requests(48)
+        .build()
+        .expect("valid plan");
+    let outcome = loadgen::run(&addr, &plan).expect("loadgen");
+    assert_eq!(outcome.errors, Vec::<String>::new());
+    assert_eq!(outcome.responses.len(), 48);
+    // Every scheduled id answered exactly once, in id order after sort.
+    let ids: Vec<u64> = outcome.responses.iter().map(|(r, _)| r.id).collect();
+    assert_eq!(ids, (1..=48).collect::<Vec<u64>>());
+    handle.shutdown();
+    handle.wait();
+
+    let report = loadgen::report(&outcome, &plan, true);
+    assert_eq!(report.scenario, "service_open");
+    let throughput = report
+        .points
+        .iter()
+        .find(|p| p.job == "throughput,")
+        .expect("throughput row");
+    assert!(
+        (throughput.outcome.revenue - outcome.throughput()).abs() < 1e-9,
+        "open-loop throughput must land in the gated revenue column"
+    );
+    assert!(throughput.outcome.revenue > 0.0);
 }

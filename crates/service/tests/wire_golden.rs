@@ -1,22 +1,28 @@
-//! Golden-file pin of wire schema v1.
+//! Golden-file pins of the wire schema, one file per supported version.
 //!
-//! `tests/golden/wire_v1.jsonl` holds one canonical line per message kind.
-//! If this test fails after an intentional schema change, bump
-//! [`rmsa_service::WIRE_SCHEMA_VERSION`] and regenerate the file with
-//! `RMSA_BLESS=1 cargo test -p rmsa-service --test wire_golden`.
+//! `tests/golden/wire_v1.jsonl` holds the frozen v1 rendering of one
+//! canonical message per kind — v1 clients must keep receiving exactly
+//! these bytes. `tests/golden/wire_v2.jsonl` holds the v2 envelope of
+//! the same messages (typed error codes, `protocol` in pong). If this
+//! test fails after an intentional schema change, bump
+//! [`rmsa_service::WIRE_SCHEMA_VERSION`], add a new golden, and
+//! regenerate with
+//! `RMSA_BLESS=1 cargo test -p rmsa-service --test wire_golden` —
+//! never re-bless an old version's file.
 
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
 use rmsa_service::wire::{
-    Algorithm, Request, Response, SessionStatsEntry, SolveRequest, SolveResponse, SolveResult,
-    SolveTiming, WarmRequest, WarmResponse,
+    Algorithm, ErrorCode, Request, Response, SessionStatsEntry, SolveRequest, SolveResponse,
+    SolveResult, SolveTiming, WarmRequest, WarmResponse,
 };
 
-fn golden_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wire_v1.jsonl")
+fn golden_path(version: u32) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("tests/golden/wire_v{version}.jsonl"))
 }
 
-fn canonical_messages() -> Vec<String> {
+fn canonical_messages(version: u32) -> Vec<String> {
     let solve = SolveRequest {
         id: 1,
         dataset: DatasetKind::LastfmSyn,
@@ -90,21 +96,21 @@ fn canonical_messages() -> Vec<String> {
         Response::ShuttingDown { id: 5 },
         Response::Error {
             id: 6,
+            code: ErrorCode::UnknownDataset,
             message: "unknown dataset \"nope\"".into(),
         },
     ];
     requests
         .iter()
-        .map(Request::render)
-        .chain(responses.iter().map(Response::render))
+        .map(|r| r.render_for(version))
+        .chain(responses.iter().map(|r| r.render_for(version)))
         .collect()
 }
 
-#[test]
-fn wire_schema_v1_matches_the_golden_file() {
-    let lines = canonical_messages();
+fn assert_matches_golden(version: u32) {
+    let lines = canonical_messages(version);
     let rendered = lines.join("\n") + "\n";
-    let path = golden_path();
+    let path = golden_path(version);
     if std::env::var("RMSA_BLESS").is_ok() {
         std::fs::write(&path, &rendered).expect("write golden file");
     }
@@ -112,29 +118,49 @@ fn wire_schema_v1_matches_the_golden_file() {
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     assert_eq!(
         golden, rendered,
-        "wire schema drifted from tests/golden/wire_v1.jsonl — if intentional, \
-         bump WIRE_SCHEMA_VERSION and re-bless"
+        "wire schema v{version} drifted from tests/golden/wire_v{version}.jsonl — \
+         if intentional, bump WIRE_SCHEMA_VERSION, add a new golden, and re-bless"
     );
 }
 
 #[test]
+fn wire_schema_v1_matches_the_golden_file() {
+    assert_matches_golden(1);
+}
+
+#[test]
+fn wire_schema_v2_matches_the_golden_file() {
+    assert_matches_golden(2);
+}
+
+#[test]
 fn golden_lines_parse_back_losslessly() {
-    let golden = std::fs::read_to_string(golden_path()).expect("read golden file");
-    let mut parsed_requests = 0;
-    let mut parsed_responses = 0;
-    for line in golden.lines() {
-        // Responses carry `ok`; requests never do.
-        let doc = rmsa_bench::json::parse(line).expect("golden line is JSON");
-        if doc.get("ok").is_some() {
-            let response = Response::parse(line).expect("response parses");
-            assert_eq!(response.render(), line);
-            parsed_responses += 1;
-        } else {
-            let request = Request::parse(line).expect("request parses");
-            assert_eq!(request.render(), line);
-            parsed_requests += 1;
+    for version in [1u32, 2] {
+        let golden = std::fs::read_to_string(golden_path(version)).expect("read golden file");
+        let mut parsed_requests = 0;
+        let mut parsed_responses = 0;
+        for line in golden.lines() {
+            // Responses carry `ok`; requests never do.
+            let doc = rmsa_bench::json::parse(line).expect("golden line is JSON");
+            if doc.get("ok").is_some() {
+                let response = Response::parse(line).expect("response parses");
+                assert_eq!(response.render_for(version), line);
+                if version == 1 {
+                    // v1 strips error codes → the parse-side neutral default.
+                    if let Response::Error { code, .. } = &response {
+                        assert_eq!(*code, ErrorCode::BadRequest, "v1 neutral default");
+                    }
+                }
+                parsed_responses += 1;
+            } else {
+                let (parsed_version, request) =
+                    Request::parse_versioned(line).expect("request parses");
+                assert_eq!(parsed_version, version);
+                assert_eq!(request.render_for(version), line);
+                parsed_requests += 1;
+            }
         }
+        assert_eq!(parsed_requests, 5);
+        assert_eq!(parsed_responses, 6);
     }
-    assert_eq!(parsed_requests, 5);
-    assert_eq!(parsed_responses, 6);
 }
