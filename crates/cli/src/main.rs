@@ -46,11 +46,14 @@ USAGE:
     rmsa serve [--addr HOST:PORT] [--workers N] [--max-sessions K] [--quick]
                [--max-inflight N] [--no-memo] [--seed N] [--scale X]
                [--threads N] [--warm-rr N] [--eval-rr N] [--port-file PATH]
-               [--snapshot-dir DIR] [--verify-snapshots]
+               [--snapshot-dir DIR] [--verify-snapshots] [--no-obs]
+               [--obs-snapshot PATH]
     rmsa query [solve|warm|stats|ping|shutdown] [--addr HOST:PORT]
                [--dataset D] [--strategy standard|subsim]
                [--algorithm rma|one-batch|ti-carm|ti-csrm] [--incentive I]
                [--alpha X] [--no-evaluate] [--target-rr N] [--id N]
+    rmsa metrics [--addr HOST:PORT] [--id N] [--json]
+    rmsa trace [--addr HOST:PORT] [--limit N] [--slow] [--id N] [--json]
     rmsa loadgen [--addr HOST:PORT] [--quick] [--mode closed|open]
                  [--clients C] [--rate HZ] [--requests N] [--seed N]
                  [--out-dir DIR] [--dump PATH] [--min-throughput X]
@@ -93,6 +96,18 @@ BENCH_service_open.json for the compare gate; --min-throughput X fails
 the run below X req/s. For a fixed seed the canonical response bytes
 are identical for any worker count (--dump writes them).
 
+Every admitted request is traced through the in-process observability
+subsystem (rmsa-obs): per-request spans (parse, admit, batch_wait,
+warm_check, solve{generate, index, greedy}, serialize, flush) land in a
+bounded trace store and shared counters/gauges/latency histograms in a
+lock-cheap metric registry. metrics snapshots the registry and trace
+fetches the most recent (or, with --slow, slowest) phase trees from a
+live daemon — both are v2 wire RPCs, also available to any client.
+Solve responses echo their trace id in timing.trace. serve --no-obs
+disables recording (the disabled path allocates nothing per request);
+--obs-snapshot PATH atomically rewrites a JSON dump of the registry and
+recent traces every few seconds for postmortems.
+
 compare exits 0 when the new report is within tolerance of the old one,
 1 on regression, 2 on usage or IO errors. Every failure line names the
 offending metric and prints both values. compare only reads BENCH_*.json
@@ -133,6 +148,8 @@ fn main() -> ExitCode {
         "compare" => return compare_command(rest),
         "serve" => service_cmd::serve_command(rest),
         "query" => service_cmd::query_command(rest),
+        "metrics" => service_cmd::metrics_command(rest),
+        "trace" => service_cmd::trace_command(rest),
         "loadgen" => service_cmd::loadgen_command(rest),
         "lint" => return lint_cmd::lint_command(rest),
         "snapshot" => snapshot_cmd::snapshot_command(rest),

@@ -68,6 +68,8 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut eval_rr = None;
     let mut snapshot_dir = None;
     let mut verify_snapshots = false;
+    let mut obs = true;
+    let mut obs_snapshot = None;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
         match arg.as_str() {
@@ -85,6 +87,8 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
             "--eval-rr" => eval_rr = Some(reader.parsed::<usize>("--eval-rr")?),
             "--snapshot-dir" => snapshot_dir = Some(PathBuf::from(reader.value("--snapshot-dir")?)),
             "--verify-snapshots" => verify_snapshots = true,
+            "--no-obs" => obs = false,
+            "--obs-snapshot" => obs_snapshot = Some(PathBuf::from(reader.value("--obs-snapshot")?)),
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -113,7 +117,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut builder = ServerConfig::builder(ctx)
         .memoize(memoize)
         .snapshot_dir(snapshot_dir)
-        .verify_snapshots(verify_snapshots);
+        .verify_snapshots(verify_snapshots)
+        .obs(obs)
+        .obs_snapshot(obs_snapshot);
     if let Some(workers) = workers {
         builder = builder.workers(workers);
     }
@@ -213,6 +219,191 @@ pub fn query_command(args: &[String]) -> Result<(), String> {
         Response::Error { message, .. } => Err(format!("server error: {message}")),
         _ => Ok(()),
     }
+}
+
+/// `rmsa metrics`: snapshot the daemon's live metric registry.
+pub fn metrics_command(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut id = 1u64;
+    let mut json = false;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--id" => id = reader.parsed::<u64>("--id")?,
+            "--json" => json = true,
+            other => return Err(format!("unknown metrics option {other:?}")),
+        }
+    }
+    let mut client = ServiceClient::connect(&addr)?;
+    let response = client.call(&Request::Metrics { id })?;
+    if json {
+        print!("{}", response.to_json().render_pretty());
+        return match response {
+            Response::Error { message, .. } => Err(format!("server error: {message}")),
+            _ => Ok(()),
+        };
+    }
+    match response {
+        Response::Metrics { report, .. } => {
+            print!("{}", render_metrics(&report));
+            Ok(())
+        }
+        Response::Error { message, .. } => Err(format!("server error: {message}")),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+fn render_metrics(report: &wire::MetricsReport) -> String {
+    let mut out = String::new();
+    if !report.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &report.counters {
+            out.push_str(&format!("  {name:<24} {v}\n"));
+        }
+    }
+    if !report.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &report.gauges {
+            out.push_str(&format!("  {name:<24} {v}\n"));
+        }
+    }
+    if !report.histograms.is_empty() {
+        out.push_str(
+            "histograms:                  count      mean       p50       p90       p99       max\n",
+        );
+        for h in &report.histograms {
+            // Only `*_secs` histograms hold durations; the rest (batch
+            // sizes, …) are plain numbers.
+            let cell: fn(f64) -> String = if h.name.ends_with("_secs") {
+                format_secs
+            } else {
+                |v| format!("{v:.1}")
+            };
+            out.push_str(&format!(
+                "  {:<24} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                h.name,
+                h.count,
+                cell(h.mean_secs),
+                cell(h.p50_secs),
+                cell(h.p90_secs),
+                cell(h.p99_secs),
+                cell(h.max_secs),
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no metrics recorded (daemon running with --no-obs?)\n");
+    }
+    out
+}
+
+/// Human-scale seconds: `412µs`, `3.2ms`, `1.75s`.
+fn format_secs(secs: f64) -> String {
+    if secs <= 0.0 {
+        "0".to_string()
+    } else if secs < 1e-3 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+/// `rmsa trace`: fetch recent (or slowest) request phase trees from the
+/// daemon and print them indented by span parentage.
+pub fn trace_command(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut id = 1u64;
+    let mut limit = 4usize;
+    let mut slowest = false;
+    let mut json = false;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--id" => id = reader.parsed::<u64>("--id")?,
+            "--limit" => limit = reader.parsed::<usize>("--limit")?,
+            "--slow" => slowest = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown trace option {other:?}")),
+        }
+    }
+    let mut client = ServiceClient::connect(&addr)?;
+    let response = client.call(&Request::Trace { id, limit, slowest })?;
+    if json {
+        print!("{}", response.to_json().render_pretty());
+        return match response {
+            Response::Error { message, .. } => Err(format!("server error: {message}")),
+            _ => Ok(()),
+        };
+    }
+    match response {
+        Response::Trace { traces, .. } => {
+            if traces.is_empty() {
+                println!("no traces recorded (daemon idle or running with --no-obs?)");
+            }
+            for t in &traces {
+                print!("{}", render_trace(t));
+            }
+            Ok(())
+        }
+        Response::Error { message, .. } => Err(format!("server error: {message}")),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+fn render_trace(t: &wire::TraceReport) -> String {
+    let mut out = format!(
+        "trace {} — {} span(s), total {}\n",
+        t.trace,
+        t.spans.len(),
+        format_secs(t.total_us as f64 / 1e6),
+    );
+    let base_us = t.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let known: std::collections::BTreeSet<u64> = t.spans.iter().map(|s| s.id).collect();
+    // Spans arrive sorted by start time; parentage makes the tree.
+    let mut children: std::collections::BTreeMap<u64, Vec<&wire::SpanEntry>> =
+        std::collections::BTreeMap::new();
+    let mut roots: Vec<&wire::SpanEntry> = Vec::new();
+    for s in &t.spans {
+        if s.parent != 0 && known.contains(&s.parent) {
+            children.entry(s.parent).or_default().push(s);
+        } else {
+            // Orphans (parent evicted from the ring) print as roots.
+            roots.push(s);
+        }
+    }
+    fn walk(
+        out: &mut String,
+        span: &wire::SpanEntry,
+        children: &std::collections::BTreeMap<u64, Vec<&wire::SpanEntry>>,
+        base_us: u64,
+        depth: usize,
+    ) {
+        let mut line = format!(
+            "  {:indent$}{:<width$} +{:<9} {}",
+            "",
+            span.name,
+            format!("{}µs", span.start_us.saturating_sub(base_us)),
+            format_secs(span.dur_us as f64 / 1e6),
+            indent = depth * 2,
+            width = 14usize.saturating_sub(depth * 2).max(1),
+        );
+        for (k, v) in &span.fields {
+            line.push_str(&format!("  {k}={v}"));
+        }
+        line.push('\n');
+        out.push_str(&line);
+        for child in children.get(&span.id).into_iter().flatten() {
+            walk(out, child, children, base_us, depth + 1);
+        }
+    }
+    for root in roots {
+        walk(&mut out, root, &children, base_us, 0);
+    }
+    out
 }
 
 /// `rmsa loadgen`: closed-loop or open-loop load against a running

@@ -31,13 +31,29 @@ use crate::rr::RrStrategy;
 use crate::sampler::UniformRrSampler;
 use parking_lot::Mutex;
 use rmsa_graph::DirectedGraph;
+use rmsa_obs::{names, LazyCounter, LazyGauge, LazyHistogram, Span};
 use rmsa_store::{
     section as store_section, MappedSnapshot, SectionSource, SnapshotReader, SnapshotWriter,
     StoreError, VerifyMode,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// RR sets sampled into arenas, across every cache in the process.
+static RR_GENERATED: LazyCounter = LazyCounter::new(names::RR_GENERATED_TOTAL);
+/// RR sets folded into coverage indexes, across every cache.
+static INDEX_EXTENDED: LazyCounter = LazyCounter::new(names::INDEX_EXTENDED_TOTAL);
+/// Snapshot loads whose columns came back mmap-borrowed (zero-copy).
+static SNAPSHOTS_MAPPED: LazyCounter = LazyCounter::new(names::SNAPSHOTS_MAPPED);
+/// RR generation phase durations.
+static GENERATE_SECS: LazyHistogram = LazyHistogram::new(names::GENERATE_SECS);
+/// Coverage-index extension durations (extensions that did work).
+static INDEX_SECS: LazyHistogram = LazyHistogram::new(names::INDEX_SECS);
+/// Heap-resident arena + index bytes across live caches.
+static ARENA_RESIDENT: LazyGauge = LazyGauge::new(names::ARENA_RESIDENT_BYTES);
+/// mmap-backed arena + index bytes across live caches.
+static ARENA_MAPPED: LazyGauge = LazyGauge::new(names::ARENA_MAPPED_BYTES);
 
 /// Named RR-set streams inside an [`RrCache`].
 ///
@@ -183,6 +199,28 @@ struct StreamState {
     extensions: u64,
 }
 
+impl StreamState {
+    fn resident_bytes(&self) -> i64 {
+        (self.arena.resident_bytes() + self.index.resident_bytes()) as i64
+    }
+
+    fn mapped_bytes(&self) -> i64 {
+        (self.arena.mapped_bytes() + self.index.mapped_bytes()) as i64
+    }
+}
+
+/// Total (resident, mapped) bytes across a stream table, for the arena
+/// byte gauges.
+fn streams_bytes(streams: &[Option<StreamState>]) -> (i64, i64) {
+    let mut resident = 0i64;
+    let mut mapped = 0i64;
+    for s in streams.iter().flatten() {
+        resident += s.resident_bytes();
+        mapped += s.mapped_bytes();
+    }
+    (resident, mapped)
+}
+
 struct Inner {
     /// Fingerprint of the sampler the collections were generated under.
     fingerprint: Option<u64>,
@@ -318,6 +356,9 @@ impl RrCache {
     /// Drop every cached collection (accounting counters are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        let (resident, mapped) = streams_bytes(&inner.streams);
+        ARENA_RESIDENT.add(-resident);
+        ARENA_MAPPED.add(-mapped);
         inner.streams.clear();
         inner.fingerprint = None;
     }
@@ -394,7 +435,9 @@ impl RrCache {
         r: &S,
         num_threads: usize,
     ) -> Result<RrCache, StoreError> {
-        let start = Instant::now();
+        // The span doubles as the `snapshot_load_time` statistic; the
+        // duration is wall-clock but never serialized.
+        let span = Span::child(names::SNAPSHOT_PARSE);
         let mut meta = r.require(store_section::CACHE_META)?;
         let num_nodes = meta.get_u64("cache num_nodes")? as usize;
         let strategy = crate::snapshot::strategy_from_tag(meta.get_u8("cache strategy")?)?;
@@ -464,9 +507,15 @@ impl RrCache {
             }
             streams[idx] = Some(state);
         }
+        let (resident, mapped) = streams_bytes(&streams);
+        ARENA_RESIDENT.add(resident);
+        ARENA_MAPPED.add(mapped);
+        if mapped > 0 {
+            SNAPSHOTS_MAPPED.inc();
+        }
         let stats = RrCacheStats {
             loaded_from_snapshot: loaded,
-            snapshot_load_time: start.elapsed(),
+            snapshot_load_time: span.finish(),
             ..RrCacheStats::default()
         };
         Ok(RrCache {
@@ -492,12 +541,12 @@ impl RrCache {
     /// live distribution, and revalidation drops the collections instead
     /// of serving them.
     pub fn load_from(path: &std::path::Path, num_threads: usize) -> Result<RrCache, StoreError> {
-        let start = Instant::now();
+        let span = Span::child(names::SNAPSHOT_LOAD);
         let bytes = rmsa_store::read_file(path)?;
         let reader = SnapshotReader::parse(&bytes)?;
         let cache = RrCache::read_snapshot(&reader, num_threads)?;
         // Account the file read + container parse into the load time.
-        cache.inner.lock().stats.snapshot_load_time = start.elapsed();
+        cache.inner.lock().stats.snapshot_load_time = span.finish();
         Ok(cache)
     }
 
@@ -514,10 +563,10 @@ impl RrCache {
         num_threads: usize,
         verify: VerifyMode,
     ) -> Result<RrCache, StoreError> {
-        let start = Instant::now();
+        let span = Span::child(names::SNAPSHOT_LOAD);
         let snap = MappedSnapshot::open(path, verify)?;
         let cache = RrCache::read_snapshot(&snap, num_threads)?;
-        cache.inner.lock().stats.snapshot_load_time = start.elapsed();
+        cache.inner.lock().stats.snapshot_load_time = span.finish();
         Ok(cache)
     }
 
@@ -568,27 +617,39 @@ impl RrCache {
 
         let have = state.arena.len();
         let missing = count.saturating_sub(have);
+        let res_before = state.resident_bytes();
+        let map_before = state.mapped_bytes();
         if missing > 0 {
             state.extensions += 1;
             let seed = self
                 .base_seed
                 .wrapping_add(stream.seed_tag())
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(state.extensions));
+            let gen_span = Span::child(names::GENERATE);
             state
                 .arena
                 .generate_parallel(graph, &model, sampler, missing, self.num_threads, seed);
+            GENERATE_SECS.observe_duration(gen_span.finish());
+            RR_GENERATED.add(missing as u64);
         }
         // Extend-never-rebuild: index exactly the new sets, in place. A
         // fully warm stream reports exactly zero index time (not timer
         // noise), so "no index work" is testable as `== Duration::ZERO`.
-        let index_start = Instant::now();
+        let index_span = Span::child(names::INDEX);
         let index_extended = state.index.extend_from(&state.arena);
+        let index_measured = index_span.finish();
         let index_extend_time = if index_extended == 0 {
             Duration::ZERO
         } else {
-            index_start.elapsed()
+            index_measured
         };
+        if index_extended > 0 {
+            INDEX_EXTENDED.add(index_extended as u64);
+            INDEX_SECS.observe_duration(index_measured);
+        }
         let index_reused = state.index.num_rr() - index_extended;
+        ARENA_RESIDENT.add(state.resident_bytes() - res_before);
+        ARENA_MAPPED.add(state.mapped_bytes() - map_before);
 
         let result = f(RrStreamView {
             arena: &state.arena,
@@ -626,12 +687,26 @@ impl RrCache {
         match inner.fingerprint {
             Some(existing) if existing == fp => {}
             Some(_) => {
+                let (resident, mapped) = streams_bytes(&inner.streams);
+                ARENA_RESIDENT.add(-resident);
+                ARENA_MAPPED.add(-mapped);
                 inner.streams.clear();
                 inner.fingerprint = Some(fp);
                 inner.stats.invalidations += 1;
             }
             None => inner.fingerprint = Some(fp),
         }
+    }
+}
+
+impl Drop for RrCache {
+    fn drop(&mut self) {
+        // Keep the process-wide arena byte gauges honest when a cache is
+        // evicted (LRU registry) or a test tears one down.
+        let inner = self.inner.get_mut();
+        let (resident, mapped) = streams_bytes(&inner.streams);
+        ARENA_RESIDENT.add(-resident);
+        ARENA_MAPPED.add(-mapped);
     }
 }
 

@@ -3,16 +3,17 @@
 //! An offline, dependency-free static-analysis pass over the workspace's
 //! own Rust sources. A hand-rolled lexer ([`lexer`]) strips comments,
 //! string/char literals and test-gated regions; a rule engine ([`rules`])
-//! then enforces five families of correctness invariants the test suite
+//! then enforces six families of correctness invariants the test suite
 //! cannot see:
 //!
 //! | rule | name | enforced where |
 //! |------|------|----------------|
-//! | R1 | panic-discipline | library code of `core`/`diffusion`/`graph`/`store`/`service` |
+//! | R1 | panic-discipline | library code of `core`/`diffusion`/`graph`/`obs`/`store`/`service` |
 //! | R2 | determinism | serialization/wire/report modules (stable-order contracts) |
 //! | R3 | unsafe-hygiene | everywhere |
 //! | R4 | checked-casts | `crates/store` and the `snapshot.rs` codecs |
 //! | R5 | lock-scope | everywhere |
+//! | R6 | obs-names | everywhere except `crates/obs` (the defining crate) |
 //!
 //! Intentional exceptions use the inline directive
 //! `// lint: allow(Rn, reason = "…")` — trailing on the offending line or
@@ -34,7 +35,7 @@ pub use rules::RuleScope;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code falls under R1 panic-discipline.
-const R1_CRATES: [&str; 5] = ["core", "diffusion", "graph", "store", "service"];
+const R1_CRATES: [&str; 6] = ["core", "diffusion", "graph", "obs", "store", "service"];
 
 /// File names with a stable-order serialization contract (R2). `json.rs`
 /// and `toml_lite.rs` render/parse the golden-filed documents, `wire.rs`
@@ -67,6 +68,9 @@ pub fn scope_for(rel_path: &str) -> RuleScope {
         r3: true,
         r4: rel_path.starts_with("crates/store/src/") || file_name == "snapshot.rs",
         r5: true,
+        // The obs crate implements the handles/spans; every *consumer*
+        // must name them through the central catalog.
+        r6: !rel_path.starts_with("crates/obs/src/"),
     }
 }
 
@@ -204,8 +208,14 @@ mod tests {
         // unsafe-hygiene, which is in force everywhere.
         let mapping = scope_for("crates/store/src/mapping.rs");
         assert!(mapping.r1 && mapping.r3 && mapping.r4 && !mapping.r2);
-        let hist = scope_for("crates/service/src/histogram.rs");
-        assert!(hist.r2 && hist.r2_timing_ok);
+        // The histogram now lives in the obs crate; the timing exemption
+        // travels with the file name.
+        let hist = scope_for("crates/obs/src/histogram.rs");
+        assert!(hist.r1 && hist.r2 && hist.r2_timing_ok && !hist.r6);
+        let obs_metrics = scope_for("crates/obs/src/metrics.rs");
+        assert!(obs_metrics.r1 && !obs_metrics.r2 && !obs_metrics.r6);
+        let consumer = scope_for("crates/service/src/server.rs");
+        assert!(consumer.r1 && consumer.r6);
         // The event-loop serving path: R1 panic-discipline (service
         // crate), R3 unsafe-hygiene (raw-syscall poller), R5 lock-scope
         // — but NOT R2, which is reserved for byte-stable output

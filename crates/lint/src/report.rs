@@ -13,18 +13,19 @@ use rmsa_bench::json::Json;
 pub const LINT_REPORT_VERSION: u32 = 1;
 
 /// The rule catalog, in report order.
-pub const RULES: [(&str, &str); 5] = [
+pub const RULES: [(&str, &str); 6] = [
     ("R1", "panic-discipline"),
     ("R2", "determinism"),
     ("R3", "unsafe-hygiene"),
     ("R4", "checked-casts"),
     ("R5", "lock-scope"),
+    ("R6", "obs-names"),
 ];
 
 /// One finding that survived allow-directive matching.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`"R1"` … `"R5"`).
+    /// Rule id (`"R1"` … `"R6"`).
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub file: String,

@@ -1,4 +1,4 @@
-//! The five rule families over a lexed source file.
+//! The rule families over a lexed source file.
 //!
 //! Every rule works on the masked line text (see [`crate::lexer`]), so
 //! occurrences inside comments, strings and test regions are invisible by
@@ -24,12 +24,15 @@ pub struct RuleScope {
     pub r4: bool,
     /// R5 lock-scope heuristic (everywhere).
     pub r5: bool,
+    /// R6 obs-names: metric/span names must come from `obs::names`
+    /// (everywhere except the obs crate, which defines the API).
+    pub r6: bool,
 }
 
 /// One raw finding (before allow-directive matching).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RawFinding {
-    /// Rule id, `"R1"` … `"R5"`.
+    /// Rule id, `"R1"` … `"R6"`.
     pub rule: &'static str,
     /// 1-based line.
     pub line: usize,
@@ -62,6 +65,9 @@ pub fn check(lexed: &Lexed, scope: RuleScope) -> Vec<RawFinding> {
         }
         if scope.r5 {
             r5_lock_scope(lexed, masked, lineno, &mut findings);
+        }
+        if scope.r6 {
+            r6_obs_names(lexed, masked, lineno, &mut findings);
         }
     }
     findings
@@ -338,6 +344,77 @@ fn r5_lock_scope(lexed: &Lexed, masked: &str, lineno: usize, out: &mut Vec<RawFi
     }
 }
 
+/// Constructors whose name argument R6 checks, with the type qualifiers
+/// that make the bare method identifier unambiguous.
+const R6_QUALIFIED: [(&str, &[&str]); 3] = [
+    ("child", &["Span"]),
+    ("detached", &["Span"]),
+    ("new", &["LazyCounter", "LazyGauge", "LazyHistogram"]),
+];
+
+/// R6: the name argument of an obs constructor (`LazyCounter::new`,
+/// `LazyGauge::new`, `LazyHistogram::new`, `Span::child`,
+/// `Span::detached`, `record_closed`) must reference the central
+/// `obs::names` catalog — never an ad-hoc literal (masked by the lexer)
+/// or a locally built string. Lexical over-approximation: any `names`
+/// identifier among the call's arguments counts.
+fn r6_obs_names(lexed: &Lexed, masked: &str, lineno: usize, out: &mut Vec<RawFinding>) {
+    let all = idents(masked);
+    for (i, (ident, col)) in all.iter().enumerate() {
+        let qualified = |types: &[&str]| {
+            i > 0 && types.contains(&all[i - 1].0) && {
+                let (prev, prev_col) = all[i - 1];
+                masked[prev_col + prev.len()..*col].trim() == "::"
+            }
+        };
+        let is_ctor = *ident == "record_closed"
+            || R6_QUALIFIED
+                .iter()
+                .any(|(method, types)| ident == method && qualified(types));
+        if !is_ctor {
+            continue;
+        }
+        let end = col + ident.len();
+        if next_token_char(masked, end).map(|(c, _)| c) != Some('(') {
+            continue;
+        }
+        // The argument list may wrap; widen the window a few masked lines
+        // and cut it at the call's matching close paren.
+        let mut window = masked[end..].to_string();
+        for extra in lexed.lines.iter().skip(lineno).take(7) {
+            window.push('\n');
+            window.push_str(&extra.masked);
+        }
+        let mut depth = 0i64;
+        let mut args = String::new();
+        for c in window.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if depth > 0 {
+                args.push(c);
+            }
+        }
+        if !idents(&args).iter().any(|(arg, _)| *arg == "names") {
+            out.push(RawFinding {
+                rule: "R6",
+                line: lineno,
+                col: col + 1,
+                message: format!(
+                    "obs name passed to `{ident}` must be a constant from the obs::names catalog"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +428,7 @@ mod tests {
             r3: true,
             r4: true,
             r5: true,
+            r6: true,
         }
     }
 
@@ -443,5 +521,35 @@ mod tests {
         let src = "fn f() {\n    let g = m.lock();\n    std::thread::scope(|s| {});\n}\n";
         let found = check(&lex(src), scope_all());
         assert!(found.iter().any(|f| f.rule == "R5"), "{found:?}");
+    }
+
+    #[test]
+    fn r6_flags_ad_hoc_obs_names_but_not_catalog_constants() {
+        assert_eq!(
+            rules_of("static C: LazyCounter = LazyCounter::new(\"my_counter\");"),
+            vec!["R6"]
+        );
+        assert_eq!(rules_of("let s = Span::child(\"solve\");"), vec!["R6"]);
+        assert_eq!(
+            rules_of("let s = Span::detached(trace, local_name);"),
+            vec!["R6"]
+        );
+        assert!(rules_of("let s = Span::child(names::SOLVE);").is_empty());
+        assert!(rules_of("static C: LazyCounter = LazyCounter::new(names::MEMO_HITS);").is_empty());
+        assert!(rules_of(
+            "static C: LazyHistogram = LazyHistogram::new(rmsa_obs::names::RPC_SOLVE_SECS);"
+        )
+        .is_empty());
+        // Unrelated constructors named `new` or `child` must not fire.
+        assert!(rules_of("let v = Vec::new();").is_empty());
+        assert!(rules_of("let c = node.child(0);").is_empty());
+    }
+
+    #[test]
+    fn r6_follows_wrapped_argument_lists() {
+        let flagged = "fn f() {\n    trace::record_closed(\n        trace_id,\n        0,\n        \"flush\",\n        at,\n        took,\n    );\n}\n";
+        assert_eq!(rules_of(flagged), vec!["R6"]);
+        let clean = "fn f() {\n    trace::record_closed(\n        trace_id,\n        0,\n        names::FLUSH,\n        at,\n        took,\n    );\n}\n";
+        assert!(rules_of(clean).is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Fixture tests for the five rule families: every family pins at least
+//! Fixture tests for the rule families: every family pins at least
 //! one true positive and one suppressed (allowed) finding, the JSON
 //! report is golden-filed byte-for-byte, and the workspace itself must
 //! scan clean — the same gate CI runs via `rmsa lint`.
@@ -13,6 +13,7 @@ fn all_rules() -> RuleScope {
         r3: true,
         r4: true,
         r5: true,
+        r6: true,
     }
 }
 
@@ -29,7 +30,7 @@ struct Fixture {
     suppressed: &'static str,
 }
 
-const FIXTURES: [Fixture; 5] = [
+const FIXTURES: [Fixture; 6] = [
     Fixture {
         rule: "R1",
         positive: "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
@@ -54,6 +55,11 @@ const FIXTURES: [Fixture; 5] = [
         rule: "R5",
         positive: "fn f() {\n    let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    g.write_all(b).ok();\n}\n",
         suppressed: "fn f() {\n    // lint: allow(R5, reason = \"fixture\")\n    let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    g.write_all(b).ok();\n}\n",
+    },
+    Fixture {
+        rule: "R6",
+        positive: "fn f() {\n    let s = Span::child(\"adhoc\");\n}\n",
+        suppressed: "fn f() {\n    // lint: allow(R6, reason = \"fixture\")\n    let s = Span::child(\"adhoc\");\n}\n",
     },
 ];
 
@@ -105,6 +111,10 @@ fn guarded() {
     let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     g.write_all(b).ok();
 }
+
+fn observed() {
+    let s = Span::child(\"adhoc\");
+}
 ";
 
 fn report_outcome() -> LintOutcome {
@@ -123,7 +133,7 @@ fn report_outcome() -> LintOutcome {
 #[test]
 fn report_covers_every_family_and_matches_the_golden_bytes() {
     let outcome = report_outcome();
-    for rule in ["R2", "R3", "R4", "R5"] {
+    for rule in ["R2", "R3", "R4", "R5", "R6"] {
         assert!(
             outcome.findings.iter().any(|f| f.rule == rule),
             "report fixture lost its {rule} finding: {:?}",
@@ -201,8 +211,12 @@ fn scope_for_drives_rules_per_path() {
     // A snapshot codec carries R4; arbitrary library code does not.
     assert!(scope_for("crates/diffusion/src/snapshot.rs").r4);
     assert!(!scope_for("crates/core/src/problem.rs").r4);
-    // Only the five library crates carry R1 (bench/cli/datasets do not).
+    // Only the six library crates carry R1 (bench/cli/datasets do not).
     assert!(scope_for("crates/service/src/server.rs").r1);
+    assert!(scope_for("crates/obs/src/metrics.rs").r1);
     assert!(!scope_for("crates/bench/src/json.rs").r1);
     assert!(!scope_for("crates/cli/src/main.rs").r1);
+    // R6 binds obs consumers, not the obs crate itself.
+    assert!(scope_for("crates/service/src/session.rs").r6);
+    assert!(!scope_for("crates/obs/src/trace.rs").r6);
 }

@@ -16,7 +16,7 @@ const MIN_SECS: f64 = 1e-6;
 const SUB_BUCKETS: usize = 8;
 
 /// Total buckets: 40 octaves × 8 ≈ 1 µs … > 10^5 s.
-const NUM_BUCKETS: usize = 40 * SUB_BUCKETS;
+pub(crate) const NUM_BUCKETS: usize = 40 * SUB_BUCKETS;
 
 /// Fixed-memory histogram of positive durations in seconds.
 #[derive(Clone, Debug)]
@@ -44,7 +44,7 @@ impl LogHistogram {
         }
     }
 
-    fn bucket_of(secs: f64) -> usize {
+    pub(crate) fn bucket_of(secs: f64) -> usize {
         if secs <= MIN_SECS {
             return 0;
         }
@@ -55,6 +55,19 @@ impl LogHistogram {
     /// Lower edge of bucket `k` in seconds.
     fn bucket_low(k: usize) -> f64 {
         MIN_SECS * (k as f64 / SUB_BUCKETS as f64).exp2()
+    }
+
+    /// Rebuild a histogram from raw parts — the bridge from the atomic
+    /// [`ConcurrentHistogram`](crate::metrics::ConcurrentHistogram),
+    /// whose buckets use the same [`bucket_of`](Self::bucket_of) layout.
+    pub(crate) fn from_parts(counts: Vec<u64>, total: u64, sum_secs: f64, max_secs: f64) -> Self {
+        debug_assert_eq!(counts.len(), NUM_BUCKETS);
+        LogHistogram {
+            counts,
+            total,
+            sum_secs,
+            max_secs,
+        }
     }
 
     /// Record one latency.

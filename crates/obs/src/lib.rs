@@ -1,0 +1,42 @@
+//! `rmsa-obs` — the workspace observability layer.
+//!
+//! Dependency-free (std only) so every crate down to `rmsa-store` can
+//! instrument itself. Three pieces:
+//!
+//! * [`metrics`] — a sharded, lock-cheap registry of counters, gauges,
+//!   and atomic log-bucket histograms addressed by `'static` names;
+//!   hot-path increments through the `Lazy*` handles are a relaxed
+//!   atomic add.
+//! * [`trace`] — `Span` guards recording (name, parent, start,
+//!   duration, fields) into per-thread ring buffers drained into a
+//!   bounded global trace store; one request yields one phase tree.
+//! * [`histogram`] — the log-bucket [`LogHistogram`] (promoted from
+//!   `rmsa_service`, which still re-exports it).
+//!
+//! A process-wide switch ([`set_enabled`]) turns recording off: spans
+//! still *time* (they back `RrCacheStats`/`SolveTiming` accessors) but
+//! nothing is registered, pushed, or allocated.
+
+pub mod histogram;
+pub mod metrics;
+pub mod names;
+pub mod trace;
+
+pub use histogram::LogHistogram;
+pub use metrics::{LazyCounter, LazyGauge, LazyHistogram, MetricsSnapshot};
+pub use trace::{Span, SpanRecord, TraceSort, TraceView};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable/disable recording (`rmsa serve --no-obs` ⇒ false).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is on. A single relaxed load — every recording
+/// entry point checks this first, so the disabled path does no work.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}

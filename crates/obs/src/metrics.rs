@@ -1,0 +1,366 @@
+//! The shared metric registry: sharded counters, gauges, and atomic
+//! log-bucket histograms, addressed by `'static` names.
+//!
+//! Hot-path discipline: an increment through a [`LazyCounter`] handle is
+//! one relaxed atomic load (the cached registry pointer), one relaxed
+//! load of the global enable flag, and one relaxed `fetch_add` on a
+//! thread-sharded cell — no locks, no allocation. Registration (the only
+//! allocating step) happens once per metric on first touch; metrics are
+//! leaked `'static` so handles never dangle and the registry lock is
+//! only taken to register or to snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::histogram::{self, LogHistogram};
+
+/// Counter shards; 8 covers the worker-pool widths we run.
+const SHARDS: usize = 8;
+
+/// A cache-line padded atomic cell, so counter shards do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Stable small id for the calling thread, assigned on first use.
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|slot| {
+        let cached = slot.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let idx = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        slot.set(idx);
+        idx
+    })
+}
+
+/// A monotonically increasing counter, sharded per thread.
+///
+/// Relaxed `fetch_add`s on distinct shards still sum exactly: every
+/// increment lands in exactly one shard and [`value`](Counter::value)
+/// reads all of them.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// A signed instantaneous value (queue depth, buffered bytes, …).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic counterpart of [`LogHistogram`]: same bucket layout, but
+/// recordable from any thread without a lock.
+///
+/// The running sum and max keep f64 bit patterns in atomics — the sum
+/// via a CAS loop, the max via `fetch_max`, which orders correctly
+/// because non-negative IEEE-754 doubles compare like their bits.
+pub struct ConcurrentHistogram {
+    buckets: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for ConcurrentHistogram {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(histogram::NUM_BUCKETS);
+        buckets.resize_with(histogram::NUM_BUCKETS, AtomicU64::default);
+        ConcurrentHistogram {
+            buckets,
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            max_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl ConcurrentHistogram {
+    /// Record one sample (clamped to ≥ 0, like [`LogHistogram::record`]).
+    pub fn observe(&self, secs: f64) {
+        let secs = secs.max(0.0);
+        self.buckets[LogHistogram::bucket_of(secs)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + secs).to_bits())
+            });
+        self.max_bits.fetch_max(secs.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`LogHistogram`] copy for quantile queries.
+    pub fn snapshot(&self) -> LogHistogram {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total = counts.iter().sum();
+        LogHistogram::from_parts(
+            counts,
+            total,
+            f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// The global name → metric maps. Values are leaked so lookups hand out
+/// `'static` references and hot paths never touch the lock again.
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static ConcurrentHistogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn lock_registry<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Look up (or register) the counter called `name`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    lock_registry(&registry().counters)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Look up (or register) the gauge called `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    lock_registry(&registry().gauges)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Look up (or register) the histogram called `name`.
+pub fn histogram(name: &'static str) -> &'static ConcurrentHistogram {
+    lock_registry(&registry().histograms)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// A point-in-time copy of every registered metric, name-sorted.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// `(name, histogram)` for every histogram.
+    pub histograms: Vec<(&'static str, LogHistogram)>,
+}
+
+/// Snapshot the whole registry (names come out BTreeMap-sorted, so the
+/// rendering downstream is deterministic).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    MetricsSnapshot {
+        counters: lock_registry(&reg.counters)
+            .iter()
+            .map(|(name, c)| (*name, c.value()))
+            .collect(),
+        gauges: lock_registry(&reg.gauges)
+            .iter()
+            .map(|(name, g)| (*name, g.value()))
+            .collect(),
+        histograms: lock_registry(&reg.histograms)
+            .iter()
+            .map(|(name, h)| (*name, h.snapshot()))
+            .collect(),
+    }
+}
+
+/// A `const`-constructible counter handle: caches the registry pointer
+/// in a [`OnceLock`] so steady-state increments skip the name lookup,
+/// and no-ops (without registering) while obs is disabled.
+pub struct LazyCounter {
+    name: &'static str,
+    slot: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Bind a handle to `name` (a [`crate::names`] constant).
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Add 1 if obs is enabled.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` if obs is enabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.slot.get_or_init(|| counter(self.name)).add(n);
+        }
+    }
+}
+
+/// A `const`-constructible gauge handle; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    slot: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// Bind a handle to `name` (a [`crate::names`] constant).
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Add `delta` if obs is enabled.
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.slot.get_or_init(|| gauge(self.name)).add(delta);
+        }
+    }
+
+    /// Overwrite the value if obs is enabled.
+    pub fn set(&self, value: i64) {
+        if crate::enabled() {
+            self.slot.get_or_init(|| gauge(self.name)).set(value);
+        }
+    }
+}
+
+/// A `const`-constructible histogram handle; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    slot: OnceLock<&'static ConcurrentHistogram>,
+}
+
+impl LazyHistogram {
+    /// Bind a handle to `name` (a [`crate::names`] constant).
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Record one sample if obs is enabled.
+    pub fn observe(&self, secs: f64) {
+        if crate::enabled() {
+            self.slot.get_or_init(|| histogram(self.name)).observe(secs);
+        }
+    }
+
+    /// Record a [`std::time::Duration`] sample if obs is enabled.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Run `f`, recording its wall-clock duration as one sample. The
+    /// timer always runs (it is not observable from `f`); only the
+    /// recording is gated on obs being enabled.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.observe_duration(start.elapsed());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_counter_sums_exactly() {
+        let c = Counter::default();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn gauge_tracks_add_sub_set() {
+        let g = Gauge::default();
+        g.add(10);
+        g.add(-4);
+        assert_eq!(g.value(), 6);
+        g.set(-1);
+        assert_eq!(g.value(), -1);
+    }
+
+    #[test]
+    fn concurrent_histogram_snapshot_matches_serial_recording() {
+        let ch = ConcurrentHistogram::default();
+        let mut serial = LogHistogram::new();
+        for i in 1..=100 {
+            let v = i as f64 * 1e-3;
+            ch.observe(v);
+            serial.record(v);
+        }
+        let snap = ch.snapshot();
+        assert_eq!(snap.count(), serial.count());
+        assert_eq!(snap.max_secs(), serial.max_secs());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(snap.quantile_secs(q), serial.quantile_secs(q));
+        }
+    }
+
+    #[test]
+    fn registry_hands_out_the_same_metric_per_name() {
+        let a = counter("test_registry_same_metric");
+        let b = counter("test_registry_same_metric");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        assert_eq!(b.value(), 2);
+    }
+}

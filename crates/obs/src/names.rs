@@ -1,0 +1,94 @@
+//! The central catalog of metric and span names.
+//!
+//! Every name threaded through the registry or the trace store is a
+//! `'static` lowercase-snake literal declared here — never built with
+//! `format!` on a hot path. Lint rule R6 enforces that call sites of
+//! the obs constructors reference this module, so the full vocabulary
+//! of the live `metrics`/`trace` RPC surface is readable in one file.
+
+// --- span names (the per-request phase tree) ------------------------------
+
+/// Event loop: parsing one request line off the socket.
+pub const PARSE: &str = "parse";
+/// Event loop: admission — session-key routing plus queue submit.
+pub const ADMIT: &str = "admit";
+/// Time a job sat in the shared queue before a worker picked it up.
+pub const BATCH_WAIT: &str = "batch_wait";
+/// Worker: warm-invariant check (and extension) before solving.
+pub const WARM_CHECK: &str = "warm_check";
+/// Worker: the solve itself (memo lookup, solver run, evaluation).
+pub const SOLVE: &str = "solve";
+/// RR-cache: sampling new RR sets into the arena.
+pub const GENERATE: &str = "generate";
+/// RR-cache: extending the coverage index over fresh RR sets.
+pub const INDEX: &str = "index";
+/// Solver execution inside the workbench (greedy family).
+pub const GREEDY: &str = "greedy";
+/// Monte-Carlo evaluation of the chosen allocation.
+pub const EVALUATE: &str = "evaluate";
+/// Rendering the response line (worker side).
+pub const SERIALIZE: &str = "serialize";
+/// Completion hand-off back through the event loop to the socket.
+pub const FLUSH: &str = "flush";
+/// Session/RR-cache snapshot load from disk.
+pub const SNAPSHOT_LOAD: &str = "snapshot_load";
+/// Snapshot parse + staleness checks + workbench rebuild (inside a
+/// load).
+pub const SNAPSHOT_PARSE: &str = "snapshot_parse";
+/// Background snapshot persist.
+pub const SNAPSHOT_PERSIST: &str = "snapshot_persist";
+
+// --- counters -------------------------------------------------------------
+
+/// Requests admitted into the queue (solve + warm).
+pub const REQUESTS_TOTAL: &str = "requests_total";
+/// Responses delivered to sockets.
+pub const RESPONSES_TOTAL: &str = "responses_total";
+/// Error responses rendered (any code).
+pub const ERRORS_TOTAL: &str = "errors_total";
+/// Warm-epoch memo hits in `solve_memoized`.
+pub const MEMO_HITS: &str = "memo_hits";
+/// Warm-epoch memo misses in `solve_memoized`.
+pub const MEMO_MISSES: &str = "memo_misses";
+/// RR sets sampled across all sessions.
+pub const RR_GENERATED_TOTAL: &str = "rr_generated_total";
+/// RR sets folded into coverage indexes across all sessions.
+pub const INDEX_EXTENDED_TOTAL: &str = "index_extended_total";
+/// Snapshot files persisted in the background.
+pub const SNAPSHOTS_PERSISTED: &str = "snapshots_persisted";
+/// Snapshot loads that took the zero-copy mmap path.
+pub const SNAPSHOTS_MAPPED: &str = "snapshots_mapped";
+
+// --- gauges ---------------------------------------------------------------
+
+/// Jobs currently sitting in the shared worker queue.
+pub const QUEUE_DEPTH: &str = "queue_depth";
+/// Requests admitted but not yet flushed, across all connections.
+pub const INFLIGHT: &str = "inflight";
+/// Bytes buffered in per-connection write buffers.
+pub const WRITE_BUFFER_BYTES: &str = "write_buffer_bytes";
+/// Heap-resident RR arena bytes across all cached sessions.
+pub const ARENA_RESIDENT_BYTES: &str = "arena_resident_bytes";
+/// mmap-backed RR arena bytes across all cached sessions.
+pub const ARENA_MAPPED_BYTES: &str = "arena_mapped_bytes";
+
+// --- histograms -----------------------------------------------------------
+
+/// End-to-end solve latency (queue + solve), seconds.
+pub const RPC_SOLVE_SECS: &str = "rpc_solve_secs";
+/// End-to-end warm latency (queue + warm), seconds.
+pub const RPC_WARM_SECS: &str = "rpc_warm_secs";
+/// Fingerprint-batch sizes popped by workers (a count, not seconds).
+pub const BATCH_SIZE: &str = "batch_size";
+/// RR generation phase duration, seconds.
+pub const GENERATE_SECS: &str = "generate_secs";
+/// Coverage-index extension duration, seconds.
+pub const INDEX_SECS: &str = "index_secs";
+/// Snapshot load (read + verify + adopt) duration, seconds.
+pub const SNAPSHOT_LOAD_SECS: &str = "snapshot_load_secs";
+/// Snapshot persist duration, seconds.
+pub const SNAPSHOT_PERSIST_SECS: &str = "snapshot_persist_secs";
+/// Store-level snapshot file read/decode duration, seconds.
+pub const STORE_READ_SECS: &str = "store_read_secs";
+/// Store-level snapshot file write duration, seconds.
+pub const STORE_WRITE_SECS: &str = "store_write_secs";

@@ -1,0 +1,518 @@
+//! Span-based tracing: per-thread ring buffers drained into a bounded
+//! global trace store.
+//!
+//! A request's trace id is minted in the event loop ([`next_trace_id`])
+//! and carried to worker threads, which [`attach`] it before serving the
+//! job; from there, [`Span::child`] guards picked up through thread-local
+//! context build the phase tree (parse → admit → batch_wait → warm_check
+//! → solve{generate, index, greedy} → serialize → flush). Finished spans
+//! are `Copy` records pushed into a preallocated per-thread ring —
+//! recording never allocates and never takes a contended lock. Rings
+//! overwrite their oldest span when full; they drain into the global
+//! [`TraceStore`] when a trace detaches with a half-full ring, and
+//! force-drain when the `trace` RPC snapshots the store.
+//!
+//! Every span *times* unconditionally (construction captures
+//! `Instant::now`, so spans double as the measurement source behind
+//! `RrCacheStats`/`SolveTiming` accessors even under `--no-obs`);
+//! *recording* happens only when obs is enabled and a trace is attached.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Spans kept per thread before the oldest is overwritten.
+pub const RING_CAPACITY: usize = 256;
+
+/// A ring past this fill level is drained into the global store when its
+/// trace detaches.
+const DRAIN_THRESHOLD: usize = RING_CAPACITY / 2;
+
+/// Traces retained in the global store (FIFO eviction).
+const MAX_TRACES: usize = 64;
+
+/// Spans retained per trace (later spans are dropped, not torn).
+const MAX_SPANS_PER_TRACE: usize = 128;
+
+/// Inline key/value fields carried by a span.
+pub const MAX_FIELDS: usize = 2;
+
+/// One finished span. `Copy` so ring pushes are plain stores.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to (never 0).
+    pub trace: u64,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id, 0 for phase-tree roots.
+    pub parent: u64,
+    /// Phase name (a [`crate::names`] constant).
+    pub name: &'static str,
+    /// Start, µs since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Inline numeric fields; only the first `nfields` are meaningful.
+    pub fields: [(&'static str, f64); MAX_FIELDS],
+    /// Number of populated `fields`.
+    pub nfields: u8,
+}
+
+impl SpanRecord {
+    /// The populated fields.
+    pub fn fields(&self) -> &[(&'static str, f64)] {
+        &self.fields[..self.nfields as usize]
+    }
+}
+
+/// All spans of one trace, in arrival order.
+#[derive(Clone, Debug, Default)]
+pub struct TraceView {
+    /// The trace id.
+    pub trace: u64,
+    /// Spans recorded under it (start-ordered by [`traces`]).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceView {
+    /// Wall-clock extent of the trace: latest end minus earliest start.
+    pub fn total_us(&self) -> u64 {
+        let start = self.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        let end = self
+            .spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .max()
+            .unwrap_or(0);
+        end.saturating_sub(start)
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn micros_since_epoch(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a fresh nonzero trace id (called once per request, in the event
+/// loop).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// `(trace, current span id)` — the ambient context [`Span::child`]
+    /// parents itself under. `(0, _)` means no trace attached.
+    static CURRENT: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// A fixed-capacity span ring; `head` is the next overwrite position
+/// once `len == RING_CAPACITY`.
+struct Ring {
+    buf: Vec<SpanRecord>,
+    head: usize,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            buf: Vec::with_capacity(RING_CAPACITY),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % RING_CAPACITY;
+        }
+    }
+
+    /// Remove and return all spans, oldest first.
+    fn take(&mut self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+fn lock_obs<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Every live thread ring, so [`drain_all`] can reach spans recorded by
+/// threads that have gone idle.
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: std::cell::OnceCell<Arc<Mutex<Ring>>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_my_ring<R>(f: impl FnOnce(&mut Ring) -> R) -> R {
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Mutex::new(Ring::new()));
+            lock_obs(rings()).push(Arc::clone(&ring));
+            ring
+        });
+        f(&mut lock_obs(ring))
+    })
+}
+
+/// One trace grouped in the store.
+struct TraceEntry {
+    trace: u64,
+    spans: Vec<SpanRecord>,
+}
+
+/// The bounded global trace store: FIFO over traces, capped per trace.
+#[derive(Default)]
+struct TraceStore {
+    entries: std::collections::VecDeque<TraceEntry>,
+}
+
+impl TraceStore {
+    fn absorb(&mut self, records: Vec<SpanRecord>) {
+        for rec in records {
+            if !self.entries.iter().rev().any(|e| e.trace == rec.trace) {
+                while self.entries.len() >= MAX_TRACES {
+                    self.entries.pop_front();
+                }
+                self.entries.push_back(TraceEntry {
+                    trace: rec.trace,
+                    spans: Vec::new(),
+                });
+            }
+            let entry = self.entries.iter_mut().rev().find(|e| e.trace == rec.trace);
+            if let Some(entry) = entry {
+                if entry.spans.len() < MAX_SPANS_PER_TRACE {
+                    entry.spans.push(rec);
+                }
+            }
+        }
+    }
+}
+
+fn store() -> &'static Mutex<TraceStore> {
+    static STORE: OnceLock<Mutex<TraceStore>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(TraceStore::default()))
+}
+
+/// Drain every thread ring into the global store (RPC-time barrier, so
+/// `trace` responses see spans from all threads).
+pub fn drain_all() {
+    let rings: Vec<Arc<Mutex<Ring>>> = lock_obs(rings()).clone();
+    let mut drained = Vec::new();
+    for ring in rings {
+        drained.append(&mut lock_obs(&ring).take());
+    }
+    if !drained.is_empty() {
+        lock_obs(store()).absorb(drained);
+    }
+}
+
+/// How traces are ordered by [`traces`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceSort {
+    /// Most recently started first.
+    Recent,
+    /// Longest wall-clock extent first.
+    Slow,
+}
+
+/// Snapshot up to `limit` traces from the store (after a full drain),
+/// spans start-ordered within each trace.
+pub fn traces(limit: usize, sort: TraceSort) -> Vec<TraceView> {
+    drain_all();
+    let guard = lock_obs(store());
+    let mut views: Vec<TraceView> = guard
+        .entries
+        .iter()
+        .map(|e| {
+            let mut spans = e.spans.clone();
+            spans.sort_by_key(|s| (s.start_us, s.id));
+            TraceView {
+                trace: e.trace,
+                spans,
+            }
+        })
+        .collect();
+    drop(guard);
+    match sort {
+        TraceSort::Recent => views.reverse(),
+        TraceSort::Slow => views.sort_by_key(|v| std::cmp::Reverse(v.total_us())),
+    }
+    views.truncate(limit);
+    views
+}
+
+/// All spans recorded under one trace id (after a full drain).
+pub fn trace_by_id(trace: u64) -> Option<TraceView> {
+    drain_all();
+    let guard = lock_obs(store());
+    guard.entries.iter().find(|e| e.trace == trace).map(|e| {
+        let mut spans = e.spans.clone();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        TraceView {
+            trace: e.trace,
+            spans,
+        }
+    })
+}
+
+/// Attaches `trace` as the thread's ambient context for the guard's
+/// lifetime; [`Span::child`] spans opened underneath parent into it.
+pub struct TraceGuard {
+    prev: (u64, u64),
+}
+
+/// Make `trace` the calling thread's ambient trace. Pass the id minted
+/// by the event loop before serving a job.
+pub fn attach(trace: u64) -> TraceGuard {
+    let prev = CURRENT.with(|c| c.replace((trace, 0)));
+    TraceGuard { prev }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+        // Opportunistic drain: move a half-full ring into the store now,
+        // while the pushes are cache-hot, instead of at RPC time.
+        if crate::enabled() && with_my_ring(|r| r.len()) >= DRAIN_THRESHOLD {
+            drain_all();
+        }
+    }
+}
+
+/// A timing guard. Always measures; records into the trace store only
+/// when obs was enabled and a trace was attached at construction.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    /// 0 ⇒ inert (no recording on drop).
+    trace: u64,
+    id: u64,
+    prev: (u64, u64),
+    fields: [(&'static str, f64); MAX_FIELDS],
+    nfields: u8,
+}
+
+impl Span {
+    fn inert(name: &'static str, start: Instant) -> Span {
+        Span {
+            name,
+            start,
+            trace: 0,
+            id: 0,
+            prev: (0, 0),
+            fields: [("", 0.0); MAX_FIELDS],
+            nfields: 0,
+        }
+    }
+
+    /// Open a span under the thread's ambient context ([`attach`]).
+    /// Becomes the ambient parent for nested children until dropped.
+    pub fn child(name: &'static str) -> Span {
+        let start = Instant::now();
+        let (trace, parent) = CURRENT.with(|c| c.get());
+        if trace == 0 || !crate::enabled() {
+            return Span::inert(name, start);
+        }
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        CURRENT.with(|c| c.set((trace, id)));
+        Span {
+            name,
+            start,
+            trace,
+            id,
+            prev: (trace, parent),
+            fields: [("", 0.0); MAX_FIELDS],
+            nfields: 0,
+        }
+    }
+
+    /// Open a root span of an explicit trace without touching the
+    /// thread's ambient context (event-loop side, where requests
+    /// interleave on one thread).
+    pub fn detached(trace: u64, name: &'static str) -> Span {
+        let start = Instant::now();
+        if trace == 0 || !crate::enabled() {
+            return Span::inert(name, start);
+        }
+        Span {
+            name,
+            start,
+            trace,
+            id: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+            prev: (0, 0),
+            fields: [("", 0.0); MAX_FIELDS],
+            nfields: 0,
+        }
+    }
+
+    /// Attach a numeric field (silently dropped past [`MAX_FIELDS`]).
+    pub fn field(&mut self, name: &'static str, value: f64) {
+        if (self.nfields as usize) < MAX_FIELDS {
+            self.fields[self.nfields as usize] = (name, value);
+            self.nfields += 1;
+        }
+    }
+
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Close the span and return its measured duration.
+    pub fn finish(self) -> Duration {
+        let d = self.start.elapsed();
+        drop(self);
+        d
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.trace == 0 {
+            return;
+        }
+        if self.prev.0 != 0 {
+            CURRENT.with(|c| c.set(self.prev));
+        }
+        let rec = SpanRecord {
+            trace: self.trace,
+            id: self.id,
+            parent: if self.prev.0 != 0 { self.prev.1 } else { 0 },
+            name: self.name,
+            start_us: micros_since_epoch(self.start),
+            dur_us: self.start.elapsed().as_micros() as u64,
+            fields: self.fields,
+            nfields: self.nfields,
+        };
+        with_my_ring(|r| r.push(rec));
+    }
+}
+
+/// Record an already-measured phase (e.g. queue wait, known only when
+/// the worker dequeues the job) as a closed span of `trace`.
+pub fn record_closed(trace: u64, parent: u64, name: &'static str, start: Instant, dur: Duration) {
+    if trace == 0 || !crate::enabled() {
+        return;
+    }
+    let rec = SpanRecord {
+        trace,
+        id: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+        parent,
+        name,
+        start_us: micros_since_epoch(start),
+        dur_us: dur.as_micros() as u64,
+        fields: [("", 0.0); MAX_FIELDS],
+        nfields: 0,
+    };
+    with_my_ring(|r| r.push(rec));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_drops_oldest_without_tearing() {
+        let mut ring = Ring::new();
+        let mk = |i: u64| SpanRecord {
+            trace: 999_000,
+            id: i,
+            parent: 0,
+            name: "t",
+            start_us: i,
+            dur_us: 1,
+            fields: [("", 0.0); MAX_FIELDS],
+            nfields: 0,
+        };
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.push(mk(i));
+        }
+        let drained = ring.take();
+        assert_eq!(drained.len(), RING_CAPACITY);
+        // Oldest 10 dropped; survivors contiguous and in order.
+        for (k, rec) in drained.iter().enumerate() {
+            assert_eq!(rec.id, 10 + k as u64);
+        }
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn child_spans_nest_under_the_attached_trace() {
+        let trace = next_trace_id();
+        let (root_id, child_name);
+        {
+            let _guard = attach(trace);
+            let root = Span::child("warm_check");
+            root_id = root.id;
+            {
+                let child = Span::child("generate");
+                child_name = child.name;
+                assert_eq!(child.prev, (trace, root_id));
+            }
+        }
+        let view = trace_by_id(trace).expect("trace recorded");
+        assert_eq!(view.spans.len(), 2);
+        let child = view.spans.iter().find(|s| s.name == "generate").unwrap();
+        let root = view.spans.iter().find(|s| s.name == "warm_check").unwrap();
+        assert_eq!(child.parent, root.id);
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.id, root_id);
+        assert_eq!(child_name, "generate");
+    }
+
+    #[test]
+    fn detached_and_closed_spans_join_the_same_trace() {
+        let trace = next_trace_id();
+        let t0 = Instant::now();
+        {
+            let mut s = Span::detached(trace, "parse");
+            s.field("bytes", 128.0);
+        }
+        record_closed(trace, 0, "batch_wait", t0, Duration::from_micros(250));
+        let view = trace_by_id(trace).expect("trace recorded");
+        let names: Vec<&str> = view.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"parse") && names.contains(&"batch_wait"));
+        let parse = view.spans.iter().find(|s| s.name == "parse").unwrap();
+        assert_eq!(parse.fields(), &[("bytes", 128.0)]);
+    }
+
+    #[test]
+    fn store_evicts_whole_traces_fifo() {
+        let base = NEXT_TRACE.fetch_add(2 * MAX_TRACES as u64, Ordering::Relaxed);
+        for i in 0..(2 * MAX_TRACES as u64) {
+            record_closed(
+                base + i,
+                0,
+                "solve",
+                Instant::now(),
+                Duration::from_micros(1),
+            );
+        }
+        drain_all();
+        assert!(trace_by_id(base).is_none(), "oldest trace evicted");
+        assert!(trace_by_id(base + 2 * MAX_TRACES as u64 - 1).is_some());
+    }
+}

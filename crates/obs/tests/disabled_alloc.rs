@@ -1,0 +1,83 @@
+//! The `--no-obs` promise: with recording disabled, the per-request obs
+//! path performs zero heap allocations.
+//!
+//! A counting global allocator measures the allocation delta across a
+//! burst of metric increments and span guards with obs disabled. Runs
+//! in its own integration binary so the allocator and the
+//! enabled-flag flip cannot interfere with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rmsa_obs::{names, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+static SOLVES: LazyCounter = LazyCounter::new(names::REQUESTS_TOTAL);
+static DEPTH: LazyGauge = LazyGauge::new(names::QUEUE_DEPTH);
+static LATENCY: LazyHistogram = LazyHistogram::new(names::RPC_SOLVE_SECS);
+
+#[test]
+fn disabled_obs_path_allocates_nothing_per_request() {
+    rmsa_obs::set_enabled(false);
+
+    // Warm up anything lazily initialized outside the measured window
+    // (thread-locals, the trace epoch).
+    let warmup = trace::next_trace_id();
+    simulated_request(warmup);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        let trace_id = trace::next_trace_id();
+        simulated_request(trace_id);
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    rmsa_obs::set_enabled(true);
+    assert_eq!(
+        delta, 0,
+        "disabled obs path must not allocate ({delta} allocations across 1000 requests)"
+    );
+}
+
+/// The full per-request obs surface: counters, gauges, histograms, an
+/// attached trace with nested spans, and a closed-span record.
+fn simulated_request(trace_id: u64) {
+    SOLVES.inc();
+    DEPTH.add(1);
+    let enqueued = Instant::now();
+    {
+        let _guard = trace::attach(trace_id);
+        trace::record_closed(trace_id, 0, names::BATCH_WAIT, enqueued, enqueued.elapsed());
+        let warm = Span::child(names::WARM_CHECK);
+        drop(warm);
+        let mut solve = Span::child(names::SOLVE);
+        solve.field("rr", 1000.0);
+        let greedy = Span::child(names::GREEDY);
+        let d = greedy.finish();
+        LATENCY.observe_duration(d);
+        drop(solve);
+    }
+    DEPTH.add(-1);
+}

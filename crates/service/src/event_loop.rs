@@ -36,11 +36,21 @@ use crate::net::{Event, Interest, Poller, WAKE_TOKEN};
 use crate::server::{enqueue, shutting_down_error, Job, JobKind, Reply, Shared};
 use crate::session::SessionKey;
 use crate::wire::{ErrorCode, Request, Response, WireError, WIRE_MIN_SCHEMA_VERSION};
+use rmsa_obs::{names, trace, LazyCounter, LazyGauge, Span};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
+
+/// Requests admitted into the queue (solve + warm).
+static REQUESTS: LazyCounter = LazyCounter::new(names::REQUESTS_TOTAL);
+/// Responses delivered back to their connections.
+static RESPONSES: LazyCounter = LazyCounter::new(names::RESPONSES_TOTAL);
+/// Queued requests not yet delivered, across all connections.
+static INFLIGHT: LazyGauge = LazyGauge::new(names::INFLIGHT);
+/// Unflushed response bytes across all connection write buffers.
+static WBUF_BYTES: LazyGauge = LazyGauge::new(names::WRITE_BUFFER_BYTES);
 
 /// Token of the listening socket; connection tokens are `slot index + 1`.
 const LISTENER_TOKEN: u64 = 0;
@@ -199,6 +209,10 @@ pub(crate) fn run(listener: TcpListener, mut poller: Poller, shared: &Shared) {
             }
             if close {
                 if let Some(conn) = slot.take() {
+                    // Keep the aggregate gauges honest for work this
+                    // connection takes to the grave.
+                    INFLIGHT.add(-(conn.inflight as i64));
+                    WBUF_BYTES.add(-(conn.pending_write() as i64));
                     poller.deregister(fd_of(&conn.stream));
                     free.push(index);
                 }
@@ -269,6 +283,18 @@ fn deliver_completions(shared: &Shared, slots: &mut [Option<Conn>]) {
         if let Some(conn) = slots.get_mut(index).and_then(Option::as_mut) {
             if conn.generation == completion.reply.generation {
                 conn.inflight = conn.inflight.saturating_sub(1);
+                INFLIGHT.add(-1);
+                RESPONSES.inc();
+                // The flush phase: from the worker finishing the render
+                // to the event loop handing the line to the ordered
+                // write path.
+                trace::record_closed(
+                    completion.reply.trace,
+                    0,
+                    names::FLUSH,
+                    completion.rendered_at,
+                    completion.rendered_at.elapsed(),
+                );
                 conn.finish(completion.reply.seq, completion.line);
             }
         }
@@ -349,7 +375,14 @@ fn process_lines(shared: &Shared, conn: &mut Conn, token: u64) {
 fn handle_request(shared: &Shared, conn: &mut Conn, token: u64, line: &str) {
     let seq = conn.next_seq;
     conn.next_seq += 1;
-    let (version, request) = match Request::parse_versioned(line) {
+    // The trace is minted here, before parsing, so the parse span itself
+    // belongs to the request's phase tree; queued work carries the id in
+    // its Reply and echoes it in SolveTiming::trace.
+    let trace_id = trace::next_trace_id();
+    let parse_span = Span::detached(trace_id, names::PARSE);
+    let parsed = Request::parse_versioned(line);
+    drop(parse_span);
+    let (version, request) = match parsed {
         Ok(parsed) => parsed,
         Err(failure) => {
             let response = Response::error(failure.id, failure.error);
@@ -373,6 +406,20 @@ fn handle_request(shared: &Shared, conn: &mut Conn, token: u64, line: &str) {
             };
             conn.finish(seq, response.render_for(version));
         }
+        Request::Metrics { id } => {
+            let response = Response::Metrics {
+                id,
+                report: crate::obs_report::metrics_report(),
+            };
+            conn.finish(seq, response.render_for(version));
+        }
+        Request::Trace { id, limit, slowest } => {
+            let response = Response::Trace {
+                id,
+                traces: crate::obs_report::trace_reports(limit, slowest),
+            };
+            conn.finish(seq, response.render_for(version));
+        }
         Request::Shutdown { id } => {
             conn.finish(seq, Response::ShuttingDown { id }.render_for(version));
             shared.begin_shutdown();
@@ -385,25 +432,37 @@ fn handle_request(shared: &Shared, conn: &mut Conn, token: u64, line: &str) {
                 token,
                 seq,
                 version,
+                trace_id,
                 key,
                 JobKind::Solve(solve),
             );
         }
         Request::Warm(warm) => {
             let key = SessionKey::from(&warm);
-            submit(shared, conn, token, seq, version, key, JobKind::Warm(warm));
+            submit(
+                shared,
+                conn,
+                token,
+                seq,
+                version,
+                trace_id,
+                key,
+                JobKind::Warm(warm),
+            );
         }
     }
 }
 
 /// Enqueue session work; a refusal (shutdown raced us) is answered
 /// immediately through the ordered path.
+#[allow(clippy::too_many_arguments)]
 fn submit(
     shared: &Shared,
     conn: &mut Conn,
     token: u64,
     seq: u64,
     version: u32,
+    trace_id: u64,
     key: SessionKey,
     kind: JobKind,
 ) {
@@ -416,23 +475,31 @@ fn submit(
         generation: conn.generation,
         seq,
         version,
+        trace: trace_id,
     };
     conn.inflight += 1;
+    let admit_span = Span::detached(trace_id, names::ADMIT);
     let job = Job {
         key,
         kind,
         enqueued: Instant::now(),
         reply,
     };
-    if enqueue(shared, job).is_some() {
+    let refused = enqueue(shared, job);
+    drop(admit_span);
+    if refused.is_some() {
         conn.inflight = conn.inflight.saturating_sub(1);
         conn.finish(seq, shutting_down_error(id).render_for(version));
+    } else {
+        REQUESTS.inc();
+        INFLIGHT.add(1);
     }
 }
 
 /// Append every response whose turn has come to the write buffer, then
 /// push bytes until the socket stops accepting them.
 fn advance_writes(conn: &mut Conn) {
+    let before = conn.pending_write() as i64;
     while let Some(line) = conn.done.remove(&conn.flush_seq) {
         conn.wbuf.extend_from_slice(line.as_bytes());
         conn.wbuf.push(b'\n');
@@ -456,6 +523,7 @@ fn advance_writes(conn: &mut Conn) {
         conn.wbuf.drain(..conn.wpos);
         conn.wpos = 0;
     }
+    WBUF_BYTES.add(conn.pending_write() as i64 - before);
 }
 
 /// Re-register the connection for exactly what it can make progress on:

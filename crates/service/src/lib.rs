@@ -18,7 +18,8 @@
 //! * [`client`] — blocking NDJSON client.
 //! * [`loadgen`] — seeded closed-loop / open-loop load generator
 //!   emitting `BENCH_service.json` / `BENCH_service_open.json`.
-//! * [`histogram`] — the hand-rolled log-bucket latency histogram.
+//! * [`histogram`] — the log-bucket latency histogram (now owned by
+//!   [`rmsa_obs`], re-exported here for compatibility).
 //!
 //! See `DESIGN.md`, sections "Serving architecture" and "Event-loop
 //! serving", for the batching invariant, the determinism guarantee, and
@@ -28,9 +29,10 @@
 
 pub mod client;
 mod event_loop;
-pub mod histogram;
+pub use rmsa_obs::histogram;
 pub mod loadgen;
 pub mod net;
+pub(crate) mod obs_report;
 pub mod server;
 pub mod session;
 pub mod snapshot;

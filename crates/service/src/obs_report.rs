@@ -1,0 +1,140 @@
+//! Bridges the live [`rmsa_obs`] registry and trace store into wire
+//! payloads ([`MetricsReport`], [`TraceReport`]) and the
+//! `--obs-snapshot` dump document.
+
+use crate::wire::{HistogramStats, MetricsReport, SpanEntry, TraceReport};
+use rmsa_bench::json::Json;
+use rmsa_obs::trace::{self, TraceView};
+use rmsa_obs::TraceSort;
+
+/// Snapshot the metric registry as a wire payload.
+pub(crate) fn metrics_report() -> MetricsReport {
+    let snap = rmsa_obs::metrics::snapshot();
+    MetricsReport {
+        counters: snap
+            .counters
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect(),
+        gauges: snap
+            .gauges
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect(),
+        histograms: snap
+            .histograms
+            .into_iter()
+            .map(|(name, h)| HistogramStats {
+                name: name.to_string(),
+                count: h.count(),
+                mean_secs: h.mean_secs(),
+                p50_secs: h.quantile_secs(0.50),
+                p90_secs: h.quantile_secs(0.90),
+                p99_secs: h.quantile_secs(0.99),
+                max_secs: h.max_secs(),
+            })
+            .collect(),
+    }
+}
+
+fn view_to_report(view: TraceView) -> TraceReport {
+    let total_us = view.total_us();
+    TraceReport {
+        trace: view.trace,
+        total_us,
+        spans: view
+            .spans
+            .into_iter()
+            .map(|s| SpanEntry {
+                id: s.id,
+                parent: s.parent,
+                name: s.name.to_string(),
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+                fields: s
+                    .fields()
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Snapshot up to `limit` traces as wire payloads.
+pub(crate) fn trace_reports(limit: usize, slowest: bool) -> Vec<TraceReport> {
+    let sort = if slowest {
+        TraceSort::Slow
+    } else {
+        TraceSort::Recent
+    };
+    trace::traces(limit, sort)
+        .into_iter()
+        .map(view_to_report)
+        .collect()
+}
+
+/// The `--obs-snapshot` document: the full registry plus the most
+/// recent traces, rendered with the stable-order [`Json`] module.
+pub(crate) fn dump_json() -> Json {
+    let report = metrics_report();
+    let mut counters = Json::obj();
+    for (name, v) in &report.counters {
+        counters.set(name, Json::Int(*v as i64));
+    }
+    let mut gauges = Json::obj();
+    for (name, v) in &report.gauges {
+        gauges.set(name, Json::Int(*v));
+    }
+    let histograms = Json::Arr(
+        report
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut doc = Json::obj();
+                doc.set("name", Json::Str(h.name.clone()))
+                    .set("count", Json::Int(h.count as i64))
+                    .set("mean_secs", Json::Num(h.mean_secs))
+                    .set("p50_secs", Json::Num(h.p50_secs))
+                    .set("p90_secs", Json::Num(h.p90_secs))
+                    .set("p99_secs", Json::Num(h.p99_secs))
+                    .set("max_secs", Json::Num(h.max_secs));
+                doc
+            })
+            .collect(),
+    );
+    let traces = Json::Arr(
+        trace_reports(16, false)
+            .iter()
+            .map(|t| {
+                let mut doc = Json::obj();
+                doc.set("trace", Json::Int(t.trace as i64))
+                    .set("total_us", Json::Int(t.total_us as i64))
+                    .set(
+                        "spans",
+                        Json::Arr(
+                            t.spans
+                                .iter()
+                                .map(|s| {
+                                    let mut span = Json::obj();
+                                    span.set("id", Json::Int(s.id as i64))
+                                        .set("parent", Json::Int(s.parent as i64))
+                                        .set("name", Json::Str(s.name.clone()))
+                                        .set("start_us", Json::Int(s.start_us as i64))
+                                        .set("dur_us", Json::Int(s.dur_us as i64));
+                                    span
+                                })
+                                .collect(),
+                        ),
+                    );
+                doc
+            })
+            .collect(),
+    );
+    let mut doc = Json::obj();
+    doc.set("counters", counters)
+        .set("gauges", gauges)
+        .set("histograms", histograms)
+        .set("traces", traces);
+    doc
+}

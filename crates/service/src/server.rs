@@ -29,12 +29,24 @@ use crate::wire::{
 };
 use rmsa_bench::ExperimentContext;
 use rmsa_core::RmError;
+use rmsa_obs::{names, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Jobs currently queued for the worker pool.
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new(names::QUEUE_DEPTH);
+/// Error responses rendered, any code.
+static ERRORS: LazyCounter = LazyCounter::new(names::ERRORS_TOTAL);
+/// Fingerprint-batch sizes popped by workers.
+static BATCH_SIZES: LazyHistogram = LazyHistogram::new(names::BATCH_SIZE);
+/// Enqueue-to-completion solve latency.
+static RPC_SOLVE: LazyHistogram = LazyHistogram::new(names::RPC_SOLVE_SECS);
+/// Enqueue-to-completion warm latency.
+static RPC_WARM: LazyHistogram = LazyHistogram::new(names::RPC_WARM_SECS);
 
 /// Validated configuration of one daemon instance. Construct through
 /// [`ServerConfig::builder`]; the defaults of [`ServerConfig::new`] are
@@ -48,6 +60,8 @@ pub struct ServerConfig {
     memoize: bool,
     snapshot_dir: Option<PathBuf>,
     verify_snapshots: bool,
+    obs: bool,
+    obs_snapshot: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -64,6 +78,8 @@ impl ServerConfig {
             memoize: true,
             snapshot_dir: None,
             verify_snapshots: false,
+            obs: true,
+            obs_snapshot: None,
         }
     }
 
@@ -112,6 +128,17 @@ impl ServerConfig {
     pub fn verify_snapshots(&self) -> bool {
         self.verify_snapshots
     }
+
+    /// Whether obs recording (metrics + traces) is on (`--no-obs` turns
+    /// it off; spans still time, nothing is recorded).
+    pub fn obs(&self) -> bool {
+        self.obs
+    }
+
+    /// Periodic obs dump file (`--obs-snapshot`); `None` disables it.
+    pub fn obs_snapshot(&self) -> Option<&Path> {
+        self.obs_snapshot.as_deref()
+    }
 }
 
 /// Builder for [`ServerConfig`]; [`ServerConfigBuilder::build`] validates
@@ -159,6 +186,18 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Turn obs recording on/off (default `true`; `--no-obs`).
+    pub fn obs(mut self, obs: bool) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Periodically dump the metric registry and trace store to `path`.
+    pub fn obs_snapshot(mut self, path: Option<PathBuf>) -> Self {
+        self.config.obs_snapshot = path;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServerConfig, RmError> {
         let c = &self.config;
@@ -196,6 +235,8 @@ pub(crate) struct Reply {
     pub(crate) generation: u64,
     pub(crate) seq: u64,
     pub(crate) version: u32,
+    /// Obs trace id minted at admission (0 when tracing is off).
+    pub(crate) trace: u64,
 }
 
 /// A finished response on its way back to the event loop, already
@@ -203,6 +244,9 @@ pub(crate) struct Reply {
 pub(crate) struct Completion {
     pub(crate) reply: Reply,
     pub(crate) line: String,
+    /// When the worker finished rendering — the event loop closes the
+    /// request's `flush` span against this.
+    pub(crate) rendered_at: Instant,
 }
 
 /// One queued unit of session work.
@@ -246,10 +290,19 @@ impl Shared {
     /// Hand a finished response back to the event loop: render it in the
     /// requester's schema version, stash it, and wake the poller.
     pub(crate) fn complete(&self, reply: Reply, response: &Response) {
+        if matches!(response, Response::Error { .. }) {
+            ERRORS.inc();
+        }
+        let span = Span::detached(reply.trace, names::SERIALIZE);
         let line = response.render_for(reply.version);
+        drop(span);
         {
             let mut completions = lock_unpoisoned(&self.completions);
-            completions.push(Completion { reply, line });
+            completions.push(Completion {
+                reply,
+                line,
+                rendered_at: Instant::now(),
+            });
         }
         self.waker.wake();
     }
@@ -263,6 +316,7 @@ pub struct ServiceHandle {
     shared: Arc<Shared>,
     event_loop: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    obs_dump: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServiceHandle {
@@ -289,6 +343,9 @@ impl ServiceHandle {
         for worker in self.workers {
             let _ = worker.join();
         }
+        if let Some(dump) = self.obs_dump {
+            let _ = dump.join();
+        }
         let persists = std::mem::take(&mut *lock_unpoisoned(&self.shared.persists));
         for persist in persists {
             let _ = persist.join();
@@ -299,6 +356,7 @@ impl ServiceHandle {
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
 /// event loop plus `config.workers()` queue workers.
 pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServiceHandle> {
+    rmsa_obs::set_enabled(config.obs);
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -336,12 +394,54 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServiceHandle>
             .name("rmsa-event-loop".to_string())
             .spawn(move || crate::event_loop::run(listener, poller, &shared))?
     };
+    let obs_dump = match config.obs_snapshot.filter(|_| config.obs) {
+        Some(path) => {
+            let shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("rmsa-obs-dump".to_string())
+                    .spawn(move || obs_dump_loop(&shared, &path))?,
+            )
+        }
+        None => None,
+    };
     Ok(ServiceHandle {
         addr,
         shared,
         event_loop,
         workers,
+        obs_dump,
     })
+}
+
+/// Interval between `--obs-snapshot` dumps.
+const OBS_DUMP_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Periodically dump the registry and trace store to `path` (tmp file +
+/// rename, so readers never see a torn document), with a final dump on
+/// shutdown.
+fn obs_dump_loop(shared: &Shared, path: &Path) {
+    let tick = Duration::from_millis(100);
+    let mut since_dump = OBS_DUMP_INTERVAL;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if since_dump >= OBS_DUMP_INTERVAL {
+            write_obs_dump(path);
+            since_dump = Duration::ZERO;
+        }
+        std::thread::sleep(tick);
+        since_dump += tick;
+    }
+    write_obs_dump(path);
+}
+
+fn write_obs_dump(path: &Path) {
+    let doc = crate::obs_report::dump_json();
+    let tmp = path.with_extension("tmp");
+    let written =
+        std::fs::write(&tmp, doc.render_pretty() + "\n").and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = written {
+        eprintln!("rmsa serve: obs dump to {} failed: {e}", path.display());
+    }
 }
 
 /// Admit a job to the queue, or hand it back when the daemon is
@@ -360,6 +460,7 @@ pub(crate) fn enqueue(shared: &Shared, job: Job) -> Option<Job> {
         }
     };
     if refused.is_none() {
+        QUEUE_DEPTH.add(1);
         shared.available.notify_one();
     }
     refused
@@ -405,6 +506,7 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        QUEUE_DEPTH.add(-(batch.len() as i64));
         serve_batch(shared, batch);
     }
 }
@@ -448,11 +550,26 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
     };
     let session = shared.registry.session(key);
     let batch_size = batch.len();
+    BATCH_SIZES.observe(batch_size as f64);
     for job in batch {
-        let queue_secs = job.enqueued.elapsed().as_secs_f64();
+        // The job's trace becomes this thread's ambient context: spans
+        // opened here and anywhere below (session, diffusion, store)
+        // parent into the request's phase tree.
+        let _trace = trace::attach(job.reply.trace);
+        let queue_wait = job.enqueued.elapsed();
+        let queue_secs = queue_wait.as_secs_f64();
+        trace::record_closed(
+            job.reply.trace,
+            0,
+            names::BATCH_WAIT,
+            job.enqueued,
+            queue_wait,
+        );
         match job.kind {
             JobKind::Warm(warm) => {
+                let warm_span = Span::child(names::WARM_CHECK);
                 let outcome = session.ensure_warm(warm.target_rr);
+                drop(warm_span);
                 if !outcome.already_warm {
                     persist_in_background(shared, session.clone());
                 }
@@ -466,22 +583,28 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                         already_warm: outcome.already_warm,
                     }),
                 );
+                RPC_WARM.observe_duration(job.enqueued.elapsed());
             }
             JobKind::Solve(solve) => {
                 // Warm before solving — a no-op for every batch member
                 // but (at most) the first. When the warm-up did real
                 // cache work, persist the freshly warmed session so the
                 // next restart skips it.
+                let warm_span = Span::child(names::WARM_CHECK);
                 let outcome = session.ensure_warm(None);
+                drop(warm_span);
                 if !outcome.already_warm {
                     persist_in_background(shared, session.clone());
                 }
-                let started = Instant::now();
+                // The span is the timing source: `solve_secs` is its
+                // measured duration, traced or not.
+                let solve_span = Span::child(names::SOLVE);
                 let solved = if shared.memoize {
                     session.solve_memoized(&solve)
                 } else {
                     session.solve(&solve)
                 };
+                let solve_secs = solve_span.finish().as_secs_f64();
                 let response = match solved {
                     Ok(result) => Response::Solve(SolveResponse {
                         id: solve.id,
@@ -489,8 +612,9 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                         result,
                         timing: SolveTiming {
                             queue_secs,
-                            solve_secs: started.elapsed().as_secs_f64(),
+                            solve_secs,
                             batch_size,
+                            trace: job.reply.trace,
                         },
                     }),
                     Err(e) => Response::error(
@@ -499,6 +623,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                     ),
                 };
                 shared.complete(job.reply, &response);
+                RPC_SOLVE.observe_duration(job.enqueued.elapsed());
             }
         }
     }

@@ -31,13 +31,20 @@ use rmsa_bench::ExperimentContext;
 use rmsa_datasets::{Dataset, DatasetModel};
 use rmsa_diffusion::snapshot::ModelSnapshot;
 use rmsa_diffusion::{RrCache, UniformRrSampler};
+use rmsa_obs::{names, LazyCounter, LazyHistogram, Span};
 use rmsa_store::{
     section, MappedSnapshot, SectionSource, SnapshotReader, SnapshotWriter, StoreError, VerifyMode,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicUsize;
 use std::sync::Mutex;
-use std::time::Instant;
+
+/// Session snapshots persisted (successful [`save_session`] calls).
+static SNAPSHOTS_PERSISTED: LazyCounter = LazyCounter::new(names::SNAPSHOTS_PERSISTED);
+/// Successful persist durations.
+static PERSIST_SECS: LazyHistogram = LazyHistogram::new(names::SNAPSHOT_PERSIST_SECS);
+/// Successful warm-start load durations (open + parse + rebuild).
+static LOAD_SECS: LazyHistogram = LazyHistogram::new(names::SNAPSHOT_LOAD_SECS);
 
 /// Snapshot kind tag stored in the meta section.
 pub const SESSION_SNAPSHOT_KIND: &str = "rmsa-session";
@@ -158,8 +165,11 @@ pub fn session_to_bytes(session: &Session) -> Vec<u8> {
 
 /// Persist a session under `dir` (atomic write). Returns the file path.
 pub fn save_session(session: &Session, dir: &Path) -> Result<PathBuf, StoreError> {
+    let span = Span::child(names::SNAPSHOT_PERSIST);
     let path = snapshot_path(dir, session.key());
     rmsa_store::write_file(&path, &session_to_bytes(session))?;
+    SNAPSHOTS_PERSISTED.inc();
+    PERSIST_SECS.observe_duration(span.finish());
     Ok(path)
 }
 
@@ -193,8 +203,9 @@ pub fn session_from_source<S: SectionSource>(
     key: SessionKey,
     ctx: &ExperimentContext,
 ) -> Result<Session, StoreError> {
-    // lint: allow(R2, reason = "wall-clock load-time statistic; reported to stats RPC, never serialized")
-    let start = Instant::now();
+    // The span doubles as the load-time statistic reported by the stats
+    // RPC; the duration is wall-clock but never serialized.
+    let span = Span::child(names::SNAPSHOT_PARSE);
     let meta = read_meta(r)?;
 
     // Key/context checks: every deterministic build input must match.
@@ -322,6 +333,7 @@ pub fn session_from_source<S: SectionSource>(
     let rma_config = rmsa_bench::default_rma_config(ctx);
     let ti_config = rmsa_bench::default_ti_config(ctx);
     let default_target = rma_config.max_rr_per_collection;
+    let snapshot_load_secs = span.finish().as_secs_f64();
     Ok(Session {
         key,
         dataset,
@@ -340,7 +352,7 @@ pub fn session_from_source<S: SectionSource>(
         warm_extensions: AtomicUsize::new(0),
         served: AtomicUsize::new(0),
         loaded_from_snapshot: true,
-        snapshot_load_secs: start.elapsed().as_secs_f64(),
+        snapshot_load_secs,
     })
 }
 
@@ -378,12 +390,13 @@ pub fn load_session_with(
     if !path.exists() {
         return Ok(None);
     }
-    // lint: allow(R2, reason = "wall-clock load-time statistic; reported to stats RPC, never serialized")
-    let start = Instant::now();
+    let span = Span::child(names::SNAPSHOT_LOAD);
     let snap = MappedSnapshot::open(&path, verify)?;
     let mut session = session_from_source(&snap, key, ctx)?;
     // Include the open/mapping step in the reported load time.
-    session.snapshot_load_secs = start.elapsed().as_secs_f64();
+    let loaded = span.finish();
+    session.snapshot_load_secs = loaded.as_secs_f64();
+    LOAD_SECS.observe_duration(loaded);
     Ok(Some(session))
 }
 

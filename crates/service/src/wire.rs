@@ -259,6 +259,20 @@ pub enum Request {
         /// Client-chosen correlation id.
         id: u64,
     },
+    /// Snapshot the live metric registry (v2-only op).
+    Metrics {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
+    /// Fetch recent request traces from the trace store (v2-only op).
+    Trace {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// Maximum number of traces to return.
+        limit: usize,
+        /// Order by wall-clock extent instead of recency.
+        slowest: bool,
+    },
 }
 
 /// True when `version` is a schema this build speaks.
@@ -272,7 +286,11 @@ impl Request {
         match self {
             Request::Solve(r) => r.id,
             Request::Warm(r) => r.id,
-            Request::Stats { id } | Request::Ping { id } | Request::Shutdown { id } => *id,
+            Request::Stats { id }
+            | Request::Ping { id }
+            | Request::Shutdown { id }
+            | Request::Metrics { id }
+            | Request::Trace { id, .. } => *id,
         }
     }
 
@@ -313,6 +331,19 @@ impl Request {
             Request::Shutdown { id } => {
                 doc.set("op", Json::Str("shutdown".into()))
                     .set("id", Json::Int(*id as i64));
+            }
+            Request::Metrics { id } => {
+                doc.set("op", Json::Str("metrics".into()))
+                    .set("id", Json::Int(*id as i64));
+            }
+            Request::Trace { id, limit, slowest } => {
+                doc.set("op", Json::Str("trace".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("limit", Json::Int(*limit as i64))
+                    .set(
+                        "sort",
+                        Json::Str(if *slowest { "slow" } else { "recent" }.into()),
+                    );
             }
         }
         doc
@@ -425,6 +456,19 @@ impl Request {
             "stats" => Request::Stats { id },
             "ping" => Request::Ping { id },
             "shutdown" => Request::Shutdown { id },
+            // The obs surface is v2-only: a v1 "metrics"/"trace" line
+            // falls through to the same unknown-op error those ops always
+            // produced under v1, byte for byte.
+            "metrics" if version > WIRE_MIN_SCHEMA_VERSION => Request::Metrics { id },
+            "trace" if version > WIRE_MIN_SCHEMA_VERSION => Request::Trace {
+                id,
+                limit: doc
+                    .get("limit")
+                    .and_then(|v| v.as_i64())
+                    .map(|v| v.clamp(1, 64) as usize)
+                    .unwrap_or(10),
+                slowest: doc.get("sort").and_then(|v| v.as_str()) == Some("slow"),
+            },
             other => {
                 return Err(fail(WireError::new(
                     ErrorCode::UnknownOp,
@@ -488,6 +532,9 @@ pub struct SolveTiming {
     /// Number of same-fingerprint requests in the batch that served this
     /// request.
     pub batch_size: usize,
+    /// Obs trace id minted for this request (0 when tracing was off).
+    /// Rendered in v2 only; `rmsa trace` looks the phase tree up by it.
+    pub trace: u64,
 }
 
 /// Response to a [`SolveRequest`].
@@ -558,6 +605,65 @@ pub struct SessionStatsEntry {
     pub snapshot_load_secs: f64,
 }
 
+/// Quantile digest of one registry histogram, as shipped by the
+/// `metrics` RPC.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramStats {
+    /// Metric name (an `obs::names` constant on the server side).
+    pub name: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Exact mean, seconds.
+    pub mean_secs: f64,
+    /// p50, bucketed (≈9 % relative error).
+    pub p50_secs: f64,
+    /// p90, bucketed.
+    pub p90_secs: f64,
+    /// p99, bucketed.
+    pub p99_secs: f64,
+    /// Exact maximum, seconds.
+    pub max_secs: f64,
+}
+
+/// Payload of a `metrics` response: the whole registry, name-sorted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// Quantile digests per histogram.
+    pub histograms: Vec<HistogramStats>,
+}
+
+/// One span of a `trace` response.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanEntry {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Phase name.
+    pub name: String,
+    /// Start, µs since the server's trace epoch.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Numeric span fields.
+    pub fields: Vec<(String, f64)>,
+}
+
+/// One request's phase tree, as shipped by the `trace` RPC.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceReport {
+    /// The trace id (echoed in `SolveTiming::trace`).
+    pub trace: u64,
+    /// Wall-clock extent (latest end − earliest start), µs.
+    pub total_us: u64,
+    /// Spans, start-ordered.
+    pub spans: Vec<SpanEntry>,
+}
+
 /// A server response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -583,6 +689,20 @@ pub enum Response {
     ShuttingDown {
         /// Echoed request id.
         id: u64,
+    },
+    /// Metric-registry snapshot (v2-only op).
+    Metrics {
+        /// Echoed request id.
+        id: u64,
+        /// The registry contents.
+        report: MetricsReport,
+    },
+    /// Recent/slowest request traces (v2-only op).
+    Trace {
+        /// Echoed request id.
+        id: u64,
+        /// Phase trees, in the requested order.
+        traces: Vec<TraceReport>,
     },
     /// The request failed. v1 renders the message alone; v2 renders the
     /// full `{code, message}` object.
@@ -622,6 +742,10 @@ impl Response {
                 t.set("queue_secs", Json::Num(r.timing.queue_secs))
                     .set("solve_secs", Json::Num(r.timing.solve_secs))
                     .set("batch_size", Json::Int(r.timing.batch_size as i64));
+                if !v1 {
+                    // Additive v2 field; v1 timing stays byte-identical.
+                    t.set("trace", Json::Int(r.timing.trace as i64));
+                }
                 doc.set("timing", t);
             }
             Response::Warm(r) => {
@@ -659,6 +783,38 @@ impl Response {
                 doc.set("op", Json::Str("shutdown".into()))
                     .set("id", Json::Int(*id as i64))
                     .set("ok", Json::Bool(true));
+            }
+            Response::Metrics { id, report } => {
+                doc.set("op", Json::Str("metrics".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(true));
+                let mut counters = Json::obj();
+                for (name, value) in &report.counters {
+                    counters.set(name, Json::Int(*value as i64));
+                }
+                let mut gauges = Json::obj();
+                for (name, value) in &report.gauges {
+                    gauges.set(name, Json::Int(*value));
+                }
+                doc.set("counters", counters).set("gauges", gauges).set(
+                    "histograms",
+                    Json::Arr(
+                        report
+                            .histograms
+                            .iter()
+                            .map(histogram_stats_to_json)
+                            .collect(),
+                    ),
+                );
+            }
+            Response::Trace { id, traces } => {
+                doc.set("op", Json::Str("trace".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(true))
+                    .set(
+                        "traces",
+                        Json::Arr(traces.iter().map(trace_report_to_json).collect()),
+                    );
             }
             Response::Error { id, code, message } => {
                 doc.set("op", Json::Str("error".into()))
@@ -721,6 +877,12 @@ impl Response {
                         queue_secs: num_field(timing, "queue_secs")?,
                         solve_secs: num_field(timing, "solve_secs")?,
                         batch_size: int_field(timing, "batch_size")?,
+                        // Absent pre-obs and in v1 renderings.
+                        trace: timing
+                            .get("trace")
+                            .and_then(|v| v.as_i64())
+                            .unwrap_or(0)
+                            .max(0) as u64,
                     },
                 }))
             }
@@ -747,6 +909,46 @@ impl Response {
             }),
             "ping" => Ok(Response::Pong { id }),
             "shutdown" => Ok(Response::ShuttingDown { id }),
+            "metrics" => Ok(Response::Metrics {
+                id,
+                report: MetricsReport {
+                    counters: obj_entries(&doc, "counters")?
+                        .iter()
+                        .map(|(k, v)| {
+                            let n = v
+                                .as_i64()
+                                .ok_or_else(|| format!("counter {k:?} is not an integer"))?;
+                            Ok((k.clone(), n.max(0) as u64))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    gauges: obj_entries(&doc, "gauges")?
+                        .iter()
+                        .map(|(k, v)| {
+                            let n = v
+                                .as_i64()
+                                .ok_or_else(|| format!("gauge {k:?} is not an integer"))?;
+                            Ok((k.clone(), n))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    histograms: doc
+                        .get("histograms")
+                        .and_then(|v| v.as_arr())
+                        .ok_or("metrics response missing histograms")?
+                        .iter()
+                        .map(histogram_stats_from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
+            }),
+            "trace" => Ok(Response::Trace {
+                id,
+                traces: doc
+                    .get("traces")
+                    .and_then(|v| v.as_arr())
+                    .ok_or("trace response missing traces")?
+                    .iter()
+                    .map(trace_report_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             "error" => {
                 let error = doc.get("error").ok_or("error response missing error")?;
                 // v2 nests {code, message}; v1 is the bare message string
@@ -825,6 +1027,101 @@ fn result_from_json(doc: &Json) -> Result<SolveResult, String> {
         rr_generated: int_field(doc, "rr_generated")?,
         index_extended: int_field(doc, "index_extended")?,
         allocation_digest: req_str(doc, "allocation_digest")?.to_string(),
+    })
+}
+
+/// The key/value entries of object field `key` (empty when absent, so
+/// metrics from a quiet server still parse).
+fn obj_entries<'a>(doc: &'a Json, key: &str) -> Result<&'a [(String, Json)], String> {
+    match doc.get(key) {
+        Some(Json::Obj(entries)) => Ok(entries),
+        Some(_) => Err(format!("{key} is not an object")),
+        None => Ok(&[]),
+    }
+}
+
+fn histogram_stats_to_json(h: &HistogramStats) -> Json {
+    let mut doc = Json::obj();
+    doc.set("name", Json::Str(h.name.clone()))
+        .set("count", Json::Int(h.count as i64))
+        .set("mean_secs", Json::Num(h.mean_secs))
+        .set("p50_secs", Json::Num(h.p50_secs))
+        .set("p90_secs", Json::Num(h.p90_secs))
+        .set("p99_secs", Json::Num(h.p99_secs))
+        .set("max_secs", Json::Num(h.max_secs));
+    doc
+}
+
+fn histogram_stats_from_json(doc: &Json) -> Result<HistogramStats, String> {
+    Ok(HistogramStats {
+        name: req_str(doc, "name")?.to_string(),
+        count: int_field(doc, "count")? as u64,
+        mean_secs: num_field(doc, "mean_secs")?,
+        p50_secs: num_field(doc, "p50_secs")?,
+        p90_secs: num_field(doc, "p90_secs")?,
+        p99_secs: num_field(doc, "p99_secs")?,
+        max_secs: num_field(doc, "max_secs")?,
+    })
+}
+
+fn span_entry_to_json(s: &SpanEntry) -> Json {
+    let mut doc = Json::obj();
+    doc.set("id", Json::Int(s.id as i64))
+        .set("parent", Json::Int(s.parent as i64))
+        .set("name", Json::Str(s.name.clone()))
+        .set("start_us", Json::Int(s.start_us as i64))
+        .set("dur_us", Json::Int(s.dur_us as i64));
+    if !s.fields.is_empty() {
+        let mut fields = Json::obj();
+        for (k, v) in &s.fields {
+            fields.set(k, Json::Num(*v));
+        }
+        doc.set("fields", fields);
+    }
+    doc
+}
+
+fn span_entry_from_json(doc: &Json) -> Result<SpanEntry, String> {
+    Ok(SpanEntry {
+        id: int_field(doc, "id")? as u64,
+        parent: int_field(doc, "parent")? as u64,
+        name: req_str(doc, "name")?.to_string(),
+        start_us: int_field(doc, "start_us")? as u64,
+        dur_us: int_field(doc, "dur_us")? as u64,
+        fields: obj_entries(doc, "fields")?
+            .iter()
+            .map(|(k, v)| {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("span field {k:?} is not a number"))?;
+                Ok((k.clone(), n))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    })
+}
+
+fn trace_report_to_json(t: &TraceReport) -> Json {
+    let mut doc = Json::obj();
+    doc.set("trace", Json::Int(t.trace as i64))
+        .set("total_us", Json::Int(t.total_us as i64))
+        .set(
+            "spans",
+            Json::Arr(t.spans.iter().map(span_entry_to_json).collect()),
+        );
+    doc
+}
+
+fn trace_report_from_json(doc: &Json) -> Result<TraceReport, String> {
+    Ok(TraceReport {
+        trace: int_field(doc, "trace")? as u64,
+        total_us: int_field(doc, "total_us")? as u64,
+        spans: doc
+            .get("spans")
+            .and_then(|v| v.as_arr())
+            .ok_or("trace report missing spans")?
+            .iter()
+            .map(span_entry_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
     })
 }
 
@@ -1041,6 +1338,10 @@ mod tests {
                     queue_secs: 0.001,
                     solve_secs: 0.25,
                     batch_size: 4,
+                    // Zero so the v1 rendering (which has no trace field)
+                    // still roundtrips; the nonzero case is pinned in
+                    // `trace_id_is_v2_only`.
+                    trace: 0,
                 },
             }),
             Response::Warm(WarmResponse {
@@ -1192,6 +1493,7 @@ mod tests {
                 queue_secs: 0.5,
                 solve_secs: 1.5,
                 batch_size: 2,
+                trace: 17,
             },
         };
         let canonical = response.canonical_json().render_compact();
@@ -1237,5 +1539,147 @@ mod tests {
             assert_eq!(ErrorCode::parse(code.name()), Some(code));
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn obs_requests_are_v2_only() {
+        let requests = [
+            Request::Metrics { id: 21 },
+            Request::Trace {
+                id: 22,
+                limit: 5,
+                slowest: true,
+            },
+        ];
+        for request in requests {
+            let line = request.render_for(2);
+            let (version, parsed) = Request::parse_versioned(&line).unwrap();
+            assert_eq!(version, 2);
+            assert_eq!(parsed, request);
+            // The same op under schema_version 1 is an unknown op: v1
+            // predates the obs RPCs and its surface stays frozen.
+            let v1_line = line.replace("\"schema_version\":2", "\"schema_version\":1");
+            let failure = Request::parse_versioned(&v1_line).unwrap_err();
+            assert_eq!(failure.error.code, ErrorCode::UnknownOp);
+            assert_eq!(failure.version, 1);
+        }
+    }
+
+    #[test]
+    fn trace_limit_is_clamped_and_sort_defaults_to_recent() {
+        let line = r#"{"schema_version":2,"id":5,"op":"trace","limit":10000}"#;
+        let (_, parsed) = Request::parse_versioned(line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Trace {
+                id: 5,
+                limit: 64,
+                slowest: false
+            }
+        );
+        let line = r#"{"schema_version":2,"id":6,"op":"trace"}"#;
+        let (_, parsed) = Request::parse_versioned(line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Trace {
+                id: 6,
+                limit: 10,
+                slowest: false
+            }
+        );
+    }
+
+    #[test]
+    fn trace_id_renders_in_v2_and_not_v1() {
+        let response = Response::Solve(SolveResponse {
+            id: 2,
+            session: "lastfm-syn/standard".into(),
+            result: SolveResult {
+                algorithm: "RMA".into(),
+                revenue: None,
+                revenue_estimate: 1.0,
+                revenue_lower_bound: None,
+                seeding_cost: 0.0,
+                seeds: 0,
+                feasible: true,
+                capped: false,
+                iterations: 1,
+                rr_used: 10,
+                rr_generated: 0,
+                index_extended: 0,
+                allocation_digest: "0".into(),
+            },
+            timing: SolveTiming {
+                queue_secs: 0.1,
+                solve_secs: 0.2,
+                batch_size: 1,
+                trace: 42,
+            },
+        });
+        let v2 = response.render_for(2);
+        assert!(v2.contains(r#""trace":42"#));
+        let Response::Solve(parsed) = Response::parse(&v2).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(parsed.timing.trace, 42);
+        // The v1 timing block is byte-identical to the pre-obs wire.
+        let v1 = response.render_for(1);
+        assert!(!v1.contains("trace"));
+        let Response::Solve(parsed) = Response::parse(&v1).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(parsed.timing.trace, 0);
+    }
+
+    #[test]
+    fn metrics_and_trace_responses_roundtrip() {
+        let responses = [
+            Response::Metrics {
+                id: 31,
+                report: MetricsReport {
+                    counters: vec![("requests_total".into(), 9)],
+                    gauges: vec![("queue_depth".into(), -1)],
+                    histograms: vec![HistogramStats {
+                        name: "rpc_solve_secs".into(),
+                        count: 4,
+                        mean_secs: 0.25,
+                        p50_secs: 0.2,
+                        p90_secs: 0.5,
+                        p99_secs: 0.5,
+                        max_secs: 0.5,
+                    }],
+                },
+            },
+            Response::Trace {
+                id: 32,
+                traces: vec![TraceReport {
+                    trace: 7,
+                    total_us: 1500,
+                    spans: vec![
+                        SpanEntry {
+                            id: 1,
+                            parent: 0,
+                            name: "solve".into(),
+                            start_us: 10,
+                            dur_us: 1400,
+                            fields: vec![],
+                        },
+                        SpanEntry {
+                            id: 2,
+                            parent: 1,
+                            name: "greedy".into(),
+                            start_us: 20,
+                            dur_us: 900,
+                            fields: vec![("rr".into(), 4000.0)],
+                        },
+                    ],
+                }],
+            },
+        ];
+        for response in responses {
+            let line = response.render();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).unwrap(), response);
+        }
     }
 }

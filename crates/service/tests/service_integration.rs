@@ -338,6 +338,89 @@ fn loadgen_report_matches_itself_across_runs_and_feeds_compare() {
 }
 
 #[test]
+fn a_solve_yields_a_retrievable_phase_tree_and_nonzero_rpc_histograms() {
+    let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");
+    let addr = handle.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+
+    // One cold solve: the warm-up generates, the solver runs greedy.
+    let Response::Solve(solve) = client
+        .call(&Request::Solve(solve_request(1, Algorithm::Rma, 0.2)))
+        .expect("solve")
+    else {
+        panic!("expected solve response");
+    };
+    assert_ne!(solve.timing.trace, 0, "v2 solves must echo their trace id");
+
+    // The trace RPC hands back that request's phase tree.
+    let Response::Trace { traces, .. } = client
+        .call(&Request::Trace {
+            id: 2,
+            limit: 16,
+            slowest: false,
+        })
+        .expect("trace")
+    else {
+        panic!("expected trace response");
+    };
+    let tree = traces
+        .iter()
+        .find(|t| t.trace == solve.timing.trace)
+        .expect("the solve's trace is retrievable by its echoed id");
+    let find = |name: &str| {
+        tree.spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("trace missing a {name:?} span: {:?}", tree.spans))
+    };
+    for phase in ["parse", "batch_wait", "warm_check", "solve", "serialize"] {
+        find(phase);
+    }
+    // Parent ids are consistent: every non-root parent is a span of this
+    // same trace, and the phase tree nests the way the pipeline runs —
+    // generation under the warm check, greedy under the solve.
+    let ids: std::collections::BTreeSet<u64> = tree.spans.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), tree.spans.len(), "span ids are unique");
+    for span in &tree.spans {
+        assert!(
+            span.parent == 0 || ids.contains(&span.parent),
+            "span {:?} has a dangling parent {}",
+            span.name,
+            span.parent
+        );
+    }
+    assert_eq!(find("generate").parent, find("warm_check").id);
+    assert_eq!(find("greedy").parent, find("solve").id);
+
+    // The metrics RPC reports the solve in the per-RPC latency histogram.
+    let Response::Metrics { report, .. } =
+        client.call(&Request::Metrics { id: 3 }).expect("metrics")
+    else {
+        panic!("expected metrics response");
+    };
+    let rpc_solve = report
+        .histograms
+        .iter()
+        .find(|h| h.name == "rpc_solve_secs")
+        .expect("rpc_solve_secs histogram registered");
+    assert!(rpc_solve.count >= 1);
+    assert!(rpc_solve.max_secs > 0.0);
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter {name:?} missing: {:?}", report.counters))
+    };
+    assert!(counter("requests_total") >= 1);
+    assert!(counter("rr_generated_total") > 0, "cold solve generated");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
 fn open_loop_load_reports_gated_throughput_and_matches_closed_mix() {
     use rmsa_service::loadgen::Mode;
     let handle = server::start("127.0.0.1:0", tiny_config(2)).expect("bind");

@@ -13,8 +13,9 @@
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
 use rmsa_service::wire::{
-    Algorithm, ErrorCode, Request, Response, SessionStatsEntry, SolveRequest, SolveResponse,
-    SolveResult, SolveTiming, WarmRequest, WarmResponse,
+    Algorithm, ErrorCode, HistogramStats, MetricsReport, Request, Response, SessionStatsEntry,
+    SolveRequest, SolveResponse, SolveResult, SolveTiming, SpanEntry, TraceReport, WarmRequest,
+    WarmResponse,
 };
 
 fn golden_path(version: u32) -> std::path::PathBuf {
@@ -32,7 +33,7 @@ fn canonical_messages(version: u32) -> Vec<String> {
         alpha: 0.3,
         evaluate: true,
     };
-    let requests = [
+    let mut requests = vec![
         Request::Solve(solve),
         Request::Warm(WarmRequest {
             id: 2,
@@ -44,7 +45,7 @@ fn canonical_messages(version: u32) -> Vec<String> {
         Request::Ping { id: 4 },
         Request::Shutdown { id: 5 },
     ];
-    let responses = [
+    let mut responses = vec![
         Response::Solve(SolveResponse {
             id: 1,
             session: "lastfm-syn/standard".into(),
@@ -67,6 +68,8 @@ fn canonical_messages(version: u32) -> Vec<String> {
                 queue_secs: 0.25,
                 solve_secs: 1.5,
                 batch_size: 4,
+                // Renders only under v2; the v1 golden stays byte-frozen.
+                trace: 7,
             },
         }),
         Response::Warm(WarmResponse {
@@ -100,6 +103,56 @@ fn canonical_messages(version: u32) -> Vec<String> {
             message: "unknown dataset \"nope\"".into(),
         },
     ];
+    // The obs surface (metrics/trace) is v2-only; v1 never learns the ops.
+    if version > 1 {
+        requests.push(Request::Metrics { id: 7 });
+        requests.push(Request::Trace {
+            id: 8,
+            limit: 4,
+            slowest: false,
+        });
+        responses.push(Response::Metrics {
+            id: 7,
+            report: MetricsReport {
+                counters: vec![("memo_hits".into(), 3), ("requests_total".into(), 12)],
+                gauges: vec![("queue_depth".into(), 2)],
+                histograms: vec![HistogramStats {
+                    name: "rpc_solve_secs".into(),
+                    count: 12,
+                    mean_secs: 0.125,
+                    p50_secs: 0.1,
+                    p90_secs: 0.25,
+                    p99_secs: 0.5,
+                    max_secs: 0.5,
+                }],
+            },
+        });
+        responses.push(Response::Trace {
+            id: 8,
+            traces: vec![TraceReport {
+                trace: 7,
+                total_us: 1500,
+                spans: vec![
+                    SpanEntry {
+                        id: 1,
+                        parent: 0,
+                        name: "solve".into(),
+                        start_us: 0,
+                        dur_us: 1500,
+                        fields: vec![],
+                    },
+                    SpanEntry {
+                        id: 2,
+                        parent: 1,
+                        name: "greedy".into(),
+                        start_us: 250,
+                        dur_us: 1000,
+                        fields: vec![("rr_used".into(), 10000.0)],
+                    },
+                ],
+            }],
+        });
+    }
     requests
         .iter()
         .map(|r| r.render_for(version))
@@ -160,7 +213,8 @@ fn golden_lines_parse_back_losslessly() {
                 parsed_requests += 1;
             }
         }
-        assert_eq!(parsed_requests, 5);
-        assert_eq!(parsed_responses, 6);
+        // v2 adds the metrics/trace request + response pairs.
+        assert_eq!(parsed_requests, if version == 1 { 5 } else { 7 });
+        assert_eq!(parsed_responses, if version == 1 { 6 } else { 8 });
     }
 }
