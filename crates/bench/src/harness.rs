@@ -155,6 +155,11 @@ pub struct AlgoOutcome {
     pub budget_usage_pct: f64,
     /// Rate of return percentage (Fig. 6).
     pub rate_of_return_pct: f64,
+    /// Per-phase latency breakdown, seconds at this row's quantile
+    /// (loadgen latency rows only: queue / batch_wait / warm_check /
+    /// solve / serialize / flush, plus send_lag in open loop). Empty —
+    /// and absent from the report JSON — everywhere else.
+    pub phases: Vec<(String, f64)>,
 }
 
 impl AlgoOutcome {
@@ -184,6 +189,7 @@ impl AlgoOutcome {
             memory_mib: report.memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: eval.budget_usage_pct,
             rate_of_return_pct: eval.rate_of_return_pct,
+            phases: Vec::new(),
         }
     }
 }

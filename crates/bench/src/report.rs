@@ -237,6 +237,16 @@ fn point_to_json(point: &BenchPoint) -> Json {
         .set("mapped_bytes", Json::Int(o.mapped_bytes as i64))
         .set("budget_usage_pct", Json::Num(o.budget_usage_pct))
         .set("rate_of_return_pct", Json::Num(o.rate_of_return_pct));
+    if !o.phases.is_empty() {
+        // Additive: only loadgen latency rows carry a breakdown, so
+        // every other row (and every pre-attribution baseline) renders
+        // byte-identically.
+        let mut phases = Json::obj();
+        for (name, secs) in &o.phases {
+            phases.set(name, Json::Num(*secs));
+        }
+        p.set("phases", phases);
+    }
     p
 }
 
@@ -288,6 +298,13 @@ fn point_from_json(p: &Json) -> Result<BenchPoint, String> {
             memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
             budget_usage_pct: f("budget_usage_pct")?,
             rate_of_return_pct: f("rate_of_return_pct")?,
+            phases: match p.get("phases") {
+                Some(Json::Obj(entries)) => entries
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|secs| (k.clone(), secs)))
+                    .collect(),
+                _ => Vec::new(),
+            },
         },
     })
 }
@@ -463,6 +480,7 @@ mod tests {
             memory_mib: 1.0,
             budget_usage_pct: 50.0,
             rate_of_return_pct: 120.0,
+            phases: Vec::new(),
         }
     }
 

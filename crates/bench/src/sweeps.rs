@@ -371,6 +371,7 @@ pub fn genscale_sweep(
             memory_mib: (resident + mapped) as f64 / (1024.0 * 1024.0),
             budget_usage_pct: 0.0,
             rate_of_return_pct: 0.0,
+            phases: Vec::new(),
         };
         let key = n as f64;
         rows.push((

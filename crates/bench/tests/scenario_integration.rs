@@ -130,6 +130,7 @@ fn golden_report() -> BenchReport {
                     memory_mib: 639132.0 / (1024.0 * 1024.0),
                     budget_usage_pct: 93.25,
                     rate_of_return_pct: 93.125,
+                    phases: Vec::new(),
                 },
             },
             BenchPoint {
@@ -153,6 +154,7 @@ fn golden_report() -> BenchReport {
                     memory_mib: 292608.0 / (1024.0 * 1024.0),
                     budget_usage_pct: 88.5,
                     rate_of_return_pct: 90.25,
+                    phases: Vec::new(),
                 },
             },
         ],

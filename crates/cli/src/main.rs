@@ -47,13 +47,17 @@ USAGE:
                [--max-inflight N] [--no-memo] [--seed N] [--scale X]
                [--threads N] [--warm-rr N] [--eval-rr N] [--port-file PATH]
                [--snapshot-dir DIR] [--verify-snapshots] [--no-obs]
-               [--obs-snapshot PATH]
+               [--obs-snapshot PATH] [--obs-snapshot-secs S] [--slo-ms MS]
+               [--flight-dump PATH]
     rmsa query [solve|warm|stats|ping|shutdown] [--addr HOST:PORT]
                [--dataset D] [--strategy standard|subsim]
                [--algorithm rma|one-batch|ti-carm|ti-csrm] [--incentive I]
                [--alpha X] [--no-evaluate] [--target-rr N] [--id N]
     rmsa metrics [--addr HOST:PORT] [--id N] [--json]
-    rmsa trace [--addr HOST:PORT] [--limit N] [--slow] [--id N] [--json]
+    rmsa trace [--addr HOST:PORT] [--limit N] [--slow] [--trace T] [--id N]
+               [--json]
+    rmsa flight [--addr HOST:PORT] [--id N] [--json]
+    rmsa top [--addr HOST:PORT] [--interval-ms MS] [--count N] [--id N]
     rmsa loadgen [--addr HOST:PORT] [--quick] [--mode closed|open]
                  [--clients C] [--rate HZ] [--requests N] [--seed N]
                  [--out-dir DIR] [--dump PATH] [--min-throughput X]
@@ -106,7 +110,24 @@ live daemon — both are v2 wire RPCs, also available to any client.
 Solve responses echo their trace id in timing.trace. serve --no-obs
 disables recording (the disabled path allocates nothing per request);
 --obs-snapshot PATH atomically rewrites a JSON dump of the registry and
-recent traces every few seconds for postmortems.
+recent traces every --obs-snapshot-secs seconds for postmortems.
+
+Tail latency is attributed three ways. Histogram buckets keep exemplar
+trace ids, and traces that finish over the --slo-ms objective (or with
+an error) are tail-sampled — pinned past the recent-trace ring so
+`rmsa trace --trace T` still resolves the id an exemplar or a loadgen
+response points at. A per-thread flight recorder logs control-plane
+events (connection churn, backpressure flips, batch formations, memo
+invalidations, anomalies); `rmsa flight` dumps it on demand and
+--flight-dump PATH rewrites it as JSON whenever an anomaly (slow
+request, error response, shutdown) fires. `rmsa top` reprints SLO
+burn-rate gauges (1s/10s/60s windows; 1.00x = spending error budget
+exactly as fast as the objective allows), counter rates, and the solve
+digest every --interval-ms. Open-loop loadgen reports additionally
+break every latency quantile into per-phase columns (send_lag, queue,
+batch_wait, warm_check, solve, serialize, flush) from the wire-v2
+timing block, and gate the attributed share of end-to-end latency
+through `rmsa compare`.
 
 compare exits 0 when the new report is within tolerance of the old one,
 1 on regression, 2 on usage or IO errors. Every failure line names the
@@ -150,6 +171,8 @@ fn main() -> ExitCode {
         "query" => service_cmd::query_command(rest),
         "metrics" => service_cmd::metrics_command(rest),
         "trace" => service_cmd::trace_command(rest),
+        "flight" => service_cmd::flight_command(rest),
+        "top" => service_cmd::top_command(rest),
         "loadgen" => service_cmd::loadgen_command(rest),
         "lint" => return lint_cmd::lint_command(rest),
         "snapshot" => snapshot_cmd::snapshot_command(rest),

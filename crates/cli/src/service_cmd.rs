@@ -70,6 +70,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut verify_snapshots = false;
     let mut obs = true;
     let mut obs_snapshot = None;
+    let mut obs_snapshot_secs = None;
+    let mut slo_ms = None;
+    let mut flight_dump = None;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
         match arg.as_str() {
@@ -89,6 +92,11 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
             "--verify-snapshots" => verify_snapshots = true,
             "--no-obs" => obs = false,
             "--obs-snapshot" => obs_snapshot = Some(PathBuf::from(reader.value("--obs-snapshot")?)),
+            "--obs-snapshot-secs" => {
+                obs_snapshot_secs = Some(reader.parsed::<u64>("--obs-snapshot-secs")?)
+            }
+            "--slo-ms" => slo_ms = Some(reader.parsed::<u64>("--slo-ms")?),
+            "--flight-dump" => flight_dump = Some(PathBuf::from(reader.value("--flight-dump")?)),
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -119,7 +127,14 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
         .snapshot_dir(snapshot_dir)
         .verify_snapshots(verify_snapshots)
         .obs(obs)
-        .obs_snapshot(obs_snapshot);
+        .obs_snapshot(obs_snapshot)
+        .flight_dump(flight_dump);
+    if let Some(secs) = obs_snapshot_secs {
+        builder = builder.obs_snapshot_secs(secs);
+    }
+    if let Some(ms) = slo_ms {
+        builder = builder.slo_ms(ms);
+    }
     if let Some(workers) = workers {
         builder = builder.workers(workers);
     }
@@ -318,6 +333,7 @@ pub fn trace_command(args: &[String]) -> Result<(), String> {
     let mut id = 1u64;
     let mut limit = 4usize;
     let mut slowest = false;
+    let mut trace = 0u64;
     let mut json = false;
     let mut reader = ArgReader::new(args);
     while let Some(arg) = reader.next() {
@@ -326,12 +342,18 @@ pub fn trace_command(args: &[String]) -> Result<(), String> {
             "--id" => id = reader.parsed::<u64>("--id")?,
             "--limit" => limit = reader.parsed::<usize>("--limit")?,
             "--slow" => slowest = true,
+            "--trace" => trace = reader.parsed::<u64>("--trace")?,
             "--json" => json = true,
             other => return Err(format!("unknown trace option {other:?}")),
         }
     }
     let mut client = ServiceClient::connect(&addr)?;
-    let response = client.call(&Request::Trace { id, limit, slowest })?;
+    let response = client.call(&Request::Trace {
+        id,
+        limit,
+        slowest,
+        trace,
+    })?;
     if json {
         print!("{}", response.to_json().render_pretty());
         return match response {
@@ -342,6 +364,11 @@ pub fn trace_command(args: &[String]) -> Result<(), String> {
     match response {
         Response::Trace { traces, .. } => {
             if traces.is_empty() {
+                if trace != 0 {
+                    return Err(format!(
+                        "trace {trace} not found (aged out of the ring and not tail-sampled)"
+                    ));
+                }
                 println!("no traces recorded (daemon idle or running with --no-obs?)");
             }
             for t in &traces {
@@ -356,10 +383,12 @@ pub fn trace_command(args: &[String]) -> Result<(), String> {
 
 fn render_trace(t: &wire::TraceReport) -> String {
     let mut out = format!(
-        "trace {} — {} span(s), total {}\n",
+        "trace {} — {} span(s), total {}, status {}{}\n",
         t.trace,
         t.spans.len(),
         format_secs(t.total_us as f64 / 1e6),
+        t.status,
+        if t.pinned { " (tail-sampled)" } else { "" },
     );
     let base_us = t.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
     let known: std::collections::BTreeSet<u64> = t.spans.iter().map(|s| s.id).collect();
@@ -403,6 +432,184 @@ fn render_trace(t: &wire::TraceReport) -> String {
     for root in roots {
         walk(&mut out, root, &children, base_us, 0);
     }
+    out
+}
+
+/// `rmsa flight`: dump the daemon's flight-recorder rings — the last few
+/// hundred control-plane events (connection churn, backpressure flips,
+/// batch formations, memo invalidations, anomalies) in one global order.
+pub fn flight_command(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut id = 1u64;
+    let mut json = false;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--id" => id = reader.parsed::<u64>("--id")?,
+            "--json" => json = true,
+            other => return Err(format!("unknown flight option {other:?}")),
+        }
+    }
+    let mut client = ServiceClient::connect(&addr)?;
+    let response = client.call(&Request::Flight { id })?;
+    if json {
+        print!("{}", response.to_json().render_pretty());
+        return match response {
+            Response::Error { message, .. } => Err(format!("server error: {message}")),
+            _ => Ok(()),
+        };
+    }
+    match response {
+        Response::Flight { events, .. } => {
+            if events.is_empty() {
+                println!("flight recorder empty (daemon just started or running with --no-obs?)");
+                return Ok(());
+            }
+            println!(
+                "{:>6} {:>12} {:<24} {:>12} {:>12}",
+                "seq", "at", "event", "a", "b"
+            );
+            for e in &events {
+                println!(
+                    "{:>6} {:>12} {:<24} {:>12} {:>12}",
+                    e.seq,
+                    format_secs(e.at_us as f64 / 1e6),
+                    e.kind,
+                    e.a,
+                    e.b,
+                );
+            }
+            Ok(())
+        }
+        Response::Error { message, .. } => Err(format!("server error: {message}")),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// `rmsa top`: a dependency-free live view of a daemon — SLO burn rates,
+/// request rate, queue depth, and the solve-latency digest, reprinted
+/// every `--interval-ms`. `--count N` stops after N frames (0 = forever),
+/// which is also what makes the command scriptable in CI.
+pub fn top_command(args: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut id = 1u64;
+    let mut interval_ms = 1_000u64;
+    let mut count = 0u64;
+    let mut reader = ArgReader::new(args);
+    while let Some(arg) = reader.next() {
+        match arg.as_str() {
+            "--addr" => addr = reader.value("--addr")?.to_string(),
+            "--id" => id = reader.parsed::<u64>("--id")?,
+            "--interval-ms" => interval_ms = reader.parsed::<u64>("--interval-ms")?,
+            "--count" => count = reader.parsed::<u64>("--count")?,
+            other => return Err(format!("unknown top option {other:?}")),
+        }
+    }
+    if interval_ms == 0 {
+        return Err("--interval-ms must be >= 1".to_string());
+    }
+    let mut client = ServiceClient::connect(&addr)?;
+    let mut previous: Option<Vec<(String, u64)>> = None;
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let report = match client.call(&Request::Metrics { id })? {
+            Response::Metrics { report, .. } => report,
+            Response::Error { message, .. } => return Err(format!("server error: {message}")),
+            other => return Err(format!("unexpected response: {other:?}")),
+        };
+        print!(
+            "{}",
+            render_top(&addr, frame, &report, previous.as_deref(), interval_ms)
+        );
+        previous = Some(report.counters.clone());
+        if count != 0 && frame >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `rmsa top` frame: SLO burn line, counter rates, key gauges, and
+/// the solve histogram digest.
+fn render_top(
+    addr: &str,
+    frame: u64,
+    report: &wire::MetricsReport,
+    previous: Option<&[(String, u64)]>,
+    interval_ms: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let gauge = |name: &str| {
+        report
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    let burn = |name: &str| match gauge(name) {
+        // Gauges are milli-burn: 1000 = spending error budget exactly as
+        // fast as the objective allows.
+        Some(v) => format!("{:.2}x", v as f64 / 1000.0),
+        None => "-".to_string(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "rmsa top — {addr} (frame {frame})");
+    let _ = writeln!(
+        out,
+        "slo: objective {}ms p99 — burn 1s {} / 10s {} / 60s {}",
+        gauge("slo_threshold_ms").unwrap_or(0),
+        burn("slo_burn_1s_milli"),
+        burn("slo_burn_10s_milli"),
+        burn("slo_burn_60s_milli"),
+    );
+    if !report.counters.is_empty() {
+        out.push_str("counters:");
+        for (name, value) in &report.counters {
+            let rate = previous
+                .and_then(|prev| prev.iter().find(|(n, _)| n == name))
+                .map(|(_, before)| {
+                    (value.saturating_sub(*before)) as f64 * 1e3 / interval_ms as f64
+                });
+            match rate {
+                Some(rate) => {
+                    let _ = write!(out, "  {name} {value} ({rate:.0}/s)");
+                }
+                None => {
+                    let _ = write!(out, "  {name} {value}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let live_gauges: Vec<&(String, i64)> = report
+        .gauges
+        .iter()
+        .filter(|(n, _)| !n.starts_with("slo_"))
+        .collect();
+    if !live_gauges.is_empty() {
+        out.push_str("gauges:");
+        for (name, value) in live_gauges {
+            let _ = write!(out, "  {name} {value}");
+        }
+        out.push('\n');
+    }
+    for h in &report.histograms {
+        if h.name != "rpc_solve_secs" || h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "solve: count {}  p50 {}  p90 {}  p99 {}  max {}",
+            h.count,
+            format_secs(h.p50_secs),
+            format_secs(h.p90_secs),
+            format_secs(h.p99_secs),
+            format_secs(h.max_secs),
+        );
+    }
+    out.push('\n');
     out
 }
 
@@ -549,5 +756,46 @@ mod tests {
             Err(message) => assert!(message.contains("workers")),
             Ok(_) => panic!("zero workers must be rejected"),
         }
+    }
+
+    #[test]
+    fn serve_obs_flags_reach_the_config() {
+        let options = parse_serve(&strings(&[
+            "--quick",
+            "--obs-snapshot-secs",
+            "2",
+            "--slo-ms",
+            "25",
+            "--flight-dump",
+            "/tmp/fl.json",
+        ]))
+        .unwrap();
+        assert_eq!(options.config.obs_snapshot_secs(), 2);
+        assert_eq!(options.config.slo_ms(), 25);
+        assert!(options.config.flight_dump().is_some());
+        // Range checks live in the builder.
+        assert!(parse_serve(&strings(&["--slo-ms", "0"])).is_err());
+        assert!(parse_serve(&strings(&["--obs-snapshot-secs", "0"])).is_err());
+    }
+
+    #[test]
+    fn top_frame_renders_burn_rates_and_counter_rates() {
+        let report = wire::MetricsReport {
+            counters: vec![("requests_total".to_string(), 120)],
+            gauges: vec![
+                ("slo_threshold_ms".to_string(), 50),
+                ("slo_burn_10s_milli".to_string(), 1500),
+                ("queue_depth".to_string(), 3),
+            ],
+            histograms: Vec::new(),
+        };
+        let previous = vec![("requests_total".to_string(), 20u64)];
+        let frame = render_top("x:1", 2, &report, Some(&previous), 1_000);
+        assert!(frame.contains("objective 50ms"), "{frame}");
+        assert!(frame.contains("burn 1s - / 10s 1.50x"), "{frame}");
+        assert!(frame.contains("requests_total 120 (100/s)"), "{frame}");
+        assert!(frame.contains("queue_depth 3"), "{frame}");
+        // SLO gauges render on their own line, not in the gauge list.
+        assert!(!frame.contains("slo_burn_10s_milli 1500"), "{frame}");
     }
 }

@@ -622,6 +622,7 @@ fn load_point(job: &str, secs: f64, revenue: f64, bench: &LoadBench) -> BenchPoi
             memory_mib: (bench.resident_bytes + bench.mapped_bytes) as f64 / (1024.0 * 1024.0),
             budget_usage_pct: 0.0,
             rate_of_return_pct: 0.0,
+            phases: Vec::new(),
         },
     }
 }
@@ -657,6 +658,7 @@ fn snapshot_bench_report(
                 memory_mib: (m.resident_bytes + m.mapped_bytes) as f64 / (1024.0 * 1024.0),
                 budget_usage_pct: 0.0,
                 rate_of_return_pct: 0.0,
+                phases: Vec::new(),
             },
         }
     };

@@ -346,15 +346,16 @@ fn r5_lock_scope(lexed: &Lexed, masked: &str, lineno: usize, out: &mut Vec<RawFi
 
 /// Constructors whose name argument R6 checks, with the type qualifiers
 /// that make the bare method identifier unambiguous.
-const R6_QUALIFIED: [(&str, &[&str]); 3] = [
+const R6_QUALIFIED: [(&str, &[&str]); 4] = [
     ("child", &["Span"]),
     ("detached", &["Span"]),
     ("new", &["LazyCounter", "LazyGauge", "LazyHistogram"]),
+    ("record", &["flight"]),
 ];
 
 /// R6: the name argument of an obs constructor (`LazyCounter::new`,
 /// `LazyGauge::new`, `LazyHistogram::new`, `Span::child`,
-/// `Span::detached`, `record_closed`) must reference the central
+/// `Span::detached`, `flight::record`, `record_closed`) must reference the central
 /// `obs::names` catalog — never an ad-hoc literal (masked by the lexer)
 /// or a locally built string. Lexical over-approximation: any `names`
 /// identifier among the call's arguments counts.
@@ -543,6 +544,14 @@ mod tests {
         // Unrelated constructors named `new` or `child` must not fire.
         assert!(rules_of("let v = Vec::new();").is_empty());
         assert!(rules_of("let c = node.child(0);").is_empty());
+        // Flight-recorder events are obs names too.
+        assert_eq!(
+            rules_of("flight::record(\"conn_open\", token, 0);"),
+            vec!["R6"]
+        );
+        assert!(rules_of("flight::record(names::CONN_OPEN, token, 0);").is_empty());
+        // An unqualified `record` (e.g. a struct method) must not fire.
+        assert!(rules_of("self.record(kind, a, b);").is_empty());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! The flight recorder: per-thread fixed-size rings of tiny `Copy`
+//! event records, continuously overwritten, snapshotted on demand.
+//!
+//! Where spans answer "what phases did *this request* go through", the
+//! flight recorder answers "what was the *server* doing around the
+//! anomaly": connection churn, backpressure pauses, memo invalidations,
+//! batch formations, snapshot persists. Recording mirrors the span-ring
+//! discipline — a [`record`] is a relaxed sequence fetch-add plus a
+//! plain store into a preallocated thread-local ring, no locks on the
+//! steady path and nothing at all under `--no-obs`.
+//!
+//! Unlike span rings, a snapshot ([`snapshot`]) is **non-destructive**:
+//! it copies every ring and sorts by the global sequence number, so
+//! repeated `flight` RPCs and anomaly dumps see the same stable-order
+//! recent history.
+//!
+//! The event vocabulary is closed: `kind` must be one of the
+//! flight-recorder constants in [`crate::names`] (lint rule R6 checks
+//! call sites), and the two numeric payload slots are documented there
+//! per kind.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Events kept per thread before the oldest is overwritten.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// One recorded event. `Copy` so ring pushes are plain stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Event kind (a [`crate::names`] flight constant).
+    pub kind: &'static str,
+    /// Global total order of the event across all threads.
+    pub seq: u64,
+    /// Recording time, µs since the process trace epoch.
+    pub at_us: u64,
+    /// First payload word; meaning is per-kind (see [`crate::names`]).
+    pub a: u64,
+    /// Second payload word; meaning is per-kind.
+    pub b: u64,
+}
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// A fixed-capacity event ring; `head` is the next overwrite position
+/// once `len == FLIGHT_CAPACITY`.
+struct Ring {
+    buf: Vec<FlightEvent>,
+    head: usize,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            buf: Vec::with_capacity(FLIGHT_CAPACITY),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, event: FlightEvent) {
+        if self.buf.len() < FLIGHT_CAPACITY {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % FLIGHT_CAPACITY;
+        }
+    }
+
+    /// Copy out all events, oldest first, leaving the ring untouched.
+    fn copy_all(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+fn lock_obs<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Every live thread ring, so [`snapshot`] reaches events recorded by
+/// threads that have gone idle.
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: std::cell::OnceCell<Arc<Mutex<Ring>>> = const { std::cell::OnceCell::new() };
+}
+
+/// Record one event if obs is enabled. `kind` must be a flight constant
+/// from [`crate::names`]; `a`/`b` are the per-kind payload words.
+pub fn record(kind: &'static str, a: u64, b: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let event = FlightEvent {
+        kind,
+        seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        at_us: crate::trace::micros_now(),
+        a,
+        b,
+    };
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Mutex::new(Ring::new()));
+            lock_obs(rings()).push(Arc::clone(&ring));
+            ring
+        });
+        lock_obs(ring).push(event);
+    });
+}
+
+/// Copy the recent history out of every thread ring, in global sequence
+/// order (ties impossible: the sequence is process-unique). The rings
+/// are left untouched, so back-to-back snapshots agree on their overlap.
+pub fn snapshot() -> Vec<FlightEvent> {
+    let rings: Vec<Arc<Mutex<Ring>>> = lock_obs(rings()).clone();
+    let mut events = Vec::new();
+    for ring in rings {
+        events.extend(lock_obs(&ring).copy_all());
+    }
+    events.sort_by_key(|e| e.seq);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn ring_overwrites_oldest_and_copies_in_order() {
+        let mut ring = Ring::new();
+        let mk = |i: u64| FlightEvent {
+            kind: names::BATCH_FORM,
+            seq: i,
+            at_us: i,
+            a: 0,
+            b: 0,
+        };
+        for i in 0..(FLIGHT_CAPACITY as u64 + 7) {
+            ring.push(mk(i));
+        }
+        let copied = ring.copy_all();
+        assert_eq!(copied.len(), FLIGHT_CAPACITY);
+        for (k, e) in copied.iter().enumerate() {
+            assert_eq!(e.seq, 7 + k as u64);
+        }
+        // Non-destructive: a second copy sees the same events.
+        assert_eq!(ring.copy_all(), copied);
+    }
+
+    #[test]
+    fn recorded_events_come_back_in_global_sequence_order() {
+        record(names::CONN_OPEN, 11, 0);
+        record(names::BACKPRESSURE_PAUSE, 11, 4096);
+        record(names::BACKPRESSURE_RESUME, 11, 0);
+        record(names::CONN_CLOSE, 11, 0);
+        let events = snapshot();
+        let mine: Vec<&FlightEvent> = events.iter().filter(|e| e.a == 11).collect();
+        assert_eq!(mine.len(), 4);
+        assert_eq!(mine[0].kind, names::CONN_OPEN);
+        assert_eq!(mine[3].kind, names::CONN_CLOSE);
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "global order is by seq");
+        }
+    }
+}

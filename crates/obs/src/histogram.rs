@@ -108,6 +108,16 @@ impl LogHistogram {
         self.max_secs
     }
 
+    /// Samples recorded strictly above the bucket containing `secs` —
+    /// the bucket-granular "how many breached the objective" count the
+    /// SLO burn-rate windows are built on. Within-bucket position is
+    /// not tracked, so samples sharing the threshold's bucket do not
+    /// count as breaches (consistent ≈ 9 % bucket granularity).
+    pub fn count_over(&self, secs: f64) -> u64 {
+        let k = Self::bucket_of(secs.max(0.0));
+        self.counts[k + 1..].iter().sum()
+    }
+
     /// The `q`-quantile (`q ∈ [0, 1]`) as the geometric midpoint of the
     /// bucket holding the rank, clamped by the exact maximum. Relative
     /// error is bounded by the bucket width (≈ 9 %).
@@ -169,6 +179,63 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile_secs(q), all.quantile_secs(q));
         }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_rank() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile_secs(q), 0.0);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_secs(), 0.0);
+        assert_eq!(h.max_secs(), 0.0);
+        assert_eq!(h.count_over(0.0), 0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_it() {
+        let mut h = LogHistogram::new();
+        h.record(0.0137);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = h.quantile_secs(q);
+            // Clamped by the exact max from above; bucket low bound from
+            // below (≈ 9 % relative width).
+            assert!(got <= 0.0137, "q{q}: {got}");
+            assert!(got >= 0.0137 / 1.1, "q{q}: {got}");
+        }
+        assert_eq!(h.max_secs(), 0.0137);
+        assert!((h.mean_secs() - 0.0137).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bucket_keeps_exact_max_and_clamped_quantiles() {
+        let mut h = LogHistogram::new();
+        // Far past the top bucket's lower edge (~10^5.5 s): both samples
+        // collapse into the overflow bucket, but max stays exact and
+        // quantiles never exceed it.
+        h.record(1e9);
+        h.record(3e9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_secs(), 3e9);
+        assert!(h.quantile_secs(0.5) <= 3e9);
+        assert!(h.quantile_secs(1.0) <= 3e9);
+        // The overflow bucket is the last one, so nothing sits "over" it.
+        assert_eq!(h.count_over(1e12), 0);
+    }
+
+    #[test]
+    fn count_over_is_bucket_granular() {
+        let mut h = LogHistogram::new();
+        for ms in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            h.record(ms * 1e-3);
+        }
+        // Everything at least one full bucket above 1 ms counts.
+        assert_eq!(h.count_over(1e-3), 5);
+        // A threshold above the max counts nothing.
+        assert_eq!(h.count_over(1.0), 0);
+        // Same-bucket samples are not breaches.
+        assert_eq!(h.count_over(32e-3), 0);
     }
 
     #[test]

@@ -12,19 +12,24 @@
 //!   bounded global trace store; one request yields one phase tree.
 //! * [`histogram`] — the log-bucket [`LogHistogram`] (promoted from
 //!   `rmsa_service`, which still re-exports it).
+//! * [`flight`] — the flight recorder: per-thread rings of tiny `Copy`
+//!   server events (connection churn, backpressure, batch formations),
+//!   snapshotted in stable global order on anomaly or on demand.
 //!
 //! A process-wide switch ([`set_enabled`]) turns recording off: spans
 //! still *time* (they back `RrCacheStats`/`SolveTiming` accessors) but
 //! nothing is registered, pushed, or allocated.
 
+pub mod flight;
 pub mod histogram;
 pub mod metrics;
 pub mod names;
 pub mod trace;
 
+pub use flight::FlightEvent;
 pub use histogram::LogHistogram;
-pub use metrics::{LazyCounter, LazyGauge, LazyHistogram, MetricsSnapshot};
-pub use trace::{Span, SpanRecord, TraceSort, TraceView};
+pub use metrics::{Exemplar, LazyCounter, LazyGauge, LazyHistogram, MetricsSnapshot};
+pub use trace::{Span, SpanRecord, TraceSort, TraceStatus, TraceView};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -86,28 +86,115 @@ impl Gauge {
     }
 }
 
+/// Exemplar slots kept per histogram bucket. Two means a bucket keeps
+/// the most recent exemplar even while a concurrent writer holds the
+/// other slot mid-publish.
+const EXEMPLAR_SLOTS_PER_BUCKET: usize = 2;
+
+/// One exemplar read back out of a reservoir: a concrete sample in a
+/// bucket, linked to the trace that produced it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the request that recorded the sample (never 0).
+    pub trace: u64,
+    /// The exact sample value, seconds.
+    pub value_secs: f64,
+    /// Recording time, µs since the process trace epoch.
+    pub at_us: u64,
+}
+
+/// A lock-free exemplar slot: a seqlock over three payload words.
+///
+/// Writers claim the slot by CAS-ing the sequence from even to odd
+/// (losing the race just drops the exemplar — sampling, not accounting),
+/// store the payload, then publish by bumping the sequence back to even.
+/// Readers retry/skip on an odd or changed sequence, so a torn
+/// `(trace, value, at)` triple can never be observed.
+#[derive(Default)]
+struct ExemplarSlot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    value_bits: AtomicU64,
+    at_us: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn publish(&self, trace: u64, value_secs: f64, at_us: u64) -> bool {
+        let seq = self.seq.load(Ordering::Relaxed);
+        if seq % 2 == 1 {
+            return false; // a writer is mid-publish; drop the exemplar
+        }
+        if self
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.trace.store(trace, Ordering::Relaxed);
+        self.value_bits
+            .store(value_secs.to_bits(), Ordering::Relaxed);
+        self.at_us.store(at_us, Ordering::Relaxed);
+        self.seq.store(seq + 2, Ordering::Release);
+        true
+    }
+
+    fn read(&self) -> Option<Exemplar> {
+        for _ in 0..4 {
+            let before = self.seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                return None;
+            }
+            let trace = self.trace.load(Ordering::Relaxed);
+            let value_bits = self.value_bits.load(Ordering::Relaxed);
+            let at_us = self.at_us.load(Ordering::Relaxed);
+            if self.seq.load(Ordering::Acquire) == before {
+                if trace == 0 {
+                    return None; // never written
+                }
+                return Some(Exemplar {
+                    trace,
+                    value_secs: f64::from_bits(value_bits),
+                    at_us,
+                });
+            }
+        }
+        None
+    }
+}
+
 /// An atomic counterpart of [`LogHistogram`]: same bucket layout, but
 /// recordable from any thread without a lock.
 ///
 /// The running sum and max keep f64 bit patterns in atomics — the sum
 /// via a CAS loop, the max via `fetch_max`, which orders correctly
-/// because non-negative IEEE-754 doubles compare like their bits.
+/// because non-negative IEEE-754 doubles compare like their bits. Each
+/// bucket additionally carries a tiny seqlock reservoir of
+/// [`Exemplar`]s, so any bucket of the live histogram links back to a
+/// concrete retrievable trace.
 pub struct ConcurrentHistogram {
     buckets: Vec<AtomicU64>,
     total: AtomicU64,
     sum_bits: AtomicU64,
     max_bits: AtomicU64,
+    exemplars: Vec<ExemplarSlot>,
 }
 
 impl Default for ConcurrentHistogram {
     fn default() -> Self {
         let mut buckets = Vec::with_capacity(histogram::NUM_BUCKETS);
         buckets.resize_with(histogram::NUM_BUCKETS, AtomicU64::default);
+        let mut exemplars = Vec::with_capacity(histogram::NUM_BUCKETS * EXEMPLAR_SLOTS_PER_BUCKET);
+        exemplars.resize_with(
+            histogram::NUM_BUCKETS * EXEMPLAR_SLOTS_PER_BUCKET,
+            ExemplarSlot::default,
+        );
         ConcurrentHistogram {
             buckets,
             total: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
             max_bits: AtomicU64::new(0.0f64.to_bits()),
+            exemplars,
         }
     }
 }
@@ -115,8 +202,17 @@ impl Default for ConcurrentHistogram {
 impl ConcurrentHistogram {
     /// Record one sample (clamped to ≥ 0, like [`LogHistogram::record`]).
     pub fn observe(&self, secs: f64) {
+        self.observe_traced(secs, 0);
+    }
+
+    /// Record one sample and, when `trace` is nonzero, stash a
+    /// `(trace, value, time)` exemplar into the sample's bucket
+    /// reservoir. Lock-free and allocation-free; a lost publish race
+    /// silently drops the exemplar, never the sample.
+    pub fn observe_traced(&self, secs: f64, trace: u64) {
         let secs = secs.max(0.0);
-        self.buckets[LogHistogram::bucket_of(secs)].fetch_add(1, Ordering::Relaxed);
+        let bucket = LogHistogram::bucket_of(secs);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         let _ = self
             .sum_bits
@@ -124,11 +220,36 @@ impl ConcurrentHistogram {
                 Some((f64::from_bits(bits) + secs).to_bits())
             });
         self.max_bits.fetch_max(secs.to_bits(), Ordering::Relaxed);
+        if trace != 0 {
+            let at_us = crate::trace::micros_now();
+            let base = bucket * EXEMPLAR_SLOTS_PER_BUCKET;
+            for slot in &self.exemplars[base..base + EXEMPLAR_SLOTS_PER_BUCKET] {
+                if slot.publish(trace, secs, at_us) {
+                    break;
+                }
+            }
+        }
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total.load(Ordering::Relaxed)
+    }
+
+    /// Every currently readable exemplar, slowest first. Bounded by
+    /// `buckets × slots`; in practice only touched buckets contribute.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let mut out: Vec<Exemplar> = self
+            .exemplars
+            .iter()
+            .filter_map(ExemplarSlot::read)
+            .collect();
+        out.sort_by(|a, b| {
+            b.value_secs
+                .total_cmp(&a.value_secs)
+                .then(b.at_us.cmp(&a.at_us))
+        });
+        out
     }
 
     /// A point-in-time [`LogHistogram`] copy for quantile queries.
@@ -196,25 +317,42 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(&'static str, i64)>,
     /// `(name, histogram)` for every histogram.
     pub histograms: Vec<(&'static str, LogHistogram)>,
+    /// `(name, exemplars)` for every histogram, aligned with
+    /// [`histograms`](Self::histograms); exemplars are slowest-first.
+    pub exemplars: Vec<(&'static str, Vec<Exemplar>)>,
 }
 
 /// Snapshot the whole registry (names come out BTreeMap-sorted, so the
 /// rendering downstream is deterministic).
 pub fn snapshot() -> MetricsSnapshot {
+    // Guards are bound (not temporaries in the struct literal) so each
+    // map lock is released before the next is taken — a struct-literal
+    // temporary would keep the histograms lock alive into a second
+    // `lock_registry(&reg.histograms)` and self-deadlock.
     let reg = registry();
+    let counters = lock_registry(&reg.counters)
+        .iter()
+        .map(|(name, c)| (*name, c.value()))
+        .collect();
+    let gauges = lock_registry(&reg.gauges)
+        .iter()
+        .map(|(name, g)| (*name, g.value()))
+        .collect();
+    let histograms_guard = lock_registry(&reg.histograms);
+    let histograms = histograms_guard
+        .iter()
+        .map(|(name, h)| (*name, h.snapshot()))
+        .collect();
+    let exemplars = histograms_guard
+        .iter()
+        .map(|(name, h)| (*name, h.exemplars()))
+        .collect();
+    drop(histograms_guard);
     MetricsSnapshot {
-        counters: lock_registry(&reg.counters)
-            .iter()
-            .map(|(name, c)| (*name, c.value()))
-            .collect(),
-        gauges: lock_registry(&reg.gauges)
-            .iter()
-            .map(|(name, g)| (*name, g.value()))
-            .collect(),
-        histograms: lock_registry(&reg.histograms)
-            .iter()
-            .map(|(name, h)| (*name, h.snapshot()))
-            .collect(),
+        counters,
+        gauges,
+        histograms,
+        exemplars,
     }
 }
 
@@ -300,6 +438,16 @@ impl LazyHistogram {
         }
     }
 
+    /// Record one sample with an exemplar link to `trace` if obs is
+    /// enabled; see [`ConcurrentHistogram::observe_traced`].
+    pub fn observe_traced(&self, secs: f64, trace: u64) {
+        if crate::enabled() {
+            self.slot
+                .get_or_init(|| histogram(self.name))
+                .observe_traced(secs, trace);
+        }
+    }
+
     /// Record a [`std::time::Duration`] sample if obs is enabled.
     pub fn observe_duration(&self, d: std::time::Duration) {
         self.observe(d.as_secs_f64());
@@ -353,6 +501,28 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(snap.quantile_secs(q), serial.quantile_secs(q));
         }
+    }
+
+    #[test]
+    fn exemplars_link_buckets_back_to_traces() {
+        let ch = ConcurrentHistogram::default();
+        ch.observe(1e-3); // untraced: no exemplar
+        ch.observe_traced(2e-3, 41);
+        ch.observe_traced(64e-3, 42);
+        let ex = ch.exemplars();
+        assert_eq!(ex.len(), 2);
+        // Slowest first, exact values and trace links preserved.
+        assert_eq!(ex[0].trace, 42);
+        assert_eq!(ex[0].value_secs, 64e-3);
+        assert_eq!(ex[1].trace, 41);
+        assert_eq!(ex[1].value_secs, 2e-3);
+        // A newer sample in the same bucket replaces an older slot
+        // eventually (two slots per bucket; the third write reuses one).
+        ch.observe_traced(2e-3, 43);
+        ch.observe_traced(2e-3, 44);
+        let ex = ch.exemplars();
+        assert!(ex.len() <= 1 + EXEMPLAR_SLOTS_PER_BUCKET);
+        assert!(ex.iter().any(|e| e.trace == 44));
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub const SNAPSHOTS_PERSISTED: &str = "snapshots_persisted";
 /// Snapshot loads that took the zero-copy mmap path.
 pub const SNAPSHOTS_MAPPED: &str = "snapshots_mapped";
 
+/// Traces pinned into the tail-sample store (slow or error traces).
+pub const TRACES_PINNED_TOTAL: &str = "traces_pinned_total";
+/// Flight-recorder dumps written on anomaly triggers.
+pub const FLIGHT_DUMPS_TOTAL: &str = "flight_dumps_total";
+
 // --- gauges ---------------------------------------------------------------
 
 /// Jobs currently sitting in the shared worker queue.
@@ -71,6 +76,15 @@ pub const WRITE_BUFFER_BYTES: &str = "write_buffer_bytes";
 pub const ARENA_RESIDENT_BYTES: &str = "arena_resident_bytes";
 /// mmap-backed RR arena bytes across all cached sessions.
 pub const ARENA_MAPPED_BYTES: &str = "arena_mapped_bytes";
+/// The serving latency objective, milliseconds (`rmsa serve --slo-ms`).
+pub const SLO_THRESHOLD_MS: &str = "slo_threshold_ms";
+/// SLO burn rate over the trailing 1 s window, in milli-burn units
+/// (1000 ⇒ the error budget is burning exactly at the sustainable rate).
+pub const SLO_BURN_1S: &str = "slo_burn_1s_milli";
+/// SLO burn rate over the trailing 10 s window, milli-burn units.
+pub const SLO_BURN_10S: &str = "slo_burn_10s_milli";
+/// SLO burn rate over the trailing 60 s window, milli-burn units.
+pub const SLO_BURN_60S: &str = "slo_burn_60s_milli";
 
 // --- histograms -----------------------------------------------------------
 
@@ -92,3 +106,33 @@ pub const SNAPSHOT_PERSIST_SECS: &str = "snapshot_persist_secs";
 pub const STORE_READ_SECS: &str = "store_read_secs";
 /// Store-level snapshot file write duration, seconds.
 pub const STORE_WRITE_SECS: &str = "store_write_secs";
+
+// --- flight-recorder event kinds ------------------------------------------
+//
+// The closed vocabulary of [`crate::flight::record`] call sites. Each
+// event carries two numeric payload slots (`a`, `b`); the meaning per
+// kind is documented on the constant.
+
+/// A connection was accepted; `a` = connection token.
+pub const CONN_OPEN: &str = "conn_open";
+/// A connection closed (EOF, error, or drain); `a` = connection token.
+pub const CONN_CLOSE: &str = "conn_close";
+/// Reads paused on a connection (inflight cap or write-buffer bound);
+/// `a` = connection token, `b` = buffered write bytes.
+pub const BACKPRESSURE_PAUSE: &str = "backpressure_pause";
+/// Reads resumed on a previously paused connection; `a` = token.
+pub const BACKPRESSURE_RESUME: &str = "backpressure_resume";
+/// A warm-epoch memo was invalidated; `a` = entries dropped.
+pub const MEMO_INVALIDATE: &str = "memo_invalidate";
+/// A worker popped a fingerprint batch; `a` = batch size, `b` = queue
+/// depth left behind.
+pub const BATCH_FORM: &str = "batch_form";
+/// A background snapshot persist finished; `a` = 1 on success else 0.
+pub const SNAPSHOT_PERSIST_DONE: &str = "snapshot_persist_done";
+/// An error response was delivered; `a` = trace id, `b` = error code.
+pub const ANOMALY_ERROR: &str = "anomaly_error";
+/// A response breached the latency objective; `a` = trace id,
+/// `b` = latency in µs.
+pub const ANOMALY_SLOW: &str = "anomaly_slow";
+/// The server began shutting down.
+pub const ANOMALY_SHUTDOWN: &str = "anomaly_shutdown";

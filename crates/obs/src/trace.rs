@@ -34,6 +34,23 @@ const MAX_TRACES: usize = 64;
 /// Spans retained per trace (later spans are dropped, not torn).
 const MAX_SPANS_PER_TRACE: usize = 128;
 
+/// Slow/error traces pinned out of FIFO eviction (tail samples).
+const MAX_PINNED: usize = 32;
+
+/// Terminal outcomes remembered for status joins in trace views.
+const MAX_OUTCOMES: usize = 256;
+
+/// Finished requests needed before the rolling slow threshold arms;
+/// below this everything is "not slow" (errors still pin).
+const TAIL_MIN_SAMPLES: u64 = 32;
+
+/// The rolling latency quantile a trace must exceed to be tail-sampled.
+const TAIL_QUANTILE: f64 = 0.90;
+
+/// Finished requests between rotations of the rolling latency window
+/// (two generations: the threshold reflects the last 1–2 windows).
+const TAIL_ROTATE_EVERY: u64 = 512;
+
 /// Inline key/value fields carried by a span.
 pub const MAX_FIELDS: usize = 2;
 
@@ -65,6 +82,18 @@ impl SpanRecord {
     }
 }
 
+/// How a trace's request ended, if its completion was observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceStatus {
+    /// No terminal outcome recorded (in flight, or status aged out).
+    #[default]
+    Unknown,
+    /// The response was delivered without an error.
+    Ok,
+    /// The response carried this wire error code.
+    Error(u32),
+}
+
 /// All spans of one trace, in arrival order.
 #[derive(Clone, Debug, Default)]
 pub struct TraceView {
@@ -72,6 +101,10 @@ pub struct TraceView {
     pub trace: u64,
     /// Spans recorded under it (start-ordered by [`traces`]).
     pub spans: Vec<SpanRecord>,
+    /// Terminal status joined from [`finish_trace`].
+    pub status: TraceStatus,
+    /// Whether the trace sits in the tail-sample (pinned) store.
+    pub pinned: bool,
 }
 
 impl TraceView {
@@ -95,6 +128,12 @@ fn epoch() -> Instant {
 
 fn micros_since_epoch(at: Instant) -> u64 {
     at.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+/// Now, in µs since the process trace epoch — the clock span records
+/// and exemplar timestamps share.
+pub fn micros_now() -> u64 {
+    micros_since_epoch(Instant::now())
 }
 
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
@@ -183,10 +222,15 @@ struct TraceEntry {
     spans: Vec<SpanRecord>,
 }
 
-/// The bounded global trace store: FIFO over traces, capped per trace.
+/// The bounded global trace store: FIFO over traces, capped per trace,
+/// plus the tail-sample (pinned) store and a terminal-status journal.
 #[derive(Default)]
 struct TraceStore {
     entries: std::collections::VecDeque<TraceEntry>,
+    /// Slow/error traces copied out of FIFO eviction at finish time.
+    pinned: std::collections::VecDeque<TraceEntry>,
+    /// `(trace, status)` of recently finished requests, oldest first.
+    outcomes: std::collections::VecDeque<(u64, TraceStatus)>,
 }
 
 impl TraceStore {
@@ -209,11 +253,135 @@ impl TraceStore {
             }
         }
     }
+
+    fn status_of(&self, trace: u64) -> TraceStatus {
+        self.outcomes
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == trace)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    fn record_outcome(&mut self, trace: u64, status: TraceStatus) {
+        while self.outcomes.len() >= MAX_OUTCOMES {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back((trace, status));
+    }
+
+    /// Copy `trace`'s spans from the FIFO into the pinned store (no-op
+    /// when the trace is already pinned or recorded no spans).
+    fn pin(&mut self, trace: u64) -> bool {
+        if self.pinned.iter().any(|e| e.trace == trace) {
+            return false;
+        }
+        let Some(entry) = self.entries.iter().find(|e| e.trace == trace) else {
+            return false;
+        };
+        while self.pinned.len() >= MAX_PINNED {
+            self.pinned.pop_front();
+        }
+        self.pinned.push_back(TraceEntry {
+            trace: entry.trace,
+            spans: entry.spans.clone(),
+        });
+        true
+    }
 }
 
 fn store() -> &'static Mutex<TraceStore> {
     static STORE: OnceLock<Mutex<TraceStore>> = OnceLock::new();
     STORE.get_or_init(|| Mutex::new(TraceStore::default()))
+}
+
+/// The rolling end-to-end latency window behind the tail-sampling
+/// threshold. Separate from the store lock (taken first, released
+/// before any store work) so the hot finish path never serializes on
+/// span drains.
+struct TailStats {
+    current: crate::histogram::LogHistogram,
+    previous: crate::histogram::LogHistogram,
+    finished: u64,
+    threshold_secs: f64,
+}
+
+impl Default for TailStats {
+    fn default() -> Self {
+        TailStats {
+            current: crate::histogram::LogHistogram::new(),
+            previous: crate::histogram::LogHistogram::new(),
+            finished: 0,
+            threshold_secs: f64::INFINITY,
+        }
+    }
+}
+
+fn tail_stats() -> &'static Mutex<TailStats> {
+    static TAIL: OnceLock<Mutex<TailStats>> = OnceLock::new();
+    TAIL.get_or_init(|| Mutex::new(TailStats::default()))
+}
+
+static TRACES_PINNED: crate::metrics::LazyCounter =
+    crate::metrics::LazyCounter::new(crate::names::TRACES_PINNED_TOTAL);
+
+/// The current rolling slow threshold in seconds; `f64::INFINITY` until
+/// [`TAIL_MIN_SAMPLES`] requests have finished.
+pub fn tail_threshold_secs() -> f64 {
+    lock_obs(tail_stats()).threshold_secs
+}
+
+/// Traces currently held in the tail-sample store.
+pub fn pinned_count() -> usize {
+    lock_obs(store()).pinned.len()
+}
+
+/// Record the terminal outcome of `trace`'s request: joins status into
+/// trace views and **tail-samples** the trace — slow (end-to-end
+/// latency above the rolling [`TAIL_QUANTILE`] of the last 1–2 windows)
+/// or error traces are pinned into a bounded store that FIFO eviction
+/// cannot touch, so the trace behind a tail exemplar stays retrievable.
+pub fn finish_trace(trace: u64, total_secs: f64, error_code: u32) {
+    if trace == 0 || !crate::enabled() {
+        return;
+    }
+    let slow = {
+        let mut stats = lock_obs(tail_stats());
+        stats.current.record(total_secs.max(0.0));
+        stats.finished += 1;
+        if stats.finished.is_multiple_of(TAIL_ROTATE_EVERY) {
+            stats.previous = std::mem::take(&mut stats.current);
+        }
+        // Recompute the threshold periodically — a quantile walk over
+        // the merged generations is cheap but not free.
+        if stats.finished.is_multiple_of(16) || stats.finished == TAIL_MIN_SAMPLES {
+            let mut merged = stats.previous.clone();
+            merged.merge(&stats.current);
+            stats.threshold_secs = if merged.count() >= TAIL_MIN_SAMPLES {
+                merged.quantile_secs(TAIL_QUANTILE)
+            } else {
+                f64::INFINITY
+            };
+        }
+        stats.finished >= TAIL_MIN_SAMPLES && total_secs > stats.threshold_secs
+    };
+    let status = if error_code == 0 {
+        TraceStatus::Ok
+    } else {
+        TraceStatus::Error(error_code)
+    };
+    let pin = slow || error_code != 0;
+    if pin {
+        // Pull the trace's spans out of thread rings before copying, so
+        // the pinned entry is complete as of finish time.
+        drain_all();
+    }
+    let mut guard = lock_obs(store());
+    guard.record_outcome(trace, status);
+    if pin && guard.pin(trace) {
+        drop(guard);
+        TRACES_PINNED.inc();
+    }
 }
 
 /// Drain every thread ring into the global store (RPC-time barrier, so
@@ -238,22 +406,37 @@ pub enum TraceSort {
     Slow,
 }
 
+fn view_of(store: &TraceStore, entry: &TraceEntry, pinned: bool) -> TraceView {
+    let mut spans = entry.spans.clone();
+    spans.sort_by_key(|s| (s.start_us, s.id));
+    TraceView {
+        trace: entry.trace,
+        spans,
+        status: store.status_of(entry.trace),
+        pinned,
+    }
+}
+
 /// Snapshot up to `limit` traces from the store (after a full drain),
-/// spans start-ordered within each trace.
+/// spans start-ordered within each trace. Pinned tail samples are
+/// included alongside the FIFO (a trace living in both appears once,
+/// flagged pinned).
 pub fn traces(limit: usize, sort: TraceSort) -> Vec<TraceView> {
     drain_all();
     let guard = lock_obs(store());
+    let pinned_ids: std::collections::BTreeSet<u64> =
+        guard.pinned.iter().map(|e| e.trace).collect();
     let mut views: Vec<TraceView> = guard
-        .entries
+        .pinned
         .iter()
-        .map(|e| {
-            let mut spans = e.spans.clone();
-            spans.sort_by_key(|s| (s.start_us, s.id));
-            TraceView {
-                trace: e.trace,
-                spans,
-            }
-        })
+        .map(|e| view_of(&guard, e, true))
+        .chain(
+            guard
+                .entries
+                .iter()
+                .filter(|e| !pinned_ids.contains(&e.trace))
+                .map(|e| view_of(&guard, e, false)),
+        )
         .collect();
     drop(guard);
     match sort {
@@ -264,18 +447,20 @@ pub fn traces(limit: usize, sort: TraceSort) -> Vec<TraceView> {
     views
 }
 
-/// All spans recorded under one trace id (after a full drain).
+/// All spans recorded under one trace id (after a full drain). The
+/// tail-sample store is searched first, so pinned traces resolve long
+/// after FIFO eviction would have dropped them.
 pub fn trace_by_id(trace: u64) -> Option<TraceView> {
     drain_all();
     let guard = lock_obs(store());
-    guard.entries.iter().find(|e| e.trace == trace).map(|e| {
-        let mut spans = e.spans.clone();
-        spans.sort_by_key(|s| (s.start_us, s.id));
-        TraceView {
-            trace: e.trace,
-            spans,
-        }
-    })
+    if let Some(e) = guard.pinned.iter().find(|e| e.trace == trace) {
+        return Some(view_of(&guard, e, true));
+    }
+    guard
+        .entries
+        .iter()
+        .find(|e| e.trace == trace)
+        .map(|e| view_of(&guard, e, false))
 }
 
 /// Attaches `trace` as the thread's ambient context for the guard's
@@ -497,6 +682,66 @@ mod tests {
         assert!(names.contains(&"parse") && names.contains(&"batch_wait"));
         let parse = view.spans.iter().find(|s| s.name == "parse").unwrap();
         assert_eq!(parse.fields(), &[("bytes", 128.0)]);
+    }
+
+    #[test]
+    fn error_traces_pin_and_survive_fifo_eviction() {
+        let trace = next_trace_id();
+        record_closed(
+            trace,
+            0,
+            "solve",
+            Instant::now(),
+            Duration::from_micros(900),
+        );
+        finish_trace(trace, 0.0009, 7);
+        let view = trace_by_id(trace).expect("error trace pinned");
+        assert!(view.pinned);
+        assert_eq!(view.status, TraceStatus::Error(7));
+        // Push 2×MAX_TRACES fresh traces through the FIFO: the pinned
+        // copy must still resolve.
+        let base = NEXT_TRACE.fetch_add(2 * MAX_TRACES as u64, Ordering::Relaxed);
+        for i in 0..(2 * MAX_TRACES as u64) {
+            record_closed(
+                base + i,
+                0,
+                "solve",
+                Instant::now(),
+                Duration::from_micros(1),
+            );
+        }
+        drain_all();
+        let view = trace_by_id(trace).expect("pinned trace survives eviction");
+        assert!(view.pinned);
+        assert_eq!(view.spans.len(), 1);
+    }
+
+    #[test]
+    fn ok_finishes_join_status_without_pinning() {
+        let trace = next_trace_id();
+        record_closed(trace, 0, "solve", Instant::now(), Duration::from_micros(5));
+        finish_trace(trace, 5e-6, 0);
+        let view = trace_by_id(trace).expect("trace recorded");
+        assert_eq!(view.status, TraceStatus::Ok);
+        // A single fast ok finish must not pin (threshold unarmed ⇒
+        // infinite, and no error code).
+        assert!(!view.pinned);
+    }
+
+    #[test]
+    fn slow_finishes_pin_once_the_rolling_threshold_arms() {
+        // Arm the threshold with a population of fast finishes, then
+        // finish one trace far in the tail.
+        for _ in 0..(TAIL_MIN_SAMPLES + 16) {
+            finish_trace(next_trace_id(), 0.001, 0);
+        }
+        assert!(tail_threshold_secs().is_finite());
+        let slow = next_trace_id();
+        record_closed(slow, 0, "solve", Instant::now(), Duration::from_secs(1));
+        finish_trace(slow, 1.0, 0);
+        let view = trace_by_id(slow).expect("slow trace retrievable");
+        assert!(view.pinned, "1 s against a 1 ms population must pin");
+        assert_eq!(view.status, TraceStatus::Ok);
     }
 
     #[test]

@@ -61,6 +61,58 @@ fn histogram_increments_from_8_threads_sum_exactly() {
 }
 
 #[test]
+fn exemplar_reservoir_under_8_thread_contention_stays_untorn_and_bounded() {
+    let hist = metrics::histogram("test_conc_exemplars");
+    // Every thread hammers the SAME two buckets with values encoding
+    // the writing trace, so torn (trace, value) pairs are detectable:
+    // value 2^-t µs-scale offsets make each (trace, value) pair unique.
+    let go = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (1..=THREADS as u64)
+        .map(|t| {
+            let go = Arc::clone(&go);
+            std::thread::spawn(move || {
+                while !go.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                // Two buckets: ~1 ms and ~100 ms; the fractional tail
+                // encodes the trace id exactly in binary.
+                for i in 0..10_000u64 {
+                    let base = if i % 2 == 0 { 1e-3 } else { 100e-3 };
+                    hist.observe_traced(base * (1.0 + t as f64 / 1024.0), t);
+                }
+            })
+        })
+        .collect();
+    go.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("worker joins");
+    }
+    let exemplars = hist.exemplars();
+    // Bounded: at most slots-per-bucket exemplars per touched bucket
+    // (two buckets here, but neighbouring bucket spill from the ×(1+t/1024)
+    // factor is possible — the hard bound is the reservoir size).
+    assert!(!exemplars.is_empty(), "contended writes still publish");
+    assert!(
+        exemplars.len() <= 8,
+        "reservoir stays bounded: {exemplars:?}"
+    );
+    // Untorn: every surviving exemplar's value must be exactly the
+    // value its trace wrote — a torn record would pair trace t with
+    // another thread's value bits.
+    for e in &exemplars {
+        assert!((1..=THREADS as u64).contains(&e.trace));
+        let small = 1e-3 * (1.0 + e.trace as f64 / 1024.0);
+        let big = 100e-3 * (1.0 + e.trace as f64 / 1024.0);
+        assert!(
+            e.value_secs == small || e.value_secs == big,
+            "torn exemplar: trace {} with value {}",
+            e.trace,
+            e.value_secs
+        );
+    }
+}
+
+#[test]
 fn gauge_adds_from_8_threads_cancel_exactly() {
     let gauge = metrics::gauge("test_conc_gauge");
     let handles: Vec<_> = (0..THREADS)

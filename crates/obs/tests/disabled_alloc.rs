@@ -10,7 +10,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use rmsa_obs::{names, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
+use rmsa_obs::{flight, names, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
 
 struct CountingAlloc;
 
@@ -61,11 +61,13 @@ fn disabled_obs_path_allocates_nothing_per_request() {
     );
 }
 
-/// The full per-request obs surface: counters, gauges, histograms, an
-/// attached trace with nested spans, and a closed-span record.
+/// The full per-request obs surface: counters, gauges, histograms
+/// (traced and untraced), an attached trace with nested spans, a
+/// closed-span record, flight events, and the terminal finish.
 fn simulated_request(trace_id: u64) {
     SOLVES.inc();
     DEPTH.add(1);
+    flight::record(names::BATCH_FORM, 1, 0);
     let enqueued = Instant::now();
     {
         let _guard = trace::attach(trace_id);
@@ -77,7 +79,9 @@ fn simulated_request(trace_id: u64) {
         let greedy = Span::child(names::GREEDY);
         let d = greedy.finish();
         LATENCY.observe_duration(d);
+        LATENCY.observe_traced(d.as_secs_f64(), trace_id);
         drop(solve);
     }
+    trace::finish_trace(trace_id, enqueued.elapsed().as_secs_f64(), 0);
     DEPTH.add(-1);
 }

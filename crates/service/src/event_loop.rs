@@ -36,10 +36,11 @@ use crate::net::{Event, Interest, Poller, WAKE_TOKEN};
 use crate::server::{enqueue, shutting_down_error, Job, JobKind, Reply, Shared};
 use crate::session::SessionKey;
 use crate::wire::{ErrorCode, Request, Response, WireError, WIRE_MIN_SCHEMA_VERSION};
-use rmsa_obs::{names, trace, LazyCounter, LazyGauge, Span};
+use rmsa_obs::{flight, names, trace, LazyCounter, LazyGauge, Span};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
@@ -51,6 +52,14 @@ static RESPONSES: LazyCounter = LazyCounter::new(names::RESPONSES_TOTAL);
 static INFLIGHT: LazyGauge = LazyGauge::new(names::INFLIGHT);
 /// Unflushed response bytes across all connection write buffers.
 static WBUF_BYTES: LazyGauge = LazyGauge::new(names::WRITE_BUFFER_BYTES);
+/// Budget burn rate over the trailing 1 s / 10 s / 60 s windows, in
+/// milli-units (1000 ⇒ consuming the error budget exactly as fast as
+/// the objective sustains).
+static SLO_BURN_1S: LazyGauge = LazyGauge::new(names::SLO_BURN_1S);
+static SLO_BURN_10S: LazyGauge = LazyGauge::new(names::SLO_BURN_10S);
+static SLO_BURN_60S: LazyGauge = LazyGauge::new(names::SLO_BURN_60S);
+/// Flight-recorder dumps written to the `--flight-dump` file.
+static FLIGHT_DUMPS: LazyCounter = LazyCounter::new(names::FLIGHT_DUMPS_TOTAL);
 
 /// Token of the listening socket; connection tokens are `slot index + 1`.
 const LISTENER_TOKEN: u64 = 0;
@@ -68,6 +77,16 @@ const IDLE_WAIT_MS: i32 = 500;
 
 /// Poller timeout while draining for shutdown.
 const DRAIN_WAIT_MS: i32 = 20;
+
+/// Error budget of the latency objective: 99 % of solves within
+/// `--slo-ms`, so over-threshold fraction 0.01 sustains burn 1000.
+const SLO_BUDGET: f64 = 0.01;
+
+/// Seconds of per-second delta history behind the burn windows.
+const SLO_SLOTS: usize = 60;
+
+/// Minimum spacing between anomaly flight dumps (shutdown bypasses it).
+const FLIGHT_DUMP_SPACING: Duration = Duration::from_secs(1);
 
 /// How long the drain waits for clients to read their last responses
 /// before the daemon exits anyway.
@@ -130,6 +149,103 @@ impl Conn {
     }
 }
 
+/// Rolling SLO accounting plus anomaly flight-dump throttling, owned by
+/// the event loop. Once a second it snapshots the solve-latency
+/// histogram, banks the per-second (total, over-threshold) deltas in a
+/// 60-slot ring, and refreshes the `slo_burn_{1s,10s,60s}_milli`
+/// gauges. The threshold is bucket-granular ([`rmsa_obs::LogHistogram`]
+/// `count_over`), which is exactly the resolution the histogram has.
+struct SloState {
+    total: [u64; SLO_SLOTS],
+    over: [u64; SLO_SLOTS],
+    pos: usize,
+    seen_total: u64,
+    seen_over: u64,
+    last_tick: Instant,
+    last_dump: Option<Instant>,
+}
+
+impl SloState {
+    fn new() -> SloState {
+        SloState {
+            total: [0; SLO_SLOTS],
+            over: [0; SLO_SLOTS],
+            pos: 0,
+            seen_total: 0,
+            seen_over: 0,
+            last_tick: Instant::now(),
+            last_dump: None,
+        }
+    }
+
+    /// Bank one per-second delta and refresh the burn gauges; a no-op
+    /// until a second has passed since the last tick (the poller wakes
+    /// the loop at least every [`IDLE_WAIT_MS`]).
+    fn tick(&mut self, shared: &Shared) {
+        if !rmsa_obs::enabled() || self.last_tick.elapsed() < Duration::from_secs(1) {
+            return;
+        }
+        self.last_tick = Instant::now();
+        let snap = rmsa_obs::metrics::histogram(names::RPC_SOLVE_SECS).snapshot();
+        let total = snap.count();
+        let over = snap.count_over(shared.slo_secs);
+        self.pos = (self.pos + 1) % SLO_SLOTS;
+        self.total[self.pos] = total.saturating_sub(self.seen_total);
+        self.over[self.pos] = over.saturating_sub(self.seen_over);
+        self.seen_total = total;
+        self.seen_over = over;
+        SLO_BURN_1S.set(self.burn_milli(1));
+        SLO_BURN_10S.set(self.burn_milli(10));
+        SLO_BURN_60S.set(self.burn_milli(60));
+    }
+
+    /// Burn rate over the trailing `window` slots, milli-units.
+    fn burn_milli(&self, window: usize) -> i64 {
+        let mut total = 0u64;
+        let mut over = 0u64;
+        for k in 0..window.min(SLO_SLOTS) {
+            let i = (self.pos + SLO_SLOTS - k) % SLO_SLOTS;
+            total += self.total[i];
+            over += self.over[i];
+        }
+        if total == 0 {
+            0
+        } else {
+            ((over as f64 / total as f64) / SLO_BUDGET * 1000.0).round() as i64
+        }
+    }
+
+    /// Write the flight recorder to the `--flight-dump` file, at most
+    /// once per [`FLIGHT_DUMP_SPACING`] unless forced (shutdown).
+    fn dump(&mut self, shared: &Shared, reason: &str, trace: u64, detail: u64, force: bool) {
+        let Some(path) = shared.flight_dump.as_deref() else {
+            return;
+        };
+        if !force
+            && self
+                .last_dump
+                .is_some_and(|at| at.elapsed() < FLIGHT_DUMP_SPACING)
+        {
+            return;
+        }
+        self.last_dump = Some(Instant::now());
+        write_flight_dump(path, reason, trace, detail);
+    }
+}
+
+/// Dump the flight recorder to `path` (tmp file + rename, so readers
+/// never see a torn document).
+fn write_flight_dump(path: &Path, reason: &str, trace: u64, detail: u64) {
+    let doc = crate::obs_report::flight_dump_json(reason, trace, detail);
+    let tmp = path.with_extension("tmp");
+    let written =
+        std::fs::write(&tmp, doc.render_pretty() + "\n").and_then(|()| std::fs::rename(&tmp, path));
+    match written {
+        Ok(()) => FLIGHT_DUMPS.inc(),
+        Err(e) => eprintln!("rmsa serve: flight dump to {} failed: {e}", path.display()),
+    }
+}
+
 #[cfg(unix)]
 fn fd_of<T: std::os::fd::AsRawFd>(t: &T) -> i32 {
     t.as_raw_fd()
@@ -152,6 +268,7 @@ pub(crate) fn run(listener: TcpListener, mut poller: Poller, shared: &Shared) {
     let mut events: Vec<Event> = Vec::new();
     let mut accepting = true;
     let mut drain_deadline: Option<Instant> = None;
+    let mut slo = SloState::new();
 
     loop {
         events.clear();
@@ -164,7 +281,8 @@ pub(crate) fn run(listener: TcpListener, mut poller: Poller, shared: &Shared) {
 
         // Route worker completions first so this iteration's write pass
         // can flush them (and so freed pipeline slots resume reading).
-        deliver_completions(shared, &mut slots);
+        deliver_completions(shared, &mut slots, &mut slo);
+        slo.tick(shared);
 
         for event in &events {
             match event.token {
@@ -214,6 +332,7 @@ pub(crate) fn run(listener: TcpListener, mut poller: Poller, shared: &Shared) {
                     INFLIGHT.add(-(conn.inflight as i64));
                     WBUF_BYTES.add(-(conn.pending_write() as i64));
                     poller.deregister(fd_of(&conn.stream));
+                    flight::record(names::CONN_CLOSE, token, 0);
                     free.push(index);
                 }
             }
@@ -224,6 +343,8 @@ pub(crate) fn run(listener: TcpListener, mut poller: Poller, shared: &Shared) {
                 accepting = false;
                 poller.deregister(listener_fd);
                 drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+                flight::record(names::ANOMALY_SHUTDOWN, 0, 0);
+                slo.dump(shared, "shutdown", 0, 0, true);
             }
             let queue_empty = lock_unpoisoned(&shared.queue).is_empty();
             let completions_empty = lock_unpoisoned(&shared.completions).is_empty();
@@ -263,6 +384,7 @@ fn accept_ready(
                     }
                 };
                 poller.register(fd_of(&conn.stream), index as u64 + 1, conn.interest);
+                flight::record(names::CONN_OPEN, index as u64 + 1, 0);
                 slots[index] = Some(conn);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -276,7 +398,13 @@ fn accept_ready(
 
 /// Hand every pending worker completion to its connection, unless the
 /// connection died (or its slot was reused) while the job was in flight.
-fn deliver_completions(shared: &Shared, slots: &mut [Option<Conn>]) {
+///
+/// This is also where a request's life ends for observability: the
+/// `flush` span closes, the trace finishes (joining its terminal status
+/// and feeding the tail sampler), and anomalies — an error response or
+/// an end-to-end latency past `--slo-ms` — fire flight-recorder events
+/// and (rate-limited) flight dumps.
+fn deliver_completions(shared: &Shared, slots: &mut [Option<Conn>], slo: &mut SloState) {
     let completions = std::mem::take(&mut *lock_unpoisoned(&shared.completions));
     for completion in completions {
         let index = (completion.reply.token.max(1) - 1) as usize;
@@ -287,14 +415,36 @@ fn deliver_completions(shared: &Shared, slots: &mut [Option<Conn>]) {
                 RESPONSES.inc();
                 // The flush phase: from the worker finishing the render
                 // to the event loop handing the line to the ordered
-                // write path.
+                // write path. Its duration becomes the `flush_secs`
+                // estimate sealed into the *next* responses' lines.
+                let flush_wait = completion.rendered_at.elapsed();
                 trace::record_closed(
                     completion.reply.trace,
                     0,
                     names::FLUSH,
                     completion.rendered_at,
-                    completion.rendered_at.elapsed(),
+                    flush_wait,
                 );
+                shared
+                    .last_flush_bits
+                    .store(flush_wait.as_secs_f64().to_bits(), Ordering::Relaxed);
+                let total_secs = completion.enqueued.elapsed().as_secs_f64();
+                let trace_id = completion.reply.trace;
+                trace::finish_trace(trace_id, total_secs, completion.error_code);
+                if completion.error_code != 0 {
+                    flight::record(names::ANOMALY_ERROR, trace_id, completion.error_code as u64);
+                    slo.dump(
+                        shared,
+                        "error",
+                        trace_id,
+                        completion.error_code as u64,
+                        false,
+                    );
+                } else if total_secs > shared.slo_secs {
+                    let total_us = (total_secs * 1e6) as u64;
+                    flight::record(names::ANOMALY_SLOW, trace_id, total_us);
+                    slo.dump(shared, "slow", trace_id, total_us, false);
+                }
                 conn.finish(completion.reply.seq, completion.line);
             }
         }
@@ -413,10 +563,24 @@ fn handle_request(shared: &Shared, conn: &mut Conn, token: u64, line: &str) {
             };
             conn.finish(seq, response.render_for(version));
         }
-        Request::Trace { id, limit, slowest } => {
-            let response = Response::Trace {
+        Request::Trace {
+            id,
+            limit,
+            slowest,
+            trace,
+        } => {
+            let traces = if trace != 0 {
+                crate::obs_report::trace_report_by_id(trace)
+            } else {
+                crate::obs_report::trace_reports(limit, slowest)
+            };
+            let response = Response::Trace { id, traces };
+            conn.finish(seq, response.render_for(version));
+        }
+        Request::Flight { id } => {
+            let response = Response::Flight {
                 id,
-                traces: crate::obs_report::trace_reports(limit, slowest),
+                events: crate::obs_report::flight_events(),
             };
             conn.finish(seq, response.render_for(version));
         }
@@ -537,6 +701,24 @@ fn update_interest(poller: &mut Poller, conn: &mut Conn, token: u64, shared: &Sh
         writable: conn.pending_write() > 0,
     };
     if want != conn.interest {
+        // A read-interest flip on a live stream is the backpressure
+        // boundary: the pipeline window or write buffer filled (pause)
+        // or drained back under the limits (resume).
+        if want.readable != conn.interest.readable && !conn.eof {
+            if want.readable {
+                flight::record(
+                    names::BACKPRESSURE_RESUME,
+                    token,
+                    conn.pending_write() as u64,
+                );
+            } else {
+                flight::record(
+                    names::BACKPRESSURE_PAUSE,
+                    token,
+                    conn.pending_write() as u64,
+                );
+            }
+        }
         poller.modify(fd_of(&conn.stream), token, want);
         conn.interest = want;
     }

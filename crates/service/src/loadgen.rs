@@ -42,11 +42,19 @@ use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Pipelined connections an open-loop run spreads its schedule over.
 const OPEN_CONNECTIONS: usize = 2;
+
+/// Per-connection cap on in-flight requests in the open loop. Past this
+/// point the sender holds back (charging the hold to `send_lags`, and to
+/// the request's latency via its intended send time) instead of growing
+/// an unbounded client-side backlog that would measure socket buffering
+/// rather than server queueing.
+const OPEN_MAX_OUTSTANDING: usize = 64;
 
 /// The request population a load run draws from.
 #[derive(Clone, Debug)]
@@ -290,6 +298,11 @@ pub struct LoadgenOutcome {
     pub errors: Vec<String>,
     /// Total session memory reported by a final `stats` call.
     pub session_memory_bytes: usize,
+    /// Open loop only: per-request sender lag (actual send minus
+    /// intended send), keyed by request id so it joins back to
+    /// [`responses`](Self::responses). Empty in the closed loop, where
+    /// the client by definition sends the instant it is ready.
+    pub send_lags: Vec<(u64, f64)>,
 }
 
 impl LoadgenOutcome {
@@ -404,6 +417,7 @@ fn run_closed(addr: &str, plan: &LoadgenPlan, clients: usize) -> Result<LoadgenO
         wall_secs,
         errors: into_inner_unpoisoned(errors),
         session_memory_bytes: probe_session_memory(addr),
+        send_lags: Vec::new(),
     })
 }
 
@@ -434,22 +448,38 @@ fn run_open(addr: &str, plan: &LoadgenPlan, rate_hz: f64) -> Result<LoadgenOutco
     let collected: Mutex<Vec<(SolveResponse, f64)>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let latency: Mutex<LogHistogram> = Mutex::new(LogHistogram::new());
+    let send_lags: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::new());
+    let outstanding_slots: Vec<AtomicUsize> =
+        (0..connections).map(|_| AtomicUsize::new(0)).collect();
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for ((mut writer, mut reader), slice) in streams.into_iter().zip(&per_conn) {
+        for (conn, ((mut writer, mut reader), slice)) in
+            streams.into_iter().zip(&per_conn).enumerate()
+        {
             let collected = &collected;
             let errors = &errors;
             let latency = &latency;
+            let send_lags = &send_lags;
+            let outstanding = &outstanding_slots[conn];
             // Sender: fire every request of the slice at its intended
             // time, never waiting for responses (that is the open loop).
             // An oversleeping sender catches up back-to-back, preserving
             // the schedule's mean rate.
             scope.spawn(move || {
+                let mut local_lags: Vec<(u64, f64)> = Vec::with_capacity(slice.len());
                 for (id, intended_secs) in slice.iter() {
                     let due = Duration::from_secs_f64(*intended_secs);
                     if let Some(wait) = due.checked_sub(started.elapsed()) {
                         std::thread::sleep(wait);
                     }
+                    while outstanding.load(Ordering::Acquire) >= OPEN_MAX_OUTSTANDING {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    local_lags.push((
+                        *id,
+                        (started.elapsed().as_secs_f64() - intended_secs).max(0.0),
+                    ));
+                    outstanding.fetch_add(1, Ordering::AcqRel);
                     let mut line = Request::Solve(plan.request_for_id(*id)).render();
                     line.push('\n');
                     if let Err(e) = writer
@@ -457,9 +487,10 @@ fn run_open(addr: &str, plan: &LoadgenPlan, rate_hz: f64) -> Result<LoadgenOutco
                         .and_then(|()| writer.flush())
                     {
                         lock_unpoisoned(errors).push(format!("send request {id}: {e}"));
-                        return;
+                        break;
                     }
                 }
+                lock_unpoisoned(send_lags).extend(local_lags);
             });
             // Reader: the server answers in per-connection request
             // order, so the k-th response line pairs with the k-th
@@ -483,6 +514,7 @@ fn run_open(addr: &str, plan: &LoadgenPlan, rate_hz: f64) -> Result<LoadgenOutco
                             break;
                         }
                     }
+                    outstanding.fetch_sub(1, Ordering::AcqRel);
                     let secs = (started.elapsed().as_secs_f64() - intended_secs).max(0.0);
                     match Response::parse(answer.trim_end()) {
                         Ok(Response::Solve(response)) => {
@@ -515,6 +547,7 @@ fn run_open(addr: &str, plan: &LoadgenPlan, rate_hz: f64) -> Result<LoadgenOutco
         wall_secs,
         errors: into_inner_unpoisoned(errors),
         session_memory_bytes: probe_session_memory(addr),
+        send_lags: into_inner_unpoisoned(send_lags),
     })
 }
 
@@ -596,15 +629,36 @@ pub fn report(outcome: &LoadgenOutcome, plan: &LoadgenPlan, quick: bool) -> Benc
                     memory_mib: 0.0,
                     budget_usage_pct: 0.0,
                     rate_of_return_pct: 0.0,
+                    phases: Vec::new(),
                 },
             });
         }
     }
+    // Latency rows carry the per-phase attribution: the phase columns
+    // are the mean breakdown over the cohort of requests that *define*
+    // that end-to-end quantile (quantiles of independently measured
+    // phases do not compose — the p99 of `queue` and the p99 of `solve`
+    // belong to different requests), and the gated `revenue` column
+    // holds the attribution share — how much of the cohort's end-to-end
+    // latency the phase columns add up to, in percent, capped at 100. A
+    // committed baseline near 100 makes `rmsa compare`'s downward-drift
+    // gate fail the run when phase accounting stops covering the tail
+    // (e.g. a new unattributed stall).
     for (quantile, key) in [(0.50, 50.0), (0.90, 90.0), (0.99, 99.0)] {
+        let mut o = meta_outcome(outcome.latency.quantile_secs(quantile), 0);
+        if let Some((phases, cohort_e2e)) = phase_breakdown(outcome, quantile) {
+            let attributed: f64 = phases.iter().map(|(_, secs)| secs).sum();
+            o.phases = phases;
+            o.revenue = if cohort_e2e > 0.0 {
+                (attributed / cohort_e2e).min(1.0) * 100.0
+            } else {
+                0.0
+            };
+        }
         points.push(BenchPoint {
             job: "latency,".to_string(),
             key,
-            outcome: meta_outcome(outcome.latency.quantile_secs(quantile), 0),
+            outcome: o,
         });
     }
     points.push(BenchPoint {
@@ -652,7 +706,81 @@ fn meta_outcome(wall_secs: f64, memory_bytes: usize) -> AlgoOutcome {
         memory_mib: memory_bytes as f64 / (1024.0 * 1024.0),
         budget_usage_pct: 0.0,
         rate_of_return_pct: 0.0,
+        phases: Vec::new(),
     }
+}
+
+/// The per-phase breakdown of the requests that define the end-to-end
+/// `quantile`, plus the cohort's mean end-to-end latency; `None` when
+/// the run produced no responses.
+///
+/// The cohort is the nearest-rank request of the e2e-sorted run plus
+/// the ~1 % of requests right behind it, so single-request noise does
+/// not swing the tail rows. Each phase column is the cohort mean, in
+/// request-pipeline order: `send_lag` (open loop only — sender behind
+/// schedule or held at the in-flight cap), the server's wire-v2 phase
+/// timings, then `delivery` — the request's measured-by-subtraction
+/// remainder (end-to-end minus every instrumented phase): transport
+/// both ways, event-loop dispatch, and client reader queueing. With the
+/// residual included the breakdown accounts for the cohort's whole
+/// life, so the attribution share derived from it stays pinned near
+/// 100 %.
+fn phase_breakdown(outcome: &LoadgenOutcome, quantile: f64) -> Option<(Vec<(String, f64)>, f64)> {
+    if outcome.responses.is_empty() {
+        return None;
+    }
+    let lag_by_id: std::collections::BTreeMap<u64, f64> =
+        outcome.send_lags.iter().copied().collect();
+    let open_loop = !outcome.send_lags.is_empty();
+    // (e2e, send_lag, queue, batch_wait, warm, solve, serialize, flush,
+    // delivery) per response, e2e-sorted.
+    let mut rows: Vec<[f64; 9]> = outcome
+        .responses
+        .iter()
+        .map(|(r, secs)| {
+            let t = &r.timing;
+            let lag = lag_by_id.get(&r.id).copied().unwrap_or(0.0);
+            let instrumented = lag
+                + t.queue_secs
+                + t.batch_wait_secs
+                + t.warm_secs
+                + t.solve_secs
+                + t.serialize_secs
+                + t.flush_secs;
+            [
+                *secs,
+                lag,
+                t.queue_secs,
+                t.batch_wait_secs,
+                t.warm_secs,
+                t.solve_secs,
+                t.serialize_secs,
+                t.flush_secs,
+                (*secs - instrumented).max(0.0),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    let n = rows.len();
+    let rank = ((n as f64 * quantile).ceil() as usize).clamp(1, n) - 1;
+    let cohort = &rows[rank..(rank + (n / 100).max(1)).min(n)];
+    let mean = |i: usize| cohort.iter().map(|row| row[i]).sum::<f64>() / cohort.len() as f64;
+    let mut phases: Vec<(String, f64)> = Vec::new();
+    if open_loop {
+        phases.push(("send_lag".to_string(), mean(1)));
+    }
+    for (i, name) in [
+        (2, "queue"),
+        (3, "batch_wait"),
+        (4, "warm_check"),
+        (5, "solve"),
+        (6, "serialize"),
+        (7, "flush"),
+        (8, "delivery"),
+    ] {
+        phases.push((name.to_string(), mean(i)));
+    }
+    Some((phases, mean(0)))
 }
 
 /// The solver-reported algorithm name of a wire algorithm.

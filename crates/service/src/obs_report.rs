@@ -1,15 +1,20 @@
-//! Bridges the live [`rmsa_obs`] registry and trace store into wire
-//! payloads ([`MetricsReport`], [`TraceReport`]) and the
-//! `--obs-snapshot` dump document.
+//! Bridges the live [`rmsa_obs`] registry, trace store, and flight
+//! recorder into wire payloads ([`MetricsReport`], [`TraceReport`],
+//! [`FlightEventEntry`]) and the `--obs-snapshot` / `--flight-dump`
+//! documents.
 
-use crate::wire::{HistogramStats, MetricsReport, SpanEntry, TraceReport};
+use crate::wire::{
+    ErrorCode, ExemplarEntry, FlightEventEntry, HistogramStats, MetricsReport, SpanEntry,
+    TraceReport,
+};
 use rmsa_bench::json::Json;
 use rmsa_obs::trace::{self, TraceView};
-use rmsa_obs::TraceSort;
+use rmsa_obs::{flight, TraceSort, TraceStatus};
 
 /// Snapshot the metric registry as a wire payload.
 pub(crate) fn metrics_report() -> MetricsReport {
     let snap = rmsa_obs::metrics::snapshot();
+    let mut exemplars = snap.exemplars;
     MetricsReport {
         counters: snap
             .counters
@@ -32,8 +37,34 @@ pub(crate) fn metrics_report() -> MetricsReport {
                 p90_secs: h.quantile_secs(0.90),
                 p99_secs: h.quantile_secs(0.99),
                 max_secs: h.max_secs(),
+                exemplars: exemplars
+                    .iter_mut()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, es)| std::mem::take(es))
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|e| ExemplarEntry {
+                        trace: e.trace,
+                        value_secs: e.value_secs,
+                        at_us: e.at_us,
+                    })
+                    .collect(),
             })
             .collect(),
+    }
+}
+
+/// The wire spelling of a terminal trace status: `"unknown"` (still in
+/// flight or aged out before finishing), `"ok"`, or the [`ErrorCode`]
+/// wire name recovered from the stored code point.
+fn status_name(status: TraceStatus) -> String {
+    match status {
+        TraceStatus::Unknown => "unknown".to_string(),
+        TraceStatus::Ok => "ok".to_string(),
+        TraceStatus::Error(point) => match ErrorCode::from_code_point(point) {
+            Some(code) => code.name().to_string(),
+            None => format!("error-{point}"),
+        },
     }
 }
 
@@ -42,6 +73,8 @@ fn view_to_report(view: TraceView) -> TraceReport {
     TraceReport {
         trace: view.trace,
         total_us,
+        status: status_name(view.status),
+        pinned: view.pinned,
         spans: view
             .spans
             .into_iter()
@@ -74,6 +107,55 @@ pub(crate) fn trace_reports(limit: usize, slowest: bool) -> Vec<TraceReport> {
         .collect()
 }
 
+/// Look one trace up by id (tail-sampled pins are searched first);
+/// empty when it aged out unpinned.
+pub(crate) fn trace_report_by_id(trace: u64) -> Vec<TraceReport> {
+    trace::trace_by_id(trace)
+        .map(view_to_report)
+        .into_iter()
+        .collect()
+}
+
+/// Snapshot the flight recorder as wire payloads, in global sequence
+/// order.
+pub(crate) fn flight_events() -> Vec<FlightEventEntry> {
+    flight::snapshot()
+        .into_iter()
+        .map(|e| FlightEventEntry {
+            kind: e.kind.to_string(),
+            seq: e.seq,
+            at_us: e.at_us,
+            a: e.a,
+            b: e.b,
+        })
+        .collect()
+}
+
+/// The `--flight-dump` document: the recorder history plus the trace id
+/// / error code that triggered the dump (both 0 on demand/shutdown).
+pub(crate) fn flight_dump_json(reason: &str, trace: u64, detail: u64) -> Json {
+    let events = Json::Arr(
+        flight_events()
+            .iter()
+            .map(|e| {
+                let mut doc = Json::obj();
+                doc.set("kind", Json::Str(e.kind.clone()))
+                    .set("seq", Json::Int(e.seq as i64))
+                    .set("at_us", Json::Int(e.at_us as i64))
+                    .set("a", Json::Int(e.a as i64))
+                    .set("b", Json::Int(e.b as i64));
+                doc
+            })
+            .collect(),
+    );
+    let mut doc = Json::obj();
+    doc.set("reason", Json::Str(reason.to_string()))
+        .set("trace", Json::Int(trace as i64))
+        .set("detail", Json::Int(detail as i64))
+        .set("events", events);
+    doc
+}
+
 /// The `--obs-snapshot` document: the full registry plus the most
 /// recent traces, rendered with the stable-order [`Json`] module.
 pub(crate) fn dump_json() -> Json {
@@ -99,6 +181,23 @@ pub(crate) fn dump_json() -> Json {
                     .set("p90_secs", Json::Num(h.p90_secs))
                     .set("p99_secs", Json::Num(h.p99_secs))
                     .set("max_secs", Json::Num(h.max_secs));
+                if !h.exemplars.is_empty() {
+                    doc.set(
+                        "exemplars",
+                        Json::Arr(
+                            h.exemplars
+                                .iter()
+                                .map(|e| {
+                                    let mut x = Json::obj();
+                                    x.set("trace", Json::Int(e.trace as i64))
+                                        .set("value_secs", Json::Num(e.value_secs))
+                                        .set("at_us", Json::Int(e.at_us as i64));
+                                    x
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
                 doc
             })
             .collect(),
@@ -110,6 +209,8 @@ pub(crate) fn dump_json() -> Json {
                 let mut doc = Json::obj();
                 doc.set("trace", Json::Int(t.trace as i64))
                     .set("total_us", Json::Int(t.total_us as i64))
+                    .set("status", Json::Str(t.status.clone()))
+                    .set("pinned", Json::Bool(t.pinned))
                     .set(
                         "spans",
                         Json::Arr(

@@ -29,11 +29,11 @@ use crate::wire::{
 };
 use rmsa_bench::ExperimentContext;
 use rmsa_core::RmError;
-use rmsa_obs::{names, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
+use rmsa_obs::{flight, names, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,8 @@ static BATCH_SIZES: LazyHistogram = LazyHistogram::new(names::BATCH_SIZE);
 static RPC_SOLVE: LazyHistogram = LazyHistogram::new(names::RPC_SOLVE_SECS);
 /// Enqueue-to-completion warm latency.
 static RPC_WARM: LazyHistogram = LazyHistogram::new(names::RPC_WARM_SECS);
+/// The latency objective, milliseconds (set once at startup).
+static SLO_THRESHOLD: LazyGauge = LazyGauge::new(names::SLO_THRESHOLD_MS);
 
 /// Validated configuration of one daemon instance. Construct through
 /// [`ServerConfig::builder`]; the defaults of [`ServerConfig::new`] are
@@ -62,6 +64,9 @@ pub struct ServerConfig {
     verify_snapshots: bool,
     obs: bool,
     obs_snapshot: Option<PathBuf>,
+    obs_snapshot_secs: u64,
+    slo_ms: u64,
+    flight_dump: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -80,6 +85,9 @@ impl ServerConfig {
             verify_snapshots: false,
             obs: true,
             obs_snapshot: None,
+            obs_snapshot_secs: 5,
+            slo_ms: 50,
+            flight_dump: None,
         }
     }
 
@@ -138,6 +146,24 @@ impl ServerConfig {
     /// Periodic obs dump file (`--obs-snapshot`); `None` disables it.
     pub fn obs_snapshot(&self) -> Option<&Path> {
         self.obs_snapshot.as_deref()
+    }
+
+    /// Seconds between `--obs-snapshot` dumps (`--obs-snapshot-secs`).
+    pub fn obs_snapshot_secs(&self) -> u64 {
+        self.obs_snapshot_secs
+    }
+
+    /// The latency objective (`--slo-ms`): solves slower than this burn
+    /// the error budget behind the `slo_burn_*` gauges, and breaching it
+    /// is a flight-recorder anomaly trigger.
+    pub fn slo_ms(&self) -> u64 {
+        self.slo_ms
+    }
+
+    /// Anomaly flight-dump file (`--flight-dump`); `None` disables
+    /// anomaly dumps (the `flight` RPC still works).
+    pub fn flight_dump(&self) -> Option<&Path> {
+        self.flight_dump.as_deref()
     }
 }
 
@@ -198,6 +224,24 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Seconds between `--obs-snapshot` dumps (≥ 1).
+    pub fn obs_snapshot_secs(mut self, secs: u64) -> Self {
+        self.config.obs_snapshot_secs = secs;
+        self
+    }
+
+    /// Latency objective in milliseconds (≥ 1).
+    pub fn slo_ms(mut self, ms: u64) -> Self {
+        self.config.slo_ms = ms;
+        self
+    }
+
+    /// Dump the flight recorder to `path` on anomalies.
+    pub fn flight_dump(mut self, path: Option<PathBuf>) -> Self {
+        self.config.flight_dump = path;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServerConfig, RmError> {
         let c = &self.config;
@@ -220,6 +264,20 @@ impl ServerConfigBuilder {
                 "max_inflight",
                 0.0,
                 "the pipelining window must admit at least one request",
+            ));
+        }
+        if c.obs_snapshot_secs == 0 {
+            return Err(RmError::invalid_parameter(
+                "obs_snapshot_secs",
+                0.0,
+                "the obs snapshot interval must be at least one second",
+            ));
+        }
+        if c.slo_ms == 0 {
+            return Err(RmError::invalid_parameter(
+                "slo_ms",
+                0.0,
+                "the latency objective must be at least one millisecond",
             ));
         }
         Ok(self.config)
@@ -247,6 +305,12 @@ pub(crate) struct Completion {
     /// When the worker finished rendering — the event loop closes the
     /// request's `flush` span against this.
     pub(crate) rendered_at: Instant,
+    /// When the request was admitted; the event loop finishes the trace
+    /// against this for end-to-end tail sampling.
+    pub(crate) enqueued: Instant,
+    /// [`ErrorCode::code_point`] of an error response, 0 otherwise —
+    /// errors pin their trace and trigger an anomaly flight dump.
+    pub(crate) error_code: u32,
 }
 
 /// One queued unit of session work.
@@ -276,6 +340,14 @@ pub(crate) struct Shared {
     /// In-flight background snapshot writes; joined on shutdown so a
     /// `shutdown` right after a warm-up never truncates a persist.
     pub(crate) persists: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The latency objective, seconds (`--slo-ms`).
+    pub(crate) slo_secs: f64,
+    /// Anomaly flight-dump path (`--flight-dump`).
+    pub(crate) flight_dump: Option<PathBuf>,
+    /// f64 bits of the most recently completed event-loop flush
+    /// hand-off; workers seal it into `SolveTiming::flush_secs` as the
+    /// estimate for their own (not-yet-happened) flush.
+    pub(crate) last_flush_bits: AtomicU64,
 }
 
 impl Shared {
@@ -289,19 +361,46 @@ impl Shared {
 
     /// Hand a finished response back to the event loop: render it in the
     /// requester's schema version, stash it, and wake the poller.
-    pub(crate) fn complete(&self, reply: Reply, response: &Response) {
-        if matches!(response, Response::Error { .. }) {
+    ///
+    /// Solve responses render through the head/tail split: the head
+    /// (envelope + result payload) is timed under the `serialize` span,
+    /// and the measured duration is sealed into the line's own
+    /// `timing.serialize_secs` — possible because `timing` is the last
+    /// key of a solve response. `flush_secs` is the estimate from the
+    /// most recently completed flush, since this line's flush has not
+    /// happened yet.
+    pub(crate) fn complete(&self, reply: Reply, enqueued: Instant, response: &Response) {
+        let error_code = match response {
+            Response::Error { code, .. } => code.code_point(),
+            _ => 0,
+        };
+        if error_code != 0 {
             ERRORS.inc();
         }
-        let span = Span::detached(reply.trace, names::SERIALIZE);
-        let line = response.render_for(reply.version);
-        drop(span);
+        let line = match response {
+            Response::Solve(solve) => {
+                let span = Span::detached(reply.trace, names::SERIALIZE);
+                let head = solve.render_head_for(reply.version);
+                let mut timing = solve.timing;
+                timing.serialize_secs = span.finish().as_secs_f64();
+                timing.flush_secs = f64::from_bits(self.last_flush_bits.load(Ordering::Relaxed));
+                head + &timing.render_tail_for(reply.version)
+            }
+            other => {
+                let span = Span::detached(reply.trace, names::SERIALIZE);
+                let line = other.render_for(reply.version);
+                drop(span);
+                line
+            }
+        };
         {
             let mut completions = lock_unpoisoned(&self.completions);
             completions.push(Completion {
                 reply,
                 line,
                 rendered_at: Instant::now(),
+                enqueued,
+                error_code,
             });
         }
         self.waker.wake();
@@ -379,7 +478,11 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServiceHandle>
         completions: Mutex::new(Vec::new()),
         waker: poller.waker(),
         persists: Mutex::new(Vec::new()),
+        slo_secs: config.slo_ms as f64 / 1000.0,
+        flight_dump: config.flight_dump.clone(),
+        last_flush_bits: AtomicU64::new(0),
     });
+    SLO_THRESHOLD.set(config.slo_ms as i64);
     let workers = (0..config.workers.max(1))
         .map(|i| {
             let shared = shared.clone();
@@ -397,10 +500,11 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServiceHandle>
     let obs_dump = match config.obs_snapshot.filter(|_| config.obs) {
         Some(path) => {
             let shared = shared.clone();
+            let interval = Duration::from_secs(config.obs_snapshot_secs);
             Some(
                 std::thread::Builder::new()
                     .name("rmsa-obs-dump".to_string())
-                    .spawn(move || obs_dump_loop(&shared, &path))?,
+                    .spawn(move || obs_dump_loop(&shared, &path, interval))?,
             )
         }
         None => None,
@@ -414,17 +518,15 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServiceHandle>
     })
 }
 
-/// Interval between `--obs-snapshot` dumps.
-const OBS_DUMP_INTERVAL: Duration = Duration::from_secs(5);
-
 /// Periodically dump the registry and trace store to `path` (tmp file +
 /// rename, so readers never see a torn document), with a final dump on
-/// shutdown.
-fn obs_dump_loop(shared: &Shared, path: &Path) {
+/// shutdown. The interval is `--obs-snapshot-secs` (validated ≥ 1s by
+/// the config builder).
+fn obs_dump_loop(shared: &Shared, path: &Path, interval: Duration) {
     let tick = Duration::from_millis(100);
-    let mut since_dump = OBS_DUMP_INTERVAL;
+    let mut since_dump = interval;
     while !shared.shutdown.load(Ordering::SeqCst) {
-        if since_dump >= OBS_DUMP_INTERVAL {
+        if since_dump >= interval {
             write_obs_dump(path);
             since_dump = Duration::ZERO;
         }
@@ -477,7 +579,7 @@ pub(crate) fn shutting_down_error(id: u64) -> Response {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let batch = {
+        let (batch, queue_left) = {
             let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(key) = queue.front().map(|j| j.key) {
@@ -495,7 +597,8 @@ fn worker_loop(shared: &Shared) {
                             i += 1;
                         }
                     }
-                    break batch;
+                    let left = queue.len();
+                    break (batch, left);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -506,8 +609,12 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        // The pop instant splits end-to-end wait into `queue_secs`
+        // (enqueue → pop) and `batch_wait_secs` (pop → this job's turn).
+        let popped_at = Instant::now();
         QUEUE_DEPTH.add(-(batch.len() as i64));
-        serve_batch(shared, batch);
+        flight::record(names::BATCH_FORM, batch.len() as u64, queue_left as u64);
+        serve_batch(shared, batch, popped_at);
     }
 }
 
@@ -522,6 +629,7 @@ fn persist_in_background(shared: &Shared, session: Arc<crate::session::Session>)
         .name("rmsa-snapshot".to_string())
         .spawn(move || match session.save_snapshot(&dir) {
             Ok(path) => {
+                flight::record(names::SNAPSHOT_PERSIST_DONE, 1, 0);
                 eprintln!(
                     "rmsa serve: persisted {} to {}",
                     session.key().label(),
@@ -529,6 +637,7 @@ fn persist_in_background(shared: &Shared, session: Arc<crate::session::Session>)
                 );
             }
             Err(e) => {
+                flight::record(names::SNAPSHOT_PERSIST_DONE, 0, 0);
                 eprintln!(
                     "rmsa serve: failed to persist {}: {e}",
                     session.key().label()
@@ -544,7 +653,7 @@ fn persist_in_background(shared: &Shared, session: Arc<crate::session::Session>)
     }
 }
 
-fn serve_batch(shared: &Shared, batch: Vec<Job>) {
+fn serve_batch(shared: &Shared, batch: Vec<Job>, popped_at: Instant) {
     let Some(key) = batch.first().map(|job| job.key) else {
         return;
     };
@@ -556,14 +665,22 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
         // opened here and anywhere below (session, diffusion, store)
         // parent into the request's phase tree.
         let _trace = trace::attach(job.reply.trace);
-        let queue_wait = job.enqueued.elapsed();
-        let queue_secs = queue_wait.as_secs_f64();
+        // Phase split: `queue_secs` is enqueue → batch pop, and
+        // `batch_wait_secs` is pop → this job's serving turn (earlier
+        // members of the same batch being served).
+        let queue_secs = popped_at
+            .saturating_duration_since(job.enqueued)
+            .as_secs_f64();
+        let serving_from = Instant::now();
+        let batch_wait_secs = serving_from
+            .saturating_duration_since(popped_at)
+            .as_secs_f64();
         trace::record_closed(
             job.reply.trace,
             0,
             names::BATCH_WAIT,
             job.enqueued,
-            queue_wait,
+            serving_from.saturating_duration_since(job.enqueued),
         );
         match job.kind {
             JobKind::Warm(warm) => {
@@ -575,6 +692,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                 }
                 shared.complete(
                     job.reply,
+                    job.enqueued,
                     &Response::Warm(crate::wire::WarmResponse {
                         id: warm.id,
                         session: key.label(),
@@ -583,7 +701,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                         already_warm: outcome.already_warm,
                     }),
                 );
-                RPC_WARM.observe_duration(job.enqueued.elapsed());
+                RPC_WARM.observe_traced(job.enqueued.elapsed().as_secs_f64(), job.reply.trace);
             }
             JobKind::Solve(solve) => {
                 // Warm before solving — a no-op for every batch member
@@ -592,7 +710,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                 // next restart skips it.
                 let warm_span = Span::child(names::WARM_CHECK);
                 let outcome = session.ensure_warm(None);
-                drop(warm_span);
+                let warm_secs = warm_span.finish().as_secs_f64();
                 if !outcome.already_warm {
                     persist_in_background(shared, session.clone());
                 }
@@ -614,6 +732,12 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                             queue_secs,
                             solve_secs,
                             batch_size,
+                            batch_wait_secs,
+                            warm_secs,
+                            // Sealed by `Shared::complete`, which times
+                            // the head render and knows the last flush.
+                            serialize_secs: 0.0,
+                            flush_secs: 0.0,
                             trace: job.reply.trace,
                         },
                     }),
@@ -622,8 +746,8 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
                         WireError::new(ErrorCode::SolveFailed, e.to_string()),
                     ),
                 };
-                shared.complete(job.reply, &response);
-                RPC_SOLVE.observe_duration(job.enqueued.elapsed());
+                shared.complete(job.reply, job.enqueued, &response);
+                RPC_SOLVE.observe_traced(job.enqueued.elapsed().as_secs_f64(), job.reply.trace);
             }
         }
     }
@@ -655,6 +779,8 @@ mod tests {
             ServerConfig::builder(tiny_ctx()).workers(0),
             ServerConfig::builder(tiny_ctx()).max_sessions(0),
             ServerConfig::builder(tiny_ctx()).max_inflight(0),
+            ServerConfig::builder(tiny_ctx()).obs_snapshot_secs(0),
+            ServerConfig::builder(tiny_ctx()).slo_ms(0),
         ] {
             assert!(matches!(
                 broken.build(),
@@ -670,5 +796,21 @@ mod tests {
         assert_eq!(config.max_sessions(), 4);
         assert_eq!(config.max_inflight(), 256);
         assert!(config.memoize());
+        assert_eq!(config.obs_snapshot_secs(), 5);
+        assert_eq!(config.slo_ms(), 50);
+        assert!(config.flight_dump().is_none());
+    }
+
+    #[test]
+    fn builder_applies_obs_knobs() {
+        let config = ServerConfig::builder(tiny_ctx())
+            .obs_snapshot_secs(2)
+            .slo_ms(25)
+            .flight_dump(Some(PathBuf::from("/tmp/flight.json")))
+            .build()
+            .unwrap();
+        assert_eq!(config.obs_snapshot_secs(), 2);
+        assert_eq!(config.slo_ms(), 25);
+        assert_eq!(config.flight_dump(), Some(Path::new("/tmp/flight.json")));
     }
 }

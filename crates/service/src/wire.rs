@@ -84,8 +84,8 @@ impl ErrorCode {
         }
     }
 
-    /// Parse a wire name.
-    pub fn parse(name: &str) -> Option<ErrorCode> {
+    /// The closed catalog, in wire order.
+    pub fn all() -> [ErrorCode; 10] {
         [
             ErrorCode::BadRequest,
             ErrorCode::UnsupportedSchema,
@@ -98,8 +98,29 @@ impl ErrorCode {
             ErrorCode::ShuttingDown,
             ErrorCode::SolveFailed,
         ]
-        .into_iter()
-        .find(|c| c.name() == name)
+    }
+
+    /// Parse a wire name.
+    pub fn parse(name: &str) -> Option<ErrorCode> {
+        ErrorCode::all().into_iter().find(|c| c.name() == name)
+    }
+
+    /// Stable nonzero numeric code point (1-based catalog position) —
+    /// the representation `rmsa_obs::trace::finish_trace` stores, since
+    /// the obs crate cannot depend on this enum.
+    pub fn code_point(self) -> u32 {
+        ErrorCode::all()
+            .iter()
+            .position(|c| *c == self)
+            .map(|i| i as u32 + 1)
+            .unwrap_or(1)
+    }
+
+    /// Inverse of [`code_point`](Self::code_point).
+    pub fn from_code_point(point: u32) -> Option<ErrorCode> {
+        ErrorCode::all()
+            .get(point.wrapping_sub(1) as usize)
+            .copied()
     }
 }
 
@@ -272,6 +293,14 @@ pub enum Request {
         limit: usize,
         /// Order by wall-clock extent instead of recency.
         slowest: bool,
+        /// Look one trace up by id instead (0 ⇒ no filter). Pinned tail
+        /// samples resolve here long after FIFO eviction.
+        trace: u64,
+    },
+    /// Snapshot the flight recorder's recent event history (v2-only op).
+    Flight {
+        /// Client-chosen correlation id.
+        id: u64,
     },
 }
 
@@ -290,7 +319,8 @@ impl Request {
             | Request::Ping { id }
             | Request::Shutdown { id }
             | Request::Metrics { id }
-            | Request::Trace { id, .. } => *id,
+            | Request::Trace { id, .. }
+            | Request::Flight { id } => *id,
         }
     }
 
@@ -336,7 +366,12 @@ impl Request {
                 doc.set("op", Json::Str("metrics".into()))
                     .set("id", Json::Int(*id as i64));
             }
-            Request::Trace { id, limit, slowest } => {
+            Request::Trace {
+                id,
+                limit,
+                slowest,
+                trace,
+            } => {
                 doc.set("op", Json::Str("trace".into()))
                     .set("id", Json::Int(*id as i64))
                     .set("limit", Json::Int(*limit as i64))
@@ -344,6 +379,13 @@ impl Request {
                         "sort",
                         Json::Str(if *slowest { "slow" } else { "recent" }.into()),
                     );
+                if *trace != 0 {
+                    doc.set("trace", Json::Int(*trace as i64));
+                }
+            }
+            Request::Flight { id } => {
+                doc.set("op", Json::Str("flight".into()))
+                    .set("id", Json::Int(*id as i64));
             }
         }
         doc
@@ -468,7 +510,13 @@ impl Request {
                     .map(|v| v.clamp(1, 64) as usize)
                     .unwrap_or(10),
                 slowest: doc.get("sort").and_then(|v| v.as_str()) == Some("slow"),
+                trace: doc
+                    .get("trace")
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0)
+                    .max(0) as u64,
             },
+            "flight" if version > WIRE_MIN_SCHEMA_VERSION => Request::Flight { id },
             other => {
                 return Err(fail(WireError::new(
                     ErrorCode::UnknownOp,
@@ -523,15 +571,33 @@ pub struct SolveResult {
 }
 
 /// The non-deterministic part of a solve response.
+///
+/// v1 renders exactly the original three fields (`queue_secs`,
+/// `solve_secs`, `batch_size`); everything else is additive v2-only.
+/// The v2 per-phase fields decompose end-to-end latency —
+/// queue → batch_wait → warm_check → solve → serialize → flush — which
+/// is what the loadgen's attribution columns aggregate.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SolveTiming {
-    /// Seconds the request waited in the admission queue.
+    /// Seconds the request waited in the admission queue before a worker
+    /// popped its batch.
     pub queue_secs: f64,
     /// Seconds the solve (and evaluation) took.
     pub solve_secs: f64,
     /// Number of same-fingerprint requests in the batch that served this
     /// request.
     pub batch_size: usize,
+    /// Seconds between the batch pop and this request's serving start
+    /// (earlier jobs of the same batch being served). v2-only.
+    pub batch_wait_secs: f64,
+    /// Seconds of warm-invariant check (and extension). v2-only.
+    pub warm_secs: f64,
+    /// Seconds rendering this response line. v2-only.
+    pub serialize_secs: f64,
+    /// Estimated seconds for the event-loop flush hand-off, from the
+    /// most recently completed flush (the response line is sealed before
+    /// its own flush happens). v2-only.
+    pub flush_secs: f64,
     /// Obs trace id minted for this request (0 when tracing was off).
     /// Rendered in v2 only; `rmsa trace` looks the phase tree up by it.
     pub trace: u64,
@@ -561,6 +627,57 @@ impl SolveResponse {
             .set("session", Json::Str(self.session.clone()))
             .set("result", result_to_json(&self.result));
         doc
+    }
+
+    /// The response line up to (but excluding) the timing object and the
+    /// closing brace — the part whose rendering cost `serialize_secs`
+    /// measures. Concatenating with
+    /// [`render_timing_tail_for`](Self::render_timing_tail_for) yields
+    /// exactly [`Response::render_for`]'s bytes: the full render is
+    /// implemented through this split, so the server can time the head
+    /// and still seal the measured duration *inside* the line (timing is
+    /// the last key of a solve response).
+    pub fn render_head_for(&self, version: u32) -> String {
+        let mut doc = Json::obj();
+        doc.set("schema_version", Json::Int(version as i64))
+            .set("op", Json::Str("solve".into()))
+            .set("id", Json::Int(self.id as i64))
+            .set("ok", Json::Bool(true))
+            .set("session", Json::Str(self.session.clone()))
+            .set("result", result_to_json(&self.result));
+        let mut head = doc.render_compact();
+        head.pop(); // drop the closing '}'; the timing tail restores it
+        head
+    }
+
+    /// The `,"timing":{...}}` tail completing
+    /// [`render_head_for`](Self::render_head_for)'s line.
+    pub fn render_timing_tail_for(&self, version: u32) -> String {
+        self.timing.render_tail_for(version)
+    }
+}
+
+impl SolveTiming {
+    /// The `,"timing":{...}}` tail completing a solve response head. A
+    /// method on the (Copy) timing so the server can patch
+    /// `serialize_secs`/`flush_secs` after timing the head render
+    /// without cloning the result payload.
+    pub fn render_tail_for(&self, version: u32) -> String {
+        let v1 = version <= WIRE_MIN_SCHEMA_VERSION;
+        let mut t = Json::obj();
+        t.set("queue_secs", Json::Num(self.queue_secs))
+            .set("solve_secs", Json::Num(self.solve_secs))
+            .set("batch_size", Json::Int(self.batch_size as i64));
+        if !v1 {
+            // Additive v2 fields; the v1 timing object stays
+            // byte-identical to the pre-obs wire.
+            t.set("batch_wait_secs", Json::Num(self.batch_wait_secs))
+                .set("warm_secs", Json::Num(self.warm_secs))
+                .set("serialize_secs", Json::Num(self.serialize_secs))
+                .set("flush_secs", Json::Num(self.flush_secs))
+                .set("trace", Json::Int(self.trace as i64));
+        }
+        format!(",\"timing\":{}}}", t.render_compact())
     }
 }
 
@@ -605,6 +722,18 @@ pub struct SessionStatsEntry {
     pub snapshot_load_secs: f64,
 }
 
+/// One histogram exemplar on the wire: a concrete sample linked to the
+/// trace that produced it (`rmsa trace --id` resolves it).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExemplarEntry {
+    /// Trace id of the recording request.
+    pub trace: u64,
+    /// Exact sample value, seconds.
+    pub value_secs: f64,
+    /// Recording time, µs since the server's trace epoch.
+    pub at_us: u64,
+}
+
 /// Quantile digest of one registry histogram, as shipped by the
 /// `metrics` RPC.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -623,6 +752,9 @@ pub struct HistogramStats {
     pub p99_secs: f64,
     /// Exact maximum, seconds.
     pub max_secs: f64,
+    /// Bucket exemplars, slowest first (additive field; empty pre-PR-10
+    /// and for never-traced histograms).
+    pub exemplars: Vec<ExemplarEntry>,
 }
 
 /// Payload of a `metrics` response: the whole registry, name-sorted.
@@ -660,8 +792,29 @@ pub struct TraceReport {
     pub trace: u64,
     /// Wall-clock extent (latest end − earliest start), µs.
     pub total_us: u64,
+    /// Terminal status: `"unknown"` (in flight / aged out), `"ok"`, or
+    /// the [`ErrorCode`] wire name of the error response. Additive
+    /// field; `"unknown"` when absent.
+    pub status: String,
+    /// Whether the trace sits in the tail-sample (pinned) store.
+    pub pinned: bool,
     /// Spans, start-ordered.
     pub spans: Vec<SpanEntry>,
+}
+
+/// One flight-recorder event on the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlightEventEntry {
+    /// Event kind (an `obs::names` flight constant on the server side).
+    pub kind: String,
+    /// Global total order across all server threads.
+    pub seq: u64,
+    /// Recording time, µs since the server's trace epoch.
+    pub at_us: u64,
+    /// First per-kind payload word.
+    pub a: u64,
+    /// Second per-kind payload word.
+    pub b: u64,
 }
 
 /// A server response.
@@ -704,6 +857,13 @@ pub enum Response {
         /// Phase trees, in the requested order.
         traces: Vec<TraceReport>,
     },
+    /// Flight-recorder history, in global sequence order (v2-only op).
+    Flight {
+        /// Echoed request id.
+        id: u64,
+        /// Recent events, oldest first.
+        events: Vec<FlightEventEntry>,
+    },
     /// The request failed. v1 renders the message alone; v2 renders the
     /// full `{code, message}` object.
     Error {
@@ -743,8 +903,12 @@ impl Response {
                     .set("solve_secs", Json::Num(r.timing.solve_secs))
                     .set("batch_size", Json::Int(r.timing.batch_size as i64));
                 if !v1 {
-                    // Additive v2 field; v1 timing stays byte-identical.
-                    t.set("trace", Json::Int(r.timing.trace as i64));
+                    // Additive v2 fields; v1 timing stays byte-identical.
+                    t.set("batch_wait_secs", Json::Num(r.timing.batch_wait_secs))
+                        .set("warm_secs", Json::Num(r.timing.warm_secs))
+                        .set("serialize_secs", Json::Num(r.timing.serialize_secs))
+                        .set("flush_secs", Json::Num(r.timing.flush_secs))
+                        .set("trace", Json::Int(r.timing.trace as i64));
                 }
                 doc.set("timing", t);
             }
@@ -816,6 +980,15 @@ impl Response {
                         Json::Arr(traces.iter().map(trace_report_to_json).collect()),
                     );
             }
+            Response::Flight { id, events } => {
+                doc.set("op", Json::Str("flight".into()))
+                    .set("id", Json::Int(*id as i64))
+                    .set("ok", Json::Bool(true))
+                    .set(
+                        "events",
+                        Json::Arr(events.iter().map(flight_event_to_json).collect()),
+                    );
+            }
             Response::Error { id, code, message } => {
                 doc.set("op", Json::Str("error".into()))
                     .set("id", Json::Int(*id as i64))
@@ -839,14 +1012,21 @@ impl Response {
     }
 
     /// Render as a single wire line (no trailing newline) in the given
-    /// schema version.
+    /// schema version. Solve responses render through the
+    /// head/timing-tail split, so the bytes are identical whether the
+    /// server sealed `serialize_secs` mid-render or rendered in one go.
     pub fn render_for(&self, version: u32) -> String {
+        if let Response::Solve(r) = self {
+            let mut line = r.render_head_for(version);
+            line.push_str(&r.render_timing_tail_for(version));
+            return line;
+        }
         self.to_json_for(version).render_compact()
     }
 
     /// Render in the current schema version.
     pub fn render(&self) -> String {
-        self.to_json().render_compact()
+        self.render_for(WIRE_SCHEMA_VERSION)
     }
 
     /// Parse one wire line of any supported schema version.
@@ -877,6 +1057,12 @@ impl Response {
                         queue_secs: num_field(timing, "queue_secs")?,
                         solve_secs: num_field(timing, "solve_secs")?,
                         batch_size: int_field(timing, "batch_size")?,
+                        // Additive v2 phase fields: absent pre-attribution
+                        // and in v1 renderings.
+                        batch_wait_secs: opt_num(timing, "batch_wait_secs"),
+                        warm_secs: opt_num(timing, "warm_secs"),
+                        serialize_secs: opt_num(timing, "serialize_secs"),
+                        flush_secs: opt_num(timing, "flush_secs"),
                         // Absent pre-obs and in v1 renderings.
                         trace: timing
                             .get("trace")
@@ -947,6 +1133,16 @@ impl Response {
                     .ok_or("trace response missing traces")?
                     .iter()
                     .map(trace_report_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "flight" => Ok(Response::Flight {
+                id,
+                events: doc
+                    .get("events")
+                    .and_then(|v| v.as_arr())
+                    .ok_or("flight response missing events")?
+                    .iter()
+                    .map(flight_event_from_json)
                     .collect::<Result<Vec<_>, _>>()?,
             }),
             "error" => {
@@ -1040,6 +1236,22 @@ fn obj_entries<'a>(doc: &'a Json, key: &str) -> Result<&'a [(String, Json)], Str
     }
 }
 
+fn exemplar_to_json(e: &ExemplarEntry) -> Json {
+    let mut doc = Json::obj();
+    doc.set("trace", Json::Int(e.trace as i64))
+        .set("value_secs", Json::Num(e.value_secs))
+        .set("at_us", Json::Int(e.at_us as i64));
+    doc
+}
+
+fn exemplar_from_json(doc: &Json) -> Result<ExemplarEntry, String> {
+    Ok(ExemplarEntry {
+        trace: int_field(doc, "trace")? as u64,
+        value_secs: num_field(doc, "value_secs")?,
+        at_us: int_field(doc, "at_us")? as u64,
+    })
+}
+
 fn histogram_stats_to_json(h: &HistogramStats) -> Json {
     let mut doc = Json::obj();
     doc.set("name", Json::Str(h.name.clone()))
@@ -1049,6 +1261,12 @@ fn histogram_stats_to_json(h: &HistogramStats) -> Json {
         .set("p90_secs", Json::Num(h.p90_secs))
         .set("p99_secs", Json::Num(h.p99_secs))
         .set("max_secs", Json::Num(h.max_secs));
+    if !h.exemplars.is_empty() {
+        doc.set(
+            "exemplars",
+            Json::Arr(h.exemplars.iter().map(exemplar_to_json).collect()),
+        );
+    }
     doc
 }
 
@@ -1061,6 +1279,34 @@ fn histogram_stats_from_json(doc: &Json) -> Result<HistogramStats, String> {
         p90_secs: num_field(doc, "p90_secs")?,
         p99_secs: num_field(doc, "p99_secs")?,
         max_secs: num_field(doc, "max_secs")?,
+        // Additive: absent in pre-exemplar payloads.
+        exemplars: match doc.get("exemplars").and_then(|v| v.as_arr()) {
+            Some(entries) => entries
+                .iter()
+                .map(exemplar_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        },
+    })
+}
+
+fn flight_event_to_json(e: &FlightEventEntry) -> Json {
+    let mut doc = Json::obj();
+    doc.set("kind", Json::Str(e.kind.clone()))
+        .set("seq", Json::Int(e.seq as i64))
+        .set("at_us", Json::Int(e.at_us as i64))
+        .set("a", Json::Int(e.a as i64))
+        .set("b", Json::Int(e.b as i64));
+    doc
+}
+
+fn flight_event_from_json(doc: &Json) -> Result<FlightEventEntry, String> {
+    Ok(FlightEventEntry {
+        kind: req_str(doc, "kind")?.to_string(),
+        seq: int_field(doc, "seq")? as u64,
+        at_us: int_field(doc, "at_us")? as u64,
+        a: int_field(doc, "a")? as u64,
+        b: int_field(doc, "b")? as u64,
     })
 }
 
@@ -1104,6 +1350,8 @@ fn trace_report_to_json(t: &TraceReport) -> Json {
     let mut doc = Json::obj();
     doc.set("trace", Json::Int(t.trace as i64))
         .set("total_us", Json::Int(t.total_us as i64))
+        .set("status", Json::Str(t.status.clone()))
+        .set("pinned", Json::Bool(t.pinned))
         .set(
             "spans",
             Json::Arr(t.spans.iter().map(span_entry_to_json).collect()),
@@ -1115,6 +1363,13 @@ fn trace_report_from_json(doc: &Json) -> Result<TraceReport, String> {
     Ok(TraceReport {
         trace: int_field(doc, "trace")? as u64,
         total_us: int_field(doc, "total_us")? as u64,
+        // Additive: pre-status payloads carry neither field.
+        status: doc
+            .get("status")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown")
+            .to_string(),
+        pinned: doc.get("pinned").and_then(|v| v.as_bool()).unwrap_or(false),
         spans: doc
             .get("spans")
             .and_then(|v| v.as_arr())
@@ -1233,6 +1488,11 @@ fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, WireError> {
     })
 }
 
+/// An optional numeric field, 0 when absent (additive-field parses).
+fn opt_num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
 fn num_field(doc: &Json, key: &str) -> Result<f64, WireError> {
     doc.get(key).and_then(|v| v.as_f64()).ok_or_else(|| {
         WireError::new(
@@ -1338,10 +1598,10 @@ mod tests {
                     queue_secs: 0.001,
                     solve_secs: 0.25,
                     batch_size: 4,
-                    // Zero so the v1 rendering (which has no trace field)
-                    // still roundtrips; the nonzero case is pinned in
-                    // `trace_id_is_v2_only`.
-                    trace: 0,
+                    // v2-only fields zero so the v1 rendering (which
+                    // lacks them) still roundtrips; the nonzero case is
+                    // pinned in `phase_timing_is_v2_only`.
+                    ..SolveTiming::default()
                 },
             }),
             Response::Warm(WarmResponse {
@@ -1494,6 +1754,7 @@ mod tests {
                 solve_secs: 1.5,
                 batch_size: 2,
                 trace: 17,
+                ..SolveTiming::default()
             },
         };
         let canonical = response.canonical_json().render_compact();
@@ -1549,7 +1810,15 @@ mod tests {
                 id: 22,
                 limit: 5,
                 slowest: true,
+                trace: 0,
             },
+            Request::Trace {
+                id: 23,
+                limit: 1,
+                slowest: false,
+                trace: 41,
+            },
+            Request::Flight { id: 24 },
         ];
         for request in requests {
             let line = request.render_for(2);
@@ -1574,7 +1843,8 @@ mod tests {
             Request::Trace {
                 id: 5,
                 limit: 64,
-                slowest: false
+                slowest: false,
+                trace: 0,
             }
         );
         let line = r#"{"schema_version":2,"id":6,"op":"trace"}"#;
@@ -1584,7 +1854,8 @@ mod tests {
             Request::Trace {
                 id: 6,
                 limit: 10,
-                slowest: false
+                slowest: false,
+                trace: 0,
             }
         );
     }
@@ -1614,6 +1885,7 @@ mod tests {
                 solve_secs: 0.2,
                 batch_size: 1,
                 trace: 42,
+                ..SolveTiming::default()
             },
         });
         let v2 = response.render_for(2);
@@ -1647,6 +1919,11 @@ mod tests {
                         p90_secs: 0.5,
                         p99_secs: 0.5,
                         max_secs: 0.5,
+                        exemplars: vec![ExemplarEntry {
+                            trace: 99,
+                            value_secs: 0.5,
+                            at_us: 1234,
+                        }],
                     }],
                 },
             },
@@ -1655,6 +1932,8 @@ mod tests {
                 traces: vec![TraceReport {
                     trace: 7,
                     total_us: 1500,
+                    status: "deadline".into(),
+                    pinned: true,
                     spans: vec![
                         SpanEntry {
                             id: 1,
@@ -1681,5 +1960,201 @@ mod tests {
             assert!(!line.contains('\n'));
             assert_eq!(Response::parse(&line).unwrap(), response);
         }
+        // Empty exemplar lists render no key at all, so pre-exemplar
+        // consumers see byte-identical metrics lines.
+        let bare = Response::Metrics {
+            id: 33,
+            report: MetricsReport {
+                counters: vec![],
+                gauges: vec![],
+                histograms: vec![HistogramStats {
+                    name: "rpc_warm_secs".into(),
+                    count: 0,
+                    mean_secs: 0.0,
+                    p50_secs: 0.0,
+                    p90_secs: 0.0,
+                    p99_secs: 0.0,
+                    max_secs: 0.0,
+                    exemplars: vec![],
+                }],
+            },
+        };
+        assert!(!bare.render().contains("exemplars"));
+    }
+
+    #[test]
+    fn phase_timing_is_v2_only() {
+        let response = Response::Solve(SolveResponse {
+            id: 51,
+            session: "karate/rmsa".into(),
+            result: SolveResult {
+                algorithm: "RMA".into(),
+                revenue: Some(1.0),
+                revenue_estimate: 1.0,
+                revenue_lower_bound: None,
+                seeding_cost: 0.5,
+                seeds: 1,
+                feasible: true,
+                capped: false,
+                iterations: 1,
+                rr_used: 10,
+                rr_generated: 0,
+                index_extended: 0,
+                allocation_digest: "00ff".into(),
+            },
+            timing: SolveTiming {
+                queue_secs: 0.001,
+                solve_secs: 0.25,
+                batch_size: 1,
+                batch_wait_secs: 0.002,
+                warm_secs: 0.003,
+                serialize_secs: 0.004,
+                flush_secs: 0.005,
+                trace: 9,
+            },
+        });
+        let v2 = response.render_for(2);
+        for key in [
+            "batch_wait_secs",
+            "warm_secs",
+            "serialize_secs",
+            "flush_secs",
+        ] {
+            assert!(v2.contains(key), "v2 carries {key}");
+        }
+        let Response::Solve(parsed) = Response::parse(&v2).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(parsed.timing.batch_wait_secs, 0.002);
+        assert_eq!(parsed.timing.flush_secs, 0.005);
+        // v1 stays exactly the original three timing fields.
+        let v1 = response.render_for(1);
+        assert!(!v1.contains("batch_wait_secs"));
+        assert!(!v1.contains("warm_secs"));
+        assert!(!v1.contains("serialize_secs"));
+        assert!(!v1.contains("flush_secs"));
+        let Response::Solve(parsed) = Response::parse(&v1).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(parsed.timing.warm_secs, 0.0);
+    }
+
+    #[test]
+    fn split_render_equals_full_render_in_both_versions() {
+        let response = Response::Solve(SolveResponse {
+            id: 52,
+            session: "karate/rmsa".into(),
+            result: SolveResult {
+                algorithm: "TI-CARM".into(),
+                revenue: Some(2.5),
+                revenue_estimate: 2.25,
+                revenue_lower_bound: Some(2.0),
+                seeding_cost: 2.0,
+                seeds: 3,
+                feasible: true,
+                capped: true,
+                iterations: 2,
+                rr_used: 64,
+                rr_generated: 64,
+                index_extended: 64,
+                allocation_digest: "abcd".into(),
+            },
+            timing: SolveTiming {
+                queue_secs: 0.01,
+                solve_secs: 0.02,
+                batch_size: 3,
+                batch_wait_secs: 0.001,
+                warm_secs: 0.0005,
+                serialize_secs: 0.0001,
+                flush_secs: 0.0002,
+                trace: 77,
+            },
+        });
+        let Response::Solve(inner) = &response else {
+            unreachable!()
+        };
+        for version in [1u32, 2] {
+            let split = format!(
+                "{}{}",
+                inner.render_head_for(version),
+                inner.render_timing_tail_for(version)
+            );
+            assert_eq!(
+                split,
+                response.render_for(version),
+                "split render is byte-identical to the full v{version} render"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_request_and_response_roundtrip_in_v2_only() {
+        let request = Request::Flight { id: 61 };
+        let line = request.render_for(2);
+        let (version, parsed) = Request::parse_versioned(&line).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(parsed, request);
+        // v1 parsers must reject the op outright.
+        let v1_line = line.replace(r#""schema_version":2"#, r#""schema_version":1"#);
+        assert!(Request::parse_versioned(&v1_line).is_err());
+
+        let response = Response::Flight {
+            id: 61,
+            events: vec![
+                FlightEventEntry {
+                    kind: "batch_form".into(),
+                    seq: 4,
+                    at_us: 1000,
+                    a: 3,
+                    b: 1,
+                },
+                FlightEventEntry {
+                    kind: "backpressure_pause".into(),
+                    seq: 5,
+                    at_us: 1100,
+                    a: 12,
+                    b: 262144,
+                },
+            ],
+        };
+        let line = response.render();
+        assert!(!line.contains('\n'));
+        assert_eq!(Response::parse(&line).unwrap(), response);
+    }
+
+    #[test]
+    fn trace_by_id_filter_renders_only_when_set() {
+        let bare = Request::Trace {
+            id: 71,
+            limit: 10,
+            slowest: false,
+            trace: 0,
+        };
+        // (`"trace":` with the colon — the op itself renders as "trace".)
+        assert!(!bare.render_for(2).contains(r#""trace":"#));
+        let filtered = Request::Trace {
+            id: 72,
+            limit: 10,
+            slowest: false,
+            trace: 500,
+        };
+        let line = filtered.render_for(2);
+        assert!(line.contains(r#""trace":500"#));
+        let (_, parsed) = Request::parse_versioned(&line).unwrap();
+        assert_eq!(parsed, filtered);
+    }
+
+    #[test]
+    fn error_code_points_roundtrip_and_stay_stable() {
+        for (k, code) in ErrorCode::all().iter().enumerate() {
+            assert_eq!(code.code_point(), k as u32 + 1);
+            assert_eq!(ErrorCode::from_code_point(code.code_point()), Some(*code));
+        }
+        assert_eq!(ErrorCode::from_code_point(0), None);
+        assert_eq!(ErrorCode::from_code_point(999), None);
+        // The catalog order is wire-frozen: code points persist in flight
+        // dumps and trace statuses, so position changes are breaking.
+        assert_eq!(ErrorCode::BadRequest.code_point(), 1);
+        assert_eq!(ErrorCode::SolveFailed.code_point(), 10);
     }
 }

@@ -358,6 +358,7 @@ fn a_solve_yields_a_retrievable_phase_tree_and_nonzero_rpc_histograms() {
             id: 2,
             limit: 16,
             slowest: false,
+            trace: 0,
         })
         .expect("trace")
     else {
@@ -451,4 +452,158 @@ fn open_loop_load_reports_gated_throughput_and_matches_closed_mix() {
         "open-loop throughput must land in the gated revenue column"
     );
     assert!(throughput.outcome.revenue > 0.0);
+
+    // Every latency quantile row breaks down into per-phase columns, and
+    // the gated revenue column carries the attribution share (percent of
+    // the end-to-end quantile the phases explain, capped at 100).
+    let latency_rows: Vec<_> = report
+        .points
+        .iter()
+        .filter(|p| p.job == "latency,")
+        .collect();
+    assert_eq!(latency_rows.len(), 3);
+    for row in &latency_rows {
+        let names: Vec<&str> = row.outcome.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "send_lag",
+                "queue",
+                "batch_wait",
+                "warm_check",
+                "solve",
+                "serialize",
+                "flush",
+                "delivery"
+            ],
+            "open-loop latency rows carry the full phase breakdown"
+        );
+        assert!(row.outcome.phases.iter().all(|(_, secs)| *secs >= 0.0));
+        assert!(
+            row.outcome.revenue >= 90.0 && row.outcome.revenue <= 100.0,
+            "the breakdown (delivery residual included) must explain \
+             at least 90% of the end-to-end quantile, got {}",
+            row.outcome.revenue
+        );
+    }
+    // The report (phases included) round-trips through its JSON form.
+    let parsed = rmsa_bench::BenchReport::from_json_text(&report.render()).expect("parse");
+    let reparsed_row = parsed
+        .points
+        .iter()
+        .find(|p| p.job == "latency," && p.key == 99.0)
+        .expect("p99 row survives the round trip");
+    let original_row = report
+        .points
+        .iter()
+        .find(|p| p.job == "latency," && p.key == 99.0)
+        .expect("p99 row");
+    assert_eq!(reparsed_row.outcome.phases, original_row.outcome.phases);
+}
+
+#[test]
+fn exemplars_flight_and_trace_by_id_link_the_tail_story_together() {
+    use rmsa_service::loadgen::{LoadMix, Mode};
+    // A 1 ms objective makes the cold solve below an anomaly by
+    // construction.
+    let config = ServerConfig::builder(rmsa_service::tiny_serve_ctx(7))
+        .workers(2)
+        .max_sessions(2)
+        .slo_ms(1)
+        .build()
+        .expect("valid config");
+    let handle = server::start("127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr().to_string();
+    // Background traffic: fills the histograms and arms the tail sampler.
+    let plan = LoadgenPlan::builder(7)
+        .mode(Mode::ClosedLoop { clients: 4 })
+        .requests(9)
+        .mix(LoadMix::quick())
+        .build()
+        .expect("valid plan");
+    let outcome = loadgen::run(&addr, &plan).expect("loadgen");
+    assert_eq!(outcome.errors, Vec::<String>::new());
+
+    // A cold-fingerprint solve: no memo entry, fresh session build.
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    let Response::Solve(solve) = client
+        .call(&Request::Solve(SolveRequest {
+            id: 9001,
+            dataset: DatasetKind::FlixsterSyn,
+            strategy: RrStrategy::Standard,
+            algorithm: Algorithm::Rma,
+            incentive: IncentiveModel::Linear,
+            alpha: 0.2,
+            evaluate: true,
+        }))
+        .expect("solve")
+    else {
+        panic!("expected solve response");
+    };
+    let t = solve.timing;
+    assert_ne!(t.trace, 0);
+    assert!(t.solve_secs > 0.0, "cold solve takes measurable time");
+    assert!(t.warm_secs > 0.0, "cold warm-up takes measurable time");
+    assert!(t.queue_secs >= 0.0 && t.batch_wait_secs >= 0.0);
+    assert!(t.serialize_secs >= 0.0 && t.flush_secs >= 0.0);
+
+    // The echoed trace id resolves through the by-id filter, with a
+    // terminal status.
+    let Response::Trace { traces, .. } = client
+        .call(&Request::Trace {
+            id: 9002,
+            limit: 1,
+            slowest: false,
+            trace: t.trace,
+        })
+        .expect("trace")
+    else {
+        panic!("expected trace response");
+    };
+    assert_eq!(traces.len(), 1, "trace-by-id returns exactly that trace");
+    assert_eq!(traces[0].trace, t.trace);
+    assert_eq!(traces[0].status, "ok");
+
+    // Histogram exemplars point at real traces; the objective gauge is
+    // exported.
+    let Response::Metrics { report, .. } = client
+        .call(&Request::Metrics { id: 9003 })
+        .expect("metrics")
+    else {
+        panic!("expected metrics response");
+    };
+    let rpc = report
+        .histograms
+        .iter()
+        .find(|h| h.name == "rpc_solve_secs")
+        .expect("solve histogram registered");
+    assert!(!rpc.exemplars.is_empty(), "served histogram has exemplars");
+    assert!(rpc.exemplars.iter().all(|e| e.trace != 0));
+    let threshold = report
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "slo_threshold_ms")
+        .expect("slo threshold gauge");
+    assert_eq!(threshold.1, 1);
+
+    // The flight recorder saw the control plane, in one global order,
+    // including the slow anomaly for exactly our cold solve.
+    let Response::Flight { events, .. } =
+        client.call(&Request::Flight { id: 9004 }).expect("flight")
+    else {
+        panic!("expected flight response");
+    };
+    assert!(events.iter().any(|e| e.kind == "conn_open"));
+    assert!(events.iter().any(|e| e.kind == "batch_form" && e.a >= 1));
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == "anomaly_slow" && e.a == t.trace),
+        "the 1 ms objective must flag the cold solve"
+    );
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "flight events in seq order");
+    }
+    handle.shutdown();
+    handle.wait();
 }

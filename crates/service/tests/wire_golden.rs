@@ -13,9 +13,9 @@
 use rmsa_datasets::{DatasetKind, IncentiveModel};
 use rmsa_diffusion::RrStrategy;
 use rmsa_service::wire::{
-    Algorithm, ErrorCode, HistogramStats, MetricsReport, Request, Response, SessionStatsEntry,
-    SolveRequest, SolveResponse, SolveResult, SolveTiming, SpanEntry, TraceReport, WarmRequest,
-    WarmResponse,
+    Algorithm, ErrorCode, ExemplarEntry, FlightEventEntry, HistogramStats, MetricsReport, Request,
+    Response, SessionStatsEntry, SolveRequest, SolveResponse, SolveResult, SolveTiming, SpanEntry,
+    TraceReport, WarmRequest, WarmResponse,
 };
 
 fn golden_path(version: u32) -> std::path::PathBuf {
@@ -68,7 +68,12 @@ fn canonical_messages(version: u32) -> Vec<String> {
                 queue_secs: 0.25,
                 solve_secs: 1.5,
                 batch_size: 4,
-                // Renders only under v2; the v1 golden stays byte-frozen.
+                // The phase fields and trace render only under v2; the
+                // v1 golden stays byte-frozen.
+                batch_wait_secs: 0.05,
+                warm_secs: 0.01,
+                serialize_secs: 0.002,
+                flush_secs: 0.001,
                 trace: 7,
             },
         }),
@@ -110,7 +115,15 @@ fn canonical_messages(version: u32) -> Vec<String> {
             id: 8,
             limit: 4,
             slowest: false,
+            trace: 0,
         });
+        requests.push(Request::Trace {
+            id: 9,
+            limit: 1,
+            slowest: false,
+            trace: 7,
+        });
+        requests.push(Request::Flight { id: 10 });
         responses.push(Response::Metrics {
             id: 7,
             report: MetricsReport {
@@ -124,6 +137,11 @@ fn canonical_messages(version: u32) -> Vec<String> {
                     p90_secs: 0.25,
                     p99_secs: 0.5,
                     max_secs: 0.5,
+                    exemplars: vec![ExemplarEntry {
+                        trace: 7,
+                        value_secs: 0.5,
+                        at_us: 1250,
+                    }],
                 }],
             },
         });
@@ -132,6 +150,8 @@ fn canonical_messages(version: u32) -> Vec<String> {
             traces: vec![TraceReport {
                 trace: 7,
                 total_us: 1500,
+                status: "ok".into(),
+                pinned: true,
                 spans: vec![
                     SpanEntry {
                         id: 1,
@@ -151,6 +171,25 @@ fn canonical_messages(version: u32) -> Vec<String> {
                     },
                 ],
             }],
+        });
+        responses.push(Response::Flight {
+            id: 10,
+            events: vec![
+                FlightEventEntry {
+                    kind: "conn_open".into(),
+                    seq: 1,
+                    at_us: 100,
+                    a: 1,
+                    b: 0,
+                },
+                FlightEventEntry {
+                    kind: "anomaly_slow".into(),
+                    seq: 2,
+                    at_us: 1700,
+                    a: 7,
+                    b: 1500,
+                },
+            ],
         });
     }
     requests
@@ -213,8 +252,9 @@ fn golden_lines_parse_back_losslessly() {
                 parsed_requests += 1;
             }
         }
-        // v2 adds the metrics/trace request + response pairs.
-        assert_eq!(parsed_requests, if version == 1 { 5 } else { 7 });
-        assert_eq!(parsed_responses, if version == 1 { 6 } else { 8 });
+        // v2 adds the metrics/trace/trace-by-id/flight requests and the
+        // metrics/trace/flight responses.
+        assert_eq!(parsed_requests, if version == 1 { 5 } else { 9 });
+        assert_eq!(parsed_responses, if version == 1 { 6 } else { 9 });
     }
 }
